@@ -1,0 +1,590 @@
+// Benchmarks regenerating every experiment in DESIGN.md §4 — one benchmark
+// (or sweep) per figure/scenario of the paper plus the A1–A5 ablations.
+//
+// Run: go test -bench=. -benchmem
+package repro
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/coord"
+	"repro/internal/core"
+	"repro/internal/eq"
+	"repro/internal/server"
+	"repro/internal/travel"
+	"repro/internal/value"
+	"repro/internal/workload"
+)
+
+// uniq hands out process-wide unique participant ids so repeated benchmark
+// iterations never collide on traveler names.
+var uniq atomic.Uint64
+
+func names2() (string, string) {
+	n := uniq.Add(1)
+	return fmt.Sprintf("u%d_a", n), fmt.Sprintf("u%d_b", n)
+}
+
+func mustSystem(b *testing.B, seed int64) *core.System {
+	b.Helper()
+	sys, err := workload.NewSystem(seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+func mustWait(b *testing.B, h *coord.Handle) coord.Outcome {
+	b.Helper()
+	done := make(chan struct{})
+	timer := time.AfterFunc(10*time.Second, func() { close(done) })
+	defer timer.Stop()
+	out, ok := h.Wait(done)
+	if !ok {
+		b.Fatalf("q%d unanswered", h.ID)
+	}
+	return out
+}
+
+func submitPair(b *testing.B, sys *core.System, dest string) {
+	b.Helper()
+	ua, ub := names2()
+	f := travel.FlightFilter{Dest: dest}
+	h1, err := sys.Submit(travel.BuildFlightQuery(ua, []string{ub}, f), ua)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h2, err := sys.Submit(travel.BuildFlightQuery(ub, []string{ua}, f), ub)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mustWait(b, h1)
+	mustWait(b, h2)
+}
+
+// BenchmarkE1_PairMatch — Figure 1: one two-party coordination per op
+// (submit both symmetric queries, wait for the joint answer).
+func BenchmarkE1_PairMatch(b *testing.B) {
+	sys := mustSystem(b, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		submitPair(b, sys, "Paris")
+	}
+}
+
+// BenchmarkE2_TravelPair — §3.1 scenario 1 through the full middle tier
+// (friend lists, booking objects, notification messages).
+func BenchmarkE2_TravelPair(b *testing.B) {
+	sys := mustSystem(b, 2)
+	svc := travel.NewService(sys)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ua, ub := names2()
+		svc.Befriend(ua, ub)
+		f := travel.FlightFilter{Dest: "Paris"}
+		b1, err := svc.BookFlight(ua, []string{ub}, f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b2, err := svc.BookFlight(ub, []string{ua}, f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := b1.Await(10 * time.Second); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := b2.Await(10 * time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE3_FlightHotelPair — §3.1 scenario 2: two answer atoms per query.
+func BenchmarkE3_FlightHotelPair(b *testing.B) {
+	sys := mustSystem(b, 3)
+	f := travel.FlightFilter{Dest: "Paris"}
+	h := travel.HotelFilter{City: "Paris"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ua, ub := names2()
+		h1, err := sys.Submit(travel.BuildTripQuery(ua, []string{ub}, f, h), ua)
+		if err != nil {
+			b.Fatal(err)
+		}
+		h2, err := sys.Submit(travel.BuildTripQuery(ub, []string{ua}, f, h), ub)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mustWait(b, h1)
+		mustWait(b, h2)
+	}
+}
+
+// BenchmarkE4_ConcurrentPairs — §3.1 scenario 3: pairs submitted from
+// concurrent goroutines; the coordinator serializes rounds internally.
+func BenchmarkE4_ConcurrentPairs(b *testing.B) {
+	sys := mustSystem(b, 4)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			submitPair(b, sys, "Paris")
+		}
+	})
+}
+
+// BenchmarkE5_GroupSize — §3.1 scenario 4: group booking, swept over group
+// size (latency of the k-way match as k grows).
+func BenchmarkE5_GroupSize(b *testing.B) {
+	for _, k := range []int{2, 3, 4, 6, 8} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			sys := mustSystem(b, 5)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n := uniq.Add(1)
+				members := make([]string, k)
+				for j := range members {
+					members[j] = fmt.Sprintf("g%d_m%d", n, j)
+				}
+				handles := make([]*coord.Handle, k)
+				for j, self := range members {
+					var friends []string
+					for l, o := range members {
+						if l != j {
+							friends = append(friends, o)
+						}
+					}
+					h, err := sys.Submit(travel.BuildFlightQuery(self, friends,
+						travel.FlightFilter{Dest: "Paris"}), self)
+					if err != nil {
+						b.Fatal(err)
+					}
+					handles[j] = h
+				}
+				for _, h := range handles {
+					mustWait(b, h)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE6_GroupFlightHotel — §3.1 scenario 5: group of four coordinating
+// flights AND hotels.
+func BenchmarkE6_GroupFlightHotel(b *testing.B) {
+	sys := mustSystem(b, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := uniq.Add(1)
+		members := make([]string, 4)
+		for j := range members {
+			members[j] = fmt.Sprintf("t%d_m%d", n, j)
+		}
+		handles := make([]*coord.Handle, len(members))
+		for j, self := range members {
+			var friends []string
+			for l, o := range members {
+				if l != j {
+					friends = append(friends, o)
+				}
+			}
+			h, err := sys.Submit(travel.BuildTripQuery(self, friends,
+				travel.FlightFilter{Dest: "Rome"}, travel.HotelFilter{City: "Rome"}), self)
+			if err != nil {
+				b.Fatal(err)
+			}
+			handles[j] = h
+		}
+		for _, h := range handles {
+			mustWait(b, h)
+		}
+	}
+}
+
+// BenchmarkE7_AdHoc — §3.1 scenario 6: the Jerry–Kramer–Elaine overlap graph
+// (flights-only edge + flights-and-hotels edge) per op.
+func BenchmarkE7_AdHoc(b *testing.B) {
+	sys := mustSystem(b, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := uniq.Add(1)
+		j := fmt.Sprintf("j%d", n)
+		k := fmt.Sprintf("k%d", n)
+		e := fmt.Sprintf("e%d", n)
+		h1, err := sys.Submit(travel.BuildFlightQuery(j, []string{k},
+			travel.FlightFilter{Dest: "Paris"}), j)
+		if err != nil {
+			b.Fatal(err)
+		}
+		kramer := fmt.Sprintf(`SELECT ('%[1]s', fno) INTO ANSWER Reservation, ('%[1]s', hno) INTO ANSWER HotelReservation
+			WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris')
+			AND hno IN (SELECT hno FROM Hotels WHERE city = 'Paris')
+			AND ('%[2]s', fno) IN ANSWER Reservation
+			AND ('%[3]s', hno) IN ANSWER HotelReservation CHOOSE 1`, k, j, e)
+		h2, err := sys.Submit(kramer, k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		elaine := fmt.Sprintf(`SELECT '%s', hno INTO ANSWER HotelReservation
+			WHERE hno IN (SELECT hno FROM Hotels WHERE city = 'Paris')
+			AND ('%s', hno) IN ANSWER HotelReservation CHOOSE 1`, e, k)
+		h3, err := sys.Submit(elaine, e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mustWait(b, h1)
+		mustWait(b, h2)
+		mustWait(b, h3)
+	}
+}
+
+// BenchmarkE8_LoadedSystem — §3 scalability: one pair coordination per op
+// while `pending` never-matching queries clog the pending tables.
+func BenchmarkE8_LoadedSystem(b *testing.B) {
+	for _, pending := range []int{0, 100, 500, 1000, 2000} {
+		b.Run(fmt.Sprintf("pending=%d", pending), func(b *testing.B) {
+			sys := mustSystem(b, 8)
+			gen := workload.NewGenerator(workload.Config{Seed: 8})
+			for i := 0; i < pending; i++ {
+				if _, err := sys.Submit(gen.LonerQuery(i), "noise"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				submitPair(b, sys, "Paris")
+			}
+		})
+	}
+}
+
+// BenchmarkE9_BaselineVsYoutopia — the §1 comparison: entangled queries vs
+// out-of-band middle-tier polling for one pair agreement.
+func BenchmarkE9_BaselineVsYoutopia(b *testing.B) {
+	b.Run("youtopia", func(b *testing.B) {
+		sys := mustSystem(b, 9)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			submitPair(b, sys, "Paris")
+		}
+	})
+	b.Run("baseline", func(b *testing.B) {
+		sys := mustSystem(b, 9)
+		c, err := baseline.New(sys)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.PollInterval = 50 * time.Microsecond
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ua, ub := names2()
+			errs := make(chan error, 2)
+			go func() { _, err := c.BookSameFlight(ua, ub, "Paris"); errs <- err }()
+			go func() { _, err := c.BookSameFlight(ub, ua, "Paris"); errs <- err }()
+			for j := 0; j < 2; j++ {
+				if err := <-errs; err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(c.Statements())/float64(b.N), "stmts/pair")
+	})
+}
+
+// BenchmarkF2_CompilerPipeline — Figure 2's query-compiler stage: parse +
+// compile + safety-check the paper's §2.1 query.
+func BenchmarkF2_CompilerPipeline(b *testing.B) {
+	src := travel.BuildFlightQuery("Kramer", []string{"Jerry"}, travel.FlightFilter{Dest: "Paris", MaxPrice: 500})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eq.CompileSQL(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkA1_CandidateIndex — ablation: pending-head candidate index on vs
+// linear scan of every pending head, under a noisy pending set.
+func BenchmarkA1_CandidateIndex(b *testing.B) {
+	for _, useIndex := range []bool{true, false} {
+		b.Run(fmt.Sprintf("index=%v", useIndex), func(b *testing.B) {
+			sys := core.NewSystem(core.Config{Coord: coord.Options{
+				UseIndex: useIndex, GroundSmallestFirst: true, Seed: 11,
+			}})
+			if err := travel.Seed(sys, travel.SeedConfig{Seed: 11}); err != nil {
+				b.Fatal(err)
+			}
+			gen := workload.NewGenerator(workload.Config{Seed: 11})
+			for i := 0; i < 500; i++ {
+				if _, err := sys.Submit(gen.LonerQuery(i), "noise"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				submitPair(b, sys, "Paris")
+			}
+		})
+	}
+}
+
+// BenchmarkA2_MatchBound — ablation: the backtracking bound on match-set
+// size, exercised by 6-cycles that need 6 members to close.
+func BenchmarkA2_MatchBound(b *testing.B) {
+	for _, bound := range []int{8, 16, 32} {
+		b.Run(fmt.Sprintf("bound=%d", bound), func(b *testing.B) {
+			sys := core.NewSystem(core.Config{Coord: coord.Options{
+				MaxMatchSize: bound, UseIndex: true, GroundSmallestFirst: true, Seed: 12,
+			}})
+			if err := travel.Seed(sys, travel.SeedConfig{Seed: 12}); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n := uniq.Add(1)
+				handles := make([]*coord.Handle, 0, 6)
+				for j := 0; j < 6; j++ {
+					self := fmt.Sprintf("c%d_%d", n, j)
+					next := fmt.Sprintf("c%d_%d", n, (j+1)%6)
+					src := travel.BuildFlightQuery(self, []string{next}, travel.FlightFilter{Dest: "Paris"})
+					h, err := sys.Submit(src, self)
+					if err != nil {
+						b.Fatal(err)
+					}
+					handles = append(handles, h)
+				}
+				for _, h := range handles {
+					mustWait(b, h)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkA3_GroundingOrder — ablation: smallest-candidate-set-first vs
+// discovery-order grounding. The pair's queries mix a huge candidate set
+// (all flights anywhere) with a tiny one (cheap Paris flights); grounding
+// from the tiny set first avoids enumerating the huge one.
+func BenchmarkA3_GroundingOrder(b *testing.B) {
+	for _, smallest := range []bool{true, false} {
+		b.Run(fmt.Sprintf("smallestFirst=%v", smallest), func(b *testing.B) {
+			sys := core.NewSystem(core.Config{Coord: coord.Options{
+				UseIndex: true, GroundSmallestFirst: smallest, Seed: 13,
+			}})
+			if err := travel.Seed(sys, travel.SeedConfig{FlightsPerDest: 40, Seed: 13}); err != nil {
+				b.Fatal(err)
+			}
+			mk := func(self, friend string) string {
+				return fmt.Sprintf(`SELECT '%s', fno INTO ANSWER Reservation
+					WHERE fno IN (SELECT fno FROM Flights)
+					AND fno IN (SELECT fno FROM Flights WHERE dest = 'Paris' AND price <= 250)
+					AND ('%s', fno) IN ANSWER Reservation CHOOSE 1`, self, friend)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ua, ub := names2()
+				h1, err := sys.Submit(mk(ua, ub), ua)
+				if err != nil {
+					b.Fatal(err)
+				}
+				h2, err := sys.Submit(mk(ub, ua), ub)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mustWait(b, h1)
+				mustWait(b, h2)
+			}
+		})
+	}
+}
+
+// BenchmarkA4_StorageIndex — ablation: hash index on Flights(dest) vs full
+// scan for the generator subquery's equality predicate.
+func BenchmarkA4_StorageIndex(b *testing.B) {
+	for _, indexed := range []bool{true, false} {
+		b.Run(fmt.Sprintf("indexed=%v", indexed), func(b *testing.B) {
+			sys := core.NewSystem(core.Config{})
+			// Big uniform flights table WITHOUT the travel.Seed indexes.
+			if err := sys.Exec("CREATE TABLE Flights (fno INT, dest STRING, PRIMARY KEY (fno))"); err != nil {
+				b.Fatal(err)
+			}
+			for chunk := 0; chunk < 10; chunk++ {
+				vals := ""
+				for i := 0; i < 500; i++ {
+					if i > 0 {
+						vals += ", "
+					}
+					fno := chunk*500 + i
+					dest := travel.Destinations[fno%len(travel.Destinations)]
+					vals += fmt.Sprintf("(%d, '%s')", fno, dest)
+				}
+				if err := sys.Exec("INSERT INTO Flights VALUES " + vals); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if indexed {
+				if err := sys.Exec("CREATE INDEX ON Flights (dest)"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			eng := sys.Engine()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := eng.ExecuteSQL("SELECT fno FROM Flights WHERE dest = 'Paris'")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Rows) == 0 {
+					b.Fatal("no rows")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkA5_TargetedRetry — ablation: after each match, retry only pending
+// queries whose constraints the new answers could satisfy vs retrying all.
+func BenchmarkA5_TargetedRetry(b *testing.B) {
+	for _, full := range []bool{false, true} {
+		b.Run(fmt.Sprintf("fullRetry=%v", full), func(b *testing.B) {
+			sys := core.NewSystem(core.Config{Coord: coord.Options{
+				UseIndex: true, GroundSmallestFirst: true, FullRetryOnMatch: full, Seed: 14,
+			}})
+			if err := travel.Seed(sys, travel.SeedConfig{Seed: 14}); err != nil {
+				b.Fatal(err)
+			}
+			gen := workload.NewGenerator(workload.Config{Seed: 14})
+			for i := 0; i < 500; i++ {
+				if _, err := sys.Submit(gen.LonerQuery(i), "noise"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				submitPair(b, sys, "Paris")
+			}
+		})
+	}
+}
+
+// BenchmarkA6_OrderedIndexRange — ablation: ordered-index range lookup vs
+// full scan for the price-window predicates of travel filters.
+func BenchmarkA6_OrderedIndexRange(b *testing.B) {
+	for _, indexed := range []bool{true, false} {
+		b.Run(fmt.Sprintf("ordered=%v", indexed), func(b *testing.B) {
+			sys := core.NewSystem(core.Config{})
+			if err := sys.Exec("CREATE TABLE Fares (fno INT, price FLOAT)"); err != nil {
+				b.Fatal(err)
+			}
+			for chunk := 0; chunk < 10; chunk++ {
+				vals := ""
+				for i := 0; i < 500; i++ {
+					if i > 0 {
+						vals += ", "
+					}
+					n := chunk*500 + i
+					vals += fmt.Sprintf("(%d, %d.0)", n, (n*37)%5000)
+				}
+				if err := sys.Exec("INSERT INTO Fares VALUES " + vals); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if indexed {
+				if err := sys.Exec("CREATE ORDERED INDEX ON Fares (price)"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			eng := sys.Engine()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := eng.ExecuteSQL("SELECT fno FROM Fares WHERE price BETWEEN 100 AND 150")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Rows) == 0 {
+					b.Fatal("no rows")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineSelect — substrate microbench: single-table filtered SELECT
+// through parser + planner + executor.
+func BenchmarkEngineSelect(b *testing.B) {
+	sys := mustSystem(b, 15)
+	eng := sys.Engine()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.ExecuteSQL("SELECT fno, price FROM Flights WHERE dest = 'Paris' ORDER BY price LIMIT 5"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWALAppend — substrate microbench: durable insert cost (WAL on)
+// vs in-memory insert (WAL off).
+func BenchmarkWALAppend(b *testing.B) {
+	for _, durable := range []bool{false, true} {
+		b.Run(fmt.Sprintf("wal=%v", durable), func(b *testing.B) {
+			cfg := core.Config{}
+			if durable {
+				cfg.WALPath = filepath.Join(b.TempDir(), "bench.wal")
+			}
+			sys := core.NewSystem(cfg)
+			if err := sys.Err(); err != nil {
+				b.Fatal(err)
+			}
+			defer sys.Close()
+			if err := sys.Exec("CREATE TABLE T (x INT, y STRING)"); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := sys.Exec(fmt.Sprintf("INSERT INTO T VALUES (%d, 'row')", i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkServerRoundTrip — substrate microbench: one remote SELECT over
+// the wire protocol.
+func BenchmarkServerRoundTrip(b *testing.B) {
+	sys := mustSystem(b, 20)
+	srv, err := server.Listen(sys, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := server.Dial(srv.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := c.Query("SELECT fno FROM Flights WHERE dest = 'Paris' LIMIT 3")
+		if err != nil || len(res.Rows) == 0 {
+			b.Fatalf("%v %v", res, err)
+		}
+	}
+}
+
+// BenchmarkUnify — substrate microbench: one Figure-1b unification.
+func BenchmarkUnify(b *testing.B) {
+	cons := eq.NewAtom("Reservation", eq.ConstTerm(value.NewString("Jerry")), eq.VarTerm("fno"))
+	head := eq.NewAtom("Reservation", eq.ConstTerm(value.NewString("Jerry")), eq.VarTerm("fno"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := eq.NewSubst()
+		if !eq.UnifyAtoms(s, 1, cons, 2, head) {
+			b.Fatal("unify failed")
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Command loadgen demonstrates "the scalability of our coordination
+// algorithm by allowing our examples to be run on a loaded system, where a
+// large number of entangled queries are trying to coordinate simultaneously"
+// (§3). It sweeps the pending-set size and prints the coordination
+// throughput/latency series of experiment E8, plus pair/group workload
+// summaries.
+//
+// Usage:
+//
+//	loadgen [-pairs 200] [-groups 0] [-groupsize 4] [-trip] [-loners "0,100,500,1000"]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/workload"
+)
+
+func main() {
+	pairs := flag.Int("pairs", 200, "coordinating pairs per run")
+	groups := flag.Int("groups", 0, "coordinating groups per run")
+	groupSize := flag.Int("groupsize", 4, "members per group")
+	trip := flag.Bool("trip", false, "coordinate hotels too (two answer atoms)")
+	lonersCSV := flag.String("loners", "0,100,500,1000", "pending-noise sweep")
+	concurrency := flag.Int("c", 8, "concurrent submitters")
+	seed := flag.Int64("seed", 1, "workload seed")
+	rates := flag.String("rates", "", "open-system mode: Poisson pair-arrival rates/sec to sweep (e.g. \"100,500,2000\")")
+	runFor := flag.Duration("runtime", 2*time.Second, "open-system mode: duration per rate")
+	flag.Parse()
+
+	if *rates != "" {
+		fmt.Printf("%-10s %-10s %-10s %-12s %-12s %-12s\n",
+			"rate/s", "submitted", "answered", "p50-lat", "p99-lat", "max-lat")
+		for _, part := range strings.Split(*rates, ",") {
+			rate, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				log.Fatalf("bad -rates entry %q", part)
+			}
+			sys, err := workload.NewSystem(*seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := workload.RunOpen(sys, workload.Config{Seed: *seed}, rate, *runFor)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-10.0f %-10d %-10d %-12s %-12s %-12s\n",
+				rate, res.Submitted, res.Answered,
+				res.PctLatency(50).Round(1000), res.PctLatency(99).Round(1000),
+				res.MaxLatency().Round(1000))
+		}
+		return
+	}
+
+	var loners []int
+	for _, part := range strings.Split(*lonersCSV, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			log.Fatalf("bad -loners entry %q", part)
+		}
+		loners = append(loners, n)
+	}
+
+	fmt.Printf("%-8s %-10s %-10s %-12s %-12s %-12s\n",
+		"loners", "answered", "thpt/s", "avg-lat", "max-lat", "nodes")
+	for _, l := range loners {
+		sys, err := workload.NewSystem(*seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := workload.Run(sys, workload.Config{
+			Pairs: *pairs, Groups: *groups, GroupSize: *groupSize,
+			Trip: *trip, Loners: l, Concurrency: *concurrency, Seed: *seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8d %-10d %-10.0f %-12s %-12s %-12d\n",
+			l, res.Answered, res.Throughput(),
+			res.AvgLatency().Round(1000), res.MaxLatency().Round(1000),
+			res.Coordinator.NodesExplored)
+	}
+}

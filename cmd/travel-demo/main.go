@@ -1,0 +1,46 @@
+// Command travel-demo serves the demo's first application: the three-tier
+// travel Web site (§2.2). The browser front end and JSON middle-tier API are
+// provided by internal/travel; Youtopia runs in-process underneath.
+//
+// Usage:
+//
+//	travel-demo [-addr :8080] [-flights 8] [-hotels 6]
+//
+// then open http://localhost:8080/ — or script it:
+//
+//	curl -s -X POST localhost:8080/api/book \
+//	  -d '{"user":"Jerry","kind":"flight","friends":["Kramer"],"dest":"Paris"}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/travel"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flights := flag.Int("flights", 8, "flights per destination")
+	hotels := flag.Int("hotels", 6, "hotels per city")
+	seed := flag.Int64("seed", 1, "catalog seed")
+	flag.Parse()
+
+	sys := core.NewSystem(core.Config{})
+	if err := travel.Seed(sys, travel.SeedConfig{
+		FlightsPerDest: *flights, HotelsPerCity: *hotels, Seed: *seed,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	svc := travel.NewService(sys)
+	// A ready-made social circle so the demo works out of the box.
+	for _, pair := range [][2]string{{"Jerry", "Kramer"}, {"Jerry", "Elaine"}, {"Kramer", "Elaine"}, {"Jerry", "George"}} {
+		svc.Befriend(pair[0], pair[1])
+	}
+
+	fmt.Printf("Youtopia travel demo listening on %s (destinations: %v)\n", *addr, travel.Destinations)
+	log.Fatal(http.ListenAndServe(*addr, travel.NewHTTPHandler(svc)))
+}

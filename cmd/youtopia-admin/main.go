@@ -1,0 +1,187 @@
+// Command youtopia-admin is the demo's third application (§2.2, §3.2): "an
+// administrative interface which allows us to show the internal state of the
+// system and to visualize the state created by the matching algorithms."
+//
+// Because the reproduction runs in-process, the admin tool drives the §3.1
+// demonstration scenarios itself and dumps the coordination component's
+// internal state between steps — exactly what the live demo showed its
+// audience: pending-query tables filling up, the entanglement graph gaining
+// edges, and matches collapsing it.
+//
+// Usage:
+//
+//	youtopia-admin                 # run every scenario
+//	youtopia-admin -scenario pair  # pair | trip | group | adhoc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/travel"
+)
+
+func main() {
+	scenario := flag.String("scenario", "all", "pair | trip | group | adhoc | all")
+	flag.Parse()
+
+	run := func(name string, f func(*travel.Service) error) {
+		if *scenario != "all" && *scenario != name {
+			return
+		}
+		fmt.Printf("\n================ scenario: %s ================\n", name)
+		sys := core.NewSystem(core.Config{})
+		if err := travel.SeedFigure1(sys); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		svc := travel.NewService(sys)
+		if err := f(svc); err != nil {
+			fmt.Fprintln(os.Stderr, name, "failed:", err)
+			os.Exit(1)
+		}
+	}
+
+	run("pair", pairScenario)
+	run("trip", tripScenario)
+	run("group", groupScenario)
+	run("adhoc", adhocScenario)
+}
+
+func dump(svc *travel.Service, caption string) {
+	fmt.Printf("\n--- %s ---\n%s", caption, svc.System().Coordinator().DumpState())
+}
+
+func await(b *travel.Booking) error {
+	_, err := b.Await(2 * time.Second)
+	return err
+}
+
+// pairScenario is §3.1 "Book a flight with a friend" seen from the inside.
+func pairScenario(svc *travel.Service) error {
+	svc.Befriend("Jerry", "Kramer")
+	fmt.Printf("Jerry's friends (Figure 3): %v\n", svc.Friends("Jerry"))
+
+	bJ, err := svc.BookFlight("Jerry", []string{"Kramer"}, travel.FlightFilter{Dest: "Paris"})
+	if err != nil {
+		return err
+	}
+	dump(svc, "after Jerry's request: one pending query, no partner yet")
+
+	bK, err := svc.BookFlight("Kramer", []string{"Jerry"}, travel.FlightFilter{Dest: "Paris"})
+	if err != nil {
+		return err
+	}
+	if err := await(bJ); err != nil {
+		return err
+	}
+	if err := await(bK); err != nil {
+		return err
+	}
+	dump(svc, "after Kramer's request: matched, answers installed")
+	fJ, _, _ := bJ.Details()
+	fmt.Printf("\ncoordinated flight: %d\nJerry's inbox: %v\n", fJ, svc.Inbox("Jerry"))
+	return nil
+}
+
+// tripScenario is §3.1 "Book a flight and a hotel with a friend".
+func tripScenario(svc *travel.Service) error {
+	f := travel.FlightFilter{Dest: "Paris"}
+	h := travel.HotelFilter{City: "Paris"}
+	bJ, err := svc.BookTrip("Jerry", []string{"Kramer"}, f, h)
+	if err != nil {
+		return err
+	}
+	dump(svc, "Jerry's two-atom query pending (flight AND hotel)")
+	bK, err := svc.BookTrip("Kramer", []string{"Jerry"}, f, h)
+	if err != nil {
+		return err
+	}
+	if err := await(bJ); err != nil {
+		return err
+	}
+	if err := await(bK); err != nil {
+		return err
+	}
+	fl, ho, _ := bJ.Details()
+	fmt.Printf("\ncoordinated flight %d and hotel %d\n", fl, ho)
+	dump(svc, "after the joint match")
+	return nil
+}
+
+// groupScenario is §3.1 "Group flight booking" with four friends.
+func groupScenario(svc *travel.Service) error {
+	group := []string{"Jerry", "Kramer", "Elaine", "George"}
+	var bookings []*travel.Booking
+	for i, self := range group {
+		var friends []string
+		for j, o := range group {
+			if i != j {
+				friends = append(friends, o)
+			}
+		}
+		b, err := svc.BookFlight(self, friends, travel.FlightFilter{Dest: "Paris"})
+		if err != nil {
+			return err
+		}
+		bookings = append(bookings, b)
+		if i == 2 {
+			dump(svc, "three of four submitted: entanglement graph grows, no match yet")
+		}
+	}
+	for _, b := range bookings {
+		if err := await(b); err != nil {
+			return err
+		}
+	}
+	f, _, _ := bookings[0].Details()
+	fmt.Printf("\nall four on flight %d\n", f)
+	dump(svc, "after the 4-way match")
+	return nil
+}
+
+// adhocScenario is §3.1 "Ad-hoc examples": Jerry–Kramer on flights,
+// Kramer–Elaine on flights and hotels.
+func adhocScenario(svc *travel.Service) error {
+	sys := svc.System()
+	jerry := travel.BuildFlightQuery("Jerry", []string{"Kramer"}, travel.FlightFilter{Dest: "Paris"})
+	kramer := `SELECT ('Kramer', fno) INTO ANSWER Reservation, ('Kramer', hno) INTO ANSWER HotelReservation
+WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris')
+AND hno IN (SELECT hno FROM Hotels WHERE city = 'Paris')
+AND ('Jerry', fno) IN ANSWER Reservation
+AND ('Elaine', hno) IN ANSWER HotelReservation
+CHOOSE 1`
+	elaine := `SELECT 'Elaine', hno INTO ANSWER HotelReservation
+WHERE hno IN (SELECT hno FROM Hotels WHERE city = 'Paris')
+AND ('Kramer', hno) IN ANSWER HotelReservation
+CHOOSE 1`
+
+	hJ, err := sys.Submit(jerry, "jerry")
+	if err != nil {
+		return err
+	}
+	hK, err := sys.Submit(kramer, "kramer")
+	if err != nil {
+		return err
+	}
+	dump(svc, "Jerry and Kramer pending; Kramer needs Elaine too")
+	hE, err := sys.Submit(elaine, "elaine")
+	if err != nil {
+		return err
+	}
+	done := make(chan struct{})
+	timer := time.AfterFunc(2*time.Second, func() { close(done) })
+	defer timer.Stop()
+	outJ, ok := hJ.Wait(done)
+	if !ok {
+		return fmt.Errorf("jerry timed out")
+	}
+	outK, _ := hK.Wait(done)
+	outE, _ := hE.Wait(done)
+	fmt.Printf("\nJerry:  %v\nKramer: %v\nElaine: %v\n", outJ.Answers, outK.Answers, outE.Answers)
+	dump(svc, "after the 3-way ad-hoc match")
+	return nil
+}

@@ -1,0 +1,302 @@
+// Command youtopia-cli is the demo's second application (§2.2): "an SQL
+// command line interface which allows SQL and entangled queries to be input
+// directly to the system by the user."
+//
+// Statements end with ';'. Entangled queries are registered and answered
+// asynchronously; the CLI prints the answer when the coordination component
+// delivers it. Meta commands:
+//
+//	\seed      load the demo travel catalog (Flights/Hotels/SeatPairs)
+//	\fig1      load exactly the Figure 1(a) database
+//	\state     dump the coordination component's internal state
+//	\pending   list pending entangled queries
+//	\why <id>  diagnose why a query is still pending
+//	\dot       entanglement graph in Graphviz DOT
+//	\help      this text
+//	\quit      exit
+//
+// Prefix a statement with EXPLAIN to print an entangled query's compiled
+// form (heads, constraints, generators, safety) without executing it.
+// BEGIN/COMMIT/ROLLBACK open interactive transactions.
+//
+// Usage:
+//
+//	youtopia-cli [-seed] [-owner NAME]
+//	echo "SELECT ...;" | youtopia-cli -seed
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/coord"
+	"repro/internal/core"
+	"repro/internal/eq"
+	"repro/internal/sql"
+	"repro/internal/travel"
+)
+
+func main() {
+	seed := flag.Bool("seed", false, "preload the demo travel catalog")
+	owner := flag.String("owner", "cli", "owner label for entangled queries")
+	flag.Parse()
+
+	sys := core.NewSystem(core.Config{})
+	cli := &session{sess: core.NewSession(sys), owner: *owner}
+	defer cli.sess.Close()
+	if *seed {
+		if err := travel.Seed(sys, travel.SeedConfig{Seed: 1}); err != nil {
+			fmt.Fprintln(os.Stderr, "seed:", err)
+			os.Exit(1)
+		}
+		fmt.Println("-- demo travel catalog loaded")
+	}
+
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var buf strings.Builder
+	interactive := isTerminalLike()
+	if interactive {
+		fmt.Println("Youtopia SQL interface. Statements end with ';'.  \\help for help.")
+		fmt.Print("youtopia> ")
+	}
+	for in.Scan() {
+		line := in.Text()
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, `\`) {
+			if !meta(sys, trimmed) {
+				cli.drain()
+				return
+			}
+			cli.poll()
+			if interactive {
+				fmt.Print("youtopia> ")
+			}
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.Contains(line, ";") {
+			cli.run(buf.String())
+			buf.Reset()
+		}
+		cli.poll()
+		if interactive {
+			fmt.Print("youtopia> ")
+		}
+	}
+	if strings.TrimSpace(buf.String()) != "" {
+		cli.run(buf.String())
+	}
+	cli.drain()
+}
+
+// session tracks entangled queries awaiting answers so their outcomes print
+// deterministically (no goroutine races with process exit).
+type session struct {
+	sess        *core.Session
+	owner       string
+	outstanding []*coord.Handle
+}
+
+// poll prints outcomes that have arrived since the last statement.
+func (c *session) poll() {
+	kept := c.outstanding[:0]
+	for _, h := range c.outstanding {
+		if out, ok := h.TryOutcome(); ok {
+			printOutcome(out)
+		} else {
+			kept = append(kept, h)
+		}
+	}
+	c.outstanding = kept
+}
+
+// drain waits briefly at exit for any still-outstanding answers.
+func (c *session) drain() {
+	done := make(chan struct{})
+	timer := time.AfterFunc(200*time.Millisecond, func() { close(done) })
+	defer timer.Stop()
+	for _, h := range c.outstanding {
+		if out, ok := h.Wait(done); ok {
+			printOutcome(out)
+		} else {
+			fmt.Printf("-- q%d still pending at exit\n", h.ID)
+		}
+	}
+	c.outstanding = nil
+}
+
+func isTerminalLike() bool {
+	fi, err := os.Stdin.Stat()
+	return err == nil && (fi.Mode()&os.ModeCharDevice) != 0
+}
+
+func meta(sys *core.System, cmd string) bool {
+	switch strings.Fields(cmd)[0] {
+	case `\quit`, `\q`:
+		return false
+	case `\seed`:
+		if err := travel.Seed(sys, travel.SeedConfig{Seed: 1}); err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Println("-- demo travel catalog loaded")
+		}
+	case `\fig1`:
+		if err := travel.SeedFigure1(sys); err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Println("-- Figure 1(a) database loaded")
+		}
+	case `\state`:
+		fmt.Print(sys.Coordinator().DumpState())
+	case `\dot`:
+		fmt.Print(sys.Coordinator().DOT())
+	case `\why`:
+		fields := strings.Fields(cmd)
+		if len(fields) != 2 {
+			fmt.Println("usage: \\why <query-id>")
+			break
+		}
+		id, err := strconv.ParseUint(strings.TrimPrefix(fields[1], "q"), 10, 64)
+		if err != nil {
+			fmt.Println("bad query id:", fields[1])
+			break
+		}
+		d, ok := sys.Coordinator().Diagnose(id)
+		if !ok {
+			fmt.Printf("q%d is not pending\n", id)
+			break
+		}
+		fmt.Printf("q%d: %s\n  %s\n", d.ID, d.Summary, d.Logic)
+		for _, cd := range d.PerConstraint {
+			fmt.Printf("  %s — %d pending head(s), %d installed answer(s)\n",
+				cd.Constraint, cd.PendingHeads, cd.InstalledHits)
+		}
+	case `\pending`:
+		for _, p := range sys.Coordinator().Pending() {
+			fmt.Printf("q%d [%s] waiting %s: %s\n", p.ID, p.Owner, p.Waiting.Round(1e6), p.Logic)
+		}
+	case `\help`:
+		fmt.Println(`\seed \fig1 \state \pending \why <id> \dot \quit — SQL statements end with ';'. Prefix EXPLAIN to see an entangled query's compiled form.`)
+	default:
+		fmt.Println("unknown meta command; \\help for help")
+	}
+	return true
+}
+
+func (c *session) run(script string) {
+	for _, stmt := range splitStatements(script) {
+		if rest, ok := stripExplain(stmt); ok {
+			c.explain(rest)
+			continue
+		}
+		resp, err := c.sess.Execute(stmt, c.owner)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		if resp.Entangled {
+			h := resp.Handle
+			if out, ok := h.TryOutcome(); ok {
+				printOutcome(out)
+				continue
+			}
+			fmt.Printf("-- entangled query registered as q%d; waiting for coordination\n", h.ID)
+			c.outstanding = append(c.outstanding, h)
+			continue
+		}
+		res := resp.Result
+		if res == nil { // transaction control (BEGIN/COMMIT/ROLLBACK)
+			fmt.Println("OK")
+			continue
+		}
+		if len(res.Cols) > 0 {
+			fmt.Println(strings.Join(res.Cols, " | "))
+			for _, row := range res.Rows {
+				cells := make([]string, len(row))
+				for i, v := range row {
+					cells[i] = v.String()
+				}
+				fmt.Println(strings.Join(cells, " | "))
+			}
+			fmt.Printf("(%d rows)\n", len(res.Rows))
+		} else {
+			fmt.Printf("OK (%d affected)\n", res.Affected)
+		}
+	}
+}
+
+// stripExplain detects a leading EXPLAIN keyword (CLI extension).
+func stripExplain(stmt string) (string, bool) {
+	trimmed := strings.TrimSpace(stmt)
+	if len(trimmed) >= 8 && strings.EqualFold(trimmed[:7], "EXPLAIN") &&
+		(trimmed[7] == ' ' || trimmed[7] == '\t' || trimmed[7] == '\n') {
+		return trimmed[8:], true
+	}
+	return "", false
+}
+
+// explain prints the compiler's analysis without executing.
+func (c *session) explain(src string) {
+	stmt, err := sql.Parse(src)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	es, ok := stmt.(*sql.EntangledSelect)
+	if !ok {
+		fmt.Printf("plain statement; would execute directly:\n  %s\n", stmt)
+		return
+	}
+	q, err := eq.Compile(es)
+	if err != nil {
+		fmt.Println("compile error:", err)
+		return
+	}
+	fmt.Print(eq.Explain(q))
+}
+
+func printOutcome(out coord.Outcome) {
+	if out.Canceled {
+		fmt.Printf("-- q%d canceled\n", out.QueryID)
+		return
+	}
+	fmt.Printf("-- q%d answered (match of %d):\n", out.QueryID, out.MatchSize)
+	for _, a := range out.Answers {
+		for _, tup := range a.Tuples {
+			fmt.Printf("--   %s%s\n", a.Relation, tup)
+		}
+	}
+}
+
+// splitStatements splits a script on top-level semicolons (string literals
+// respected).
+func splitStatements(script string) []string {
+	var out []string
+	var b strings.Builder
+	inStr := false
+	for i := 0; i < len(script); i++ {
+		ch := script[i]
+		if ch == '\'' {
+			inStr = !inStr
+		}
+		if ch == ';' && !inStr {
+			if s := strings.TrimSpace(b.String()); s != "" {
+				out = append(out, s)
+			}
+			b.Reset()
+			continue
+		}
+		b.WriteByte(ch)
+	}
+	if s := strings.TrimSpace(b.String()); s != "" {
+		out = append(out, s)
+	}
+	return out
+}

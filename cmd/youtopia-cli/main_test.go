@@ -1,0 +1,31 @@
+package main
+
+import "testing"
+
+func TestSplitStatements(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"SELECT 1; SELECT 2;", []string{"SELECT 1", "SELECT 2"}},
+		{"SELECT 1", []string{"SELECT 1"}},
+		{"", nil},
+		{";;;", nil},
+		// Semicolons inside string literals must not split.
+		{"INSERT INTO T VALUES ('a;b'); SELECT 1", []string{"INSERT INTO T VALUES ('a;b')", "SELECT 1"}},
+		{"SELECT 'x;y;z'", []string{"SELECT 'x;y;z'"}},
+		{"SELECT 1;\nSELECT 2", []string{"SELECT 1", "SELECT 2"}},
+	}
+	for _, c := range cases {
+		got := splitStatements(c.in)
+		if len(got) != len(c.want) {
+			t.Errorf("split(%q) = %q, want %q", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("split(%q)[%d] = %q, want %q", c.in, i, got[i], c.want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,54 @@
+// Command youtopia-server runs Youtopia as a standalone database process the
+// middle tier connects to over TCP — the deployment shape of the paper's
+// three-tier demo architecture (Figure 2). The wire protocol is
+// line-delimited JSON; see internal/server.
+//
+// Usage:
+//
+//	youtopia-server [-addr 127.0.0.1:7717] [-seed] [-wal path]
+//
+// With -wal the database is durably logged and recovered on restart.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/travel"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7717", "listen address")
+	seed := flag.Bool("seed", false, "preload the demo travel catalog")
+	walPath := flag.String("wal", "", "write-ahead log path (enables durability)")
+	flag.Parse()
+
+	cfg := core.Config{WALPath: *walPath}
+	sys := core.NewSystem(cfg)
+	if err := sys.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if *seed && !sys.Catalog().Has("Flights") {
+		if err := travel.Seed(sys, travel.SeedConfig{Seed: 1}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	srv, err := server.Listen(sys, *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("youtopia-server listening on %s (wal=%q)\n", srv.Addr(), *walPath)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("shutting down")
+	srv.Close()
+	sys.Close()
+}

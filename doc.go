@@ -1,0 +1,10 @@
+// Package repro is a from-scratch Go reproduction of the Youtopia system
+// from "Coordination through Querying in the Youtopia System" (SIGMOD 2011):
+// a database system in which users coordinate actions by submitting
+// entangled queries — SELECT statements with answer constraints that can
+// only be satisfied jointly with other users' queries.
+//
+// The public entry point is internal/core.System; see README.md for the
+// architecture and EXPERIMENTS.md for the reproduced demonstration
+// scenarios. The benchmarks in bench_test.go regenerate every experiment.
+package repro

@@ -1,0 +1,119 @@
+// Ad-hoc coordination: §3.1 "Ad-hoc examples" — "a group of three friends,
+// Jerry, Kramer and Elaine, where Jerry and Kramer coordinate on flight
+// reservations only, whereas Kramer and Elaine coordinate on both flight and
+// hotel reservations."
+//
+// The example also shows the adjacent-seat variant and the Figure 4 path
+// (browse friends' bookings, then book directly).
+//
+// Run: go run ./examples/adhoc
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/travel"
+)
+
+func main() {
+	sys := core.NewSystem(core.Config{})
+	if err := travel.SeedFigure1(sys); err != nil {
+		log.Fatal(err)
+	}
+	svc := travel.NewService(sys)
+	svc.Befriend("Jerry", "Kramer")
+	svc.Befriend("Kramer", "Elaine")
+
+	fmt.Println("== Ad-hoc graph: Jerry↔Kramer flights; Kramer↔Elaine flights+hotels ==")
+	// Jerry: flight only, with Kramer.
+	jerry, err := sys.Submit(travel.BuildFlightQuery("Jerry", []string{"Kramer"},
+		travel.FlightFilter{Dest: "Paris"}), "jerry")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Kramer: flight with Jerry AND hotel with Elaine — one entangled query,
+	// two answer atoms, constraints on two different partners.
+	kramer, err := sys.Submit(`
+		SELECT ('Kramer', fno) INTO ANSWER Reservation, ('Kramer', hno) INTO ANSWER HotelReservation
+		WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris')
+		AND hno IN (SELECT hno FROM Hotels WHERE city = 'Paris')
+		AND ('Jerry', fno) IN ANSWER Reservation
+		AND ('Elaine', hno) IN ANSWER HotelReservation
+		CHOOSE 1`, "kramer")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after Jerry + Kramer: %d pending (Kramer also needs Elaine)\n",
+		sys.Coordinator().PendingCount())
+	fmt.Print(sys.Coordinator().DumpState())
+
+	// Elaine: hotel only, with Kramer.
+	elaine, err := sys.Submit(`
+		SELECT 'Elaine', hno INTO ANSWER HotelReservation
+		WHERE hno IN (SELECT hno FROM Hotels WHERE city = 'Paris')
+		AND ('Kramer', hno) IN ANSWER HotelReservation
+		CHOOSE 1`, "elaine")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	timer := time.AfterFunc(2*time.Second, func() { close(done) })
+	defer timer.Stop()
+	outJ, ok := jerry.Wait(done)
+	if !ok {
+		log.Fatal("timed out")
+	}
+	outK, _ := kramer.Wait(done)
+	outE, _ := elaine.Wait(done)
+	fmt.Printf("\n3-way match: Jerry %v | Kramer %v | Elaine %v\n",
+		outJ.Answers, outK.Answers, outE.Answers)
+
+	fmt.Println("\n== Adjacent seats: Jerry and Kramer again, stronger constraint ==")
+	bJ, err := svc.BookAdjacentSeat("Jerry", "Kramer", travel.FlightFilter{Dest: "Paris"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bK, err := svc.BookAdjacentSeat("Kramer", "Jerry", travel.FlightFilter{Dest: "Paris"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := bJ.Await(2 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := bK.Await(2 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+	fJ, _, sJ := bJ.Details()
+	fK, _, sK := bK.Details()
+	fmt.Printf("Jerry: flight %d seat %d | Kramer: flight %d seat %d (adjacent)\n", fJ, sJ, fK, sK)
+
+	fmt.Println("\n== Figure 4: browse friends' bookings, then book directly ==")
+	flights, err := svc.SearchFlightsWithFriends("Elaine", travel.FlightFilter{Dest: "Paris"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, f := range flights {
+		fmt.Printf("  flight %d ($%.0f) friends aboard: %v\n", f.Fno, f.Price, f.FriendsBooked)
+	}
+	var target int64
+	for _, f := range flights {
+		if len(f.FriendsBooked) > 0 {
+			target = f.Fno
+			break
+		}
+	}
+	if target != 0 {
+		b, err := svc.BookDirect("Elaine", target)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := b.Await(2 * time.Second); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Elaine booked flight %d directly to join her friends.\n", target)
+	}
+}

@@ -1,0 +1,97 @@
+// Group booking: §3.1 "Group flight booking" and "Group flight and hotel
+// booking" through the travel middle tier.
+//
+// Four friends each submit a coordination request naming the other three;
+// the match answers all four at once with a single flight. The second act
+// repeats the trip (flight + hotel) variant.
+//
+// Run: go run ./examples/groupbooking
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/travel"
+)
+
+var group = []string{"Jerry", "Kramer", "Elaine", "George"}
+
+func friendsOf(i int) []string {
+	var out []string
+	for j, f := range group {
+		if j != i {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func main() {
+	sys := core.NewSystem(core.Config{})
+	if err := travel.Seed(sys, travel.SeedConfig{Seed: 7}); err != nil {
+		log.Fatal(err)
+	}
+	svc := travel.NewService(sys)
+	for i, a := range group {
+		for _, b := range group[i+1:] {
+			svc.Befriend(a, b)
+		}
+	}
+
+	fmt.Println("== Act 1: group flight booking (4 friends, one flight) ==")
+	var bookings []*travel.Booking
+	for i, self := range group {
+		b, err := svc.BookFlight(self, friendsOf(i), travel.FlightFilter{Dest: "Paris", MaxPrice: 500})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-7s submitted (status %s, pending queries: %d)\n",
+			self, b.Status(), sys.Coordinator().PendingCount())
+		bookings = append(bookings, b)
+	}
+	for _, b := range bookings {
+		if _, err := b.Await(2 * time.Second); err != nil {
+			log.Fatal(err)
+		}
+	}
+	f0, _, _ := bookings[0].Details()
+	fmt.Printf("  all four confirmed on flight %d\n", f0)
+	for _, self := range group {
+		for _, m := range svc.Inbox(self) {
+			fmt.Printf("  [msg→%s] %s\n", self, m.Text)
+		}
+	}
+
+	fmt.Println("\n== Act 2: group flight AND hotel booking ==")
+	group2 := []string{"Newman", "Frank", "Estelle"}
+	var trips []*travel.Booking
+	for i, self := range group2 {
+		var friends []string
+		for j, f := range group2 {
+			if j != i {
+				friends = append(friends, f)
+			}
+		}
+		b, err := svc.BookTrip(self, friends,
+			travel.FlightFilter{Dest: "Rome"}, travel.HotelFilter{City: "Rome"})
+		if err != nil {
+			log.Fatal(err)
+		}
+		trips = append(trips, b)
+	}
+	for _, b := range trips {
+		if _, err := b.Await(2 * time.Second); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fl, ho, _ := trips[0].Details()
+	fmt.Printf("  all three confirmed: flight %d, hotel %d\n", fl, ho)
+
+	fmt.Println("\nCoordinator stats:")
+	s := sys.Coordinator().Stats()
+	fmt.Printf("  submitted=%d answered=%d matches=%d nodes=%d\n",
+		s.Submitted, s.Answered, s.Matches, s.NodesExplored)
+}

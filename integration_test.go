@@ -1,0 +1,431 @@
+// Integration tests spanning the whole stack: SQL text in → coordinated
+// answers out, across the facade, the travel middle tier, the wire server
+// and the write-ahead log — plus system-level property tests on the
+// coordination invariants.
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/coord"
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/travel"
+	"repro/internal/value"
+	"repro/internal/workload"
+)
+
+func waitOut(t *testing.T, h *coord.Handle) coord.Outcome {
+	t.Helper()
+	done := make(chan struct{})
+	timer := time.AfterFunc(5*time.Second, func() { close(done) })
+	defer timer.Stop()
+	out, ok := h.Wait(done)
+	if !ok {
+		t.Fatalf("q%d timed out", h.ID)
+	}
+	return out
+}
+
+// TestArchitecturePipeline (F2): a statement flows compiler → coordination →
+// execution and every stage's state is observable through the admin surface.
+func TestArchitecturePipeline(t *testing.T) {
+	sys := core.NewSystem(core.Config{})
+	if err := travel.SeedFigure1(sys); err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.Submit(travel.BuildFlightQuery("Kramer", []string{"Jerry"},
+		travel.FlightFilter{Dest: "Paris"}), "kramer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compiler output visible in pending info.
+	pend := sys.Coordinator().Pending()
+	if len(pend) != 1 || pend[0].ID != h.ID {
+		t.Fatalf("pending = %+v", pend)
+	}
+	if pend[0].Logic == "" || pend[0].Source == "" {
+		t.Error("compiler stage not observable")
+	}
+	// Coordination state visible in the dump; execution engine answers SQL.
+	if sys.Coordinator().DumpState() == "" {
+		t.Error("empty state dump")
+	}
+	res, err := sys.Query("SELECT COUNT(*) FROM Flights")
+	if err != nil || res.Rows[0][0].Int() != 4 {
+		t.Fatalf("engine: %v %v", res, err)
+	}
+	sys.Cancel(h.ID)
+}
+
+// TestFullDemoOutline runs every §3.1 scenario in sequence on ONE system —
+// the complete demonstration script.
+func TestFullDemoOutline(t *testing.T) {
+	sys := core.NewSystem(core.Config{})
+	if err := travel.Seed(sys, travel.SeedConfig{Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	svc := travel.NewService(sys)
+	awaitB := func(b *travel.Booking) {
+		t.Helper()
+		if st, err := b.Await(5 * time.Second); err != nil || st != travel.StatusConfirmed {
+			t.Fatalf("booking %d: %s, %v", b.ID, st, err)
+		}
+	}
+
+	// 1. Book a flight with a friend.
+	svc.Befriend("Jerry", "Kramer")
+	b1, _ := svc.BookFlight("Jerry", []string{"Kramer"}, travel.FlightFilter{Dest: "Paris"})
+	b2, _ := svc.BookFlight("Kramer", []string{"Jerry"}, travel.FlightFilter{Dest: "Paris"})
+	awaitB(b1)
+	awaitB(b2)
+
+	// 2. Book a flight and a hotel with a friend.
+	b3, _ := svc.BookTrip("Jerry2", []string{"Kramer2"}, travel.FlightFilter{Dest: "Rome"}, travel.HotelFilter{City: "Rome"})
+	b4, _ := svc.BookTrip("Kramer2", []string{"Jerry2"}, travel.FlightFilter{Dest: "Rome"}, travel.HotelFilter{City: "Rome"})
+	awaitB(b3)
+	awaitB(b4)
+
+	// 3. Multiple simultaneous bookings.
+	var wg sync.WaitGroup
+	for p := 0; p < 6; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			a := fmt.Sprintf("m%d_a", p)
+			bName := fmt.Sprintf("m%d_b", p)
+			x, err := svc.BookFlight(a, []string{bName}, travel.FlightFilter{Dest: "London"})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			y, err := svc.BookFlight(bName, []string{a}, travel.FlightFilter{Dest: "London"})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := x.Await(5 * time.Second); err != nil {
+				t.Error(err)
+			}
+			if _, err := y.Await(5 * time.Second); err != nil {
+				t.Error(err)
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	// 4+5. Group flight, then group flight+hotel.
+	group := []string{"g1", "g2", "g3", "g4"}
+	var gb []*travel.Booking
+	for i, self := range group {
+		var friends []string
+		for j, o := range group {
+			if j != i {
+				friends = append(friends, o)
+			}
+		}
+		b, err := svc.BookTrip(self, friends, travel.FlightFilter{Dest: "Berlin"}, travel.HotelFilter{City: "Berlin"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gb = append(gb, b)
+	}
+	flights := map[int64]bool{}
+	hotels := map[int64]bool{}
+	for _, b := range gb {
+		awaitB(b)
+		f, h, _ := b.Details()
+		flights[f] = true
+		hotels[h] = true
+	}
+	if len(flights) != 1 || len(hotels) != 1 {
+		t.Errorf("group split: flights %v hotels %v", flights, hotels)
+	}
+
+	// 6. Ad-hoc: a1↔a2 flights; a2↔a3 flights+hotels.
+	h1, _ := sys.Submit(travel.BuildFlightQuery("a1", []string{"a2"}, travel.FlightFilter{Dest: "Oslo"}), "a1")
+	kramer := `SELECT ('a2', fno) INTO ANSWER Reservation, ('a2', hno) INTO ANSWER HotelReservation
+		WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Oslo')
+		AND hno IN (SELECT hno FROM Hotels WHERE city = 'Oslo')
+		AND ('a1', fno) IN ANSWER Reservation
+		AND ('a3', hno) IN ANSWER HotelReservation CHOOSE 1`
+	h2, err := sys.Submit(kramer, "a2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h3, _ := sys.Submit(`SELECT 'a3', hno INTO ANSWER HotelReservation
+		WHERE hno IN (SELECT hno FROM Hotels WHERE city = 'Oslo')
+		AND ('a2', hno) IN ANSWER HotelReservation CHOOSE 1`, "a3")
+	out2 := waitOut(t, h2)
+	waitOut(t, h1)
+	waitOut(t, h3)
+	if out2.MatchSize != 3 {
+		t.Errorf("ad-hoc match size = %d", out2.MatchSize)
+	}
+
+	// Final bookkeeping: everything answered, nothing pending.
+	if n := sys.Coordinator().PendingCount(); n != 0 {
+		t.Errorf("pending at end of demo = %d", n)
+	}
+	st := sys.Coordinator().Stats()
+	if st.Answered != st.Submitted {
+		t.Errorf("answered %d of %d", st.Answered, st.Submitted)
+	}
+}
+
+// TestServerWALTravelStack: the full production stack — wire server over a
+// WAL-backed system — coordinates a pair, then recovers after restart.
+func TestServerWALTravelStack(t *testing.T) {
+	walPath := filepath.Join(t.TempDir(), "stack.wal")
+
+	sys := core.NewSystem(core.Config{WALPath: walPath})
+	if err := sys.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := travel.SeedFigure1(sys); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.Listen(sys, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr().String()
+
+	c1, err := server.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := server.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ev1, err := c1.Submit(travel.BuildFlightQuery("K", []string{"J"}, travel.FlightFilter{Dest: "Paris"}), "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ev2, err := c2.Submit(travel.BuildFlightQuery("J", []string{"K"}, travel.FlightFilter{Dest: "Paris"}), "j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flight int64
+	select {
+	case ev := <-ev1:
+		flight = ev.Answers[0].Tuples[0][1].Int()
+	case <-time.After(5 * time.Second):
+		t.Fatal("timeout")
+	}
+	<-ev2
+	c1.Close()
+	c2.Close()
+	srv.Close()
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart from the WAL; the reservation must be there.
+	sys2 := core.NewSystem(core.Config{WALPath: walPath})
+	if err := sys2.Err(); err != nil {
+		t.Fatal(err)
+	}
+	defer sys2.Close()
+	res, err := sys2.Query(fmt.Sprintf("SELECT a1 FROM Reservation WHERE a2 = %d ORDER BY a1", flight))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][0].Str() != "J" || res.Rows[1][0].Str() != "K" {
+		t.Errorf("recovered reservation = %v", res.Rows)
+	}
+}
+
+// TestCompactPreservesLiveSystem: compaction mid-life keeps the database
+// usable and the WAL smaller.
+func TestCompactPreservesLiveSystem(t *testing.T) {
+	walPath := filepath.Join(t.TempDir(), "compact.wal")
+	sys := core.NewSystem(core.Config{WALPath: walPath})
+	if err := travel.SeedFigure1(sys); err != nil {
+		t.Fatal(err)
+	}
+	// Churn to bloat the log.
+	for i := 0; i < 50; i++ {
+		if err := sys.Exec(fmt.Sprintf("INSERT INTO Flights VALUES (%d, 'X', 'Nowhere', 1, 1.0, 'Z')", 1000+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.Exec("DELETE FROM Flights WHERE dest = 'Nowhere'"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	// Still fully functional post-compaction (logging reattached).
+	h1, _ := sys.Submit(travel.BuildFlightQuery("K", []string{"J"}, travel.FlightFilter{Dest: "Paris"}), "")
+	sys.Submit(travel.BuildFlightQuery("J", []string{"K"}, travel.FlightFilter{Dest: "Paris"}), "") //nolint:errcheck
+	waitOut(t, h1)
+	sys.Close()
+
+	sys2 := core.NewSystem(core.Config{WALPath: walPath})
+	if err := sys2.Err(); err != nil {
+		t.Fatal(err)
+	}
+	defer sys2.Close()
+	res, err := sys2.Query("SELECT COUNT(*) FROM Reservation")
+	if err != nil || res.Rows[0][0].Int() != 2 {
+		t.Fatalf("post-compact recovery: %v %v", res, err)
+	}
+}
+
+// TestPropertyCoordinationInvariants: random pair/group workloads always end
+// with (a) every constraint of every answered query satisfied by the answer
+// relation contents, and (b) equal per-relation contribution counts.
+func TestPropertyCoordinationInvariants(t *testing.T) {
+	f := func(seed int64, pairsRaw, groupsRaw uint8) bool {
+		pairs := int(pairsRaw%5) + 1
+		groups := int(groupsRaw % 3)
+		sys, err := workload.NewSystem(seed)
+		if err != nil {
+			return false
+		}
+		res, err := workload.Run(sys, workload.Config{
+			Pairs: pairs, Groups: groups, GroupSize: 3, Seed: seed, Concurrency: 4,
+		})
+		if err != nil {
+			return false
+		}
+		want := pairs*2 + groups*3
+		if res.Answered != want {
+			t.Logf("answered %d, want %d", res.Answered, want)
+			return false
+		}
+		// Invariant: every participant appears exactly once in Reservation,
+		// and every pair/group shares one flight.
+		byTraveler := map[string]int64{}
+		for _, tup := range sys.Answers().Tuples(travel.RelFlight) {
+			name := tup[0].Str()
+			if _, dup := byTraveler[name]; dup {
+				t.Logf("traveler %s answered twice", name)
+				return false
+			}
+			byTraveler[name] = tup[1].Int()
+		}
+		for i := 0; i < pairs; i++ {
+			a := byTraveler[fmt.Sprintf("p%d_a", i)]
+			b := byTraveler[fmt.Sprintf("p%d_b", i)]
+			if a == 0 || a != b {
+				t.Logf("pair %d mismatched: %d vs %d", i, a, b)
+				return false
+			}
+		}
+		for g := 0; g < groups; g++ {
+			first := byTraveler[fmt.Sprintf("g%d_m0", g)]
+			for m := 1; m < 3; m++ {
+				if byTraveler[fmt.Sprintf("g%d_m%d", g, m)] != first {
+					t.Logf("group %d split", g)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyChooseWithinCandidates: whatever the seed, the coordinated
+// flight is always drawn from the legal candidate set.
+func TestPropertyChooseWithinCandidates(t *testing.T) {
+	legal := map[int64]bool{122: true, 123: true, 134: true}
+	f := func(seed int64) bool {
+		sys := core.NewSystem(core.Config{Coord: coord.Options{
+			UseIndex: true, GroundSmallestFirst: true, Seed: seed,
+		}})
+		if err := travel.SeedFigure1(sys); err != nil {
+			return false
+		}
+		h, err := sys.Submit(travel.BuildFlightQuery("K", []string{"J"}, travel.FlightFilter{Dest: "Paris"}), "")
+		if err != nil {
+			return false
+		}
+		if _, err := sys.Submit(travel.BuildFlightQuery("J", []string{"K"}, travel.FlightFilter{Dest: "Paris"}), ""); err != nil {
+			return false
+		}
+		out, ok := h.TryOutcome()
+		if !ok {
+			return false
+		}
+		return legal[out.Answers[0].Tuples[0][1].Int()]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRandomInterleavingsAlwaysMatch: submit a batch of pair queries in a
+// random global order (partners far apart); everyone still gets answered.
+func TestRandomInterleavingsAlwaysMatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for round := 0; round < 5; round++ {
+		sys, err := workload.NewSystem(int64(round))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen := workload.NewGenerator(workload.Config{Seed: int64(round)})
+		var queries []string
+		const pairs = 10
+		for i := 0; i < pairs; i++ {
+			a, b := gen.PairQueries(i)
+			queries = append(queries, a, b)
+		}
+		rng.Shuffle(len(queries), func(i, j int) { queries[i], queries[j] = queries[j], queries[i] })
+		var handles []*coord.Handle
+		for _, q := range queries {
+			h, err := sys.Submit(q, "shuffle")
+			if err != nil {
+				t.Fatal(err)
+			}
+			handles = append(handles, h)
+		}
+		for _, h := range handles {
+			waitOut(t, h)
+		}
+		if sys.Coordinator().PendingCount() != 0 {
+			t.Fatalf("round %d: %d still pending", round, sys.Coordinator().PendingCount())
+		}
+	}
+}
+
+// TestAnswersAreImmutableHistory: coordinated answers accumulate; matching
+// never deletes or rewrites previously installed tuples.
+func TestAnswersAreImmutableHistory(t *testing.T) {
+	sys, err := workload.NewSystem(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snapshots [][]value.Tuple
+	gen := workload.NewGenerator(workload.Config{Seed: 5})
+	for i := 0; i < 5; i++ {
+		a, b := gen.PairQueries(i)
+		h1, _ := sys.Submit(a, "")
+		h2, _ := sys.Submit(b, "")
+		waitOut(t, h1)
+		waitOut(t, h2)
+		snapshots = append(snapshots, sys.Answers().Tuples(travel.RelFlight))
+	}
+	for i := 1; i < len(snapshots); i++ {
+		prev, cur := snapshots[i-1], snapshots[i]
+		if len(cur) != len(prev)+2 {
+			t.Fatalf("snapshot %d: %d tuples, want %d", i, len(cur), len(prev)+2)
+		}
+		for j, tup := range prev {
+			if !cur[j].Equal(tup) {
+				t.Errorf("answer history rewritten at %d: %v → %v", j, tup, cur[j])
+			}
+		}
+	}
+}

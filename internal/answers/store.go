@@ -1,0 +1,231 @@
+// Package answers manages the system-wide shared answer relations of the
+// paper's §2.1: "the answer to the query is returned through an answer
+// relation that is shared among multiple queries in the system".
+//
+// Answer relations live in the ordinary catalog as real tables, so the SQL
+// command-line interface and the administrative interface can inspect them
+// with plain SELECTs — matching the demo, where confirmed reservations are
+// visible system state. Their schemas are fixed by the first tuple installed.
+package answers
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/eq"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/value"
+)
+
+// ErrArityMismatch is returned when a tuple's arity disagrees with the answer
+// relation's established schema.
+var ErrArityMismatch = errors.New("answers: arity mismatch")
+
+// ErrNameTaken is returned when an answer relation's name collides with a
+// pre-existing base table.
+var ErrNameTaken = errors.New("answers: name collides with an existing base table")
+
+// Store tracks which catalog tables are answer relations and mediates all
+// writes to them.
+type Store struct {
+	cat *storage.Catalog
+
+	mu   sync.RWMutex
+	rels map[string]*relInfo // canonical name → info
+}
+
+type relInfo struct {
+	display string
+	arity   int
+}
+
+// NewStore returns a Store over the catalog.
+func NewStore(cat *storage.Catalog) *Store {
+	return &Store{cat: cat, rels: make(map[string]*relInfo)}
+}
+
+// Ensure creates (or validates) the answer relation for a tuple shaped like
+// proto, returning its backing table. Column types come from the first
+// installed tuple; NULLs default to STRING columns.
+func (s *Store) Ensure(name string, proto value.Tuple) (*storage.Table, error) {
+	key := strings.ToLower(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if info, ok := s.rels[key]; ok {
+		if info.arity != len(proto) {
+			return nil, fmt.Errorf("%w: relation %s has arity %d, tuple %s has %d",
+				ErrArityMismatch, info.display, info.arity, proto, len(proto))
+		}
+		return s.cat.Get(key)
+	}
+	if s.cat.Has(key) {
+		return nil, fmt.Errorf("%w: %q", ErrNameTaken, name)
+	}
+	schema := value.NewSchema()
+	for i, v := range proto {
+		t := v.Type()
+		if t == value.TypeNull {
+			t = value.TypeString
+		}
+		schema.Columns = append(schema.Columns, value.Col(fmt.Sprintf("a%d", i+1), t))
+	}
+	tbl, err := s.cat.Create(name, schema)
+	if err != nil {
+		return nil, err
+	}
+	// Index the first column: answer constraints almost always pin it to a
+	// constant (the traveler name in every travel-app atom), so Matching can
+	// probe instead of scanning the whole relation.
+	if err := tbl.CreateIndex(schema.Columns[0].Name); err != nil {
+		return nil, err
+	}
+	s.rels[key] = &relInfo{display: name, arity: len(proto)}
+	return tbl, nil
+}
+
+// Install appends one answer tuple inside the given transaction, creating the
+// relation if needed.
+func (s *Store) Install(tx *txn.Txn, name string, tup value.Tuple) error {
+	if _, err := s.Ensure(name, tup); err != nil {
+		return err
+	}
+	_, err := tx.Insert(name, tup)
+	return err
+}
+
+// Is reports whether name refers to an answer relation.
+func (s *Store) Is(name string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.rels[strings.ToLower(name)]
+	return ok
+}
+
+// Arity returns the relation's arity, or -1 if the relation does not exist
+// yet (in which case any arity is acceptable).
+func (s *Store) Arity(name string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if info, ok := s.rels[strings.ToLower(name)]; ok {
+		return info.arity
+	}
+	return -1
+}
+
+// Tuples returns a snapshot of the relation's contents ([] if absent).
+func (s *Store) Tuples(name string) []value.Tuple {
+	if !s.Is(name) {
+		return nil
+	}
+	tbl, err := s.cat.Get(name)
+	if err != nil {
+		return nil
+	}
+	return tbl.All()
+}
+
+// Matching returns the tuples of the relation consistent with the pattern
+// atom: constants must match positionally; variables match anything. Repeated
+// variables in the pattern must match identical values. When the pattern's
+// first position is a constant the first-column index is probed instead of
+// scanning the relation.
+func (s *Store) Matching(pattern eq.Atom) []value.Tuple {
+	if s.Arity(pattern.Relation) != pattern.Arity() {
+		return nil
+	}
+	tbl, err := s.cat.Get(pattern.Relation)
+	if err != nil {
+		return nil
+	}
+	var out []value.Tuple
+	if len(pattern.Terms) > 0 && !pattern.Terms[0].IsVar {
+		for _, id := range tbl.LookupEq([]int{0}, value.Tuple{pattern.Terms[0].Const}) {
+			tup, err := tbl.Get(id)
+			if err != nil {
+				continue
+			}
+			if matches(pattern, tup) {
+				out = append(out, tup)
+			}
+		}
+		return out
+	}
+	for _, tup := range tbl.All() {
+		if matches(pattern, tup) {
+			out = append(out, tup)
+		}
+	}
+	return out
+}
+
+func matches(pattern eq.Atom, tup value.Tuple) bool {
+	bound := make(map[string]value.Value)
+	for i, t := range pattern.Terms {
+		if t.IsVar {
+			if prev, ok := bound[t.Var]; ok {
+				if !prev.Identical(tup[i]) {
+					return false
+				}
+			} else {
+				bound[t.Var] = tup[i]
+			}
+			continue
+		}
+		if !t.Const.Identical(tup[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// AdoptFromCatalog registers as answer relations every existing catalog
+// table whose columns all follow the answer-schema naming convention
+// (a1, a2, …, aN in order). It is called after write-ahead-log recovery,
+// which reconstructs answer relations as plain tables; adopting them lets
+// new entangled queries keep coordinating against pre-crash answers. It
+// returns the number of relations adopted.
+func (s *Store) AdoptFromCatalog() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	adopted := 0
+	for _, name := range s.cat.Names() {
+		key := strings.ToLower(name)
+		if _, known := s.rels[key]; known {
+			continue
+		}
+		tbl, err := s.cat.Get(name)
+		if err != nil {
+			continue
+		}
+		schema := tbl.Schema()
+		match := schema.Arity() > 0
+		for i, col := range schema.Columns {
+			if !strings.EqualFold(col.Name, fmt.Sprintf("a%d", i+1)) {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		s.rels[key] = &relInfo{display: name, arity: schema.Arity()}
+		adopted++
+	}
+	return adopted
+}
+
+// Relations lists the display names of all answer relations, sorted.
+func (s *Store) Relations() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.rels))
+	for _, info := range s.rels {
+		out = append(out, info.display)
+	}
+	sort.Strings(out)
+	return out
+}

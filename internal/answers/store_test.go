@@ -1,0 +1,181 @@
+package answers
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/eq"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/value"
+)
+
+func setup(t *testing.T) (*Store, *txn.Manager) {
+	t.Helper()
+	cat := storage.NewCatalog()
+	return NewStore(cat), txn.NewManager(cat)
+}
+
+func install(t *testing.T, s *Store, m *txn.Manager, rel string, tup value.Tuple) {
+	t.Helper()
+	if err := m.RunAtomic(func(tx *txn.Txn) error {
+		return s.Install(tx, rel, tup)
+	}); err != nil {
+		t.Fatalf("install %s %s: %v", rel, tup, err)
+	}
+}
+
+func TestInstallAndRead(t *testing.T) {
+	s, m := setup(t)
+	install(t, s, m, "Reservation", value.NewTuple("Kramer", 122))
+	install(t, s, m, "Reservation", value.NewTuple("Jerry", 122))
+	tups := s.Tuples("reservation")
+	if len(tups) != 2 {
+		t.Fatalf("tuples = %v", tups)
+	}
+	if !s.Is("RESERVATION") || s.Is("Hotel") {
+		t.Error("Is")
+	}
+	if s.Arity("Reservation") != 2 || s.Arity("Nope") != -1 {
+		t.Error("Arity")
+	}
+	if rels := s.Relations(); len(rels) != 1 || rels[0] != "Reservation" {
+		t.Errorf("Relations = %v", rels)
+	}
+}
+
+func TestSchemaFixedByFirstTuple(t *testing.T) {
+	s, m := setup(t)
+	install(t, s, m, "R", value.NewTuple("x", 1))
+	// Wrong arity.
+	err := m.RunAtomic(func(tx *txn.Txn) error {
+		return s.Install(tx, "R", value.NewTuple("x", 1, 2))
+	})
+	if !errors.Is(err, ErrArityMismatch) {
+		t.Errorf("arity err = %v", err)
+	}
+	// Wrong type in same arity.
+	err = m.RunAtomic(func(tx *txn.Txn) error {
+		return s.Install(tx, "R", value.NewTuple(5, 1))
+	})
+	if err == nil {
+		t.Error("type mismatch accepted")
+	}
+}
+
+func TestNullDefaultsToString(t *testing.T) {
+	s, m := setup(t)
+	install(t, s, m, "R", value.NewTuple(nil, 1))
+	install(t, s, m, "R", value.NewTuple("later", 2))
+	if len(s.Tuples("R")) != 2 {
+		t.Error("null-first install broke schema inference")
+	}
+}
+
+func TestNameCollisionWithBaseTable(t *testing.T) {
+	cat := storage.NewCatalog()
+	cat.Create("Reservation", value.NewSchema(value.Col("x", value.TypeInt)))
+	s := NewStore(cat)
+	m := txn.NewManager(cat)
+	err := m.RunAtomic(func(tx *txn.Txn) error {
+		return s.Install(tx, "Reservation", value.NewTuple(1))
+	})
+	if !errors.Is(err, ErrNameTaken) {
+		t.Errorf("err = %v, want ErrNameTaken", err)
+	}
+}
+
+func TestInstallRollsBackWithTxn(t *testing.T) {
+	s, m := setup(t)
+	install(t, s, m, "R", value.NewTuple("seed", 0)) // fix schema
+	boom := errors.New("boom")
+	err := m.RunAtomic(func(tx *txn.Txn) error {
+		if err := s.Install(tx, "R", value.NewTuple("k", 1)); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatal(err)
+	}
+	if len(s.Tuples("R")) != 1 {
+		t.Error("rolled-back install is visible")
+	}
+}
+
+func TestMatching(t *testing.T) {
+	s, m := setup(t)
+	install(t, s, m, "R", value.NewTuple("Jerry", 122))
+	install(t, s, m, "R", value.NewTuple("Jerry", 123))
+	install(t, s, m, "R", value.NewTuple("Kramer", 122))
+
+	// R('Jerry', x) → two tuples.
+	got := s.Matching(eq.NewAtom("R", eq.ConstTerm(value.NewString("Jerry")), eq.VarTerm("x")))
+	if len(got) != 2 {
+		t.Errorf("Matching Jerry = %v", got)
+	}
+	// R(who, 122) → two tuples.
+	got = s.Matching(eq.NewAtom("R", eq.VarTerm("who"), eq.ConstTerm(value.NewInt(122))))
+	if len(got) != 2 {
+		t.Errorf("Matching 122 = %v", got)
+	}
+	// Repeated variable: R(x, x) → none here.
+	got = s.Matching(eq.NewAtom("R", eq.VarTerm("x"), eq.VarTerm("x")))
+	if len(got) != 0 {
+		t.Errorf("Matching (x,x) = %v", got)
+	}
+	// Wrong arity pattern.
+	got = s.Matching(eq.NewAtom("R", eq.VarTerm("x")))
+	if got != nil {
+		t.Errorf("arity-mismatched pattern = %v", got)
+	}
+	// Unknown relation.
+	if s.Matching(eq.NewAtom("Nope", eq.VarTerm("x"))) != nil {
+		t.Error("unknown relation should match nothing")
+	}
+}
+
+func TestMatchingRepeatedVarPositive(t *testing.T) {
+	s, m := setup(t)
+	install(t, s, m, "P", value.NewTuple(7, 7))
+	install(t, s, m, "P", value.NewTuple(7, 8))
+	got := s.Matching(eq.NewAtom("P", eq.VarTerm("x"), eq.VarTerm("x")))
+	if len(got) != 1 || got[0][0].Int() != 7 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestTuplesUnknownRelation(t *testing.T) {
+	s, _ := setup(t)
+	if s.Tuples("nope") != nil {
+		t.Error("unknown relation should return nil")
+	}
+}
+
+func TestAdoptFromCatalog(t *testing.T) {
+	cat := storage.NewCatalog()
+	// Follows the a1..aN convention → adopted.
+	cat.Create("Reservation", value.NewSchema(value.Col("a1", value.TypeString), value.Col("a2", value.TypeInt))) //nolint:errcheck
+	// Does not follow the convention → ignored.
+	cat.Create("Flights", value.NewSchema(value.Col("fno", value.TypeInt), value.Col("dest", value.TypeString))) //nolint:errcheck
+	// Wrong order of convention names → ignored.
+	cat.Create("Weird", value.NewSchema(value.Col("a2", value.TypeInt), value.Col("a1", value.TypeString))) //nolint:errcheck
+
+	s := NewStore(cat)
+	if n := s.AdoptFromCatalog(); n != 1 {
+		t.Fatalf("adopted %d, want 1", n)
+	}
+	if !s.Is("Reservation") || s.Is("Flights") || s.Is("Weird") {
+		t.Errorf("adoption targets wrong: %v", s.Relations())
+	}
+	if s.Arity("Reservation") != 2 {
+		t.Errorf("arity = %d", s.Arity("Reservation"))
+	}
+	// Idempotent.
+	if n := s.AdoptFromCatalog(); n != 0 {
+		t.Errorf("second adopt = %d", n)
+	}
+	// Adopted relations accept installs with the established schema.
+	m := txn.NewManager(cat)
+	install(t, s, m, "Reservation", value.NewTuple("K", 122))
+}

@@ -1,0 +1,156 @@
+// Package baseline implements the alternative the paper's introduction says
+// users are forced into WITHOUT Youtopia: "coordinating out-of-band to choose
+// the flight and trying to make near-simultaneous bookings". It is a
+// middle-tier polling protocol over ordinary (non-entangled) SQL — no
+// coordination support from the DBMS — used as the comparison point for
+// experiment E9.
+//
+// Protocol (per user, for a pair {a, b} wanting the same flight):
+//
+//  1. read the candidate flights and the partner's current tentative booking
+//     from a plain Bookings table;
+//  2. if the partner has booked a flight we also find acceptable, book the
+//     same one — done;
+//  3. otherwise book a tentative flight ourselves (lexicographically smaller
+//     user leads, the other follows), then poll; a follower switches its
+//     booking to the leader's choice when it appears.
+//
+// The protocol eventually converges for a pair, but unlike entangled queries
+// it (a) costs a number of round trips that grows with polling, (b) holds
+// tentative bookings visible to everyone in the meantime, and (c) gives no
+// atomicity: a crash between "cancel mine" and "book theirs" strands the
+// pair. The benchmark measures statements executed and convergence latency
+// against Youtopia's single coordinated match.
+package baseline
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Coordinator runs out-of-band pair coordination over plain SQL.
+type Coordinator struct {
+	sys *core.System
+	// PollInterval is the delay between polling rounds (the out-of-band
+	// "check if my friend booked yet" loop).
+	PollInterval time.Duration
+	// MaxRounds bounds polling before giving up.
+	MaxRounds int
+
+	statements atomic.Uint64 // SQL statements executed (round-trip proxy)
+}
+
+// New builds a baseline coordinator over a seeded system. It creates the
+// shared Bookings table on first use.
+func New(sys *core.System) (*Coordinator, error) {
+	c := &Coordinator{sys: sys, PollInterval: 200 * time.Microsecond, MaxRounds: 500}
+	if !sys.Catalog().Has("BaselineBookings") {
+		if err := sys.Exec("CREATE TABLE BaselineBookings (traveler STRING, fno INT, PRIMARY KEY (traveler))"); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Statements returns the cumulative number of SQL statements issued.
+func (c *Coordinator) Statements() uint64 { return c.statements.Load() }
+
+// flights returns the acceptable flight numbers for a destination.
+func (c *Coordinator) flights(dest string) ([]int64, error) {
+	c.statements.Add(1)
+	res, err := c.sys.Query(fmt.Sprintf("SELECT fno FROM Flights WHERE dest = '%s' ORDER BY fno", dest))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, len(res.Rows))
+	for i, r := range res.Rows {
+		out[i] = r[0].Int()
+	}
+	return out, nil
+}
+
+// partnerBooking reads the partner's current tentative booking (0 if none).
+func (c *Coordinator) partnerBooking(partner string) (int64, error) {
+	c.statements.Add(1)
+	res, err := c.sys.Query(fmt.Sprintf("SELECT fno FROM BaselineBookings WHERE traveler = '%s'", partner))
+	if err != nil {
+		return 0, err
+	}
+	if len(res.Rows) == 0 {
+		return 0, nil
+	}
+	return res.Rows[0][0].Int(), nil
+}
+
+// setBooking upserts the caller's tentative booking.
+func (c *Coordinator) setBooking(user string, fno int64) error {
+	c.statements.Add(1)
+	res, err := c.sys.Query(fmt.Sprintf("SELECT fno FROM BaselineBookings WHERE traveler = '%s'", user))
+	if err != nil {
+		return err
+	}
+	c.statements.Add(1)
+	if len(res.Rows) == 0 {
+		_, err = c.sys.Query(fmt.Sprintf("INSERT INTO BaselineBookings VALUES ('%s', %d)", user, fno))
+	} else {
+		_, err = c.sys.Query(fmt.Sprintf("UPDATE BaselineBookings SET fno = %d WHERE traveler = '%s'", fno, user))
+	}
+	return err
+}
+
+// BookSameFlight coordinates user with partner on a flight to dest. It
+// returns the agreed flight number once both sides' bookings coincide.
+func (c *Coordinator) BookSameFlight(user, partner, dest string) (int64, error) {
+	candidates, err := c.flights(dest)
+	if err != nil {
+		return 0, err
+	}
+	if len(candidates) == 0 {
+		return 0, fmt.Errorf("baseline: no flights to %s", dest)
+	}
+	acceptable := make(map[int64]bool, len(candidates))
+	for _, f := range candidates {
+		acceptable[f] = true
+	}
+	leader := user < partner
+
+	for round := 0; round < c.MaxRounds; round++ {
+		theirs, err := c.partnerBooking(partner)
+		if err != nil {
+			return 0, err
+		}
+		if theirs != 0 && acceptable[theirs] {
+			// Adopt the partner's choice.
+			if err := c.setBooking(user, theirs); err != nil {
+				return 0, err
+			}
+			// Confirm the partner hasn't moved meanwhile (they can, which is
+			// exactly the race entangled queries eliminate).
+			again, err := c.partnerBooking(partner)
+			if err != nil {
+				return 0, err
+			}
+			if again == theirs {
+				return theirs, nil
+			}
+		} else if leader {
+			// Leader proposes its first acceptable flight.
+			if err := c.setBooking(user, candidates[0]); err != nil {
+				return 0, err
+			}
+			// Wait for the follower to adopt it.
+			again, err := c.partnerBooking(partner)
+			if err != nil {
+				return 0, err
+			}
+			if again == candidates[0] {
+				return candidates[0], nil
+			}
+		}
+		time.Sleep(c.PollInterval)
+	}
+	return 0, fmt.Errorf("baseline: %s/%s did not converge within %d rounds", user, partner, c.MaxRounds)
+}

@@ -1,0 +1,105 @@
+package baseline
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/travel"
+)
+
+func seeded(t *testing.T) *core.System {
+	t.Helper()
+	sys := core.NewSystem(core.Config{})
+	if err := travel.SeedFigure1(sys); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestPairConverges(t *testing.T) {
+	sys := seeded(t)
+	c, err := New(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.PollInterval = 100 * time.Microsecond
+
+	var fA, fB int64
+	var errA, errB error
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); fA, errA = c.BookSameFlight("alice", "bob", "Paris") }()
+	go func() { defer wg.Done(); fB, errB = c.BookSameFlight("bob", "alice", "Paris") }()
+	wg.Wait()
+	if errA != nil || errB != nil {
+		t.Fatalf("errs: %v, %v", errA, errB)
+	}
+	if fA != fB {
+		t.Errorf("flights differ: %d vs %d", fA, fB)
+	}
+	if c.Statements() < 4 {
+		t.Errorf("implausibly few statements: %d", c.Statements())
+	}
+}
+
+func TestNoFlights(t *testing.T) {
+	sys := seeded(t)
+	c, err := New(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.BookSameFlight("alice", "bob", "Atlantis"); err == nil {
+		t.Error("expected error for unknown destination")
+	}
+}
+
+func TestFollowerTimesOutWithoutLeader(t *testing.T) {
+	sys := seeded(t)
+	c, err := New(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.PollInterval = 50 * time.Microsecond
+	c.MaxRounds = 5
+	// "bob" is the follower (alice < bob) and alice never shows up.
+	if _, err := c.BookSameFlight("bob", "alice", "Paris"); err == nil {
+		t.Error("follower should not converge without the leader")
+	}
+}
+
+func TestManyPairsConverge(t *testing.T) {
+	sys := seeded(t)
+	c, err := New(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.PollInterval = 50 * time.Microsecond
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for p := 0; p < 8; p++ {
+		a := "u" + string(rune('a'+p)) + "1"
+		b := "u" + string(rune('a'+p)) + "2"
+		wg.Add(2)
+		go func() { defer wg.Done(); _, err := c.BookSameFlight(a, b, "Paris"); errs <- err }()
+		go func() { defer wg.Done(); _, err := c.BookSameFlight(b, a, "Paris"); errs <- err }()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestNewIdempotentTable(t *testing.T) {
+	sys := seeded(t)
+	if _, err := New(sys); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(sys); err != nil {
+		t.Errorf("second New failed: %v", err)
+	}
+}

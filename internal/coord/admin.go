@@ -1,0 +1,195 @@
+package coord
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/eq"
+)
+
+// PendingInfo describes one parked entangled query for the administrative
+// interface (§3.2: "facts about the system state such as the set of queries
+// pending to be entangled and their representation in the system").
+type PendingInfo struct {
+	ID        uint64
+	Owner     string
+	Source    string // original SQL
+	Logic     string // compiled IR rendering
+	Relations []string
+	Waiting   time.Duration
+}
+
+// Pending lists parked queries in submission order.
+func (c *Coordinator) Pending() []PendingInfo {
+	ps := c.reg.all()
+	out := make([]PendingInfo, len(ps))
+	now := time.Now()
+	for i, p := range ps {
+		out[i] = PendingInfo{
+			ID:        p.id,
+			Owner:     p.owner,
+			Source:    p.q.Source,
+			Logic:     p.q.String(),
+			Relations: relationsOf(p.q),
+			Waiting:   now.Sub(p.submitted),
+		}
+	}
+	return out
+}
+
+// Edge is one potential-partner edge in the entanglement graph: a constraint
+// atom of From that could be covered by a head atom of To.
+type Edge struct {
+	From, To   uint64
+	Constraint string
+	Head       string
+}
+
+// EntanglementGraph computes the potential-partner edges among pending
+// queries — the state the demo's admin interface visualizes. An edge is
+// drawn when a constraint atom of one query locally unifies with a head atom
+// of another (it may still fail joint unification or grounding).
+func (c *Coordinator) EntanglementGraph() []Edge {
+	ps := c.reg.all()
+	var edges []Edge
+	for _, from := range ps {
+		for _, cons := range from.q.Constraints {
+			for _, to := range ps {
+				if to.id == from.id {
+					continue
+				}
+				for _, h := range to.q.Heads {
+					if eq.Unifiable(cons, h) {
+						edges = append(edges, Edge{
+							From:       from.id,
+							To:         to.id,
+							Constraint: cons.String(),
+							Head:       h.String(),
+						})
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+	return edges
+}
+
+// DOT renders the entanglement graph in Graphviz DOT format — the "special
+// mode that enables visual inspection of the state of the system" of §3.2.
+// Nodes are pending queries (labelled with owner and logic); edges are
+// potential covers between constraint and head atoms.
+func (c *Coordinator) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph entanglement {\n  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n")
+	for _, p := range c.Pending() {
+		owner := p.Owner
+		if owner == "" {
+			owner = "?"
+		}
+		fmt.Fprintf(&b, "  q%d [label=%q];\n", p.ID, fmt.Sprintf("q%d (%s)\n%s", p.ID, owner, p.Logic))
+	}
+	for _, e := range c.EntanglementGraph() {
+		fmt.Fprintf(&b, "  q%d -> q%d [label=%q];\n", e.From, e.To, e.Constraint)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Diagnosis explains why a pending query has not been answered.
+type Diagnosis struct {
+	ID    uint64
+	Logic string
+	// PerConstraint lists, for each positive constraint atom, how many
+	// covering candidates exist right now: pending head atoms that locally
+	// unify, and installed answer tuples that match.
+	PerConstraint []ConstraintDiag
+	// Summary is a one-line human-readable verdict.
+	Summary string
+}
+
+// ConstraintDiag is the candidate census of one constraint atom.
+type ConstraintDiag struct {
+	Constraint    string
+	PendingHeads  int // unifiable head atoms of other pending queries
+	InstalledHits int // matching tuples already in the answer relation
+}
+
+// Diagnose explains a pending query's wait: which constraint atoms currently
+// have no cover at all (the demo's admin interface answers exactly this kind
+// of "why is Jerry still waiting?" question). It returns false when the
+// query is not pending.
+func (c *Coordinator) Diagnose(id uint64) (Diagnosis, bool) {
+	p := c.reg.get(id)
+	if p == nil {
+		return Diagnosis{}, false
+	}
+	d := Diagnosis{ID: id, Logic: p.q.String()}
+	exclude := map[uint64]bool{id: true}
+	uncovered := 0
+	for _, cons := range p.q.Constraints {
+		cd := ConstraintDiag{Constraint: cons.String()}
+		cd.PendingHeads = len(c.reg.candidates(cons, exclude, true))
+		// Self-covering heads count too (a reflexive constraint).
+		for _, h := range p.q.Heads {
+			if eq.Unifiable(cons, h) {
+				cd.PendingHeads++
+			}
+		}
+		cd.InstalledHits = len(c.store.Matching(cons))
+		if cd.PendingHeads == 0 && cd.InstalledHits == 0 {
+			uncovered++
+		}
+		d.PerConstraint = append(d.PerConstraint, cd)
+	}
+	switch {
+	case len(p.q.Constraints) == 0:
+		d.Summary = "no answer constraints — pending means grounding failed; check the base tables its generators read"
+	case uncovered > 0:
+		d.Summary = fmt.Sprintf("%d of %d constraint(s) have no candidate cover — waiting for partner queries", uncovered, len(p.q.Constraints))
+	default:
+		d.Summary = "every constraint has candidates, but no joint match grounded — partners' filters may be incompatible or candidate sets disjoint"
+	}
+	return d, true
+}
+
+// DumpState renders a human-readable report of the coordination state: the
+// pending-query table, the entanglement graph and the answer relations.
+func (c *Coordinator) DumpState() string {
+	var b strings.Builder
+	pend := c.Pending()
+	fmt.Fprintf(&b, "=== Pending entangled queries (%d) ===\n", len(pend))
+	for _, p := range pend {
+		owner := p.Owner
+		if owner == "" {
+			owner = "-"
+		}
+		fmt.Fprintf(&b, "  [q%d] owner=%s waiting=%s\n        %s\n", p.ID, owner, p.Waiting.Round(time.Millisecond), p.Logic)
+	}
+	edges := c.EntanglementGraph()
+	fmt.Fprintf(&b, "=== Entanglement graph (%d potential edges) ===\n", len(edges))
+	for _, e := range edges {
+		fmt.Fprintf(&b, "  q%d --[%s ~ %s]--> q%d\n", e.From, e.Constraint, e.Head, e.To)
+	}
+	rels := c.store.Relations()
+	fmt.Fprintf(&b, "=== Answer relations (%d) ===\n", len(rels))
+	for _, r := range rels {
+		tuples := c.store.Tuples(r)
+		fmt.Fprintf(&b, "  %s: %d tuple(s)\n", r, len(tuples))
+		for _, t := range tuples {
+			fmt.Fprintf(&b, "    %s\n", t)
+		}
+	}
+	s := c.Stats()
+	fmt.Fprintf(&b, "=== Stats ===\n  submitted=%d answered=%d matches=%d parked=%d canceled=%d retries=%d nodes=%d groundings=%d/%d ok\n",
+		s.Submitted, s.Answered, s.Matches, s.Parked, s.Canceled, s.Retries, s.NodesExplored,
+		s.GroundingAttempts-s.GroundingFailures, s.GroundingAttempts)
+	return b.String()
+}

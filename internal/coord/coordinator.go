@@ -1,0 +1,411 @@
+package coord
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/answers"
+	"repro/internal/engine"
+	"repro/internal/eq"
+	"repro/internal/value"
+)
+
+// Options tune the coordination component. The zero value is usable; New
+// fills in defaults. The knobs double as the ablation switches indexed in
+// DESIGN.md (A1–A3).
+type Options struct {
+	// MaxMatchSize bounds how many queries one match may join (A2). Matching
+	// is NP-hard in general; the bound keeps arrival latency predictable.
+	MaxMatchSize int
+	// MaxNodes bounds the coverage search per arrival.
+	MaxNodes int
+	// UseIndex enables the pending-head candidate index (A1); disabled, the
+	// matcher scans every pending head.
+	UseIndex bool
+	// GroundSmallestFirst orders grounding domain sources by ascending
+	// candidate count (A3); disabled, sources are used in discovery order.
+	GroundSmallestFirst bool
+	// FullRetryOnMatch re-attempts EVERY pending query after each successful
+	// match (A5 ablation). The default (false) retries only pending queries
+	// with a constraint atom that could unify with one of the answer tuples
+	// the match just installed — on loaded systems this skips the unrelated
+	// noise queries entirely.
+	FullRetryOnMatch bool
+	// Seed drives the nondeterministic CHOOSE; a fixed seed makes runs
+	// reproducible.
+	Seed int64
+	// PendingTTL, when positive, bounds how long a query may wait for
+	// coordination: queries pending longer are withdrawn (Canceled outcome)
+	// during the expiry pass run at the start of every coordination round,
+	// and by ExpirePending. The paper parks unmatched queries indefinitely;
+	// a production deployment needs the lease. Zero disables expiry.
+	PendingTTL time.Duration
+	// ValidateMatches re-verifies, after every successful match, that each
+	// delivered answer's constraints are satisfied by the answer relations —
+	// a self-check of the matcher's central invariant (Figure 1b). It panics
+	// on violation; enable it in tests and debugging, not in benchmarks.
+	ValidateMatches bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxMatchSize == 0 {
+		o.MaxMatchSize = 16
+	}
+	if o.MaxNodes == 0 {
+		o.MaxNodes = 200_000
+	}
+	return o
+}
+
+// DefaultOptions returns the defaults used by New when no options are given:
+// index on, smallest-first grounding, match bound 16.
+func DefaultOptions() Options {
+	return Options{UseIndex: true, GroundSmallestFirst: true}.withDefaults()
+}
+
+// Stats counts coordination activity; all fields are cumulative.
+type Stats struct {
+	Submitted         atomic.Uint64
+	Answered          atomic.Uint64 // queries answered (across all matches)
+	Matches           atomic.Uint64 // successful joint executions
+	Parked            atomic.Uint64 // arrivals that found no match and waited
+	Canceled          atomic.Uint64
+	Expired           atomic.Uint64 // pending queries withdrawn by TTL
+	Retries           atomic.Uint64 // pending queries re-attempted
+	NodesExplored     atomic.Uint64
+	GroundingAttempts atomic.Uint64
+	GroundingFailures atomic.Uint64
+}
+
+// StatsSnapshot is a plain-value copy of Stats.
+type StatsSnapshot struct {
+	Submitted, Answered, Matches, Parked, Canceled uint64
+	Expired, Retries, NodesExplored                uint64
+	GroundingAttempts, GroundingFailures           uint64
+}
+
+// Coordinator is the coordination component. One instance serializes all
+// coordination rounds — mirroring the paper's design, where the coordination
+// logic "runs whenever an entangled query arrives in the system".
+type Coordinator struct {
+	eng   *engine.Engine
+	store *answers.Store
+	opts  Options
+
+	// round serializes coordination rounds (arrival processing and retries).
+	round sync.Mutex
+	reg   *registry
+
+	nextID atomic.Uint64
+	stats  Stats
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+// New builds a Coordinator over an execution engine and an answer store.
+func New(eng *engine.Engine, store *answers.Store, opts Options) *Coordinator {
+	o := opts.withDefaults()
+	return &Coordinator{
+		eng:   eng,
+		store: store,
+		opts:  o,
+		reg:   newRegistry(),
+		rng:   rand.New(rand.NewSource(o.Seed)),
+	}
+}
+
+// Store exposes the coordinator's answer store.
+func (c *Coordinator) Store() *answers.Store { return c.store }
+
+// Engine exposes the coordinator's execution engine.
+func (c *Coordinator) Engine() *engine.Engine { return c.eng }
+
+// shuffle permutes tuples using the coordinator's seeded RNG — the
+// nondeterministic choice of §2.1.
+func (c *Coordinator) shuffle(tuples []value.Tuple) {
+	c.rngMu.Lock()
+	defer c.rngMu.Unlock()
+	c.rng.Shuffle(len(tuples), func(i, j int) {
+		tuples[i], tuples[j] = tuples[j], tuples[i]
+	})
+}
+
+// Submit registers a compiled entangled query under an optional owner label
+// and immediately runs a coordination round. If the query can be matched now
+// (possibly recruiting other pending queries), everyone involved is answered
+// atomically and their handles fire; otherwise the query parks in the
+// pending tables and the returned handle fires on a later round.
+func (c *Coordinator) Submit(q *eq.Query, owner string) (*Handle, error) {
+	if q == nil || len(q.Heads) == 0 {
+		return nil, fmt.Errorf("coord: empty query")
+	}
+	// Validate answer-relation names and arities up front so the submitter
+	// gets the error, not a forever-pending query.
+	for _, rel := range q.AnswerRelations() {
+		if !c.store.Is(rel) && c.eng.Catalog().Has(rel) {
+			return nil, fmt.Errorf("%w: %q", answers.ErrNameTaken, rel)
+		}
+		if ar := c.store.Arity(rel); ar >= 0 {
+			for _, h := range q.Heads {
+				if h.Relation == rel && h.Arity() != ar {
+					return nil, fmt.Errorf("%w: relation %s has arity %d, head %s",
+						answers.ErrArityMismatch, rel, ar, h)
+				}
+			}
+			for _, a := range append(append([]eq.Atom{}, q.Constraints...), q.NegConstraints...) {
+				if a.Relation == rel && a.Arity() != ar {
+					return nil, fmt.Errorf("%w: relation %s has arity %d, constraint %s",
+						answers.ErrArityMismatch, rel, ar, a)
+				}
+			}
+		}
+	}
+
+	p := &pending{
+		id:        c.nextID.Add(1),
+		q:         q,
+		owner:     owner,
+		submitted: time.Now(),
+		handle:    nil,
+	}
+	p.handle = &Handle{ID: p.id, ch: make(chan Outcome, 1)}
+	c.stats.Submitted.Add(1)
+
+	c.round.Lock()
+	defer c.round.Unlock()
+	c.expireLocked(time.Now())
+	// Register first: the query's own head is a legitimate cover for its own
+	// or recruited queries' constraints, and search excludes members from
+	// recruitment by id.
+	c.reg.add(p)
+	if res, ok := c.search(p); ok {
+		installed := c.finalize(res)
+		// A successful match may unblock previously parked queries whose
+		// constraints refer to the just-installed answers.
+		if c.opts.FullRetryOnMatch {
+			c.retryLocked(nil)
+		} else {
+			c.retryLocked(installed)
+		}
+	} else {
+		c.stats.Parked.Add(1)
+	}
+	return p.handle, nil
+}
+
+// SubmitSQL compiles and submits entangled SQL.
+func (c *Coordinator) SubmitSQL(src, owner string) (*Handle, error) {
+	q, err := eq.CompileSQL(src)
+	if err != nil {
+		return nil, err
+	}
+	return c.Submit(q, owner)
+}
+
+// finalize removes matched queries from the pending tables and delivers
+// outcomes, returning the tuples the match installed (relation → tuples).
+// Caller holds c.round.
+func (c *Coordinator) finalize(res *installResult) map[string][]value.Tuple {
+	if c.opts.ValidateMatches {
+		c.validateMatch(res)
+	}
+	c.stats.Matches.Add(1)
+	installed := make(map[string][]value.Tuple)
+	for _, m := range res.members {
+		c.reg.remove(m.id)
+		c.stats.Answered.Add(1)
+		answers := res.perQuery[m.id]
+		for _, a := range answers {
+			rel := strings.ToLower(a.Relation)
+			installed[rel] = append(installed[rel], a.Tuples...)
+		}
+		m.handle.ch <- Outcome{
+			QueryID:   m.id,
+			Answers:   answers,
+			MatchSize: len(res.members),
+		}
+	}
+	return installed
+}
+
+// validateMatch asserts the matcher's central invariant on a finished match:
+// for every member and every grounding, each positive constraint atom —
+// with the member's own delivered bindings substituted in — has a witness in
+// the (just-updated) answer relations, and no negative constraint does.
+func (c *Coordinator) validateMatch(res *installResult) {
+	for _, m := range res.members {
+		answers := res.perQuery[m.id]
+		for g := 0; g < res.groundings; g++ {
+			// Recover this grounding's variable bindings from the member's
+			// own delivered head tuples.
+			binding := make(map[string]value.Value)
+			for hi, h := range m.q.Heads {
+				if g >= len(answers[hi].Tuples) {
+					continue
+				}
+				tup := answers[hi].Tuples[g]
+				for i, term := range h.Terms {
+					if term.IsVar {
+						binding[term.Var] = tup[i]
+					}
+				}
+			}
+			substitute := func(a eq.Atom) eq.Atom {
+				out := eq.Atom{Relation: a.Relation, Display: a.Display, Terms: make([]eq.Term, len(a.Terms))}
+				for i, term := range a.Terms {
+					if term.IsVar {
+						if v, ok := binding[term.Var]; ok {
+							out.Terms[i] = eq.ConstTerm(v)
+							continue
+						}
+					}
+					out.Terms[i] = term
+				}
+				return out
+			}
+			for _, cons := range m.q.Constraints {
+				if len(c.store.Matching(substitute(cons))) == 0 {
+					panic(fmt.Sprintf("coord: INVARIANT VIOLATION: q%d delivered but constraint %s unsatisfied (grounding %d)",
+						m.id, substitute(cons), g))
+				}
+			}
+			for _, neg := range m.q.NegConstraints {
+				if len(c.store.Matching(substitute(neg))) > 0 {
+					panic(fmt.Sprintf("coord: INVARIANT VIOLATION: q%d delivered but exclusion %s violated (grounding %d)",
+						m.id, substitute(neg), g))
+				}
+			}
+		}
+	}
+}
+
+// affectedBy reports whether any constraint atom of q could unify with one of
+// the freshly installed tuples — the trigger condition for a targeted retry.
+func affectedBy(q *eq.Query, installed map[string][]value.Tuple) bool {
+	for _, cons := range q.Constraints {
+		for _, tup := range installed[cons.Relation] {
+			if len(tup) != cons.Arity() {
+				continue
+			}
+			ok := true
+			for i, t := range cons.Terms {
+				if !t.IsVar && !t.Const.Identical(tup[i]) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Retry re-attempts coordination for every pending query. Call it after base
+// table updates that might unblock waiting queries ("a query whose
+// postcondition is not satisfied … waits for an opportunity to retry").
+// It loops until a full pass makes no progress.
+func (c *Coordinator) Retry() {
+	c.round.Lock()
+	defer c.round.Unlock()
+	c.retryLocked(nil)
+}
+
+// retryLocked re-attempts pending queries. When installed is non-nil, only
+// queries with a constraint that could unify with a freshly installed tuple
+// are tried (targeted retry); tuples installed by those retries extend the
+// trigger set, so chains of unblocking still cascade. Caller holds c.round.
+func (c *Coordinator) retryLocked(installed map[string][]value.Tuple) {
+	for {
+		progressed := false
+		for _, p := range c.reg.all() {
+			if c.reg.get(p.id) == nil {
+				continue // answered earlier in this pass
+			}
+			if installed != nil && !affectedBy(p.q, installed) {
+				continue
+			}
+			c.stats.Retries.Add(1)
+			if res, ok := c.search(p); ok {
+				more := c.finalize(res)
+				progressed = true
+				if installed != nil {
+					for rel, tuples := range more {
+						installed[rel] = append(installed[rel], tuples...)
+					}
+				}
+			}
+		}
+		if !progressed {
+			return
+		}
+	}
+}
+
+// ExpirePending withdraws every query that has been pending longer than
+// Options.PendingTTL, returning how many were expired. It is also run
+// automatically at the start of each coordination round.
+func (c *Coordinator) ExpirePending() int {
+	c.round.Lock()
+	defer c.round.Unlock()
+	return c.expireLocked(time.Now())
+}
+
+// expireLocked cancels over-age pending queries. Caller holds c.round.
+func (c *Coordinator) expireLocked(now time.Time) int {
+	if c.opts.PendingTTL <= 0 {
+		return 0
+	}
+	expired := 0
+	for _, p := range c.reg.all() {
+		if now.Sub(p.submitted) < c.opts.PendingTTL {
+			continue
+		}
+		if c.reg.remove(p.id) == nil {
+			continue
+		}
+		c.stats.Expired.Add(1)
+		expired++
+		p.handle.ch <- Outcome{QueryID: p.id, Canceled: true}
+	}
+	return expired
+}
+
+// Cancel withdraws a pending query. It returns false when the query is not
+// pending (already answered, canceled, or unknown).
+func (c *Coordinator) Cancel(id uint64) bool {
+	c.round.Lock()
+	defer c.round.Unlock()
+	p := c.reg.remove(id)
+	if p == nil {
+		return false
+	}
+	c.stats.Canceled.Add(1)
+	p.handle.ch <- Outcome{QueryID: id, Canceled: true}
+	return true
+}
+
+// PendingCount returns the number of queries currently parked.
+func (c *Coordinator) PendingCount() int { return c.reg.size() }
+
+// Stats returns a snapshot of the coordination counters.
+func (c *Coordinator) Stats() StatsSnapshot {
+	return StatsSnapshot{
+		Submitted:         c.stats.Submitted.Load(),
+		Answered:          c.stats.Answered.Load(),
+		Matches:           c.stats.Matches.Load(),
+		Parked:            c.stats.Parked.Load(),
+		Canceled:          c.stats.Canceled.Load(),
+		Expired:           c.stats.Expired.Load(),
+		Retries:           c.stats.Retries.Load(),
+		NodesExplored:     c.stats.NodesExplored.Load(),
+		GroundingAttempts: c.stats.GroundingAttempts.Load(),
+		GroundingFailures: c.stats.GroundingFailures.Load(),
+	}
+}

@@ -1,0 +1,768 @@
+package coord
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/answers"
+	"repro/internal/engine"
+	"repro/internal/eq"
+	"repro/internal/sql"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/value"
+)
+
+// newSystem builds a coordinator over the Figure 1(a) database.
+func newSystem(t *testing.T, opts Options) (*Coordinator, *engine.Engine) {
+	t.Helper()
+	cat := storage.NewCatalog()
+	eng := engine.New(txn.NewManager(cat))
+	script := `
+		CREATE TABLE Flights (fno INT, dest STRING, PRIMARY KEY (fno));
+		CREATE TABLE Hotels (hno INT, city STRING, PRIMARY KEY (hno));
+		INSERT INTO Flights VALUES (122, 'Paris'), (123, 'Paris'), (134, 'Paris'), (136, 'Rome');
+		INSERT INTO Hotels VALUES (7, 'Paris'), (8, 'Paris'), (9, 'Rome');
+	`
+	stmts, err := sql.ParseAll(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range stmts {
+		if _, err := eng.Execute(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return New(eng, answers.NewStore(cat), opts), eng
+}
+
+func pairQuery(self, friend string) string {
+	return fmt.Sprintf(`SELECT '%s', fno INTO ANSWER Reservation
+		WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris')
+		AND ('%s', fno) IN ANSWER Reservation
+		CHOOSE 1`, self, friend)
+}
+
+func waitOutcome(t *testing.T, h *Handle) Outcome {
+	t.Helper()
+	timer := time.NewTimer(2 * time.Second)
+	defer timer.Stop()
+	done := make(chan struct{})
+	go func() { <-timer.C; close(done) }()
+	out, ok := h.Wait(done)
+	if !ok {
+		t.Fatalf("query q%d not answered within timeout", h.ID)
+	}
+	return out
+}
+
+// TestFigure1 reproduces Figure 1 end to end: Kramer submits, waits; Jerry
+// submits the symmetric query; both receive the SAME flight number, and it is
+// one of the Paris flights.
+func TestFigure1(t *testing.T) {
+	c, _ := newSystem(t, DefaultOptions())
+
+	hK, err := c.SubmitSQL(pairQuery("Kramer", "Jerry"), "kramer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kramer alone cannot be answered: parked.
+	if _, ok := hK.TryOutcome(); ok {
+		t.Fatal("Kramer answered without Jerry")
+	}
+	if c.PendingCount() != 1 {
+		t.Fatalf("pending = %d", c.PendingCount())
+	}
+
+	hJ, err := c.SubmitSQL(pairQuery("Jerry", "Kramer"), "jerry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	outK, outJ := waitOutcome(t, hK), waitOutcome(t, hJ)
+
+	if outK.MatchSize != 2 || outJ.MatchSize != 2 {
+		t.Errorf("match sizes = %d, %d", outK.MatchSize, outJ.MatchSize)
+	}
+	kTup := outK.Answers[0].Tuples[0]
+	jTup := outJ.Answers[0].Tuples[0]
+	if kTup[0].Str() != "Kramer" || jTup[0].Str() != "Jerry" {
+		t.Errorf("travelers: %v, %v", kTup, jTup)
+	}
+	kf, jf := kTup[1].Int(), jTup[1].Int()
+	if kf != jf {
+		t.Errorf("flights differ: Kramer %d, Jerry %d — coordination failed", kf, jf)
+	}
+	if kf != 122 && kf != 123 && kf != 134 {
+		t.Errorf("flight %d is not a Paris flight", kf)
+	}
+	// Answer relation holds both tuples and is queryable as a table.
+	if got := len(c.Store().Tuples("Reservation")); got != 2 {
+		t.Errorf("Reservation has %d tuples", got)
+	}
+	if c.PendingCount() != 0 {
+		t.Error("queries still pending after match")
+	}
+	s := c.Stats()
+	if s.Matches != 1 || s.Answered != 2 || s.Parked != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+// TestFigure1Nondeterminism: across seeds, both 122 and 123 (and 134) must be
+// achievable — "the system nondeterministically chooses" (§2.1).
+func TestFigure1Nondeterminism(t *testing.T) {
+	got := make(map[int64]bool)
+	for seed := int64(0); seed < 20; seed++ {
+		c, _ := newSystem(t, Options{Seed: seed, UseIndex: true, GroundSmallestFirst: true})
+		hK, err := c.SubmitSQL(pairQuery("Kramer", "Jerry"), "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.SubmitSQL(pairQuery("Jerry", "Kramer"), ""); err != nil {
+			t.Fatal(err)
+		}
+		out := waitOutcome(t, hK)
+		got[out.Answers[0].Tuples[0][1].Int()] = true
+	}
+	if len(got) < 2 {
+		t.Errorf("choice not nondeterministic across seeds: %v", got)
+	}
+	for f := range got {
+		if f != 122 && f != 123 && f != 134 {
+			t.Errorf("non-Paris flight chosen: %d", f)
+		}
+	}
+}
+
+// TestSameSeedDeterministic: identical seeds give identical choices.
+func TestSameSeedDeterministic(t *testing.T) {
+	run := func() int64 {
+		c, _ := newSystem(t, Options{Seed: 42, UseIndex: true, GroundSmallestFirst: true})
+		hK, _ := c.SubmitSQL(pairQuery("Kramer", "Jerry"), "")
+		c.SubmitSQL(pairQuery("Jerry", "Kramer"), "")
+		return waitOutcome(t, hK).Answers[0].Tuples[0][1].Int()
+	}
+	if run() != run() {
+		t.Error("same seed produced different choices")
+	}
+}
+
+// TestConstraintSatisfiedByInstalledAnswer: after Kramer & Jerry match,
+// Elaine can entangle with Kramer's already-installed answer.
+func TestConstraintSatisfiedByInstalledAnswer(t *testing.T) {
+	c, _ := newSystem(t, DefaultOptions())
+	hK, _ := c.SubmitSQL(pairQuery("Kramer", "Jerry"), "")
+	c.SubmitSQL(pairQuery("Jerry", "Kramer"), "")
+	flight := waitOutcome(t, hK).Answers[0].Tuples[0][1].Int()
+
+	hE, err := c.SubmitSQL(pairQuery("Elaine", "Kramer"), "elaine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := waitOutcome(t, hE)
+	if out.MatchSize != 1 {
+		t.Errorf("Elaine should match alone against installed answers, size=%d", out.MatchSize)
+	}
+	if got := out.Answers[0].Tuples[0][1].Int(); got != flight {
+		t.Errorf("Elaine got flight %d, friends are on %d", got, flight)
+	}
+}
+
+// TestUnsatisfiableConstraintStaysPending: a constraint about a traveler who
+// never shows up parks forever (until cancel).
+func TestUnsatisfiableConstraintStaysPending(t *testing.T) {
+	c, _ := newSystem(t, DefaultOptions())
+	h, err := c.SubmitSQL(pairQuery("Kramer", "Godot"), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := h.TryOutcome(); ok {
+		t.Fatal("answered without partner")
+	}
+	if !c.Cancel(h.ID) {
+		t.Fatal("cancel failed")
+	}
+	out, ok := h.TryOutcome()
+	if !ok || !out.Canceled {
+		t.Errorf("outcome = %+v, %v", out, ok)
+	}
+	if c.Cancel(h.ID) {
+		t.Error("double cancel succeeded")
+	}
+	if c.Stats().Canceled != 1 {
+		t.Error("cancel not counted")
+	}
+}
+
+// TestGroundingFailureNoParisFlights: constraints match but the DB offers no
+// satisfying flight — both queries stay pending, nothing is installed.
+func TestGroundingFailureKeepsPending(t *testing.T) {
+	c, eng := newSystem(t, DefaultOptions())
+	if _, err := eng.ExecuteSQL("DELETE FROM Flights WHERE dest = 'Paris'"); err != nil {
+		t.Fatal(err)
+	}
+	hK, _ := c.SubmitSQL(pairQuery("Kramer", "Jerry"), "")
+	hJ, _ := c.SubmitSQL(pairQuery("Jerry", "Kramer"), "")
+	if _, ok := hK.TryOutcome(); ok {
+		t.Fatal("answered with empty candidate set")
+	}
+	if c.PendingCount() != 2 {
+		t.Errorf("pending = %d", c.PendingCount())
+	}
+	if len(c.Store().Tuples("Reservation")) != 0 {
+		t.Error("partial answers installed")
+	}
+
+	// Now a Paris flight appears; Retry (the update hook) unblocks them.
+	if _, err := eng.ExecuteSQL("INSERT INTO Flights VALUES (200, 'Paris')"); err != nil {
+		t.Fatal(err)
+	}
+	c.Retry()
+	outK, outJ := waitOutcome(t, hK), waitOutcome(t, hJ)
+	if outK.Answers[0].Tuples[0][1].Int() != 200 || outJ.Answers[0].Tuples[0][1].Int() != 200 {
+		t.Errorf("answers: %v, %v", outK.Answers, outJ.Answers)
+	}
+}
+
+// TestGroupOfFour reproduces §3.1 "Group flight booking": four friends, each
+// constraining on the other three; all four must land on one flight.
+func TestGroupOfFour(t *testing.T) {
+	c, _ := newSystem(t, DefaultOptions())
+	friends := []string{"Jerry", "Kramer", "Elaine", "George"}
+	handles := make([]*Handle, len(friends))
+	for i, self := range friends {
+		var cons []string
+		for j, f := range friends {
+			if i != j {
+				cons = append(cons, fmt.Sprintf("('%s', fno) IN ANSWER Reservation", f))
+			}
+		}
+		src := fmt.Sprintf(`SELECT '%s', fno INTO ANSWER Reservation
+			WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris') AND %s
+			CHOOSE 1`, self, strings.Join(cons, " AND "))
+		h, err := c.SubmitSQL(src, self)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[i] = h
+		if i < len(friends)-1 {
+			if _, ok := h.TryOutcome(); ok {
+				t.Fatalf("%s answered before the group was complete", self)
+			}
+		}
+	}
+	flights := make(map[int64]bool)
+	for i, h := range handles {
+		out := waitOutcome(t, h)
+		if out.MatchSize != 4 {
+			t.Errorf("%s match size = %d", friends[i], out.MatchSize)
+		}
+		flights[out.Answers[0].Tuples[0][1].Int()] = true
+	}
+	if len(flights) != 1 {
+		t.Errorf("group split across flights: %v", flights)
+	}
+}
+
+// TestFlightAndHotel reproduces §3.1 "Book a flight and a hotel with a
+// friend": one entangled query with two answer atoms.
+func TestFlightAndHotel(t *testing.T) {
+	c, _ := newSystem(t, DefaultOptions())
+	mk := func(self, friend string) string {
+		return fmt.Sprintf(`SELECT ('%[1]s', fno) INTO ANSWER Reservation, ('%[1]s', hno) INTO ANSWER HotelReservation
+			WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris')
+			AND hno IN (SELECT hno FROM Hotels WHERE city='Paris')
+			AND ('%[2]s', fno) IN ANSWER Reservation
+			AND ('%[2]s', hno) IN ANSWER HotelReservation
+			CHOOSE 1`, self, friend)
+	}
+	hJ, err := c.SubmitSQL(mk("Jerry", "Kramer"), "jerry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hK, err := c.SubmitSQL(mk("Kramer", "Jerry"), "kramer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	outJ, outK := waitOutcome(t, hJ), waitOutcome(t, hK)
+	if len(outJ.Answers) != 2 || len(outK.Answers) != 2 {
+		t.Fatalf("answers: %v / %v", outJ.Answers, outK.Answers)
+	}
+	if outJ.Answers[0].Tuples[0][1].Int() != outK.Answers[0].Tuples[0][1].Int() {
+		t.Error("different flights")
+	}
+	if outJ.Answers[1].Tuples[0][1].Int() != outK.Answers[1].Tuples[0][1].Int() {
+		t.Error("different hotels")
+	}
+	if outJ.Answers[0].Relation != "Reservation" || outJ.Answers[1].Relation != "HotelReservation" {
+		t.Errorf("relations: %v", outJ.Answers)
+	}
+}
+
+// TestAdHocOverlap reproduces §3.1 "Ad-hoc examples": Jerry↔Kramer coordinate
+// on flights only; Kramer↔Elaine on flights and hotels.
+func TestAdHocOverlap(t *testing.T) {
+	c, _ := newSystem(t, DefaultOptions())
+	jerry := fmt.Sprintf(`SELECT 'Jerry', fno INTO ANSWER Reservation
+		WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris')
+		AND ('Kramer', fno) IN ANSWER Reservation CHOOSE 1`)
+	kramer := `SELECT ('Kramer', fno) INTO ANSWER Reservation, ('Kramer', hno) INTO ANSWER HotelReservation
+		WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris')
+		AND hno IN (SELECT hno FROM Hotels WHERE city='Paris')
+		AND ('Jerry', fno) IN ANSWER Reservation
+		AND ('Elaine', hno) IN ANSWER HotelReservation
+		CHOOSE 1`
+	elaine := `SELECT 'Elaine', hno INTO ANSWER HotelReservation
+		WHERE hno IN (SELECT hno FROM Hotels WHERE city='Paris')
+		AND ('Kramer', hno) IN ANSWER HotelReservation CHOOSE 1`
+
+	hJ, err := c.SubmitSQL(jerry, "jerry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hK, err := c.SubmitSQL(kramer, "kramer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := hK.TryOutcome(); ok {
+		t.Fatal("Kramer answered before Elaine arrived")
+	}
+	hE, err := c.SubmitSQL(elaine, "elaine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	outJ, outK, outE := waitOutcome(t, hJ), waitOutcome(t, hK), waitOutcome(t, hE)
+	if outK.MatchSize != 3 {
+		t.Errorf("Kramer match size = %d, want 3", outK.MatchSize)
+	}
+	if outJ.Answers[0].Tuples[0][1].Int() != outK.Answers[0].Tuples[0][1].Int() {
+		t.Error("Jerry and Kramer on different flights")
+	}
+	if outE.Answers[0].Tuples[0][1].Int() != outK.Answers[1].Tuples[0][1].Int() {
+		t.Error("Elaine and Kramer in different hotels")
+	}
+}
+
+// TestMultipleSimultaneousPairs reproduces §3.1 "Multiple simultaneous
+// bookings": concurrent pairs must each coordinate internally.
+func TestMultipleSimultaneousPairs(t *testing.T) {
+	c, _ := newSystem(t, DefaultOptions())
+	const pairs = 20
+	type res struct {
+		pair   int
+		flight int64
+	}
+	results := make(chan res, 2*pairs)
+	var wg sync.WaitGroup
+	for p := 0; p < pairs; p++ {
+		for side := 0; side < 2; side++ {
+			wg.Add(1)
+			go func(p, side int) {
+				defer wg.Done()
+				self := fmt.Sprintf("u%d_%d", p, side)
+				friend := fmt.Sprintf("u%d_%d", p, 1-side)
+				h, err := c.SubmitSQL(pairQuery(self, friend), self)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				out := waitOutcome(t, h)
+				results <- res{pair: p, flight: out.Answers[0].Tuples[0][1].Int()}
+			}(p, side)
+		}
+	}
+	wg.Wait()
+	close(results)
+	flights := make(map[int][]int64)
+	for r := range results {
+		flights[r.pair] = append(flights[r.pair], r.flight)
+	}
+	if len(flights) != pairs {
+		t.Fatalf("answered pairs = %d", len(flights))
+	}
+	for p, fs := range flights {
+		if len(fs) != 2 || fs[0] != fs[1] {
+			t.Errorf("pair %d flights = %v", p, fs)
+		}
+	}
+	if c.PendingCount() != 0 {
+		t.Errorf("pending = %d after all pairs matched", c.PendingCount())
+	}
+}
+
+// TestChooseN: CHOOSE 2 delivers two distinct coordinated answers.
+func TestChooseN(t *testing.T) {
+	c, _ := newSystem(t, DefaultOptions())
+	mk := func(self, friend string) string {
+		return fmt.Sprintf(`SELECT '%s', fno INTO ANSWER Reservation
+			WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris')
+			AND ('%s', fno) IN ANSWER Reservation CHOOSE 2`, self, friend)
+	}
+	hK, _ := c.SubmitSQL(mk("Kramer", "Jerry"), "")
+	hJ, _ := c.SubmitSQL(mk("Jerry", "Kramer"), "")
+	outK, outJ := waitOutcome(t, hK), waitOutcome(t, hJ)
+	if len(outK.Answers[0].Tuples) != 2 || len(outJ.Answers[0].Tuples) != 2 {
+		t.Fatalf("CHOOSE 2: got %d/%d tuples", len(outK.Answers[0].Tuples), len(outJ.Answers[0].Tuples))
+	}
+	if outK.Answers[0].Tuples[0][1].Int() == outK.Answers[0].Tuples[1][1].Int() {
+		t.Error("CHOOSE 2 delivered duplicate answers")
+	}
+	for i := 0; i < 2; i++ {
+		if outK.Answers[0].Tuples[i][1].Int() != outJ.Answers[0].Tuples[i][1].Int() {
+			t.Errorf("grounding %d differs between partners", i)
+		}
+	}
+}
+
+// TestChooseExceedsCandidates: CHOOSE 5 with only 3 Paris flights delivers
+// all 3 distinct groundings rather than failing.
+func TestChooseExceedsCandidates(t *testing.T) {
+	c, _ := newSystem(t, DefaultOptions())
+	mk := func(self, friend string) string {
+		return fmt.Sprintf(`SELECT '%s', fno INTO ANSWER Reservation
+			WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris')
+			AND ('%s', fno) IN ANSWER Reservation CHOOSE 5`, self, friend)
+	}
+	hK, _ := c.SubmitSQL(mk("Kramer", "Jerry"), "")
+	hJ, _ := c.SubmitSQL(mk("Jerry", "Kramer"), "")
+	outK, outJ := waitOutcome(t, hK), waitOutcome(t, hJ)
+	if len(outK.Answers[0].Tuples) != 3 || len(outJ.Answers[0].Tuples) != 3 {
+		t.Fatalf("got %d/%d tuples, want all 3 distinct groundings",
+			len(outK.Answers[0].Tuples), len(outJ.Answers[0].Tuples))
+	}
+	seen := map[int64]bool{}
+	for _, tup := range outK.Answers[0].Tuples {
+		seen[tup[1].Int()] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("groundings not distinct: %v", seen)
+	}
+}
+
+// TestChooseMismatchTakesMin: CHOOSE 3 meets CHOOSE 1 → 1 grounding.
+func TestChooseMismatchTakesMin(t *testing.T) {
+	c, _ := newSystem(t, DefaultOptions())
+	k := `SELECT 'Kramer', fno INTO ANSWER Reservation
+		WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris')
+		AND ('Jerry', fno) IN ANSWER Reservation CHOOSE 3`
+	j := `SELECT 'Jerry', fno INTO ANSWER Reservation
+		WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris')
+		AND ('Kramer', fno) IN ANSWER Reservation CHOOSE 1`
+	hK, _ := c.SubmitSQL(k, "")
+	hJ, _ := c.SubmitSQL(j, "")
+	outK, outJ := waitOutcome(t, hK), waitOutcome(t, hJ)
+	if len(outK.Answers[0].Tuples) != 1 || len(outJ.Answers[0].Tuples) != 1 {
+		t.Errorf("min(CHOOSE) violated: %d/%d", len(outK.Answers[0].Tuples), len(outJ.Answers[0].Tuples))
+	}
+}
+
+// TestSelfSatisfiableAnswersImmediately: a reflexive query needs no partner.
+func TestSelfSatisfiableAnswersImmediately(t *testing.T) {
+	c, _ := newSystem(t, DefaultOptions())
+	src := `SELECT 'Solo', fno INTO ANSWER Reservation
+		WHERE fno IN (SELECT fno FROM Flights WHERE dest='Rome')
+		AND ('Solo', fno) IN ANSWER Reservation CHOOSE 1`
+	h, err := c.SubmitSQL(src, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, ok := h.TryOutcome()
+	if !ok {
+		t.Fatal("self-satisfiable query not answered immediately")
+	}
+	if out.Answers[0].Tuples[0][1].Int() != 136 {
+		t.Errorf("answer = %v", out.Answers)
+	}
+}
+
+// TestNoConstraintQuery: an entangled query without answer constraints is
+// answered immediately (degenerate coordination).
+func TestNoConstraintQuery(t *testing.T) {
+	c, _ := newSystem(t, DefaultOptions())
+	h, err := c.SubmitSQL(`SELECT 'Solo', fno INTO ANSWER Reservation
+		WHERE fno IN (SELECT fno FROM Flights WHERE dest='Rome') CHOOSE 1`, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := h.TryOutcome(); !ok {
+		t.Fatal("constraint-free query not answered immediately")
+	}
+}
+
+// TestNegativeConstraint: NOT IN ANSWER excludes coordination with a rival's
+// choice.
+func TestNegativeConstraint(t *testing.T) {
+	c, _ := newSystem(t, DefaultOptions())
+	// Newman books flight 122 directly (no constraints).
+	hN, err := c.SubmitSQL(`SELECT 'Newman', fno INTO ANSWER Reservation
+		WHERE fno = 122 CHOOSE 1`, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitOutcome(t, hN)
+	// Jerry insists on a Paris flight Newman is NOT on.
+	hJ, err := c.SubmitSQL(`SELECT 'Jerry', fno INTO ANSWER Reservation
+		WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris')
+		AND ('Newman', fno) NOT IN ANSWER Reservation CHOOSE 1`, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := waitOutcome(t, hJ)
+	if f := out.Answers[0].Tuples[0][1].Int(); f == 122 {
+		t.Error("Jerry landed on Newman's flight despite NOT IN ANSWER")
+	}
+}
+
+// TestArityMismatchRejectedAtSubmit guards the pre-check in Submit.
+func TestArityMismatchRejectedAtSubmit(t *testing.T) {
+	c, _ := newSystem(t, DefaultOptions())
+	h, _ := c.SubmitSQL(`SELECT 'Solo', fno INTO ANSWER Reservation
+		WHERE fno IN (SELECT fno FROM Flights WHERE dest='Rome') CHOOSE 1`, "")
+	waitOutcome(t, h)
+	// Reservation now has arity 2; a 3-ary head must be rejected.
+	_, err := c.SubmitSQL(`SELECT 'X', fno, 9 INTO ANSWER Reservation
+		WHERE fno IN (SELECT fno FROM Flights) CHOOSE 1`, "")
+	if err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+}
+
+// TestAnswerNameCollisionRejectedAtSubmit: an answer relation may not shadow
+// a base table.
+func TestAnswerNameCollisionRejectedAtSubmit(t *testing.T) {
+	c, _ := newSystem(t, DefaultOptions())
+	_, err := c.SubmitSQL(`SELECT 'K', fno INTO ANSWER Flights
+		WHERE fno IN (SELECT fno FROM Flights) CHOOSE 1`, "")
+	if err == nil {
+		t.Fatal("answer relation shadowing base table accepted")
+	}
+}
+
+// TestFIFOPartnerPreference: when two pending queries could both cover a new
+// arrival's constraint, the earlier-submitted one is matched (candidate
+// ordering is by submission id).
+func TestFIFOPartnerPreference(t *testing.T) {
+	c, _ := newSystem(t, DefaultOptions())
+	// Two identical offers from Jerry-like users (both satisfy ('J', fno)).
+	hFirst, err := c.SubmitSQL(`SELECT 'J', fno INTO ANSWER Reservation
+		WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris')
+		AND ('K', fno) IN ANSWER Reservation CHOOSE 1`, "first")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hSecond, err := c.SubmitSQL(`SELECT 'J', fno INTO ANSWER Reservation
+		WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris')
+		AND ('K', fno) IN ANSWER Reservation CHOOSE 1`, "second")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// K arrives. The FIRST J offer joins K's match (candidate order is by
+	// submission id). The second J is then unblocked too — its constraint
+	// ('K', fno) is satisfied by K's freshly installed answer tuple, which
+	// the shared answer relation makes visible to everyone (§2.1).
+	hK, err := c.SubmitSQL(pairQuery("K", "J"), "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	outK := waitOutcome(t, hK)
+	outFirst, ok := hFirst.TryOutcome()
+	if !ok {
+		t.Fatal("earlier-submitted partner was not preferred")
+	}
+	if outFirst.MatchSize != 2 {
+		t.Errorf("first J match size = %d, want 2 (joint with K)", outFirst.MatchSize)
+	}
+	outSecond, ok := hSecond.TryOutcome()
+	if !ok {
+		t.Fatal("second J not unblocked by the installed answer")
+	}
+	if outSecond.MatchSize != 1 {
+		t.Errorf("second J match size = %d, want 1 (rides the installed answer)", outSecond.MatchSize)
+	}
+	fK := outK.Answers[0].Tuples[0][1].Int()
+	if outFirst.Answers[0].Tuples[0][1].Int() != fK || outSecond.Answers[0].Tuples[0][1].Int() != fK {
+		t.Error("flights diverge across the cascade")
+	}
+	if c.PendingCount() != 0 {
+		t.Errorf("pending = %d", c.PendingCount())
+	}
+}
+
+// TestCompileErrorsSurfaceThroughSubmitSQL.
+func TestCompileErrorsSurfaceThroughSubmitSQL(t *testing.T) {
+	c, _ := newSystem(t, DefaultOptions())
+	if _, err := c.SubmitSQL("SELECT 'K', fno INTO ANSWER R WHERE ('J', fno) IN ANSWER R", ""); err == nil {
+		t.Error("unsafe query accepted")
+	}
+	if _, err := c.SubmitSQL("SELECT fno FROM Flights", ""); err == nil {
+		t.Error("plain select accepted as entangled")
+	}
+}
+
+// TestAdminIntrospection exercises Pending, EntanglementGraph and DumpState.
+func TestAdminIntrospection(t *testing.T) {
+	c, _ := newSystem(t, DefaultOptions())
+	c.SubmitSQL(pairQuery("Kramer", "Jerry"), "kramer")
+	c.SubmitSQL(pairQuery("Elaine", "George"), "elaine")
+
+	pend := c.Pending()
+	if len(pend) != 2 {
+		t.Fatalf("pending = %v", pend)
+	}
+	if pend[0].Owner != "kramer" || len(pend[0].Relations) != 1 {
+		t.Errorf("pending[0] = %+v", pend[0])
+	}
+	if !strings.Contains(pend[0].Logic, "Reservation('Kramer', fno)") {
+		t.Errorf("logic = %q", pend[0].Logic)
+	}
+
+	// Kramer's constraint mentions Jerry; Elaine's mentions George — no
+	// cross edges between these two pending queries.
+	if edges := c.EntanglementGraph(); len(edges) != 0 {
+		t.Errorf("unexpected edges: %v", edges)
+	}
+
+	// Add George: Elaine→George edge appears (and George→Elaine).
+	c.SubmitSQL(pairQuery("George", "Harold"), "george")
+	edges := c.EntanglementGraph()
+	found := false
+	for _, e := range edges {
+		if e.From == pend[1].ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected an Elaine→George edge, got %v", edges)
+	}
+
+	dump := c.DumpState()
+	for _, want := range []string{"Pending entangled queries (3)", "Entanglement graph", "Answer relations", "Stats"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("DumpState missing %q", want)
+		}
+	}
+}
+
+// TestMatchBoundPreventsOversizedGroups: a 5-way cycle with MaxMatchSize 4
+// cannot match; raising the bound allows it.
+func TestMatchBoundPreventsOversizedGroups(t *testing.T) {
+	mkGroup := func(c *Coordinator, n int) []*Handle {
+		handles := make([]*Handle, n)
+		for i := 0; i < n; i++ {
+			self := fmt.Sprintf("g%d", i)
+			next := fmt.Sprintf("g%d", (i+1)%n)
+			src := fmt.Sprintf(`SELECT '%s', fno INTO ANSWER Reservation
+				WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris')
+				AND ('%s', fno) IN ANSWER Reservation CHOOSE 1`, self, next)
+			h, err := c.SubmitSQL(src, self)
+			if err != nil {
+				t.Fatal(err)
+			}
+			handles[i] = h
+		}
+		return handles
+	}
+
+	cSmall, _ := newSystem(t, Options{MaxMatchSize: 4, UseIndex: true, GroundSmallestFirst: true})
+	hs := mkGroup(cSmall, 5)
+	if _, ok := hs[4].TryOutcome(); ok {
+		t.Fatal("5-cycle matched under MaxMatchSize=4")
+	}
+	if cSmall.PendingCount() != 5 {
+		t.Errorf("pending = %d", cSmall.PendingCount())
+	}
+
+	cBig, _ := newSystem(t, Options{MaxMatchSize: 8, UseIndex: true, GroundSmallestFirst: true})
+	hs = mkGroup(cBig, 5)
+	for _, h := range hs {
+		waitOutcome(t, h)
+	}
+}
+
+// TestIndexAndLinearAgree: the A1 ablation must not change outcomes.
+func TestIndexAndLinearAgree(t *testing.T) {
+	for _, useIndex := range []bool{true, false} {
+		c, _ := newSystem(t, Options{UseIndex: useIndex, GroundSmallestFirst: true, Seed: 7})
+		hK, _ := c.SubmitSQL(pairQuery("Kramer", "Jerry"), "")
+		c.SubmitSQL(pairQuery("Jerry", "Kramer"), "")
+		out := waitOutcome(t, hK)
+		if out.MatchSize != 2 {
+			t.Errorf("useIndex=%v: match size %d", useIndex, out.MatchSize)
+		}
+	}
+}
+
+// TestSubmitCompiledQuery uses the Compile+Submit path directly.
+func TestSubmitCompiledQuery(t *testing.T) {
+	c, _ := newSystem(t, DefaultOptions())
+	q, err := eq.CompileSQL(pairQuery("Kramer", "Jerry"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(q, "kramer"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(nil, ""); err == nil {
+		t.Error("nil query accepted")
+	}
+}
+
+// TestRepeatedVariableInConstraint: R(x, x) style constraints bind both
+// positions to one value.
+func TestRepeatedVariableAcrossAtoms(t *testing.T) {
+	c, _ := newSystem(t, DefaultOptions())
+	// One traveler requires flight == hotel number (only sensible with the
+	// right data): insert hotel 122 to make it satisfiable.
+	if _, err := c.Engine().ExecuteSQL("INSERT INTO Hotels VALUES (122, 'Paris')"); err != nil {
+		t.Fatal(err)
+	}
+	src := `SELECT ('Same', n) INTO ANSWER Reservation, ('Same', n) INTO ANSWER HotelReservation
+		WHERE n IN (SELECT fno FROM Flights WHERE dest='Paris')
+		AND n IN (SELECT hno FROM Hotels WHERE city='Paris') CHOOSE 1`
+	h, err := c.SubmitSQL(src, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := waitOutcome(t, h)
+	if out.Answers[0].Tuples[0][1].Int() != 122 || out.Answers[1].Tuples[0][1].Int() != 122 {
+		t.Errorf("answers = %v", out.Answers)
+	}
+}
+
+func TestPendingCountAndStats(t *testing.T) {
+	c, _ := newSystem(t, DefaultOptions())
+	c.SubmitSQL(pairQuery("A", "B"), "")
+	c.SubmitSQL(pairQuery("C", "D"), "")
+	if c.PendingCount() != 2 {
+		t.Errorf("pending = %d", c.PendingCount())
+	}
+	s := c.Stats()
+	if s.Submitted != 2 || s.Parked != 2 || s.Matches != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+// TestAnswerTuplesQueryableViaSQL: installed answers are plain tables, as in
+// the demo where the SQL CLI can inspect them.
+func TestAnswerTuplesQueryableViaSQL(t *testing.T) {
+	c, eng := newSystem(t, DefaultOptions())
+	hK, _ := c.SubmitSQL(pairQuery("Kramer", "Jerry"), "")
+	c.SubmitSQL(pairQuery("Jerry", "Kramer"), "")
+	waitOutcome(t, hK)
+	res, err := eng.ExecuteSQL("SELECT * FROM Reservation ORDER BY a1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Rows[0][0].Str() != "Jerry" || res.Rows[1][0].Str() != "Kramer" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+	if !res.Rows[0][1].Equal(value.NewTuple(res.Rows[1][1])[0]) {
+		t.Error("flight numbers differ")
+	}
+}

@@ -1,0 +1,95 @@
+package coord
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDiagnoseNoPartner(t *testing.T) {
+	c, _ := newSystem(t, DefaultOptions())
+	h, _ := c.SubmitSQL(pairQuery("Kramer", "Godot"), "")
+	d, ok := c.Diagnose(h.ID)
+	if !ok {
+		t.Fatal("pending query not diagnosable")
+	}
+	if len(d.PerConstraint) != 1 {
+		t.Fatalf("diag = %+v", d)
+	}
+	if d.PerConstraint[0].PendingHeads != 0 || d.PerConstraint[0].InstalledHits != 0 {
+		t.Errorf("census = %+v", d.PerConstraint[0])
+	}
+	if !strings.Contains(d.Summary, "no candidate cover") {
+		t.Errorf("summary = %q", d.Summary)
+	}
+}
+
+func TestDiagnoseIncompatibleFilters(t *testing.T) {
+	c, _ := newSystem(t, DefaultOptions())
+	// Partners whose candidate sets are disjoint (day 10 only vs day 12 only
+	// → flights 122 vs 134).
+	k := `SELECT 'K', fno INTO ANSWER Reservation
+		WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris' AND fno < 123)
+		AND ('J', fno) IN ANSWER Reservation CHOOSE 1`
+	j := `SELECT 'J', fno INTO ANSWER Reservation
+		WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris' AND fno > 130)
+		AND ('K', fno) IN ANSWER Reservation CHOOSE 1`
+	hK, _ := c.SubmitSQL(k, "")
+	c.SubmitSQL(j, "") //nolint:errcheck
+	d, ok := c.Diagnose(hK.ID)
+	if !ok {
+		t.Fatal("not diagnosable")
+	}
+	if d.PerConstraint[0].PendingHeads == 0 {
+		t.Error("partner head should be a candidate")
+	}
+	if !strings.Contains(d.Summary, "no joint match grounded") {
+		t.Errorf("summary = %q", d.Summary)
+	}
+}
+
+func TestDiagnoseGroundingOnlyQuery(t *testing.T) {
+	c, eng := newSystem(t, DefaultOptions())
+	eng.ExecuteSQL("DELETE FROM Flights") //nolint:errcheck
+	h, _ := c.SubmitSQL(`SELECT 'Solo', fno INTO ANSWER Reservation
+		WHERE fno IN (SELECT fno FROM Flights WHERE dest='Rome') CHOOSE 1`, "")
+	d, ok := c.Diagnose(h.ID)
+	if !ok {
+		t.Fatal("not diagnosable")
+	}
+	if !strings.Contains(d.Summary, "grounding failed") {
+		t.Errorf("summary = %q", d.Summary)
+	}
+}
+
+func TestDiagnoseUnknownOrAnswered(t *testing.T) {
+	c, _ := newSystem(t, DefaultOptions())
+	if _, ok := c.Diagnose(999); ok {
+		t.Error("unknown id diagnosable")
+	}
+	hK, _ := c.SubmitSQL(pairQuery("Kramer", "Jerry"), "")
+	c.SubmitSQL(pairQuery("Jerry", "Kramer"), "") //nolint:errcheck
+	waitOutcome(t, hK)
+	if _, ok := c.Diagnose(hK.ID); ok {
+		t.Error("answered query still diagnosable")
+	}
+}
+
+// TestMatchMinimality: the matcher prefers the smallest closed match — a
+// satisfied pair never drags in a compatible third query.
+func TestMatchMinimality(t *testing.T) {
+	c, _ := newSystem(t, DefaultOptions())
+	// A third party offering the same head shape as Jerry's.
+	hX, _ := c.SubmitSQL(`SELECT 'J', fno INTO ANSWER Reservation
+		WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris')
+		AND ('SomeoneElse', fno) IN ANSWER Reservation CHOOSE 1`, "")
+	hK, _ := c.SubmitSQL(pairQuery("K", "J"), "")
+	hJ, _ := c.SubmitSQL(pairQuery("J", "K"), "")
+	outK := waitOutcome(t, hK)
+	waitOutcome(t, hJ)
+	if outK.MatchSize != 2 {
+		t.Errorf("match size = %d, want 2 (minimal)", outK.MatchSize)
+	}
+	if _, ok := hX.TryOutcome(); ok {
+		t.Error("unrelated query swept into the match")
+	}
+}

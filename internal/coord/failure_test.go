@@ -1,0 +1,238 @@
+package coord
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBaseTableDroppedWhilePending: dropping the table a pending query's
+// generator reads must not crash the coordinator; the pair simply cannot
+// ground and stays pending, and recreating the table unblocks it via Retry.
+func TestBaseTableDroppedWhilePending(t *testing.T) {
+	c, eng := newSystem(t, DefaultOptions())
+	hK, err := c.SubmitSQL(pairQuery("Kramer", "Jerry"), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.ExecuteSQL("DROP TABLE Flights"); err != nil {
+		t.Fatal(err)
+	}
+	// Partner arrival: coverage succeeds, grounding fails (no table).
+	hJ, err := c.SubmitSQL(pairQuery("Jerry", "Kramer"), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := hK.TryOutcome(); ok {
+		t.Fatal("answered with the Flights table dropped")
+	}
+	if c.PendingCount() != 2 {
+		t.Errorf("pending = %d", c.PendingCount())
+	}
+	// Bring the world back; Retry unblocks.
+	if _, err := eng.ExecuteSQL("CREATE TABLE Flights (fno INT, dest STRING)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.ExecuteSQL("INSERT INTO Flights VALUES (900, 'Paris')"); err != nil {
+		t.Fatal(err)
+	}
+	c.Retry()
+	outK, outJ := waitOutcome(t, hK), waitOutcome(t, hJ)
+	if outK.Answers[0].Tuples[0][1].Int() != 900 || outJ.Answers[0].Tuples[0][1].Int() != 900 {
+		t.Errorf("answers: %v / %v", outK.Answers, outJ.Answers)
+	}
+}
+
+// TestConcurrentCancelAndSubmit: canceling from other goroutines while
+// arrivals trigger matches must neither deadlock nor double-deliver.
+func TestConcurrentCancelAndSubmit(t *testing.T) {
+	c, _ := newSystem(t, DefaultOptions())
+	const n = 30
+	var wg sync.WaitGroup
+	deliveries := make(chan Outcome, n*2)
+
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			self := fmt.Sprintf("x%d", i)
+			ghost := fmt.Sprintf("ghost%d", i)
+			h, err := c.SubmitSQL(pairQuery(self, ghost), self)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			// Half are canceled concurrently, half wait forever.
+			if i%2 == 0 {
+				c.Cancel(h.ID)
+			}
+			if out, ok := h.TryOutcome(); ok {
+				deliveries <- out
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(deliveries)
+	for out := range deliveries {
+		if !out.Canceled {
+			t.Errorf("unexpected non-cancel outcome %+v", out)
+		}
+	}
+	if got := c.PendingCount(); got != n/2 {
+		t.Errorf("pending = %d, want %d", got, n/2)
+	}
+	s := c.Stats()
+	if s.Canceled != n/2 {
+		t.Errorf("canceled = %d", s.Canceled)
+	}
+}
+
+// TestCancelRaceWithMatch: a cancel racing the partner's arrival resolves to
+// exactly one outcome — either canceled or matched, never both/neither.
+func TestCancelRaceWithMatch(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		c, _ := newSystem(t, DefaultOptions())
+		hK, err := c.SubmitSQL(pairQuery("Kramer", "Jerry"), "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			c.Cancel(hK.ID)
+		}()
+		var hJ *Handle
+		var errJ error
+		go func() {
+			defer wg.Done()
+			hJ, errJ = c.SubmitSQL(pairQuery("Jerry", "Kramer"), "")
+		}()
+		wg.Wait()
+		if errJ != nil {
+			t.Fatal(errJ)
+		}
+		outK, ok := hK.TryOutcome()
+		if !ok {
+			t.Fatal("Kramer got no outcome at all")
+		}
+		if outK.Canceled {
+			// Jerry must still be pending (his partner vanished).
+			if _, ok := hJ.TryOutcome(); ok {
+				t.Error("Jerry answered although Kramer was canceled first")
+			}
+		} else {
+			// Matched: Jerry must be answered too, and the flights agree.
+			outJ, ok := hJ.TryOutcome()
+			if !ok {
+				t.Error("match delivered to Kramer but not Jerry")
+			} else if outJ.Answers[0].Tuples[0][1].Int() != outK.Answers[0].Tuples[0][1].Int() {
+				t.Error("split match")
+			}
+		}
+	}
+}
+
+// TestSubmitDuringRetryStorm: heavy concurrent submits with auto-retry style
+// Retry calls interleaved must stay consistent.
+func TestSubmitDuringRetryStorm(t *testing.T) {
+	c, _ := newSystem(t, DefaultOptions())
+	var wg sync.WaitGroup
+	for p := 0; p < 10; p++ {
+		wg.Add(3)
+		go func(p int) {
+			defer wg.Done()
+			h, err := c.SubmitSQL(pairQuery(fmt.Sprintf("s%d_a", p), fmt.Sprintf("s%d_b", p)), "")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			waitOutcome(t, h)
+		}(p)
+		go func(p int) {
+			defer wg.Done()
+			h, err := c.SubmitSQL(pairQuery(fmt.Sprintf("s%d_b", p), fmt.Sprintf("s%d_a", p)), "")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			waitOutcome(t, h)
+		}(p)
+		go func() {
+			defer wg.Done()
+			c.Retry()
+		}()
+	}
+	wg.Wait()
+	if c.PendingCount() != 0 {
+		t.Errorf("pending = %d", c.PendingCount())
+	}
+}
+
+// TestEmptyDatabaseGroundingFailure: coordination against an empty catalog
+// parks cleanly and recovers once data exists.
+func TestEmptyDatabaseGroundingFailure(t *testing.T) {
+	c, eng := newSystem(t, DefaultOptions())
+	if _, err := eng.ExecuteSQL("DELETE FROM Flights"); err != nil {
+		t.Fatal(err)
+	}
+	hK, _ := c.SubmitSQL(pairQuery("Kramer", "Jerry"), "")
+	c.SubmitSQL(pairQuery("Jerry", "Kramer"), "") //nolint:errcheck
+	time.Sleep(20 * time.Millisecond)
+	if _, ok := hK.TryOutcome(); ok {
+		t.Fatal("matched against empty Flights")
+	}
+	st := c.Stats()
+	if st.GroundingFailures == 0 {
+		t.Error("grounding failure not counted")
+	}
+}
+
+// TestStressManyGroupsInterleaved: members of many groups arrive round-robin
+// (worst interleaving for partial matches).
+func TestStressManyGroupsInterleaved(t *testing.T) {
+	c, _ := newSystem(t, DefaultOptions())
+	const groups, size = 8, 3
+	handles := make([][]*Handle, groups)
+	// Submit member j of every group before member j+1 of any group.
+	for j := 0; j < size; j++ {
+		for g := 0; g < groups; g++ {
+			var cons []string
+			for k := 0; k < size; k++ {
+				if k != j {
+					cons = append(cons, fmt.Sprintf("('m%d_%d', fno) IN ANSWER Reservation", g, k))
+				}
+			}
+			src := fmt.Sprintf(`SELECT 'm%d_%d', fno INTO ANSWER Reservation
+				WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris') AND %s CHOOSE 1`,
+				g, j, joinAnd(cons))
+			h, err := c.SubmitSQL(src, "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			handles[g] = append(handles[g], h)
+		}
+	}
+	for g := 0; g < groups; g++ {
+		flights := map[int64]bool{}
+		for _, h := range handles[g] {
+			out := waitOutcome(t, h)
+			flights[out.Answers[0].Tuples[0][1].Int()] = true
+		}
+		if len(flights) != 1 {
+			t.Errorf("group %d split: %v", g, flights)
+		}
+	}
+}
+
+func joinAnd(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += " AND "
+		}
+		out += p
+	}
+	return out
+}

@@ -1,0 +1,471 @@
+package coord
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/engine"
+	"repro/internal/eq"
+	"repro/internal/sql"
+	"repro/internal/txn"
+	"repro/internal/value"
+)
+
+// errNoGrounding aborts the grounding transaction without surfacing an error
+// to the caller: the covered match simply has no satisfying assignment in the
+// current database, so the search continues.
+var errNoGrounding = errors.New("coord: no grounding")
+
+// installResult carries what a successful match installed.
+type installResult struct {
+	members []*pending
+	// perQuery maps member id → its outcome answers (parallel to its heads).
+	perQuery map[uint64][]Answer
+	// groundings is how many distinct assignments were installed (CHOOSE n).
+	groundings int
+}
+
+// domainSource is one enumerable candidate set for a group of variable
+// classes, obtained by evaluating a generator through the execution engine.
+// A lazy source is a correlated generator — its subquery references other
+// coordination variables — and is (re-)evaluated during backtracking once
+// the variables it depends on are assigned.
+type domainSource struct {
+	classIdx []int // indexes into the class list, parallel to tuple positions
+	tuples   []value.Tuple
+
+	// Lazy (correlated) sources only:
+	lazy bool
+	sub  *sql.Select
+	qid  uint64 // owning member, whose variable scope the subquery sees
+}
+
+// ground takes a fully covered match and attempts to extend the unifier to a
+// full assignment of every variable class such that every member query's
+// residual predicates hold in the current database. On success it atomically
+// installs one answer tuple per head atom per chosen grounding and delivers
+// nothing yet (delivery happens after commit, in the coordinator).
+//
+// Grounding and installation run inside one transaction: generator
+// subqueries take shared locks on the base tables they read and the
+// installation takes exclusive locks on the answer relations, so the
+// coordinated answers are consistent with the database state they were
+// justified by — the paper's joint, atomic evaluation of matched queries.
+func (c *Coordinator) ground(st *matchState) (*installResult, bool) {
+	c.stats.GroundingAttempts.Add(1)
+	var res *installResult
+	err := c.eng.Manager().RunAtomic(func(tx *txn.Txn) error {
+		r, err := c.groundIn(tx, st)
+		if err != nil {
+			return err
+		}
+		res = r
+		return nil
+	})
+	if err != nil {
+		return nil, false
+	}
+	return res, true
+}
+
+func (c *Coordinator) groundIn(tx *txn.Txn, st *matchState) (*installResult, error) {
+	// Collect every scoped variable of every member and group into classes.
+	var vars []eq.ScopedVar
+	for _, qid := range st.order {
+		for _, v := range st.members[qid].q.Vars {
+			vars = append(vars, eq.ScopedVar{QID: qid, Name: v})
+		}
+	}
+	classes := st.subst.Classes(vars)
+	classOf := make(map[eq.ScopedVar]int, len(vars))
+	for i, cl := range classes {
+		for _, m := range cl.Members {
+			classOf[m] = i
+		}
+	}
+
+	// Assignment: one constant per class; pre-bound classes are fixed.
+	assign := make([]value.Value, len(classes))
+	assigned := make([]bool, len(classes))
+	for i, cl := range classes {
+		if cl.Bound {
+			assign[i] = cl.Const
+			assigned[i] = true
+		}
+	}
+
+	// Evaluate generators into domain sources for the unassigned classes.
+	sources, lazySources, err := c.collectSources(tx, st, classOf, assigned)
+	if err != nil {
+		return nil, err
+	}
+
+	// Greedy cover: every unassigned class needs at least one source.
+	// Correlated (lazy) sources cover their classes too, but are ordered
+	// after every independent source so their inputs are assigned first.
+	chosen, err := chooseSources(classes, assigned, sources, lazySources, c.opts.GroundSmallestFirst)
+	if err != nil {
+		return nil, err
+	}
+
+	// Nondeterministic choice (§2.1: "the system nondeterministically
+	// chooses either flight 122 or 123"): shuffle candidate tuples.
+	for _, s := range chosen {
+		c.shuffle(s.tuples)
+	}
+
+	want := c.chooseCount(st)
+	var groundings [][]value.Value
+	seen := make(map[string]bool) // dedup: CHOOSE n wants n DISTINCT answers
+
+	var backtrack func(i int) bool
+	backtrack = func(i int) bool {
+		if i == len(chosen) {
+			k := value.Tuple(assign).Key()
+			if seen[k] {
+				return false
+			}
+			if !c.checkFilters(tx, st, classOf, assign) {
+				return false
+			}
+			if !c.checkNegConstraints(st, classOf, assign, groundings) {
+				return false
+			}
+			seen[k] = true
+			g := make([]value.Value, len(assign))
+			copy(g, assign)
+			groundings = append(groundings, g)
+			return len(groundings) >= want
+		}
+		src := chosen[i]
+		tuples := src.tuples
+		if src.lazy {
+			// Evaluate the correlated generator under the current partial
+			// assignment of its owner's variables.
+			env := engine.NewEnv()
+			member := st.members[src.qid]
+			for _, v := range member.q.Vars {
+				if ci, ok := classOf[eq.ScopedVar{QID: src.qid, Name: v}]; ok && assigned[ci] {
+					env.BindVar(v, assign[ci])
+				}
+			}
+			r, err := c.eng.EvalSelect(tx, src.sub, env)
+			if err != nil || len(r.Cols) != len(src.classIdx) {
+				// Still-unbound dependency, missing table or arity mismatch:
+				// this branch cannot ground.
+				return false
+			}
+			tuples = r.Rows
+			c.shuffle(tuples)
+		}
+		for _, tup := range tuples {
+			// Tentatively assign this source's classes, respecting earlier
+			// assignments (joint consistency).
+			touched := make([]int, 0, len(src.classIdx))
+			ok := true
+			for k, ci := range src.classIdx {
+				if assigned[ci] {
+					if !assign[ci].Identical(tup[k]) {
+						ok = false
+						break
+					}
+					continue
+				}
+				assign[ci] = tup[k]
+				assigned[ci] = true
+				touched = append(touched, ci)
+			}
+			if ok && backtrack(i+1) {
+				// Keep going for more groundings unless done.
+				for _, ci := range touched {
+					assigned[ci] = false
+				}
+				if len(groundings) >= want {
+					return true
+				}
+				continue
+			}
+			for _, ci := range touched {
+				assigned[ci] = false
+			}
+		}
+		return len(groundings) >= want
+	}
+	backtrack(0)
+
+	// All-constant matches (no unbound classes, no sources) reach here with
+	// chosen == nil; backtrack(0) handled them via the i==len(chosen) case.
+	if len(groundings) == 0 {
+		return nil, errNoGrounding
+	}
+
+	// Install: one answer tuple per head atom per grounding, atomically.
+	res := &installResult{
+		members:    make([]*pending, 0, len(st.order)),
+		perQuery:   make(map[uint64][]Answer, len(st.order)),
+		groundings: len(groundings),
+	}
+	for _, qid := range st.order {
+		member := st.members[qid]
+		res.members = append(res.members, member)
+		answersForQ := make([]Answer, len(member.q.Heads))
+		for hi, h := range member.q.Heads {
+			answersForQ[hi].Relation = h.Display
+			for _, g := range groundings {
+				tup, err := resolveHead(st, qid, h, classOf, g)
+				if err != nil {
+					return nil, err
+				}
+				if err := c.store.Install(tx, h.Display, tup); err != nil {
+					return nil, err
+				}
+				answersForQ[hi].Tuples = append(answersForQ[hi].Tuples, tup)
+			}
+		}
+		res.perQuery[qid] = answersForQ
+	}
+	return res, nil
+}
+
+// collectSources evaluates each member's generators into candidate sets.
+// Generators whose subquery references still-unbound coordination variables
+// (correlated generators) cannot be enumerated up front; they are returned
+// separately as lazy sources and evaluated during backtracking once their
+// inputs are assigned.
+func (c *Coordinator) collectSources(tx *txn.Txn, st *matchState, classOf map[eq.ScopedVar]int, assigned []bool) (sources, lazySources []domainSource, err error) {
+	for _, qid := range st.order {
+		member := st.members[qid]
+		for _, g := range member.q.Generators {
+			idx := make([]int, len(g.Vars))
+			for i, v := range g.Vars {
+				ci, ok := classOf[eq.ScopedVar{QID: qid, Name: v}]
+				if !ok {
+					return nil, nil, fmt.Errorf("coord: internal: variable %s.%s has no class", member.q.Source, v)
+				}
+				idx[i] = ci
+			}
+			var tuples []value.Tuple
+			if g.Sub != nil {
+				r, err := c.eng.EvalSelect(tx, g.Sub, engine.NewEnv())
+				if err != nil {
+					if errors.Is(err, engine.ErrUnboundVariable) {
+						lazySources = append(lazySources, domainSource{
+							classIdx: idx, lazy: true, sub: g.Sub, qid: qid,
+						})
+						continue
+					}
+					return nil, nil, err
+				}
+				if len(r.Cols) != len(g.Vars) {
+					return nil, nil, fmt.Errorf("coord: generator arity %d vs %d in %s", len(r.Cols), len(g.Vars), g)
+				}
+				tuples = r.Rows
+			} else {
+				tuples = g.Tuples
+			}
+			sources = append(sources, domainSource{classIdx: idx, tuples: tuples})
+		}
+	}
+	return sources, lazySources, nil
+}
+
+// chooseSources selects, for every unassigned class, one domain source that
+// enumerates it, then orders the selection (smallest candidate set first when
+// smallestFirst — the A3 ablation knob). Independent sources are preferred;
+// lazy (correlated) sources cover leftover classes and always run after every
+// independent source, so their inputs are assigned when they evaluate.
+func chooseSources(classes []eq.Class, assigned []bool, sources, lazySources []domainSource, smallestFirst bool) ([]domainSource, error) {
+	covered := make([]bool, len(classes))
+	for i := range classes {
+		covered[i] = assigned[i]
+	}
+	var chosen []domainSource
+	// Repeatedly pick independent sources until no more help.
+	for {
+		next := -1
+		for si, s := range sources {
+			helps := false
+			for _, ci := range s.classIdx {
+				if !covered[ci] {
+					helps = true
+					break
+				}
+			}
+			if !helps {
+				continue
+			}
+			if next == -1 {
+				next = si
+				continue
+			}
+			if smallestFirst && len(s.tuples) < len(sources[next].tuples) {
+				next = si
+			}
+		}
+		if next == -1 {
+			break
+		}
+		chosen = append(chosen, sources[next])
+		for _, ci := range sources[next].classIdx {
+			covered[ci] = true
+		}
+	}
+	if smallestFirst {
+		sort.SliceStable(chosen, func(i, j int) bool {
+			return len(chosen[i].tuples) < len(chosen[j].tuples)
+		})
+	}
+	// Lazy sources cover what remains.
+	var lazyChosen []domainSource
+	for _, s := range lazySources {
+		helps := false
+		for _, ci := range s.classIdx {
+			if !covered[ci] {
+				helps = true
+				break
+			}
+		}
+		if !helps {
+			continue
+		}
+		lazyChosen = append(lazyChosen, s)
+		for _, ci := range s.classIdx {
+			covered[ci] = true
+		}
+	}
+	for i := range classes {
+		if !covered[i] {
+			return nil, errNoGrounding // some class cannot be enumerated
+		}
+	}
+	return append(chosen, lazyChosen...), nil
+}
+
+// checkFilters evaluates every member's residual predicates under the full
+// assignment, each in an environment binding that member's variable names.
+func (c *Coordinator) checkFilters(tx *txn.Txn, st *matchState, classOf map[eq.ScopedVar]int, assign []value.Value) bool {
+	for _, qid := range st.order {
+		member := st.members[qid]
+		env := engine.NewEnv()
+		for _, v := range member.q.Vars {
+			ci := classOf[eq.ScopedVar{QID: qid, Name: v}]
+			env.BindVar(v, assign[ci])
+		}
+		for _, p := range member.q.Preds {
+			v, err := c.eng.EvalExpr(tx, p, env)
+			if err != nil || v.Type() != value.TypeBool || !v.Bool() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// checkNegConstraints verifies NOT IN ANSWER exclusions against the
+// installed answer relations, the groundings already accepted in this match,
+// AND the tuples the current grounding itself would co-install — a member's
+// exclusion must not be violated by a partner's (or its own) contribution in
+// the same joint execution.
+func (c *Coordinator) checkNegConstraints(st *matchState, classOf map[eq.ScopedVar]int, assign []value.Value, prior [][]value.Value) bool {
+	pendingInstalls := append(append([][]value.Value{}, prior...), assign)
+	for _, qid := range st.order {
+		member := st.members[qid]
+		for _, n := range member.q.NegConstraints {
+			pattern, err := resolveAtom(st, qid, n, classOf, assign)
+			if err != nil {
+				return false
+			}
+			if len(c.store.Matching(pattern)) > 0 {
+				return false
+			}
+			// Also exclude clashes with this match's own installs (earlier
+			// groundings and the one under consideration).
+			for _, g := range pendingInstalls {
+				for _, qid2 := range st.order {
+					m2 := st.members[qid2]
+					for _, h := range m2.q.Heads {
+						if h.Relation != pattern.Relation {
+							continue
+						}
+						tup, err := resolveHead(st, qid2, h, classOf, g)
+						if err != nil {
+							continue
+						}
+						if groundAtomMatches(pattern, tup) {
+							return false
+						}
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
+func groundAtomMatches(pattern eq.Atom, tup value.Tuple) bool {
+	if pattern.Arity() != len(tup) {
+		return false
+	}
+	for i, t := range pattern.Terms {
+		if t.IsVar {
+			continue // unbound pattern position matches anything
+		}
+		if !t.Const.Identical(tup[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// resolveHead grounds a head atom under the class assignment.
+func resolveHead(st *matchState, qid uint64, h eq.Atom, classOf map[eq.ScopedVar]int, assign []value.Value) (value.Tuple, error) {
+	a, err := resolveAtom(st, qid, h, classOf, assign)
+	if err != nil {
+		return nil, err
+	}
+	if !a.Ground() {
+		return nil, fmt.Errorf("coord: head %s not ground after assignment", a)
+	}
+	return a.GroundTuple(), nil
+}
+
+func resolveAtom(st *matchState, qid uint64, a eq.Atom, classOf map[eq.ScopedVar]int, assign []value.Value) (eq.Atom, error) {
+	out := eq.Atom{Relation: a.Relation, Display: a.Display, Terms: make([]eq.Term, len(a.Terms))}
+	for i, t := range a.Terms {
+		if !t.IsVar {
+			out.Terms[i] = t
+			continue
+		}
+		if cnst, ok := st.subst.Binding(eq.ScopedVar{QID: qid, Name: t.Var}); ok {
+			out.Terms[i] = eq.ConstTerm(cnst)
+			continue
+		}
+		if ci, ok := classOf[eq.ScopedVar{QID: qid, Name: t.Var}]; ok && assign[ci].Type() != value.TypeNull {
+			out.Terms[i] = eq.ConstTerm(assign[ci])
+			continue
+		}
+		out.Terms[i] = t
+	}
+	return out, nil
+}
+
+// chooseCount returns how many groundings to install: the minimum CHOOSE
+// across members — every participant must be willing to receive that many
+// coordinated answers, and the paper's examples all use CHOOSE 1.
+func (c *Coordinator) chooseCount(st *matchState) int {
+	want := 0
+	for _, qid := range st.order {
+		ch := st.members[qid].q.Choose
+		if ch < 1 {
+			ch = 1
+		}
+		if want == 0 || ch < want {
+			want = ch
+		}
+	}
+	if want == 0 {
+		want = 1
+	}
+	return want
+}

@@ -1,0 +1,149 @@
+package coord
+
+import (
+	"repro/internal/eq"
+)
+
+// scopedAtom is a constraint atom tagged with the query instance it belongs
+// to; the matcher's worklist holds these.
+type scopedAtom struct {
+	qid  uint64
+	atom eq.Atom
+}
+
+// matchState is one node of the backtracking coverage search: a partial match
+// set, the most-general unifier accumulated so far, and the worklist of
+// constraint atoms not yet covered by a head atom or an installed answer.
+type matchState struct {
+	members   map[uint64]*pending
+	order     []uint64 // member ids in join order (trigger first)
+	subst     *eq.Subst
+	uncovered []scopedAtom
+}
+
+func newMatchState(trigger *pending) *matchState {
+	st := &matchState{
+		members: map[uint64]*pending{trigger.id: trigger},
+		order:   []uint64{trigger.id},
+		subst:   eq.NewSubst(),
+	}
+	for _, c := range trigger.q.Constraints {
+		st.uncovered = append(st.uncovered, scopedAtom{qid: trigger.id, atom: c})
+	}
+	return st
+}
+
+// clone copies the state for a backtracking branch.
+func (st *matchState) clone() *matchState {
+	c := &matchState{
+		members:   make(map[uint64]*pending, len(st.members)),
+		order:     append([]uint64(nil), st.order...),
+		subst:     st.subst.Clone(),
+		uncovered: append([]scopedAtom(nil), st.uncovered...),
+	}
+	for k, v := range st.members {
+		c.members[k] = v
+	}
+	return c
+}
+
+// join adds a pending query to the match set, pushing its constraints onto
+// the worklist.
+func (st *matchState) join(p *pending) {
+	st.members[p.id] = p
+	st.order = append(st.order, p.id)
+	for _, c := range p.q.Constraints {
+		st.uncovered = append(st.uncovered, scopedAtom{qid: p.id, atom: c})
+	}
+}
+
+// search runs the coverage phase of the matching algorithm: starting from the
+// trigger query, repeatedly pick an uncovered constraint atom and try to
+// cover it with
+//
+//  1. a tuple already installed in the shared answer relation (a previous
+//     match's coordinated answer),
+//  2. a head atom of a query already in the match set (mutual satisfaction,
+//     Figure 1b), or
+//  3. a head atom of another pending query, which then joins the match set
+//     and contributes its own constraints to the worklist.
+//
+// Whenever the worklist empties the candidate match is handed to ground();
+// if grounding succeeds the match is final (ground also installs it). The
+// search backtracks over candidate covers with a bound on the match-set size
+// (opts.MaxMatchSize) and a global node budget (opts.MaxNodes); matching is
+// NP-hard in general, and the bound + candidate index keep the common
+// pairwise and small-group workloads polynomial.
+func (c *Coordinator) search(trigger *pending) (*installResult, bool) {
+	nodes := 0
+	var dfs func(st *matchState) (*installResult, bool)
+	dfs = func(st *matchState) (*installResult, bool) {
+		nodes++
+		c.stats.NodesExplored.Add(1)
+		if nodes > c.opts.MaxNodes {
+			return nil, false
+		}
+		if len(st.uncovered) == 0 {
+			res, ok := c.ground(st)
+			if ok {
+				return res, true
+			}
+			c.stats.GroundingFailures.Add(1)
+			return nil, false
+		}
+		sa := st.uncovered[0]
+		rest := st.uncovered[1:]
+
+		// Resolve the constraint under the current substitution so installed
+		// answers and the candidate index see bindings made so far.
+		resolved := st.subst.Resolve(sa.qid, sa.atom)
+
+		// (1) Cover with an already-installed answer tuple.
+		for _, tup := range c.store.Matching(resolved) {
+			branch := st.clone()
+			branch.uncovered = append([]scopedAtom(nil), rest...)
+			if eq.UnifyGround(branch.subst, sa.qid, sa.atom, tup) {
+				if res, ok := dfs(branch); ok {
+					return res, true
+				}
+			}
+		}
+
+		// (2) Cover with a head atom of a query already in the set.
+		for _, qid := range st.order {
+			member := st.members[qid]
+			for _, h := range member.q.Heads {
+				if !eq.Unifiable(resolved, h) {
+					continue
+				}
+				branch := st.clone()
+				branch.uncovered = append([]scopedAtom(nil), rest...)
+				if eq.UnifyAtoms(branch.subst, sa.qid, sa.atom, qid, h) {
+					if res, ok := dfs(branch); ok {
+						return res, true
+					}
+				}
+			}
+		}
+
+		// (3) Recruit another pending query whose head covers the constraint.
+		if len(st.members) < c.opts.MaxMatchSize {
+			exclude := make(map[uint64]bool, len(st.members))
+			for id := range st.members {
+				exclude[id] = true
+			}
+			for _, ref := range c.reg.candidates(resolved, exclude, c.opts.UseIndex) {
+				branch := st.clone()
+				branch.uncovered = append([]scopedAtom(nil), rest...)
+				if eq.UnifyAtoms(branch.subst, sa.qid, sa.atom, ref.p.id, ref.p.q.Heads[ref.headIdx]) {
+					branch.join(ref.p)
+					if res, ok := dfs(branch); ok {
+						return res, true
+					}
+				}
+			}
+		}
+		return nil, false
+	}
+	return dfs(newMatchState(trigger))
+}

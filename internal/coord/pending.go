@@ -1,0 +1,262 @@
+// Package coord implements the paper's coordination component (Figure 2):
+// the pending-query tables, the matching algorithm that unifies entangled
+// queries' answer constraints with other queries' contributions, the
+// grounding of matched variable classes against the database through the
+// execution engine, and the atomic installation of coordinated answers.
+//
+// The coordination logic runs whenever an entangled query arrives in the
+// system (§2.2). A query whose constraints cannot yet be satisfied "is not
+// rejected, but rather gets registered in the system for possible later
+// execution" (§2.1) — that registration is the pending set kept here.
+package coord
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/eq"
+	"repro/internal/value"
+)
+
+// Outcome is what a coordinated query eventually receives.
+type Outcome struct {
+	QueryID uint64
+	// Answers holds, parallel to the query's head atoms, the answer tuples
+	// installed for this query — one tuple per grounding chosen (CHOOSE n).
+	Answers []Answer
+	// MatchSize is the number of queries answered jointly in the match.
+	MatchSize int
+	// Canceled is set when the query was withdrawn instead of answered.
+	Canceled bool
+}
+
+// Answer is the contribution installed into one answer relation.
+type Answer struct {
+	Relation string
+	Tuples   []value.Tuple
+}
+
+// Handle is the caller's side of a submitted entangled query.
+type Handle struct {
+	ID uint64
+	ch chan Outcome
+}
+
+// Wait blocks until the query is answered or canceled, or until done is
+// closed (e.g. a context's Done channel); ok is false in the latter case.
+func (h *Handle) Wait(done <-chan struct{}) (Outcome, bool) {
+	select {
+	case out := <-h.ch:
+		return out, true
+	case <-done:
+		return Outcome{QueryID: h.ID}, false
+	}
+}
+
+// TryOutcome returns the outcome if it is already available.
+func (h *Handle) TryOutcome() (Outcome, bool) {
+	select {
+	case out := <-h.ch:
+		return out, true
+	default:
+		return Outcome{}, false
+	}
+}
+
+// Done returns a channel that yields the outcome exactly once.
+func (h *Handle) Done() <-chan Outcome { return h.ch }
+
+// pending is one registered entangled query awaiting coordination.
+type pending struct {
+	id        uint64
+	q         *eq.Query
+	owner     string // optional submitter label for the admin interface
+	submitted time.Time
+	handle    *Handle
+}
+
+// headRef points at one head atom of a pending query — an entry in the
+// paper's internal "pending query tables".
+type headRef struct {
+	p       *pending
+	headIdx int
+}
+
+// registry is the pending-query table plus the candidate index that the
+// matcher probes for covering head atoms.
+type registry struct {
+	mu      sync.RWMutex
+	queries map[uint64]*pending
+	// byRelation indexes head atoms by answer-relation name; within a
+	// relation, refs are stored under the Key() of their first constant
+	// position ("" when the first position is a variable), which prunes
+	// most non-unifiable candidates for constraint atoms that start with a
+	// constant — like every traveler-name position in the travel app.
+	byRelation map[string]map[string][]headRef
+}
+
+func newRegistry() *registry {
+	return &registry{
+		queries:    make(map[uint64]*pending),
+		byRelation: make(map[string]map[string][]headRef),
+	}
+}
+
+// indexKey buckets a head atom by its first-position constant.
+func indexKey(a eq.Atom) string {
+	if len(a.Terms) == 0 || a.Terms[0].IsVar {
+		return ""
+	}
+	return value.Tuple{a.Terms[0].Const}.Key()
+}
+
+// probeKeys returns the index buckets that may contain heads unifiable with
+// the constraint atom: the bucket of its first constant (or all buckets when
+// it starts with a variable) plus the variable-headed bucket.
+func probeKeys(a eq.Atom) (exact string, wildcardOnly bool) {
+	if len(a.Terms) == 0 || a.Terms[0].IsVar {
+		return "", false // must scan every bucket
+	}
+	return value.Tuple{a.Terms[0].Const}.Key(), true
+}
+
+func (r *registry) add(p *pending) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.queries[p.id] = p
+	for i, h := range p.q.Heads {
+		rel := r.byRelation[h.Relation]
+		if rel == nil {
+			rel = make(map[string][]headRef)
+			r.byRelation[h.Relation] = rel
+		}
+		k := indexKey(h)
+		rel[k] = append(rel[k], headRef{p: p, headIdx: i})
+	}
+}
+
+func (r *registry) remove(id uint64) *pending {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, ok := r.queries[id]
+	if !ok {
+		return nil
+	}
+	delete(r.queries, id)
+	for _, h := range p.q.Heads {
+		rel := r.byRelation[h.Relation]
+		for k, refs := range rel {
+			out := refs[:0]
+			for _, ref := range refs {
+				if ref.p.id != id {
+					out = append(out, ref)
+				}
+			}
+			if len(out) == 0 {
+				delete(rel, k)
+			} else {
+				rel[k] = out
+			}
+		}
+		if len(rel) == 0 {
+			delete(r.byRelation, h.Relation)
+		}
+	}
+	return p
+}
+
+func (r *registry) get(id uint64) *pending {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.queries[id]
+}
+
+func (r *registry) size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.queries)
+}
+
+// all returns a snapshot of pending queries ordered by submission id.
+func (r *registry) all() []*pending {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*pending, 0, len(r.queries))
+	for _, p := range r.queries {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// candidates returns head refs that may unify with the constraint atom,
+// excluding refs belonging to queries in the exclude set. When useIndex is
+// false it degrades to a linear scan over every head of every pending query
+// (the A1 ablation baseline).
+func (r *registry) candidates(c eq.Atom, exclude map[uint64]bool, useIndex bool) []headRef {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []headRef
+	if !useIndex {
+		for _, p := range r.queries {
+			if exclude[p.id] {
+				continue
+			}
+			for i, h := range p.q.Heads {
+				if eq.Unifiable(c, h) {
+					out = append(out, headRef{p: p, headIdx: i})
+				}
+			}
+		}
+		sortRefs(out)
+		return out
+	}
+	rel, ok := r.byRelation[c.Relation]
+	if !ok {
+		return nil
+	}
+	collect := func(refs []headRef) {
+		for _, ref := range refs {
+			if exclude[ref.p.id] {
+				continue
+			}
+			if eq.Unifiable(c, ref.p.q.Heads[ref.headIdx]) {
+				out = append(out, ref)
+			}
+		}
+	}
+	exact, constFirst := probeKeys(c)
+	if constFirst {
+		collect(rel[exact])
+		collect(rel[""]) // heads whose first position is a variable
+	} else {
+		for _, refs := range rel {
+			collect(refs)
+		}
+	}
+	sortRefs(out)
+	return out
+}
+
+// sortRefs orders candidates by (query id, head index) so exploration is
+// deterministic for a fixed seed.
+func sortRefs(refs []headRef) {
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].p.id != refs[j].p.id {
+			return refs[i].p.id < refs[j].p.id
+		}
+		return refs[i].headIdx < refs[j].headIdx
+	})
+}
+
+// relationsOf returns the canonical answer relations a query touches.
+func relationsOf(q *eq.Query) []string {
+	rels := q.AnswerRelations()
+	out := make([]string, len(rels))
+	for i, r := range rels {
+		out[i] = strings.ToLower(r)
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package coord
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPendingTTLExpires(t *testing.T) {
+	c, _ := newSystem(t, Options{
+		UseIndex: true, GroundSmallestFirst: true, PendingTTL: 20 * time.Millisecond,
+	})
+	h, err := c.SubmitSQL(pairQuery("Kramer", "Godot"), "kramer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	if n := c.ExpirePending(); n != 1 {
+		t.Fatalf("expired %d, want 1", n)
+	}
+	out, ok := h.TryOutcome()
+	if !ok || !out.Canceled {
+		t.Errorf("outcome = %+v, %v", out, ok)
+	}
+	if c.Stats().Expired != 1 {
+		t.Error("expiry not counted")
+	}
+	if c.PendingCount() != 0 {
+		t.Error("expired query still pending")
+	}
+}
+
+func TestPendingTTLExpiryRunsOnArrival(t *testing.T) {
+	c, _ := newSystem(t, Options{
+		UseIndex: true, GroundSmallestFirst: true, PendingTTL: 20 * time.Millisecond,
+	})
+	hOld, _ := c.SubmitSQL(pairQuery("Old", "Nobody"), "")
+	time.Sleep(30 * time.Millisecond)
+	// A fresh arrival triggers the expiry pass before matching.
+	c.SubmitSQL(pairQuery("Fresh", "AlsoNobody"), "") //nolint:errcheck
+	if out, ok := hOld.TryOutcome(); !ok || !out.Canceled {
+		t.Errorf("old query not expired on arrival: %+v, %v", out, ok)
+	}
+	if c.PendingCount() != 1 {
+		t.Errorf("pending = %d, want just the fresh query", c.PendingCount())
+	}
+}
+
+func TestPendingTTLDoesNotExpireFreshOrMatched(t *testing.T) {
+	c, _ := newSystem(t, Options{
+		UseIndex: true, GroundSmallestFirst: true, PendingTTL: time.Hour,
+	})
+	hK, _ := c.SubmitSQL(pairQuery("Kramer", "Jerry"), "")
+	c.SubmitSQL(pairQuery("Jerry", "Kramer"), "") //nolint:errcheck
+	out := waitOutcome(t, hK)
+	if out.Canceled {
+		t.Fatal("matched query delivered as canceled")
+	}
+	if c.ExpirePending() != 0 {
+		t.Error("fresh queries expired")
+	}
+}
+
+func TestTTLDisabledByDefault(t *testing.T) {
+	c, _ := newSystem(t, DefaultOptions())
+	c.SubmitSQL(pairQuery("K", "Nobody"), "") //nolint:errcheck
+	if c.ExpirePending() != 0 {
+		t.Error("expiry ran with TTL disabled")
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	c, _ := newSystem(t, DefaultOptions())
+	c.SubmitSQL(pairQuery("Kramer", "Jerry"), "kramer")  //nolint:errcheck
+	c.SubmitSQL(pairQuery("Elaine", "Kramer"), "elaine") //nolint:errcheck
+	dot := c.DOT()
+	for _, want := range []string{
+		"digraph entanglement",
+		"q1 [label=",
+		"q2 -> q1", // Elaine's constraint can be covered by Kramer's head
+		"Reservation('Kramer', fno)",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}

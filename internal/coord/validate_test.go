@@ -1,0 +1,113 @@
+package coord
+
+import (
+	"fmt"
+	"testing"
+)
+
+// validated returns a coordinator with the match-invariant self-check armed.
+func validated(t *testing.T) *Coordinator {
+	t.Helper()
+	c, _ := newSystem(t, Options{
+		UseIndex: true, GroundSmallestFirst: true, ValidateMatches: true,
+	})
+	return c
+}
+
+// TestValidateMatchesHoldsAcrossScenarios re-runs the main coordination
+// shapes with the invariant checker armed; any violation panics.
+func TestValidateMatchesHoldsAcrossScenarios(t *testing.T) {
+	c := validated(t)
+	// Pair.
+	hK, _ := c.SubmitSQL(pairQuery("Kramer", "Jerry"), "")
+	c.SubmitSQL(pairQuery("Jerry", "Kramer"), "") //nolint:errcheck
+	waitOutcome(t, hK)
+
+	// Group of three.
+	for i := 0; i < 3; i++ {
+		var cons string
+		for j := 0; j < 3; j++ {
+			if j != i {
+				cons += fmt.Sprintf(" AND ('v%d', fno) IN ANSWER Reservation", j)
+			}
+		}
+		src := fmt.Sprintf(`SELECT 'v%d', fno INTO ANSWER Reservation
+			WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris')%s CHOOSE 1`, i, cons)
+		if _, err := c.SubmitSQL(src, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Trip (two atoms), CHOOSE 2.
+	mk := func(self, friend string) string {
+		return fmt.Sprintf(`SELECT ('%[1]s', fno) INTO ANSWER Reservation, ('%[1]s', hno) INTO ANSWER HotelReservation
+			WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris')
+			AND hno IN (SELECT hno FROM Hotels WHERE city='Paris')
+			AND ('%[2]s', fno) IN ANSWER Reservation
+			AND ('%[2]s', hno) IN ANSWER HotelReservation CHOOSE 2`, self, friend)
+	}
+	hA, _ := c.SubmitSQL(mk("ta", "tb"), "")
+	c.SubmitSQL(mk("tb", "ta"), "") //nolint:errcheck
+	waitOutcome(t, hA)
+
+	// Negative constraint.
+	hSolo, _ := c.SubmitSQL(`SELECT 'solo', fno INTO ANSWER Reservation
+		WHERE fno IN (SELECT fno FROM Flights WHERE dest='Rome')
+		AND ('Kramer', fno) NOT IN ANSWER Reservation CHOOSE 1`, "")
+	waitOutcome(t, hSolo)
+
+	if c.PendingCount() != 0 {
+		t.Errorf("pending = %d", c.PendingCount())
+	}
+}
+
+// TestNegConstraintAgainstCoInstall: a member's exclusion must block a match
+// whose OWN installs would violate it — here A insists on a flight with B
+// while also excluding B's tuple, a contradiction that must park (with the
+// invariant checker armed: must not install-then-panic).
+func TestNegConstraintAgainstCoInstall(t *testing.T) {
+	c := validated(t)
+	a := `SELECT 'A', fno INTO ANSWER Reservation
+		WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris')
+		AND ('B', fno) IN ANSWER Reservation
+		AND ('B', fno) NOT IN ANSWER Reservation CHOOSE 1`
+	b := `SELECT 'B', fno INTO ANSWER Reservation
+		WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris')
+		AND ('A', fno) IN ANSWER Reservation CHOOSE 1`
+	hA, err := c.SubmitSQL(a, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hB, err := c.SubmitSQL(b, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := hA.TryOutcome(); ok {
+		t.Fatal("contradictory query answered")
+	}
+	if _, ok := hB.TryOutcome(); ok {
+		t.Fatal("partner of contradictory query answered")
+	}
+	if c.PendingCount() != 2 {
+		t.Errorf("pending = %d", c.PendingCount())
+	}
+}
+
+// TestNegConstraintSelfExclusionChoose2: with CHOOSE 2 the second grounding
+// must not collide with the first one's install when an exclusion names it.
+func TestNegConstraintSelfExclusionChoose2(t *testing.T) {
+	c := validated(t)
+	// Partner-free CHOOSE 2 with an exclusion of one specific flight for a
+	// ghost traveler: store empty, so only the co-install path could bite;
+	// groundings for 'S' never produce ('Ghost', …), so both succeed.
+	h, err := c.SubmitSQL(`SELECT 'S', fno INTO ANSWER Reservation
+		WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris')
+		AND ('Ghost', fno) NOT IN ANSWER Reservation CHOOSE 2`, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := waitOutcome(t, h)
+	if len(out.Answers[0].Tuples) != 2 {
+		t.Errorf("tuples = %v", out.Answers[0].Tuples)
+	}
+}

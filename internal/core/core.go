@@ -1,0 +1,249 @@
+// Package core assembles the Youtopia system of the paper: the query
+// compiler, the coordination component and the execution engine behind one
+// public API (Figure 2). The middle tier of an application — like the travel
+// site in internal/travel — talks to a core.System exactly the way the
+// paper's middle tier talks to Youtopia: it submits ordinary SQL and
+// entangled queries, and receives coordinated answers asynchronously.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/answers"
+	"repro/internal/coord"
+	"repro/internal/engine"
+	"repro/internal/eq"
+	"repro/internal/sql"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// Config tunes a System.
+type Config struct {
+	// Coord configures the coordination component (see coord.Options). The
+	// zero value selects coord.DefaultOptions().
+	Coord coord.Options
+	// DisableAutoRetry turns off the automatic re-coordination pass after
+	// DML statements. The paper's coordination component re-examines pending
+	// queries when the world changes; auto-retry is that hook. Benchmarks
+	// that want to isolate arrival-time matching disable it.
+	DisableAutoRetry bool
+	// WALPath, when set, makes base tables and answer relations durable: the
+	// log at this path is replayed on startup and every mutation is appended
+	// to it. Pending (unanswered) entangled queries are deliberately
+	// volatile — they belong to live sessions.
+	WALPath string
+}
+
+// System is one Youtopia database instance.
+type System struct {
+	cat       *storage.Catalog
+	mgr       *txn.Manager
+	eng       *engine.Engine
+	store     *answers.Store
+	coord     *coord.Coordinator
+	autoRetry bool
+	wal       *wal.WAL
+	walPath   string
+	err       error // startup (recovery) error
+}
+
+// NewSystem creates a Youtopia instance. With Config.WALPath set, the
+// existing log is recovered first; check Err before use.
+func NewSystem(cfg Config) *System {
+	cat := storage.NewCatalog()
+	mgr := txn.NewManager(cat)
+	eng := engine.New(mgr)
+	store := answers.NewStore(cat)
+	if cfg.Coord == (coord.Options{}) {
+		cfg.Coord = coord.DefaultOptions()
+	}
+	s := &System{
+		cat:       cat,
+		mgr:       mgr,
+		eng:       eng,
+		store:     store,
+		coord:     coord.New(eng, store, cfg.Coord),
+		autoRetry: !cfg.DisableAutoRetry,
+	}
+	if cfg.WALPath != "" {
+		if _, err := wal.Recover(cfg.WALPath, cat); err != nil {
+			s.err = fmt.Errorf("core: WAL recovery: %w", err)
+			return s
+		}
+		store.AdoptFromCatalog()
+		w, err := wal.Open(cfg.WALPath)
+		if err != nil {
+			s.err = fmt.Errorf("core: WAL open: %w", err)
+			return s
+		}
+		s.wal = w
+		s.walPath = cfg.WALPath
+		cat.SetLog(func(r storage.LogRecord) { s.wal.Append(r) }) //nolint:errcheck // sticky error surfaced by Close
+	}
+	return s
+}
+
+// Err reports a startup (WAL recovery) failure; a System with a non-nil Err
+// must not be used.
+func (s *System) Err() error { return s.err }
+
+// Compact rewrites the write-ahead log as a snapshot of the current state,
+// bounding its size. It is a no-op without a WAL. Mutations are quiesced by
+// detaching the logger for the duration; callers should avoid concurrent
+// writes (in-flight transactions would escape the snapshot).
+func (s *System) Compact() error {
+	if s.wal == nil {
+		return nil
+	}
+	s.cat.SetLog(nil)
+	defer s.cat.SetLog(func(r storage.LogRecord) { s.wal.Append(r) }) //nolint:errcheck
+	if err := s.wal.Sync(); err != nil {
+		return err
+	}
+	if err := s.wal.Close(); err != nil {
+		return err
+	}
+	if err := wal.Compact(s.walPath, s.cat); err != nil {
+		return err
+	}
+	w, err := wal.Open(s.walPath)
+	if err != nil {
+		return err
+	}
+	s.wal = w
+	return nil
+}
+
+// Close detaches and closes the write-ahead log (no-op without one). The
+// returned error includes any write error encountered during the lifetime of
+// the log.
+func (s *System) Close() error {
+	if s.wal == nil {
+		return nil
+	}
+	s.cat.SetLog(nil)
+	return s.wal.Close()
+}
+
+// Response is the outcome of Execute: exactly one of Result (plain
+// statements) or Handle (entangled queries) is set.
+type Response struct {
+	// Result holds rows/affected counts for plain SQL.
+	Result *engine.Result
+	// Handle is the waitable handle of a submitted entangled query.
+	Handle *coord.Handle
+	// Entangled reports which arm is set.
+	Entangled bool
+}
+
+// Execute parses and runs one statement, routing entangled queries to the
+// coordination component and everything else to the execution engine.
+// The optional owner labels entangled submissions in the admin interface.
+func (s *System) Execute(src, owner string) (*Response, error) {
+	stmt, err := sql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return s.ExecuteStmt(stmt, owner)
+}
+
+// ExecuteStmt routes an already-parsed statement.
+func (s *System) ExecuteStmt(stmt sql.Statement, owner string) (*Response, error) {
+	if _, ok := stmt.(*sql.TxnStmt); ok {
+		return nil, fmt.Errorf("core: BEGIN/COMMIT/ROLLBACK require a Session (interactive transactions are per-connection)")
+	}
+	if es, ok := stmt.(*sql.EntangledSelect); ok {
+		q, err := eq.Compile(es)
+		if err != nil {
+			return nil, err
+		}
+		h, err := s.coord.Submit(q, owner)
+		if err != nil {
+			return nil, err
+		}
+		return &Response{Handle: h, Entangled: true}, nil
+	}
+	res, err := s.eng.Execute(stmt)
+	if err != nil {
+		return nil, err
+	}
+	if s.autoRetry && isDML(stmt) && s.coord.PendingCount() > 0 {
+		// Base-table changes can unblock parked queries ("waits for an
+		// opportunity to retry", §2.1).
+		s.coord.Retry()
+	}
+	return &Response{Result: res}, nil
+}
+
+func isDML(stmt sql.Statement) bool {
+	switch stmt.(type) {
+	case *sql.Insert, *sql.Update, *sql.Delete:
+		return true
+	default:
+		return false
+	}
+}
+
+// Query runs plain SQL and returns rows; it errors on entangled statements.
+func (s *System) Query(src string) (*engine.Result, error) {
+	resp, err := s.Execute(src, "")
+	if err != nil {
+		return nil, err
+	}
+	if resp.Entangled {
+		return nil, fmt.Errorf("core: Query cannot run entangled statements; use Submit")
+	}
+	return resp.Result, nil
+}
+
+// Exec runs a script of semicolon-separated plain statements, failing on the
+// first error. Entangled statements are rejected (use Submit).
+func (s *System) Exec(script string) error {
+	stmts, err := sql.ParseAll(script)
+	if err != nil {
+		return err
+	}
+	for _, st := range stmts {
+		resp, err := s.ExecuteStmt(st, "")
+		if err != nil {
+			return fmt.Errorf("%s: %w", st, err)
+		}
+		if resp.Entangled {
+			return fmt.Errorf("core: Exec cannot run entangled statements; use Submit")
+		}
+	}
+	return nil
+}
+
+// Submit compiles and registers an entangled query, triggering a
+// coordination round.
+func (s *System) Submit(src, owner string) (*coord.Handle, error) {
+	resp, err := s.Execute(src, owner)
+	if err != nil {
+		return nil, err
+	}
+	if !resp.Entangled {
+		return nil, fmt.Errorf("core: Submit requires an entangled query (INTO ANSWER)")
+	}
+	return resp.Handle, nil
+}
+
+// Cancel withdraws a pending entangled query by id.
+func (s *System) Cancel(id uint64) bool { return s.coord.Cancel(id) }
+
+// Retry forces a re-coordination pass over all pending queries.
+func (s *System) Retry() { s.coord.Retry() }
+
+// Coordinator exposes the coordination component (admin interface).
+func (s *System) Coordinator() *coord.Coordinator { return s.coord }
+
+// Engine exposes the execution engine.
+func (s *System) Engine() *engine.Engine { return s.eng }
+
+// Answers exposes the shared answer-relation store.
+func (s *System) Answers() *answers.Store { return s.store }
+
+// Catalog exposes the table catalog.
+func (s *System) Catalog() *storage.Catalog { return s.cat }

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/coord"
+)
+
+func seeded(t *testing.T) *System {
+	t.Helper()
+	s := NewSystem(Config{})
+	err := s.Exec(`
+		CREATE TABLE Flights (fno INT, dest STRING, PRIMARY KEY (fno));
+		INSERT INTO Flights VALUES (122, 'Paris'), (123, 'Paris'), (136, 'Rome');
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func wait(t *testing.T, h *coord.Handle) coord.Outcome {
+	t.Helper()
+	done := make(chan struct{})
+	timer := time.AfterFunc(2*time.Second, func() { close(done) })
+	defer timer.Stop()
+	out, ok := h.Wait(done)
+	if !ok {
+		t.Fatalf("q%d timed out", h.ID)
+	}
+	return out
+}
+
+func TestExecuteRoutesPlainSQL(t *testing.T) {
+	s := seeded(t)
+	resp, err := s.Execute("SELECT fno FROM Flights WHERE dest = 'Paris'", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Entangled || len(resp.Result.Rows) != 2 {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestExecuteRoutesEntangled(t *testing.T) {
+	s := seeded(t)
+	resp, err := s.Execute(`SELECT 'K', fno INTO ANSWER R
+		WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris')
+		AND ('J', fno) IN ANSWER R CHOOSE 1`, "kramer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Entangled || resp.Handle == nil {
+		t.Fatalf("resp = %+v", resp)
+	}
+	resp2, err := s.Execute(`SELECT 'J', fno INTO ANSWER R
+		WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris')
+		AND ('K', fno) IN ANSWER R CHOOSE 1`, "jerry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	outK, outJ := wait(t, resp.Handle), wait(t, resp2.Handle)
+	if outK.Answers[0].Tuples[0][1].Int() != outJ.Answers[0].Tuples[0][1].Int() {
+		t.Error("coordination failed through the system facade")
+	}
+}
+
+func TestAutoRetryOnDML(t *testing.T) {
+	s := seeded(t)
+	// Two partners who want an Oslo flight that doesn't exist yet.
+	mk := func(self, friend string) string {
+		return `SELECT '` + self + `', fno INTO ANSWER R
+			WHERE fno IN (SELECT fno FROM Flights WHERE dest='Oslo')
+			AND ('` + friend + `', fno) IN ANSWER R CHOOSE 1`
+	}
+	hA, err := s.Submit(mk("A", "B"), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(mk("B", "A"), ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := hA.TryOutcome(); ok {
+		t.Fatal("matched without any Oslo flight")
+	}
+	// Inserting the flight must trigger auto-retry and unblock the pair.
+	if err := s.Exec("INSERT INTO Flights VALUES (500, 'Oslo')"); err != nil {
+		t.Fatal(err)
+	}
+	out := wait(t, hA)
+	if out.Answers[0].Tuples[0][1].Int() != 500 {
+		t.Errorf("answer = %v", out.Answers)
+	}
+}
+
+func TestAutoRetryDisabled(t *testing.T) {
+	s := NewSystem(Config{DisableAutoRetry: true})
+	if err := s.Exec(`CREATE TABLE Flights (fno INT, dest STRING)`); err != nil {
+		t.Fatal(err)
+	}
+	mk := func(self, friend string) string {
+		return `SELECT '` + self + `', fno INTO ANSWER R
+			WHERE fno IN (SELECT fno FROM Flights WHERE dest='Oslo')
+			AND ('` + friend + `', fno) IN ANSWER R CHOOSE 1`
+	}
+	hA, _ := s.Submit(mk("A", "B"), "")
+	s.Submit(mk("B", "A"), "")
+	s.Exec("INSERT INTO Flights VALUES (500, 'Oslo')")
+	if _, ok := hA.TryOutcome(); ok {
+		t.Fatal("auto-retry ran despite being disabled")
+	}
+	s.Retry() // manual retry still works
+	out := wait(t, hA)
+	if out.Answers[0].Tuples[0][1].Int() != 500 {
+		t.Errorf("answer = %v", out.Answers)
+	}
+}
+
+func TestQueryRejectsEntangled(t *testing.T) {
+	s := seeded(t)
+	if _, err := s.Query("SELECT 'K', 1 INTO ANSWER R"); err == nil {
+		t.Error("Query accepted an entangled statement")
+	}
+}
+
+func TestSubmitRejectsPlain(t *testing.T) {
+	s := seeded(t)
+	if _, err := s.Submit("SELECT fno FROM Flights", ""); err == nil {
+		t.Error("Submit accepted a plain statement")
+	}
+}
+
+func TestExecRejectsEntangledAndBadSQL(t *testing.T) {
+	s := seeded(t)
+	if err := s.Exec("SELECT 'K', 1 INTO ANSWER R; SELECT 1"); err == nil {
+		t.Error("Exec accepted an entangled statement")
+	}
+	if err := s.Exec("SELEC"); err == nil {
+		t.Error("Exec accepted a parse error")
+	}
+	if err := s.Exec("SELECT nosuch FROM Flights"); err == nil {
+		t.Error("Exec swallowed an execution error")
+	}
+}
+
+func TestCancelThroughFacade(t *testing.T) {
+	s := seeded(t)
+	h, err := s.Submit(`SELECT 'K', fno INTO ANSWER R
+		WHERE fno IN (SELECT fno FROM Flights) AND ('Nobody', fno) IN ANSWER R`, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Cancel(h.ID) {
+		t.Fatal("cancel failed")
+	}
+	out, ok := h.TryOutcome()
+	if !ok || !out.Canceled {
+		t.Errorf("outcome = %+v", out)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	s := seeded(t)
+	if s.Coordinator() == nil || s.Engine() == nil || s.Answers() == nil || s.Catalog() == nil {
+		t.Error("nil accessor")
+	}
+	if !s.Catalog().Has("Flights") {
+		t.Error("catalog missing Flights")
+	}
+}
+
+func TestExecuteParseError(t *testing.T) {
+	s := seeded(t)
+	if _, err := s.Execute("NOT SQL AT ALL", ""); err == nil {
+		t.Error("parse error not surfaced")
+	}
+}

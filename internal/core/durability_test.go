@@ -1,0 +1,138 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func walSystem(t *testing.T, path string) *System {
+	t.Helper()
+	s := NewSystem(Config{WALPath: path})
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestDurableRestart: base tables AND installed coordinated answers survive a
+// restart; pending queries do not (they belong to live sessions).
+func TestDurableRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "y.wal")
+
+	s1 := walSystem(t, path)
+	if err := s1.Exec(`
+		CREATE TABLE Flights (fno INT, dest STRING, PRIMARY KEY (fno));
+		INSERT INTO Flights VALUES (122, 'Paris'), (123, 'Paris');
+	`); err != nil {
+		t.Fatal(err)
+	}
+	// A matched pair installs durable answers.
+	h1, err := s1.Submit(`SELECT 'K', fno INTO ANSWER Reservation
+		WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris')
+		AND ('J', fno) IN ANSWER Reservation CHOOSE 1`, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.Submit(`SELECT 'J', fno INTO ANSWER Reservation
+		WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris')
+		AND ('K', fno) IN ANSWER Reservation CHOOSE 1`, "j"); err != nil {
+		t.Fatal(err)
+	}
+	out := wait(t, h1)
+	flight := out.Answers[0].Tuples[0][1].Int()
+	// Plus one forever-pending query (must NOT survive).
+	if _, err := s1.Submit(`SELECT 'X', fno INTO ANSWER Reservation
+		WHERE fno IN (SELECT fno FROM Flights) AND ('Ghost', fno) IN ANSWER Reservation`, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart.
+	s2 := walSystem(t, path)
+	defer s2.Close()
+	res, err := s2.Query("SELECT fno FROM Flights ORDER BY fno")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("flights after restart = %v", res.Rows)
+	}
+	// Installed answers recovered and queryable.
+	res, err = s2.Query("SELECT * FROM Reservation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("reservation after restart = %v", res.Rows)
+	}
+	// Pending queries are volatile.
+	if n := s2.Coordinator().PendingCount(); n != 0 {
+		t.Errorf("pending after restart = %d", n)
+	}
+	// The recovered Reservation is adopted as an answer relation: a new
+	// partner can entangle with the pre-crash answer.
+	h3, err := s2.Submit(`SELECT 'E', fno INTO ANSWER Reservation
+		WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris')
+		AND ('K', fno) IN ANSWER Reservation CHOOSE 1`, "e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out3 := wait(t, h3)
+	if got := out3.Answers[0].Tuples[0][1].Int(); got != flight {
+		t.Errorf("post-restart coordination got flight %d, pre-crash friends on %d", got, flight)
+	}
+}
+
+// TestDurableRollbackConverges: a statement that fails mid-way (duplicate PK
+// on the second row) leaves no trace after replay.
+func TestDurableRollbackConverges(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "y.wal")
+	s1 := walSystem(t, path)
+	if err := s1.Exec(`CREATE TABLE T (x INT, PRIMARY KEY (x)); INSERT INTO T VALUES (1)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Exec(`INSERT INTO T VALUES (2), (1)`); err == nil {
+		t.Fatal("duplicate PK accepted")
+	}
+	s1.Close()
+
+	s2 := walSystem(t, path)
+	defer s2.Close()
+	res, err := s2.Query("SELECT x FROM T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 1 {
+		t.Errorf("rows after replayed rollback = %v", res.Rows)
+	}
+}
+
+// TestWALRecoveryError: a corrupt log surfaces through Err.
+func TestWALRecoveryError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "y.wal")
+	s1 := walSystem(t, path)
+	s1.Exec("CREATE TABLE T (x INT)") //nolint:errcheck
+	s1.Close()
+
+	// Corrupt the first record.
+	data := []byte("NOT JSON\n")
+	if err := appendFileFront(path, data); err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewSystem(Config{WALPath: path})
+	if s2.Err() == nil || !strings.Contains(s2.Err().Error(), "recovery") {
+		t.Errorf("Err = %v", s2.Err())
+	}
+}
+
+func appendFileFront(path string, prefix []byte) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(prefix, data...), 0o644)
+}

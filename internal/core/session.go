@@ -1,0 +1,115 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/sql"
+	"repro/internal/txn"
+)
+
+// ErrNoTxn is returned by COMMIT/ROLLBACK outside a transaction.
+var ErrNoTxn = errors.New("core: no transaction in progress")
+
+// ErrTxnOpen is returned by BEGIN inside a transaction and by operations that
+// cannot run inside one.
+var ErrTxnOpen = errors.New("core: transaction already in progress")
+
+// Session wraps a System with per-connection state: an optional open
+// interactive transaction (BEGIN/COMMIT/ROLLBACK). The CLI and every wire
+// connection hold one Session. A Session is not safe for concurrent use —
+// like a database connection.
+type Session struct {
+	sys *System
+	tx  *txn.Txn
+}
+
+// NewSession opens a session on the system.
+func NewSession(sys *System) *Session { return &Session{sys: sys} }
+
+// System returns the underlying system.
+func (s *Session) System() *System { return s.sys }
+
+// InTxn reports whether an interactive transaction is open.
+func (s *Session) InTxn() bool { return s.tx != nil }
+
+// Close rolls back any open transaction.
+func (s *Session) Close() {
+	if s.tx != nil {
+		s.tx.Rollback() //nolint:errcheck
+		s.tx = nil
+	}
+}
+
+// Execute parses and runs one statement with transaction-control support.
+//
+// Inside an open transaction, plain statements accumulate under its locks;
+// entangled queries are rejected — a coordinated match is its own atomic
+// joint execution (the paper's model), and nesting it inside a client
+// transaction would entangle unrelated lock scopes.
+func (s *Session) Execute(src, owner string) (*Response, error) {
+	stmt, err := sql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return s.ExecuteStmt(stmt, owner)
+}
+
+// ExecuteStmt is Execute for pre-parsed statements.
+func (s *Session) ExecuteStmt(stmt sql.Statement, owner string) (*Response, error) {
+	switch st := stmt.(type) {
+	case *sql.TxnStmt:
+		switch st.Kind {
+		case sql.TxnBegin:
+			if s.tx != nil {
+				return nil, ErrTxnOpen
+			}
+			s.tx = s.sys.mgr.Begin()
+			return &Response{}, nil
+		case sql.TxnCommit:
+			if s.tx == nil {
+				return nil, ErrNoTxn
+			}
+			err := s.tx.Commit()
+			s.tx = nil
+			if err != nil {
+				return nil, err
+			}
+			// Committed writes may unblock parked entangled queries.
+			if s.sys.autoRetry && s.sys.coord.PendingCount() > 0 {
+				s.sys.coord.Retry()
+			}
+			return &Response{}, nil
+		default: // rollback
+			if s.tx == nil {
+				return nil, ErrNoTxn
+			}
+			err := s.tx.Rollback()
+			s.tx = nil
+			if err != nil {
+				return nil, err
+			}
+			return &Response{}, nil
+		}
+
+	case *sql.EntangledSelect:
+		if s.tx != nil {
+			return nil, fmt.Errorf("%w: entangled queries coordinate in their own transaction; COMMIT or ROLLBACK first", ErrTxnOpen)
+		}
+		return s.sys.ExecuteStmt(stmt, owner)
+
+	default:
+		if s.tx == nil {
+			return s.sys.ExecuteStmt(stmt, owner)
+		}
+		res, err := s.sys.eng.ExecuteIn(s.tx, stmt)
+		if err != nil {
+			// Statement-level failure aborts the whole interactive
+			// transaction (strict 2PL has no partial statement rollback).
+			s.tx.Rollback() //nolint:errcheck
+			s.tx = nil
+			return nil, fmt.Errorf("%w (transaction rolled back)", err)
+		}
+		return &Response{Result: res}, nil
+	}
+}

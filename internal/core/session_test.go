@@ -1,0 +1,169 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestSessionCommit(t *testing.T) {
+	sys := seeded(t)
+	s := NewSession(sys)
+	defer s.Close()
+	mustExec := func(src string) *Response {
+		t.Helper()
+		r, err := s.Execute(src, "")
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		return r
+	}
+	mustExec("BEGIN")
+	if !s.InTxn() {
+		t.Fatal("not in txn after BEGIN")
+	}
+	mustExec("INSERT INTO Flights VALUES (200, 'Oslo')")
+	mustExec("INSERT INTO Flights VALUES (201, 'Oslo')")
+	mustExec("COMMIT")
+	if s.InTxn() {
+		t.Fatal("still in txn after COMMIT")
+	}
+	res, err := sys.Query("SELECT COUNT(*) FROM Flights WHERE dest = 'Oslo'")
+	if err != nil || res.Rows[0][0].Int() != 2 {
+		t.Fatalf("committed rows: %v %v", res, err)
+	}
+}
+
+func TestSessionRollback(t *testing.T) {
+	sys := seeded(t)
+	s := NewSession(sys)
+	defer s.Close()
+	s.Execute("BEGIN", "")                                    //nolint:errcheck
+	s.Execute("INSERT INTO Flights VALUES (300, 'Lima')", "") //nolint:errcheck
+	s.Execute("DELETE FROM Flights WHERE fno = 122", "")      //nolint:errcheck
+	if _, err := s.Execute("ROLLBACK", ""); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := sys.Query("SELECT fno FROM Flights WHERE fno = 300")
+	if len(res.Rows) != 0 {
+		t.Error("rolled-back insert visible")
+	}
+	res, _ = sys.Query("SELECT fno FROM Flights WHERE fno = 122")
+	if len(res.Rows) != 1 {
+		t.Error("rolled-back delete applied")
+	}
+}
+
+func TestSessionTxnControlErrors(t *testing.T) {
+	sys := seeded(t)
+	s := NewSession(sys)
+	defer s.Close()
+	if _, err := s.Execute("COMMIT", ""); !errors.Is(err, ErrNoTxn) {
+		t.Errorf("commit outside txn: %v", err)
+	}
+	if _, err := s.Execute("ROLLBACK", ""); !errors.Is(err, ErrNoTxn) {
+		t.Errorf("rollback outside txn: %v", err)
+	}
+	s.Execute("BEGIN", "") //nolint:errcheck
+	if _, err := s.Execute("BEGIN", ""); !errors.Is(err, ErrTxnOpen) {
+		t.Errorf("nested begin: %v", err)
+	}
+}
+
+func TestSessionEntangledRejectedInTxn(t *testing.T) {
+	sys := seeded(t)
+	s := NewSession(sys)
+	defer s.Close()
+	s.Execute("BEGIN", "") //nolint:errcheck
+	_, err := s.Execute(`SELECT 'K', fno INTO ANSWER R
+		WHERE fno IN (SELECT fno FROM Flights) AND ('J', fno) IN ANSWER R`, "")
+	if !errors.Is(err, ErrTxnOpen) {
+		t.Errorf("entangled in txn: %v", err)
+	}
+	// Still usable after the rejection.
+	if _, err := s.Execute("SELECT 1", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Execute("COMMIT", ""); err != nil {
+		t.Fatal(err)
+	}
+	// Outside the txn entangled works again.
+	if _, err := s.Execute(`SELECT 'K', fno INTO ANSWER R
+		WHERE fno IN (SELECT fno FROM Flights) AND ('J', fno) IN ANSWER R`, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionStatementErrorAborts(t *testing.T) {
+	sys := seeded(t)
+	s := NewSession(sys)
+	defer s.Close()
+	s.Execute("BEGIN", "")                                    //nolint:errcheck
+	s.Execute("INSERT INTO Flights VALUES (400, 'Kiev')", "") //nolint:errcheck
+	if _, err := s.Execute("SELECT nosuch FROM Flights", ""); err == nil {
+		t.Fatal("bad statement accepted")
+	}
+	if s.InTxn() {
+		t.Error("txn still open after statement failure")
+	}
+	res, _ := sys.Query("SELECT fno FROM Flights WHERE fno = 400")
+	if len(res.Rows) != 0 {
+		t.Error("aborted txn leaked its insert")
+	}
+}
+
+func TestSessionCommitTriggersRetry(t *testing.T) {
+	sys := seeded(t)
+	mk := func(self, friend string) string {
+		return `SELECT '` + self + `', fno INTO ANSWER R
+			WHERE fno IN (SELECT fno FROM Flights WHERE dest='Oslo')
+			AND ('` + friend + `', fno) IN ANSWER R CHOOSE 1`
+	}
+	hA, err := sys.Submit(mk("A", "B"), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Submit(mk("B", "A"), ""); err != nil {
+		t.Fatal(err)
+	}
+
+	s := NewSession(sys)
+	defer s.Close()
+	s.Execute("BEGIN", "")                                    //nolint:errcheck
+	s.Execute("INSERT INTO Flights VALUES (500, 'Oslo')", "") //nolint:errcheck
+	// Not visible to coordination until commit (the txn holds the lock, and
+	// retry only runs on COMMIT).
+	if _, ok := hA.TryOutcome(); ok {
+		t.Fatal("uncommitted insert matched a pending query")
+	}
+	if _, err := s.Execute("COMMIT", ""); err != nil {
+		t.Fatal(err)
+	}
+	out := wait(t, hA)
+	if out.Answers[0].Tuples[0][1].Int() != 500 {
+		t.Errorf("answer = %v", out.Answers)
+	}
+}
+
+func TestSystemRejectsTxnControl(t *testing.T) {
+	sys := seeded(t)
+	if _, err := sys.Execute("BEGIN", ""); err == nil {
+		t.Error("System.Execute accepted BEGIN (sessions only)")
+	}
+	if err := sys.Exec("BEGIN; COMMIT"); err == nil {
+		t.Error("Exec accepted txn control")
+	}
+}
+
+func TestSessionCloseRollsBack(t *testing.T) {
+	sys := seeded(t)
+	s := NewSession(sys)
+	s.Execute("BEGIN", "")                                    //nolint:errcheck
+	s.Execute("INSERT INTO Flights VALUES (600, 'Bonn')", "") //nolint:errcheck
+	s.Close()
+	res, _ := sys.Query("SELECT fno FROM Flights WHERE fno = 600")
+	if len(res.Rows) != 0 {
+		t.Error("Close did not roll back")
+	}
+	// Double close is safe.
+	s.Close()
+}

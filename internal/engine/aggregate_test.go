@@ -1,0 +1,176 @@
+package engine
+
+import (
+	"testing"
+)
+
+// aggEngine loads a richer Flights table for aggregate tests.
+func aggEngine(t *testing.T) *Engine {
+	t.Helper()
+	e := newEngine(t)
+	query(t, e, "CREATE TABLE Prices (fno INT, dest STRING, price FLOAT)")
+	query(t, e, `INSERT INTO Prices VALUES
+		(122, 'Paris', 420.0), (123, 'Paris', 380.0), (134, 'Paris', 450.0),
+		(136, 'Rome', 390.0), (140, 'Rome', 310.0), (141, 'Oslo', NULL)`)
+	return e
+}
+
+func TestCountStar(t *testing.T) {
+	e := aggEngine(t)
+	res := query(t, e, "SELECT COUNT(*) FROM Prices")
+	if res.Rows[0][0].Int() != 6 {
+		t.Errorf("count = %v", res.Rows)
+	}
+	if res.Cols[0] != "COUNT(*)" {
+		t.Errorf("cols = %v", res.Cols)
+	}
+}
+
+func TestCountColumnSkipsNulls(t *testing.T) {
+	e := aggEngine(t)
+	res := query(t, e, "SELECT COUNT(price) FROM Prices")
+	if res.Rows[0][0].Int() != 5 {
+		t.Errorf("count(price) = %v", res.Rows)
+	}
+}
+
+func TestSumAvgMinMax(t *testing.T) {
+	e := aggEngine(t)
+	res := query(t, e, "SELECT SUM(price), AVG(price), MIN(price), MAX(price) FROM Prices WHERE dest = 'Paris'")
+	row := res.Rows[0]
+	if row[0].Float() != 1250.0 {
+		t.Errorf("sum = %v", row[0])
+	}
+	if row[1].Float() < 416 || row[1].Float() > 417 {
+		t.Errorf("avg = %v", row[1])
+	}
+	if row[2].Float() != 380.0 || row[3].Float() != 450.0 {
+		t.Errorf("min/max = %v %v", row[2], row[3])
+	}
+}
+
+func TestSumIntStaysInt(t *testing.T) {
+	e := aggEngine(t)
+	res := query(t, e, "SELECT SUM(fno) FROM Prices WHERE dest = 'Rome'")
+	v := res.Rows[0][0]
+	if v.Type().String() != "INT" || v.Int() != 276 {
+		t.Errorf("sum = %v (%v)", v, v.Type())
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	e := aggEngine(t)
+	res := query(t, e, "SELECT dest, COUNT(*), MIN(price) FROM Prices GROUP BY dest ORDER BY dest")
+	if len(res.Rows) != 3 {
+		t.Fatalf("groups = %v", res.Rows)
+	}
+	// Oslo, Paris, Rome (alphabetical).
+	if res.Rows[0][0].Str() != "Oslo" || res.Rows[0][1].Int() != 1 || !res.Rows[0][2].IsNull() {
+		t.Errorf("Oslo = %v", res.Rows[0])
+	}
+	if res.Rows[1][0].Str() != "Paris" || res.Rows[1][1].Int() != 3 || res.Rows[1][2].Float() != 380.0 {
+		t.Errorf("Paris = %v", res.Rows[1])
+	}
+	if res.Rows[2][0].Str() != "Rome" || res.Rows[2][1].Int() != 2 {
+		t.Errorf("Rome = %v", res.Rows[2])
+	}
+}
+
+func TestHaving(t *testing.T) {
+	e := aggEngine(t)
+	res := query(t, e, "SELECT dest, COUNT(*) FROM Prices GROUP BY dest HAVING COUNT(*) >= 2 ORDER BY dest")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Rows[0][0].Str() != "Paris" || res.Rows[1][0].Str() != "Rome" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestOrderByAggregate(t *testing.T) {
+	e := aggEngine(t)
+	res := query(t, e, "SELECT dest FROM Prices GROUP BY dest ORDER BY COUNT(*) DESC LIMIT 1")
+	if len(res.Rows) != 1 || res.Rows[0][0].Str() != "Paris" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestAggregateOverEmptyInput(t *testing.T) {
+	e := aggEngine(t)
+	res := query(t, e, "SELECT COUNT(*), SUM(price), MIN(price) FROM Prices WHERE dest = 'Atlantis'")
+	row := res.Rows[0]
+	if row[0].Int() != 0 || !row[1].IsNull() || !row[2].IsNull() {
+		t.Errorf("empty aggregates = %v", row)
+	}
+	// With GROUP BY, an empty input yields zero groups.
+	res = query(t, e, "SELECT dest, COUNT(*) FROM Prices WHERE dest = 'Atlantis' GROUP BY dest")
+	if len(res.Rows) != 0 {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestAggregateArithmetic(t *testing.T) {
+	e := aggEngine(t)
+	res := query(t, e, "SELECT MAX(price) - MIN(price) FROM Prices WHERE dest = 'Paris'")
+	if res.Rows[0][0].Float() != 70.0 {
+		t.Errorf("spread = %v", res.Rows)
+	}
+}
+
+func TestAggregateWithAlias(t *testing.T) {
+	e := aggEngine(t)
+	res := query(t, e, "SELECT COUNT(*) AS n FROM Prices")
+	if res.Cols[0] != "n" {
+		t.Errorf("cols = %v", res.Cols)
+	}
+}
+
+func TestAggregateInJoin(t *testing.T) {
+	e := aggEngine(t)
+	res := query(t, e, `SELECT p.dest, COUNT(*) FROM Prices p, Flights f
+		WHERE p.fno = f.fno GROUP BY p.dest ORDER BY p.dest`)
+	// Flights has 122,123,134 (Paris), 136 (Rome).
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Rows[0][1].Int() != 3 || res.Rows[1][1].Int() != 1 {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestAggregateErrors(t *testing.T) {
+	e := aggEngine(t)
+	bad := []string{
+		"SELECT SUM(*) FROM Prices",       // only COUNT(*)
+		"SELECT SUM(dest) FROM Prices",    // non-numeric
+		"SELECT * , COUNT(*) FROM Prices", // star with aggregates
+	}
+	for _, src := range bad {
+		if _, err := e.ExecuteSQL(src); err == nil {
+			t.Errorf("%s: expected error", src)
+		}
+	}
+}
+
+func TestAggregateSubquery(t *testing.T) {
+	e := aggEngine(t)
+	// Aggregate inside an IN-subquery: flights priced at the Paris minimum.
+	res := query(t, e, `SELECT fno FROM Prices
+		WHERE price IN (SELECT MIN(price) FROM Prices WHERE dest = 'Paris')`)
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 123 {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestGroupByExpression(t *testing.T) {
+	e := aggEngine(t)
+	// Group by a computed bucket: price rounded to hundreds.
+	res := query(t, e, "SELECT COUNT(*) FROM Prices WHERE price > 0 GROUP BY fno / 100 ORDER BY COUNT(*) DESC")
+	total := int64(0)
+	for _, r := range res.Rows {
+		total += r[0].Int()
+	}
+	if total != 5 {
+		t.Errorf("total = %d, rows = %v", total, res.Rows)
+	}
+}

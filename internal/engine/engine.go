@@ -1,0 +1,632 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sql"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/value"
+)
+
+// Result is the outcome of executing a statement: column names and rows for
+// queries, Affected for DML, both zero for DDL.
+type Result struct {
+	Cols     []string
+	Rows     []value.Tuple
+	Affected int
+}
+
+// Engine executes plain SQL statements.
+type Engine struct {
+	mgr *txn.Manager
+}
+
+// New returns an Engine over the transaction manager.
+func New(mgr *txn.Manager) *Engine { return &Engine{mgr: mgr} }
+
+// Manager exposes the engine's transaction manager.
+func (e *Engine) Manager() *txn.Manager { return e.mgr }
+
+// Catalog exposes the underlying catalog.
+func (e *Engine) Catalog() *storage.Catalog { return e.mgr.Catalog() }
+
+// ExecuteSQL parses and executes a single statement in its own transaction.
+func (e *Engine) ExecuteSQL(src string) (*Result, error) {
+	stmt, err := sql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.Execute(stmt)
+}
+
+// Execute runs one statement in its own transaction (auto-commit).
+func (e *Engine) Execute(stmt sql.Statement) (*Result, error) {
+	var res *Result
+	err := e.mgr.RunAtomic(func(tx *txn.Txn) error {
+		var err error
+		res, err = e.ExecuteIn(tx, stmt)
+		return err
+	})
+	return res, err
+}
+
+// ExecuteIn runs one statement inside an existing transaction.
+//
+// DDL (CREATE/DROP) takes effect immediately and is not rolled back with the
+// transaction; this mirrors common database behaviour and keeps the catalog
+// simple.
+func (e *Engine) ExecuteIn(tx *txn.Txn, stmt sql.Statement) (*Result, error) {
+	switch s := stmt.(type) {
+	case *sql.CreateTable:
+		schema := value.NewSchema()
+		for _, c := range s.Cols {
+			schema.Columns = append(schema.Columns, value.Col(c.Name, c.Type))
+		}
+		if _, err := e.Catalog().Create(s.Name, schema, s.PK...); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+
+	case *sql.CreateIndex:
+		tbl, err := e.Catalog().Get(s.Table)
+		if err != nil {
+			return nil, err
+		}
+		if s.Ordered {
+			if err := tbl.CreateOrderedIndex(s.Cols[0]); err != nil {
+				return nil, err
+			}
+		} else if err := tbl.CreateIndex(s.Cols...); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+
+	case *sql.DropTable:
+		if err := e.Catalog().Drop(s.Name); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+
+	case *sql.Insert:
+		return e.execInsert(tx, s)
+
+	case *sql.Delete:
+		return e.execDelete(tx, s)
+
+	case *sql.Update:
+		return e.execUpdate(tx, s)
+
+	case *sql.Select:
+		return e.evalSelect(tx, s, nil)
+
+	case *sql.EntangledSelect:
+		return nil, fmt.Errorf("engine: entangled query must be submitted to the coordination component, not the plain engine")
+
+	default:
+		return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
+	}
+}
+
+func (e *Engine) execInsert(tx *txn.Txn, s *sql.Insert) (*Result, error) {
+	env := NewEnv()
+	if s.From != nil {
+		res, err := e.evalSelect(tx, s.From, nil)
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range res.Rows {
+			if _, err := tx.Insert(s.Table, row); err != nil {
+				return nil, err
+			}
+		}
+		return &Result{Affected: len(res.Rows)}, nil
+	}
+	n := 0
+	for _, row := range s.Rows {
+		tup := make(value.Tuple, len(row))
+		for i, ex := range row {
+			v, err := e.EvalExpr(tx, ex, env)
+			if err != nil {
+				return nil, err
+			}
+			tup[i] = v
+		}
+		if _, err := tx.Insert(s.Table, tup); err != nil {
+			return nil, err
+		}
+		n++
+	}
+	return &Result{Affected: n}, nil
+}
+
+func (e *Engine) execDelete(tx *txn.Txn, s *sql.Delete) (*Result, error) {
+	tbl, err := e.Catalog().Get(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	// Exclusive lock up front: read-then-write under one lock.
+	if err := tx.Lock(s.Table, txn.Exclusive); err != nil {
+		return nil, err
+	}
+	var ids []storage.RowID
+	var evalErr error
+	tbl.Scan(func(id storage.RowID, row value.Tuple) bool {
+		if s.Where != nil {
+			env := NewEnv()
+			env.Bind(s.Table, tbl.Schema(), row)
+			v, err := e.EvalExpr(tx, s.Where, env)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			if !truthy(v) {
+				return true
+			}
+		}
+		ids = append(ids, id)
+		return true
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	for _, id := range ids {
+		if err := tx.Delete(s.Table, id); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Affected: len(ids)}, nil
+}
+
+func (e *Engine) execUpdate(tx *txn.Txn, s *sql.Update) (*Result, error) {
+	tbl, err := e.Catalog().Get(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	if err := tx.Lock(s.Table, txn.Exclusive); err != nil {
+		return nil, err
+	}
+	offsets := make([]int, len(s.Sets))
+	for i, a := range s.Sets {
+		o := tbl.Schema().Ordinal(a.Col)
+		if o < 0 {
+			return nil, fmt.Errorf("engine: no column %q in %q", a.Col, s.Table)
+		}
+		offsets[i] = o
+	}
+	type change struct {
+		id  storage.RowID
+		tup value.Tuple
+	}
+	var changes []change
+	var evalErr error
+	tbl.Scan(func(id storage.RowID, row value.Tuple) bool {
+		env := NewEnv()
+		env.Bind(s.Table, tbl.Schema(), row)
+		if s.Where != nil {
+			v, err := e.EvalExpr(tx, s.Where, env)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			if !truthy(v) {
+				return true
+			}
+		}
+		newRow := row.Clone()
+		for i, a := range s.Sets {
+			v, err := e.EvalExpr(tx, a.Val, env)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			newRow[offsets[i]] = v
+		}
+		changes = append(changes, change{id, newRow})
+		return true
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	for _, c := range changes {
+		if err := tx.Update(s.Table, c.id, c.tup); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Affected: len(changes)}, nil
+}
+
+// EvalSelect evaluates a SELECT with an optional outer environment (for
+// correlated subqueries and coordinator-bound variables).
+func (e *Engine) EvalSelect(tx *txn.Txn, s *sql.Select, outer *Env) (*Result, error) {
+	return e.evalSelect(tx, s, outer)
+}
+
+type fromTable struct {
+	ref    sql.TableRef
+	tbl    *storage.Table
+	eqCols []int       // pushed-down equality columns
+	eqVals value.Tuple // corresponding literal values
+	// Pushed-down range predicate over an ordered-indexed column
+	// (rangeCol < 0 when absent).
+	rangeCol int
+	lo, hi   storage.Bound
+}
+
+func (e *Engine) evalSelect(tx *txn.Txn, s *sql.Select, outer *Env) (*Result, error) {
+	if hasAggregates(s) || len(s.GroupBy) > 0 {
+		return e.evalAggregate(tx, s, outer)
+	}
+	if len(s.From) == 0 {
+		return e.evalSelectNoFrom(tx, s, outer)
+	}
+	froms := make([]*fromTable, len(s.From))
+	for i, ref := range s.From {
+		if err := tx.Lock(ref.Name, txn.Shared); err != nil {
+			return nil, err
+		}
+		tbl, err := e.Catalog().Get(ref.Name)
+		if err != nil {
+			return nil, err
+		}
+		froms[i] = &fromTable{ref: ref, tbl: tbl, rangeCol: -1}
+	}
+	pushDownPredicates(s.Where, froms, len(s.From) == 1)
+
+	var out struct {
+		cols []string
+		rows []value.Tuple
+		keys []value.Tuple // ORDER BY keys, parallel to rows
+	}
+	out.cols = projectionCols(s, froms)
+
+	env := NewEnv()
+	if outer != nil {
+		env = outer.Child()
+	}
+	iter := orderFroms(froms) // join iteration order; projection keeps FROM order
+
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(iter) {
+			if s.Where != nil {
+				v, err := e.EvalExpr(tx, s.Where, env)
+				if err != nil {
+					return err
+				}
+				if !truthy(v) {
+					return nil
+				}
+			}
+			row, err := e.projectRow(tx, s, froms, env)
+			if err != nil {
+				return err
+			}
+			out.rows = append(out.rows, row)
+			if len(s.OrderBy) > 0 {
+				key := make(value.Tuple, len(s.OrderBy))
+				for k, ob := range s.OrderBy {
+					v, err := e.EvalExpr(tx, ob.Expr, env)
+					if err != nil {
+						return err
+					}
+					key[k] = v
+				}
+				out.keys = append(out.keys, key)
+			}
+			return nil
+		}
+		f := iter[i]
+		iterate := func(row value.Tuple) error {
+			env.Bind(f.ref.Binding(), f.tbl.Schema(), row)
+			return rec(i + 1)
+		}
+		if len(f.eqCols) > 0 {
+			for _, id := range f.tbl.LookupEq(f.eqCols, f.eqVals) {
+				row, err := f.tbl.Get(id)
+				if err != nil {
+					continue // row vanished between lookup and get
+				}
+				if err := iterate(row); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if f.rangeCol >= 0 {
+			for _, id := range f.tbl.LookupRange(f.rangeCol, f.lo, f.hi) {
+				row, err := f.tbl.Get(id)
+				if err != nil {
+					continue
+				}
+				if err := iterate(row); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		var iterErr error
+		f.tbl.Scan(func(_ storage.RowID, row value.Tuple) bool {
+			iterErr = iterate(row)
+			return iterErr == nil
+		})
+		return iterErr
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+
+	rows := out.rows
+	if len(s.OrderBy) > 0 {
+		idx := make([]int, len(rows))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			ka, kb := out.keys[idx[a]], out.keys[idx[b]]
+			for k, ob := range s.OrderBy {
+				c := ka[k].Compare(kb[k])
+				if c != 0 {
+					if ob.Desc {
+						return c > 0
+					}
+					return c < 0
+				}
+			}
+			return false
+		})
+		sorted := make([]value.Tuple, len(rows))
+		for i, j := range idx {
+			sorted[i] = rows[j]
+		}
+		rows = sorted
+	}
+	if s.Distinct {
+		seen := make(map[string]struct{}, len(rows))
+		dedup := rows[:0:0]
+		for _, r := range rows {
+			k := r.Key()
+			if _, dup := seen[k]; !dup {
+				seen[k] = struct{}{}
+				dedup = append(dedup, r)
+			}
+		}
+		rows = dedup
+	}
+	if s.Limit >= 0 && len(rows) > s.Limit {
+		rows = rows[:s.Limit]
+	}
+	return &Result{Cols: out.cols, Rows: rows}, nil
+}
+
+// evalSelectNoFrom handles constant selects like SELECT 1, 'x'.
+func (e *Engine) evalSelectNoFrom(tx *txn.Txn, s *sql.Select, outer *Env) (*Result, error) {
+	env := NewEnv()
+	if outer != nil {
+		env = outer.Child()
+	}
+	if s.Where != nil {
+		v, err := e.EvalExpr(tx, s.Where, env)
+		if err != nil {
+			return nil, err
+		}
+		if !truthy(v) {
+			return &Result{Cols: projectionCols(s, nil)}, nil
+		}
+	}
+	row := make(value.Tuple, 0, len(s.Items))
+	for _, it := range s.Items {
+		if it.Star {
+			return nil, fmt.Errorf("engine: SELECT * requires FROM")
+		}
+		v, err := e.EvalExpr(tx, it.Expr, env)
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, v)
+	}
+	return &Result{Cols: projectionCols(s, nil), Rows: []value.Tuple{row}}, nil
+}
+
+func (e *Engine) projectRow(tx *txn.Txn, s *sql.Select, froms []*fromTable, env *Env) (value.Tuple, error) {
+	var row value.Tuple
+	for _, it := range s.Items {
+		if it.Star {
+			for _, f := range froms {
+				v, _, err := bindingRow(env, f.ref.Binding(), f.tbl.Schema())
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, v...)
+			}
+			continue
+		}
+		v, err := e.EvalExpr(tx, it.Expr, env)
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, v)
+	}
+	return row, nil
+}
+
+// bindingRow fetches the currently bound row for a binding.
+func bindingRow(env *Env, name string, schema *value.Schema) (value.Tuple, *value.Schema, error) {
+	key := strings.ToLower(name)
+	for e := env; e != nil; e = e.parent {
+		for _, b := range e.bindings {
+			if b.name == key {
+				return b.row, b.schema, nil
+			}
+		}
+	}
+	return nil, schema, fmt.Errorf("engine: no binding %q", name)
+}
+
+func projectionCols(s *sql.Select, froms []*fromTable) []string {
+	var cols []string
+	for _, it := range s.Items {
+		switch {
+		case it.Star:
+			for _, f := range froms {
+				for _, c := range f.tbl.Schema().Columns {
+					cols = append(cols, c.Name)
+				}
+			}
+		case it.Alias != "":
+			cols = append(cols, it.Alias)
+		default:
+			if cr, ok := it.Expr.(*sql.ColumnRef); ok {
+				cols = append(cols, cr.Name)
+			} else {
+				cols = append(cols, it.Expr.String())
+			}
+		}
+	}
+	return cols
+}
+
+// orderFroms returns an iteration order for the nested-loop join that puts
+// tables with pushed-down equality or range accesses ahead of full-scan
+// tables, shrinking the outer loops. Only iteration order changes: the join
+// is a cross product, and projection always follows the original FROM list.
+func orderFroms(froms []*fromTable) []*fromTable {
+	rank := func(f *fromTable) int {
+		switch {
+		case len(f.eqCols) > 0:
+			return 0 // indexed/equality access first
+		case f.rangeCol >= 0:
+			return 1
+		default:
+			return 2
+		}
+	}
+	out := append([]*fromTable(nil), froms...)
+	sort.SliceStable(out, func(i, j int) bool { return rank(out[i]) < rank(out[j]) })
+	return out
+}
+
+// pushDownPredicates inspects top-level AND-ed conjuncts and attaches
+// index-servable ones to the corresponding fromTable:
+//
+//   - binding.col = literal → hash-index equality lookup;
+//   - binding.col </<=/>/>= literal and col BETWEEN a AND b → range lookup,
+//     when the column carries an ordered index.
+//
+// Unqualified columns are pushed only in single-table queries. Conjuncts are
+// left in WHERE — re-checking is cheap and keeps correctness independent of
+// the pushdown.
+func pushDownPredicates(where sql.Expr, froms []*fromTable, single bool) {
+	locate := func(cr *sql.ColumnRef) (*fromTable, int) {
+		for _, f := range froms {
+			if cr.Table != "" && !strings.EqualFold(cr.Table, f.ref.Binding()) {
+				continue
+			}
+			if cr.Table == "" && !single {
+				continue
+			}
+			if o := f.tbl.Schema().Ordinal(cr.Name); o >= 0 {
+				return f, o
+			}
+		}
+		return nil, -1
+	}
+	tightenLo := func(f *fromTable, o int, b storage.Bound) {
+		if f.rangeCol >= 0 && f.rangeCol != o {
+			return // one range column per table
+		}
+		if !f.tbl.HasOrderedIndex(o) {
+			return
+		}
+		f.rangeCol = o
+		if !f.lo.Set || b.Value.Compare(f.lo.Value) > 0 {
+			f.lo = b
+		}
+	}
+	tightenHi := func(f *fromTable, o int, b storage.Bound) {
+		if f.rangeCol >= 0 && f.rangeCol != o {
+			return
+		}
+		if !f.tbl.HasOrderedIndex(o) {
+			return
+		}
+		f.rangeCol = o
+		if !f.hi.Set || b.Value.Compare(f.hi.Value) < 0 {
+			f.hi = b
+		}
+	}
+
+	for _, c := range sql.Conjuncts(where) {
+		switch b := c.(type) {
+		case *sql.Binary:
+			cr, lit, op, ok := normalizeCmp(b)
+			if !ok {
+				continue
+			}
+			f, o := locate(cr)
+			if f == nil {
+				continue
+			}
+			switch op {
+			case sql.OpEq:
+				f.eqCols = append(f.eqCols, o)
+				f.eqVals = append(f.eqVals, lit)
+			case sql.OpGt:
+				tightenLo(f, o, storage.BoundAt(lit, false))
+			case sql.OpGe:
+				tightenLo(f, o, storage.BoundAt(lit, true))
+			case sql.OpLt:
+				tightenHi(f, o, storage.BoundAt(lit, false))
+			case sql.OpLe:
+				tightenHi(f, o, storage.BoundAt(lit, true))
+			}
+		case *sql.Between:
+			cr, ok := b.X.(*sql.ColumnRef)
+			if !ok {
+				continue
+			}
+			lo, okLo := b.Lo.(*sql.Literal)
+			hi, okHi := b.Hi.(*sql.Literal)
+			if !okLo || !okHi {
+				continue
+			}
+			f, o := locate(cr)
+			if f == nil {
+				continue
+			}
+			tightenLo(f, o, storage.BoundAt(lo.Val, true))
+			tightenHi(f, o, storage.BoundAt(hi.Val, true))
+		}
+	}
+	// Equality lookups win over range lookups when both were pushed.
+	for _, f := range froms {
+		if len(f.eqCols) > 0 {
+			f.rangeCol = -1
+		}
+	}
+}
+
+// normalizeCmp matches `col OP literal` or `literal OP col` (flipping the
+// operator), for OP in {=, <, <=, >, >=}.
+func normalizeCmp(b *sql.Binary) (*sql.ColumnRef, value.Value, sql.BinOp, bool) {
+	flip := map[sql.BinOp]sql.BinOp{
+		sql.OpEq: sql.OpEq, sql.OpLt: sql.OpGt, sql.OpLe: sql.OpGe,
+		sql.OpGt: sql.OpLt, sql.OpGe: sql.OpLe,
+	}
+	if _, ok := flip[b.Op]; !ok {
+		return nil, value.Null, 0, false
+	}
+	if cr, ok := b.L.(*sql.ColumnRef); ok {
+		if lit, ok := b.R.(*sql.Literal); ok {
+			return cr, lit.Val, b.Op, true
+		}
+	}
+	if cr, ok := b.R.(*sql.ColumnRef); ok {
+		if lit, ok := b.L.(*sql.Literal); ok {
+			return cr, lit.Val, flip[b.Op], true
+		}
+	}
+	return nil, value.Null, 0, false
+}

@@ -1,0 +1,113 @@
+// Package engine evaluates ordinary SQL statements against the storage
+// layer: DDL, DML and SELECT queries with joins, subqueries, ordering and
+// limits. It is the "execution engine" box of the paper's Figure 2 — the
+// coordination component calls into it both to evaluate the relational
+// predicates of entangled queries and to apply the updates that install
+// coordinated answers.
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// Env is a lexical environment mapping table bindings (table names or
+// aliases) to the current row during evaluation. Environments nest: a
+// subquery's environment points at the enclosing query's, which is how
+// correlated subqueries and the coordinator's variable bindings resolve.
+type Env struct {
+	parent   *Env
+	bindings []binding
+	// vars are free coordination variables bound by the coordinator during
+	// grounding of entangled queries; they resolve like unqualified columns.
+	vars map[string]value.Value
+}
+
+type binding struct {
+	name   string // canonical (lower-case) binding name
+	schema *value.Schema
+	row    value.Tuple
+}
+
+// NewEnv returns an empty root environment.
+func NewEnv() *Env { return &Env{} }
+
+// Child returns a new environment nested inside e.
+func (e *Env) Child() *Env { return &Env{parent: e} }
+
+// Bind adds (or replaces) a table binding in this environment.
+func (e *Env) Bind(name string, schema *value.Schema, row value.Tuple) {
+	key := strings.ToLower(name)
+	for i := range e.bindings {
+		if e.bindings[i].name == key {
+			e.bindings[i].schema = schema
+			e.bindings[i].row = row
+			return
+		}
+	}
+	e.bindings = append(e.bindings, binding{name: key, schema: schema, row: row})
+}
+
+// BindVar binds a free coordination variable to a constant.
+func (e *Env) BindVar(name string, v value.Value) {
+	if e.vars == nil {
+		e.vars = make(map[string]value.Value)
+	}
+	e.vars[strings.ToLower(name)] = v
+}
+
+// Var looks up a coordination variable in this environment chain.
+func (e *Env) Var(name string) (value.Value, bool) {
+	key := strings.ToLower(name)
+	for env := e; env != nil; env = env.parent {
+		if v, ok := env.vars[key]; ok {
+			return v, true
+		}
+	}
+	return value.Null, false
+}
+
+// lookupQualified resolves table.column in this environment chain.
+func (e *Env) lookupQualified(table, col string) (value.Value, bool, error) {
+	key := strings.ToLower(table)
+	for env := e; env != nil; env = env.parent {
+		for _, b := range env.bindings {
+			if b.name == key {
+				o := b.schema.Ordinal(col)
+				if o < 0 {
+					return value.Null, false, fmt.Errorf("engine: no column %q in %q", col, table)
+				}
+				return b.row[o], true, nil
+			}
+		}
+	}
+	return value.Null, false, nil
+}
+
+// lookupUnqualified resolves a bare column name. Within a single environment
+// level the name must be unambiguous; resolution then proceeds outward, with
+// coordination variables checked at each level before parent tables.
+func (e *Env) lookupUnqualified(col string) (value.Value, bool, error) {
+	for env := e; env != nil; env = env.parent {
+		if v, ok := env.vars[strings.ToLower(col)]; ok {
+			return v, true, nil
+		}
+		found := false
+		var val value.Value
+		for _, b := range env.bindings {
+			if o := b.schema.Ordinal(col); o >= 0 {
+				if found {
+					return value.Null, false, fmt.Errorf("engine: ambiguous column %q", col)
+				}
+				found = true
+				val = b.row[o]
+			}
+		}
+		if found {
+			return val, true, nil
+		}
+	}
+	return value.Null, false, nil
+}

@@ -1,0 +1,338 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/sql"
+	"repro/internal/txn"
+	"repro/internal/value"
+)
+
+// ErrUnboundVariable is returned when an expression references a name that is
+// neither a column in scope nor a bound coordination variable. The entangled
+// query compiler relies on this error to discover which names are free
+// coordination variables.
+var ErrUnboundVariable = errors.New("engine: unbound variable")
+
+// ErrAnswerConstraint is returned when an answer constraint reaches the plain
+// SQL evaluator; answer constraints are only meaningful inside the
+// coordination component.
+var ErrAnswerConstraint = errors.New("engine: IN ANSWER constraint outside entangled query")
+
+// EvalExpr evaluates an expression in env, reading tables through tx.
+func (e *Engine) EvalExpr(tx *txn.Txn, expr sql.Expr, env *Env) (value.Value, error) {
+	switch x := expr.(type) {
+	case *sql.Literal:
+		return x.Val, nil
+
+	case *sql.ColumnRef:
+		if x.Table != "" {
+			v, ok, err := env.lookupQualified(x.Table, x.Name)
+			if err != nil {
+				return value.Null, err
+			}
+			if !ok {
+				return value.Null, fmt.Errorf("%w: %s.%s", ErrUnboundVariable, x.Table, x.Name)
+			}
+			return v, nil
+		}
+		v, ok, err := env.lookupUnqualified(x.Name)
+		if err != nil {
+			return value.Null, err
+		}
+		if !ok {
+			return value.Null, fmt.Errorf("%w: %s", ErrUnboundVariable, x.Name)
+		}
+		return v, nil
+
+	case *sql.Neg:
+		v, err := e.EvalExpr(tx, x.X, env)
+		if err != nil {
+			return value.Null, err
+		}
+		switch v.Type() {
+		case value.TypeInt:
+			return value.NewInt(-v.Int()), nil
+		case value.TypeFloat:
+			return value.NewFloat(-v.Float()), nil
+		case value.TypeNull:
+			return value.Null, nil
+		default:
+			return value.Null, fmt.Errorf("engine: cannot negate %s", v.Type())
+		}
+
+	case *sql.Not:
+		v, err := e.EvalExpr(tx, x.X, env)
+		if err != nil {
+			return value.Null, err
+		}
+		return value.NewBool(!truthy(v)), nil
+
+	case *sql.Binary:
+		return e.evalBinary(tx, x, env)
+
+	case *sql.Between:
+		v, err := e.EvalExpr(tx, x.X, env)
+		if err != nil {
+			return value.Null, err
+		}
+		lo, err := e.EvalExpr(tx, x.Lo, env)
+		if err != nil {
+			return value.Null, err
+		}
+		hi, err := e.EvalExpr(tx, x.Hi, env)
+		if err != nil {
+			return value.Null, err
+		}
+		if v.IsNull() || lo.IsNull() || hi.IsNull() {
+			return value.NewBool(false), nil
+		}
+		return value.NewBool(v.Compare(lo) >= 0 && v.Compare(hi) <= 0), nil
+
+	case *sql.InValues:
+		v, err := e.EvalExpr(tx, x.X, env)
+		if err != nil {
+			return value.Null, err
+		}
+		found := false
+		for _, ve := range x.Vals {
+			w, err := e.EvalExpr(tx, ve, env)
+			if err != nil {
+				return value.Null, err
+			}
+			if v.Equal(w) {
+				found = true
+				break
+			}
+		}
+		return value.NewBool(found != x.Neg), nil
+
+	case *sql.InSelect:
+		left := make(value.Tuple, len(x.Left))
+		for i, le := range x.Left {
+			v, err := e.EvalExpr(tx, le, env)
+			if err != nil {
+				return value.Null, err
+			}
+			left[i] = v
+		}
+		res, err := e.evalSelect(tx, x.Sub, env)
+		if err != nil {
+			return value.Null, err
+		}
+		if len(res.Cols) != len(left) {
+			return value.Null, fmt.Errorf("engine: IN subquery arity %d vs %d", len(res.Cols), len(left))
+		}
+		found := false
+		for _, row := range res.Rows {
+			match := true
+			for i := range left {
+				if !left[i].Equal(row[i]) {
+					match = false
+					break
+				}
+			}
+			if match {
+				found = true
+				break
+			}
+		}
+		return value.NewBool(found != x.Neg), nil
+
+	case *sql.Exists:
+		res, err := e.evalSelect(tx, x.Sel, env)
+		if err != nil {
+			return value.Null, err
+		}
+		return value.NewBool((len(res.Rows) > 0) != x.Neg), nil
+
+	case *sql.IsNull:
+		v, err := e.EvalExpr(tx, x.X, env)
+		if err != nil {
+			return value.Null, err
+		}
+		return value.NewBool(v.IsNull() != x.Neg), nil
+
+	case *sql.Like:
+		v, err := e.EvalExpr(tx, x.X, env)
+		if err != nil {
+			return value.Null, err
+		}
+		p, err := e.EvalExpr(tx, x.Pattern, env)
+		if err != nil {
+			return value.Null, err
+		}
+		if v.IsNull() || p.IsNull() {
+			return value.NewBool(false), nil
+		}
+		if v.Type() != value.TypeString || p.Type() != value.TypeString {
+			return value.Null, fmt.Errorf("engine: LIKE needs strings, got %s LIKE %s", v.Type(), p.Type())
+		}
+		return value.NewBool(matchLike(v.Str(), p.Str()) != x.Neg), nil
+
+	case *sql.Subquery:
+		res, err := e.evalSelect(tx, x.Sel, env)
+		if err != nil {
+			return value.Null, err
+		}
+		if len(res.Cols) != 1 {
+			return value.Null, fmt.Errorf("engine: scalar subquery has %d columns", len(res.Cols))
+		}
+		switch len(res.Rows) {
+		case 0:
+			return value.Null, nil
+		case 1:
+			return res.Rows[0][0], nil
+		default:
+			return value.Null, fmt.Errorf("engine: scalar subquery returned %d rows", len(res.Rows))
+		}
+
+	case *sql.InAnswer:
+		return value.Null, fmt.Errorf("%w: (%s)", ErrAnswerConstraint, x.String())
+
+	default:
+		return value.Null, fmt.Errorf("engine: unsupported expression %T", expr)
+	}
+}
+
+func (e *Engine) evalBinary(tx *txn.Txn, x *sql.Binary, env *Env) (value.Value, error) {
+	// Short-circuit logical operators.
+	if x.Op == sql.OpAnd || x.Op == sql.OpOr {
+		l, err := e.EvalExpr(tx, x.L, env)
+		if err != nil {
+			return value.Null, err
+		}
+		lt := truthy(l)
+		if x.Op == sql.OpAnd && !lt {
+			return value.NewBool(false), nil
+		}
+		if x.Op == sql.OpOr && lt {
+			return value.NewBool(true), nil
+		}
+		r, err := e.EvalExpr(tx, x.R, env)
+		if err != nil {
+			return value.Null, err
+		}
+		return value.NewBool(truthy(r)), nil
+	}
+
+	l, err := e.EvalExpr(tx, x.L, env)
+	if err != nil {
+		return value.Null, err
+	}
+	r, err := e.EvalExpr(tx, x.R, env)
+	if err != nil {
+		return value.Null, err
+	}
+	switch x.Op {
+	case sql.OpEq:
+		return value.NewBool(l.Equal(r)), nil
+	case sql.OpNe:
+		if l.IsNull() || r.IsNull() {
+			return value.NewBool(false), nil
+		}
+		return value.NewBool(!l.Equal(r)), nil
+	case sql.OpLt, sql.OpLe, sql.OpGt, sql.OpGe:
+		if l.IsNull() || r.IsNull() {
+			return value.NewBool(false), nil
+		}
+		c := l.Compare(r)
+		switch x.Op {
+		case sql.OpLt:
+			return value.NewBool(c < 0), nil
+		case sql.OpLe:
+			return value.NewBool(c <= 0), nil
+		case sql.OpGt:
+			return value.NewBool(c > 0), nil
+		default:
+			return value.NewBool(c >= 0), nil
+		}
+	case sql.OpAdd, sql.OpSub, sql.OpMul, sql.OpDiv:
+		return arith(x.Op, l, r)
+	default:
+		return value.Null, fmt.Errorf("engine: unsupported operator %s", x.Op)
+	}
+}
+
+func arith(op sql.BinOp, l, r value.Value) (value.Value, error) {
+	if l.IsNull() || r.IsNull() {
+		return value.Null, nil
+	}
+	lt, rt := l.Type(), r.Type()
+	numeric := func(t value.Type) bool { return t == value.TypeInt || t == value.TypeFloat }
+	if !numeric(lt) || !numeric(rt) {
+		// String concatenation via '+' for convenience in the travel app.
+		if op == sql.OpAdd && lt == value.TypeString && rt == value.TypeString {
+			return value.NewString(l.Str() + r.Str()), nil
+		}
+		return value.Null, fmt.Errorf("engine: arithmetic on %s and %s", lt, rt)
+	}
+	if lt == value.TypeInt && rt == value.TypeInt {
+		a, b := l.Int(), r.Int()
+		switch op {
+		case sql.OpAdd:
+			return value.NewInt(a + b), nil
+		case sql.OpSub:
+			return value.NewInt(a - b), nil
+		case sql.OpMul:
+			return value.NewInt(a * b), nil
+		case sql.OpDiv:
+			if b == 0 {
+				return value.Null, errors.New("engine: division by zero")
+			}
+			return value.NewInt(a / b), nil
+		}
+	}
+	a, b := l.Float(), r.Float()
+	switch op {
+	case sql.OpAdd:
+		return value.NewFloat(a + b), nil
+	case sql.OpSub:
+		return value.NewFloat(a - b), nil
+	case sql.OpMul:
+		return value.NewFloat(a * b), nil
+	case sql.OpDiv:
+		if b == 0 {
+			return value.Null, errors.New("engine: division by zero")
+		}
+		return value.NewFloat(a / b), nil
+	}
+	return value.Null, fmt.Errorf("engine: bad arithmetic op %s", op)
+}
+
+// matchLike implements SQL LIKE: '%' matches any run (including empty),
+// '_' matches exactly one character. Matching is over bytes, which is exact
+// for the ASCII patterns the travel app uses.
+func matchLike(s, pattern string) bool {
+	// Iterative two-pointer algorithm with backtracking on the last '%'.
+	si, pi := 0, 0
+	star, starSi := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(pattern) && (pattern[pi] == '_' || pattern[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(pattern) && pattern[pi] == '%':
+			star, starSi = pi, si
+			pi++
+		case star >= 0:
+			starSi++
+			si = starSi
+			pi = star + 1
+		default:
+			return false
+		}
+	}
+	for pi < len(pattern) && pattern[pi] == '%' {
+		pi++
+	}
+	return pi == len(pattern)
+}
+
+// truthy maps a value to a boolean condition result: booleans are themselves,
+// NULL is false, and anything else is an error surfaced as false (SQL-ish
+// two-valued logic; documented in README).
+func truthy(v value.Value) bool {
+	return v.Type() == value.TypeBool && v.Bool()
+}

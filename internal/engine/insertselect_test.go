@@ -1,0 +1,61 @@
+package engine
+
+import "testing"
+
+func TestInsertSelect(t *testing.T) {
+	e := newEngine(t)
+	query(t, e, "CREATE TABLE ParisFlights (fno INT, dest STRING)")
+	res := query(t, e, "INSERT INTO ParisFlights SELECT fno, dest FROM Flights WHERE dest = 'Paris'")
+	if res.Affected != 3 {
+		t.Fatalf("affected = %d", res.Affected)
+	}
+	got := query(t, e, "SELECT COUNT(*) FROM ParisFlights")
+	if got.Rows[0][0].Int() != 3 {
+		t.Errorf("copied rows = %v", got.Rows)
+	}
+	// Type-mismatched projection fails atomically.
+	if _, err := e.ExecuteSQL("INSERT INTO ParisFlights SELECT dest, fno FROM Flights"); err == nil {
+		t.Error("type-mismatched INSERT..SELECT accepted")
+	}
+	if got := query(t, e, "SELECT COUNT(*) FROM ParisFlights"); got.Rows[0][0].Int() != 3 {
+		t.Error("failed INSERT..SELECT leaked rows")
+	}
+	// With expressions and a PK conflict mid-way: all-or-nothing.
+	query(t, e, "CREATE TABLE K (x INT, PRIMARY KEY (x))")
+	query(t, e, "INSERT INTO K VALUES (123)")
+	if _, err := e.ExecuteSQL("INSERT INTO K SELECT fno FROM Flights WHERE dest = 'Paris'"); err == nil {
+		t.Error("PK conflict accepted")
+	}
+	if got := query(t, e, "SELECT COUNT(*) FROM K"); got.Rows[0][0].Int() != 1 {
+		t.Error("partial INSERT..SELECT survived")
+	}
+}
+
+func TestExists(t *testing.T) {
+	e := newEngine(t)
+	// Uncorrelated.
+	res := query(t, e, "SELECT 1 WHERE EXISTS (SELECT fno FROM Flights WHERE dest = 'Rome')")
+	if len(res.Rows) != 1 {
+		t.Errorf("EXISTS rows = %v", res.Rows)
+	}
+	res = query(t, e, "SELECT 1 WHERE EXISTS (SELECT fno FROM Flights WHERE dest = 'Atlantis')")
+	if len(res.Rows) != 0 {
+		t.Errorf("empty EXISTS rows = %v", res.Rows)
+	}
+	// Correlated: flights that have an airline entry.
+	res = query(t, e, `SELECT f.fno FROM Flights f
+		WHERE EXISTS (SELECT 1 FROM Airlines a WHERE a.fno = f.fno AND a.airline = 'United')`)
+	if len(res.Rows) != 2 {
+		t.Errorf("correlated EXISTS rows = %v", res.Rows)
+	}
+	// NOT EXISTS.
+	res = query(t, e, `SELECT f.fno FROM Flights f
+		WHERE NOT EXISTS (SELECT 1 FROM Airlines a WHERE a.fno = f.fno AND a.airline = 'United')`)
+	if len(res.Rows) != 2 {
+		t.Errorf("NOT EXISTS rows = %v", res.Rows)
+	}
+	// Errors.
+	if _, err := e.ExecuteSQL("SELECT 1 WHERE EXISTS (1 + 2)"); err == nil {
+		t.Error("EXISTS over non-subquery accepted")
+	}
+}

@@ -1,0 +1,270 @@
+package eq
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/sql"
+	"repro/internal/value"
+)
+
+// ErrUnsafe is returned when an entangled query fails the safety analysis:
+// some variable has no generator, so the coordination component could never
+// ground it from the database. This is the compile-time enforcement of the
+// range-restriction/origin condition the technical companion paper imposes on
+// the coordinable fragment; unsafe queries are rejected at submission rather
+// than parked forever.
+var ErrUnsafe = errors.New("eq: unsafe entangled query")
+
+// ErrNotEntangled is returned when compiling a statement that is not an
+// EntangledSelect.
+var ErrNotEntangled = errors.New("eq: statement is not an entangled query")
+
+// CompileSQL parses and compiles one entangled query.
+func CompileSQL(src string) (*Query, error) {
+	stmt, err := sql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	es, ok := stmt.(*sql.EntangledSelect)
+	if !ok {
+		return nil, fmt.Errorf("%w: %T", ErrNotEntangled, stmt)
+	}
+	return Compile(es)
+}
+
+// Compile translates a parsed entangled query into the coordination IR and
+// runs the safety analysis.
+func Compile(es *sql.EntangledSelect) (*Query, error) {
+	q := &Query{Choose: es.Choose, Source: es.String()}
+	if q.Choose == 0 {
+		q.Choose = 1
+	}
+
+	seenVar := make(map[string]bool)
+	noteVars := func(terms []Term) {
+		for _, t := range terms {
+			if t.IsVar && !seenVar[t.Var] {
+				seenVar[t.Var] = true
+				q.Vars = append(q.Vars, t.Var)
+			}
+		}
+	}
+
+	// Head atoms from the INTO ANSWER targets.
+	if len(es.Targets) == 0 {
+		return nil, fmt.Errorf("eq: entangled query has no INTO ANSWER target")
+	}
+	for _, tgt := range es.Targets {
+		terms, err := exprsToTerms(tgt.Exprs, "answer tuple")
+		if err != nil {
+			return nil, err
+		}
+		if len(terms) == 0 {
+			return nil, fmt.Errorf("eq: empty answer tuple for relation %s", tgt.Relation)
+		}
+		q.Heads = append(q.Heads, NewAtom(tgt.Relation, terms...))
+		noteVars(terms)
+	}
+
+	// Split WHERE conjuncts into constraint atoms and residual predicates.
+	for _, c := range sql.Conjuncts(es.Where) {
+		if ia, ok := c.(*sql.InAnswer); ok {
+			terms, err := exprsToTerms(ia.Left, "answer constraint")
+			if err != nil {
+				return nil, err
+			}
+			atom := NewAtom(ia.Relation, terms...)
+			if ia.Neg {
+				q.NegConstraints = append(q.NegConstraints, atom)
+			} else {
+				q.Constraints = append(q.Constraints, atom)
+			}
+			noteVars(terms)
+			continue
+		}
+		if err := checkResidual(c); err != nil {
+			return nil, err
+		}
+		q.Preds = append(q.Preds, c)
+		for _, v := range freeVars(c) {
+			if !seenVar[v] {
+				seenVar[v] = true
+				q.Vars = append(q.Vars, v)
+			}
+		}
+		if g, ok := generatorOf(c); ok {
+			q.Generators = append(q.Generators, g)
+		}
+	}
+
+	if err := checkSafety(q); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// exprsToTerms converts answer-tuple or constraint expressions to terms.
+// Only constants and bare variables are allowed, keeping queries within the
+// conjunctive fragment the matching algorithm handles.
+func exprsToTerms(exprs []sql.Expr, where string) ([]Term, error) {
+	terms := make([]Term, len(exprs))
+	for i, e := range exprs {
+		switch x := e.(type) {
+		case *sql.Literal:
+			terms[i] = ConstTerm(x.Val)
+		case *sql.ColumnRef:
+			if x.Table != "" {
+				return nil, fmt.Errorf("eq: qualified name %s not allowed in %s (entangled queries have no FROM scope)", x, where)
+			}
+			terms[i] = VarTerm(x.Name)
+		case *sql.Neg:
+			lit, ok := x.X.(*sql.Literal)
+			if !ok {
+				return nil, fmt.Errorf("eq: %s must contain only constants and variables, found %s", where, e)
+			}
+			v, err := negateLiteral(lit.Val)
+			if err != nil {
+				return nil, err
+			}
+			terms[i] = ConstTerm(v)
+		default:
+			return nil, fmt.Errorf("eq: %s must contain only constants and variables, found %s", where, e)
+		}
+	}
+	return terms, nil
+}
+
+func negateLiteral(v value.Value) (value.Value, error) {
+	switch v.Type() {
+	case value.TypeInt:
+		return value.NewInt(-v.Int()), nil
+	case value.TypeFloat:
+		return value.NewFloat(-v.Float()), nil
+	default:
+		return value.Null, fmt.Errorf("eq: cannot negate %s", v.Type())
+	}
+}
+
+// checkResidual validates that a residual predicate only uses unqualified
+// column references (free coordination variables) at its top level; nested
+// subqueries have their own scopes and may use anything.
+func checkResidual(e sql.Expr) error {
+	var err error
+	sql.WalkExpr(e, func(x sql.Expr) {
+		if cr, ok := x.(*sql.ColumnRef); ok && cr.Table != "" && err == nil {
+			err = fmt.Errorf("eq: qualified reference %s outside a subquery in entangled WHERE", cr)
+		}
+	})
+	return err
+}
+
+// freeVars lists the canonical names of free variables in a residual
+// predicate (unqualified column refs at top level; subquery bodies excluded
+// by WalkExpr).
+func freeVars(e sql.Expr) []string {
+	var out []string
+	seen := make(map[string]bool)
+	sql.WalkExpr(e, func(x sql.Expr) {
+		if cr, ok := x.(*sql.ColumnRef); ok && cr.Table == "" {
+			name := strings.ToLower(cr.Name)
+			if !seen[name] {
+				seen[name] = true
+				out = append(out, name)
+			}
+		}
+	})
+	return out
+}
+
+// generatorOf recognizes candidate-producing conjuncts:
+//
+//	x IN (SELECT ...)            → subquery generator for x
+//	(x, y) IN (SELECT ...)       → joint subquery generator
+//	x = const / const = x        → singleton generator
+//	x IN (c1, ..., ck)           → inline list generator
+func generatorOf(e sql.Expr) (Generator, bool) {
+	switch x := e.(type) {
+	case *sql.InSelect:
+		if x.Neg {
+			return Generator{}, false
+		}
+		vars := make([]string, len(x.Left))
+		for i, le := range x.Left {
+			cr, ok := le.(*sql.ColumnRef)
+			if !ok || cr.Table != "" {
+				return Generator{}, false
+			}
+			vars[i] = strings.ToLower(cr.Name)
+		}
+		return Generator{Vars: vars, Sub: x.Sub}, true
+
+	case *sql.Binary:
+		if x.Op != sql.OpEq {
+			return Generator{}, false
+		}
+		cr, lit := asVarLit(x.L, x.R)
+		if cr == "" {
+			return Generator{}, false
+		}
+		return Generator{Vars: []string{cr}, Tuples: []value.Tuple{{lit}}}, true
+
+	case *sql.InValues:
+		if x.Neg {
+			return Generator{}, false
+		}
+		cr, ok := x.X.(*sql.ColumnRef)
+		if !ok || cr.Table != "" {
+			return Generator{}, false
+		}
+		var tuples []value.Tuple
+		for _, ve := range x.Vals {
+			lit, ok := ve.(*sql.Literal)
+			if !ok {
+				return Generator{}, false
+			}
+			tuples = append(tuples, value.Tuple{lit.Val})
+		}
+		return Generator{Vars: []string{strings.ToLower(cr.Name)}, Tuples: tuples}, true
+	}
+	return Generator{}, false
+}
+
+// asVarLit matches (var, literal) in either order, returning the canonical
+// var name and the literal value, or "" when the shape doesn't match.
+func asVarLit(a, b sql.Expr) (string, value.Value) {
+	if cr, ok := a.(*sql.ColumnRef); ok && cr.Table == "" {
+		if lit, ok := b.(*sql.Literal); ok {
+			return strings.ToLower(cr.Name), lit.Val
+		}
+	}
+	if cr, ok := b.(*sql.ColumnRef); ok && cr.Table == "" {
+		if lit, ok := a.(*sql.Literal); ok {
+			return strings.ToLower(cr.Name), lit.Val
+		}
+	}
+	return "", value.Null
+}
+
+// checkSafety enforces that every variable has at least one generator, so
+// grounding always has a finite candidate set to draw from.
+func checkSafety(q *Query) error {
+	generated := make(map[string]bool)
+	for _, g := range q.Generators {
+		for _, v := range g.Vars {
+			generated[v] = true
+		}
+	}
+	var missing []string
+	for _, v := range q.Vars {
+		if !generated[v] {
+			missing = append(missing, v)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("%w: variable(s) %s have no generator (bind each via 'x IN (SELECT ...)', 'x = const', or 'x IN (...)')",
+			ErrUnsafe, strings.Join(missing, ", "))
+	}
+	return nil
+}

@@ -1,0 +1,271 @@
+package eq
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/sql"
+	"repro/internal/value"
+)
+
+// kramer is the paper's §2.1 query.
+const kramer = `SELECT 'Kramer', fno INTO ANSWER Reservation
+WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris')
+AND ('Jerry', fno) IN ANSWER Reservation
+CHOOSE 1`
+
+func compile(t *testing.T, src string) *Query {
+	t.Helper()
+	q, err := CompileSQL(src)
+	if err != nil {
+		t.Fatalf("CompileSQL(%q): %v", src, err)
+	}
+	return q
+}
+
+func TestCompilePaperQuery(t *testing.T) {
+	q := compile(t, kramer)
+	if len(q.Heads) != 1 {
+		t.Fatalf("heads = %v", q.Heads)
+	}
+	h := q.Heads[0]
+	if h.Relation != "reservation" || h.Arity() != 2 {
+		t.Errorf("head = %v", h)
+	}
+	if h.Terms[0].IsVar || h.Terms[0].Const.Str() != "Kramer" {
+		t.Errorf("head term 0 = %v", h.Terms[0])
+	}
+	if !h.Terms[1].IsVar || h.Terms[1].Var != "fno" {
+		t.Errorf("head term 1 = %v", h.Terms[1])
+	}
+	if len(q.Constraints) != 1 {
+		t.Fatalf("constraints = %v", q.Constraints)
+	}
+	c := q.Constraints[0]
+	if c.Terms[0].Const.Str() != "Jerry" || c.Terms[1].Var != "fno" {
+		t.Errorf("constraint = %v", c)
+	}
+	if len(q.Preds) != 1 || len(q.Generators) != 1 {
+		t.Fatalf("preds = %v, gens = %v", q.Preds, q.Generators)
+	}
+	g := q.Generators[0]
+	if len(g.Vars) != 1 || g.Vars[0] != "fno" || g.Sub == nil {
+		t.Errorf("generator = %v", g)
+	}
+	if q.Choose != 1 {
+		t.Errorf("choose = %d", q.Choose)
+	}
+	if len(q.Vars) != 1 || q.Vars[0] != "fno" {
+		t.Errorf("vars = %v", q.Vars)
+	}
+}
+
+func TestCompileVariableCaseInsensitive(t *testing.T) {
+	q := compile(t, "SELECT 'K', FNO INTO ANSWER R WHERE fno IN (SELECT fno FROM F) AND ('J', Fno) IN ANSWER R")
+	if len(q.Vars) != 1 {
+		t.Errorf("vars = %v (case-insensitive canonicalization failed)", q.Vars)
+	}
+}
+
+func TestCompileMultiTarget(t *testing.T) {
+	q := compile(t, `SELECT ('J', fno) INTO ANSWER R, ('J', hno) INTO ANSWER H
+		WHERE fno IN (SELECT fno FROM Flights) AND hno IN (SELECT hno FROM Hotels)
+		AND ('K', fno) IN ANSWER R AND ('K', hno) IN ANSWER H`)
+	if len(q.Heads) != 2 || len(q.Constraints) != 2 || len(q.Generators) != 2 {
+		t.Fatalf("%s", q)
+	}
+	rels := q.AnswerRelations()
+	if len(rels) != 2 || rels[0] != "r" || rels[1] != "h" {
+		t.Errorf("answer relations = %v", rels)
+	}
+	base := q.BaseTables()
+	if len(base) != 2 || base[0] != "flights" || base[1] != "hotels" {
+		t.Errorf("base tables = %v", base)
+	}
+}
+
+func TestCompileGeneratorKinds(t *testing.T) {
+	q := compile(t, `SELECT 'u', x, y, z INTO ANSWER R
+		WHERE x IN (SELECT a FROM T) AND y = 7 AND z IN (1, 2, 3)`)
+	if len(q.Generators) != 3 {
+		t.Fatalf("generators = %v", q.Generators)
+	}
+	if q.Generators[1].Tuples[0][0].Int() != 7 {
+		t.Errorf("const generator = %v", q.Generators[1])
+	}
+	if len(q.Generators[2].Tuples) != 3 {
+		t.Errorf("list generator = %v", q.Generators[2])
+	}
+}
+
+func TestCompileJointGenerator(t *testing.T) {
+	q := compile(t, `SELECT 'u', fno, hno INTO ANSWER R
+		WHERE (fno, hno) IN (SELECT f, h FROM Packages)`)
+	if len(q.Generators) != 1 || len(q.Generators[0].Vars) != 2 {
+		t.Fatalf("generators = %v", q.Generators)
+	}
+}
+
+func TestCompileReversedConstEquality(t *testing.T) {
+	q := compile(t, "SELECT 'u', x INTO ANSWER R WHERE 5 = x")
+	if len(q.Generators) != 1 || q.Generators[0].Tuples[0][0].Int() != 5 {
+		t.Fatalf("generators = %v", q.Generators)
+	}
+}
+
+func TestCompileNegativeLiteralInHead(t *testing.T) {
+	q := compile(t, "SELECT -3, x INTO ANSWER R WHERE x = 1")
+	if q.Heads[0].Terms[0].Const.Int() != -3 {
+		t.Errorf("head = %v", q.Heads[0])
+	}
+}
+
+func TestCompileNegConstraint(t *testing.T) {
+	q := compile(t, `SELECT 'u', fno INTO ANSWER R
+		WHERE fno IN (SELECT fno FROM Flights)
+		AND ('rival', fno) NOT IN ANSWER R`)
+	if len(q.NegConstraints) != 1 || len(q.Constraints) != 0 {
+		t.Fatalf("%+v", q)
+	}
+}
+
+func TestCompileUnsafeRejected(t *testing.T) {
+	unsafe := []string{
+		// fno never generated: only appears in head and constraint.
+		"SELECT 'K', fno INTO ANSWER R WHERE ('J', fno) IN ANSWER R",
+		// x generated, y only filtered.
+		"SELECT 'K', x, y INTO ANSWER R WHERE x IN (SELECT a FROM T) AND y < 5",
+		// NOT IN subquery is not a generator.
+		"SELECT 'K', x INTO ANSWER R WHERE x NOT IN (SELECT a FROM T)",
+		// no WHERE at all but a variable head.
+		"SELECT 'K', fno INTO ANSWER R",
+	}
+	for _, src := range unsafe {
+		if _, err := CompileSQL(src); !errors.Is(err, ErrUnsafe) {
+			t.Errorf("%q: err = %v, want ErrUnsafe", src, err)
+		}
+	}
+}
+
+func TestCompileGroundQuerySafe(t *testing.T) {
+	// All-constant query is trivially safe.
+	q := compile(t, "SELECT 'K', 122 INTO ANSWER R WHERE ('J', 122) IN ANSWER R")
+	if len(q.Vars) != 0 {
+		t.Errorf("vars = %v", q.Vars)
+	}
+	if q.Heads[0].Ground() != true {
+		t.Error("head should be ground")
+	}
+	tup := q.Heads[0].GroundTuple()
+	if !tup.Equal(value.NewTuple("K", 122)) {
+		t.Errorf("ground tuple = %v", tup)
+	}
+}
+
+func TestCompileRejectsBadShapes(t *testing.T) {
+	bad := []string{
+		// arithmetic in answer tuple
+		"SELECT 'K', fno + 1 INTO ANSWER R WHERE fno IN (SELECT f FROM T)",
+		// qualified name in answer tuple
+		"SELECT 'K', t.fno INTO ANSWER R WHERE fno IN (SELECT f FROM T)",
+		// qualified name in residual predicate
+		"SELECT 'K', fno INTO ANSWER R WHERE f.fno IN (SELECT f FROM T)",
+		// negated non-literal in head
+		"SELECT -fno, 'K' INTO ANSWER R WHERE fno IN (SELECT f FROM T)",
+		// negated string
+		"SELECT -'x', fno INTO ANSWER R WHERE fno IN (SELECT f FROM T)",
+	}
+	for _, src := range bad {
+		if _, err := CompileSQL(src); err == nil {
+			t.Errorf("%q: expected compile error", src)
+		}
+	}
+}
+
+func TestCompileNotEntangled(t *testing.T) {
+	if _, err := CompileSQL("SELECT fno FROM Flights"); !errors.Is(err, ErrNotEntangled) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := CompileSQL("SELEC"); err == nil {
+		t.Error("parse error not surfaced")
+	}
+}
+
+func TestSelfSatisfiable(t *testing.T) {
+	// Kramer's query needs Jerry: not self-satisfiable.
+	if compile(t, kramer).SelfSatisfiable() {
+		t.Error("Kramer's query must not be self-satisfiable")
+	}
+	// A reflexive query that constrains its own contribution is.
+	self := compile(t, `SELECT 'K', fno INTO ANSWER R
+		WHERE fno IN (SELECT fno FROM Flights) AND ('K', fno) IN ANSWER R`)
+	if !self.SelfSatisfiable() {
+		t.Error("reflexive query should be self-satisfiable")
+	}
+}
+
+func TestQueryString(t *testing.T) {
+	s := compile(t, kramer).String()
+	for _, want := range []string{"Reservation('Kramer', fno)", "<-", "Reservation('Jerry', fno)", "IN (SELECT"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestHasVar(t *testing.T) {
+	q := compile(t, kramer)
+	if !q.HasVar("fno") || !q.HasVar("FNO") || q.HasVar("hno") {
+		t.Error("HasVar")
+	}
+}
+
+func TestAtomHelpers(t *testing.T) {
+	a := NewAtom("Reservation", ConstTerm(value.NewString("K")), VarTerm("Fno"), VarTerm("fno"))
+	if got := a.Vars(); len(got) != 1 || got[0] != "fno" {
+		t.Errorf("Vars = %v", got)
+	}
+	if a.Ground() {
+		t.Error("atom with vars reported ground")
+	}
+	if a.String() != "Reservation('K', fno, fno)" {
+		t.Errorf("String = %q", a.String())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("GroundTuple on non-ground atom must panic")
+		}
+	}()
+	a.GroundTuple()
+}
+
+func TestUnifiableQuickCheck(t *testing.T) {
+	a := NewAtom("R", ConstTerm(value.NewString("J")), VarTerm("x"))
+	b := NewAtom("R", VarTerm("y"), ConstTerm(value.NewInt(7)))
+	c := NewAtom("R", ConstTerm(value.NewString("K")), VarTerm("x"))
+	d := NewAtom("S", ConstTerm(value.NewString("J")), VarTerm("x"))
+	e := NewAtom("R", ConstTerm(value.NewString("J")))
+	if !Unifiable(a, b) {
+		t.Error("a/b should unify")
+	}
+	if Unifiable(a, c) {
+		t.Error("a/c clash on constants")
+	}
+	if Unifiable(a, d) {
+		t.Error("different relations")
+	}
+	if Unifiable(a, e) {
+		t.Error("different arity")
+	}
+}
+
+func TestCompileFromParsedStatement(t *testing.T) {
+	stmt, err := sql.Parse(kramer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(stmt.(*sql.EntangledSelect)); err != nil {
+		t.Fatal(err)
+	}
+}

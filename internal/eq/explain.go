@@ -1,0 +1,63 @@
+package eq
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Explain renders the compiler's analysis of an entangled query — the
+// "representation in the system" the demo's admin interface shows (§3.2):
+// head atoms, answer constraints, generators with their candidate sources,
+// residual filters, and the safety/self-satisfiability classification.
+func Explain(q *Query) string {
+	var b strings.Builder
+	b.WriteString("entangled query\n")
+	fmt.Fprintf(&b, "  choose: %d answer(s)\n", q.Choose)
+
+	b.WriteString("  contributes (head atoms):\n")
+	for _, h := range q.Heads {
+		fmt.Fprintf(&b, "    %s\n", h)
+	}
+	if len(q.Constraints) > 0 {
+		b.WriteString("  requires (answer constraints):\n")
+		for _, c := range q.Constraints {
+			fmt.Fprintf(&b, "    %s\n", c)
+		}
+	} else {
+		b.WriteString("  requires: nothing (no coordination constraints)\n")
+	}
+	if len(q.NegConstraints) > 0 {
+		b.WriteString("  excludes (negative constraints):\n")
+		for _, c := range q.NegConstraints {
+			fmt.Fprintf(&b, "    NOT %s\n", c)
+		}
+	}
+	if len(q.Vars) > 0 {
+		fmt.Fprintf(&b, "  variables: %s\n", strings.Join(q.Vars, ", "))
+	} else {
+		b.WriteString("  variables: none (ground query)\n")
+	}
+	if len(q.Generators) > 0 {
+		b.WriteString("  generators (candidate sources):\n")
+		for _, g := range q.Generators {
+			fmt.Fprintf(&b, "    %s\n", g)
+		}
+	}
+	filters := 0
+	for _, p := range q.Preds {
+		if _, isGen := generatorOf(p); !isGen {
+			filters++
+		}
+	}
+	fmt.Fprintf(&b, "  residual predicates: %d (%d generator(s), %d filter-only)\n",
+		len(q.Preds), len(q.Generators), filters)
+	if bt := q.BaseTables(); len(bt) > 0 {
+		fmt.Fprintf(&b, "  base tables read: %s\n", strings.Join(bt, ", "))
+	}
+	if q.SelfSatisfiable() {
+		b.WriteString("  matching: self-satisfiable — answerable without partners\n")
+	} else {
+		b.WriteString("  matching: needs partner queries (or installed answers) to cover its constraints\n")
+	}
+	return b.String()
+}

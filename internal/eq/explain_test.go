@@ -1,0 +1,58 @@
+package eq
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExplainPaperQuery(t *testing.T) {
+	q := compile(t, kramer)
+	got := Explain(q)
+	for _, want := range []string{
+		"choose: 1 answer(s)",
+		"Reservation('Kramer', fno)",
+		"Reservation('Jerry', fno)",
+		"variables: fno",
+		"(fno) IN (SELECT fno FROM Flights",
+		"base tables read: flights",
+		"needs partner queries",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Explain missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestExplainSelfSatisfiable(t *testing.T) {
+	q := compile(t, `SELECT 'Solo', fno INTO ANSWER R
+		WHERE fno IN (SELECT fno FROM Flights) AND ('Solo', fno) IN ANSWER R`)
+	if !strings.Contains(Explain(q), "self-satisfiable") {
+		t.Error("self-satisfiable classification missing")
+	}
+}
+
+func TestExplainGroundAndNegative(t *testing.T) {
+	q := compile(t, `SELECT 'K', 122 INTO ANSWER R
+		WHERE ('Rival', 122) NOT IN ANSWER R`)
+	got := Explain(q)
+	for _, want := range []string{"variables: none (ground query)", "NOT R('Rival', 122)"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Explain missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestExplainFilterCount(t *testing.T) {
+	q := compile(t, `SELECT 'K', x INTO ANSWER R
+		WHERE x IN (SELECT a FROM T) AND x < 100 AND x <> 13`)
+	if !strings.Contains(Explain(q), "residual predicates: 3 (1 generator(s), 2 filter-only)") {
+		t.Errorf("filter accounting wrong:\n%s", Explain(q))
+	}
+}
+
+func TestExplainNoConstraints(t *testing.T) {
+	q := compile(t, "SELECT 'K', x INTO ANSWER R WHERE x = 5")
+	if !strings.Contains(Explain(q), "requires: nothing") {
+		t.Error("constraint-free classification missing")
+	}
+}

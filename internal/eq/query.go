@@ -1,0 +1,185 @@
+package eq
+
+import (
+	"strings"
+
+	"repro/internal/sql"
+	"repro/internal/value"
+)
+
+// Generator is a conjunct that can enumerate candidate values for one or more
+// variables: `x IN (SELECT ...)`, `x = const`, or `x IN (c1, ..., ck)`. The
+// coordination component evaluates generators through the execution engine to
+// obtain the candidate sets it grounds matches from.
+type Generator struct {
+	Vars   []string      // variables produced, positionally
+	Sub    *sql.Select   // non-nil: evaluate this subquery for candidates
+	Tuples []value.Tuple // non-nil: inline candidate tuples
+}
+
+// String summarizes the generator.
+func (g Generator) String() string {
+	if g.Sub != nil {
+		return "(" + strings.Join(g.Vars, ", ") + ") IN (" + g.Sub.String() + ")"
+	}
+	vals := make([]string, len(g.Tuples))
+	for i, t := range g.Tuples {
+		vals[i] = t.String()
+	}
+	return "(" + strings.Join(g.Vars, ", ") + ") IN {" + strings.Join(vals, ", ") + "}"
+}
+
+// Query is a compiled entangled query: the intermediate representation the
+// coordination component works on.
+type Query struct {
+	// Heads are the answer atoms the query contributes INTO answer relations.
+	Heads []Atom
+	// Constraints are the positive answer constraints: tuples that must be
+	// present in the shared answer relations for this query to be answered.
+	Constraints []Atom
+	// NegConstraints are NOT IN ANSWER exclusions (an extension; the demo
+	// paper's examples use only positive constraints).
+	NegConstraints []Atom
+	// Preds are the residual relational predicates (every non-answer
+	// conjunct of WHERE), evaluated by the execution engine at grounding.
+	Preds []sql.Expr
+	// Generators are the candidate-producing subset of Preds, one entry per
+	// generating conjunct.
+	Generators []Generator
+	// Vars lists all distinct variables, in first-occurrence order.
+	Vars []string
+	// Choose is the number of answer tuples requested (CHOOSE n; default 1).
+	Choose int
+	// Source is the SQL text the query was compiled from (diagnostics).
+	Source string
+}
+
+// String renders the query in logic notation, e.g.
+// "Reservation('Kramer', fno) ← Reservation('Jerry', fno), fno IN (...)".
+func (q *Query) String() string {
+	heads := make([]string, len(q.Heads))
+	for i, h := range q.Heads {
+		heads[i] = h.String()
+	}
+	var body []string
+	for _, c := range q.Constraints {
+		body = append(body, c.String())
+	}
+	for _, c := range q.NegConstraints {
+		body = append(body, "NOT "+c.String())
+	}
+	for _, p := range q.Preds {
+		body = append(body, p.String())
+	}
+	s := strings.Join(heads, " & ")
+	if len(body) > 0 {
+		s += " <- " + strings.Join(body, ", ")
+	}
+	return s
+}
+
+// HasVar reports whether name (canonicalized) is a variable of the query.
+func (q *Query) HasVar(name string) bool {
+	name = strings.ToLower(name)
+	for _, v := range q.Vars {
+		if v == name {
+			return true
+		}
+	}
+	return false
+}
+
+// AnswerRelations returns the distinct relations the query contributes to or
+// constrains, canonicalized.
+func (q *Query) AnswerRelations() []string {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(r string) {
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	for _, h := range q.Heads {
+		add(h.Relation)
+	}
+	for _, c := range q.Constraints {
+		add(c.Relation)
+	}
+	for _, c := range q.NegConstraints {
+		add(c.Relation)
+	}
+	return out
+}
+
+// BaseTables returns the distinct base (database) tables referenced by the
+// query's residual predicates — the tables whose updates can unblock it.
+func (q *Query) BaseTables() []string {
+	seen := make(map[string]bool)
+	var out []string
+	var fromSelect func(s *sql.Select)
+	var fromExpr func(e sql.Expr)
+	fromSelect = func(s *sql.Select) {
+		for _, f := range s.From {
+			key := strings.ToLower(f.Name)
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, key)
+			}
+		}
+		fromExpr(s.Where)
+	}
+	fromExpr = func(e sql.Expr) {
+		sql.WalkExpr(e, func(x sql.Expr) {
+			switch sq := x.(type) {
+			case *sql.InSelect:
+				fromSelect(sq.Sub)
+			case *sql.Subquery:
+				fromSelect(sq.Sel)
+			}
+		})
+	}
+	for _, p := range q.Preds {
+		fromExpr(p)
+	}
+	return out
+}
+
+// SelfSatisfiable reports whether every constraint atom could unify with one
+// of the query's own head atoms — i.e. the query could in principle be
+// answered alone. Kramer's query is NOT self-satisfiable ('Kramer' ≠ 'Jerry'
+// in position 0), which is exactly why it must wait for Jerry's.
+func (q *Query) SelfSatisfiable() bool {
+	for _, c := range q.Constraints {
+		ok := false
+		for _, h := range q.Heads {
+			if unifiable(c, h) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// unifiable is a cheap local check: same relation and arity, and no
+// const-vs-const clash position-by-position.
+func unifiable(a, b Atom) bool {
+	if a.Relation != b.Relation || a.Arity() != b.Arity() {
+		return false
+	}
+	for i := range a.Terms {
+		ta, tb := a.Terms[i], b.Terms[i]
+		if !ta.IsVar && !tb.IsVar && !ta.Const.Identical(tb.Const) {
+			return false
+		}
+	}
+	return true
+}
+
+// Unifiable reports whether atoms a and b could match under some
+// substitution, ignoring variable bindings (used by the candidate index).
+func Unifiable(a, b Atom) bool { return unifiable(a, b) }

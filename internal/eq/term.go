@@ -1,0 +1,124 @@
+// Package eq defines the intermediate representation of entangled queries —
+// the form the paper's query compiler produces for the coordination
+// component (Figure 2) — and the compiler from parsed SQL into it.
+//
+// An entangled query compiles to:
+//
+//   - head atoms: its contributions INTO the shared answer relations,
+//     e.g. Reservation('Kramer', fno);
+//   - constraint atoms: the answer constraints it imposes on the system-wide
+//     answer relations, e.g. Reservation('Jerry', fno);
+//   - residual predicates: ordinary relational conditions to be grounded by
+//     the execution engine, e.g. fno IN (SELECT fno FROM Flights WHERE
+//     dest='Paris').
+//
+// Terms in atoms are constants or variables. Coordination happens when the
+// coordination component unifies one query's constraint atoms with other
+// queries' head atoms (Figure 1b) and the execution engine finds a grounding
+// of the merged variables that satisfies every residual predicate.
+package eq
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// Term is a constant or a variable inside an atom.
+type Term struct {
+	Const value.Value // valid when !IsVar
+	Var   string      // canonical (lower-case) variable name when IsVar
+	IsVar bool
+}
+
+// ConstTerm builds a constant term.
+func ConstTerm(v value.Value) Term { return Term{Const: v} }
+
+// VarTerm builds a variable term; names are canonicalized to lower case, as
+// SQL identifiers are case-insensitive.
+func VarTerm(name string) Term { return Term{Var: strings.ToLower(name), IsVar: true} }
+
+// String renders the term: variables as their name, constants as literals.
+func (t Term) String() string {
+	if t.IsVar {
+		return t.Var
+	}
+	return t.Const.String()
+}
+
+// Equal reports structural equality of terms.
+func (t Term) Equal(o Term) bool {
+	if t.IsVar != o.IsVar {
+		return false
+	}
+	if t.IsVar {
+		return t.Var == o.Var
+	}
+	return t.Const.Identical(o.Const)
+}
+
+// Atom is a relation name applied to terms, e.g. Reservation('Jerry', fno).
+type Atom struct {
+	Relation string // canonical (lower-case) relation name
+	Display  string // original spelling, for printing
+	Terms    []Term
+}
+
+// NewAtom builds an atom, canonicalizing the relation name.
+func NewAtom(relation string, terms ...Term) Atom {
+	return Atom{Relation: strings.ToLower(relation), Display: relation, Terms: terms}
+}
+
+// Arity returns the number of terms.
+func (a Atom) Arity() int { return len(a.Terms) }
+
+// String renders the atom in logic notation.
+func (a Atom) String() string {
+	parts := make([]string, len(a.Terms))
+	for i, t := range a.Terms {
+		parts[i] = t.String()
+	}
+	name := a.Display
+	if name == "" {
+		name = a.Relation
+	}
+	return name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Vars returns the distinct variable names in the atom, in first-occurrence
+// order.
+func (a Atom) Vars() []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, t := range a.Terms {
+		if t.IsVar && !seen[t.Var] {
+			seen[t.Var] = true
+			out = append(out, t.Var)
+		}
+	}
+	return out
+}
+
+// Ground reports whether the atom contains no variables.
+func (a Atom) Ground() bool {
+	for _, t := range a.Terms {
+		if t.IsVar {
+			return false
+		}
+	}
+	return true
+}
+
+// GroundTuple converts a ground atom's terms to a tuple. It panics if the
+// atom is not ground.
+func (a Atom) GroundTuple() value.Tuple {
+	tup := make(value.Tuple, len(a.Terms))
+	for i, t := range a.Terms {
+		if t.IsVar {
+			panic(fmt.Sprintf("eq: GroundTuple on non-ground atom %s", a))
+		}
+		tup[i] = t.Const
+	}
+	return tup
+}

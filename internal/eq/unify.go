@@ -1,0 +1,218 @@
+package eq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// ScopedVar is a variable qualified by the query instance that owns it.
+// Kramer's fno and Jerry's fno are distinct ScopedVars until unification
+// merges them (Figure 1b of the paper).
+type ScopedVar struct {
+	QID  uint64
+	Name string
+}
+
+func (v ScopedVar) String() string { return fmt.Sprintf("q%d.%s", v.QID, v.Name) }
+
+// Subst is a substitution: a union-find over scoped variables where each
+// equivalence class may be bound to one constant. It is the "θ" of the
+// matching algorithm in DESIGN.md §3.
+type Subst struct {
+	parent map[ScopedVar]ScopedVar
+	val    map[ScopedVar]value.Value // root → constant binding
+}
+
+// NewSubst returns an empty substitution.
+func NewSubst() *Subst {
+	return &Subst{parent: make(map[ScopedVar]ScopedVar), val: make(map[ScopedVar]value.Value)}
+}
+
+// Clone deep-copies the substitution; the matcher clones before each
+// backtracking branch.
+func (s *Subst) Clone() *Subst {
+	c := &Subst{
+		parent: make(map[ScopedVar]ScopedVar, len(s.parent)),
+		val:    make(map[ScopedVar]value.Value, len(s.val)),
+	}
+	for k, v := range s.parent {
+		c.parent[k] = v
+	}
+	for k, v := range s.val {
+		c.val[k] = v
+	}
+	return c
+}
+
+// Find returns the representative of v's equivalence class (with path
+// compression).
+func (s *Subst) Find(v ScopedVar) ScopedVar {
+	p, ok := s.parent[v]
+	if !ok {
+		return v
+	}
+	root := s.Find(p)
+	s.parent[v] = root
+	return root
+}
+
+// Binding returns the constant bound to v's class, if any.
+func (s *Subst) Binding(v ScopedVar) (value.Value, bool) {
+	c, ok := s.val[s.Find(v)]
+	return c, ok
+}
+
+// Bind constrains v's class to the constant c. It fails if the class is
+// already bound to a different constant.
+func (s *Subst) Bind(v ScopedVar, c value.Value) bool {
+	root := s.Find(v)
+	if cur, ok := s.val[root]; ok {
+		return cur.Identical(c)
+	}
+	s.val[root] = c
+	return true
+}
+
+// Union merges the classes of a and b. It fails when both classes are bound
+// to different constants.
+func (s *Subst) Union(a, b ScopedVar) bool {
+	ra, rb := s.Find(a), s.Find(b)
+	if ra == rb {
+		return true
+	}
+	va, oka := s.val[ra]
+	vb, okb := s.val[rb]
+	if oka && okb && !va.Identical(vb) {
+		return false
+	}
+	// Merge rb into ra (deterministic by map insertion is fine; smaller
+	// graphs here than union-by-rank matters for).
+	s.parent[rb] = ra
+	if !oka && okb {
+		s.val[ra] = vb
+	}
+	delete(s.val, rb)
+	return true
+}
+
+// UnifyAtoms unifies constraint atom a (of query aQID) with head atom b (of
+// query bQID), updating s in place. It returns false — possibly after partial
+// mutation — on clash; callers clone s per branch.
+func UnifyAtoms(s *Subst, aQID uint64, a Atom, bQID uint64, b Atom) bool {
+	if a.Relation != b.Relation || a.Arity() != b.Arity() {
+		return false
+	}
+	for i := range a.Terms {
+		ta, tb := a.Terms[i], b.Terms[i]
+		switch {
+		case !ta.IsVar && !tb.IsVar:
+			if !ta.Const.Identical(tb.Const) {
+				return false
+			}
+		case ta.IsVar && !tb.IsVar:
+			if !s.Bind(ScopedVar{aQID, ta.Var}, tb.Const) {
+				return false
+			}
+		case !ta.IsVar && tb.IsVar:
+			if !s.Bind(ScopedVar{bQID, tb.Var}, ta.Const) {
+				return false
+			}
+		default:
+			if !s.Union(ScopedVar{aQID, ta.Var}, ScopedVar{bQID, tb.Var}) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// UnifyGround unifies atom a (of query aQID) against a ground tuple already
+// present in an answer relation.
+func UnifyGround(s *Subst, aQID uint64, a Atom, tup value.Tuple) bool {
+	if a.Arity() != len(tup) {
+		return false
+	}
+	for i, t := range a.Terms {
+		if t.IsVar {
+			if !s.Bind(ScopedVar{aQID, t.Var}, tup[i]) {
+				return false
+			}
+		} else if !t.Const.Identical(tup[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Resolve instantiates atom a of query qid under the substitution: variables
+// bound to constants are replaced; unbound variables remain.
+func (s *Subst) Resolve(qid uint64, a Atom) Atom {
+	out := Atom{Relation: a.Relation, Display: a.Display, Terms: make([]Term, len(a.Terms))}
+	for i, t := range a.Terms {
+		if t.IsVar {
+			if c, ok := s.Binding(ScopedVar{qid, t.Var}); ok {
+				out.Terms[i] = ConstTerm(c)
+				continue
+			}
+		}
+		out.Terms[i] = t
+	}
+	return out
+}
+
+// Classes groups the given scoped variables into their current equivalence
+// classes, returning for each class its members (sorted for determinism) and
+// bound constant if any.
+func (s *Subst) Classes(vars []ScopedVar) []Class {
+	byRoot := make(map[ScopedVar][]ScopedVar)
+	for _, v := range vars {
+		r := s.Find(v)
+		byRoot[r] = append(byRoot[r], v)
+	}
+	out := make([]Class, 0, len(byRoot))
+	for r, members := range byRoot {
+		sort.Slice(members, func(i, j int) bool {
+			if members[i].QID != members[j].QID {
+				return members[i].QID < members[j].QID
+			}
+			return members[i].Name < members[j].Name
+		})
+		c := Class{Root: r, Members: members}
+		if v, ok := s.val[r]; ok {
+			c.Const = v
+			c.Bound = true
+		}
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Members[0], out[j].Members[0]
+		if a.QID != b.QID {
+			return a.QID < b.QID
+		}
+		return a.Name < b.Name
+	})
+	return out
+}
+
+// Class is one variable equivalence class under a substitution.
+type Class struct {
+	Root    ScopedVar
+	Members []ScopedVar
+	Const   value.Value
+	Bound   bool
+}
+
+func (c Class) String() string {
+	names := make([]string, len(c.Members))
+	for i, m := range c.Members {
+		names[i] = m.String()
+	}
+	s := "{" + strings.Join(names, " = ") + "}"
+	if c.Bound {
+		s += " = " + c.Const.String()
+	}
+	return s
+}

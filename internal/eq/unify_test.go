@@ -1,0 +1,207 @@
+package eq
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/value"
+)
+
+func TestUnifyFigure1b(t *testing.T) {
+	// Kramer's constraint R('Jerry', fno_K) must unify with Jerry's head
+	// R('Jerry', fno_J), merging fno_K and fno_J — Figure 1(b).
+	kramerConstraint := NewAtom("Reservation", ConstTerm(value.NewString("Jerry")), VarTerm("fno"))
+	jerryHead := NewAtom("Reservation", ConstTerm(value.NewString("Jerry")), VarTerm("fno"))
+
+	s := NewSubst()
+	if !UnifyAtoms(s, 1, kramerConstraint, 2, jerryHead) {
+		t.Fatal("unification failed")
+	}
+	if s.Find(ScopedVar{1, "fno"}) != s.Find(ScopedVar{2, "fno"}) {
+		t.Error("fno classes not merged")
+	}
+	// Now bind one side; the other must see it.
+	if !s.Bind(ScopedVar{1, "fno"}, value.NewInt(122)) {
+		t.Fatal("bind failed")
+	}
+	v, ok := s.Binding(ScopedVar{2, "fno"})
+	if !ok || v.Int() != 122 {
+		t.Errorf("jerry's fno = %v, %v", v, ok)
+	}
+}
+
+func TestUnifyConstClash(t *testing.T) {
+	a := NewAtom("R", ConstTerm(value.NewString("Jerry")), VarTerm("x"))
+	b := NewAtom("R", ConstTerm(value.NewString("Kramer")), VarTerm("y"))
+	if UnifyAtoms(NewSubst(), 1, a, 2, b) {
+		t.Error("const clash must fail")
+	}
+}
+
+func TestUnifyRelationArityMismatch(t *testing.T) {
+	a := NewAtom("R", VarTerm("x"))
+	b := NewAtom("S", VarTerm("y"))
+	c := NewAtom("R", VarTerm("y"), VarTerm("z"))
+	if UnifyAtoms(NewSubst(), 1, a, 2, b) || UnifyAtoms(NewSubst(), 1, a, 2, c) {
+		t.Error("mismatched atoms unified")
+	}
+}
+
+func TestUnifyVarConst(t *testing.T) {
+	a := NewAtom("R", VarTerm("x"), VarTerm("x"))
+	b := NewAtom("R", ConstTerm(value.NewInt(1)), ConstTerm(value.NewInt(2)))
+	// x would need to be 1 and 2 simultaneously.
+	if UnifyAtoms(NewSubst(), 1, a, 2, b) {
+		t.Error("inconsistent binding accepted")
+	}
+	c := NewAtom("R", ConstTerm(value.NewInt(1)), ConstTerm(value.NewInt(1)))
+	if !UnifyAtoms(NewSubst(), 1, a, 2, c) {
+		t.Error("consistent binding rejected")
+	}
+}
+
+func TestUnifyTransitiveConflict(t *testing.T) {
+	s := NewSubst()
+	x, y, z := ScopedVar{1, "x"}, ScopedVar{2, "y"}, ScopedVar{3, "z"}
+	if !s.Bind(x, value.NewInt(1)) || !s.Bind(z, value.NewInt(2)) {
+		t.Fatal("setup binds failed")
+	}
+	if !s.Union(x, y) {
+		t.Fatal("x~y failed")
+	}
+	// y is now transitively 1; merging with z (=2) must fail.
+	if s.Union(y, z) {
+		t.Error("transitive conflict accepted")
+	}
+}
+
+func TestUnionPropagatesBinding(t *testing.T) {
+	s := NewSubst()
+	a, b := ScopedVar{1, "a"}, ScopedVar{2, "b"}
+	s.Bind(b, value.NewString("Paris"))
+	if !s.Union(a, b) {
+		t.Fatal("union failed")
+	}
+	v, ok := s.Binding(a)
+	if !ok || v.Str() != "Paris" {
+		t.Errorf("binding(a) = %v, %v", v, ok)
+	}
+}
+
+func TestUnifyGround(t *testing.T) {
+	atom := NewAtom("R", ConstTerm(value.NewString("Jerry")), VarTerm("fno"))
+	s := NewSubst()
+	if !UnifyGround(s, 1, atom, value.NewTuple("Jerry", 122)) {
+		t.Fatal("ground unify failed")
+	}
+	if v, _ := s.Binding(ScopedVar{1, "fno"}); v.Int() != 122 {
+		t.Errorf("fno = %v", v)
+	}
+	if UnifyGround(NewSubst(), 1, atom, value.NewTuple("Kramer", 122)) {
+		t.Error("const mismatch accepted")
+	}
+	if UnifyGround(NewSubst(), 1, atom, value.NewTuple("Jerry")) {
+		t.Error("arity mismatch accepted")
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	s := NewSubst()
+	x := ScopedVar{1, "x"}
+	s.Bind(x, value.NewInt(1))
+	c := s.Clone()
+	c.Bind(ScopedVar{2, "y"}, value.NewInt(2))
+	c.Union(x, ScopedVar{3, "z"})
+	if _, ok := s.Binding(ScopedVar{2, "y"}); ok {
+		t.Error("clone leaked binding into original")
+	}
+	if s.Find(ScopedVar{3, "z"}) == s.Find(x) {
+		t.Error("clone leaked union into original")
+	}
+}
+
+func TestResolve(t *testing.T) {
+	atom := NewAtom("Reservation", ConstTerm(value.NewString("Kramer")), VarTerm("fno"), VarTerm("hno"))
+	s := NewSubst()
+	s.Bind(ScopedVar{1, "fno"}, value.NewInt(122))
+	got := s.Resolve(1, atom)
+	if got.Terms[1].IsVar || got.Terms[1].Const.Int() != 122 {
+		t.Errorf("resolved = %v", got)
+	}
+	if !got.Terms[2].IsVar {
+		t.Error("unbound var should remain")
+	}
+	if got.Terms[0].Const.Str() != "Kramer" {
+		t.Error("constant changed")
+	}
+}
+
+func TestClasses(t *testing.T) {
+	s := NewSubst()
+	vars := []ScopedVar{{1, "x"}, {2, "y"}, {3, "z"}}
+	s.Union(vars[0], vars[1])
+	s.Bind(vars[2], value.NewInt(9))
+	classes := s.Classes(vars)
+	if len(classes) != 2 {
+		t.Fatalf("classes = %v", classes)
+	}
+	if len(classes[0].Members) != 2 || classes[0].Bound {
+		t.Errorf("class 0 = %v", classes[0])
+	}
+	if !classes[1].Bound || classes[1].Const.Int() != 9 {
+		t.Errorf("class 1 = %v", classes[1])
+	}
+}
+
+// Property: Union is idempotent and Find is stable under repetition.
+func TestUnionFindProperties(t *testing.T) {
+	f := func(pairs []uint8) bool {
+		s := NewSubst()
+		mk := func(b uint8) ScopedVar { return ScopedVar{uint64(b % 4), string(rune('a' + b%8))} }
+		for i := 0; i+1 < len(pairs); i += 2 {
+			a, b := mk(pairs[i]), mk(pairs[i+1])
+			if !s.Union(a, b) {
+				return false // no constants involved: union never fails
+			}
+			if s.Find(a) != s.Find(b) {
+				return false
+			}
+			if !s.Union(a, b) { // idempotent
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: binding then reading through any member of the class returns the
+// same constant.
+func TestBindingVisibleThroughClassProperty(t *testing.T) {
+	f := func(n uint8, val int64) bool {
+		s := NewSubst()
+		k := int(n%6) + 2
+		vars := make([]ScopedVar, k)
+		for i := range vars {
+			vars[i] = ScopedVar{uint64(i), "v"}
+			if i > 0 && !s.Union(vars[0], vars[i]) {
+				return false
+			}
+		}
+		if !s.Bind(vars[int(n)%k], value.NewInt(val)) {
+			return false
+		}
+		for _, v := range vars {
+			got, ok := s.Binding(v)
+			if !ok || got.Int() != val {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

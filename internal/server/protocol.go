@@ -1,0 +1,102 @@
+// Package server exposes a Youtopia system over TCP so the middle tier can
+// run in a separate process, as in the paper's three-tier deployment
+// (browser → middle tier → Youtopia). The protocol is line-delimited JSON:
+//
+// Client → server, one request per line:
+//
+//	{"id": 1, "sql": "SELECT ...", "owner": "jerry"}
+//	{"id": 2, "cancel": 7}                  // cancel entangled query q7
+//	{"id": 3, "admin": "state"}             // state | pending | stats
+//
+// Server → client, one response per line, correlated by id:
+//
+//	{"id": 1, "rows": [...], "cols": [...], "affected": n}      // plain SQL
+//	{"id": 1, "entangled": true, "query": 7}                    // registered
+//	{"id": 0, "event": "answer", "query": 7, "answers": [...]}  // async push
+//	{"id": 1, "error": "..."}
+//
+// Entangled answers arrive asynchronously as events with id 0, exactly like
+// the demo's Facebook notifications: the client submits, keeps working, and
+// is told later which flight it got.
+package server
+
+import (
+	"repro/internal/value"
+)
+
+// Request is one client → server message.
+type Request struct {
+	ID    uint64 `json:"id"`
+	SQL   string `json:"sql,omitempty"`
+	Owner string `json:"owner,omitempty"`
+	// Cancel withdraws the entangled query with the given server-side id.
+	Cancel uint64 `json:"cancel,omitempty"`
+	// Admin requests an introspection dump: "state", "pending" or "stats".
+	Admin string `json:"admin,omitempty"`
+}
+
+// Response is one server → client message.
+type Response struct {
+	ID uint64 `json:"id"`
+	// Plain statement results.
+	Cols     []string `json:"cols,omitempty"`
+	Rows     [][]any  `json:"rows,omitempty"`
+	Affected int      `json:"affected,omitempty"`
+	// Entangled registration.
+	Entangled bool   `json:"entangled,omitempty"`
+	Query     uint64 `json:"query,omitempty"`
+	// Async coordination event ("answer" | "canceled").
+	Event     string       `json:"event,omitempty"`
+	Answers   []AnswerJSON `json:"answers,omitempty"`
+	MatchSize int          `json:"matchSize,omitempty"`
+	// Admin dump (plain text) and errors.
+	Text  string `json:"text,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// AnswerJSON is one answer relation's contribution in an event.
+type AnswerJSON struct {
+	Relation string  `json:"relation"`
+	Tuples   [][]any `json:"tuples"`
+}
+
+// encodeTuple converts a value.Tuple to JSON-friendly values.
+func encodeTuple(t value.Tuple) []any {
+	out := make([]any, len(t))
+	for i, v := range t {
+		switch v.Type() {
+		case value.TypeNull:
+			out[i] = nil
+		case value.TypeInt:
+			out[i] = v.Int()
+		case value.TypeFloat:
+			out[i] = v.Float()
+		case value.TypeString:
+			out[i] = v.Str()
+		case value.TypeBool:
+			out[i] = v.Bool()
+		}
+	}
+	return out
+}
+
+// DecodeValue converts a JSON-decoded any back into a value.Value.
+// JSON numbers arrive as float64; integral floats become INTs, matching the
+// coercion rules of the value layer.
+func DecodeValue(x any) value.Value {
+	switch v := x.(type) {
+	case nil:
+		return value.Null
+	case bool:
+		return value.NewBool(v)
+	case float64:
+		if v == float64(int64(v)) {
+			return value.NewInt(int64(v))
+		}
+		return value.NewFloat(v)
+	case string:
+		return value.NewString(v)
+	default:
+		return value.Null
+	}
+}

@@ -1,0 +1,212 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Server accepts middle-tier connections and forwards their statements to a
+// core.System.
+type Server struct {
+	sys *core.System
+	ln  net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// Serve starts serving on ln. It returns when the listener is closed.
+func Serve(sys *core.System, ln net.Listener) *Server {
+	s := &Server{sys: sys, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Listen is a convenience for Serve over TCP on addr (use "127.0.0.1:0" for
+// an ephemeral port; Addr reports the bound address).
+func Listen(sys *core.System, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return Serve(sys, ln), nil
+}
+
+// Addr returns the listener's address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops accepting and closes every live connection.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	err := s.ln.Close()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+// session state for one connection.
+type connSession struct {
+	mu   sync.Mutex // serializes writes (request replies vs async events)
+	enc  *json.Encoder
+	sess *core.Session // interactive transaction state (BEGIN/COMMIT/ROLLBACK)
+}
+
+func (cs *connSession) send(r Response) error {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.enc.Encode(r)
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+
+	cs := &connSession{enc: json.NewEncoder(conn), sess: core.NewSession(s.sys)}
+	defer cs.sess.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	// Track this connection's entangled queries so they are withdrawn when
+	// the client goes away (its handle could never be delivered anyway).
+	var pendingMu sync.Mutex
+	pending := make(map[uint64]struct{})
+	defer func() {
+		pendingMu.Lock()
+		ids := make([]uint64, 0, len(pending))
+		for id := range pending {
+			ids = append(ids, id)
+		}
+		pendingMu.Unlock()
+		for _, id := range ids {
+			s.sys.Cancel(id)
+		}
+	}()
+
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req Request
+		if err := json.Unmarshal(line, &req); err != nil {
+			cs.send(Response{Error: fmt.Sprintf("bad request: %v", err)}) //nolint:errcheck
+			continue
+		}
+		resp := s.dispatch(cs, &pendingMu, pending, req)
+		if err := cs.send(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(cs *connSession, pendingMu *sync.Mutex, pending map[uint64]struct{}, req Request) Response {
+	switch {
+	case req.Cancel != 0:
+		ok := s.sys.Cancel(req.Cancel)
+		if !ok {
+			return Response{ID: req.ID, Error: fmt.Sprintf("q%d is not pending", req.Cancel)}
+		}
+		return Response{ID: req.ID, Query: req.Cancel, Text: "canceled"}
+
+	case req.Admin != "":
+		switch req.Admin {
+		case "state":
+			return Response{ID: req.ID, Text: s.sys.Coordinator().DumpState()}
+		case "pending":
+			text := ""
+			for _, p := range s.sys.Coordinator().Pending() {
+				text += fmt.Sprintf("q%d [%s] %s\n", p.ID, p.Owner, p.Logic)
+			}
+			return Response{ID: req.ID, Text: text}
+		case "stats":
+			st := s.sys.Coordinator().Stats()
+			return Response{ID: req.ID, Text: fmt.Sprintf("%+v", st)}
+		default:
+			return Response{ID: req.ID, Error: fmt.Sprintf("unknown admin command %q", req.Admin)}
+		}
+
+	case req.SQL != "":
+		resp, err := cs.sess.Execute(req.SQL, req.Owner)
+		if err != nil {
+			return Response{ID: req.ID, Error: err.Error()}
+		}
+		if resp.Entangled {
+			h := resp.Handle
+			pendingMu.Lock()
+			pending[h.ID] = struct{}{}
+			pendingMu.Unlock()
+			go func() {
+				out := <-h.Done()
+				pendingMu.Lock()
+				delete(pending, h.ID)
+				pendingMu.Unlock()
+				ev := Response{Event: "answer", Query: out.QueryID, MatchSize: out.MatchSize}
+				if out.Canceled {
+					ev.Event = "canceled"
+				}
+				for _, a := range out.Answers {
+					aj := AnswerJSON{Relation: a.Relation}
+					for _, t := range a.Tuples {
+						aj.Tuples = append(aj.Tuples, encodeTuple(t))
+					}
+					ev.Answers = append(ev.Answers, aj)
+				}
+				cs.send(ev) //nolint:errcheck // connection may be gone
+			}()
+			return Response{ID: req.ID, Entangled: true, Query: h.ID}
+		}
+		if resp.Result == nil {
+			// Transaction-control statements carry no result set.
+			return Response{ID: req.ID, Text: "OK"}
+		}
+		out := Response{ID: req.ID, Cols: resp.Result.Cols, Affected: resp.Result.Affected}
+		for _, row := range resp.Result.Rows {
+			out.Rows = append(out.Rows, encodeTuple(row))
+		}
+		return out
+
+	default:
+		return Response{ID: req.ID, Error: "empty request"}
+	}
+}
+
+// ErrClosed is returned by client operations on a closed connection.
+var ErrClosed = errors.New("server: connection closed")

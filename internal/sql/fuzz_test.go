@@ -1,0 +1,38 @@
+package sql
+
+import "testing"
+
+// FuzzParseAll: the parser must never panic, and anything it accepts must
+// print to a form it accepts again (round-trip closure). Run with
+// `go test -fuzz=FuzzParseAll ./internal/sql` for continuous fuzzing; the
+// seed corpus below runs on every ordinary `go test`.
+func FuzzParseAll(f *testing.F) {
+	seeds := []string{
+		KramerQuery,
+		"SELECT * FROM T",
+		"CREATE TABLE T (x INT, PRIMARY KEY (x)); INSERT INTO T VALUES (1)",
+		"SELECT ('J', fno) INTO ANSWER R, ('J', hno) INTO ANSWER H WHERE ('K', fno) IN ANSWER R CHOOSE 2",
+		"SELECT dest, COUNT(*) FROM T GROUP BY dest HAVING COUNT(*) > 1 ORDER BY 1 DESC LIMIT 3",
+		"SELECT x FROM T WHERE x LIKE 'a%' AND y IS NOT NULL AND z BETWEEN 1 AND 2",
+		"BEGIN; UPDATE T SET x = x + 1 WHERE x IN (SELECT y FROM U); COMMIT",
+		"SELECT fno FROM T WHERE price = (SELECT MIN(price) FROM T)",
+		"'unterminated",
+		"(((((((((",
+		";;;;;",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		stmts, err := ParseAll(src)
+		if err != nil {
+			return
+		}
+		for _, s := range stmts {
+			printed := s.String()
+			if _, err := Parse(printed); err != nil {
+				t.Fatalf("accepted %q but rejected own printing %q: %v", src, printed, err)
+			}
+		}
+	})
+}

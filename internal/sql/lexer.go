@@ -1,0 +1,160 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Lexer splits an input string into tokens. It is a straightforward
+// hand-written scanner; SQL string literals use single quotes with ”
+// escaping, line comments start with --.
+type Lexer struct {
+	src []rune
+	pos int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: []rune(src)}
+}
+
+// Tokens lexes the whole input eagerly, returning the token stream followed
+// by a TokEOF, or a lex error.
+func (l *Lexer) Tokens() ([]Token, error) {
+	var toks []Token
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, tok)
+		if tok.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (l *Lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peekAt(off int) rune {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		r := l.src[l.pos]
+		switch {
+		case unicode.IsSpace(r):
+			l.pos++
+		case r == '-' && l.peekAt(1) == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (l *Lexer) next() (Token, error) {
+	l.skipSpaceAndComments()
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: start}, nil
+	}
+	r := l.src[l.pos]
+	switch {
+	case unicode.IsLetter(r) || r == '_':
+		return l.lexWord(start), nil
+	case unicode.IsDigit(r) || (r == '.' && unicode.IsDigit(l.peekAt(1))):
+		return l.lexNumber(start)
+	case r == '\'':
+		return l.lexString(start)
+	default:
+		return l.lexSymbol(start)
+	}
+}
+
+func (l *Lexer) lexWord(start int) Token {
+	for l.pos < len(l.src) {
+		r := l.src[l.pos]
+		if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_' {
+			break
+		}
+		l.pos++
+	}
+	word := string(l.src[start:l.pos])
+	if up := strings.ToUpper(word); keywords[up] {
+		return Token{Kind: TokKeyword, Text: up, Pos: start}
+	}
+	return Token{Kind: TokIdent, Text: word, Pos: start}
+}
+
+func (l *Lexer) lexNumber(start int) (Token, error) {
+	seenDot := false
+	for l.pos < len(l.src) {
+		r := l.src[l.pos]
+		if r == '.' {
+			if seenDot {
+				break
+			}
+			seenDot = true
+			l.pos++
+			continue
+		}
+		if !unicode.IsDigit(r) {
+			break
+		}
+		l.pos++
+	}
+	text := string(l.src[start:l.pos])
+	if text == "." {
+		return Token{}, fmt.Errorf("sql: lex error at %d: bare '.'", start)
+	}
+	return Token{Kind: TokNumber, Text: text, Pos: start}, nil
+}
+
+func (l *Lexer) lexString(start int) (Token, error) {
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		r := l.src[l.pos]
+		if r == '\'' {
+			if l.peekAt(1) == '\'' { // escaped quote
+				b.WriteRune('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return Token{Kind: TokString, Text: b.String(), Pos: start}, nil
+		}
+		b.WriteRune(r)
+		l.pos++
+	}
+	return Token{}, fmt.Errorf("sql: lex error at %d: unterminated string literal", start)
+}
+
+func (l *Lexer) lexSymbol(start int) (Token, error) {
+	r := l.src[l.pos]
+	two := string(r) + string(l.peekAt(1))
+	switch two {
+	case "<=", ">=", "<>", "!=":
+		l.pos += 2
+		return Token{Kind: TokSymbol, Text: two, Pos: start}, nil
+	}
+	switch r {
+	case '(', ')', ',', '*', '=', '<', '>', '+', '-', '/', '.', ';':
+		l.pos++
+		return Token{Kind: TokSymbol, Text: string(r), Pos: start}, nil
+	}
+	return Token{}, fmt.Errorf("sql: lex error at %d: unexpected character %q", start, string(r))
+}

@@ -1,0 +1,113 @@
+package sql
+
+import "testing"
+
+func lex(t *testing.T, src string) []Token {
+	t.Helper()
+	toks, err := NewLexer(src).Tokens()
+	if err != nil {
+		t.Fatalf("lex %q: %v", src, err)
+	}
+	return toks
+}
+
+func TestLexKeywordsCaseInsensitive(t *testing.T) {
+	toks := lex(t, "select Select SELECT sElEcT")
+	for i := 0; i < 4; i++ {
+		if toks[i].Kind != TokKeyword || toks[i].Text != "SELECT" {
+			t.Errorf("tok %d = %v", i, toks[i])
+		}
+	}
+}
+
+func TestLexIdentifiers(t *testing.T) {
+	toks := lex(t, "Flights fno _tmp x2 Reservation")
+	for i := 0; i < 5; i++ {
+		if toks[i].Kind != TokIdent {
+			t.Errorf("tok %d = %v, want identifier", i, toks[i])
+		}
+	}
+	if toks[0].Text != "Flights" {
+		t.Error("identifier case must be preserved")
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks := lex(t, "122 3.25 0.5 .75")
+	want := []string{"122", "3.25", "0.5", ".75"}
+	for i, w := range want {
+		if toks[i].Kind != TokNumber || toks[i].Text != w {
+			t.Errorf("tok %d = %v, want number %q", i, toks[i], w)
+		}
+	}
+}
+
+func TestLexStringsWithEscapes(t *testing.T) {
+	toks := lex(t, "'Paris' 'O''Hare' ''")
+	want := []string{"Paris", "O'Hare", ""}
+	for i, w := range want {
+		if toks[i].Kind != TokString || toks[i].Text != w {
+			t.Errorf("tok %d = %+v, want string %q", i, toks[i], w)
+		}
+	}
+}
+
+func TestLexSymbols(t *testing.T) {
+	toks := lex(t, "( ) , * = < <= > >= <> != + - / . ;")
+	want := []string{"(", ")", ",", "*", "=", "<", "<=", ">", ">=", "<>", "!=", "+", "-", "/", ".", ";"}
+	for i, w := range want {
+		if toks[i].Kind != TokSymbol || toks[i].Text != w {
+			t.Errorf("tok %d = %v, want symbol %q", i, toks[i], w)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks := lex(t, "SELECT -- this is a comment\n fno")
+	if len(toks) != 3 { // SELECT, fno, EOF
+		t.Fatalf("got %d tokens: %v", len(toks), toks)
+	}
+	if toks[1].Text != "fno" {
+		t.Errorf("tok 1 = %v", toks[1])
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"'unterminated", "@", "#"} {
+		if _, err := NewLexer(src).Tokens(); err == nil {
+			t.Errorf("lex %q: expected error", src)
+		}
+	}
+}
+
+func TestLexEOFPosition(t *testing.T) {
+	toks := lex(t, "x")
+	if toks[len(toks)-1].Kind != TokEOF {
+		t.Error("missing EOF token")
+	}
+}
+
+func TestLexPaperQuery(t *testing.T) {
+	// The exact query text from §2.1 of the paper must lex cleanly.
+	src := `SELECT 'Kramer', fno INTO ANSWER Reservation
+WHERE
+fno IN (SELECT fno FROM Flights WHERE dest='Paris')
+AND ('Jerry', fno) IN ANSWER Reservation
+CHOOSE 1`
+	toks := lex(t, src)
+	var kws []string
+	for _, tok := range toks {
+		if tok.Kind == TokKeyword {
+			kws = append(kws, tok.Text)
+		}
+	}
+	want := []string{"SELECT", "INTO", "ANSWER", "WHERE", "IN", "SELECT", "FROM", "WHERE", "AND", "IN", "ANSWER", "CHOOSE"}
+	if len(kws) != len(want) {
+		t.Fatalf("keywords = %v, want %v", kws, want)
+	}
+	for i := range want {
+		if kws[i] != want[i] {
+			t.Fatalf("keywords = %v, want %v", kws, want)
+		}
+	}
+}

@@ -1,0 +1,1033 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// Parser is a recursive-descent parser over a token stream.
+type Parser struct {
+	toks []Token
+	pos  int
+	src  string
+}
+
+// Parse parses a single statement (a trailing semicolon is allowed).
+func Parse(src string) (Statement, error) {
+	stmts, err := ParseAll(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) != 1 {
+		return nil, fmt.Errorf("sql: expected exactly one statement, got %d", len(stmts))
+	}
+	return stmts[0], nil
+}
+
+// ParseAll parses a semicolon-separated script.
+func ParseAll(src string) ([]Statement, error) {
+	toks, err := NewLexer(src).Tokens()
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks, src: src}
+	var stmts []Statement
+	for {
+		for p.acceptSymbol(";") {
+		}
+		if p.cur().Kind == TokEOF {
+			break
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+		if p.cur().Kind != TokEOF && !p.peekSymbol(";") {
+			return nil, p.errf("expected ';' or end of input, found %s", p.cur())
+		}
+	}
+	if len(stmts) == 0 {
+		return nil, fmt.Errorf("sql: empty input")
+	}
+	return stmts, nil
+}
+
+// ParseExpr parses a standalone expression (used in tests and tools).
+func ParseExpr(src string) (Expr, error) {
+	toks, err := NewLexer(src).Tokens()
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks, src: src}
+	e, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != TokEOF {
+		return nil, p.errf("trailing input after expression: %s", p.cur())
+	}
+	return e, nil
+}
+
+// --- token helpers ---------------------------------------------------------
+
+func (p *Parser) cur() Token    { return p.toks[p.pos] }
+func (p *Parser) advance()      { p.pos++ }
+func (p *Parser) save() int     { return p.pos }
+func (p *Parser) restore(m int) { p.pos = m }
+
+func (p *Parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sql: parse error at offset %d: %s", p.cur().Pos, fmt.Sprintf(format, args...))
+}
+
+func (p *Parser) peekKeyword(kw string) bool {
+	t := p.cur()
+	return t.Kind == TokKeyword && t.Text == kw
+}
+
+func (p *Parser) acceptKeyword(kw string) bool {
+	if p.peekKeyword(kw) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errf("expected %s, found %s", kw, p.cur())
+	}
+	return nil
+}
+
+func (p *Parser) peekSymbol(s string) bool {
+	t := p.cur()
+	return t.Kind == TokSymbol && t.Text == s
+}
+
+func (p *Parser) acceptSymbol(s string) bool {
+	if p.peekSymbol(s) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expectSymbol(s string) error {
+	if !p.acceptSymbol(s) {
+		return p.errf("expected %q, found %s", s, p.cur())
+	}
+	return nil
+}
+
+func (p *Parser) ident() (string, error) {
+	t := p.cur()
+	if t.Kind != TokIdent {
+		return "", p.errf("expected identifier, found %s", t)
+	}
+	p.advance()
+	return t.Text, nil
+}
+
+// --- statements ------------------------------------------------------------
+
+func (p *Parser) statement() (Statement, error) {
+	t := p.cur()
+	if t.Kind != TokKeyword {
+		return nil, p.errf("expected statement keyword, found %s", t)
+	}
+	switch t.Text {
+	case "CREATE":
+		return p.createStmt()
+	case "DROP":
+		return p.dropTable()
+	case "INSERT":
+		return p.insert()
+	case "DELETE":
+		return p.delete()
+	case "UPDATE":
+		return p.update()
+	case "SELECT":
+		return p.selectOrEntangled()
+	case "BEGIN":
+		p.advance()
+		return &TxnStmt{Kind: TxnBegin}, nil
+	case "COMMIT":
+		p.advance()
+		return &TxnStmt{Kind: TxnCommit}, nil
+	case "ROLLBACK":
+		p.advance()
+		return &TxnStmt{Kind: TxnRollback}, nil
+	default:
+		return nil, p.errf("unexpected keyword %s at statement start", t.Text)
+	}
+}
+
+func (p *Parser) createStmt() (Statement, error) {
+	p.advance() // CREATE
+	ordered := false
+	if t := p.cur(); t.Kind == TokIdent && strings.EqualFold(t.Text, "ORDERED") {
+		p.advance()
+		ordered = true
+		if !p.peekKeyword("INDEX") {
+			return nil, p.errf("expected INDEX after ORDERED")
+		}
+	}
+	if p.acceptKeyword("INDEX") {
+		if err := p.expectKeyword("ON"); err != nil {
+			return nil, err
+		}
+		table, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var cols []string
+		for {
+			c, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			cols = append(cols, c)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		if ordered && len(cols) != 1 {
+			return nil, p.errf("ORDERED INDEX takes exactly one column")
+		}
+		return &CreateIndex{Table: table, Cols: cols, Ordered: ordered}, nil
+	}
+	if ordered {
+		return nil, p.errf("ORDERED is only valid before INDEX")
+	}
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	ct := &CreateTable{Name: name}
+	for {
+		if p.acceptKeyword("PRIMARY") {
+			if err := p.expectKeyword("KEY"); err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol("("); err != nil {
+				return nil, err
+			}
+			for {
+				c, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				ct.PK = append(ct.PK, c)
+				if !p.acceptSymbol(",") {
+					break
+				}
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+		} else {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			typTok := p.cur()
+			if typTok.Kind != TokIdent && typTok.Kind != TokKeyword {
+				return nil, p.errf("expected type name, found %s", typTok)
+			}
+			typ, err := value.ParseType(typTok.Text)
+			if err != nil {
+				return nil, p.errf("%v", err)
+			}
+			p.advance()
+			ct.Cols = append(ct.Cols, ColDef{Name: col, Type: typ})
+		}
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	if len(ct.Cols) == 0 {
+		return nil, p.errf("CREATE TABLE %s has no columns", name)
+	}
+	return ct, nil
+}
+
+func (p *Parser) dropTable() (Statement, error) {
+	p.advance() // DROP
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	return &DropTable{Name: name}, nil
+}
+
+func (p *Parser) insert() (Statement, error) {
+	p.advance() // INSERT
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if p.peekKeyword("SELECT") {
+		sub, err := p.selectOrEntangled()
+		if err != nil {
+			return nil, err
+		}
+		sel, ok := sub.(*Select)
+		if !ok {
+			return nil, p.errf("INSERT ... SELECT cannot use an entangled query")
+		}
+		return &Insert{Table: table, From: sel}, nil
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	ins := &Insert{Table: table}
+	for {
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		ins.Rows = append(ins.Rows, row)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	return ins, nil
+}
+
+func (p *Parser) delete() (Statement, error) {
+	p.advance() // DELETE
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	d := &Delete{Table: table}
+	if p.acceptKeyword("WHERE") {
+		w, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		d.Where = w
+	}
+	return d, nil
+}
+
+func (p *Parser) update() (Statement, error) {
+	p.advance() // UPDATE
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	u := &Update{Table: table}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("="); err != nil {
+			return nil, err
+		}
+		val, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		u.Sets = append(u.Sets, Assign{Col: col, Val: val})
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		w, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		u.Where = w
+	}
+	return u, nil
+}
+
+// selectOrEntangled distinguishes a plain SELECT from an entangled one by the
+// presence of INTO ANSWER after the select list.
+func (p *Parser) selectOrEntangled() (Statement, error) {
+	p.advance() // SELECT
+	distinct := p.acceptKeyword("DISTINCT")
+
+	// Parse the select list generically first: items that may be stars,
+	// aliased expressions, or parenthesized tuples followed by INTO ANSWER.
+	type rawItem struct {
+		item SelectItem
+	}
+	var raw []rawItem
+	var targets []AnswerTarget
+	entangled := false
+
+	for {
+		if p.acceptSymbol("*") {
+			raw = append(raw, rawItem{item: SelectItem{Star: true}})
+		} else if tup, ok, err := p.tryTuple(); err != nil {
+			return nil, err
+		} else if ok {
+			// Parenthesized tuple — either a grouped entangled contribution
+			// "(...) INTO ANSWER R" or a parenthesized scalar expression.
+			if p.peekKeyword("INTO") {
+				p.advance()
+				if err := p.expectKeyword("ANSWER"); err != nil {
+					return nil, err
+				}
+				rel, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				targets = append(targets, AnswerTarget{Exprs: tup, Relation: rel})
+				entangled = true
+			} else if len(tup) == 1 {
+				it := SelectItem{Expr: tup[0]}
+				if alias, err := p.optionalAlias(); err != nil {
+					return nil, err
+				} else {
+					it.Alias = alias
+				}
+				raw = append(raw, rawItem{item: it})
+			} else {
+				return nil, p.errf("tuple select item must be followed by INTO ANSWER")
+			}
+		} else {
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			it := SelectItem{Expr: e}
+			if alias, err := p.optionalAlias(); err != nil {
+				return nil, err
+			} else {
+				it.Alias = alias
+			}
+			raw = append(raw, rawItem{item: it})
+		}
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+
+	// Flat entangled form: SELECT e1, e2 INTO ANSWER R ...
+	if p.acceptKeyword("INTO") {
+		if err := p.expectKeyword("ANSWER"); err != nil {
+			return nil, err
+		}
+		rel, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		exprs := make([]Expr, 0, len(raw))
+		for _, r := range raw {
+			if r.item.Star || r.item.Expr == nil {
+				return nil, p.errf("INTO ANSWER select list cannot contain '*'")
+			}
+			if r.item.Alias != "" {
+				return nil, p.errf("INTO ANSWER select list cannot use aliases")
+			}
+			exprs = append(exprs, r.item.Expr)
+		}
+		targets = append([]AnswerTarget{{Exprs: exprs, Relation: rel}}, targets...)
+		entangled = true
+		raw = nil
+	}
+
+	if entangled {
+		if len(raw) != 0 {
+			return nil, p.errf("entangled SELECT mixes answer tuples and plain select items")
+		}
+		return p.finishEntangled(targets)
+	}
+
+	// Plain SELECT.
+	sel := &Select{Distinct: distinct, Limit: -1}
+	for _, r := range raw {
+		sel.Items = append(sel.Items, r.item)
+	}
+	if p.acceptKeyword("FROM") {
+		for {
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			ref := TableRef{Name: name}
+			if p.acceptKeyword("AS") {
+				a, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				ref.Alias = a
+			} else if p.cur().Kind == TokIdent {
+				ref.Alias = p.cur().Text
+				p.advance()
+			}
+			sel.From = append(sel.From, ref)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		w, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = w
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, e)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("HAVING") {
+		h, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		sel.Having = h
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.acceptKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, item)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		t := p.cur()
+		if t.Kind != TokNumber {
+			return nil, p.errf("expected number after LIMIT, found %s", t)
+		}
+		n, err := strconv.Atoi(t.Text)
+		if err != nil || n < 0 {
+			return nil, p.errf("bad LIMIT %q", t.Text)
+		}
+		p.advance()
+		sel.Limit = n
+	}
+	return sel, nil
+}
+
+func (p *Parser) optionalAlias() (string, error) {
+	if p.acceptKeyword("AS") {
+		return p.ident()
+	}
+	return "", nil
+}
+
+// finishEntangled parses the optional WHERE and CHOOSE of an entangled query.
+func (p *Parser) finishEntangled(targets []AnswerTarget) (Statement, error) {
+	es := &EntangledSelect{Targets: targets, Choose: 1}
+	if p.acceptKeyword("WHERE") {
+		w, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		es.Where = w
+	}
+	if p.acceptKeyword("CHOOSE") {
+		t := p.cur()
+		if t.Kind != TokNumber {
+			return nil, p.errf("expected number after CHOOSE, found %s", t)
+		}
+		n, err := strconv.Atoi(t.Text)
+		if err != nil || n < 1 {
+			return nil, p.errf("bad CHOOSE count %q", t.Text)
+		}
+		p.advance()
+		es.Choose = n
+	}
+	// Additional INTO ANSWER clauses after WHERE are not legal; anything left
+	// other than ';'/EOF is the caller's problem to report.
+	return es, nil
+}
+
+// isAggregateName reports whether an identifier names an aggregate function.
+func isAggregateName(name string) bool {
+	switch strings.ToUpper(name) {
+	case "COUNT", "SUM", "AVG", "MIN", "MAX":
+		return true
+	default:
+		return false
+	}
+}
+
+// tryTuple attempts to parse a parenthesized expression list "(e1, ..., ek)".
+// It backtracks and reports ok=false if the input does not start with '('.
+// Single-element tuples are returned as such; the caller decides whether they
+// were grouping parentheses.
+func (p *Parser) tryTuple() ([]Expr, bool, error) {
+	if !p.peekSymbol("(") {
+		return nil, false, nil
+	}
+	mark := p.save()
+	p.advance() // (
+	if p.peekKeyword("SELECT") {
+		// A scalar subquery, not a tuple; let primary() parse it.
+		p.restore(mark)
+		return nil, false, nil
+	}
+	var items []Expr
+	for {
+		e, err := p.expression()
+		if err != nil {
+			p.restore(mark)
+			return nil, false, err
+		}
+		items = append(items, e)
+		if p.acceptSymbol(",") {
+			continue
+		}
+		if p.acceptSymbol(")") {
+			return items, true, nil
+		}
+		p.restore(mark)
+		return nil, false, p.errf("expected ',' or ')' in tuple")
+	}
+}
+
+// --- expressions -----------------------------------------------------------
+
+// expression := orExpr
+func (p *Parser) expression() (Expr, error) { return p.orExpr() }
+
+func (p *Parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: OpOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) andExpr() (Expr, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: OpAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) notExpr() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		x, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		// Normalize NOT EXISTS so it round-trips to its own printed form.
+		if ex, ok := x.(*Exists); ok && !ex.Neg {
+			return &Exists{Sel: ex.Sel, Neg: true}, nil
+		}
+		return &Not{X: x}, nil
+	}
+	return p.comparison()
+}
+
+var cmpOps = map[string]BinOp{
+	"=": OpEq, "<>": OpNe, "!=": OpNe, "<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe,
+}
+
+// comparison handles comparison operators, BETWEEN, and the IN family —
+// including the entangled (tuple) IN ANSWER constraint.
+func (p *Parser) comparison() (Expr, error) {
+	// A leading parenthesized tuple can be the LHS of a (multi-column) IN:
+	// "(x, y) IN ANSWER R" or "(x) IN (SELECT ...)". Try that first and
+	// backtrack if no IN follows (then the parens were ordinary grouping and
+	// additive/primary will reparse them).
+	if p.peekSymbol("(") {
+		mark := p.save()
+		if tup, ok, err := p.tryTuple(); err == nil && ok {
+			if in, handled, err2 := p.tryInTail(tup); err2 != nil {
+				return nil, err2
+			} else if handled {
+				return in, nil
+			}
+		}
+		p.restore(mark)
+	}
+	l, err := p.additive()
+	if err != nil {
+		return nil, err
+	}
+	return p.comparisonTail(l)
+}
+
+// comparisonTail parses optional operators following a parsed LHS.
+func (p *Parser) comparisonTail(l Expr) (Expr, error) {
+	if in, handled, err := p.tryInTail([]Expr{l}); err != nil {
+		return nil, err
+	} else if handled {
+		return in, nil
+	}
+	if p.acceptKeyword("IS") {
+		neg := p.acceptKeyword("NOT")
+		if err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNull{X: l, Neg: neg}, nil
+	}
+	if p.acceptKeyword("LIKE") {
+		pat, err := p.additive()
+		if err != nil {
+			return nil, err
+		}
+		return &Like{X: l, Pattern: pat}, nil
+	}
+	{
+		mark := p.save()
+		if p.acceptKeyword("NOT") && p.acceptKeyword("LIKE") {
+			pat, err := p.additive()
+			if err != nil {
+				return nil, err
+			}
+			return &Like{X: l, Pattern: pat, Neg: true}, nil
+		}
+		p.restore(mark)
+	}
+	if p.acceptKeyword("BETWEEN") {
+		lo, err := p.additive()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.additive()
+		if err != nil {
+			return nil, err
+		}
+		return &Between{X: l, Lo: lo, Hi: hi}, nil
+	}
+	t := p.cur()
+	if t.Kind == TokSymbol {
+		if op, ok := cmpOps[t.Text]; ok {
+			p.advance()
+			r, err := p.additive()
+			if err != nil {
+				return nil, err
+			}
+			return &Binary{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+// tryInTail parses "[NOT] IN ..." after a left-hand side (scalar or tuple).
+// handled=false means no IN keyword was present.
+func (p *Parser) tryInTail(left []Expr) (Expr, bool, error) {
+	neg := false
+	mark := p.save()
+	if p.acceptKeyword("NOT") {
+		if !p.peekKeyword("IN") {
+			p.restore(mark)
+			return nil, false, nil
+		}
+		neg = true
+	}
+	if !p.acceptKeyword("IN") {
+		p.restore(mark)
+		return nil, false, nil
+	}
+	// IN ANSWER R — the entangled constraint.
+	if p.acceptKeyword("ANSWER") {
+		rel, err := p.ident()
+		if err != nil {
+			return nil, false, err
+		}
+		return &InAnswer{Left: left, Relation: rel, Neg: neg}, true, nil
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, false, err
+	}
+	// IN (SELECT ...) — subquery membership.
+	if p.peekKeyword("SELECT") {
+		sub, err := p.selectOrEntangled()
+		if err != nil {
+			return nil, false, err
+		}
+		sel, ok := sub.(*Select)
+		if !ok {
+			return nil, false, p.errf("entangled query cannot appear as a subquery")
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, false, err
+		}
+		return &InSelect{Left: left, Sub: sel, Neg: neg}, true, nil
+	}
+	// IN (v1, v2, ...) — value list; only scalar LHS supported.
+	if len(left) != 1 {
+		return nil, false, p.errf("tuple IN value-list is not supported")
+	}
+	var vals []Expr
+	for {
+		e, err := p.expression()
+		if err != nil {
+			return nil, false, err
+		}
+		vals = append(vals, e)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, false, err
+	}
+	return &InValues{X: left[0], Vals: vals, Neg: neg}, true, nil
+}
+
+func (p *Parser) additive() (Expr, error) {
+	l, err := p.multiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptSymbol("+"):
+			r, err := p.multiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: OpAdd, L: l, R: r}
+		case p.acceptSymbol("-"):
+			r, err := p.multiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: OpSub, L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *Parser) multiplicative() (Expr, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptSymbol("*"):
+			r, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: OpMul, L: l, R: r}
+		case p.acceptSymbol("/"):
+			r, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: OpDiv, L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *Parser) unary() (Expr, error) {
+	if p.acceptSymbol("-") {
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Neg{X: x}, nil
+	}
+	return p.primary()
+}
+
+func (p *Parser) primary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokNumber:
+		p.advance()
+		if strings.Contains(t.Text, ".") {
+			f, err := strconv.ParseFloat(t.Text, 64)
+			if err != nil {
+				return nil, p.errf("bad number %q", t.Text)
+			}
+			return &Literal{Val: value.NewFloat(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.Text)
+		}
+		return &Literal{Val: value.NewInt(n)}, nil
+	case TokString:
+		p.advance()
+		return &Literal{Val: value.NewString(t.Text)}, nil
+	case TokKeyword:
+		switch t.Text {
+		case "EXISTS":
+			p.advance()
+			if err := p.expectSymbol("("); err != nil {
+				return nil, err
+			}
+			if !p.peekKeyword("SELECT") {
+				return nil, p.errf("EXISTS needs a subquery")
+			}
+			sub, err := p.selectOrEntangled()
+			if err != nil {
+				return nil, err
+			}
+			sel, ok := sub.(*Select)
+			if !ok {
+				return nil, p.errf("entangled query cannot appear under EXISTS")
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return &Exists{Sel: sel}, nil
+		case "NULL":
+			p.advance()
+			return &Literal{Val: value.Null}, nil
+		case "TRUE":
+			p.advance()
+			return &Literal{Val: value.NewBool(true)}, nil
+		case "FALSE":
+			p.advance()
+			return &Literal{Val: value.NewBool(false)}, nil
+		}
+		return nil, p.errf("unexpected %s in expression", t)
+	case TokIdent:
+		p.advance()
+		if p.peekSymbol("(") && isAggregateName(t.Text) {
+			p.advance() // (
+			if p.acceptSymbol("*") {
+				if err := p.expectSymbol(")"); err != nil {
+					return nil, err
+				}
+				name := strings.ToUpper(t.Text)
+				if name != "COUNT" {
+					return nil, p.errf("%s(*) is not valid; only COUNT(*)", name)
+				}
+				return &FuncCall{Name: name, Star: true}, nil
+			}
+			arg, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return &FuncCall{Name: strings.ToUpper(t.Text), Arg: arg}, nil
+		}
+		if p.acceptSymbol(".") {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return &ColumnRef{Table: t.Text, Name: col}, nil
+		}
+		return &ColumnRef{Name: t.Text}, nil
+	case TokSymbol:
+		if t.Text == "(" {
+			p.advance()
+			if p.peekKeyword("SELECT") {
+				sub, err := p.selectOrEntangled()
+				if err != nil {
+					return nil, err
+				}
+				sel, ok := sub.(*Select)
+				if !ok {
+					return nil, p.errf("entangled query cannot appear as a scalar subquery")
+				}
+				if err := p.expectSymbol(")"); err != nil {
+					return nil, err
+				}
+				return &Subquery{Sel: sel}, nil
+			}
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errf("unexpected %s in expression", t)
+}

@@ -1,0 +1,399 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/value"
+)
+
+// KramerQuery is the exact entangled query from §2.1 of the paper.
+const KramerQuery = `SELECT 'Kramer', fno INTO ANSWER Reservation
+WHERE
+fno IN (SELECT fno FROM Flights WHERE dest='Paris')
+AND ('Jerry', fno) IN ANSWER Reservation
+CHOOSE 1`
+
+func mustParse(t *testing.T, src string) Statement {
+	t.Helper()
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return s
+}
+
+func TestParsePaperEntangledQuery(t *testing.T) {
+	s := mustParse(t, KramerQuery)
+	eq, ok := s.(*EntangledSelect)
+	if !ok {
+		t.Fatalf("got %T, want *EntangledSelect", s)
+	}
+	if len(eq.Targets) != 1 || eq.Targets[0].Relation != "Reservation" {
+		t.Fatalf("targets = %+v", eq.Targets)
+	}
+	if len(eq.Targets[0].Exprs) != 2 {
+		t.Fatalf("answer tuple arity = %d", len(eq.Targets[0].Exprs))
+	}
+	lit, ok := eq.Targets[0].Exprs[0].(*Literal)
+	if !ok || lit.Val.Str() != "Kramer" {
+		t.Errorf("first answer expr = %v", eq.Targets[0].Exprs[0])
+	}
+	if eq.Choose != 1 {
+		t.Errorf("choose = %d", eq.Choose)
+	}
+
+	conj := Conjuncts(eq.Where)
+	if len(conj) != 2 {
+		t.Fatalf("conjuncts = %d: %v", len(conj), conj)
+	}
+	if _, ok := conj[0].(*InSelect); !ok {
+		t.Errorf("conjunct 0 = %T, want *InSelect", conj[0])
+	}
+	ia, ok := conj[1].(*InAnswer)
+	if !ok {
+		t.Fatalf("conjunct 1 = %T, want *InAnswer", conj[1])
+	}
+	if ia.Relation != "Reservation" || len(ia.Left) != 2 {
+		t.Errorf("InAnswer = %+v", ia)
+	}
+}
+
+func TestParseEntangledDefaultChoose(t *testing.T) {
+	s := mustParse(t, "SELECT 'J', fno INTO ANSWER R WHERE ('K', fno) IN ANSWER R")
+	eq := s.(*EntangledSelect)
+	if eq.Choose != 1 {
+		t.Errorf("default CHOOSE = %d, want 1", eq.Choose)
+	}
+}
+
+func TestParseEntangledMultiTarget(t *testing.T) {
+	// Flight + hotel coordination: two answer atoms in one query (§3.1).
+	src := `SELECT ('Jerry', fno) INTO ANSWER Reservation,
+	               ('Jerry', hno) INTO ANSWER HotelReservation
+	        WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris')
+	          AND hno IN (SELECT hno FROM Hotels WHERE city = 'Paris')
+	          AND ('Kramer', fno) IN ANSWER Reservation
+	          AND ('Kramer', hno) IN ANSWER HotelReservation
+	        CHOOSE 1`
+	eq := mustParse(t, src).(*EntangledSelect)
+	if len(eq.Targets) != 2 {
+		t.Fatalf("targets = %d", len(eq.Targets))
+	}
+	if eq.Targets[0].Relation != "Reservation" || eq.Targets[1].Relation != "HotelReservation" {
+		t.Errorf("relations = %s, %s", eq.Targets[0].Relation, eq.Targets[1].Relation)
+	}
+	if len(Conjuncts(eq.Where)) != 4 {
+		t.Errorf("conjuncts = %d", len(Conjuncts(eq.Where)))
+	}
+}
+
+func TestParseCreateTable(t *testing.T) {
+	s := mustParse(t, "CREATE TABLE Flights (fno INT, dest STRING, price FLOAT, full BOOL, PRIMARY KEY (fno))")
+	ct := s.(*CreateTable)
+	if ct.Name != "Flights" || len(ct.Cols) != 4 {
+		t.Fatalf("%+v", ct)
+	}
+	wantTypes := []value.Type{value.TypeInt, value.TypeString, value.TypeFloat, value.TypeBool}
+	for i, w := range wantTypes {
+		if ct.Cols[i].Type != w {
+			t.Errorf("col %d type = %v, want %v", i, ct.Cols[i].Type, w)
+		}
+	}
+	if len(ct.PK) != 1 || ct.PK[0] != "fno" {
+		t.Errorf("pk = %v", ct.PK)
+	}
+}
+
+func TestParseCreateIndex(t *testing.T) {
+	s := mustParse(t, "CREATE INDEX ON Flights (dest, price)")
+	ci := s.(*CreateIndex)
+	if ci.Table != "Flights" || len(ci.Cols) != 2 || ci.Cols[1] != "price" {
+		t.Errorf("%+v", ci)
+	}
+}
+
+func TestParseInsertMultiRow(t *testing.T) {
+	s := mustParse(t, "INSERT INTO Flights VALUES (122, 'Paris'), (136, 'Rome')")
+	ins := s.(*Insert)
+	if ins.Table != "Flights" || len(ins.Rows) != 2 || len(ins.Rows[0]) != 2 {
+		t.Fatalf("%+v", ins)
+	}
+}
+
+func TestParseDeleteUpdate(t *testing.T) {
+	d := mustParse(t, "DELETE FROM Flights WHERE dest = 'Rome'").(*Delete)
+	if d.Table != "Flights" || d.Where == nil {
+		t.Errorf("%+v", d)
+	}
+	d2 := mustParse(t, "DELETE FROM Flights").(*Delete)
+	if d2.Where != nil {
+		t.Error("unexpected WHERE")
+	}
+	u := mustParse(t, "UPDATE Flights SET dest = 'Oslo', price = price + 10 WHERE fno = 122").(*Update)
+	if len(u.Sets) != 2 || u.Where == nil {
+		t.Errorf("%+v", u)
+	}
+}
+
+func TestParsePlainSelect(t *testing.T) {
+	s := mustParse(t, "SELECT f.fno, a.airlines FROM Flights f, Airlines a WHERE f.fno = a.fno AND f.dest = 'Paris' ORDER BY f.fno DESC LIMIT 10")
+	sel := s.(*Select)
+	if len(sel.Items) != 2 || len(sel.From) != 2 {
+		t.Fatalf("%+v", sel)
+	}
+	if sel.From[0].Binding() != "f" || sel.From[1].Binding() != "a" {
+		t.Errorf("bindings: %v", sel.From)
+	}
+	if len(sel.OrderBy) != 1 || !sel.OrderBy[0].Desc {
+		t.Errorf("order by: %+v", sel.OrderBy)
+	}
+	if sel.Limit != 10 {
+		t.Errorf("limit = %d", sel.Limit)
+	}
+}
+
+func TestParseSelectStarAndDistinct(t *testing.T) {
+	sel := mustParse(t, "SELECT DISTINCT * FROM Flights").(*Select)
+	if !sel.Distinct || !sel.Items[0].Star {
+		t.Errorf("%+v", sel)
+	}
+}
+
+func TestParseSelectAlias(t *testing.T) {
+	sel := mustParse(t, "SELECT fno AS flight FROM Flights").(*Select)
+	if sel.Items[0].Alias != "flight" {
+		t.Errorf("%+v", sel.Items[0])
+	}
+}
+
+func TestParseExpressionPrecedence(t *testing.T) {
+	e, err := ParseExpr("1 + 2 * 3 = 7 AND NOT FALSE OR x < 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ((1+(2*3)) = 7 AND (NOT FALSE)) OR (x < 2)
+	or, ok := e.(*Binary)
+	if !ok || or.Op != OpOr {
+		t.Fatalf("top = %v", e)
+	}
+	and, ok := or.L.(*Binary)
+	if !ok || and.Op != OpAnd {
+		t.Fatalf("left = %v", or.L)
+	}
+	eq, ok := and.L.(*Binary)
+	if !ok || eq.Op != OpEq {
+		t.Fatalf("and.L = %v", and.L)
+	}
+	add, ok := eq.L.(*Binary)
+	if !ok || add.Op != OpAdd {
+		t.Fatalf("eq.L = %v", eq.L)
+	}
+	if mul, ok := add.R.(*Binary); !ok || mul.Op != OpMul {
+		t.Fatalf("add.R = %v", add.R)
+	}
+}
+
+func TestParseParenthesizedArithmetic(t *testing.T) {
+	e, err := ParseExpr("(x + 1) * 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mul, ok := e.(*Binary)
+	if !ok || mul.Op != OpMul {
+		t.Fatalf("top = %v", e)
+	}
+}
+
+func TestParseParenthesizedComparison(t *testing.T) {
+	e, err := ParseExpr("(price) >= 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b, ok := e.(*Binary); !ok || b.Op != OpGe {
+		t.Fatalf("got %v", e)
+	}
+}
+
+func TestParseBetween(t *testing.T) {
+	e, err := ParseExpr("price BETWEEN 100 AND 200 AND dest = 'Paris'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	and, ok := e.(*Binary)
+	if !ok || and.Op != OpAnd {
+		t.Fatalf("top = %v", e)
+	}
+	if _, ok := and.L.(*Between); !ok {
+		t.Fatalf("left = %T", and.L)
+	}
+}
+
+func TestParseInValues(t *testing.T) {
+	e, err := ParseExpr("dest IN ('Paris', 'Rome')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv, ok := e.(*InValues)
+	if !ok || len(iv.Vals) != 2 || iv.Neg {
+		t.Fatalf("%+v", e)
+	}
+	e2, err := ParseExpr("dest NOT IN ('Paris')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv2 := e2.(*InValues); !iv2.Neg {
+		t.Error("NOT IN lost negation")
+	}
+}
+
+func TestParseNotInAnswer(t *testing.T) {
+	e, err := ParseExpr("('Jerry', fno) NOT IN ANSWER Reservation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ia, ok := e.(*InAnswer)
+	if !ok || !ia.Neg {
+		t.Fatalf("%+v", e)
+	}
+}
+
+func TestParseMultiColumnInSelect(t *testing.T) {
+	e, err := ParseExpr("(fno, dest) IN (SELECT fno, dest FROM Flights)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	is, ok := e.(*InSelect)
+	if !ok || len(is.Left) != 2 {
+		t.Fatalf("%+v", e)
+	}
+}
+
+func TestParseNotPrefix(t *testing.T) {
+	e, err := ParseExpr("NOT dest = 'Paris'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.(*Not); !ok {
+		t.Fatalf("got %T", e)
+	}
+}
+
+func TestParseAllScript(t *testing.T) {
+	stmts, err := ParseAll(`
+		CREATE TABLE T (x INT);
+		INSERT INTO T VALUES (1);
+		SELECT * FROM T;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 3 {
+		t.Fatalf("got %d statements", len(stmts))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT * INTO ANSWER R",            // star into answer
+		"SELECT fno AS f INTO ANSWER R",     // alias into answer
+		"CREATE TABLE T ()",                 // no columns
+		"CREATE TABLE T (x BLOB)",           // unknown type
+		"INSERT INTO T (1)",                 // missing VALUES
+		"SELECT fno FROM",                   // dangling FROM
+		"SELECT fno FROM T WHERE",           // dangling WHERE
+		"UPDATE T SET",                      // dangling SET
+		"DELETE T",                          // missing FROM
+		"SELECT f INTO ANSWER R CHOOSE 0",   // CHOOSE < 1
+		"SELECT f INTO ANSWER R CHOOSE x",   // CHOOSE non-number
+		"SELECT fno FROM T LIMIT x",         // bad limit
+		"SELECT fno FROM T; garbage",        // trailing garbage
+		"SELECT (a, b) FROM T",              // bare tuple outside entangled
+		"SELECT fno WHERE (a, b) IN (1, 2)", // tuple IN value list
+		"x IN (SELECT a INTO ANSWER R)",     // entangled subquery
+	}
+	for _, src := range bad {
+		if _, err := ParseAll(src); err == nil {
+			t.Errorf("ParseAll(%q): expected error", src)
+		}
+	}
+}
+
+// Round-trip property: printing a parsed statement and re-parsing it yields
+// the same printed form (fixed point after one round).
+func TestStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		KramerQuery,
+		"CREATE TABLE Flights (fno INT, dest STRING, PRIMARY KEY (fno))",
+		"CREATE INDEX ON Flights (dest)",
+		"DROP TABLE Flights",
+		"INSERT INTO T VALUES (1, 'a'), (2, 'b')",
+		"DELETE FROM T WHERE x = 1",
+		"UPDATE T SET x = x + 1 WHERE y < 3",
+		"SELECT DISTINCT f.fno FROM Flights f, Airlines a WHERE f.fno = a.fno ORDER BY f.fno DESC LIMIT 5",
+		"SELECT 'J', fno INTO ANSWER R WHERE ('K', fno) IN ANSWER R CHOOSE 2",
+		`SELECT ('J', fno) INTO ANSWER R, ('J', hno) INTO ANSWER H WHERE ('K', fno) IN ANSWER R CHOOSE 1`,
+		"SELECT x FROM T WHERE x BETWEEN 1 AND 2 OR NOT y = 3",
+		"SELECT x FROM T WHERE x IN (1, 2, 3) AND y NOT IN (SELECT y FROM U)",
+		"SELECT dest, COUNT(*) FROM T GROUP BY dest HAVING COUNT(*) >= 2 ORDER BY COUNT(*) DESC",
+		"SELECT fno FROM T WHERE price = ((SELECT MIN(price) FROM T))",
+		"SELECT name FROM H WHERE name LIKE 'Hotel%' AND note IS NULL OR x IS NOT NULL AND y NOT LIKE '_bc'",
+		"INSERT INTO T SELECT fno, dest FROM Flights WHERE dest = 'Paris'",
+		"SELECT 1 WHERE EXISTS (SELECT x FROM T) AND NOT EXISTS (SELECT y FROM U)",
+		"SELECT SUM(price), AVG(price), MIN(x), MAX(x), COUNT(fno) FROM T",
+	}
+	for _, src := range srcs {
+		s1, err := Parse(src)
+		if err != nil {
+			t.Errorf("parse %q: %v", src, err)
+			continue
+		}
+		printed := s1.String()
+		s2, err := Parse(printed)
+		if err != nil {
+			t.Errorf("reparse %q: %v", printed, err)
+			continue
+		}
+		if s2.String() != printed {
+			t.Errorf("round trip diverged:\n  1st: %s\n  2nd: %s", printed, s2.String())
+		}
+	}
+}
+
+func TestWalkExprCoversAllNodes(t *testing.T) {
+	e, err := ParseExpr("(a, b) IN ANSWER R AND x BETWEEN 1 AND 2 AND -y IN (1, 2) AND NOT (q IN (SELECT z FROM T))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []string
+	WalkExpr(e, func(x Expr) {
+		kinds = append(kinds, fmt.Sprintf("%T", x))
+	})
+	joined := strings.Join(kinds, " ")
+	for _, want := range []string{"InAnswer", "Between", "Neg", "InValues", "Not", "InSelect", "ColumnRef", "Literal", "Binary"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("WalkExpr missed %s (visited: %s)", want, joined)
+		}
+	}
+}
+
+func TestConjunctsAndAll(t *testing.T) {
+	e, err := ParseExpr("a = 1 AND b = 2 AND c = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := Conjuncts(e)
+	if len(cs) != 3 {
+		t.Fatalf("conjuncts = %d", len(cs))
+	}
+	rebuilt := AndAll(cs)
+	if rebuilt.String() != e.String() {
+		t.Errorf("AndAll: %s != %s", rebuilt.String(), e.String())
+	}
+	if Conjuncts(nil) != nil || AndAll(nil) != nil {
+		t.Error("nil handling")
+	}
+}

@@ -1,0 +1,79 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanics: arbitrary input must produce a value or an error,
+// never a panic — the CLI and the wire server feed user text straight in.
+func TestParseNeverPanics(t *testing.T) {
+	f := func(src string) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on %q: %v", src, r)
+				ok = false
+			}
+		}()
+		ParseAll(src) //nolint:errcheck
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseNeverPanicsOnMangledSQL: mutations of valid statements (truncated,
+// duplicated tokens, swapped chars) must not panic either — these are far
+// more likely to reach deep parser states than random unicode.
+func TestParseNeverPanicsOnMangledSQL(t *testing.T) {
+	bases := []string{
+		KramerQuery,
+		"CREATE TABLE Flights (fno INT, dest STRING, PRIMARY KEY (fno))",
+		"SELECT f.fno, a.airline FROM Flights f, Airlines a WHERE f.fno = a.fno ORDER BY 1 DESC LIMIT 3",
+		"SELECT dest, COUNT(*) FROM T GROUP BY dest HAVING COUNT(*) > 1",
+		"INSERT INTO T VALUES (1, 'a''b'), (2, NULL)",
+		"SELECT ('J', fno) INTO ANSWER R, ('J', hno) INTO ANSWER H WHERE ('K', fno) IN ANSWER R CHOOSE 2",
+	}
+	check := func(src string) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on %q: %v", src, r)
+			}
+		}()
+		ParseAll(src) //nolint:errcheck
+	}
+	for _, base := range bases {
+		for cut := 0; cut <= len(base); cut += 3 {
+			check(base[:cut])        // truncations
+			check(base[cut:])        // suffixes
+			check(base[:cut] + base) // duplications
+		}
+		check(strings.ReplaceAll(base, "(", ")"))
+		check(strings.ReplaceAll(base, "'", ""))
+		check(strings.ReplaceAll(base, " ", "("))
+		check(strings.ToLower(base) + ";;;")
+	}
+}
+
+// TestExprStringNeverPanics: every successfully parsed statement can print
+// itself.
+func TestStringOnParsedNeverPanics(t *testing.T) {
+	f := func(src string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		if stmts, err := ParseAll(src); err == nil {
+			for _, s := range stmts {
+				_ = s.String()
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

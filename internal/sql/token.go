@@ -1,0 +1,79 @@
+// Package sql implements the lexer, parser and abstract syntax tree for
+// Youtopia's SQL dialect: a conventional SQL subset (CREATE/DROP/INSERT/
+// UPDATE/DELETE/SELECT with joins and IN-subqueries) extended with the
+// paper's entangled-query syntax:
+//
+//	SELECT select_expr
+//	INTO ANSWER tbl_name [, ANSWER tbl_name] ...
+//	[WHERE where_answer_condition]
+//	[CHOOSE n]
+//
+// The WHERE clause of an entangled query may contain answer constraints of
+// the form (expr, ..., expr) IN ANSWER tbl_name, which is how one query's
+// answer is made conditional on the answers other queries receive (§2.1 of
+// the paper).
+package sql
+
+import "fmt"
+
+// TokenKind classifies lexical tokens.
+type TokenKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokNumber
+	TokString
+	TokKeyword
+	TokSymbol // punctuation and operators
+)
+
+func (k TokenKind) String() string {
+	switch k {
+	case TokEOF:
+		return "EOF"
+	case TokIdent:
+		return "identifier"
+	case TokNumber:
+		return "number"
+	case TokString:
+		return "string"
+	case TokKeyword:
+		return "keyword"
+	case TokSymbol:
+		return "symbol"
+	default:
+		return "?"
+	}
+}
+
+// Token is one lexical token. Text holds the raw spelling; for keywords it is
+// upper-cased, and for strings it is the unescaped content.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  int // byte offset in the input, for error messages
+}
+
+func (t Token) String() string {
+	if t.Kind == TokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%s %q", t.Kind, t.Text)
+}
+
+// keywords recognized by the dialect. Everything else alphabetic is an
+// identifier. ANSWER, INTO and CHOOSE carry the entangled-query extensions.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "INTO": true,
+	"ANSWER": true, "CHOOSE": true, "AND": true, "OR": true, "NOT": true,
+	"IN": true, "CREATE": true, "TABLE": true, "DROP": true, "INSERT": true,
+	"VALUES": true, "DELETE": true, "UPDATE": true, "SET": true,
+	"PRIMARY": true, "KEY": true, "NULL": true, "TRUE": true, "FALSE": true,
+	"AS": true, "BETWEEN": true, "DISTINCT": true, "INDEX": true, "ON": true,
+	"ORDER": true, "BY": true, "ASC": true, "DESC": true, "LIMIT": true,
+	"GROUP": true, "HAVING": true,
+	"BEGIN": true, "COMMIT": true, "ROLLBACK": true,
+	"LIKE": true, "IS": true, "EXISTS": true,
+}

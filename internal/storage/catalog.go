@@ -1,0 +1,88 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/value"
+)
+
+// Catalog is the namespace of tables in a Youtopia database instance. Table
+// names are case-insensitive, as in the paper's SQL examples.
+type Catalog struct {
+	log    logState
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+func canonical(name string) string { return strings.ToLower(name) }
+
+// Create creates a table. It fails if the name is already taken.
+func (c *Catalog) Create(name string, schema *value.Schema, pkCols ...string) (*Table, error) {
+	t, err := NewTable(name, schema, pkCols...)
+	if err != nil {
+		return nil, err
+	}
+	t.log = &c.log
+	c.mu.Lock()
+	key := canonical(name)
+	if _, exists := c.tables[key]; exists {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("storage: table %q already exists", name)
+	}
+	c.tables[key] = t
+	c.mu.Unlock()
+	c.log.emit(LogRecord{Op: OpCreateTable, Table: name, Schema: schema, PK: pkCols})
+	return t, nil
+}
+
+// Get returns the named table.
+func (c *Catalog) Get(name string) (*Table, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[canonical(name)]
+	if !ok {
+		return nil, fmt.Errorf("%w: table %q", ErrNotFound, name)
+	}
+	return t, nil
+}
+
+// Has reports whether the named table exists.
+func (c *Catalog) Has(name string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	_, ok := c.tables[canonical(name)]
+	return ok
+}
+
+// Drop removes the named table.
+func (c *Catalog) Drop(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := canonical(name)
+	if _, ok := c.tables[key]; !ok {
+		return fmt.Errorf("%w: table %q", ErrNotFound, name)
+	}
+	delete(c.tables, key)
+	c.log.emit(LogRecord{Op: OpDropTable, Table: name})
+	return nil
+}
+
+// Names returns all table names in sorted order.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.tables))
+	for _, t := range c.tables {
+		names = append(names, t.Name())
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,60 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestCatalogCreateGetDrop(t *testing.T) {
+	c := NewCatalog()
+	if _, err := c.Create("Flights", flightsSchema(), "fno"); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Has("flights") || !c.Has("FLIGHTS") {
+		t.Error("table names must be case-insensitive")
+	}
+	if _, err := c.Create("FLIGHTS", flightsSchema()); err == nil {
+		t.Error("duplicate create accepted")
+	}
+	tbl, err := c.Get("fLiGhTs")
+	if err != nil || tbl.Name() != "Flights" {
+		t.Errorf("Get: %v, %v", tbl, err)
+	}
+	if err := c.Drop("Flights"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("Flights"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("get after drop: %v", err)
+	}
+	if err := c.Drop("Flights"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double drop: %v", err)
+	}
+}
+
+func TestCatalogNames(t *testing.T) {
+	c := NewCatalog()
+	c.Create("Hotels", flightsSchema())
+	c.Create("Airlines", flightsSchema())
+	c.Create("Flights", flightsSchema())
+	names := c.Names()
+	want := []string{"Airlines", "Flights", "Hotels"}
+	if len(names) != 3 {
+		t.Fatalf("Names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("Names = %v, want %v", names, want)
+			break
+		}
+	}
+}
+
+func TestCatalogCreatePropagatesTableError(t *testing.T) {
+	c := NewCatalog()
+	if _, err := c.Create("x", flightsSchema(), "nosuch"); err == nil {
+		t.Error("bad PK column accepted")
+	}
+	if c.Has("x") {
+		t.Error("failed create left table behind")
+	}
+}

@@ -1,0 +1,67 @@
+package storage
+
+import (
+	"sync/atomic"
+
+	"repro/internal/value"
+)
+
+// LogOp enumerates logged mutation kinds.
+type LogOp string
+
+// Log operations. Inserts are logged with their assigned RowID so replay
+// reproduces identical ids (replay uses RestoreAt semantics).
+const (
+	OpCreateTable        LogOp = "create"
+	OpDropTable          LogOp = "drop"
+	OpCreateIndex        LogOp = "index"
+	OpCreateOrderedIndex LogOp = "oindex"
+	OpInsert             LogOp = "insert"
+	OpDelete             LogOp = "delete"
+	OpUpdate             LogOp = "update"
+	OpRestore            LogOp = "restore"
+)
+
+// LogRecord describes one durable mutation. The write-ahead log appends
+// these; recovery replays them in order. Rolled-back transactions appear as
+// their original operations followed by compensating ones (undo is executed
+// through the same mutation paths), so replaying the full sequence
+// reconstructs exactly the post-crash logical state.
+type LogRecord struct {
+	Op     LogOp
+	Table  string
+	Schema *value.Schema // OpCreateTable
+	PK     []string      // OpCreateTable
+	Cols   []string      // OpCreateIndex
+	RowID  RowID         // row ops
+	Row    value.Tuple   // OpInsert/OpUpdate/OpRestore
+}
+
+// LogFunc receives every mutation after it is applied, while the table lock
+// is still held — records are therefore appended in exactly the order the
+// mutations took effect.
+type LogFunc func(LogRecord)
+
+// logState is shared between a catalog and its tables.
+type logState struct {
+	fn atomic.Pointer[LogFunc]
+}
+
+func (ls *logState) emit(r LogRecord) {
+	if ls == nil {
+		return
+	}
+	if fn := ls.fn.Load(); fn != nil {
+		(*fn)(r)
+	}
+}
+
+// SetLog installs fn as the mutation logger for the catalog and every table
+// in it (current and future). Pass nil to detach.
+func (c *Catalog) SetLog(fn LogFunc) {
+	if fn == nil {
+		c.log.fn.Store(nil)
+		return
+	}
+	c.log.fn.Store(&fn)
+}

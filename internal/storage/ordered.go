@@ -1,0 +1,187 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/value"
+)
+
+// orderedIndex keeps row ids sorted by one column's value, enabling range
+// lookups (BETWEEN, <, >) without a full scan. Entries are kept in a sorted
+// slice; insertion is O(n) worst case, which is the right trade-off for the
+// read-heavy generator subqueries of the coordination workload.
+type orderedIndex struct {
+	mu      sync.RWMutex
+	col     int
+	entries []orderedEntry // sorted by (value, id)
+}
+
+type orderedEntry struct {
+	v  value.Value
+	id RowID
+}
+
+func (ix *orderedIndex) less(a orderedEntry, b orderedEntry) bool {
+	if c := a.v.Compare(b.v); c != 0 {
+		return c < 0
+	}
+	return a.id < b.id
+}
+
+// locate returns the position of the first entry ≥ e.
+func (ix *orderedIndex) locate(e orderedEntry) int {
+	return sort.Search(len(ix.entries), func(i int) bool {
+		return !ix.less(ix.entries[i], e)
+	})
+}
+
+func (ix *orderedIndex) add(id RowID, row value.Tuple) {
+	e := orderedEntry{v: row[ix.col], id: id}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	pos := ix.locate(e)
+	ix.entries = append(ix.entries, orderedEntry{})
+	copy(ix.entries[pos+1:], ix.entries[pos:])
+	ix.entries[pos] = e
+}
+
+func (ix *orderedIndex) remove(id RowID, row value.Tuple) {
+	e := orderedEntry{v: row[ix.col], id: id}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	pos := ix.locate(e)
+	if pos < len(ix.entries) && ix.entries[pos].id == id {
+		ix.entries = append(ix.entries[:pos], ix.entries[pos+1:]...)
+	}
+}
+
+// Bound is one end of a range lookup.
+type Bound struct {
+	Value     value.Value
+	Inclusive bool
+	Set       bool // false = unbounded
+}
+
+// BoundAt returns an inclusive/exclusive bound at v.
+func BoundAt(v value.Value, inclusive bool) Bound {
+	return Bound{Value: v, Inclusive: inclusive, Set: true}
+}
+
+// scan returns ids with lo ≤(≤) value ≤(≤) hi, in (value, id) order.
+// NULLs never satisfy a range predicate, matching the engine's comparison
+// semantics.
+func (ix *orderedIndex) scan(lo, hi Bound) []RowID {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	start := 0
+	if lo.Set {
+		start = sort.Search(len(ix.entries), func(i int) bool {
+			c := ix.entries[i].v.Compare(lo.Value)
+			if lo.Inclusive {
+				return c >= 0
+			}
+			return c > 0
+		})
+	}
+	var out []RowID
+	for i := start; i < len(ix.entries); i++ {
+		e := ix.entries[i]
+		if e.v.IsNull() {
+			continue // NULL never satisfies a range predicate
+		}
+		if hi.Set {
+			c := e.v.Compare(hi.Value)
+			if c > 0 || (c == 0 && !hi.Inclusive) {
+				break
+			}
+		}
+		out = append(out, e.id)
+	}
+	return out
+}
+
+// CreateOrderedIndex builds (or reuses) an ordered index on one column.
+func (t *Table) CreateOrderedIndex(col string) error {
+	o := t.schema.Ordinal(col)
+	if o < 0 {
+		return fmt.Errorf("storage: table %s: unknown index column %q", t.name, col)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.ordered[o]; ok {
+		return nil
+	}
+	ix := &orderedIndex{col: o}
+	for id, row := range t.rows {
+		ix.entries = append(ix.entries, orderedEntry{v: row[o], id: id})
+	}
+	sort.Slice(ix.entries, func(i, j int) bool { return ix.less(ix.entries[i], ix.entries[j]) })
+	if t.ordered == nil {
+		t.ordered = make(map[int]*orderedIndex)
+	}
+	t.ordered[o] = ix
+	t.log.emit(LogRecord{Op: OpCreateOrderedIndex, Table: t.name, Cols: []string{col}})
+	return nil
+}
+
+// HasOrderedIndex reports whether an ordered index exists on the column
+// offset.
+func (t *Table) HasOrderedIndex(col int) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_, ok := t.ordered[col]
+	return ok
+}
+
+// OrderedIndexes returns the column names carrying ordered indexes, sorted.
+func (t *Table) OrderedIndexes() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var offs []int
+	for o := range t.ordered {
+		offs = append(offs, o)
+	}
+	sort.Ints(offs)
+	names := make([]string, len(offs))
+	for i, o := range offs {
+		names[i] = t.schema.Columns[o].Name
+	}
+	return names
+}
+
+// LookupRange returns ids of rows whose col value lies within [lo, hi]
+// (bounds optional), using the ordered index when present and a scan
+// otherwise. Results are in (value, id) order with the index, RowID order
+// without.
+func (t *Table) LookupRange(col int, lo, hi Bound) []RowID {
+	t.mu.RLock()
+	ix, ok := t.ordered[col]
+	t.mu.RUnlock()
+	if ok {
+		return ix.scan(lo, hi)
+	}
+	var out []RowID
+	t.Scan(func(id RowID, row value.Tuple) bool {
+		v := row[col]
+		if v.IsNull() {
+			return true
+		}
+		if lo.Set {
+			c := v.Compare(lo.Value)
+			if c < 0 || (c == 0 && !lo.Inclusive) {
+				return true
+			}
+		}
+		if hi.Set {
+			c := v.Compare(hi.Value)
+			if c > 0 || (c == 0 && !hi.Inclusive) {
+				return true
+			}
+		}
+		out = append(out, id)
+		return true
+	})
+	return out
+}

@@ -1,0 +1,170 @@
+package storage
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/value"
+)
+
+func pricesTable(t *testing.T) *Table {
+	t.Helper()
+	schema := value.NewSchema(value.Col("fno", value.TypeInt), value.Col("price", value.TypeFloat))
+	tbl, err := NewTable("Prices", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range []float64{420, 380, 450, 310, 390, 500} {
+		if _, err := tbl.Insert(value.NewTuple(100+i, p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func ids(t *testing.T, tbl *Table, lo, hi Bound) []RowID {
+	t.Helper()
+	return tbl.LookupRange(1, lo, hi)
+}
+
+func TestOrderedIndexRangeLookup(t *testing.T) {
+	tbl := pricesTable(t)
+	if err := tbl.CreateOrderedIndex("price"); err != nil {
+		t.Fatal(err)
+	}
+	if !tbl.HasOrderedIndex(1) || tbl.HasOrderedIndex(0) {
+		t.Error("HasOrderedIndex")
+	}
+	got := ids(t, tbl, BoundAt(value.NewFloat(380), true), BoundAt(value.NewFloat(450), true))
+	if len(got) != 4 { // 380, 390, 420, 450
+		t.Fatalf("range [380,450] = %v", got)
+	}
+	// Results come back in value order.
+	prev := -1.0
+	for _, id := range got {
+		row, _ := tbl.Get(id)
+		if row[1].Float() < prev {
+			t.Errorf("out of order: %v", got)
+		}
+		prev = row[1].Float()
+	}
+	// Exclusive bounds.
+	got = ids(t, tbl, BoundAt(value.NewFloat(380), false), BoundAt(value.NewFloat(450), false))
+	if len(got) != 2 { // 390, 420
+		t.Errorf("range (380,450) = %v", got)
+	}
+	// Unbounded ends.
+	if got := ids(t, tbl, Bound{}, BoundAt(value.NewFloat(380), true)); len(got) != 2 {
+		t.Errorf("(-inf,380] = %v", got)
+	}
+	if got := ids(t, tbl, BoundAt(value.NewFloat(450), true), Bound{}); len(got) != 2 {
+		t.Errorf("[450,inf) = %v", got)
+	}
+	if got := ids(t, tbl, Bound{}, Bound{}); len(got) != 6 {
+		t.Errorf("full range = %v", got)
+	}
+}
+
+func TestOrderedIndexMaintained(t *testing.T) {
+	tbl := pricesTable(t)
+	tbl.CreateOrderedIndex("price") //nolint:errcheck
+	id, _ := tbl.Insert(value.NewTuple(200, 415.0))
+	if got := ids(t, tbl, BoundAt(value.NewFloat(410), true), BoundAt(value.NewFloat(425), true)); len(got) != 2 {
+		t.Errorf("after insert: %v", got)
+	}
+	tbl.Update(id, value.NewTuple(200, 50.0)) //nolint:errcheck
+	if got := ids(t, tbl, BoundAt(value.NewFloat(410), true), BoundAt(value.NewFloat(425), true)); len(got) != 1 {
+		t.Errorf("after update: %v", got)
+	}
+	if got := ids(t, tbl, Bound{}, BoundAt(value.NewFloat(100), true)); len(got) != 1 {
+		t.Errorf("relocated entry missing: %v", got)
+	}
+	tbl.Delete(id) //nolint:errcheck
+	if got := ids(t, tbl, Bound{}, BoundAt(value.NewFloat(100), true)); len(got) != 0 {
+		t.Errorf("after delete: %v", got)
+	}
+}
+
+func TestOrderedIndexNullsExcluded(t *testing.T) {
+	tbl := pricesTable(t)
+	tbl.CreateOrderedIndex("price")      //nolint:errcheck
+	tbl.Insert(value.NewTuple(300, nil)) //nolint:errcheck
+	if got := ids(t, tbl, Bound{}, Bound{}); len(got) != 6 {
+		t.Errorf("NULL leaked into range scan: %v", got)
+	}
+}
+
+func TestOrderedIndexErrors(t *testing.T) {
+	tbl := pricesTable(t)
+	if err := tbl.CreateOrderedIndex("nosuch"); err == nil {
+		t.Error("unknown column accepted")
+	}
+	if err := tbl.CreateOrderedIndex("price"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.CreateOrderedIndex("price"); err != nil {
+		t.Error("idempotent create failed")
+	}
+	if got := tbl.OrderedIndexes(); len(got) != 1 || got[0] != "price" {
+		t.Errorf("OrderedIndexes = %v", got)
+	}
+}
+
+// Property: indexed range lookup ≡ scan-based range lookup, for random data
+// and random inclusive bounds.
+func TestLookupRangeIndexScanEquivalence(t *testing.T) {
+	f := func(vals []int16, loRaw, hiRaw int16) bool {
+		schema := value.NewSchema(value.Col("x", value.TypeInt))
+		plain, _ := NewTable("p", schema)
+		indexed, _ := NewTable("q", schema)
+		indexed.CreateOrderedIndex("x") //nolint:errcheck
+		for _, v := range vals {
+			plain.Insert(value.NewTuple(int(v)))   //nolint:errcheck
+			indexed.Insert(value.NewTuple(int(v))) //nolint:errcheck
+		}
+		lo, hi := int64(loRaw), int64(hiRaw)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		a := plain.LookupRange(0, BoundAt(value.NewInt(lo), true), BoundAt(value.NewInt(hi), true))
+		b := indexed.LookupRange(0, BoundAt(value.NewInt(lo), true), BoundAt(value.NewInt(hi), true))
+		if len(a) != len(b) {
+			return false
+		}
+		// Same id sets (order differs: scan is id-order, index value-order).
+		seen := make(map[RowID]bool, len(a))
+		for _, id := range a {
+			seen[id] = true
+		}
+		for _, id := range b {
+			if !seen[id] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOrderedIndexLargeInsertionStaysSorted(t *testing.T) {
+	schema := value.NewSchema(value.Col("x", value.TypeInt))
+	tbl, _ := NewTable("big", schema)
+	tbl.CreateOrderedIndex("x") //nolint:errcheck
+	for i := 0; i < 500; i++ {
+		tbl.Insert(value.NewTuple((i * 7919) % 1000)) //nolint:errcheck
+	}
+	got := tbl.LookupRange(0, Bound{}, Bound{})
+	if len(got) != 500 {
+		t.Fatalf("len = %d", len(got))
+	}
+	prev := int64(-1)
+	for _, id := range got {
+		row, _ := tbl.Get(id)
+		if row[0].Int() < prev {
+			t.Fatal("index order violated")
+		}
+		prev = row[0].Int()
+	}
+}

@@ -1,0 +1,397 @@
+// Package storage implements the in-memory relational storage engine that
+// Youtopia's execution engine and coordination component read and write.
+//
+// It provides named tables with typed schemas, optional primary keys, hash
+// indexes for equality lookups, and physically consistent concurrent access.
+// Transactional isolation (strict two-phase locking) is layered on top by
+// package txn; the storage layer itself only guarantees that individual
+// operations are atomic and that scans observe a consistent snapshot.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/value"
+)
+
+// RowID identifies a row within a table for the lifetime of the table. IDs
+// are never reused.
+type RowID uint64
+
+// ErrNotFound is returned when a row or table does not exist.
+var ErrNotFound = errors.New("storage: not found")
+
+// ErrDuplicateKey is returned when an insert or update would violate the
+// table's primary key.
+var ErrDuplicateKey = errors.New("storage: duplicate primary key")
+
+// Table is a heap of tuples with a schema, optional primary key, and hash
+// indexes. All methods are safe for concurrent use.
+type Table struct {
+	name   string
+	schema *value.Schema
+	log    *logState // shared with the owning catalog; nil when standalone
+
+	mu      sync.RWMutex
+	rows    map[RowID]value.Tuple
+	nextID  RowID
+	pkCols  []int            // primary key column offsets, nil if none
+	pk      map[string]RowID // PK tuple key → row
+	indexes map[string]*hashIndex
+	ordered map[int]*orderedIndex // column offset → ordered index
+	version uint64                // bumped on every mutation; used for cheap change detection
+}
+
+// hashIndex maps the key of a column projection to the set of rows holding it.
+type hashIndex struct {
+	cols []int
+	m    map[string]map[RowID]struct{}
+}
+
+func newHashIndex(cols []int) *hashIndex {
+	return &hashIndex{cols: cols, m: make(map[string]map[RowID]struct{})}
+}
+
+func (ix *hashIndex) key(t value.Tuple) string { return t.Project(ix.cols).Key() }
+
+func (ix *hashIndex) add(id RowID, t value.Tuple) {
+	k := ix.key(t)
+	s := ix.m[k]
+	if s == nil {
+		s = make(map[RowID]struct{})
+		ix.m[k] = s
+	}
+	s[id] = struct{}{}
+}
+
+func (ix *hashIndex) remove(id RowID, t value.Tuple) {
+	k := ix.key(t)
+	if s := ix.m[k]; s != nil {
+		delete(s, id)
+		if len(s) == 0 {
+			delete(ix.m, k)
+		}
+	}
+}
+
+// NewTable creates a table with the given schema. pkCols, if non-empty, names
+// columns forming a primary key (uniqueness-enforced and auto-indexed).
+func NewTable(name string, schema *value.Schema, pkCols ...string) (*Table, error) {
+	t := &Table{
+		name:    name,
+		schema:  schema,
+		rows:    make(map[RowID]value.Tuple),
+		nextID:  1,
+		indexes: make(map[string]*hashIndex),
+	}
+	for _, c := range pkCols {
+		o := schema.Ordinal(c)
+		if o < 0 {
+			return nil, fmt.Errorf("storage: table %s: unknown primary key column %q", name, c)
+		}
+		t.pkCols = append(t.pkCols, o)
+	}
+	if len(t.pkCols) > 0 {
+		t.pk = make(map[string]RowID)
+	}
+	return t, nil
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema. The schema is immutable after creation.
+func (t *Table) Schema() *value.Schema { return t.schema }
+
+// Version returns a counter bumped on every mutation. The coordination
+// component uses it to detect base-table changes that may unblock pending
+// entangled queries.
+func (t *Table) Version() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.version
+}
+
+// Len returns the number of rows.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// CreateIndex builds (or reuses) a hash index on the given columns.
+func (t *Table) CreateIndex(cols ...string) error {
+	offs := make([]int, len(cols))
+	for i, c := range cols {
+		o := t.schema.Ordinal(c)
+		if o < 0 {
+			return fmt.Errorf("storage: table %s: unknown index column %q", t.name, c)
+		}
+		offs[i] = o
+	}
+	name := indexName(offs)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.indexes[name]; ok {
+		return nil
+	}
+	ix := newHashIndex(offs)
+	for id, row := range t.rows {
+		ix.add(id, row)
+	}
+	t.indexes[name] = ix
+	t.log.emit(LogRecord{Op: OpCreateIndex, Table: t.name, Cols: cols})
+	return nil
+}
+
+// PrimaryKey returns the names of the primary key columns (nil if none).
+func (t *Table) PrimaryKey() []string {
+	var names []string
+	for _, o := range t.pkCols {
+		names = append(names, t.schema.Columns[o].Name)
+	}
+	return names
+}
+
+// Indexes returns the column-name lists of the table's hash indexes, in
+// deterministic order.
+func (t *Table) Indexes() [][]string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	keys := make([]string, 0, len(t.indexes))
+	for k := range t.indexes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([][]string, 0, len(keys))
+	for _, k := range keys {
+		ix := t.indexes[k]
+		names := make([]string, len(ix.cols))
+		for i, o := range ix.cols {
+			names[i] = t.schema.Columns[o].Name
+		}
+		out = append(out, names)
+	}
+	return out
+}
+
+// HasIndex reports whether an index exists on exactly the given column offsets.
+func (t *Table) HasIndex(cols []int) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_, ok := t.indexes[indexName(cols)]
+	return ok
+}
+
+func indexName(offs []int) string {
+	s := ""
+	for _, o := range offs {
+		s += fmt.Sprintf("c%d,", o)
+	}
+	return s
+}
+
+// Insert validates and appends a tuple, returning its RowID.
+func (t *Table) Insert(tup value.Tuple) (RowID, error) {
+	tup, err := t.schema.Validate(tup)
+	if err != nil {
+		return 0, fmt.Errorf("storage: insert into %s: %w", t.name, err)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.pk != nil {
+		k := tup.Project(t.pkCols).Key()
+		if _, dup := t.pk[k]; dup {
+			return 0, fmt.Errorf("%w: %s in %s", ErrDuplicateKey, tup.Project(t.pkCols), t.name)
+		}
+		t.pk[k] = t.nextID
+	}
+	id := t.nextID
+	t.nextID++
+	t.rows[id] = tup.Clone()
+	for _, ix := range t.indexes {
+		ix.add(id, tup)
+	}
+	for _, ox := range t.ordered {
+		ox.add(id, tup)
+	}
+	t.version++
+	t.log.emit(LogRecord{Op: OpInsert, Table: t.name, RowID: id, Row: tup})
+	return id, nil
+}
+
+// Get returns the tuple stored under id.
+func (t *Table) Get(id RowID) (value.Tuple, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	row, ok := t.rows[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: row %d in %s", ErrNotFound, id, t.name)
+	}
+	return row.Clone(), nil
+}
+
+// Delete removes the row with the given id and returns the removed tuple
+// (so callers such as the transaction undo log can restore it).
+func (t *Table) Delete(id RowID) (value.Tuple, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	row, ok := t.rows[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: row %d in %s", ErrNotFound, id, t.name)
+	}
+	delete(t.rows, id)
+	if t.pk != nil {
+		delete(t.pk, row.Project(t.pkCols).Key())
+	}
+	for _, ix := range t.indexes {
+		ix.remove(id, row)
+	}
+	for _, ox := range t.ordered {
+		ox.remove(id, row)
+	}
+	t.version++
+	t.log.emit(LogRecord{Op: OpDelete, Table: t.name, RowID: id})
+	return row, nil
+}
+
+// Update replaces the tuple stored under id and returns the previous tuple.
+func (t *Table) Update(id RowID, tup value.Tuple) (value.Tuple, error) {
+	tup, err := t.schema.Validate(tup)
+	if err != nil {
+		return nil, fmt.Errorf("storage: update %s: %w", t.name, err)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	old, ok := t.rows[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: row %d in %s", ErrNotFound, id, t.name)
+	}
+	if t.pk != nil {
+		oldK := old.Project(t.pkCols).Key()
+		newK := tup.Project(t.pkCols).Key()
+		if oldK != newK {
+			if _, dup := t.pk[newK]; dup {
+				return nil, fmt.Errorf("%w: %s in %s", ErrDuplicateKey, tup.Project(t.pkCols), t.name)
+			}
+			delete(t.pk, oldK)
+			t.pk[newK] = id
+		}
+	}
+	for _, ix := range t.indexes {
+		ix.remove(id, old)
+		ix.add(id, tup)
+	}
+	for _, ox := range t.ordered {
+		ox.remove(id, old)
+		ox.add(id, tup)
+	}
+	t.rows[id] = tup.Clone()
+	t.version++
+	t.log.emit(LogRecord{Op: OpUpdate, Table: t.name, RowID: id, Row: tup})
+	return old, nil
+}
+
+// RestoreAt reinserts a tuple under a specific RowID; it is used only by the
+// transaction undo log to reverse a Delete. The id must not be live.
+func (t *Table) RestoreAt(id RowID, tup value.Tuple) error {
+	tup, err := t.schema.Validate(tup)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, exists := t.rows[id]; exists {
+		return fmt.Errorf("storage: RestoreAt: row %d already live in %s", id, t.name)
+	}
+	if t.pk != nil {
+		t.pk[tup.Project(t.pkCols).Key()] = id
+	}
+	t.rows[id] = tup.Clone()
+	for _, ix := range t.indexes {
+		ix.add(id, tup)
+	}
+	for _, ox := range t.ordered {
+		ox.add(id, tup)
+	}
+	if id >= t.nextID {
+		t.nextID = id + 1
+	}
+	t.version++
+	t.log.emit(LogRecord{Op: OpRestore, Table: t.name, RowID: id, Row: tup})
+	return nil
+}
+
+// Scan invokes fn for every row in ascending RowID order until fn returns
+// false. The iteration observes a consistent snapshot taken at call time.
+func (t *Table) Scan(fn func(RowID, value.Tuple) bool) {
+	t.mu.RLock()
+	ids := make([]RowID, 0, len(t.rows))
+	for id := range t.rows {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	snap := make([]value.Tuple, len(ids))
+	for i, id := range ids {
+		snap[i] = t.rows[id]
+	}
+	t.mu.RUnlock()
+	for i, id := range ids {
+		if !fn(id, snap[i]) {
+			return
+		}
+	}
+}
+
+// LookupEq returns the IDs of rows whose projection on cols equals key. It
+// uses a matching hash index when one exists and falls back to a scan
+// otherwise. Results are in ascending RowID order.
+func (t *Table) LookupEq(cols []int, key value.Tuple) []RowID {
+	t.mu.RLock()
+	if ix, ok := t.indexes[indexName(cols)]; ok {
+		set := ix.m[key.Key()]
+		ids := make([]RowID, 0, len(set))
+		for id := range set {
+			ids = append(ids, id)
+		}
+		t.mu.RUnlock()
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		return ids
+	}
+	t.mu.RUnlock()
+	var ids []RowID
+	t.Scan(func(id RowID, row value.Tuple) bool {
+		if row.Project(cols).Equal(key) {
+			ids = append(ids, id)
+		}
+		return true
+	})
+	return ids
+}
+
+// LookupPK returns the row matching the primary key tuple, if any.
+func (t *Table) LookupPK(key value.Tuple) (RowID, value.Tuple, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.pk == nil {
+		return 0, nil, false
+	}
+	id, ok := t.pk[key.Key()]
+	if !ok {
+		return 0, nil, false
+	}
+	return id, t.rows[id].Clone(), true
+}
+
+// All returns a snapshot of every row, in ascending RowID order.
+func (t *Table) All() []value.Tuple {
+	var out []value.Tuple
+	t.Scan(func(_ RowID, row value.Tuple) bool {
+		out = append(out, row)
+		return true
+	})
+	return out
+}

@@ -1,0 +1,322 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/value"
+)
+
+func flightsSchema() *value.Schema {
+	return value.NewSchema(value.Col("fno", value.TypeInt), value.Col("dest", value.TypeString))
+}
+
+// figure1a loads the Flights table exactly as in Figure 1(a) of the paper.
+func figure1a(t *testing.T) *Table {
+	t.Helper()
+	tbl, err := NewTable("Flights", flightsSchema(), "fno")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range [][2]any{{122, "Paris"}, {123, "Paris"}, {134, "Paris"}, {136, "Rome"}} {
+		if _, err := tbl.Insert(value.NewTuple(row[0], row[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func TestInsertGetScan(t *testing.T) {
+	tbl := figure1a(t)
+	if tbl.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tbl.Len())
+	}
+	var dests []string
+	tbl.Scan(func(_ RowID, row value.Tuple) bool {
+		dests = append(dests, row[1].Str())
+		return true
+	})
+	want := []string{"Paris", "Paris", "Paris", "Rome"}
+	for i := range want {
+		if dests[i] != want[i] {
+			t.Errorf("scan order: got %v, want %v", dests, want)
+			break
+		}
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	tbl := figure1a(t)
+	n := 0
+	tbl.Scan(func(RowID, value.Tuple) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Errorf("scan visited %d rows, want 2", n)
+	}
+}
+
+func TestPrimaryKeyEnforced(t *testing.T) {
+	tbl := figure1a(t)
+	if _, err := tbl.Insert(value.NewTuple(122, "Rome")); !errors.Is(err, ErrDuplicateKey) {
+		t.Errorf("duplicate PK: got %v, want ErrDuplicateKey", err)
+	}
+	id, row, ok := tbl.LookupPK(value.NewTuple(134))
+	if !ok || row[1].Str() != "Paris" || id == 0 {
+		t.Errorf("LookupPK(134) = %v,%v,%v", id, row, ok)
+	}
+	if _, _, ok := tbl.LookupPK(value.NewTuple(999)); ok {
+		t.Error("LookupPK(999) should miss")
+	}
+}
+
+func TestUnknownPKColumn(t *testing.T) {
+	if _, err := NewTable("x", flightsSchema(), "nosuch"); err == nil {
+		t.Error("unknown PK column accepted")
+	}
+}
+
+func TestDeleteAndRestore(t *testing.T) {
+	tbl := figure1a(t)
+	ids := tbl.LookupEq([]int{0}, value.NewTuple(136))
+	if len(ids) != 1 {
+		t.Fatalf("lookup 136: %v", ids)
+	}
+	old, err := tbl.Delete(ids[0])
+	if err != nil || old[1].Str() != "Rome" {
+		t.Fatalf("delete: %v, %v", old, err)
+	}
+	if tbl.Len() != 3 {
+		t.Error("len after delete")
+	}
+	if _, err := tbl.Delete(ids[0]); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double delete: %v", err)
+	}
+	// Undo-log style restore.
+	if err := tbl.RestoreAt(ids[0], old); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 4 {
+		t.Error("len after restore")
+	}
+	if err := tbl.RestoreAt(ids[0], old); err == nil {
+		t.Error("RestoreAt over live row accepted")
+	}
+	// PK must be restored too.
+	if _, _, ok := tbl.LookupPK(value.NewTuple(136)); !ok {
+		t.Error("PK entry not restored")
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	tbl := figure1a(t)
+	ids := tbl.LookupEq([]int{0}, value.NewTuple(136))
+	old, err := tbl.Update(ids[0], value.NewTuple(136, "Paris"))
+	if err != nil || old[1].Str() != "Rome" {
+		t.Fatalf("update: %v %v", old, err)
+	}
+	got, _ := tbl.Get(ids[0])
+	if got[1].Str() != "Paris" {
+		t.Error("update not applied")
+	}
+	// PK-changing update into a conflict must fail and leave state intact.
+	if _, err := tbl.Update(ids[0], value.NewTuple(122, "Paris")); !errors.Is(err, ErrDuplicateKey) {
+		t.Errorf("conflicting PK update: %v", err)
+	}
+	got, _ = tbl.Get(ids[0])
+	if got[0].Int() != 136 {
+		t.Error("failed update mutated row")
+	}
+	// PK-changing update to a fresh key works and moves the PK entry.
+	if _, err := tbl.Update(ids[0], value.NewTuple(140, "Paris")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := tbl.LookupPK(value.NewTuple(136)); ok {
+		t.Error("stale PK entry left behind")
+	}
+	if _, _, ok := tbl.LookupPK(value.NewTuple(140)); !ok {
+		t.Error("new PK entry missing")
+	}
+}
+
+func TestUpdateNotFound(t *testing.T) {
+	tbl := figure1a(t)
+	if _, err := tbl.Update(9999, value.NewTuple(1, "x")); !errors.Is(err, ErrNotFound) {
+		t.Errorf("update missing row: %v", err)
+	}
+	if _, err := tbl.Get(9999); !errors.Is(err, ErrNotFound) {
+		t.Errorf("get missing row: %v", err)
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	tbl := figure1a(t)
+	if _, err := tbl.Insert(value.NewTuple("oops", "Paris")); err == nil {
+		t.Error("type-mismatched insert accepted")
+	}
+	if _, err := tbl.Insert(value.NewTuple(1)); err == nil {
+		t.Error("arity-mismatched insert accepted")
+	}
+}
+
+func TestIndexLookupMatchesScan(t *testing.T) {
+	tbl := figure1a(t)
+	scanIDs := tbl.LookupEq([]int{1}, value.NewTuple("Paris")) // no index yet
+	if err := tbl.CreateIndex("dest"); err != nil {
+		t.Fatal(err)
+	}
+	if !tbl.HasIndex([]int{1}) {
+		t.Fatal("index not registered")
+	}
+	ixIDs := tbl.LookupEq([]int{1}, value.NewTuple("Paris"))
+	if len(scanIDs) != 3 || len(ixIDs) != 3 {
+		t.Fatalf("scan=%v index=%v", scanIDs, ixIDs)
+	}
+	for i := range scanIDs {
+		if scanIDs[i] != ixIDs[i] {
+			t.Errorf("index and scan disagree: %v vs %v", ixIDs, scanIDs)
+		}
+	}
+}
+
+func TestIndexMaintainedAcrossMutations(t *testing.T) {
+	tbl := figure1a(t)
+	if err := tbl.CreateIndex("dest"); err != nil {
+		t.Fatal(err)
+	}
+	id, err := tbl.Insert(value.NewTuple(200, "Rome"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tbl.LookupEq([]int{1}, value.NewTuple("Rome"))); got != 2 {
+		t.Errorf("Rome after insert = %d, want 2", got)
+	}
+	if _, err := tbl.Update(id, value.NewTuple(200, "Paris")); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tbl.LookupEq([]int{1}, value.NewTuple("Rome"))); got != 1 {
+		t.Errorf("Rome after update = %d, want 1", got)
+	}
+	if got := len(tbl.LookupEq([]int{1}, value.NewTuple("Paris"))); got != 4 {
+		t.Errorf("Paris after update = %d, want 4", got)
+	}
+	if _, err := tbl.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tbl.LookupEq([]int{1}, value.NewTuple("Paris"))); got != 3 {
+		t.Errorf("Paris after delete = %d, want 3", got)
+	}
+}
+
+func TestCreateIndexIdempotentAndErrors(t *testing.T) {
+	tbl := figure1a(t)
+	if err := tbl.CreateIndex("dest"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.CreateIndex("dest"); err != nil {
+		t.Errorf("idempotent CreateIndex failed: %v", err)
+	}
+	if err := tbl.CreateIndex("nosuch"); err == nil {
+		t.Error("index on unknown column accepted")
+	}
+}
+
+func TestVersionBumps(t *testing.T) {
+	tbl := figure1a(t)
+	v0 := tbl.Version()
+	id, _ := tbl.Insert(value.NewTuple(300, "Oslo"))
+	if tbl.Version() == v0 {
+		t.Error("version not bumped on insert")
+	}
+	v1 := tbl.Version()
+	tbl.Update(id, value.NewTuple(300, "Bergen"))
+	if tbl.Version() == v1 {
+		t.Error("version not bumped on update")
+	}
+	v2 := tbl.Version()
+	tbl.Delete(id)
+	if tbl.Version() == v2 {
+		t.Error("version not bumped on delete")
+	}
+}
+
+func TestInsertDoesNotAliasCallerTuple(t *testing.T) {
+	tbl := figure1a(t)
+	tup := value.NewTuple(500, "Lima")
+	id, _ := tbl.Insert(tup)
+	tup[1] = value.NewString("HACKED")
+	got, _ := tbl.Get(id)
+	if got[1].Str() != "Lima" {
+		t.Error("stored row aliases caller's tuple")
+	}
+	got[0] = value.NewInt(0)
+	got2, _ := tbl.Get(id)
+	if got2[0].Int() != 500 {
+		t.Error("Get returns aliased row")
+	}
+}
+
+func TestConcurrentInsertScan(t *testing.T) {
+	tbl, err := NewTable("t", flightsSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if _, err := tbl.Insert(value.NewTuple(g*1000+i, "Paris")); err != nil {
+					t.Error(err)
+					return
+				}
+				tbl.Scan(func(RowID, value.Tuple) bool { return false })
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tbl.Len() != 800 {
+		t.Errorf("Len = %d, want 800", tbl.Len())
+	}
+}
+
+// Property: for random row sets, indexed lookup equals scan-based lookup.
+func TestLookupEqIndexScanEquivalenceProperty(t *testing.T) {
+	f := func(keys []uint8) bool {
+		noIx, _ := NewTable("a", flightsSchema())
+		withIx, _ := NewTable("b", flightsSchema())
+		withIx.CreateIndex("dest")
+		for i, k := range keys {
+			dest := fmt.Sprintf("city%d", k%7)
+			noIx.Insert(value.NewTuple(i, dest))
+			withIx.Insert(value.NewTuple(i, dest))
+		}
+		for k := 0; k < 7; k++ {
+			key := value.NewTuple(fmt.Sprintf("city%d", k))
+			a := noIx.LookupEq([]int{1}, key)
+			b := withIx.LookupEq([]int{1}, key)
+			if len(a) != len(b) {
+				return false
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAll(t *testing.T) {
+	tbl := figure1a(t)
+	rows := tbl.All()
+	if len(rows) != 4 || rows[0][0].Int() != 122 {
+		t.Errorf("All() = %v", rows)
+	}
+}

@@ -1,0 +1,136 @@
+package travel
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestCapacityExcludesFullFlights: with capacity 2, a second pair cannot
+// join the flight the first pair filled and lands on a different one.
+func TestCapacityExcludesFullFlights(t *testing.T) {
+	s := newService(t)
+	f := FlightFilter{Dest: "Paris", Capacity: 2}
+
+	b1, err := s.BookFlight("A1", []string{"A2"}, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := s.BookFlight("A2", []string{"A1"}, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	await(t, b1)
+	await(t, b2)
+	first, _, _ := b1.Details()
+
+	b3, err := s.BookFlight("B1", []string{"B2"}, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b4, err := s.BookFlight("B2", []string{"B1"}, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	await(t, b3)
+	await(t, b4)
+	second, _, _ := b3.Details()
+
+	if first == second {
+		t.Errorf("second pair over-booked flight %d beyond capacity 2", first)
+	}
+}
+
+// TestCapacityExhaustedParksPending: three pairs, capacity 2, three Paris
+// flights → all pairs fit; a fourth pair with only full flights parks.
+func TestCapacityExhaustion(t *testing.T) {
+	s := newService(t)
+	f := FlightFilter{Dest: "Paris", Capacity: 2}
+	// Fill all three Paris flights (122, 123, 134).
+	for p := 0; p < 3; p++ {
+		a, b := fmt.Sprintf("p%d_a", p), fmt.Sprintf("p%d_b", p)
+		b1, err := s.BookFlight(a, []string{b}, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b2, err := s.BookFlight(b, []string{a}, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		await(t, b1)
+		await(t, b2)
+	}
+	// Every Paris flight is now at capacity; the fourth pair must park.
+	b1, err := s.BookFlight("late_a", []string{"late_b"}, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.BookFlight("late_b", []string{"late_a"}, f); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	if b1.Status() != StatusPending {
+		t.Errorf("late pair status = %s; capacity should exclude all flights", b1.Status())
+	}
+	// Distinctness check: exactly 2 travelers per flight.
+	counts := map[int64]int{}
+	for _, tup := range s.System().Answers().Tuples(RelFlight) {
+		counts[tup[1].Int()]++
+	}
+	for fno, n := range counts {
+		if n != 2 {
+			t.Errorf("flight %d has %d travelers, want 2", fno, n)
+		}
+	}
+}
+
+// TestGroupLargerThanCapacityNeverMatches: a 3-group with capacity 2 is
+// unmatchable by construction.
+func TestGroupLargerThanCapacityNeverMatches(t *testing.T) {
+	s := newService(t)
+	f := FlightFilter{Dest: "Paris", Capacity: 2}
+	group := []string{"G1", "G2", "G3"}
+	var bookings []*Booking
+	for i, self := range group {
+		var friends []string
+		for j, o := range group {
+			if j != i {
+				friends = append(friends, o)
+			}
+		}
+		b, err := s.BookFlight(self, friends, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bookings = append(bookings, b)
+	}
+	time.Sleep(30 * time.Millisecond)
+	for _, b := range bookings {
+		if b.Status() != StatusPending {
+			t.Errorf("%s status = %s, want pending forever", b.User, b.Status())
+		}
+	}
+}
+
+// TestCapacityCountsDirectBookings: direct (uncoordinated) bookings consume
+// capacity too, since they land in the same answer relation.
+func TestCapacityCountsDirectBookings(t *testing.T) {
+	s := newService(t)
+	// Two direct bookings fill flight 122 (capacity 2).
+	for _, u := range []string{"D1", "D2"} {
+		b, err := s.BookDirect(u, 122)
+		if err != nil {
+			t.Fatal(err)
+		}
+		await(t, b)
+	}
+	f := FlightFilter{Dest: "Paris", Capacity: 2}
+	b1, _ := s.BookFlight("C1", []string{"C2"}, f)
+	b2, _ := s.BookFlight("C2", []string{"C1"}, f)
+	await(t, b1)
+	await(t, b2)
+	got, _, _ := b1.Details()
+	if got == 122 {
+		t.Error("coordinated pair landed on the full flight 122")
+	}
+}

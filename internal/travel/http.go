@@ -1,0 +1,226 @@
+package travel
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// NewHTTPHandler exposes the travel middle tier as the JSON API behind the
+// demo's browser front end (the three-tier architecture of §2.2: browser →
+// middle tier → Youtopia). Endpoints:
+//
+//	GET  /                       tiny HTML front end
+//	GET  /api/friends?user=U     friend list (Figure 3)
+//	POST /api/befriend           {"a": "...", "b": "..."}
+//	GET  /api/flights?user=U&dest=D[&maxprice=P]   search + friends' bookings (Figure 4)
+//	POST /api/book               booking request (see bookRequest)
+//	GET  /api/account?user=U     pending/confirmed reservations
+//	GET  /api/inbox?user=U       notification messages
+//	GET  /api/admin/state        coordination-component dump (admin interface)
+//	GET  /api/admin/graph        entanglement graph in Graphviz DOT
+func NewHTTPHandler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, indexHTML)
+	})
+	mux.HandleFunc("/api/friends", func(w http.ResponseWriter, r *http.Request) {
+		user := r.URL.Query().Get("user")
+		if user == "" {
+			httpErr(w, http.StatusBadRequest, "missing user")
+			return
+		}
+		writeJSON(w, map[string]any{"user": user, "friends": s.Friends(user)})
+	})
+	mux.HandleFunc("/api/befriend", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpErr(w, http.StatusMethodNotAllowed, "POST required")
+			return
+		}
+		var req struct{ A, B string }
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.A == "" || req.B == "" {
+			httpErr(w, http.StatusBadRequest, "need {a, b}")
+			return
+		}
+		s.Befriend(req.A, req.B)
+		writeJSON(w, map[string]any{"ok": true})
+	})
+	mux.HandleFunc("/api/flights", func(w http.ResponseWriter, r *http.Request) {
+		user := r.URL.Query().Get("user")
+		dest := r.URL.Query().Get("dest")
+		if dest == "" {
+			httpErr(w, http.StatusBadRequest, "missing dest")
+			return
+		}
+		f := FlightFilter{Dest: dest}
+		if mp := r.URL.Query().Get("maxprice"); mp != "" {
+			v, err := strconv.ParseFloat(mp, 64)
+			if err != nil {
+				httpErr(w, http.StatusBadRequest, "bad maxprice")
+				return
+			}
+			f.MaxPrice = v
+		}
+		flights, err := s.SearchFlightsWithFriends(user, f)
+		if err != nil {
+			httpErr(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		writeJSON(w, flights)
+	})
+	mux.HandleFunc("/api/book", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpErr(w, http.StatusMethodNotAllowed, "POST required")
+			return
+		}
+		var req bookRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpErr(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		b, err := dispatchBooking(s, req)
+		if err != nil {
+			httpErr(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		// Give immediate matches a moment to resolve so the common "partner
+		// already waiting" case returns confirmed synchronously.
+		select {
+		case <-b.Done():
+		case <-time.After(50 * time.Millisecond):
+		}
+		writeJSON(w, bookingJSON(b))
+	})
+	mux.HandleFunc("/api/account", func(w http.ResponseWriter, r *http.Request) {
+		user := r.URL.Query().Get("user")
+		entries := s.Account(user)
+		out := make([]map[string]any, len(entries))
+		for i, e := range entries {
+			out[i] = bookingJSON(e.Booking)
+		}
+		writeJSON(w, out)
+	})
+	mux.HandleFunc("/api/inbox", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.Inbox(r.URL.Query().Get("user")))
+	})
+	mux.HandleFunc("/api/admin/state", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, s.System().Coordinator().DumpState())
+	})
+	mux.HandleFunc("/api/admin/graph", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/vnd.graphviz; charset=utf-8")
+		fmt.Fprint(w, s.System().Coordinator().DOT())
+	})
+	mux.HandleFunc("/api/admin/diagnose", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.ParseUint(r.URL.Query().Get("id"), 10, 64)
+		if err != nil {
+			httpErr(w, http.StatusBadRequest, "bad id")
+			return
+		}
+		d, ok := s.System().Coordinator().Diagnose(id)
+		if !ok {
+			httpErr(w, http.StatusNotFound, fmt.Sprintf("q%d is not pending", id))
+			return
+		}
+		writeJSON(w, d)
+	})
+	return mux
+}
+
+// bookRequest is the JSON body of POST /api/book.
+type bookRequest struct {
+	User    string   `json:"user"`
+	Kind    string   `json:"kind"` // flight | trip | seat | direct
+	Friends []string `json:"friends"`
+	Dest    string   `json:"dest"`
+	City    string   `json:"city"` // hotel city for trips (defaults to Dest)
+	MaxP    float64  `json:"maxprice"`
+	Fno     int64    `json:"fno"` // for kind=direct
+}
+
+func dispatchBooking(s *Service, req bookRequest) (*Booking, error) {
+	if req.User == "" {
+		return nil, fmt.Errorf("missing user")
+	}
+	f := FlightFilter{Dest: req.Dest, MaxPrice: req.MaxP}
+	switch req.Kind {
+	case "flight", "":
+		if req.Dest == "" {
+			return nil, fmt.Errorf("missing dest")
+		}
+		return s.BookFlight(req.User, req.Friends, f)
+	case "trip":
+		if req.Dest == "" {
+			return nil, fmt.Errorf("missing dest")
+		}
+		city := req.City
+		if city == "" {
+			city = req.Dest
+		}
+		return s.BookTrip(req.User, req.Friends, f, HotelFilter{City: city, MaxPrice: req.MaxP})
+	case "seat":
+		if len(req.Friends) != 1 {
+			return nil, fmt.Errorf("seat booking needs exactly one friend")
+		}
+		return s.BookAdjacentSeat(req.User, req.Friends[0], f)
+	case "direct":
+		if req.Fno == 0 {
+			return nil, fmt.Errorf("missing fno")
+		}
+		return s.BookDirect(req.User, req.Fno)
+	default:
+		return nil, fmt.Errorf("unknown kind %q", req.Kind)
+	}
+}
+
+func bookingJSON(b *Booking) map[string]any {
+	flight, hotel, seat := b.Details()
+	return map[string]any{
+		"id": b.ID, "user": b.User, "kind": b.Kind, "friends": b.Friends,
+		"status": string(b.Status()), "flight": flight, "hotel": hotel, "seat": seat,
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v) //nolint:errcheck
+}
+
+func httpErr(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg}) //nolint:errcheck
+}
+
+const indexHTML = `<!doctype html>
+<html><head><title>Youtopia Travel</title>
+<style>body{font-family:sans-serif;margin:2em;max-width:50em}</style></head>
+<body>
+<h1>Youtopia travel demo</h1>
+<p>This is the browser tier of the three-tier demo application. Use the JSON
+API (<code>/api/...</code>) or the quick form below.</p>
+<h2>Coordinate a flight</h2>
+<form onsubmit="book(event)">
+  <label>You: <input id=user value="Jerry"></label>
+  <label>Friend: <input id=friend value="Kramer"></label>
+  <label>Destination: <input id=dest value="Paris"></label>
+  <button>Book together</button>
+</form>
+<pre id=out></pre>
+<script>
+async function book(e){
+  e.preventDefault();
+  const body={user:user.value,kind:"flight",friends:[friend.value],dest:dest.value};
+  const r=await fetch("/api/book",{method:"POST",body:JSON.stringify(body)});
+  out.textContent=JSON.stringify(await r.json(),null,2);
+}
+</script>
+</body></html>
+`

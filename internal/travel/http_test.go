@@ -1,0 +1,255 @@
+package travel
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newServer(t *testing.T) (*Service, *httptest.Server) {
+	t.Helper()
+	s := newService(t)
+	srv := httptest.NewServer(NewHTTPHandler(s))
+	t.Cleanup(srv.Close)
+	return s, srv
+}
+
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func postJSON(t *testing.T, url string, body any, out any) *http.Response {
+	t.Helper()
+	buf, _ := json.Marshal(body)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+	}
+	return resp
+}
+
+// TestChooseFriendEndpoint covers the Figure 3 path: befriend + list friends.
+func TestChooseFriendEndpoint(t *testing.T) {
+	_, srv := newServer(t)
+	postJSON(t, srv.URL+"/api/befriend", map[string]string{"a": "Jerry", "b": "Kramer"}, nil)
+	var got struct {
+		User    string
+		Friends []string
+	}
+	getJSON(t, srv.URL+"/api/friends?user=Jerry", &got)
+	if len(got.Friends) != 1 || got.Friends[0] != "Kramer" {
+		t.Errorf("friends = %v", got.Friends)
+	}
+	resp := getJSON(t, srv.URL+"/api/friends", nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing user → %d", resp.StatusCode)
+	}
+}
+
+// TestFriendsBookingsEndpoint covers the Figure 4 view over HTTP.
+func TestFriendsBookingsEndpoint(t *testing.T) {
+	s, srv := newServer(t)
+	s.Befriend("Jerry", "Kramer")
+	b, err := s.BookDirect("Kramer", 122)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Await(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var flights []FlightInfo
+	getJSON(t, srv.URL+"/api/flights?user=Jerry&dest=Paris", &flights)
+	if len(flights) != 3 {
+		t.Fatalf("flights = %v", flights)
+	}
+	found := false
+	for _, f := range flights {
+		if f.Fno == 122 {
+			if len(f.FriendsBooked) != 1 || f.FriendsBooked[0] != "Kramer" {
+				t.Errorf("friends on 122 = %v", f.FriendsBooked)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Error("flight 122 missing from search")
+	}
+}
+
+// TestBookEndpointPairCoordination drives E2 over HTTP: the second booking
+// returns confirmed synchronously because the partner is already waiting.
+func TestBookEndpointPairCoordination(t *testing.T) {
+	_, srv := newServer(t)
+	var first map[string]any
+	postJSON(t, srv.URL+"/api/book", bookRequest{User: "Jerry", Kind: "flight", Friends: []string{"Kramer"}, Dest: "Paris"}, &first)
+	if first["status"] != "pending" {
+		t.Fatalf("first booking = %v", first)
+	}
+	var second map[string]any
+	postJSON(t, srv.URL+"/api/book", bookRequest{User: "Kramer", Kind: "flight", Friends: []string{"Jerry"}, Dest: "Paris"}, &second)
+	if second["status"] != "confirmed" {
+		t.Fatalf("second booking = %v", second)
+	}
+	// Account view reflects the now-confirmed first booking.
+	var acct []map[string]any
+	getJSON(t, srv.URL+"/api/account?user=Jerry", &acct)
+	if len(acct) != 1 || acct[0]["status"] != "confirmed" {
+		t.Errorf("account = %v", acct)
+	}
+	// Flights agree.
+	if acct[0]["flight"] != second["flight"] {
+		t.Errorf("flights differ: %v vs %v", acct[0]["flight"], second["flight"])
+	}
+	// Inbox has the Facebook-style message.
+	var inbox []Message
+	getJSON(t, srv.URL+"/api/inbox?user=Jerry", &inbox)
+	if len(inbox) != 1 || !strings.Contains(inbox[0].Text, "confirmed") {
+		t.Errorf("inbox = %v", inbox)
+	}
+}
+
+func TestBookEndpointValidation(t *testing.T) {
+	_, srv := newServer(t)
+	cases := []bookRequest{
+		{},          // no user
+		{User: "J"}, // no dest for flight
+		{User: "J", Kind: "nope", Dest: "Paris"},
+		{User: "J", Kind: "seat", Dest: "Paris"}, // needs exactly one friend
+		{User: "J", Kind: "direct"},              // needs fno
+		{User: "J", Kind: "trip"},                // needs dest
+	}
+	for i, req := range cases {
+		resp := postJSON(t, srv.URL+"/api/book", req, nil)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("case %d: status %d", i, resp.StatusCode)
+		}
+	}
+	// GET on POST endpoints.
+	if resp := getJSON(t, srv.URL+"/api/book", nil); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /api/book → %d", resp.StatusCode)
+	}
+	if resp := getJSON(t, srv.URL+"/api/befriend", nil); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /api/befriend → %d", resp.StatusCode)
+	}
+}
+
+func TestAdminStateEndpoint(t *testing.T) {
+	_, srv := newServer(t)
+	postJSON(t, srv.URL+"/api/book", bookRequest{User: "Jerry", Kind: "flight", Friends: []string{"Kramer"}, Dest: "Paris"}, nil)
+	resp, err := http.Get(srv.URL + "/api/admin/state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body) //nolint:errcheck
+	body := buf.String()
+	for _, want := range []string{"Pending entangled queries (1)", "Reservation('Jerry', fno)"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("admin state missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestAdminGraphEndpoint(t *testing.T) {
+	_, srv := newServer(t)
+	postJSON(t, srv.URL+"/api/book", bookRequest{User: "Jerry", Kind: "flight", Friends: []string{"Kramer"}, Dest: "Paris"}, nil)
+	resp, err := http.Get(srv.URL + "/api/admin/graph")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body) //nolint:errcheck
+	if !strings.Contains(buf.String(), "digraph entanglement") {
+		t.Errorf("graph = %q", buf.String())
+	}
+}
+
+func TestAdminDiagnoseEndpoint(t *testing.T) {
+	_, srv := newServer(t)
+	var booked map[string]any
+	postJSON(t, srv.URL+"/api/book", bookRequest{User: "Jerry", Kind: "flight", Friends: []string{"Ghost"}, Dest: "Paris"}, &booked)
+	id := int64(booked["id"].(float64))
+	var d struct {
+		Summary       string
+		PerConstraint []struct {
+			Constraint   string
+			PendingHeads int
+		}
+	}
+	getJSON(t, fmt.Sprintf("%s/api/admin/diagnose?id=%d", srv.URL, id), &d)
+	if !strings.Contains(d.Summary, "no candidate cover") || len(d.PerConstraint) != 1 {
+		t.Errorf("diagnose = %+v", d)
+	}
+	if r := getJSON(t, srv.URL+"/api/admin/diagnose?id=999", nil); r.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown id → %d", r.StatusCode)
+	}
+	if r := getJSON(t, srv.URL+"/api/admin/diagnose?id=abc", nil); r.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad id → %d", r.StatusCode)
+	}
+}
+
+func TestIndexAndFlightsValidation(t *testing.T) {
+	_, srv := newServer(t)
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body) //nolint:errcheck
+	if !strings.Contains(buf.String(), "Youtopia travel demo") {
+		t.Error("index page missing")
+	}
+	if r := getJSON(t, srv.URL+"/nope", nil); r.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown path → %d", r.StatusCode)
+	}
+	if r := getJSON(t, srv.URL+"/api/flights?user=J", nil); r.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing dest → %d", r.StatusCode)
+	}
+	if r := getJSON(t, srv.URL+"/api/flights?user=J&dest=Paris&maxprice=abc", nil); r.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad maxprice → %d", r.StatusCode)
+	}
+	var flights []FlightInfo
+	getJSON(t, fmt.Sprintf("%s/api/flights?user=J&dest=Paris&maxprice=%d", srv.URL, 400), &flights)
+	if len(flights) != 1 || flights[0].Fno != 123 {
+		t.Errorf("maxprice filter: %v", flights)
+	}
+}
+
+// TestSeatBookingOverHTTP exercises kind=seat end to end.
+func TestSeatBookingOverHTTP(t *testing.T) {
+	_, srv := newServer(t)
+	var first, second map[string]any
+	postJSON(t, srv.URL+"/api/book", bookRequest{User: "Jerry", Kind: "seat", Friends: []string{"Kramer"}, Dest: "Paris"}, &first)
+	postJSON(t, srv.URL+"/api/book", bookRequest{User: "Kramer", Kind: "seat", Friends: []string{"Jerry"}, Dest: "Paris"}, &second)
+	if second["status"] != "confirmed" {
+		t.Fatalf("second = %v", second)
+	}
+	if second["seat"] == float64(0) {
+		t.Errorf("no seat assigned: %v", second)
+	}
+}

@@ -1,0 +1,171 @@
+// Package travel implements the middle tier of the paper's demonstration
+// application: a travel Web site where users coordinate flight and hotel
+// reservations with their friends (§2.2, §3.1).
+//
+// The package provides the "standard functionality of a travel Web site such
+// as searching for flights and hotels, selecting specific flights and
+// hotels", a simulated social network standing in for the Facebook API
+// (friend lists and notification messages — see the substitution table in
+// DESIGN.md), an account view of pending and confirmed reservations, and the
+// translation of coordination requests into entangled queries submitted to
+// the Youtopia core.
+package travel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Answer relation names used by the travel application.
+const (
+	RelFlight = "Reservation"      // (traveler STRING, fno INT)
+	RelHotel  = "HotelReservation" // (traveler STRING, hno INT)
+	RelSeat   = "SeatReservation"  // (traveler STRING, fno INT, seat INT)
+)
+
+// quote escapes a string for embedding as a SQL literal.
+func quote(s string) string { return "'" + strings.ReplaceAll(s, "'", "''") + "'" }
+
+// FlightFilter narrows the acceptable flights of a booking request — the
+// "certain date and price constraints" of the paper's intro.
+type FlightFilter struct {
+	Dest     string
+	Origin   string  // optional
+	MaxPrice float64 // 0 = unconstrained
+	// DayFrom/DayTo bound the departure day (inclusive); zero = open.
+	DayFrom, DayTo int
+	// Capacity, when positive, excludes flights that already hold that many
+	// reservations. Because the shared answer relation is an ordinary
+	// queryable table, the exclusion is just another residual predicate:
+	//   fno NOT IN (SELECT a2 FROM Reservation GROUP BY a2 HAVING COUNT(*) >= cap)
+	// — coordination composes with capacity without any special machinery.
+	Capacity int
+}
+
+func (f FlightFilter) subquery() string {
+	conds := []string{"dest = " + quote(f.Dest)}
+	if f.Origin != "" {
+		conds = append(conds, "origin = "+quote(f.Origin))
+	}
+	if f.MaxPrice > 0 {
+		conds = append(conds, fmt.Sprintf("price <= %g", f.MaxPrice))
+	}
+	if f.DayFrom > 0 || f.DayTo > 0 {
+		from, to := f.DayFrom, f.DayTo
+		if from == 0 {
+			from = 1
+		}
+		if to == 0 {
+			to = 1 << 30
+		}
+		conds = append(conds, fmt.Sprintf("day BETWEEN %d AND %d", from, to))
+	}
+	return "SELECT fno FROM Flights WHERE " + strings.Join(conds, " AND ")
+}
+
+// HotelFilter narrows acceptable hotels.
+type HotelFilter struct {
+	City     string
+	MaxPrice float64
+	// NameLike, when set, restricts hotels by name with a SQL LIKE pattern
+	// (% and _ wildcards).
+	NameLike string
+}
+
+func (h HotelFilter) subquery() string {
+	conds := []string{"city = " + quote(h.City)}
+	if h.MaxPrice > 0 {
+		conds = append(conds, fmt.Sprintf("price <= %g", h.MaxPrice))
+	}
+	if h.NameLike != "" {
+		conds = append(conds, "name LIKE "+quote(h.NameLike))
+	}
+	return "SELECT hno FROM Hotels WHERE " + strings.Join(conds, " AND ")
+}
+
+// BuildFlightQuery renders the entangled query for "book a flight matching
+// filter, on the same flight as each of friends". With no friends it
+// degenerates to an uncoordinated (immediately answerable) booking — the
+// direct-booking path of Figure 4.
+func BuildFlightQuery(self string, friends []string, f FlightFilter) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "SELECT %s, fno INTO ANSWER %s\nWHERE fno IN (%s)", quote(self), RelFlight, f.subquery())
+	if f.Capacity > 0 {
+		group := len(friends) + 1
+		if group > f.Capacity {
+			// The whole group can never fit; make the request unmatchable
+			// rather than silently over-booking.
+			b.WriteString("\nAND 1 = 0")
+		} else {
+			// Leave headroom for this whole coordination group: the match
+			// installs `group` tuples at once.
+			fmt.Fprintf(&b, "\nAND fno NOT IN (SELECT a2 FROM %s GROUP BY a2 HAVING COUNT(*) > %d)",
+				RelFlight, f.Capacity-group)
+		}
+	}
+	for _, fr := range friends {
+		fmt.Fprintf(&b, "\nAND (%s, fno) IN ANSWER %s", quote(fr), RelFlight)
+	}
+	b.WriteString("\nCHOOSE 1")
+	return b.String()
+}
+
+// BuildTripQuery renders the two-atom entangled query for "book a flight AND
+// a hotel, both shared with each of friends" — §3.1's flight-and-hotel
+// scenario, including its group variant.
+func BuildTripQuery(self string, friends []string, f FlightFilter, h HotelFilter) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "SELECT (%s, fno) INTO ANSWER %s, (%s, hno) INTO ANSWER %s\n",
+		quote(self), RelFlight, quote(self), RelHotel)
+	fmt.Fprintf(&b, "WHERE fno IN (%s)\nAND hno IN (%s)", f.subquery(), h.subquery())
+	for _, fr := range friends {
+		fmt.Fprintf(&b, "\nAND (%s, fno) IN ANSWER %s", quote(fr), RelFlight)
+		fmt.Fprintf(&b, "\nAND (%s, hno) IN ANSWER %s", quote(fr), RelHotel)
+	}
+	b.WriteString("\nCHOOSE 1")
+	return b.String()
+}
+
+// BuildAdjacentSeatQuery renders the entangled query for "fly in an adjacent
+// seat to friend" (the first §3.1 scenario offers this stronger variant).
+// Adjacency is encoded relationally: the SeatPairs base table lists the
+// adjacent (seat1, seat2) pairs of every flight symmetrically, so two
+// symmetric queries ground to complementary seats of one pair by pure
+// unification — no arithmetic across queries is needed.
+func BuildAdjacentSeatQuery(self, friend string, f FlightFilter) string {
+	return fmt.Sprintf(`SELECT %s, fno, myseat INTO ANSWER %s
+WHERE (fno, myseat, yourseat) IN (SELECT p.fno, p.seat1, p.seat2 FROM SeatPairs p, Flights f WHERE p.fno = f.fno AND %s)
+AND (%s, fno, yourseat) IN ANSWER %s
+CHOOSE 1`,
+		quote(self), RelSeat,
+		strings.Join(flightConds("f", f), " AND "),
+		quote(friend), RelSeat)
+}
+
+func flightConds(alias string, f FlightFilter) []string {
+	conds := []string{alias + ".dest = " + quote(f.Dest)}
+	if f.Origin != "" {
+		conds = append(conds, alias+".origin = "+quote(f.Origin))
+	}
+	if f.MaxPrice > 0 {
+		conds = append(conds, fmt.Sprintf("%s.price <= %g", alias, f.MaxPrice))
+	}
+	if f.DayFrom > 0 || f.DayTo > 0 {
+		from, to := f.DayFrom, f.DayTo
+		if from == 0 {
+			from = 1
+		}
+		if to == 0 {
+			to = 1 << 30
+		}
+		conds = append(conds, fmt.Sprintf("%s.day BETWEEN %d AND %d", alias, from, to))
+	}
+	return conds
+}
+
+// BuildDirectBooking renders the constraint-free entangled query used when a
+// user, having seen a friend's existing booking (Figure 4), books a specific
+// flight directly.
+func BuildDirectBooking(self string, fno int64) string {
+	return fmt.Sprintf("SELECT %s, fno INTO ANSWER %s\nWHERE fno = %d\nCHOOSE 1", quote(self), RelFlight, fno)
+}

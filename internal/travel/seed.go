@@ -1,0 +1,148 @@
+package travel
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/value"
+)
+
+// Destinations available in the demo catalog; Paris first, as in the paper.
+var Destinations = []string{"Paris", "Rome", "London", "Berlin", "Oslo", "Madrid"}
+
+// Airlines used for seeding, echoing Figure 1(a).
+var Airlines = []string{"United", "Lufthansa", "Alitalia", "AirFrance", "KLM"}
+
+// SeedConfig controls the size of the generated travel catalog.
+type SeedConfig struct {
+	FlightsPerDest int // default 8
+	HotelsPerCity  int // default 6
+	SeatRows       int // adjacent-seat pairs per flight come from this many rows (default 4)
+	Seed           int64
+}
+
+func (c SeedConfig) withDefaults() SeedConfig {
+	if c.FlightsPerDest == 0 {
+		c.FlightsPerDest = 8
+	}
+	if c.HotelsPerCity == 0 {
+		c.HotelsPerCity = 6
+	}
+	if c.SeatRows == 0 {
+		c.SeatRows = 4
+	}
+	return c
+}
+
+// Schema is the DDL of the travel database.
+const Schema = `
+CREATE TABLE Flights (fno INT, origin STRING, dest STRING, day INT, price FLOAT, airline STRING, PRIMARY KEY (fno));
+CREATE TABLE Hotels (hno INT, city STRING, name STRING, price FLOAT, PRIMARY KEY (hno));
+CREATE TABLE SeatPairs (fno INT, seat1 INT, seat2 INT);
+CREATE INDEX ON Flights (dest);
+CREATE INDEX ON Hotels (city);
+CREATE INDEX ON SeatPairs (fno);
+`
+
+// Seed creates and populates the travel schema on a Youtopia system.
+func Seed(sys *core.System, cfg SeedConfig) error {
+	cfg = cfg.withDefaults()
+	if err := sys.Exec(Schema); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	var flights, seats, hotels []string
+	fno := 100
+	for _, dest := range Destinations {
+		for i := 0; i < cfg.FlightsPerDest; i++ {
+			price := 150 + rng.Float64()*450
+			day := 1 + rng.Intn(28)
+			airline := Airlines[rng.Intn(len(Airlines))]
+			flights = append(flights, fmt.Sprintf("(%d, 'New York', %s, %d, %.2f, %s)",
+				fno, quote(dest), day, price, quote(airline)))
+			// Symmetric adjacent pairs: seats 1..6 per row, adjacency within
+			// a row; both orientations so symmetric queries unify.
+			for row := 0; row < cfg.SeatRows; row++ {
+				for s := 1; s < 6; s++ {
+					a, b := row*6+s, row*6+s+1
+					seats = append(seats, fmt.Sprintf("(%d, %d, %d)", fno, a, b))
+					seats = append(seats, fmt.Sprintf("(%d, %d, %d)", fno, b, a))
+				}
+			}
+			fno++
+		}
+	}
+	hno := 1
+	for _, city := range Destinations {
+		for i := 0; i < cfg.HotelsPerCity; i++ {
+			price := 60 + rng.Float64()*240
+			hotels = append(hotels, fmt.Sprintf("(%d, %s, %s, %.2f)",
+				hno, quote(city), quote(fmt.Sprintf("Hotel %s %d", city, i+1)), price))
+			hno++
+		}
+	}
+	if err := sys.Exec("INSERT INTO Flights VALUES " + strings.Join(flights, ", ")); err != nil {
+		return err
+	}
+	if err := sys.Exec("INSERT INTO Hotels VALUES " + strings.Join(hotels, ", ")); err != nil {
+		return err
+	}
+	// Seats can be a large statement; insert in chunks.
+	for i := 0; i < len(seats); i += 500 {
+		end := i + 500
+		if end > len(seats) {
+			end = len(seats)
+		}
+		if err := sys.Exec("INSERT INTO SeatPairs VALUES " + strings.Join(seats[i:end], ", ")); err != nil {
+			return err
+		}
+	}
+	return EnsureAnswerRelations(sys)
+}
+
+// EnsureAnswerRelations pre-creates the travel answer relations (empty) so
+// residual predicates — like FlightFilter.Capacity's occupancy subquery —
+// can reference them before the first coordinated answer is installed.
+func EnsureAnswerRelations(sys *core.System) error {
+	protos := map[string]value.Tuple{
+		RelFlight: value.NewTuple("", 0),
+		RelHotel:  value.NewTuple("", 0),
+		RelSeat:   value.NewTuple("", 0, 0),
+	}
+	for _, name := range []string{RelFlight, RelHotel, RelSeat} {
+		if _, err := sys.Answers().Ensure(name, protos[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SeedFigure1 loads exactly the Figure 1(a) database (plus the airline
+// column folded into Flights), for tests and the quickstart example.
+func SeedFigure1(sys *core.System) error {
+	if err := sys.Exec(`
+		CREATE TABLE Flights (fno INT, origin STRING, dest STRING, day INT, price FLOAT, airline STRING, PRIMARY KEY (fno));
+		CREATE TABLE Hotels (hno INT, city STRING, name STRING, price FLOAT, PRIMARY KEY (hno));
+		CREATE TABLE SeatPairs (fno INT, seat1 INT, seat2 INT);
+		INSERT INTO Flights VALUES
+			(122, 'New York', 'Paris', 10, 420.00, 'United'),
+			(123, 'New York', 'Paris', 11, 380.00, 'United'),
+			(134, 'New York', 'Paris', 12, 450.00, 'Lufthansa'),
+			(136, 'New York', 'Rome', 10, 390.00, 'Alitalia');
+		INSERT INTO Hotels VALUES
+			(7, 'Paris', 'Hotel Paris 1', 120.00),
+			(8, 'Paris', 'Hotel Paris 2', 95.00),
+			(9, 'Rome', 'Hotel Roma', 110.00);
+		INSERT INTO SeatPairs VALUES
+			(122, 1, 2), (122, 2, 1), (122, 2, 3), (122, 3, 2),
+			(123, 1, 2), (123, 2, 1),
+			(134, 1, 2), (134, 2, 1),
+			(136, 1, 2), (136, 2, 1);
+	`); err != nil {
+		return err
+	}
+	return EnsureAnswerRelations(sys)
+}

@@ -1,0 +1,406 @@
+package travel
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func newService(t *testing.T) *Service {
+	t.Helper()
+	sys := core.NewSystem(core.Config{})
+	if err := SeedFigure1(sys); err != nil {
+		t.Fatal(err)
+	}
+	return NewService(sys)
+}
+
+func await(t *testing.T, b *Booking) {
+	t.Helper()
+	if st, err := b.Await(2 * time.Second); err != nil || st != StatusConfirmed {
+		t.Fatalf("booking %d: status %s, err %v", b.ID, st, err)
+	}
+}
+
+// TestBookFlightWithFriend is E2: the §3.1 workflow — Jerry picks Kramer
+// from his friend list, requests the same flight, Kramer submits the
+// symmetric request, both get confirmed and notified.
+func TestBookFlightWithFriend(t *testing.T) {
+	s := newService(t)
+	s.Befriend("Jerry", "Kramer")
+
+	friends := s.Friends("Jerry")
+	if len(friends) != 1 || friends[0] != "Kramer" {
+		t.Fatalf("friends = %v", friends)
+	}
+
+	bJ, err := s.BookFlight("Jerry", []string{"Kramer"}, FlightFilter{Dest: "Paris"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bJ.Status() != StatusPending {
+		t.Fatalf("status = %s before partner arrives", bJ.Status())
+	}
+	bK, err := s.BookFlight("Kramer", []string{"Jerry"}, FlightFilter{Dest: "Paris"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	await(t, bJ)
+	await(t, bK)
+
+	fJ, _, _ := bJ.Details()
+	fK, _, _ := bK.Details()
+	if fJ != fK {
+		t.Errorf("different flights: %d vs %d", fJ, fK)
+	}
+	if fJ != 122 && fJ != 123 && fJ != 134 {
+		t.Errorf("not a Paris flight: %d", fJ)
+	}
+
+	// Facebook-style notification.
+	inbox := s.Inbox("Jerry")
+	if len(inbox) != 1 || !strings.Contains(inbox[0].Text, "confirmed") ||
+		!strings.Contains(inbox[0].Text, "Kramer") {
+		t.Errorf("inbox = %v", inbox)
+	}
+	// Account view.
+	acct := s.Account("Jerry")
+	if len(acct) != 1 || acct[0].Status != StatusConfirmed {
+		t.Errorf("account = %+v", acct)
+	}
+	if rs := s.Reservations("Jerry"); len(rs) != 1 || rs[0] != fJ {
+		t.Errorf("reservations = %v", rs)
+	}
+}
+
+// TestFilterConstraints: price/date constraints restrict the coordinated
+// choice ("satisfies certain date and price constraints").
+func TestFilterConstraints(t *testing.T) {
+	s := newService(t)
+	// Only flight 123 costs <= 400 among Paris flights.
+	bJ, err := s.BookFlight("Jerry", []string{"Kramer"}, FlightFilter{Dest: "Paris", MaxPrice: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bK, err := s.BookFlight("Kramer", []string{"Jerry"}, FlightFilter{Dest: "Paris", MaxPrice: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	await(t, bJ)
+	await(t, bK)
+	fJ, _, _ := bJ.Details()
+	if fJ != 123 {
+		t.Errorf("flight = %d, want 123 (the only one under 400)", fJ)
+	}
+}
+
+// TestAsymmetricFiltersIntersect: partners with different constraints must
+// land on a flight satisfying both.
+func TestAsymmetricFiltersIntersect(t *testing.T) {
+	s := newService(t)
+	// Jerry wants day <= 11, Kramer wants price <= 400: only 123 fits both.
+	bJ, _ := s.BookFlight("Jerry", []string{"Kramer"}, FlightFilter{Dest: "Paris", DayTo: 11})
+	bK, _ := s.BookFlight("Kramer", []string{"Jerry"}, FlightFilter{Dest: "Paris", MaxPrice: 400})
+	await(t, bJ)
+	await(t, bK)
+	fJ, _, _ := bJ.Details()
+	fK, _, _ := bK.Details()
+	if fJ != 123 || fK != 123 {
+		t.Errorf("flights = %d, %d; want 123", fJ, fK)
+	}
+}
+
+// TestImpossibleIntersectionStaysPending: disjoint constraints never match.
+func TestImpossibleIntersectionStaysPending(t *testing.T) {
+	s := newService(t)
+	// Jerry insists on day <= 10 (only 122), Kramer on price <= 400 (only 123).
+	bJ, _ := s.BookFlight("Jerry", []string{"Kramer"}, FlightFilter{Dest: "Paris", DayTo: 10})
+	bK, _ := s.BookFlight("Kramer", []string{"Jerry"}, FlightFilter{Dest: "Paris", MaxPrice: 400})
+	time.Sleep(50 * time.Millisecond)
+	if bJ.Status() != StatusPending || bK.Status() != StatusPending {
+		t.Errorf("statuses = %s, %s; want pending", bJ.Status(), bK.Status())
+	}
+	// Withdraw Jerry's request; he is notified of the cancellation.
+	if !s.CancelBooking(bJ) {
+		t.Fatal("cancel failed")
+	}
+	if st, _ := bJ.Await(time.Second); st != StatusCanceled {
+		t.Errorf("status = %s", st)
+	}
+	if inbox := s.Inbox("Jerry"); len(inbox) != 1 || !strings.Contains(inbox[0].Text, "canceled") {
+		t.Errorf("inbox = %v", inbox)
+	}
+}
+
+// TestTripBooking is E3: flight + hotel in one entangled query.
+func TestTripBooking(t *testing.T) {
+	s := newService(t)
+	f := FlightFilter{Dest: "Paris"}
+	h := HotelFilter{City: "Paris"}
+	bJ, err := s.BookTrip("Jerry", []string{"Kramer"}, f, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bK, err := s.BookTrip("Kramer", []string{"Jerry"}, f, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	await(t, bJ)
+	await(t, bK)
+	fJ, hJ, _ := bJ.Details()
+	fK, hK, _ := bK.Details()
+	if fJ != fK || hJ != hK {
+		t.Errorf("trip mismatch: (%d,%d) vs (%d,%d)", fJ, hJ, fK, hK)
+	}
+	if hJ != 7 && hJ != 8 {
+		t.Errorf("hotel %d is not in Paris", hJ)
+	}
+	if msg := s.Inbox("Jerry")[0].Text; !strings.Contains(msg, "hotel") {
+		t.Errorf("message lacks hotel: %q", msg)
+	}
+}
+
+// TestGroupFlightBooking is E5: four friends on one flight via the service.
+func TestGroupFlightBooking(t *testing.T) {
+	s := newService(t)
+	group := []string{"Jerry", "Kramer", "Elaine", "George"}
+	bookings := make([]*Booking, len(group))
+	for i, self := range group {
+		var friends []string
+		for j, f := range group {
+			if i != j {
+				friends = append(friends, f)
+			}
+		}
+		b, err := s.BookFlight(self, friends, FlightFilter{Dest: "Paris"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bookings[i] = b
+	}
+	flights := map[int64]bool{}
+	for _, b := range bookings {
+		await(t, b)
+		f, _, _ := b.Details()
+		flights[f] = true
+	}
+	if len(flights) != 1 {
+		t.Errorf("group split across flights %v", flights)
+	}
+}
+
+// TestAdjacentSeats: the stronger §3.1 variant — same flight AND adjacent
+// seats, by relational encoding of adjacency.
+func TestAdjacentSeats(t *testing.T) {
+	s := newService(t)
+	bJ, err := s.BookAdjacentSeat("Jerry", "Kramer", FlightFilter{Dest: "Paris"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bK, err := s.BookAdjacentSeat("Kramer", "Jerry", FlightFilter{Dest: "Paris"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	await(t, bJ)
+	await(t, bK)
+	fJ, _, sJ := bJ.Details()
+	fK, _, sK := bK.Details()
+	if fJ != fK {
+		t.Fatalf("different flights: %d vs %d", fJ, fK)
+	}
+	if sJ == sK {
+		t.Fatalf("same seat %d assigned twice", sJ)
+	}
+	diff := sJ - sK
+	if diff != 1 && diff != -1 {
+		t.Errorf("seats %d and %d are not adjacent", sJ, sK)
+	}
+}
+
+// TestFigure4FriendsBookingsView: browse flights and see friends' bookings,
+// then book directly.
+func TestFigure4FriendsBookingsView(t *testing.T) {
+	s := newService(t)
+	s.Befriend("Jerry", "Kramer")
+	// Kramer books flight 122 directly.
+	bK, err := s.BookDirect("Kramer", 122)
+	if err != nil {
+		t.Fatal(err)
+	}
+	await(t, bK)
+
+	flights, err := s.SearchFlightsWithFriends("Jerry", FlightFilter{Dest: "Paris"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var on122 []string
+	for _, f := range flights {
+		if f.Fno == 122 {
+			on122 = f.FriendsBooked
+		} else if len(f.FriendsBooked) != 0 {
+			t.Errorf("unexpected friends on %d: %v", f.Fno, f.FriendsBooked)
+		}
+	}
+	if len(on122) != 1 || on122[0] != "Kramer" {
+		t.Fatalf("friends on 122 = %v", on122)
+	}
+	// Jerry decides and books the same flight directly.
+	bJ, err := s.BookDirect("Jerry", 122)
+	if err != nil {
+		t.Fatal(err)
+	}
+	await(t, bJ)
+	fJ, _, _ := bJ.Details()
+	if fJ != 122 {
+		t.Errorf("direct booking got %d", fJ)
+	}
+}
+
+// TestNonFriendBookingsInvisible: only friends' bookings are shown.
+func TestNonFriendBookingsInvisible(t *testing.T) {
+	s := newService(t)
+	bN, _ := s.BookDirect("Newman", 122) // not Jerry's friend
+	await(t, bN)
+	flights, err := s.SearchFlightsWithFriends("Jerry", FlightFilter{Dest: "Paris"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range flights {
+		if len(f.FriendsBooked) != 0 {
+			t.Errorf("stranger's booking leaked into Jerry's view: %v", f)
+		}
+	}
+}
+
+// TestSearchHotelsWithFriends: the hotel-side Figure 4 view plus LIKE name
+// filtering.
+func TestSearchHotelsWithFriends(t *testing.T) {
+	s := newService(t)
+	s.Befriend("Jerry", "Kramer")
+
+	// Kramer and Jerry coordinate a Paris trip; Kramer's hotel booking
+	// should then surface in Jerry's hotel search.
+	bJ, _ := s.BookTrip("Jerry", []string{"Kramer"}, FlightFilter{Dest: "Paris"}, HotelFilter{City: "Paris"})
+	bK, _ := s.BookTrip("Kramer", []string{"Jerry"}, FlightFilter{Dest: "Paris"}, HotelFilter{City: "Paris"})
+	await(t, bJ)
+	await(t, bK)
+	_, hotel, _ := bK.Details()
+
+	hotels, err := s.SearchHotelsWithFriends("Jerry", HotelFilter{City: "Paris"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, h := range hotels {
+		if h.Hno == hotel {
+			found = true
+			if len(h.FriendsBooked) != 1 || h.FriendsBooked[0] != "Kramer" {
+				t.Errorf("friends at hotel %d = %v", h.Hno, h.FriendsBooked)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("hotel %d missing from search: %v", hotel, hotels)
+	}
+
+	// LIKE name filter narrows results.
+	named, err := s.SearchHotelsWithFriends("Jerry", HotelFilter{City: "Paris", NameLike: "%Paris 1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(named) != 1 || named[0].Name != "Hotel Paris 1" {
+		t.Errorf("LIKE filter = %v", named)
+	}
+}
+
+func TestSearchOrdersAndFilters(t *testing.T) {
+	s := newService(t)
+	flights, err := s.SearchFlights(FlightFilter{Dest: "Paris"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flights) != 3 {
+		t.Fatalf("flights = %v", flights)
+	}
+	if flights[0].Price > flights[1].Price || flights[1].Price > flights[2].Price {
+		t.Error("not sorted by price")
+	}
+	hotels, err := s.SearchHotels(HotelFilter{City: "Paris", MaxPrice: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hotels) != 1 || hotels[0][0].Int() != 8 {
+		t.Errorf("hotels = %v", hotels)
+	}
+}
+
+func TestSeedDemoCatalog(t *testing.T) {
+	sys := core.NewSystem(core.Config{})
+	if err := Seed(sys, SeedConfig{Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Query("SELECT fno FROM Flights WHERE dest = 'Paris'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 8 {
+		t.Errorf("Paris flights = %d, want 8 (default FlightsPerDest)", len(res.Rows))
+	}
+	res, err = sys.Query("SELECT hno FROM Hotels WHERE city = 'Rome'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Errorf("Rome hotels = %d", len(res.Rows))
+	}
+	// Seat pairs must be symmetric.
+	res, err = sys.Query("SELECT seat1, seat2 FROM SeatPairs WHERE fno = 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := map[[2]int64]bool{}
+	for _, r := range res.Rows {
+		pairs[[2]int64{r[0].Int(), r[1].Int()}] = true
+	}
+	for p := range pairs {
+		if !pairs[[2]int64{p[1], p[0]}] {
+			t.Errorf("pair %v lacks mirror", p)
+		}
+	}
+}
+
+func TestBuildQueriesAreParseableAndEscape(t *testing.T) {
+	// Names with quotes must not break the generated SQL.
+	srcs := []string{
+		BuildFlightQuery("O'Brien", []string{"D'Arcy"}, FlightFilter{Dest: "Paris", MaxPrice: 300, DayFrom: 2, DayTo: 9, Origin: "New York"}),
+		BuildTripQuery("O'Brien", []string{"D'Arcy", "Mc'X"}, FlightFilter{Dest: "Rome"}, HotelFilter{City: "Rome", MaxPrice: 200}),
+		BuildAdjacentSeatQuery("O'Brien", "D'Arcy", FlightFilter{Dest: "Paris"}),
+		BuildDirectBooking("O'Brien", 122),
+	}
+	sys := core.NewSystem(core.Config{})
+	if err := SeedFigure1(sys); err != nil {
+		t.Fatal(err)
+	}
+	for _, src := range srcs {
+		if _, err := sys.Submit(src, "test"); err != nil {
+			t.Errorf("generated SQL rejected: %v\n%s", err, src)
+		}
+	}
+}
+
+func TestAccountOrdersPendingFirst(t *testing.T) {
+	s := newService(t)
+	b1, _ := s.BookDirect("Jerry", 122)
+	await(t, b1)
+	b2, _ := s.BookFlight("Jerry", []string{"Nobody"}, FlightFilter{Dest: "Paris"})
+	_ = b2
+	acct := s.Account("Jerry")
+	if len(acct) != 2 {
+		t.Fatalf("account = %v", acct)
+	}
+	if acct[0].Status != StatusPending || acct[1].Status != StatusConfirmed {
+		t.Errorf("ordering: %v then %v", acct[0].Status, acct[1].Status)
+	}
+}

@@ -1,0 +1,180 @@
+package travel
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/coord"
+	"repro/internal/core"
+)
+
+// TestSimulationMixedWorkload is a day-in-the-life soak test: many users
+// concurrently search, book in pairs and groups, book trips, book directly
+// and cancel — with the coordinator's match-invariant checker armed. At the
+// end, every confirmed coordination must be internally consistent and the
+// books must balance.
+func TestSimulationMixedWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	sys := core.NewSystem(core.Config{Coord: coord.Options{
+		UseIndex: true, GroundSmallestFirst: true, Seed: 1234, ValidateMatches: true,
+	}})
+	if err := Seed(sys, SeedConfig{Seed: 1234}); err != nil {
+		t.Fatal(err)
+	}
+	svc := NewService(sys)
+
+	const actors = 24
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		confirmed []*Booking
+		canceled  int
+	)
+	record := func(b *Booking) {
+		mu.Lock()
+		confirmed = append(confirmed, b)
+		mu.Unlock()
+	}
+
+	for a := 0; a < actors; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(a)))
+			partner := fmt.Sprintf("sim%d", (a+1)%actors) // ring partner
+			self := fmt.Sprintf("sim%d", a)
+			for round := 0; round < 6; round++ {
+				dest := Destinations[rng.Intn(len(Destinations))]
+				switch rng.Intn(5) {
+				case 0: // search (read-only)
+					if _, err := svc.SearchFlightsWithFriends(self, FlightFilter{Dest: dest}); err != nil {
+						t.Error(err)
+						return
+					}
+				case 1: // direct booking
+					flights, err := svc.SearchFlights(FlightFilter{Dest: dest})
+					if err != nil || len(flights) == 0 {
+						t.Errorf("search: %v", err)
+						return
+					}
+					b, err := svc.BookDirect(self, flights[rng.Intn(len(flights))].Fno)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if _, err := b.Await(10 * time.Second); err != nil {
+						t.Error(err)
+						return
+					}
+					record(b)
+				case 2: // pair booking on a FIXED ring destination so partners agree
+					ringDest := Destinations[((a+1)/2+round)%len(Destinations)]
+					who := self + "_r" + fmt.Sprint(round)
+					them := partner + "_r" + fmt.Sprint(round)
+					// Each actor plays both halves to guarantee a match
+					// regardless of scheduling.
+					b1, err := svc.BookFlight(who, []string{them}, FlightFilter{Dest: ringDest})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					b2, err := svc.BookFlight(them, []string{who}, FlightFilter{Dest: ringDest})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if _, err := b1.Await(10 * time.Second); err != nil {
+						t.Error(err)
+						return
+					}
+					if _, err := b2.Await(10 * time.Second); err != nil {
+						t.Error(err)
+						return
+					}
+					f1, _, _ := b1.Details()
+					f2, _, _ := b2.Details()
+					if f1 != f2 {
+						t.Errorf("ring pair split: %d vs %d", f1, f2)
+						return
+					}
+					record(b1)
+					record(b2)
+				case 3: // trip with a same-round synthetic partner
+					pa := fmt.Sprintf("trip%d_%d_a", a, round)
+					pb := fmt.Sprintf("trip%d_%d_b", a, round)
+					f := FlightFilter{Dest: dest}
+					h := HotelFilter{City: dest}
+					b1, err := svc.BookTrip(pa, []string{pb}, f, h)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					b2, err := svc.BookTrip(pb, []string{pa}, f, h)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					for _, b := range []*Booking{b1, b2} {
+						if _, err := b.Await(10 * time.Second); err != nil {
+							t.Error(err)
+							return
+						}
+						record(b)
+					}
+				case 4: // submit-then-cancel (partner never arrives)
+					ghost := fmt.Sprintf("ghost%d_%d", a, round)
+					b, err := svc.BookFlight(self+"_c", []string{ghost}, FlightFilter{Dest: dest})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if svc.CancelBooking(b) {
+						if st, _ := b.Await(5 * time.Second); st == StatusCanceled {
+							mu.Lock()
+							canceled++
+							mu.Unlock()
+						}
+					}
+				}
+			}
+		}(a)
+	}
+	wg.Wait()
+
+	// Global consistency: every confirmed booking's flight appears in the
+	// answer relation under its user.
+	byTraveler := map[string][]int64{}
+	for _, tup := range sys.Answers().Tuples(RelFlight) {
+		byTraveler[tup[0].Str()] = append(byTraveler[tup[0].Str()], tup[1].Int())
+	}
+	for _, b := range confirmed {
+		if b.Status() != StatusConfirmed {
+			t.Errorf("booking %d recorded but %s", b.ID, b.Status())
+			continue
+		}
+		fl, _, _ := b.Details()
+		if fl == 0 {
+			continue // hotel-only share of a trip (flight recorded too in our kinds)
+		}
+		found := false
+		for _, got := range byTraveler[b.User] {
+			if got == fl {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("booking %d (user %s, flight %d) missing from answer relation", b.ID, b.User, fl)
+		}
+	}
+	st := sys.Coordinator().Stats()
+	if st.Answered+st.Canceled != st.Submitted-uint64(sys.Coordinator().PendingCount()) {
+		t.Errorf("books don't balance: %+v, pending %d", st, sys.Coordinator().PendingCount())
+	}
+	t.Logf("simulation: %d confirmed bookings, %d cancels, stats %+v", len(confirmed), canceled, st)
+}

@@ -1,0 +1,122 @@
+package txn
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// TestNoDirtyReads: a reader blocked by a writer's exclusive lock never
+// observes uncommitted state — after the writer rolls back, the reader sees
+// the original rows.
+func TestNoDirtyReads(t *testing.T) {
+	m, tbl := setup(t)
+	writer := m.Begin()
+	if _, err := writer.Insert("Flights", value.NewTuple(999, "Phantom")); err != nil {
+		t.Fatal(err)
+	}
+
+	sawPhantomRow := make(chan bool, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		reader := m.Begin()
+		defer reader.Rollback()
+		found := false
+		reader.Scan("Flights", func(_ storage.RowID, row value.Tuple) bool { //nolint:errcheck
+			if row[0].Int() == 999 {
+				found = true
+			}
+			return true
+		})
+		sawPhantomRow <- found
+	}()
+
+	// Give the reader time to block on the writer's lock, then abort.
+	time.Sleep(30 * time.Millisecond)
+	writer.Rollback()
+	wg.Wait()
+	if <-sawPhantomRow {
+		t.Error("reader observed uncommitted (rolled back) insert")
+	}
+	if got := tbl.LookupEq([]int{0}, value.NewTuple(999)); len(got) != 0 {
+		t.Error("phantom row survived rollback")
+	}
+}
+
+// TestNoLostUpdates: concurrent read-modify-write increments under 2PL never
+// lose updates.
+func TestNoLostUpdates(t *testing.T) {
+	cat := storage.NewCatalog()
+	schema := value.NewSchema(value.Col("id", value.TypeInt), value.Col("n", value.TypeInt))
+	tbl, _ := cat.Create("Counter", schema, "id")
+	rowID, _ := tbl.Insert(value.NewTuple(1, 0))
+	m := NewManager(cat)
+
+	const workers, iters = 8, 20
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				err := m.RunAtomic(func(tx *Txn) error {
+					// Exclusive first: read-modify-write under one lock.
+					if err := tx.Lock("Counter", Exclusive); err != nil {
+						return err
+					}
+					row, err := tx.Get("Counter", rowID)
+					if err != nil {
+						return err
+					}
+					return tx.Update("Counter", rowID, value.NewTuple(1, row[1].Int()+1))
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	row, _ := tbl.Get(rowID)
+	if got := row[1].Int(); got != workers*iters {
+		t.Errorf("counter = %d, want %d (lost updates)", got, workers*iters)
+	}
+}
+
+// TestRepeatableReadWithinTxn: two scans inside one transaction see the same
+// rows even while another writer is trying to insert (it blocks on our S
+// lock until we finish).
+func TestRepeatableReadWithinTxn(t *testing.T) {
+	m, _ := setup(t)
+	reader := m.Begin()
+	defer reader.Rollback()
+
+	count := func() int {
+		n := 0
+		reader.Scan("Flights", func(storage.RowID, value.Tuple) bool { n++; return true }) //nolint:errcheck
+		return n
+	}
+	before := count()
+
+	writerDone := make(chan error, 1)
+	go func() {
+		writerDone <- m.RunAtomic(func(tx *Txn) error {
+			_, err := tx.Insert("Flights", value.NewTuple(777, "Sneaky"))
+			return err
+		})
+	}()
+	time.Sleep(20 * time.Millisecond) // writer now blocked on our shared lock
+	if after := count(); after != before {
+		t.Errorf("non-repeatable read: %d then %d", before, after)
+	}
+	reader.Rollback()
+	if err := <-writerDone; err != nil {
+		t.Fatalf("writer failed after reader finished: %v", err)
+	}
+}

@@ -1,0 +1,215 @@
+// Package txn provides transactions over the storage engine: strict
+// two-phase locking at table granularity with an undo log for rollback.
+//
+// The coordination component relies on this layer for the paper's central
+// atomicity guarantee: when a set of entangled queries matches, their answer
+// tuples and any accompanying updates are installed in ONE transaction, so
+// either every query in the match observes the coordinated outcome or none
+// does. Deadlocks are resolved by lock-wait timeouts (the victim aborts and
+// the caller retries), and by offering sorted bulk acquisition for callers —
+// like the coordinator — that know their lock set up front, which makes them
+// deadlock-free by the ordered-resource argument.
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// LockMode distinguishes shared (read) from exclusive (write) table locks.
+type LockMode uint8
+
+// Lock modes.
+const (
+	Shared LockMode = iota
+	Exclusive
+)
+
+func (m LockMode) String() string {
+	if m == Exclusive {
+		return "X"
+	}
+	return "S"
+}
+
+// ErrLockTimeout is returned when a lock could not be acquired within the
+// manager's timeout; the transaction should abort and retry. Timeouts double
+// as the deadlock-resolution mechanism.
+var ErrLockTimeout = errors.New("txn: lock wait timeout (possible deadlock)")
+
+// ErrTxnDone is returned when using a transaction after Commit or Rollback.
+var ErrTxnDone = errors.New("txn: transaction already finished")
+
+// tableLock is a fair-enough reader/writer lock supporting per-transaction
+// reentrancy and shared→exclusive upgrade when the holder is the only reader.
+type tableLock struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	readers map[uint64]int // txn id → hold count
+	writer  uint64         // txn id holding exclusive, 0 if none
+	wcount  int            // reentrant exclusive hold count
+}
+
+func newTableLock() *tableLock {
+	l := &tableLock{readers: make(map[uint64]int)}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// acquire blocks until the lock is granted to txn id in the given mode or the
+// deadline passes. It supports reentrant acquisition and upgrades.
+func (l *tableLock) acquire(id uint64, mode LockMode, deadline time.Time) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+
+	// A timer wakes all waiters periodically so deadline checks make progress
+	// without requiring per-waiter timers on the happy path.
+	for {
+		if l.granted(id, mode) {
+			l.take(id, mode)
+			return nil
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return ErrLockTimeout
+		}
+		waitWithWake(l.cond, deadline)
+	}
+}
+
+// waitWithWake waits on cond, arranging a broadcast at the deadline so the
+// waiter can observe timeout.
+func waitWithWake(cond *sync.Cond, deadline time.Time) {
+	if deadline.IsZero() {
+		cond.Wait()
+		return
+	}
+	d := time.Until(deadline)
+	if d <= 0 {
+		return
+	}
+	t := time.AfterFunc(d, cond.Broadcast)
+	cond.Wait()
+	t.Stop()
+}
+
+// granted reports whether txn id may take the lock in mode right now.
+// Caller holds l.mu.
+func (l *tableLock) granted(id uint64, mode LockMode) bool {
+	switch mode {
+	case Shared:
+		// OK if no writer, or we are the writer (X subsumes S).
+		return l.writer == 0 || l.writer == id
+	case Exclusive:
+		if l.writer == id {
+			return true // reentrant
+		}
+		if l.writer != 0 {
+			return false
+		}
+		// Upgrade allowed when we are the sole reader; fresh X needs no readers.
+		switch len(l.readers) {
+		case 0:
+			return true
+		case 1:
+			_, sole := l.readers[id]
+			return sole
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// take records the grant. Caller holds l.mu and granted() was true.
+func (l *tableLock) take(id uint64, mode LockMode) {
+	switch mode {
+	case Shared:
+		if l.writer == id {
+			l.wcount++ // S under X: count as another X hold for symmetric release
+			return
+		}
+		l.readers[id]++
+	case Exclusive:
+		if l.writer == id {
+			l.wcount++
+			return
+		}
+		// Upgrading sole reader: drop read holds into the write hold.
+		delete(l.readers, id)
+		l.writer = id
+		l.wcount = 1
+	}
+}
+
+// release drops one hold of txn id. Strict 2PL releases everything at
+// commit/abort, so release is only called from releaseAll.
+func (l *tableLock) releaseAll(id uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.writer == id {
+		l.writer = 0
+		l.wcount = 0
+	}
+	delete(l.readers, id)
+	l.cond.Broadcast()
+}
+
+// holds reports whether txn id currently holds the lock in at least mode.
+func (l *tableLock) holds(id uint64, mode LockMode) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.writer == id {
+		return true
+	}
+	if mode == Shared {
+		_, ok := l.readers[id]
+		return ok
+	}
+	return false
+}
+
+// lockManager hands out tableLocks by canonical table name.
+type lockManager struct {
+	mu    sync.Mutex
+	locks map[string]*tableLock
+}
+
+func newLockManager() *lockManager {
+	return &lockManager{locks: make(map[string]*tableLock)}
+}
+
+func (lm *lockManager) get(table string) *tableLock {
+	key := strings.ToLower(table)
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	l := lm.locks[key]
+	if l == nil {
+		l = newTableLock()
+		lm.locks[key] = l
+	}
+	return l
+}
+
+// sortedUnique returns the canonicalized, deduplicated, sorted table names —
+// the global acquisition order that makes bulk locking deadlock-free.
+func sortedUnique(tables []string) []string {
+	seen := make(map[string]struct{}, len(tables))
+	out := make([]string, 0, len(tables))
+	for _, t := range tables {
+		k := strings.ToLower(t)
+		if _, dup := seen[k]; !dup {
+			seen[k] = struct{}{}
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func lockDesc(table string, mode LockMode) string {
+	return fmt.Sprintf("%s[%s]", table, mode)
+}

@@ -1,0 +1,288 @@
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// Manager creates transactions over a catalog. One Manager guards one
+// database instance.
+type Manager struct {
+	catalog *storage.Catalog
+	locks   *lockManager
+	nextID  atomic.Uint64
+
+	// LockTimeout bounds each lock wait; expiring aborts the acquisition with
+	// ErrLockTimeout (deadlock resolution). Zero means wait forever.
+	LockTimeout time.Duration
+
+	stats struct {
+		committed atomic.Uint64
+		aborted   atomic.Uint64
+		timeouts  atomic.Uint64
+	}
+}
+
+// NewManager returns a Manager over the catalog with a 2s default lock
+// timeout.
+func NewManager(cat *storage.Catalog) *Manager {
+	return &Manager{catalog: cat, locks: newLockManager(), LockTimeout: 2 * time.Second}
+}
+
+// Catalog exposes the underlying catalog (reads outside any transaction are
+// physically consistent but not isolated).
+func (m *Manager) Catalog() *storage.Catalog { return m.catalog }
+
+// Stats reports committed/aborted/timeout counters.
+func (m *Manager) Stats() (committed, aborted, timeouts uint64) {
+	return m.stats.committed.Load(), m.stats.aborted.Load(), m.stats.timeouts.Load()
+}
+
+// Begin starts a transaction.
+func (m *Manager) Begin() *Txn {
+	return &Txn{mgr: m, id: m.nextID.Add(1), held: make(map[string]LockMode)}
+}
+
+// undoRecord reverses one mutation.
+type undoRecord struct {
+	table  string
+	kind   uint8 // 0 insert (undo = delete), 1 delete (undo = restore), 2 update (undo = write back)
+	id     storage.RowID
+	before value.Tuple
+}
+
+// Txn is a single transaction: strict 2PL plus an undo log. A Txn is not
+// safe for concurrent use by multiple goroutines (like database/sql.Tx).
+type Txn struct {
+	mgr  *Manager
+	id   uint64
+	held map[string]LockMode // canonical table name → strongest mode held
+	undo []undoRecord
+	done bool
+
+	mu sync.Mutex // guards done for the rare cross-goroutine Rollback
+}
+
+// ID returns the transaction id (diagnostics only).
+func (t *Txn) ID() uint64 { return t.id }
+
+func (t *Txn) deadline() time.Time {
+	if t.mgr.LockTimeout == 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(t.mgr.LockTimeout)
+}
+
+// Lock acquires a table lock in the given mode (idempotent; upgrades when a
+// stronger mode is requested).
+func (t *Txn) Lock(table string, mode LockMode) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	key := strings.ToLower(table)
+	if cur, ok := t.held[key]; ok && (cur == Exclusive || cur == mode) {
+		return nil
+	}
+	if err := t.mgr.locks.get(key).acquire(t.id, mode, t.deadline()); err != nil {
+		t.mgr.stats.timeouts.Add(1)
+		return fmt.Errorf("%w: %s", err, lockDesc(table, mode))
+	}
+	if cur, ok := t.held[key]; !ok || mode == Exclusive && cur == Shared {
+		t.held[key] = mode
+	}
+	return nil
+}
+
+// LockAll acquires locks on every (table, mode) pair in a canonical global
+// order, which makes concurrent LockAll callers deadlock-free with respect to
+// each other. Exclusive wins when a table appears with both modes.
+func (t *Txn) LockAll(shared, exclusive []string) error {
+	modes := make(map[string]LockMode)
+	for _, s := range shared {
+		modes[strings.ToLower(s)] = Shared
+	}
+	for _, x := range exclusive {
+		modes[strings.ToLower(x)] = Exclusive
+	}
+	for _, name := range sortedUnique(append(append([]string{}, shared...), exclusive...)) {
+		if err := t.Lock(name, modes[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Holds reports whether the txn holds at least the given mode on table.
+func (t *Txn) Holds(table string, mode LockMode) bool {
+	return t.mgr.locks.get(table).holds(t.id, mode)
+}
+
+func (t *Txn) table(name string) (*storage.Table, error) {
+	return t.mgr.catalog.Get(name)
+}
+
+// Insert inserts a tuple under an exclusive lock and logs the undo.
+func (t *Txn) Insert(table string, tup value.Tuple) (storage.RowID, error) {
+	if err := t.Lock(table, Exclusive); err != nil {
+		return 0, err
+	}
+	tbl, err := t.table(table)
+	if err != nil {
+		return 0, err
+	}
+	id, err := tbl.Insert(tup)
+	if err != nil {
+		return 0, err
+	}
+	t.undo = append(t.undo, undoRecord{table: table, kind: 0, id: id})
+	return id, nil
+}
+
+// Delete removes a row under an exclusive lock and logs the undo.
+func (t *Txn) Delete(table string, id storage.RowID) error {
+	if err := t.Lock(table, Exclusive); err != nil {
+		return err
+	}
+	tbl, err := t.table(table)
+	if err != nil {
+		return err
+	}
+	old, err := tbl.Delete(id)
+	if err != nil {
+		return err
+	}
+	t.undo = append(t.undo, undoRecord{table: table, kind: 1, id: id, before: old})
+	return nil
+}
+
+// Update replaces a row under an exclusive lock and logs the undo.
+func (t *Txn) Update(table string, id storage.RowID, tup value.Tuple) error {
+	if err := t.Lock(table, Exclusive); err != nil {
+		return err
+	}
+	tbl, err := t.table(table)
+	if err != nil {
+		return err
+	}
+	old, err := tbl.Update(id, tup)
+	if err != nil {
+		return err
+	}
+	t.undo = append(t.undo, undoRecord{table: table, kind: 2, id: id, before: old})
+	return nil
+}
+
+// Scan iterates the table under (at least) a shared lock.
+func (t *Txn) Scan(table string, fn func(storage.RowID, value.Tuple) bool) error {
+	if err := t.Lock(table, Shared); err != nil {
+		return err
+	}
+	tbl, err := t.table(table)
+	if err != nil {
+		return err
+	}
+	tbl.Scan(fn)
+	return nil
+}
+
+// Get reads one row under a shared lock.
+func (t *Txn) Get(table string, id storage.RowID) (value.Tuple, error) {
+	if err := t.Lock(table, Shared); err != nil {
+		return nil, err
+	}
+	tbl, err := t.table(table)
+	if err != nil {
+		return nil, err
+	}
+	return tbl.Get(id)
+}
+
+// Commit releases all locks and discards the undo log.
+func (t *Txn) Commit() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.done {
+		return ErrTxnDone
+	}
+	t.finish()
+	t.mgr.stats.committed.Add(1)
+	return nil
+}
+
+// Rollback undoes every mutation in reverse order, then releases locks.
+// Rolling back a finished transaction is a no-op (so `defer tx.Rollback()` is
+// safe, as with database/sql).
+func (t *Txn) Rollback() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.done {
+		return nil
+	}
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		r := t.undo[i]
+		tbl, err := t.mgr.catalog.Get(r.table)
+		if err != nil {
+			continue // table dropped mid-txn; nothing to restore into
+		}
+		switch r.kind {
+		case 0:
+			tbl.Delete(r.id) //nolint:errcheck // best-effort undo
+		case 1:
+			tbl.RestoreAt(r.id, r.before) //nolint:errcheck
+		case 2:
+			tbl.Update(r.id, r.before) //nolint:errcheck
+		}
+	}
+	t.finish()
+	t.mgr.stats.aborted.Add(1)
+	return nil
+}
+
+// finish releases all locks. Caller holds t.mu.
+func (t *Txn) finish() {
+	for name := range t.held {
+		t.mgr.locks.get(name).releaseAll(t.id)
+	}
+	t.held = map[string]LockMode{}
+	t.undo = nil
+	t.done = true
+}
+
+// RunAtomic runs fn in a transaction, committing on nil and rolling back on
+// error or panic. ErrLockTimeout aborts are retried up to three times, which
+// resolves ordinary two-party deadlocks.
+func (m *Manager) RunAtomic(fn func(*Txn) error) error {
+	const retries = 3
+	var err error
+	for attempt := 0; attempt <= retries; attempt++ {
+		err = m.runOnce(fn)
+		if err == nil || !isTimeout(err) {
+			return err
+		}
+	}
+	return err
+}
+
+func isTimeout(err error) bool { return errors.Is(err, ErrLockTimeout) }
+
+func (m *Manager) runOnce(fn func(*Txn) error) (err error) {
+	tx := m.Begin()
+	defer func() {
+		if p := recover(); p != nil {
+			tx.Rollback()
+			panic(p)
+		}
+	}()
+	if err = fn(tx); err != nil {
+		tx.Rollback()
+		return err
+	}
+	return tx.Commit()
+}

@@ -1,0 +1,167 @@
+package value
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+)
+
+// Tuple is an ordered list of values — one row of a relation.
+type Tuple []Value
+
+// NewTuple builds a tuple from Go values, converting the common native types.
+// It panics on unsupported kinds; it is intended for literals in tests,
+// examples and seed data.
+func NewTuple(vals ...any) Tuple {
+	t := make(Tuple, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case nil:
+			t[i] = Null
+		case int:
+			t[i] = NewInt(int64(x))
+		case int64:
+			t[i] = NewInt(x)
+		case float64:
+			t[i] = NewFloat(x)
+		case string:
+			t[i] = NewString(x)
+		case bool:
+			t[i] = NewBool(x)
+		case Value:
+			t[i] = x
+		default:
+			panic(fmt.Sprintf("value: NewTuple: unsupported %T", v))
+		}
+	}
+	return t
+}
+
+// Equal reports positionwise Identical equality (NULL equals NULL, so tuples
+// are usable as set members).
+func (t Tuple) Equal(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if !t[i].Identical(o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Hash returns a hash consistent with Equal.
+func (t Tuple) Hash() uint64 {
+	h := fnv.New64a()
+	for _, v := range t {
+		writeUint64(h, v.Hash())
+	}
+	return h.Sum64()
+}
+
+// Key renders a canonical string key consistent with Equal; useful for maps.
+func (t Tuple) Key() string {
+	var b strings.Builder
+	for i, v := range t {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		// Type tag disambiguates 1 vs '1' vs TRUE.
+		fmt.Fprintf(&b, "%d:%s", v.typ, v.String())
+	}
+	return b.String()
+}
+
+// Clone returns a copy of the tuple. Values are immutable, so a shallow copy
+// of the slice suffices.
+func (t Tuple) Clone() Tuple {
+	c := make(Tuple, len(t))
+	copy(c, t)
+	return c
+}
+
+// String renders the tuple as (v1, v2, ...).
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Project returns the tuple restricted to the given column offsets.
+func (t Tuple) Project(cols []int) Tuple {
+	p := make(Tuple, len(cols))
+	for i, c := range cols {
+		p[i] = t[c]
+	}
+	return p
+}
+
+// Column describes one attribute of a relation schema.
+type Column struct {
+	Name string
+	Type Type
+}
+
+// Schema is an ordered list of columns.
+type Schema struct {
+	Columns []Column
+}
+
+// NewSchema builds a schema from alternating name/type pairs is awkward;
+// instead it takes explicit columns.
+func NewSchema(cols ...Column) *Schema {
+	return &Schema{Columns: cols}
+}
+
+// Col is shorthand for constructing a Column.
+func Col(name string, t Type) Column { return Column{Name: name, Type: t} }
+
+// Arity returns the number of columns.
+func (s *Schema) Arity() int { return len(s.Columns) }
+
+// Ordinal returns the offset of the named column (case-insensitive), or -1.
+func (s *Schema) Ordinal(name string) int {
+	for i, c := range s.Columns {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Validate checks that a tuple conforms to the schema, coercing numeric
+// values into declared column types. It returns the (possibly coerced) tuple.
+func (s *Schema) Validate(t Tuple) (Tuple, error) {
+	if len(t) != len(s.Columns) {
+		return nil, fmt.Errorf("arity mismatch: got %d values, schema has %d columns", len(t), len(s.Columns))
+	}
+	out := t
+	for i, v := range t {
+		if v.IsNull() {
+			continue
+		}
+		if v.Type() != s.Columns[i].Type {
+			cv, err := v.Coerce(s.Columns[i].Type)
+			if err != nil {
+				return nil, fmt.Errorf("column %s: %w", s.Columns[i].Name, err)
+			}
+			if &out[0] == &t[0] {
+				out = t.Clone()
+			}
+			out[i] = cv
+		}
+	}
+	return out, nil
+}
+
+// String renders the schema as (name TYPE, ...).
+func (s *Schema) String() string {
+	parts := make([]string, len(s.Columns))
+	for i, c := range s.Columns {
+		parts[i] = c.Name + " " + c.Type.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}

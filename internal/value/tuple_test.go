@@ -1,0 +1,139 @@
+package value
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewTuple(t *testing.T) {
+	tup := NewTuple("Kramer", 122, 2.5, true, nil, NewString("x"))
+	want := Tuple{NewString("Kramer"), NewInt(122), NewFloat(2.5), NewBool(true), Null, NewString("x")}
+	if !tup.Equal(want) {
+		t.Errorf("NewTuple = %v, want %v", tup, want)
+	}
+}
+
+func TestNewTuplePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on unsupported type")
+		}
+	}()
+	NewTuple(struct{}{})
+}
+
+func TestTupleEqualHashKey(t *testing.T) {
+	a := NewTuple("Jerry", 122)
+	b := NewTuple("Jerry", 122)
+	c := NewTuple("Jerry", 123)
+	if !a.Equal(b) || a.Equal(c) {
+		t.Error("tuple equality")
+	}
+	if a.Hash() != b.Hash() {
+		t.Error("equal tuples must hash equal")
+	}
+	if a.Key() != b.Key() || a.Key() == c.Key() {
+		t.Error("Key must be consistent with Equal")
+	}
+	if a.Equal(NewTuple("Jerry")) {
+		t.Error("different arities are not equal")
+	}
+}
+
+func TestTupleKeyTypeDisambiguation(t *testing.T) {
+	// 1, '1' and TRUE must all have distinct keys.
+	keys := map[string]bool{}
+	for _, tup := range []Tuple{NewTuple(1), NewTuple("1"), NewTuple(true)} {
+		keys[tup.Key()] = true
+	}
+	if len(keys) != 3 {
+		t.Errorf("expected 3 distinct keys, got %d", len(keys))
+	}
+}
+
+func TestTupleCloneProject(t *testing.T) {
+	a := NewTuple("Jerry", 122, "Paris")
+	c := a.Clone()
+	c[0] = NewString("Kramer")
+	if a[0].Str() != "Jerry" {
+		t.Error("Clone must not alias")
+	}
+	p := a.Project([]int{2, 0})
+	if !p.Equal(NewTuple("Paris", "Jerry")) {
+		t.Errorf("Project = %v", p)
+	}
+}
+
+func TestTupleString(t *testing.T) {
+	if got := NewTuple("Kramer", 122).String(); got != "('Kramer', 122)" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestTupleEqualNullReflexive(t *testing.T) {
+	a := NewTuple(nil, 1)
+	b := NewTuple(nil, 1)
+	if !a.Equal(b) {
+		t.Error("tuples containing NULL must be Equal when identical (set semantics)")
+	}
+}
+
+func TestTupleHashEqualProperty(t *testing.T) {
+	f := func(x, y int64, s string) bool {
+		a := NewTuple(x, s, y)
+		b := NewTuple(x, s, y)
+		return a.Equal(b) && a.Hash() == b.Hash() && a.Key() == b.Key()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSchemaOrdinalValidate(t *testing.T) {
+	s := NewSchema(Col("fno", TypeInt), Col("dest", TypeString))
+	if s.Arity() != 2 {
+		t.Error("arity")
+	}
+	if s.Ordinal("FNO") != 0 || s.Ordinal("dest") != 1 || s.Ordinal("nope") != -1 {
+		t.Error("ordinal lookup (case-insensitive)")
+	}
+	if _, err := s.Validate(NewTuple(122, "Paris")); err != nil {
+		t.Errorf("valid tuple rejected: %v", err)
+	}
+	if _, err := s.Validate(NewTuple(122)); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if _, err := s.Validate(NewTuple("x", "Paris")); err == nil {
+		t.Error("type mismatch accepted")
+	}
+	// Coercion: float 122.0 into INT column.
+	got, err := s.Validate(NewTuple(122.0, "Paris"))
+	if err != nil {
+		t.Fatalf("coercible tuple rejected: %v", err)
+	}
+	if got[0].Type() != TypeInt {
+		t.Errorf("expected coerced INT, got %v", got[0].Type())
+	}
+	// NULL passes through any column.
+	if _, err := s.Validate(NewTuple(nil, nil)); err != nil {
+		t.Errorf("NULLs rejected: %v", err)
+	}
+}
+
+func TestSchemaValidateDoesNotMutateInput(t *testing.T) {
+	s := NewSchema(Col("x", TypeInt))
+	in := NewTuple(5.0)
+	if _, err := s.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	if in[0].Type() != TypeFloat {
+		t.Error("Validate mutated its input tuple")
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	s := NewSchema(Col("fno", TypeInt), Col("dest", TypeString))
+	if got := s.String(); got != "(fno INT, dest STRING)" {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -1,0 +1,225 @@
+package value
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTypeString(t *testing.T) {
+	cases := map[Type]string{
+		TypeNull: "NULL", TypeInt: "INT", TypeFloat: "FLOAT",
+		TypeString: "STRING", TypeBool: "BOOL",
+	}
+	for typ, want := range cases {
+		if got := typ.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", typ, got, want)
+		}
+	}
+}
+
+func TestParseType(t *testing.T) {
+	good := map[string]Type{
+		"int": TypeInt, "INTEGER": TypeInt, "BigInt": TypeInt,
+		"float": TypeFloat, "DOUBLE": TypeFloat, "real": TypeFloat,
+		"string": TypeString, "TEXT": TypeString, "varchar": TypeString,
+		"bool": TypeBool, "BOOLEAN": TypeBool,
+	}
+	for name, want := range good {
+		got, err := ParseType(name)
+		if err != nil || got != want {
+			t.Errorf("ParseType(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := ParseType("blob"); err == nil {
+		t.Error("ParseType(blob) should fail")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	if NewInt(7).Int() != 7 {
+		t.Error("Int accessor")
+	}
+	if NewFloat(2.5).Float() != 2.5 {
+		t.Error("Float accessor")
+	}
+	if NewInt(3).Float() != 3.0 {
+		t.Error("Int→Float coercion in accessor")
+	}
+	if NewString("x").Str() != "x" {
+		t.Error("Str accessor")
+	}
+	if !NewBool(true).Bool() || NewBool(false).Bool() {
+		t.Error("Bool accessor")
+	}
+	if !Null.IsNull() || NewInt(0).IsNull() {
+		t.Error("IsNull")
+	}
+}
+
+func TestAccessorPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewString("x").Int() },
+		func() { NewString("x").Float() },
+		func() { NewInt(1).Str() },
+		func() { NewInt(1).Bool() },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestEqualSQLSemantics(t *testing.T) {
+	// NULL is never Equal, even to NULL.
+	if Null.Equal(Null) {
+		t.Error("NULL = NULL must be false under Equal")
+	}
+	if Null.Equal(NewInt(1)) || NewInt(1).Equal(Null) {
+		t.Error("NULL = x must be false")
+	}
+	if !NewInt(2).Equal(NewFloat(2.0)) {
+		t.Error("2 = 2.0 should hold")
+	}
+	if NewInt(2).Equal(NewString("2")) {
+		t.Error("2 = '2' must not hold")
+	}
+	if !NewString("a").Equal(NewString("a")) || NewString("a").Equal(NewString("b")) {
+		t.Error("string equality")
+	}
+	if !NewBool(true).Equal(NewBool(true)) || NewBool(true).Equal(NewBool(false)) {
+		t.Error("bool equality")
+	}
+}
+
+func TestIdentical(t *testing.T) {
+	if !Null.Identical(Null) {
+		t.Error("NULL identical NULL must hold")
+	}
+	if !NewInt(2).Identical(NewFloat(2.0)) {
+		t.Error("2 identical 2.0 should hold (exact numeric)")
+	}
+	if NewInt(2).Identical(NewFloat(2.5)) {
+		t.Error("2 identical 2.5 must not hold")
+	}
+	if NewBool(true).Identical(NewInt(1)) {
+		t.Error("TRUE identical 1 must not hold")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	ordered := []Value{Null, NewInt(-3), NewFloat(-2.5), NewInt(0), NewFloat(1.5), NewInt(2)}
+	for i := range ordered {
+		for j := range ordered {
+			got := ordered[i].Compare(ordered[j])
+			var want int
+			switch {
+			case i < j:
+				want = -1
+			case i > j:
+				want = 1
+			}
+			if got != want {
+				t.Errorf("Compare(%v,%v) = %d, want %d", ordered[i], ordered[j], got, want)
+			}
+		}
+	}
+	if NewString("a").Compare(NewString("b")) != -1 {
+		t.Error("string compare")
+	}
+	if NewBool(false).Compare(NewBool(true)) != -1 {
+		t.Error("bool compare")
+	}
+}
+
+func TestHashConsistentWithIdentical(t *testing.T) {
+	pairs := [][2]Value{
+		{NewInt(42), NewFloat(42.0)},
+		{Null, Null},
+		{NewString("paris"), NewString("paris")},
+		{NewBool(true), NewBool(true)},
+	}
+	for _, p := range pairs {
+		if !p[0].Identical(p[1]) {
+			t.Fatalf("%v not identical %v", p[0], p[1])
+		}
+		if p[0].Hash() != p[1].Hash() {
+			t.Errorf("identical values hash differently: %v vs %v", p[0], p[1])
+		}
+	}
+}
+
+func TestHashIdenticalProperty(t *testing.T) {
+	// Property: for random int64 i, hash(int i) == hash(float i) when exact.
+	f := func(i int32) bool {
+		a, b := NewInt(int64(i)), NewFloat(float64(i))
+		return a.Identical(b) && a.Hash() == b.Hash()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareProperties(t *testing.T) {
+	// Antisymmetry and reflexivity over random ints and strings.
+	f := func(a, b int64) bool {
+		va, vb := NewInt(a), NewInt(b)
+		return va.Compare(vb) == -vb.Compare(va) && va.Compare(va) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(a, b string) bool {
+		va, vb := NewString(a), NewString(b)
+		return va.Compare(vb) == -vb.Compare(va)
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := map[string]Value{
+		"NULL":      Null,
+		"42":        NewInt(42),
+		"2.5":       NewFloat(2.5),
+		"'O''Hare'": NewString("O'Hare"),
+		"TRUE":      NewBool(true),
+		"FALSE":     NewBool(false),
+	}
+	for want, v := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("%#v.String() = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestCoerce(t *testing.T) {
+	if v, err := NewInt(3).Coerce(TypeFloat); err != nil || v.Float() != 3.0 {
+		t.Errorf("int→float: %v, %v", v, err)
+	}
+	if v, err := NewFloat(4.0).Coerce(TypeInt); err != nil || v.Int() != 4 {
+		t.Errorf("exact float→int: %v, %v", v, err)
+	}
+	if _, err := NewFloat(4.5).Coerce(TypeInt); err == nil {
+		t.Error("inexact float→int must fail")
+	}
+	if _, err := NewString("x").Coerce(TypeInt); err == nil {
+		t.Error("string→int must fail")
+	}
+	if v, err := Null.Coerce(TypeInt); err != nil || !v.IsNull() {
+		t.Error("NULL coerces to anything")
+	}
+}
+
+func TestCoerceNaN(t *testing.T) {
+	if _, err := NewFloat(math.NaN()).Coerce(TypeInt); err == nil {
+		t.Error("NaN→int must fail")
+	}
+}

@@ -1,0 +1,77 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// Compact rewrites the log at path as a minimal snapshot of the catalog's
+// current state: one create record per table (plus its indexes) followed by
+// one insert per live row. The rewrite goes through a temporary file and an
+// atomic rename, so a crash mid-compaction leaves the old log intact.
+//
+// The caller must ensure the catalog is quiescent (no concurrent writers) —
+// core.System.Compact detaches the logger around the call.
+func Compact(path string, cat *storage.Catalog) error {
+	tmp := path + ".compact"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	enc := json.NewEncoder(w)
+
+	emit := func(r storage.LogRecord) error { return enc.Encode(encodeRecord(r)) }
+
+	for _, name := range cat.Names() {
+		tbl, err := cat.Get(name)
+		if err != nil {
+			return fmt.Errorf("wal: compact: %w", err)
+		}
+		if err := emit(storage.LogRecord{
+			Op: storage.OpCreateTable, Table: tbl.Name(),
+			Schema: tbl.Schema(), PK: tbl.PrimaryKey(),
+		}); err != nil {
+			f.Close()
+			return err
+		}
+		for _, ix := range tbl.Indexes() {
+			if err := emit(storage.LogRecord{Op: storage.OpCreateIndex, Table: tbl.Name(), Cols: ix}); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		for _, col := range tbl.OrderedIndexes() {
+			if err := emit(storage.LogRecord{Op: storage.OpCreateOrderedIndex, Table: tbl.Name(), Cols: []string{col}}); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		var scanErr error
+		tbl.Scan(func(id storage.RowID, row value.Tuple) bool {
+			scanErr = emit(storage.LogRecord{Op: storage.OpInsert, Table: tbl.Name(), RowID: id, Row: row})
+			return scanErr == nil
+		})
+		if scanErr != nil {
+			f.Close()
+			return scanErr
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,82 @@
+package wal
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+func TestCompactShrinksAndPreservesState(t *testing.T) {
+	path := tmpWAL(t)
+	cat, w := loggedCatalog(t, path)
+	tbl, err := cat.Create("T", flightsSchema(), "fno")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.CreateIndex("dest") //nolint:errcheck
+	// Churn: many inserts and deletes, few survivors.
+	var keep []storage.RowID
+	for i := 0; i < 200; i++ {
+		id, err := tbl.Insert(value.NewTuple(i, "Paris"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%50 == 0 {
+			keep = append(keep, id)
+		} else {
+			tbl.Delete(id) //nolint:errcheck
+		}
+	}
+	w.Close() //nolint:errcheck
+	before, _ := os.Stat(path)
+
+	if err := Compact(path, cat); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := os.Stat(path)
+	if after.Size() >= before.Size() {
+		t.Errorf("compact did not shrink: %d → %d bytes", before.Size(), after.Size())
+	}
+
+	// Recovery from the compacted log reproduces the state.
+	cat2 := storage.NewCatalog()
+	if _, err := Recover(path, cat2); err != nil {
+		t.Fatal(err)
+	}
+	tbl2, err := cat2.Get("T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl2.Len() != len(keep) {
+		t.Fatalf("rows = %d, want %d", tbl2.Len(), len(keep))
+	}
+	for _, id := range keep {
+		if _, err := tbl2.Get(id); err != nil {
+			t.Errorf("row %d lost: %v", id, err)
+		}
+	}
+	if !tbl2.HasIndex([]int{1}) {
+		t.Error("index lost in compaction")
+	}
+	if pk := tbl2.PrimaryKey(); len(pk) != 1 || pk[0] != "fno" {
+		t.Errorf("pk = %v", pk)
+	}
+}
+
+func TestTableIndexAccessors(t *testing.T) {
+	tbl, err := storage.NewTable("T", flightsSchema(), "fno")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.CreateIndex("dest")        //nolint:errcheck
+	tbl.CreateIndex("fno", "dest") //nolint:errcheck
+	ixs := tbl.Indexes()
+	if len(ixs) != 2 {
+		t.Fatalf("indexes = %v", ixs)
+	}
+	if tbl2, _ := storage.NewTable("U", flightsSchema()); tbl2.PrimaryKey() != nil {
+		t.Error("PK of keyless table should be nil")
+	}
+}

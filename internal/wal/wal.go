@@ -1,0 +1,301 @@
+// Package wal gives the storage engine durability: a write-ahead log of
+// every applied mutation, replayed on startup to reconstruct the database.
+//
+// Records are JSON lines (stdlib-only, human-inspectable). The log is
+// *physical-redo* style: every mutation is appended in apply order, and
+// rolled-back transactions appear as their operations followed by the undo
+// machinery's compensating operations, so a full replay always converges to
+// the exact pre-crash logical state. Coordination state (the pending-query
+// tables) is deliberately volatile, like the demo system: pending entangled
+// queries belong to live sessions; installed answers live in ordinary
+// tables and are durable.
+package wal
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// jsonValue is the tagged wire form of a value.Value.
+type jsonValue struct {
+	T string  `json:"t"` // n,i,f,s,b
+	I int64   `json:"i,omitempty"`
+	F float64 `json:"f,omitempty"`
+	S string  `json:"s,omitempty"`
+	B bool    `json:"b,omitempty"`
+}
+
+func encodeValue(v value.Value) jsonValue {
+	switch v.Type() {
+	case value.TypeInt:
+		return jsonValue{T: "i", I: v.Int()}
+	case value.TypeFloat:
+		return jsonValue{T: "f", F: v.Float()}
+	case value.TypeString:
+		return jsonValue{T: "s", S: v.Str()}
+	case value.TypeBool:
+		return jsonValue{T: "b", B: v.Bool()}
+	default:
+		return jsonValue{T: "n"}
+	}
+}
+
+func decodeValue(j jsonValue) (value.Value, error) {
+	switch j.T {
+	case "i":
+		return value.NewInt(j.I), nil
+	case "f":
+		return value.NewFloat(j.F), nil
+	case "s":
+		return value.NewString(j.S), nil
+	case "b":
+		return value.NewBool(j.B), nil
+	case "n":
+		return value.Null, nil
+	default:
+		return value.Null, fmt.Errorf("wal: unknown value tag %q", j.T)
+	}
+}
+
+// jsonRecord is the wire form of a storage.LogRecord.
+type jsonRecord struct {
+	Op    string      `json:"op"`
+	Table string      `json:"table"`
+	Cols  []colDef    `json:"schema,omitempty"` // create
+	PK    []string    `json:"pk,omitempty"`
+	IxCol []string    `json:"cols,omitempty"` // index
+	RowID uint64      `json:"rid,omitempty"`
+	Row   []jsonValue `json:"row,omitempty"`
+}
+
+type colDef struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+func encodeRecord(r storage.LogRecord) jsonRecord {
+	j := jsonRecord{Op: string(r.Op), Table: r.Table, PK: r.PK, IxCol: r.Cols, RowID: uint64(r.RowID)}
+	if r.Schema != nil {
+		for _, c := range r.Schema.Columns {
+			j.Cols = append(j.Cols, colDef{Name: c.Name, Type: c.Type.String()})
+		}
+	}
+	for _, v := range r.Row {
+		j.Row = append(j.Row, encodeValue(v))
+	}
+	return j
+}
+
+// WAL is an append-only mutation log.
+type WAL struct {
+	mu  sync.Mutex
+	f   *os.File
+	w   *bufio.Writer
+	err error // sticky write error, surfaced by Err and Close
+}
+
+// Open opens (creating if needed) the log at path for appending.
+func Open(path string) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &WAL{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// Append writes one record. Errors are sticky: the first failure is kept and
+// every later Append is a no-op returning it (the caller decides whether to
+// fail stop; storage hooks cannot return errors mid-mutation).
+func (w *WAL) Append(r storage.LogRecord) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	data, err := json.Marshal(encodeRecord(r))
+	if err != nil {
+		w.err = err
+		return err
+	}
+	data = append(data, '\n')
+	if _, err := w.w.Write(data); err != nil {
+		w.err = err
+		return err
+	}
+	if err := w.w.Flush(); err != nil {
+		w.err = err
+		return err
+	}
+	return nil
+}
+
+// Sync flushes and fsyncs the log.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.w.Flush(); err != nil {
+		w.err = err
+		return err
+	}
+	return w.f.Sync()
+}
+
+// Err returns the sticky write error, if any.
+func (w *WAL) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Close flushes and closes the log.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	flushErr := w.w.Flush()
+	closeErr := w.f.Close()
+	if w.err != nil {
+		return w.err
+	}
+	if flushErr != nil {
+		return flushErr
+	}
+	return closeErr
+}
+
+// Recover replays the log at path into the catalog, returning the number of
+// records applied. A missing file is not an error (fresh database). A
+// truncated final line (torn write at crash) is tolerated and ignored; any
+// other malformed record fails recovery.
+func Recover(path string, cat *storage.Catalog) (int, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	applied := 0
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var j jsonRecord
+		if err := json.Unmarshal(line, &j); err != nil {
+			// A torn final record is expected after a crash; anything
+			// mid-file is corruption.
+			if isLastLine(sc) {
+				break
+			}
+			return applied, fmt.Errorf("wal: corrupt record %d: %w", applied+1, err)
+		}
+		if err := apply(cat, j); err != nil {
+			return applied, fmt.Errorf("wal: replay record %d (%s %s): %w", applied+1, j.Op, j.Table, err)
+		}
+		applied++
+	}
+	if err := sc.Err(); err != nil {
+		return applied, err
+	}
+	return applied, nil
+}
+
+// isLastLine reports whether the scanner has no further tokens. It consumes
+// lookahead, which is fine because the caller stops on torn records.
+func isLastLine(sc *bufio.Scanner) bool { return !sc.Scan() }
+
+func apply(cat *storage.Catalog, j jsonRecord) error {
+	switch storage.LogOp(j.Op) {
+	case storage.OpCreateTable:
+		schema := value.NewSchema()
+		for _, c := range j.Cols {
+			t, err := value.ParseType(c.Type)
+			if err != nil {
+				return err
+			}
+			schema.Columns = append(schema.Columns, value.Col(c.Name, t))
+		}
+		_, err := cat.Create(j.Table, schema, j.PK...)
+		return err
+
+	case storage.OpDropTable:
+		return cat.Drop(j.Table)
+
+	case storage.OpCreateIndex:
+		tbl, err := cat.Get(j.Table)
+		if err != nil {
+			return err
+		}
+		return tbl.CreateIndex(j.IxCol...)
+
+	case storage.OpCreateOrderedIndex:
+		tbl, err := cat.Get(j.Table)
+		if err != nil {
+			return err
+		}
+		if len(j.IxCol) != 1 {
+			return fmt.Errorf("ordered index wants exactly one column, got %v", j.IxCol)
+		}
+		return tbl.CreateOrderedIndex(j.IxCol[0])
+
+	case storage.OpInsert, storage.OpRestore:
+		tbl, err := cat.Get(j.Table)
+		if err != nil {
+			return err
+		}
+		row, err := decodeRow(j.Row)
+		if err != nil {
+			return err
+		}
+		return tbl.RestoreAt(storage.RowID(j.RowID), row)
+
+	case storage.OpDelete:
+		tbl, err := cat.Get(j.Table)
+		if err != nil {
+			return err
+		}
+		_, err = tbl.Delete(storage.RowID(j.RowID))
+		return err
+
+	case storage.OpUpdate:
+		tbl, err := cat.Get(j.Table)
+		if err != nil {
+			return err
+		}
+		row, err := decodeRow(j.Row)
+		if err != nil {
+			return err
+		}
+		_, err = tbl.Update(storage.RowID(j.RowID), row)
+		return err
+
+	default:
+		return fmt.Errorf("unknown op %q", j.Op)
+	}
+}
+
+func decodeRow(js []jsonValue) (value.Tuple, error) {
+	row := make(value.Tuple, len(js))
+	for i, jv := range js {
+		v, err := decodeValue(jv)
+		if err != nil {
+			return nil, err
+		}
+		row[i] = v
+	}
+	return row, nil
+}

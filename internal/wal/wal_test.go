@@ -1,0 +1,250 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+func tmpWAL(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "youtopia.wal")
+}
+
+func loggedCatalog(t *testing.T, path string) (*storage.Catalog, *WAL) {
+	t.Helper()
+	cat := storage.NewCatalog()
+	w, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat.SetLog(func(r storage.LogRecord) { w.Append(r) }) //nolint:errcheck
+	return cat, w
+}
+
+func flightsSchema() *value.Schema {
+	return value.NewSchema(value.Col("fno", value.TypeInt), value.Col("dest", value.TypeString))
+}
+
+func TestRecoverMissingFile(t *testing.T) {
+	cat := storage.NewCatalog()
+	n, err := Recover(filepath.Join(t.TempDir(), "absent.wal"), cat)
+	if err != nil || n != 0 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+}
+
+func TestLogAndRecoverRoundTrip(t *testing.T) {
+	path := tmpWAL(t)
+	cat, w := loggedCatalog(t, path)
+
+	tbl, err := cat.Create("Flights", flightsSchema(), "fno")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.CreateIndex("dest"); err != nil {
+		t.Fatal(err)
+	}
+	id1, _ := tbl.Insert(value.NewTuple(122, "Paris"))
+	id2, _ := tbl.Insert(value.NewTuple(136, "Rome"))
+	tbl.Update(id2, value.NewTuple(136, "Milan")) //nolint:errcheck
+	id3, _ := tbl.Insert(value.NewTuple(140, "Oslo"))
+	tbl.Delete(id3) //nolint:errcheck
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recover into a fresh catalog.
+	cat2 := storage.NewCatalog()
+	n, err := Recover(path, cat2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 7 { // create, index, ins, ins, upd, ins, del
+		t.Errorf("applied %d records", n)
+	}
+	tbl2, err := cat2.Get("Flights")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl2.Len() != 2 {
+		t.Fatalf("recovered %d rows", tbl2.Len())
+	}
+	row, err := tbl2.Get(id1)
+	if err != nil || row[1].Str() != "Paris" {
+		t.Errorf("row1 = %v, %v", row, err)
+	}
+	row, err = tbl2.Get(id2)
+	if err != nil || row[1].Str() != "Milan" {
+		t.Errorf("row2 = %v, %v", row, err)
+	}
+	// Index recovered.
+	if !tbl2.HasIndex([]int{1}) {
+		t.Error("index not recovered")
+	}
+	// PK recovered: duplicate insert must fail.
+	if _, err := tbl2.Insert(value.NewTuple(122, "Dup")); err == nil {
+		t.Error("PK not recovered")
+	}
+	// RowID continuity: fresh inserts must not reuse ids.
+	newID, err := tbl2.Insert(value.NewTuple(150, "Lima"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newID <= id3 {
+		t.Errorf("rowid %d reused (last was %d)", newID, id3)
+	}
+}
+
+func TestRecoverDrop(t *testing.T) {
+	path := tmpWAL(t)
+	cat, w := loggedCatalog(t, path)
+	cat.Create("Tmp", flightsSchema())  //nolint:errcheck
+	cat.Drop("Tmp")                     //nolint:errcheck
+	cat.Create("Keep", flightsSchema()) //nolint:errcheck
+	w.Close()                           //nolint:errcheck
+	cat2 := storage.NewCatalog()
+	if _, err := Recover(path, cat2); err != nil {
+		t.Fatal(err)
+	}
+	if cat2.Has("Tmp") || !cat2.Has("Keep") {
+		t.Errorf("names = %v", cat2.Names())
+	}
+}
+
+func TestTornFinalRecordTolerated(t *testing.T) {
+	path := tmpWAL(t)
+	cat, w := loggedCatalog(t, path)
+	cat.Create("T", flightsSchema()) //nolint:errcheck
+	tbl, _ := cat.Get("T")
+	tbl.Insert(value.NewTuple(1, "a")) //nolint:errcheck
+	w.Close()                          //nolint:errcheck
+
+	// Simulate a crash mid-append: a torn, non-JSON tail.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"op":"insert","table":"T","rid":2,"row":[{"t":"i","i"`) //nolint:errcheck
+	f.Close()
+
+	cat2 := storage.NewCatalog()
+	n, err := Recover(path, cat2)
+	if err != nil {
+		t.Fatalf("torn tail should be tolerated: %v", err)
+	}
+	if n != 2 {
+		t.Errorf("applied %d", n)
+	}
+	tbl2, _ := cat2.Get("T")
+	if tbl2.Len() != 1 {
+		t.Errorf("rows = %d", tbl2.Len())
+	}
+}
+
+func TestMidFileCorruptionFailsRecovery(t *testing.T) {
+	path := tmpWAL(t)
+	cat, w := loggedCatalog(t, path)
+	cat.Create("T", flightsSchema()) //nolint:errcheck
+	w.Close()                        //nolint:errcheck
+
+	data, _ := os.ReadFile(path)
+	corrupted := "GARBAGE NOT JSON\n" + string(data)
+	os.WriteFile(path, []byte(corrupted), 0o644) //nolint:errcheck
+
+	cat2 := storage.NewCatalog()
+	if _, err := Recover(path, cat2); err == nil {
+		t.Error("mid-file corruption not detected")
+	}
+}
+
+func TestValueTaggedRoundTrip(t *testing.T) {
+	path := tmpWAL(t)
+	cat, w := loggedCatalog(t, path)
+	schema := value.NewSchema(
+		value.Col("i", value.TypeInt), value.Col("f", value.TypeFloat),
+		value.Col("s", value.TypeString), value.Col("b", value.TypeBool),
+		value.Col("n", value.TypeInt),
+	)
+	cat.Create("V", schema) //nolint:errcheck
+	tbl, _ := cat.Get("V")
+	orig := value.NewTuple(7, 2.5, "x", true, nil)
+	id, err := tbl.Insert(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close() //nolint:errcheck
+
+	cat2 := storage.NewCatalog()
+	if _, err := Recover(path, cat2); err != nil {
+		t.Fatal(err)
+	}
+	tbl2, _ := cat2.Get("V")
+	row, err := tbl2.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !row.Equal(orig) {
+		t.Errorf("round trip %v != %v", row, orig)
+	}
+}
+
+func TestRolledBackTxnConvergesOnReplay(t *testing.T) {
+	// The log records both the mutation and its compensation; replay must
+	// converge to the committed state only.
+	path := tmpWAL(t)
+	cat, w := loggedCatalog(t, path)
+	cat.Create("T", flightsSchema()) //nolint:errcheck
+	tbl, _ := cat.Get("T")
+	keep, _ := tbl.Insert(value.NewTuple(1, "keep"))
+
+	// Simulate what txn.Rollback does: apply, then compensate.
+	id, _ := tbl.Insert(value.NewTuple(2, "doomed"))
+	tbl.Delete(id) //nolint:errcheck
+	old, _ := tbl.Delete(keep)
+	tbl.RestoreAt(keep, old) //nolint:errcheck
+	w.Close()                //nolint:errcheck
+
+	cat2 := storage.NewCatalog()
+	if _, err := Recover(path, cat2); err != nil {
+		t.Fatal(err)
+	}
+	tbl2, _ := cat2.Get("T")
+	if tbl2.Len() != 1 {
+		t.Fatalf("rows = %d", tbl2.Len())
+	}
+	row, _ := tbl2.Get(keep)
+	if row[1].Str() != "keep" {
+		t.Errorf("row = %v", row)
+	}
+}
+
+func TestAppendAfterCloseSticks(t *testing.T) {
+	path := tmpWAL(t)
+	w, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	w.Close() //nolint:errcheck
+	if err := w.Append(storage.LogRecord{Op: storage.OpDropTable, Table: "x"}); err == nil {
+		t.Error("append after close succeeded")
+	}
+	if w.Err() == nil {
+		t.Error("sticky error not set")
+	}
+}
+
+func TestRecoverUnknownOp(t *testing.T) {
+	path := tmpWAL(t)
+	os.WriteFile(path, []byte(`{"op":"explode","table":"T"}`+"\n{}\n"), 0o644) //nolint:errcheck
+	if _, err := Recover(path, storage.NewCatalog()); err == nil || !strings.Contains(err.Error(), "unknown op") {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/coord"
+	"repro/internal/core"
+)
+
+// RunOpen drives an open-system experiment: coordination pairs arrive as a
+// Poisson process with `rate` pairs/second for `duration`; each pair's two
+// queries are submitted back to back (or PartnerDelay apart). Unlike the
+// closed-loop Run, arrival pressure does not adapt to completion speed, so
+// queueing effects show: latency rises as the rate approaches the
+// coordinator's service capacity. This is the loaded-system demonstration
+// (§3) in its steady-state form.
+func RunOpen(sys *core.System, cfg Config, rate float64, duration time.Duration) (Result, error) {
+	if rate <= 0 {
+		return Result{}, fmt.Errorf("workload: RunOpen needs rate > 0")
+	}
+	cfg = cfg.withDefaults()
+	g := NewGenerator(cfg)
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+
+	for i := 0; i < cfg.Loners; i++ {
+		if _, err := sys.Submit(g.LonerQuery(i), "loadgen"); err != nil {
+			return Result{}, err
+		}
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		answered  int
+		submitted int
+		firstErr  error
+	)
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(duration)
+	pair := 0
+	for time.Now().Before(deadline) {
+		// Exponential inter-arrival for a Poisson process.
+		wait := time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+		if wait > 0 {
+			time.Sleep(wait)
+		}
+		if !time.Now().Before(deadline) {
+			break
+		}
+		a, b := g.PairQueries(pair + 1_000_000) // offset to avoid Run collisions
+		pair++
+		mu.Lock()
+		submitted += 2
+		mu.Unlock()
+		wg.Add(1)
+		go func(a, b string) {
+			defer wg.Done()
+			t0 := time.Now()
+			h1, err := sys.Submit(a, "open")
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			if cfg.PartnerDelay > 0 {
+				time.Sleep(cfg.PartnerDelay)
+			}
+			h2, err := sys.Submit(b, "open")
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			done := make(chan struct{})
+			timer := time.AfterFunc(30*time.Second, func() { close(done) })
+			defer timer.Stop()
+			for _, h := range []*coord.Handle{h1, h2} {
+				if _, ok := h.Wait(done); !ok {
+					return
+				}
+				mu.Lock()
+				answered++
+				latencies = append(latencies, time.Since(t0))
+				mu.Unlock()
+			}
+		}(a, b)
+	}
+	wg.Wait()
+	return Result{
+		Submitted:   submitted + cfg.Loners,
+		Answered:    answered,
+		Unanswered:  submitted - answered,
+		Duration:    time.Since(start),
+		Latencies:   latencies,
+		Coordinator: sys.Coordinator().Stats(),
+	}, nil
+}
+
+// PctLatency returns the p-th percentile latency (p in (0,100]).
+func (r Result) PctLatency(p float64) time.Duration {
+	if len(r.Latencies) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), r.Latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

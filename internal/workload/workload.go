@@ -1,0 +1,282 @@
+// Package workload generates and drives the coordination workloads of the
+// demonstration outline (§3): pairs, groups, flight+hotel trips, ad-hoc
+// overlap graphs, and the "loaded system, where a large number of entangled
+// queries are trying to coordinate simultaneously" used to demonstrate
+// scalability. The benchmarks in the repository root regenerate every
+// experiment through this package.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/coord"
+	"repro/internal/core"
+	"repro/internal/travel"
+)
+
+// Config parameterizes a generated workload.
+type Config struct {
+	// Pairs is the number of two-person coordinations to generate.
+	Pairs int
+	// GroupSize and Groups generate group coordinations (§3.1 "Group flight
+	// booking"); each group member constrains every other member.
+	GroupSize int
+	Groups    int
+	// Trip adds hotel coordination to every request (two answer atoms).
+	Trip bool
+	// Loners is the number of never-matching queries pre-loaded as pending
+	// noise: their partners never arrive, so they sit in the pending tables
+	// and tax every later coordination round.
+	Loners int
+	// Concurrency bounds concurrent submitters in Run (default 8).
+	Concurrency int
+	// PartnerDelay staggers pair arrivals: the second query of each pair is
+	// submitted this long after the first, exercising the park→retry path
+	// instead of the immediate-match path.
+	PartnerDelay time.Duration
+	// Seed drives destination/price jitter.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Concurrency == 0 {
+		c.Concurrency = 8
+	}
+	if c.GroupSize == 0 {
+		c.GroupSize = 4
+	}
+	return c
+}
+
+// Generator produces entangled-query SQL for synthetic participants.
+type Generator struct {
+	cfg Config
+	rng *rand.Rand
+}
+
+// NewGenerator builds a generator.
+func NewGenerator(cfg Config) *Generator {
+	cfg = cfg.withDefaults()
+	return &Generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// dest rotates destinations so load spreads across candidate sets.
+func (g *Generator) dest(i int) string {
+	return travel.Destinations[i%len(travel.Destinations)]
+}
+
+// PairQueries returns the two symmetric queries of pair i.
+func (g *Generator) PairQueries(i int) (string, string) {
+	a := fmt.Sprintf("p%d_a", i)
+	b := fmt.Sprintf("p%d_b", i)
+	f := travel.FlightFilter{Dest: g.dest(i)}
+	if g.cfg.Trip {
+		h := travel.HotelFilter{City: g.dest(i)}
+		return travel.BuildTripQuery(a, []string{b}, f, h), travel.BuildTripQuery(b, []string{a}, f, h)
+	}
+	return travel.BuildFlightQuery(a, []string{b}, f), travel.BuildFlightQuery(b, []string{a}, f)
+}
+
+// GroupQueries returns the GroupSize mutually-constraining queries of group i.
+func (g *Generator) GroupQueries(i int) []string {
+	names := make([]string, g.cfg.GroupSize)
+	for j := range names {
+		names[j] = fmt.Sprintf("g%d_m%d", i, j)
+	}
+	f := travel.FlightFilter{Dest: g.dest(i)}
+	out := make([]string, len(names))
+	for j, self := range names {
+		var friends []string
+		for k, o := range names {
+			if k != j {
+				friends = append(friends, o)
+			}
+		}
+		if g.cfg.Trip {
+			out[j] = travel.BuildTripQuery(self, friends, f, travel.HotelFilter{City: g.dest(i)})
+		} else {
+			out[j] = travel.BuildFlightQuery(self, friends, f)
+		}
+	}
+	return out
+}
+
+// LonerQuery returns a query whose partner never arrives.
+func (g *Generator) LonerQuery(i int) string {
+	self := fmt.Sprintf("loner%d", i)
+	ghost := fmt.Sprintf("ghost%d", i)
+	return travel.BuildFlightQuery(self, []string{ghost}, travel.FlightFilter{Dest: g.dest(i)})
+}
+
+// Result aggregates a workload run.
+type Result struct {
+	Submitted   int
+	Answered    int
+	Unanswered  int
+	Duration    time.Duration
+	Latencies   []time.Duration // per answered query, submit→answer
+	Coordinator coord.StatsSnapshot
+}
+
+// Throughput returns answered queries per second.
+func (r Result) Throughput() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Answered) / r.Duration.Seconds()
+}
+
+// AvgLatency returns the mean submit→answer latency.
+func (r Result) AvgLatency() time.Duration {
+	if len(r.Latencies) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, l := range r.Latencies {
+		sum += l
+	}
+	return sum / time.Duration(len(r.Latencies))
+}
+
+// MaxLatency returns the worst submit→answer latency.
+func (r Result) MaxLatency() time.Duration {
+	var max time.Duration
+	for _, l := range r.Latencies {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// String renders a one-line summary (used by cmd/loadgen).
+func (r Result) String() string {
+	return fmt.Sprintf("submitted=%d answered=%d unanswered=%d dur=%s thpt=%.0f/s avg=%s max=%s",
+		r.Submitted, r.Answered, r.Unanswered, r.Duration.Round(time.Millisecond),
+		r.Throughput(), r.AvgLatency().Round(time.Microsecond), r.MaxLatency().Round(time.Microsecond))
+}
+
+// NewSystem builds a Youtopia instance seeded with the travel catalog sized
+// for workload runs.
+func NewSystem(seed int64) (*core.System, error) {
+	sys := core.NewSystem(core.Config{Coord: coord.Options{
+		UseIndex: true, GroundSmallestFirst: true, Seed: seed,
+	}})
+	// Disable auto-retry noise during bulk loading benchmarks: matches occur
+	// on arrival anyway. Loaded-system runs re-enable retry explicitly.
+	if err := travel.Seed(sys, travel.SeedConfig{Seed: seed}); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+// Run drives the configured workload against a system: first Loners, then
+// all pairs and groups with Concurrency submitters, waiting for every
+// non-loner to be answered. It returns aggregate metrics.
+func Run(sys *core.System, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	g := NewGenerator(cfg)
+
+	for i := 0; i < cfg.Loners; i++ {
+		if _, err := sys.Submit(g.LonerQuery(i), "loadgen"); err != nil {
+			return Result{}, fmt.Errorf("loner %d: %w", i, err)
+		}
+	}
+
+	type job struct{ queries []string }
+	var jobs []job
+	for i := 0; i < cfg.Pairs; i++ {
+		a, b := g.PairQueries(i)
+		jobs = append(jobs, job{queries: []string{a, b}})
+	}
+	for i := 0; i < cfg.Groups; i++ {
+		jobs = append(jobs, job{queries: g.GroupQueries(i)})
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		answered  int
+		firstErr  error
+	)
+	start := time.Now()
+	sem := make(chan struct{}, cfg.Concurrency)
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			handles := make([]*coord.Handle, 0, len(j.queries))
+			t0 := time.Now()
+			for qi, q := range j.queries {
+				if qi > 0 && cfg.PartnerDelay > 0 {
+					time.Sleep(cfg.PartnerDelay)
+				}
+				h, err := sys.Submit(q, "loadgen")
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				handles = append(handles, h)
+			}
+			timeout := time.After(30 * time.Second)
+			done := make(chan struct{})
+			go func() { <-timeout; close(done) }()
+			for _, h := range handles {
+				if _, ok := h.Wait(done); !ok {
+					return // unanswered within deadline
+				}
+				mu.Lock()
+				answered++
+				latencies = append(latencies, time.Since(t0))
+				mu.Unlock()
+			}
+		}(j)
+	}
+	wg.Wait()
+	dur := time.Since(start)
+	if firstErr != nil {
+		return Result{}, firstErr
+	}
+	submitted := cfg.Loners
+	for _, j := range jobs {
+		submitted += len(j.queries)
+	}
+	return Result{
+		Submitted:   submitted,
+		Answered:    answered,
+		Unanswered:  submitted - answered - cfg.Loners,
+		Duration:    dur,
+		Latencies:   latencies,
+		Coordinator: sys.Coordinator().Stats(),
+	}, nil
+}
+
+// AdHocChain submits a chain of n queries q1..qn where qi coordinates with
+// q(i+1) on flights (and the last with the first via hotels when trip), an
+// "arbitrary groups ... in flexible ways" stressor. Returns the sources.
+func AdHocChain(n int, dest string) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("chain%d", i)
+	}
+	out := make([]string, n)
+	for i, self := range names {
+		next := names[(i+1)%n]
+		out[i] = travel.BuildFlightQuery(self, []string{next}, travel.FlightFilter{Dest: dest})
+	}
+	return out
+}
+
+// JoinSources is a helper for printing generated workloads.
+func JoinSources(srcs []string) string { return strings.Join(srcs, ";\n") }

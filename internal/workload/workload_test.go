@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestGeneratorPairQueries(t *testing.T) {
+	g := NewGenerator(Config{Pairs: 2})
+	a, b := g.PairQueries(0)
+	if !strings.Contains(a, "'p0_b'") || !strings.Contains(b, "'p0_a'") {
+		t.Errorf("pair queries not symmetric:\n%s\n%s", a, b)
+	}
+	if !strings.Contains(a, "INTO ANSWER Reservation") {
+		t.Errorf("missing answer relation: %s", a)
+	}
+}
+
+func TestGeneratorTripQueries(t *testing.T) {
+	g := NewGenerator(Config{Pairs: 1, Trip: true})
+	a, _ := g.PairQueries(0)
+	if !strings.Contains(a, "HotelReservation") {
+		t.Errorf("trip query lacks hotel atom: %s", a)
+	}
+}
+
+func TestGeneratorGroupQueries(t *testing.T) {
+	g := NewGenerator(Config{GroupSize: 4})
+	qs := g.GroupQueries(0)
+	if len(qs) != 4 {
+		t.Fatalf("group size = %d", len(qs))
+	}
+	// Each member constrains the other three ("IN ANSWER"; the head clause
+	// spells "INTO ANSWER", which does not contain the substring).
+	if got := strings.Count(qs[0], "IN ANSWER"); got != 3 {
+		t.Errorf("constraints in %q: %d, want 3", qs[0], got)
+	}
+}
+
+func TestRunPairsSmall(t *testing.T) {
+	sys, err := NewSystem(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(sys, Config{Pairs: 5, Concurrency: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answered != 10 || res.Unanswered != 0 {
+		t.Errorf("result = %s", res)
+	}
+	if res.Coordinator.Matches != 5 {
+		t.Errorf("matches = %d", res.Coordinator.Matches)
+	}
+	if res.AvgLatency() <= 0 || res.MaxLatency() < res.AvgLatency() {
+		t.Errorf("latencies: avg=%s max=%s", res.AvgLatency(), res.MaxLatency())
+	}
+	if res.Throughput() <= 0 {
+		t.Error("throughput")
+	}
+}
+
+func TestRunGroups(t *testing.T) {
+	sys, err := NewSystem(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(sys, Config{Groups: 3, GroupSize: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answered != 9 {
+		t.Errorf("answered = %d, want 9", res.Answered)
+	}
+}
+
+func TestRunWithLoners(t *testing.T) {
+	sys, err := NewSystem(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(sys, Config{Pairs: 3, Loners: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answered != 6 {
+		t.Errorf("answered = %d", res.Answered)
+	}
+	if sys.Coordinator().PendingCount() != 10 {
+		t.Errorf("pending = %d, want the 10 loners", sys.Coordinator().PendingCount())
+	}
+}
+
+func TestRunOpenPoisson(t *testing.T) {
+	sys, err := NewSystem(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunOpen(sys, Config{Seed: 9}, 500, 150*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Submitted < 2 {
+		t.Fatalf("no arrivals in window: %+v", res)
+	}
+	if res.Answered != res.Submitted {
+		t.Errorf("answered %d of %d", res.Answered, res.Submitted)
+	}
+	if res.PctLatency(50) <= 0 || res.PctLatency(99) < res.PctLatency(50) {
+		t.Errorf("percentiles: p50=%s p99=%s", res.PctLatency(50), res.PctLatency(99))
+	}
+	if _, err := RunOpen(sys, Config{}, 0, time.Millisecond); err == nil {
+		t.Error("rate 0 accepted")
+	}
+}
+
+func TestPartnerDelayStaggersMatching(t *testing.T) {
+	sys, err := NewSystem(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(sys, Config{Pairs: 3, PartnerDelay: 5 * time.Millisecond, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answered != 6 {
+		t.Fatalf("answered = %d", res.Answered)
+	}
+	// Latency includes the stagger.
+	if res.AvgLatency() < 5*time.Millisecond {
+		t.Errorf("avg latency %s below the partner delay", res.AvgLatency())
+	}
+}
+
+func TestAdHocChainMatches(t *testing.T) {
+	sys, err := NewSystem(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := AdHocChain(5, "Paris")
+	if len(srcs) != 5 {
+		t.Fatal("chain size")
+	}
+	if !strings.Contains(JoinSources(srcs), "chain4") {
+		t.Error("JoinSources lost a member")
+	}
+	for _, src := range srcs {
+		if _, err := sys.Submit(src, "chain"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The full 5-cycle should have matched on the last arrival.
+	if sys.Coordinator().PendingCount() != 0 {
+		t.Errorf("pending = %d; chain did not close", sys.Coordinator().PendingCount())
+	}
+}
