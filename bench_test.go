@@ -262,6 +262,63 @@ func BenchmarkE8_LoadedSystem(b *testing.B) {
 	}
 }
 
+// BenchmarkE10_ShardedArrivals — the sharded-coordinator experiment:
+// concurrent pair coordinations over DISJOINT answer-relation footprints
+// (Reservation0..Reservation15), so a relation-partitioned coordinator can
+// run the arrivals on independent lanes. Run with -cpu 1,2,4 to scale the
+// submitters; the shards=1 configuration is the A7 ablation — the paper's
+// single serialized coordination round — and the speedup of shards=N over
+// it is the payoff of the sharding refactor.
+func BenchmarkE10_ShardedArrivals(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchShardedArrivals(b, shards, 16, 2_000_000)
+		})
+	}
+}
+
+// BenchmarkA7_ShardCount — ablation: lane count under the same
+// disjoint-footprint concurrent load, from the serialized round (1) up.
+func BenchmarkA7_ShardCount(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchShardedArrivals(b, shards, 17, 4_000_000)
+		})
+	}
+}
+
+// benchShardedArrivals drives concurrent pair coordinations over 16
+// disjoint footprints against a coordinator with the given lane count. The
+// pair-id offset keeps participant names distinct across benchmark configs.
+func benchShardedArrivals(b *testing.B, shards int, seed int64, offset int) {
+	b.Helper()
+	sys, err := workload.NewSystemShards(seed, shards)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := workload.NewGenerator(workload.Config{Seed: seed, Footprints: 16})
+	var pair atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			// Each iteration is one full pair coordination on the footprint
+			// lane its pair index rotates onto.
+			i := int(pair.Add(1)) + offset
+			qa, qb := gen.PairQueries(i)
+			h1, err := sys.Submit(qa, "bench")
+			if err != nil {
+				b.Fatal(err)
+			}
+			h2, err := sys.Submit(qb, "bench")
+			if err != nil {
+				b.Fatal(err)
+			}
+			mustWait(b, h1)
+			mustWait(b, h2)
+		}
+	})
+}
+
 // BenchmarkE9_BaselineVsYoutopia — the §1 comparison: entangled queries vs
 // out-of-band middle-tier polling for one pair agreement.
 func BenchmarkE9_BaselineVsYoutopia(b *testing.B) {

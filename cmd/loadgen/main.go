@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/workload"
 )
 
@@ -29,7 +30,10 @@ func main() {
 	lonersCSV := flag.String("loners", "0,100,500,1000", "pending-noise sweep")
 	concurrency := flag.Int("c", 8, "concurrent submitters")
 	seed := flag.Int64("seed", 1, "workload seed")
+	shards := flag.Int("shards", 0, "coordination lanes (0 = GOMAXPROCS, 1 = unsharded)")
+	footprints := flag.Int("footprints", 0, "disjoint answer-relation footprints to spread pairs across (0/1 = shared Reservation)")
 	rates := flag.String("rates", "", "open-system mode: Poisson pair-arrival rates/sec to sweep (e.g. \"100,500,2000\")")
+	shardStats := flag.Bool("shardstats", false, "print per-shard coordination stats after the sweep")
 	runFor := flag.Duration("runtime", 2*time.Second, "open-system mode: duration per rate")
 	flag.Parse()
 
@@ -41,11 +45,11 @@ func main() {
 			if err != nil {
 				log.Fatalf("bad -rates entry %q", part)
 			}
-			sys, err := workload.NewSystem(*seed)
+			sys, err := workload.NewSystemShards(*seed, *shards)
 			if err != nil {
 				log.Fatal(err)
 			}
-			res, err := workload.RunOpen(sys, workload.Config{Seed: *seed}, rate, *runFor)
+			res, err := workload.RunOpen(sys, workload.Config{Seed: *seed, Footprints: *footprints}, rate, *runFor)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -68,14 +72,17 @@ func main() {
 
 	fmt.Printf("%-8s %-10s %-10s %-12s %-12s %-12s\n",
 		"loners", "answered", "thpt/s", "avg-lat", "max-lat", "nodes")
+	var lastSys *core.System
 	for _, l := range loners {
-		sys, err := workload.NewSystem(*seed)
+		sys, err := workload.NewSystemShards(*seed, *shards)
 		if err != nil {
 			log.Fatal(err)
 		}
+		lastSys = sys
 		res, err := workload.Run(sys, workload.Config{
 			Pairs: *pairs, Groups: *groups, GroupSize: *groupSize,
 			Trip: *trip, Loners: l, Concurrency: *concurrency, Seed: *seed,
+			Footprints: *footprints,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -84,5 +91,12 @@ func main() {
 			l, res.Answered, res.Throughput(),
 			res.AvgLatency().Round(1000), res.MaxLatency().Round(1000),
 			res.Coordinator.NodesExplored)
+	}
+	if lastSys != nil && *shardStats {
+		fmt.Println("\nper-shard stats of the last run:")
+		for _, si := range lastSys.Coordinator().Shards() {
+			fmt.Printf("  shard %-3d pending=%-5d matches=%-7d answered=%-7d escalations=%-5d relations=%v\n",
+				si.ID, si.Pending, si.Stats.Matches, si.Stats.Answered, si.Stats.Escalations, si.Relations)
+		}
 	}
 }

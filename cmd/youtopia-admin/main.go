@@ -26,6 +26,7 @@ import (
 
 func main() {
 	scenario := flag.String("scenario", "all", "pair | trip | group | adhoc | all")
+	shards := flag.Int("shards", 0, "coordination lanes (0 = GOMAXPROCS, 1 = the paper's single serialized round)")
 	flag.Parse()
 
 	run := func(name string, f func(*travel.Service) error) {
@@ -33,7 +34,7 @@ func main() {
 			return
 		}
 		fmt.Printf("\n================ scenario: %s ================\n", name)
-		sys := core.NewSystem(core.Config{})
+		sys := core.NewSystem(core.Config{CoordShards: *shards})
 		if err := travel.SeedFigure1(sys); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

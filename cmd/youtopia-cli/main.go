@@ -155,6 +155,11 @@ func meta(sys *core.System, cmd string) bool {
 		}
 	case `\state`:
 		fmt.Print(sys.Coordinator().DumpState())
+	case `\shards`:
+		for _, si := range sys.Coordinator().Shards() {
+			fmt.Printf("shard %d: pending=%d relations=%v matches=%d answered=%d escalations=%d\n",
+				si.ID, si.Pending, si.Relations, si.Stats.Matches, si.Stats.Answered, si.Stats.Escalations)
+		}
 	case `\dot`:
 		fmt.Print(sys.Coordinator().DOT())
 	case `\why`:
@@ -183,7 +188,7 @@ func meta(sys *core.System, cmd string) bool {
 			fmt.Printf("q%d [%s] waiting %s: %s\n", p.ID, p.Owner, p.Waiting.Round(1e6), p.Logic)
 		}
 	case `\help`:
-		fmt.Println(`\seed \fig1 \state \pending \why <id> \dot \quit — SQL statements end with ';'. Prefix EXPLAIN to see an entangled query's compiled form.`)
+		fmt.Println(`\seed \fig1 \state \shards \pending \why <id> \dot \quit — SQL statements end with ';'. Prefix EXPLAIN to see an entangled query's compiled form.`)
 	default:
 		fmt.Println("unknown meta command; \\help for help")
 	}

@@ -26,9 +26,10 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7717", "listen address")
 	seed := flag.Bool("seed", false, "preload the demo travel catalog")
 	walPath := flag.String("wal", "", "write-ahead log path (enables durability)")
+	shards := flag.Int("shards", 0, "coordination lanes (0 = GOMAXPROCS, 1 = unsharded)")
 	flag.Parse()
 
-	cfg := core.Config{WALPath: *walPath}
+	cfg := core.Config{WALPath: *walPath, CoordShards: *shards}
 	sys := core.NewSystem(cfg)
 	if err := sys.Err(); err != nil {
 		log.Fatal(err)

@@ -21,9 +21,9 @@ type PendingInfo struct {
 	Waiting   time.Duration
 }
 
-// Pending lists parked queries in submission order.
+// Pending lists parked queries in submission order, merged across shards.
 func (c *Coordinator) Pending() []PendingInfo {
-	ps := c.reg.all()
+	ps := c.allPending()
 	out := make([]PendingInfo, len(ps))
 	now := time.Now()
 	for i, p := range ps {
@@ -52,7 +52,7 @@ type Edge struct {
 // drawn when a constraint atom of one query locally unifies with a head atom
 // of another (it may still fail joint unification or grounding).
 func (c *Coordinator) EntanglementGraph() []Edge {
-	ps := c.reg.all()
+	ps := c.allPending()
 	var edges []Edge
 	for _, from := range ps {
 		for _, cons := range from.q.Constraints {
@@ -127,16 +127,17 @@ type ConstraintDiag struct {
 // of "why is Jerry still waiting?" question). It returns false when the
 // query is not pending.
 func (c *Coordinator) Diagnose(id uint64) (Diagnosis, bool) {
-	p := c.reg.get(id)
-	if p == nil {
+	v, ok := c.byID.Load(id)
+	if !ok {
 		return Diagnosis{}, false
 	}
+	p := v.(*pending)
 	d := Diagnosis{ID: id, Logic: p.q.String()}
 	exclude := map[uint64]bool{id: true}
 	uncovered := 0
 	for _, cons := range p.q.Constraints {
 		cd := ConstraintDiag{Constraint: cons.String()}
-		cd.PendingHeads = len(c.reg.candidates(cons, exclude, true))
+		cd.PendingHeads = len(c.candidates(cons, exclude, nil, nil))
 		// Self-covering heads count too (a reflexive constraint).
 		for _, h := range p.q.Heads {
 			if eq.Unifiable(cons, h) {
@@ -187,9 +188,15 @@ func (c *Coordinator) DumpState() string {
 			fmt.Fprintf(&b, "    %s\n", t)
 		}
 	}
+	shards := c.Shards()
+	fmt.Fprintf(&b, "=== Coordination lanes (%d) ===\n", len(shards))
+	for _, si := range shards {
+		fmt.Fprintf(&b, "  shard %d: pending=%d matches=%d answered=%d escalations=%d relations=%v\n",
+			si.ID, si.Pending, si.Stats.Matches, si.Stats.Answered, si.Stats.Escalations, si.Relations)
+	}
 	s := c.Stats()
-	fmt.Fprintf(&b, "=== Stats ===\n  submitted=%d answered=%d matches=%d parked=%d canceled=%d retries=%d nodes=%d groundings=%d/%d ok\n",
-		s.Submitted, s.Answered, s.Matches, s.Parked, s.Canceled, s.Retries, s.NodesExplored,
+	fmt.Fprintf(&b, "=== Stats ===\n  submitted=%d answered=%d matches=%d parked=%d canceled=%d retries=%d escalations=%d nodes=%d groundings=%d/%d ok\n",
+		s.Submitted, s.Answered, s.Matches, s.Parked, s.Canceled, s.Retries, s.Escalations, s.NodesExplored,
 		s.GroundingAttempts-s.GroundingFailures, s.GroundingAttempts)
 	return b.String()
 }

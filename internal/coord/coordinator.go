@@ -16,7 +16,7 @@ import (
 
 // Options tune the coordination component. The zero value is usable; New
 // fills in defaults. The knobs double as the ablation switches indexed in
-// DESIGN.md (A1–A3).
+// DESIGN.md (A1–A3, A5, A7).
 type Options struct {
 	// MaxMatchSize bounds how many queries one match may join (A2). Matching
 	// is NP-hard in general; the bound keeps arrival latency predictable.
@@ -35,14 +35,22 @@ type Options struct {
 	// the match just installed — on loaded systems this skips the unrelated
 	// noise queries entirely.
 	FullRetryOnMatch bool
+	// Shards is the number of relation-partitioned coordination lanes (A7
+	// ablation at 1). Each arriving query is routed to the shards owning the
+	// relations of its footprint; queries on disjoint footprints coordinate
+	// fully in parallel, and footprint-spanning queries escalate to a
+	// deterministic multi-shard lock acquisition (see shard.go). Zero means
+	// 1 — the paper's single serialized coordination round.
+	Shards int
 	// Seed drives the nondeterministic CHOOSE; a fixed seed makes runs
-	// reproducible.
+	// reproducible (per shard, each shard derives its own stream).
 	Seed int64
 	// PendingTTL, when positive, bounds how long a query may wait for
 	// coordination: queries pending longer are withdrawn (Canceled outcome)
-	// during the expiry pass run at the start of every coordination round,
-	// and by ExpirePending. The paper parks unmatched queries indefinitely;
-	// a production deployment needs the lease. Zero disables expiry.
+	// during the expiry pass run at the start of every coordination round on
+	// the shards the round locks, and by ExpirePending. The paper parks
+	// unmatched queries indefinitely; a production deployment needs the
+	// lease. Zero disables expiry.
 	PendingTTL time.Duration
 	// ValidateMatches re-verifies, after every successful match, that each
 	// delivered answer's constraints are satisfied by the answer relations —
@@ -58,16 +66,20 @@ func (o Options) withDefaults() Options {
 	if o.MaxNodes == 0 {
 		o.MaxNodes = 200_000
 	}
+	if o.Shards <= 0 {
+		o.Shards = 1
+	}
 	return o
 }
 
 // DefaultOptions returns the defaults used by New when no options are given:
-// index on, smallest-first grounding, match bound 16.
+// index on, smallest-first grounding, match bound 16, one shard.
 func DefaultOptions() Options {
 	return Options{UseIndex: true, GroundSmallestFirst: true}.withDefaults()
 }
 
-// Stats counts coordination activity; all fields are cumulative.
+// Stats counts coordination activity; all fields are cumulative. Each shard
+// keeps its own instance; Coordinator.Stats merges them.
 type Stats struct {
 	Submitted         atomic.Uint64
 	Answered          atomic.Uint64 // queries answered (across all matches)
@@ -76,47 +88,87 @@ type Stats struct {
 	Canceled          atomic.Uint64
 	Expired           atomic.Uint64 // pending queries withdrawn by TTL
 	Retries           atomic.Uint64 // pending queries re-attempted
+	Escalations       atomic.Uint64 // rounds widened to a cross-shard lane
 	NodesExplored     atomic.Uint64
 	GroundingAttempts atomic.Uint64
 	GroundingFailures atomic.Uint64
 }
 
+func (s *Stats) snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Submitted:         s.Submitted.Load(),
+		Answered:          s.Answered.Load(),
+		Matches:           s.Matches.Load(),
+		Parked:            s.Parked.Load(),
+		Canceled:          s.Canceled.Load(),
+		Expired:           s.Expired.Load(),
+		Retries:           s.Retries.Load(),
+		Escalations:       s.Escalations.Load(),
+		NodesExplored:     s.NodesExplored.Load(),
+		GroundingAttempts: s.GroundingAttempts.Load(),
+		GroundingFailures: s.GroundingFailures.Load(),
+	}
+}
+
 // StatsSnapshot is a plain-value copy of Stats.
 type StatsSnapshot struct {
 	Submitted, Answered, Matches, Parked, Canceled uint64
-	Expired, Retries, NodesExplored                uint64
+	Expired, Retries, Escalations, NodesExplored   uint64
 	GroundingAttempts, GroundingFailures           uint64
 }
 
-// Coordinator is the coordination component. One instance serializes all
-// coordination rounds — mirroring the paper's design, where the coordination
-// logic "runs whenever an entangled query arrives in the system".
+func (s *StatsSnapshot) add(o StatsSnapshot) {
+	s.Submitted += o.Submitted
+	s.Answered += o.Answered
+	s.Matches += o.Matches
+	s.Parked += o.Parked
+	s.Canceled += o.Canceled
+	s.Expired += o.Expired
+	s.Retries += o.Retries
+	s.Escalations += o.Escalations
+	s.NodesExplored += o.NodesExplored
+	s.GroundingAttempts += o.GroundingAttempts
+	s.GroundingFailures += o.GroundingFailures
+}
+
+// Coordinator is the coordination component. The paper's design runs the
+// coordination logic "whenever an entangled query arrives in the system";
+// here that logic is partitioned into Options.Shards relation-sharded lanes,
+// each serializing only the rounds that touch its relations. With one shard
+// this degenerates to the paper's single serialized round.
 type Coordinator struct {
 	eng   *engine.Engine
 	store *answers.Store
 	opts  Options
 
-	// round serializes coordination rounds (arrival processing and retries).
-	round sync.Mutex
-	reg   *registry
+	shards []*coordShard
+	// byID is the global pending-query directory: id → *pending. Its
+	// LoadAndDelete in unregister is the single claim gate deciding which
+	// round (match, expiry, cancel) delivers a query's outcome.
+	byID sync.Map
 
 	nextID atomic.Uint64
-	stats  Stats
-
-	rngMu sync.Mutex
-	rng   *rand.Rand
 }
 
 // New builds a Coordinator over an execution engine and an answer store.
 func New(eng *engine.Engine, store *answers.Store, opts Options) *Coordinator {
 	o := opts.withDefaults()
-	return &Coordinator{
-		eng:   eng,
-		store: store,
-		opts:  o,
-		reg:   newRegistry(),
-		rng:   rand.New(rand.NewSource(o.Seed)),
+	c := &Coordinator{
+		eng:    eng,
+		store:  store,
+		opts:   o,
+		shards: make([]*coordShard, o.Shards),
 	}
+	for i := range c.shards {
+		c.shards[i] = &coordShard{
+			id:  i,
+			reg: newRegistry(),
+			// Each shard derives its own deterministic stream; shard 0 uses
+			// the seed itself, so shards=1 reproduces the unsharded runs.
+			rng: rand.New(rand.NewSource(o.Seed + int64(i)*0x9E3779B9)),
+		}
+	}
+	return c
 }
 
 // Store exposes the coordinator's answer store.
@@ -125,21 +177,15 @@ func (c *Coordinator) Store() *answers.Store { return c.store }
 // Engine exposes the coordinator's execution engine.
 func (c *Coordinator) Engine() *engine.Engine { return c.eng }
 
-// shuffle permutes tuples using the coordinator's seeded RNG — the
-// nondeterministic choice of §2.1.
-func (c *Coordinator) shuffle(tuples []value.Tuple) {
-	c.rngMu.Lock()
-	defer c.rngMu.Unlock()
-	c.rng.Shuffle(len(tuples), func(i, j int) {
-		tuples[i], tuples[j] = tuples[j], tuples[i]
-	})
-}
+// NumShards returns the number of coordination lanes.
+func (c *Coordinator) NumShards() int { return len(c.shards) }
 
 // Submit registers a compiled entangled query under an optional owner label
-// and immediately runs a coordination round. If the query can be matched now
-// (possibly recruiting other pending queries), everyone involved is answered
-// atomically and their handles fire; otherwise the query parks in the
-// pending tables and the returned handle fires on a later round.
+// and immediately runs a coordination round on the lane(s) its relation
+// footprint maps to. If the query can be matched now (possibly recruiting
+// other pending queries), everyone involved is answered atomically and
+// their handles fire; otherwise the query parks in the pending tables and
+// the returned handle fires on a later round.
 func (c *Coordinator) Submit(q *eq.Query, owner string) (*Handle, error) {
 	if q == nil || len(q.Heads) == 0 {
 		return nil, fmt.Errorf("coord: empty query")
@@ -171,30 +217,15 @@ func (c *Coordinator) Submit(q *eq.Query, owner string) (*Handle, error) {
 		q:         q,
 		owner:     owner,
 		submitted: time.Now(),
-		handle:    nil,
+		rels:      relationsOf(q),
 	}
+	p.shards = c.shardSet(p.rels)
+	p.home = p.shards[0]
 	p.handle = &Handle{ID: p.id, ch: make(chan Outcome, 1)}
-	c.stats.Submitted.Add(1)
+	c.shards[p.home].stats.Submitted.Add(1)
 
-	c.round.Lock()
-	defer c.round.Unlock()
-	c.expireLocked(time.Now())
-	// Register first: the query's own head is a legitimate cover for its own
-	// or recruited queries' constraints, and search excludes members from
-	// recruitment by id.
-	c.reg.add(p)
-	if res, ok := c.search(p); ok {
-		installed := c.finalize(res)
-		// A successful match may unblock previously parked queries whose
-		// constraints refer to the just-installed answers.
-		if c.opts.FullRetryOnMatch {
-			c.retryLocked(nil)
-		} else {
-			c.retryLocked(installed)
-		}
-	} else {
-		c.stats.Parked.Add(1)
-	}
+	_, deferred := c.coordinate(p, true)
+	c.runDeferred(deferred)
 	return p.handle, nil
 }
 
@@ -207,18 +238,99 @@ func (c *Coordinator) SubmitSQL(src, owner string) (*Handle, error) {
 	return c.Submit(q, owner)
 }
 
+// coordinate runs one coordination round for p: lock the lane of p's
+// footprint, run the coverage search, and on success finalize the match and
+// cascade targeted retries within the lane. When the search fails only
+// because candidates were foreign to the lane (their footprints span
+// unlocked shards), the round escalates: it widens the lane to the shard
+// closure of p's footprint — deterministically, in shard-id order — and
+// retries. Arrival rounds (arrival=true) register p first and count Parked
+// on failure; retry rounds re-check that p is still pending after every
+// lock acquisition and count Retries.
+//
+// It returns whether a match was finalized, plus the ids of affected
+// pending queries that could not be retried inside this lane (their
+// footprints span shards the lane does not hold) — the caller runs those
+// through runDeferred after the lane is released.
+func (c *Coordinator) coordinate(p *pending, arrival bool) (matched bool, deferred []uint64) {
+	home := &c.shards[p.home].stats
+	want := p.shards
+	for attempt := 0; ; attempt++ {
+		ln := c.lockLane(want)
+		if arrival && attempt == 0 {
+			c.expireIn(ln, time.Now())
+			// Register first: the query's own head is a legitimate cover for
+			// its own or recruited queries' constraints, and search excludes
+			// members from recruitment by id.
+			c.register(p)
+		} else if !c.isPending(p.id) {
+			// Another lane answered, expired or canceled p while this round
+			// was waiting for locks.
+			ln.unlock()
+			return false, nil
+		}
+		if !arrival {
+			home.Retries.Add(1)
+		}
+		res, ok, sawForeign := c.search(ln, p)
+		if ok {
+			installed := c.finalize(res)
+			// A successful match may unblock previously parked queries whose
+			// constraints refer to the just-installed answers.
+			if c.opts.FullRetryOnMatch {
+				installed = nil
+			}
+			deferred = c.retryIn(ln, installed)
+			ln.unlock()
+			return true, deferred
+		}
+		if sawForeign && attempt < len(c.shards) {
+			wider := c.closure(want)
+			if len(wider) > len(want) {
+				ln.unlock()
+				home.Escalations.Add(1)
+				want = wider
+				continue
+			}
+		}
+		if arrival {
+			home.Parked.Add(1)
+		}
+		ln.unlock()
+		return false, nil
+	}
+}
+
+// runDeferred drives escalated coordination rounds for queries a lane could
+// not retry in place. Each deferred query gets its own round (with its own
+// lane and escalation); matches there may defer further queries, which join
+// the queue. The queue drains because every matching round removes at least
+// one pending query and non-matching rounds add nothing.
+func (c *Coordinator) runDeferred(ids []uint64) {
+	for qi := 0; qi < len(ids); qi++ {
+		v, ok := c.byID.Load(ids[qi])
+		if !ok {
+			continue // already answered or withdrawn
+		}
+		_, more := c.coordinate(v.(*pending), false)
+		ids = append(ids, more...)
+	}
+}
+
 // finalize removes matched queries from the pending tables and delivers
 // outcomes, returning the tuples the match installed (relation → tuples).
-// Caller holds c.round.
+// Caller holds the lane covering every member.
 func (c *Coordinator) finalize(res *installResult) map[string][]value.Tuple {
 	if c.opts.ValidateMatches {
 		c.validateMatch(res)
 	}
-	c.stats.Matches.Add(1)
+	c.shards[res.members[0].home].stats.Matches.Add(1)
 	installed := make(map[string][]value.Tuple)
 	for _, m := range res.members {
-		c.reg.remove(m.id)
-		c.stats.Answered.Add(1)
+		if c.unregister(m.id) == nil {
+			continue // defensive: lane coverage should make this impossible
+		}
+		c.shards[m.home].stats.Answered.Add(1)
 		answers := res.perQuery[m.id]
 		for _, a := range answers {
 			rel := strings.ToLower(a.Relation)
@@ -310,37 +422,20 @@ func affectedBy(q *eq.Query, installed map[string][]value.Tuple) bool {
 // Retry re-attempts coordination for every pending query. Call it after base
 // table updates that might unblock waiting queries ("a query whose
 // postcondition is not satisfied … waits for an opportunity to retry").
-// It loops until a full pass makes no progress.
+// It loops until a full pass makes no progress. Each pending query gets its
+// own coordination round on its own lane, so a Retry never stops the world.
 func (c *Coordinator) Retry() {
-	c.round.Lock()
-	defer c.round.Unlock()
-	c.retryLocked(nil)
-}
-
-// retryLocked re-attempts pending queries. When installed is non-nil, only
-// queries with a constraint that could unify with a freshly installed tuple
-// are tried (targeted retry); tuples installed by those retries extend the
-// trigger set, so chains of unblocking still cascade. Caller holds c.round.
-func (c *Coordinator) retryLocked(installed map[string][]value.Tuple) {
 	for {
 		progressed := false
-		for _, p := range c.reg.all() {
-			if c.reg.get(p.id) == nil {
+		for _, p := range c.allPending() {
+			if !c.isPending(p.id) {
 				continue // answered earlier in this pass
 			}
-			if installed != nil && !affectedBy(p.q, installed) {
-				continue
-			}
-			c.stats.Retries.Add(1)
-			if res, ok := c.search(p); ok {
-				more := c.finalize(res)
+			matched, deferred := c.coordinate(p, false)
+			if matched {
 				progressed = true
-				if installed != nil {
-					for rel, tuples := range more {
-						installed[rel] = append(installed[rel], tuples...)
-					}
-				}
 			}
+			c.runDeferred(deferred)
 		}
 		if !progressed {
 			return
@@ -348,64 +443,159 @@ func (c *Coordinator) retryLocked(installed map[string][]value.Tuple) {
 	}
 }
 
-// ExpirePending withdraws every query that has been pending longer than
-// Options.PendingTTL, returning how many were expired. It is also run
-// automatically at the start of each coordination round.
-func (c *Coordinator) ExpirePending() int {
-	c.round.Lock()
-	defer c.round.Unlock()
-	return c.expireLocked(time.Now())
+// retryIn re-attempts pending queries inside a held lane, after a match.
+// When installed is non-nil, only queries with a constraint that could unify
+// with a freshly installed tuple are tried (targeted retry); tuples
+// installed by those retries extend the trigger set, so chains of unblocking
+// still cascade. Affected queries whose footprints the lane does not cover
+// cannot be searched under these locks; their ids are returned for the
+// caller to coordinate on their own lanes after this one is released — the
+// cross-shard half of the cascade.
+func (c *Coordinator) retryIn(ln *lane, installed map[string][]value.Tuple) (deferred []uint64) {
+	deferredSeen := make(map[uint64]bool)
+	for {
+		progressed := false
+		for _, p := range c.allPending() {
+			if !c.isPending(p.id) {
+				continue // answered earlier in this pass
+			}
+			if installed != nil && !affectedBy(p.q, installed) {
+				continue
+			}
+			if !ln.covers(p) {
+				if !deferredSeen[p.id] {
+					deferredSeen[p.id] = true
+					deferred = append(deferred, p.id)
+				}
+				continue
+			}
+			c.shards[p.home].stats.Retries.Add(1)
+			res, ok, sawForeign := c.search(ln, p)
+			if ok {
+				more := c.finalize(res)
+				progressed = true
+				if installed != nil {
+					for rel, tuples := range more {
+						installed[rel] = append(installed[rel], tuples...)
+					}
+				}
+			} else if sawForeign && !deferredSeen[p.id] {
+				// The lane-local search skipped cross-shard candidates; give
+				// the query an escalated round of its own later.
+				deferredSeen[p.id] = true
+				deferred = append(deferred, p.id)
+			}
+		}
+		if !progressed {
+			return deferred
+		}
+	}
 }
 
-// expireLocked cancels over-age pending queries. Caller holds c.round.
-func (c *Coordinator) expireLocked(now time.Time) int {
+// ExpirePending withdraws every query that has been pending longer than
+// Options.PendingTTL, returning how many were expired. It locks every lane
+// (in shard-id order); per-shard expiry also runs automatically at the start
+// of each arrival round, on the shards that round locks.
+func (c *Coordinator) ExpirePending() int {
+	if c.opts.PendingTTL <= 0 {
+		return 0
+	}
+	ln := c.lockLane(c.allShardIDs())
+	defer ln.unlock()
+	return c.expireIn(ln, time.Now())
+}
+
+// expireIn cancels over-age pending queries homed on the lane's shards.
+// Caller holds the lane. A query is only ever expired by a lane holding its
+// home shard, which excludes concurrent matches recruiting it.
+func (c *Coordinator) expireIn(ln *lane, now time.Time) int {
 	if c.opts.PendingTTL <= 0 {
 		return 0
 	}
 	expired := 0
-	for _, p := range c.reg.all() {
-		if now.Sub(p.submitted) < c.opts.PendingTTL {
-			continue
+	for _, id := range ln.shardIDs() {
+		sh := c.shards[id]
+		for _, p := range sh.reg.homed() {
+			if now.Sub(p.submitted) < c.opts.PendingTTL {
+				continue
+			}
+			if c.unregister(p.id) == nil {
+				continue
+			}
+			sh.stats.Expired.Add(1)
+			expired++
+			p.handle.ch <- Outcome{QueryID: p.id, Canceled: true}
 		}
-		if c.reg.remove(p.id) == nil {
-			continue
-		}
-		c.stats.Expired.Add(1)
-		expired++
-		p.handle.ch <- Outcome{QueryID: p.id, Canceled: true}
 	}
 	return expired
 }
 
 // Cancel withdraws a pending query. It returns false when the query is not
-// pending (already answered, canceled, or unknown).
+// pending (already answered, canceled, or unknown). Only the query's home
+// shard is locked; lanes that could recruit the query must hold that same
+// lock, so a delivered query can never be canceled.
 func (c *Coordinator) Cancel(id uint64) bool {
-	c.round.Lock()
-	defer c.round.Unlock()
-	p := c.reg.remove(id)
-	if p == nil {
+	v, ok := c.byID.Load(id)
+	if !ok {
 		return false
 	}
-	c.stats.Canceled.Add(1)
+	p := v.(*pending)
+	sh := c.shards[p.home]
+	sh.round.Lock()
+	defer sh.round.Unlock()
+	if c.unregister(id) == nil {
+		return false
+	}
+	sh.stats.Canceled.Add(1)
 	p.handle.ch <- Outcome{QueryID: id, Canceled: true}
 	return true
 }
 
-// PendingCount returns the number of queries currently parked.
-func (c *Coordinator) PendingCount() int { return c.reg.size() }
-
-// Stats returns a snapshot of the coordination counters.
-func (c *Coordinator) Stats() StatsSnapshot {
-	return StatsSnapshot{
-		Submitted:         c.stats.Submitted.Load(),
-		Answered:          c.stats.Answered.Load(),
-		Matches:           c.stats.Matches.Load(),
-		Parked:            c.stats.Parked.Load(),
-		Canceled:          c.stats.Canceled.Load(),
-		Expired:           c.stats.Expired.Load(),
-		Retries:           c.stats.Retries.Load(),
-		NodesExplored:     c.stats.NodesExplored.Load(),
-		GroundingAttempts: c.stats.GroundingAttempts.Load(),
-		GroundingFailures: c.stats.GroundingFailures.Load(),
+// PendingCount returns the number of queries currently parked. It sums the
+// per-shard home counts (every pending query is homed on exactly one shard),
+// staying O(shards) on the per-DML auto-retry check.
+func (c *Coordinator) PendingCount() int {
+	n := 0
+	for _, sh := range c.shards {
+		n += sh.reg.size()
 	}
+	return n
+}
+
+// Stats returns a snapshot of the coordination counters, merged across
+// shards.
+func (c *Coordinator) Stats() StatsSnapshot {
+	var out StatsSnapshot
+	for _, sh := range c.shards {
+		snap := sh.stats.snapshot()
+		out.add(snap)
+	}
+	return out
+}
+
+// ShardInfo describes one coordination lane for the admin interface.
+type ShardInfo struct {
+	ID int
+	// Pending counts the queries homed on this shard.
+	Pending int
+	// Relations lists the answer relations currently present in the shard's
+	// candidate index (i.e. with at least one pending head atom).
+	Relations []string
+	// Stats is the shard's own counter snapshot.
+	Stats StatsSnapshot
+}
+
+// Shards returns per-lane diagnostics: pending counts, indexed relations and
+// per-shard counters.
+func (c *Coordinator) Shards() []ShardInfo {
+	out := make([]ShardInfo, len(c.shards))
+	for i, sh := range c.shards {
+		out[i] = ShardInfo{
+			ID:        i,
+			Pending:   sh.reg.size(),
+			Relations: sh.reg.relations(),
+			Stats:     sh.stats.snapshot(),
+		}
+	}
+	return out
 }

@@ -52,11 +52,11 @@ type domainSource struct {
 // installation takes exclusive locks on the answer relations, so the
 // coordinated answers are consistent with the database state they were
 // justified by — the paper's joint, atomic evaluation of matched queries.
-func (c *Coordinator) ground(st *matchState) (*installResult, bool) {
-	c.stats.GroundingAttempts.Add(1)
+func (c *Coordinator) ground(sh *coordShard, st *matchState) (*installResult, bool) {
+	sh.stats.GroundingAttempts.Add(1)
 	var res *installResult
 	err := c.eng.Manager().RunAtomic(func(tx *txn.Txn) error {
-		r, err := c.groundIn(tx, st)
+		r, err := c.groundIn(tx, sh, st)
 		if err != nil {
 			return err
 		}
@@ -69,7 +69,7 @@ func (c *Coordinator) ground(st *matchState) (*installResult, bool) {
 	return res, true
 }
 
-func (c *Coordinator) groundIn(tx *txn.Txn, st *matchState) (*installResult, error) {
+func (c *Coordinator) groundIn(tx *txn.Txn, sh *coordShard, st *matchState) (*installResult, error) {
 	// Collect every scoped variable of every member and group into classes.
 	var vars []eq.ScopedVar
 	for _, qid := range st.order {
@@ -112,7 +112,7 @@ func (c *Coordinator) groundIn(tx *txn.Txn, st *matchState) (*installResult, err
 	// Nondeterministic choice (§2.1: "the system nondeterministically
 	// chooses either flight 122 or 123"): shuffle candidate tuples.
 	for _, s := range chosen {
-		c.shuffle(s.tuples)
+		sh.shuffle(s.tuples)
 	}
 
 	want := c.chooseCount(st)
@@ -157,7 +157,7 @@ func (c *Coordinator) groundIn(tx *txn.Txn, st *matchState) (*installResult, err
 				return false
 			}
 			tuples = r.Rows
-			c.shuffle(tuples)
+			sh.shuffle(tuples)
 		}
 		for _, tup := range tuples {
 			// Tentatively assign this source's classes, respecting earlier

@@ -57,6 +57,43 @@ func (st *matchState) join(p *pending) {
 	}
 }
 
+// candidates returns head refs that may unify with the constraint atom,
+// excluding refs belonging to queries in the exclude set and queries the
+// lane does not cover (those set *foreign). The index lives on the shard
+// owning the constraint's relation — which the lane necessarily holds, since
+// the constraint belongs to a covered member. When UseIndex is off it
+// degrades to a linear scan over every head of every pending query in the
+// system (the A1 ablation baseline).
+func (c *Coordinator) candidates(a eq.Atom, exclude map[uint64]bool, ln *lane, foreign *bool) []headRef {
+	if c.opts.UseIndex {
+		return c.shardFor(a.Relation).reg.candidates(a, exclude, ln, foreign)
+	}
+	var out []headRef
+	for _, sh := range c.shards {
+		sh.reg.mu.RLock()
+		for _, p := range sh.reg.queries {
+			if exclude[p.id] {
+				continue
+			}
+			for i, h := range p.q.Heads {
+				if !eq.Unifiable(a, h) {
+					continue
+				}
+				if ln != nil && !ln.covers(p) {
+					if foreign != nil {
+						*foreign = true
+					}
+					continue
+				}
+				out = append(out, headRef{p: p, headIdx: i})
+			}
+		}
+		sh.reg.mu.RUnlock()
+	}
+	sortRefs(out)
+	return out
+}
+
 // search runs the coverage phase of the matching algorithm: starting from the
 // trigger query, repeatedly pick an uncovered constraint atom and try to
 // cover it with
@@ -74,21 +111,27 @@ func (st *matchState) join(p *pending) {
 // (opts.MaxMatchSize) and a global node budget (opts.MaxNodes); matching is
 // NP-hard in general, and the bound + candidate index keep the common
 // pairwise and small-group workloads polynomial.
-func (c *Coordinator) search(trigger *pending) (*installResult, bool) {
+//
+// Recruitment is restricted to queries the lane covers (every shard of their
+// footprint is locked); skipping a candidate for that reason alone sets
+// sawForeign, which tells the caller a wider — escalated — lane might
+// succeed where this one failed.
+func (c *Coordinator) search(ln *lane, trigger *pending) (res *installResult, ok, sawForeign bool) {
+	home := c.shards[trigger.home]
 	nodes := 0
 	var dfs func(st *matchState) (*installResult, bool)
 	dfs = func(st *matchState) (*installResult, bool) {
 		nodes++
-		c.stats.NodesExplored.Add(1)
+		home.stats.NodesExplored.Add(1)
 		if nodes > c.opts.MaxNodes {
 			return nil, false
 		}
 		if len(st.uncovered) == 0 {
-			res, ok := c.ground(st)
+			res, ok := c.ground(home, st)
 			if ok {
 				return res, true
 			}
-			c.stats.GroundingFailures.Add(1)
+			home.stats.GroundingFailures.Add(1)
 			return nil, false
 		}
 		sa := st.uncovered[0]
@@ -132,7 +175,7 @@ func (c *Coordinator) search(trigger *pending) (*installResult, bool) {
 			for id := range st.members {
 				exclude[id] = true
 			}
-			for _, ref := range c.reg.candidates(resolved, exclude, c.opts.UseIndex) {
+			for _, ref := range c.candidates(resolved, exclude, ln, &sawForeign) {
 				branch := st.clone()
 				branch.uncovered = append([]scopedAtom(nil), rest...)
 				if eq.UnifyAtoms(branch.subst, sa.qid, sa.atom, ref.p.id, ref.p.q.Heads[ref.headIdx]) {
@@ -145,5 +188,6 @@ func (c *Coordinator) search(trigger *pending) (*installResult, bool) {
 		}
 		return nil, false
 	}
-	return dfs(newMatchState(trigger))
+	res, ok = dfs(newMatchState(trigger))
+	return res, ok, sawForeign
 }

@@ -8,6 +8,11 @@
 // system (§2.2). A query whose constraints cannot yet be satisfied "is not
 // rejected, but rather gets registered in the system for possible later
 // execution" (§2.1) — that registration is the pending set kept here.
+//
+// The component is partitioned into relation-sharded coordination lanes
+// (see shard.go): each answer relation is owned by one shard, each pending
+// query is homed on one shard, and arrivals on disjoint relation footprints
+// coordinate fully in parallel.
 package coord
 
 import (
@@ -75,6 +80,14 @@ type pending struct {
 	owner     string // optional submitter label for the admin interface
 	submitted time.Time
 	handle    *Handle
+
+	// rels is the query's relation footprint (canonical answer relations of
+	// its head, constraint and exclusion atoms); shards maps that footprint
+	// to the sorted set of shard ids it spans, and home is shards[0] — the
+	// shard whose pending table owns this query.
+	rels   []string
+	shards []int
+	home   int
 }
 
 // headRef points at one head atom of a pending query — an entry in the
@@ -84,8 +97,16 @@ type headRef struct {
 	headIdx int
 }
 
-// registry is the pending-query table plus the candidate index that the
-// matcher probes for covering head atoms.
+// registry is one shard's slice of the pending-query tables: the queries
+// homed on the shard plus the candidate index over every head atom whose
+// answer relation the shard owns (a cross-shard query's heads are indexed on
+// the shards owning their relations, not on the query's home shard).
+//
+// The registry's own mutex makes the maps physically safe to read from any
+// goroutine; logical consistency — no recruiting, finalizing, expiring or
+// canceling a query concurrently — comes from the lane locking protocol in
+// shard.go: every such action requires holding the query's home-shard round
+// lock.
 type registry struct {
 	mu      sync.RWMutex
 	queries map[uint64]*pending
@@ -122,55 +143,55 @@ func probeKeys(a eq.Atom) (exact string, wildcardOnly bool) {
 	return value.Tuple{a.Terms[0].Const}.Key(), true
 }
 
-func (r *registry) add(p *pending) {
+// addQuery homes a pending query on this shard.
+func (r *registry) addQuery(p *pending) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.queries[p.id] = p
-	for i, h := range p.q.Heads {
-		rel := r.byRelation[h.Relation]
-		if rel == nil {
-			rel = make(map[string][]headRef)
-			r.byRelation[h.Relation] = rel
-		}
-		k := indexKey(h)
-		rel[k] = append(rel[k], headRef{p: p, headIdx: i})
-	}
 }
 
-func (r *registry) remove(id uint64) *pending {
+// removeQuery drops a homed query.
+func (r *registry) removeQuery(id uint64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	p, ok := r.queries[id]
-	if !ok {
-		return nil
-	}
 	delete(r.queries, id)
-	for _, h := range p.q.Heads {
-		rel := r.byRelation[h.Relation]
-		for k, refs := range rel {
-			out := refs[:0]
-			for _, ref := range refs {
-				if ref.p.id != id {
-					out = append(out, ref)
-				}
-			}
-			if len(out) == 0 {
-				delete(rel, k)
-			} else {
-				rel[k] = out
-			}
-		}
-		if len(rel) == 0 {
-			delete(r.byRelation, h.Relation)
-		}
-	}
-	return p
 }
 
-func (r *registry) get(id uint64) *pending {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return r.queries[id]
+// addHead indexes one head atom of a pending query under this shard's
+// candidate index (the shard owns the atom's relation).
+func (r *registry) addHead(ref headRef, h eq.Atom) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rel := r.byRelation[h.Relation]
+	if rel == nil {
+		rel = make(map[string][]headRef)
+		r.byRelation[h.Relation] = rel
+	}
+	k := indexKey(h)
+	rel[k] = append(rel[k], ref)
+}
+
+// removeHeads prunes every index entry of query id under the given relation.
+func (r *registry) removeHeads(id uint64, relation string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rel := r.byRelation[relation]
+	for k, refs := range rel {
+		out := refs[:0]
+		for _, ref := range refs {
+			if ref.p.id != id {
+				out = append(out, ref)
+			}
+		}
+		if len(out) == 0 {
+			delete(rel, k)
+		} else {
+			rel[k] = out
+		}
+	}
+	if len(rel) == 0 {
+		delete(r.byRelation, relation)
+	}
 }
 
 func (r *registry) size() int {
@@ -179,8 +200,9 @@ func (r *registry) size() int {
 	return len(r.queries)
 }
 
-// all returns a snapshot of pending queries ordered by submission id.
-func (r *registry) all() []*pending {
+// homed returns a snapshot of this shard's pending queries ordered by
+// submission id.
+func (r *registry) homed() []*pending {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	out := make([]*pending, 0, len(r.queries))
@@ -191,41 +213,48 @@ func (r *registry) all() []*pending {
 	return out
 }
 
-// candidates returns head refs that may unify with the constraint atom,
-// excluding refs belonging to queries in the exclude set. When useIndex is
-// false it degrades to a linear scan over every head of every pending query
-// (the A1 ablation baseline).
-func (r *registry) candidates(c eq.Atom, exclude map[uint64]bool, useIndex bool) []headRef {
+// relations lists the answer relations currently present in this shard's
+// candidate index, sorted.
+func (r *registry) relations() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.byRelation))
+	for rel := range r.byRelation {
+		out = append(out, rel)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// candidates returns head refs indexed under this shard that may unify with
+// the constraint atom, excluding refs in the exclude set. Refs whose query
+// the lane does not cover (its footprint spans shards outside the lane's
+// lock set) are skipped, and *foreign is set so the caller can escalate; a
+// nil lane covers everything (advisory reads like Diagnose).
+func (r *registry) candidates(c eq.Atom, exclude map[uint64]bool, ln *lane, foreign *bool) []headRef {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	var out []headRef
-	if !useIndex {
-		for _, p := range r.queries {
-			if exclude[p.id] {
-				continue
-			}
-			for i, h := range p.q.Heads {
-				if eq.Unifiable(c, h) {
-					out = append(out, headRef{p: p, headIdx: i})
-				}
-			}
-		}
-		sortRefs(out)
-		return out
-	}
-	rel, ok := r.byRelation[c.Relation]
-	if !ok {
-		return nil
-	}
 	collect := func(refs []headRef) {
 		for _, ref := range refs {
 			if exclude[ref.p.id] {
 				continue
 			}
-			if eq.Unifiable(c, ref.p.q.Heads[ref.headIdx]) {
-				out = append(out, ref)
+			if !eq.Unifiable(c, ref.p.q.Heads[ref.headIdx]) {
+				continue
 			}
+			if ln != nil && !ln.covers(ref.p) {
+				if foreign != nil {
+					*foreign = true
+				}
+				continue
+			}
+			out = append(out, ref)
 		}
+	}
+	rel, ok := r.byRelation[c.Relation]
+	if !ok {
+		return nil
 	}
 	exact, constFirst := probeKeys(c)
 	if constFirst {

@@ -1,0 +1,239 @@
+package coord
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/value"
+)
+
+// coordShard is one relation-partitioned coordination lane. Every answer
+// relation is owned by exactly one shard (shardID hashes the relation name),
+// and every pending query is homed on the lowest shard its footprint
+// touches. A shard carries its own round lock, pending registry, candidate
+// index, RNG and counters, so arrivals whose footprints map to different
+// shards match, ground and install answers fully in parallel.
+type coordShard struct {
+	id    int
+	round sync.Mutex // serializes coordination rounds involving this shard
+	reg   *registry
+	stats Stats
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+// shuffle permutes tuples using the shard's seeded RNG — the
+// nondeterministic choice of §2.1.
+func (s *coordShard) shuffle(tuples []value.Tuple) {
+	s.rngMu.Lock()
+	defer s.rngMu.Unlock()
+	s.rng.Shuffle(len(tuples), func(i, j int) {
+		tuples[i], tuples[j] = tuples[j], tuples[i]
+	})
+}
+
+// shardID maps a canonical relation name to its owning shard.
+func (c *Coordinator) shardID(relation string) int {
+	if len(c.shards) == 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(strings.ToLower(relation))) //nolint:errcheck // fnv never fails
+	return int(h.Sum32() % uint32(len(c.shards)))
+}
+
+// shardFor returns the shard owning a relation.
+func (c *Coordinator) shardFor(relation string) *coordShard {
+	return c.shards[c.shardID(relation)]
+}
+
+// shardSet maps a relation footprint to the sorted set of shard ids it
+// spans.
+func (c *Coordinator) shardSet(rels []string) []int {
+	seen := make(map[int]bool, len(rels))
+	var out []int
+	for _, r := range rels {
+		id := c.shardID(r)
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// lane is a set of shard round locks held by one coordination round. Locks
+// are always acquired in ascending shard-id order, so concurrent lanes —
+// single-shard arrivals, cross-shard escalations, expiry sweeps — are
+// deadlock-free by the ordered-resource argument.
+//
+// The locking invariant the matcher relies on: a round may recruit,
+// finalize, expire or cancel a pending query only while holding every shard
+// of that query's footprint (covers). Since a query's home shard is part of
+// its footprint, two rounds can never act on the same query concurrently.
+type lane struct {
+	c  *Coordinator
+	in []bool // shard id → locked by this lane
+}
+
+// lockLane acquires the round locks of the given shards (sorted unique ids)
+// in ascending order.
+func (c *Coordinator) lockLane(ids []int) *lane {
+	ln := &lane{c: c, in: make([]bool, len(c.shards))}
+	for _, id := range ids {
+		c.shards[id].round.Lock()
+		ln.in[id] = true
+	}
+	return ln
+}
+
+// unlock releases every held round lock.
+func (ln *lane) unlock() {
+	for id := len(ln.in) - 1; id >= 0; id-- {
+		if ln.in[id] {
+			ln.c.shards[id].round.Unlock()
+			ln.in[id] = false
+		}
+	}
+}
+
+// covers reports whether the lane holds every shard of p's footprint — the
+// precondition for recruiting p into a match or delivering its outcome.
+func (ln *lane) covers(p *pending) bool {
+	for _, s := range p.shards {
+		if !ln.in[s] {
+			return false
+		}
+	}
+	return true
+}
+
+// shardIDs returns the sorted ids the lane holds.
+func (ln *lane) shardIDs() []int {
+	var out []int
+	for id, held := range ln.in {
+		if held {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// allShardIDs returns every shard id, ascending.
+func (c *Coordinator) allShardIDs() []int {
+	out := make([]int, len(c.shards))
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// closure widens a shard set to its transitive closure over the footprints
+// of currently pending queries: any pending query whose footprint intersects
+// the set pulls its remaining shards in, repeatedly, until a fixpoint. A
+// round that locks the closure can recruit every pending query transitively
+// reachable from its trigger through shared relations — the cross-shard
+// escalation path. The computation is advisory (it reads the pending set
+// without round locks); safety never depends on it, because covers() is
+// re-checked at recruit time under the locks actually held.
+func (c *Coordinator) closure(seed []int) []int {
+	in := make([]bool, len(c.shards))
+	n := 0
+	add := func(s int) {
+		if !in[s] {
+			in[s] = true
+			n++
+		}
+	}
+	for _, s := range seed {
+		add(s)
+	}
+	for {
+		grew := false
+		c.byID.Range(func(_, v any) bool {
+			p := v.(*pending)
+			hit, sub := false, true
+			for _, s := range p.shards {
+				if in[s] {
+					hit = true
+				} else {
+					sub = false
+				}
+			}
+			if hit && !sub {
+				for _, s := range p.shards {
+					add(s)
+				}
+				grew = true
+			}
+			return n < len(c.shards) // stop early at the full set
+		})
+		if !grew || n == len(c.shards) {
+			break
+		}
+	}
+	out := make([]int, 0, n)
+	for s, ok := range in {
+		if ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// register installs a pending query into the sharded tables: the query is
+// homed on its lowest-footprint shard, and each head atom is indexed on the
+// shard owning its relation. Caller holds every shard of p's footprint.
+func (c *Coordinator) register(p *pending) {
+	c.shards[p.home].reg.addQuery(p)
+	for i, h := range p.q.Heads {
+		c.shardFor(h.Relation).reg.addHead(headRef{p: p, headIdx: i}, h)
+	}
+	c.byID.Store(p.id, p)
+}
+
+// unregister atomically claims and removes a pending query from every
+// sharded table, returning nil when some other round already claimed it.
+// The byID LoadAndDelete is the single claim gate: exactly one of match
+// finalization, TTL expiry and cancellation wins. Caller holds p's home
+// shard round lock.
+func (c *Coordinator) unregister(id uint64) *pending {
+	v, ok := c.byID.LoadAndDelete(id)
+	if !ok {
+		return nil
+	}
+	p := v.(*pending)
+	c.shards[p.home].reg.removeQuery(id)
+	seen := make(map[string]bool, len(p.q.Heads))
+	for _, h := range p.q.Heads {
+		if seen[h.Relation] {
+			continue
+		}
+		seen[h.Relation] = true
+		c.shardFor(h.Relation).reg.removeHeads(id, h.Relation)
+	}
+	return p
+}
+
+// isPending reports whether the query is still registered.
+func (c *Coordinator) isPending(id uint64) bool {
+	_, ok := c.byID.Load(id)
+	return ok
+}
+
+// allPending snapshots every pending query across shards, ordered by
+// submission id.
+func (c *Coordinator) allPending() []*pending {
+	var out []*pending
+	c.byID.Range(func(_, v any) bool {
+		out = append(out, v.(*pending))
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}

@@ -1,0 +1,443 @@
+package coord
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// relOnShard finds a relation name (with the given prefix) that the
+// coordinator routes to the wanted shard.
+func relOnShard(t *testing.T, c *Coordinator, prefix string, shard int) string {
+	t.Helper()
+	for i := 0; i < 10_000; i++ {
+		name := fmt.Sprintf("%s%d", prefix, i)
+		if c.shardID(name) == shard {
+			return name
+		}
+	}
+	t.Fatalf("no %q relation hashes to shard %d of %d", prefix, shard, c.NumShards())
+	return ""
+}
+
+// pairQueryInto is pairQuery over an arbitrary answer relation.
+func pairQueryInto(rel, self, friend string) string {
+	return fmt.Sprintf(`SELECT '%s', fno INTO ANSWER %s
+		WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris')
+		AND ('%s', fno) IN ANSWER %s
+		CHOOSE 1`, self, rel, friend, rel)
+}
+
+// tripQueryInto renders a two-atom query contributing to relA and relB,
+// constrained on friend in both — a footprint spanning both relations.
+func tripQueryInto(relA, relB, self, friend string) string {
+	return fmt.Sprintf(`SELECT ('%[1]s', fno) INTO ANSWER %[3]s, ('%[1]s', hno) INTO ANSWER %[4]s
+		WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris')
+		AND hno IN (SELECT hno FROM Hotels WHERE city='Paris')
+		AND ('%[2]s', fno) IN ANSWER %[3]s
+		AND ('%[2]s', hno) IN ANSWER %[4]s
+		CHOOSE 1`, self, friend, relA, relB)
+}
+
+// TestShardRouting pins the routing rules: every relation maps to shard 0
+// when there is one shard, a query's shard set is sorted and deduplicated,
+// and its home is the lowest shard of the footprint.
+func TestShardRouting(t *testing.T) {
+	single, _ := newSystem(t, DefaultOptions())
+	if single.NumShards() != 1 {
+		t.Fatalf("default shards = %d, want 1", single.NumShards())
+	}
+	for _, rel := range []string{"reservation", "hotelreservation", "anything"} {
+		if id := single.shardID(rel); id != 0 {
+			t.Errorf("shards=1: shardID(%s) = %d", rel, id)
+		}
+	}
+
+	c, _ := newSystem(t, Options{Shards: 4, UseIndex: true, GroundSmallestFirst: true})
+	rel0 := relOnShard(t, c, "ra", 0)
+	rel3 := relOnShard(t, c, "rb", 3)
+	set := c.shardSet([]string{rel3, rel0, rel3})
+	if len(set) != 2 || set[0] != 0 || set[1] != 3 {
+		t.Fatalf("shardSet = %v, want [0 3]", set)
+	}
+
+	h, err := c.SubmitSQL(tripQueryInto(rel0, rel3, "A", "B"), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := c.byID.Load(h.ID)
+	if !ok {
+		t.Fatal("query not pending")
+	}
+	p := v.(*pending)
+	if p.home != 0 || len(p.shards) != 2 || p.shards[1] != 3 {
+		t.Fatalf("home=%d shards=%v, want home=0 shards=[0 3]", p.home, p.shards)
+	}
+}
+
+// TestCrossShardMatching is the cross-shard correctness table: the same
+// scenario — pairs on one relation, spanning trips over two, and the 3-way
+// ad-hoc chain needing escalation — must coordinate to the same outcomes
+// under every shard count, with stats snapshots consistent with the
+// shards=1 run. ValidateMatches re-checks the matcher invariant throughout.
+func TestCrossShardMatching(t *testing.T) {
+	type scenario struct {
+		name string
+		// run submits the scenario's queries and returns the handles that
+		// must all be answered.
+		run func(t *testing.T, c *Coordinator) []*Handle
+	}
+	scenarios := []scenario{
+		{"pair/one-relation", func(t *testing.T, c *Coordinator) []*Handle {
+			h1, err := c.SubmitSQL(pairQueryInto("resp", "Jerry", "Kramer"), "j")
+			if err != nil {
+				t.Fatal(err)
+			}
+			h2, err := c.SubmitSQL(pairQueryInto("resp", "Kramer", "Jerry"), "k")
+			if err != nil {
+				t.Fatal(err)
+			}
+			return []*Handle{h1, h2}
+		}},
+		{"trip/spanning-two-relations", func(t *testing.T, c *Coordinator) []*Handle {
+			h1, err := c.SubmitSQL(tripQueryInto("resf", "resh", "Jerry", "Kramer"), "j")
+			if err != nil {
+				t.Fatal(err)
+			}
+			h2, err := c.SubmitSQL(tripQueryInto("resf", "resh", "Kramer", "Jerry"), "k")
+			if err != nil {
+				t.Fatal(err)
+			}
+			return []*Handle{h1, h2}
+		}},
+		{"adhoc/3-way-chain-escalation", func(t *testing.T, c *Coordinator) []*Handle {
+			// Jerry↔Kramer entangle on flights, Kramer↔Elaine on hotels;
+			// Elaine's single-relation arrival must escalate to recruit
+			// Kramer, whose footprint spans both relations.
+			jerry := pairQueryInto("resf", "Jerry", "Kramer")
+			kramer := tripQueryInto("resf", "resh", "Kramer", "Jerry")
+			// Kramer's hotel partner is Elaine, not Jerry: patch the hotel
+			// constraint by building it explicitly instead.
+			kramer = `SELECT ('Kramer', fno) INTO ANSWER resf, ('Kramer', hno) INTO ANSWER resh
+				WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris')
+				AND hno IN (SELECT hno FROM Hotels WHERE city='Paris')
+				AND ('Jerry', fno) IN ANSWER resf
+				AND ('Elaine', hno) IN ANSWER resh CHOOSE 1`
+			elaine := `SELECT 'Elaine', hno INTO ANSWER resh
+				WHERE hno IN (SELECT hno FROM Hotels WHERE city='Paris')
+				AND ('Kramer', hno) IN ANSWER resh CHOOSE 1`
+			var hs []*Handle
+			for _, q := range []struct{ src, owner string }{
+				{jerry, "j"}, {kramer, "k"}, {elaine, "e"},
+			} {
+				h, err := c.SubmitSQL(q.src, q.owner)
+				if err != nil {
+					t.Fatal(err)
+				}
+				hs = append(hs, h)
+			}
+			return hs
+		}},
+	}
+
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			var baseline StatsSnapshot
+			for _, shards := range []int{1, 2, 3, 8} {
+				t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+					c, _ := newSystem(t, Options{
+						Shards: shards, UseIndex: true, GroundSmallestFirst: true,
+						ValidateMatches: true,
+					})
+					handles := sc.run(t, c)
+					for _, h := range handles {
+						out := waitOutcome(t, h)
+						if out.Canceled || len(out.Answers) == 0 {
+							t.Fatalf("q%d not answered: %+v", h.ID, out)
+						}
+					}
+					if n := c.PendingCount(); n != 0 {
+						t.Fatalf("pending = %d after full coordination", n)
+					}
+					s := c.Stats()
+					if shards == 1 {
+						baseline = s
+						return
+					}
+					// The merged snapshot of a sharded run must agree with
+					// the serialized run on the coordination outcome
+					// counters (search effort and escalations may differ).
+					if s.Submitted != baseline.Submitted || s.Answered != baseline.Answered ||
+						s.Matches != baseline.Matches || s.Parked != baseline.Parked {
+						t.Fatalf("stats diverged from shards=1:\n got %+v\nwant submitted=%d answered=%d matches=%d parked=%d",
+							s, baseline.Submitted, baseline.Answered, baseline.Matches, baseline.Parked)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestCrossShardEscalationOrder exercises both arrival orders around the
+// escalation path with relations pinned to distinct shards: the spanning
+// query arriving before AND after its single-relation partners.
+func TestCrossShardEscalationOrder(t *testing.T) {
+	for _, spanningFirst := range []bool{true, false} {
+		t.Run(fmt.Sprintf("spanningFirst=%v", spanningFirst), func(t *testing.T) {
+			c, _ := newSystem(t, Options{
+				Shards: 2, UseIndex: true, GroundSmallestFirst: true, ValidateMatches: true,
+			})
+			relA := relOnShard(t, c, "qa", 0)
+			relB := relOnShard(t, c, "qb", 1)
+			spanning := tripQueryInto(relA, relB, "Kramer", "Jerry")
+			partner := fmt.Sprintf(`SELECT ('Jerry', fno) INTO ANSWER %[1]s, ('Jerry', hno) INTO ANSWER %[2]s
+				WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris')
+				AND hno IN (SELECT hno FROM Hotels WHERE city='Paris')
+				AND ('Kramer', fno) IN ANSWER %[1]s
+				AND ('Kramer', hno) IN ANSWER %[2]s CHOOSE 1`, relA, relB)
+			srcs := []string{spanning, partner}
+			if !spanningFirst {
+				srcs = []string{partner, spanning}
+			}
+			h1, err := c.SubmitSQL(srcs[0], "first")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := h1.TryOutcome(); ok {
+				t.Fatal("first query answered without its partner")
+			}
+			h2, err := c.SubmitSQL(srcs[1], "second")
+			if err != nil {
+				t.Fatal(err)
+			}
+			o1, o2 := waitOutcome(t, h1), waitOutcome(t, h2)
+			if o1.MatchSize != 2 || o2.MatchSize != 2 {
+				t.Fatalf("match sizes %d/%d, want 2/2", o1.MatchSize, o2.MatchSize)
+			}
+		})
+	}
+}
+
+// TestSingleRelationPartnerEscalates pins the subtle half of the escalation
+// path: a SINGLE-relation arrival whose only possible partner spans two
+// shards. The arrival's own lane cannot recruit the spanning query (its
+// footprint is not covered), so the round must widen to the footprint
+// closure and match there.
+func TestSingleRelationPartnerEscalates(t *testing.T) {
+	c, _ := newSystem(t, Options{
+		Shards: 2, UseIndex: true, GroundSmallestFirst: true, ValidateMatches: true,
+	})
+	relA := relOnShard(t, c, "ea", 0)
+	relB := relOnShard(t, c, "eb", 1)
+
+	// Kramer spans both relations; Jerry and Elaine each touch one.
+	kramer := fmt.Sprintf(`SELECT ('Kramer', fno) INTO ANSWER %[1]s, ('Kramer', hno) INTO ANSWER %[2]s
+		WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris')
+		AND hno IN (SELECT hno FROM Hotels WHERE city='Paris')
+		AND ('Jerry', fno) IN ANSWER %[1]s
+		AND ('Elaine', hno) IN ANSWER %[2]s CHOOSE 1`, relA, relB)
+	jerry := pairQueryInto(relA, "Jerry", "Kramer")
+	elaine := fmt.Sprintf(`SELECT 'Elaine', hno INTO ANSWER %[1]s
+		WHERE hno IN (SELECT hno FROM Hotels WHERE city='Paris')
+		AND ('Kramer', hno) IN ANSWER %[1]s CHOOSE 1`, relB)
+
+	hK, err := c.SubmitSQL(kramer, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hJ, err := c.SubmitSQL(jerry, "j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Jerry+Kramer alone cannot complete (Kramer also needs Elaine).
+	if _, ok := hK.TryOutcome(); ok {
+		t.Fatal("Kramer answered without Elaine")
+	}
+	hE, err := c.SubmitSQL(elaine, "e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range []*Handle{hK, hJ, hE} {
+		out := waitOutcome(t, h)
+		if out.MatchSize != 3 {
+			t.Fatalf("q%d match size = %d, want 3", h.ID, out.MatchSize)
+		}
+	}
+	if s := c.Stats(); s.Escalations == 0 {
+		t.Fatal("expected at least one cross-shard escalation")
+	}
+}
+
+// TestTTLExpiryPerShard verifies the lease fires per shard: an arrival's
+// expiry pass sweeps only the lanes it locks, and ExpirePending sweeps all.
+func TestTTLExpiryPerShard(t *testing.T) {
+	c, _ := newSystem(t, Options{
+		Shards: 2, UseIndex: true, GroundSmallestFirst: true,
+		PendingTTL: 30 * time.Millisecond,
+	})
+	relA := relOnShard(t, c, "ta", 0)
+	relB := relOnShard(t, c, "tb", 1)
+
+	hA, err := c.SubmitSQL(pairQueryInto(relA, "lonerA", "ghostA"), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hB, err := c.SubmitSQL(pairQueryInto(relB, "lonerB", "ghostB"), "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+
+	// A fresh arrival on relA's shard sweeps only that lane.
+	if _, err := c.SubmitSQL(pairQueryInto(relA, "fresh", "ghostC"), "c"); err != nil {
+		t.Fatal(err)
+	}
+	if out, ok := hA.TryOutcome(); !ok || !out.Canceled {
+		t.Fatalf("lonerA not expired by same-shard arrival (ok=%v out=%+v)", ok, out)
+	}
+	if _, ok := hB.TryOutcome(); ok {
+		t.Fatal("lonerB expired by an arrival on the other shard")
+	}
+	shardB := c.shardID(relB)
+	if exp := c.Shards()[shardB].Stats.Expired; exp != 0 {
+		t.Fatalf("shard %d expired = %d before its sweep", shardB, exp)
+	}
+
+	// The global sweep locks every lane and clears the rest.
+	time.Sleep(50 * time.Millisecond)
+	n := c.ExpirePending()
+	if n < 1 {
+		t.Fatalf("ExpirePending = %d, want >= 1", n)
+	}
+	if out, ok := hB.TryOutcome(); !ok || !out.Canceled {
+		t.Fatalf("lonerB not expired by global sweep (ok=%v out=%+v)", ok, out)
+	}
+	if exp := c.Shards()[shardB].Stats.Expired; exp == 0 {
+		t.Fatalf("shard %d Expired counter not incremented", shardB)
+	}
+}
+
+// TestLaneIndependence is the hardware-independent form of the sharding
+// payoff: while one lane's round lock is held (a slow coordination round in
+// flight), an arrival routed to a different lane still coordinates to
+// completion — with a single serialized round it would block.
+func TestLaneIndependence(t *testing.T) {
+	c, _ := newSystem(t, Options{Shards: 4, UseIndex: true, GroundSmallestFirst: true})
+	relBusy := relOnShard(t, c, "busy", 1)
+	relFree := relOnShard(t, c, "free", 2)
+
+	c.shards[c.shardID(relBusy)].round.Lock()
+	defer c.shards[c.shardID(relBusy)].round.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		h1, err := c.SubmitSQL(pairQueryInto(relFree, "A", "B"), "a")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		h2, err := c.SubmitSQL(pairQueryInto(relFree, "B", "A"), "b")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		waitOutcome(t, h1)
+		waitOutcome(t, h2)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("arrival on an independent lane blocked behind a busy lane")
+	}
+}
+
+// TestCancelCrossShard cancels a footprint-spanning query and verifies the
+// withdrawal is delivered exactly once and the pending tables are clean.
+func TestCancelCrossShard(t *testing.T) {
+	c, _ := newSystem(t, Options{Shards: 4, UseIndex: true, GroundSmallestFirst: true})
+	relA := relOnShard(t, c, "ca", 0)
+	relB := relOnShard(t, c, "cb", 3)
+	h, err := c.SubmitSQL(tripQueryInto(relA, relB, "A", "B"), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Cancel(h.ID) {
+		t.Fatal("Cancel returned false for a pending query")
+	}
+	if out, ok := h.TryOutcome(); !ok || !out.Canceled {
+		t.Fatalf("canceled outcome not delivered: ok=%v out=%+v", ok, out)
+	}
+	if c.Cancel(h.ID) {
+		t.Fatal("second Cancel succeeded")
+	}
+	if n := c.PendingCount(); n != 0 {
+		t.Fatalf("pending = %d after cancel", n)
+	}
+	for _, si := range c.Shards() {
+		if len(si.Relations) != 0 {
+			t.Fatalf("shard %d still indexes %v after cancel", si.ID, si.Relations)
+		}
+	}
+}
+
+// TestConcurrentDisjointLanes hammers independent lanes from concurrent
+// submitters with the matcher self-check on: every pair must coordinate,
+// and the merged counters must account for every query.
+func TestConcurrentDisjointLanes(t *testing.T) {
+	c, _ := newSystem(t, Options{
+		Shards: 4, UseIndex: true, GroundSmallestFirst: true, ValidateMatches: true,
+	})
+	const workers, pairsEach = 8, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rel := fmt.Sprintf("lane%d", w)
+			for i := 0; i < pairsEach; i++ {
+				a := fmt.Sprintf("w%d_p%d_a", w, i)
+				b := fmt.Sprintf("w%d_p%d_b", w, i)
+				h1, err := c.SubmitSQL(pairQueryInto(rel, a, b), a)
+				if err != nil {
+					errs <- err
+					return
+				}
+				h2, err := c.SubmitSQL(pairQueryInto(rel, b, a), b)
+				if err != nil {
+					errs <- err
+					return
+				}
+				done := make(chan struct{})
+				timer := time.AfterFunc(10*time.Second, func() { close(done) })
+				if _, ok := h1.Wait(done); !ok {
+					errs <- fmt.Errorf("worker %d pair %d: q%d unanswered", w, i, h1.ID)
+					return
+				}
+				if _, ok := h2.Wait(done); !ok {
+					errs <- fmt.Errorf("worker %d pair %d: q%d unanswered", w, i, h2.ID)
+					return
+				}
+				timer.Stop()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	s := c.Stats()
+	want := uint64(workers * pairsEach * 2)
+	if s.Submitted != want || s.Answered != want {
+		t.Fatalf("submitted=%d answered=%d, want %d each", s.Submitted, s.Answered, want)
+	}
+	if s.Matches != want/2 {
+		t.Fatalf("matches = %d, want %d", s.Matches, want/2)
+	}
+	if n := c.PendingCount(); n != 0 {
+		t.Fatalf("pending = %d", n)
+	}
+}

@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/answers"
 	"repro/internal/coord"
@@ -24,6 +25,12 @@ type Config struct {
 	// Coord configures the coordination component (see coord.Options). The
 	// zero value selects coord.DefaultOptions().
 	Coord coord.Options
+	// CoordShards is the number of relation-partitioned coordination lanes.
+	// Zero selects GOMAXPROCS — one lane per schedulable core, so arrivals
+	// on disjoint relation footprints coordinate in parallel. Set 1 (or
+	// Coord.Shards) to force the paper's single serialized round. An
+	// explicit Coord.Shards wins over this knob.
+	CoordShards int
 	// DisableAutoRetry turns off the automatic re-coordination pass after
 	// DML statements. The paper's coordination component re-examines pending
 	// queries when the world changes; auto-retry is that hook. Benchmarks
@@ -56,9 +63,21 @@ func NewSystem(cfg Config) *System {
 	mgr := txn.NewManager(cat)
 	eng := engine.New(mgr)
 	store := answers.NewStore(cat)
-	if cfg.Coord == (coord.Options{}) {
+	shards := cfg.Coord.Shards // an explicit coord-level setting wins
+	if shards == 0 {
+		shards = cfg.CoordShards
+	}
+	if shards == 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	// A config that only picks a lane count still gets the default matcher
+	// knobs: compare against the zero Options with Shards masked out.
+	allButShards := cfg.Coord
+	allButShards.Shards = 0
+	if allButShards == (coord.Options{}) {
 		cfg.Coord = coord.DefaultOptions()
 	}
+	cfg.Coord.Shards = shards
 	s := &System{
 		cat:       cat,
 		mgr:       mgr,

@@ -243,3 +243,13 @@ func (c *Client) AdminState() (string, error) {
 	}
 	return resp.Text, nil
 }
+
+// AdminShards fetches the server's per-shard coordination diagnostics: one
+// line per lane with its pending count, indexed relations and counters.
+func (c *Client) AdminShards() (string, error) {
+	resp, err := c.call(Request{Admin: "shards"})
+	if err != nil {
+		return "", err
+	}
+	return resp.Text, nil
+}

@@ -159,6 +159,13 @@ func (s *Server) dispatch(cs *connSession, pendingMu *sync.Mutex, pending map[ui
 		case "stats":
 			st := s.sys.Coordinator().Stats()
 			return Response{ID: req.ID, Text: fmt.Sprintf("%+v", st)}
+		case "shards":
+			text := ""
+			for _, si := range s.sys.Coordinator().Shards() {
+				text += fmt.Sprintf("shard %d: pending=%d relations=%v stats=%+v\n",
+					si.ID, si.Pending, si.Relations, si.Stats)
+			}
+			return Response{ID: req.ID, Text: text}
 		default:
 			return Response{ID: req.ID, Error: fmt.Sprintf("unknown admin command %q", req.Admin)}
 		}

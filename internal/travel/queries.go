@@ -88,8 +88,15 @@ func (h HotelFilter) subquery() string {
 // degenerates to an uncoordinated (immediately answerable) booking — the
 // direct-booking path of Figure 4.
 func BuildFlightQuery(self string, friends []string, f FlightFilter) string {
+	return BuildFlightQueryInto(RelFlight, self, friends, f)
+}
+
+// BuildFlightQueryInto is BuildFlightQuery over an arbitrary answer
+// relation. Workloads use it to spread coordination across disjoint relation
+// footprints, which the sharded coordinator routes to independent lanes.
+func BuildFlightQueryInto(rel, self string, friends []string, f FlightFilter) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "SELECT %s, fno INTO ANSWER %s\nWHERE fno IN (%s)", quote(self), RelFlight, f.subquery())
+	fmt.Fprintf(&b, "SELECT %s, fno INTO ANSWER %s\nWHERE fno IN (%s)", quote(self), rel, f.subquery())
 	if f.Capacity > 0 {
 		group := len(friends) + 1
 		if group > f.Capacity {
@@ -100,11 +107,11 @@ func BuildFlightQuery(self string, friends []string, f FlightFilter) string {
 			// Leave headroom for this whole coordination group: the match
 			// installs `group` tuples at once.
 			fmt.Fprintf(&b, "\nAND fno NOT IN (SELECT a2 FROM %s GROUP BY a2 HAVING COUNT(*) > %d)",
-				RelFlight, f.Capacity-group)
+				rel, f.Capacity-group)
 		}
 	}
 	for _, fr := range friends {
-		fmt.Fprintf(&b, "\nAND (%s, fno) IN ANSWER %s", quote(fr), RelFlight)
+		fmt.Fprintf(&b, "\nAND (%s, fno) IN ANSWER %s", quote(fr), rel)
 	}
 	b.WriteString("\nCHOOSE 1")
 	return b.String()

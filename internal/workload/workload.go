@@ -38,6 +38,12 @@ type Config struct {
 	// submitted this long after the first, exercising the park→retry path
 	// instead of the immediate-match path.
 	PartnerDelay time.Duration
+	// Footprints spreads pair and loner workloads across this many disjoint
+	// answer relations (Reservation0..ReservationN-1) instead of the single
+	// shared Reservation. Disjoint footprints route to independent
+	// coordination lanes of a sharded coordinator, so concurrent pairs
+	// match in parallel. Zero or one keeps the classic single relation.
+	Footprints int
 	// Seed drives destination/price jitter.
 	Seed int64
 }
@@ -69,6 +75,16 @@ func (g *Generator) dest(i int) string {
 	return travel.Destinations[i%len(travel.Destinations)]
 }
 
+// rel returns the answer relation of workload item i: the shared Reservation
+// classically, or one of Footprints disjoint relations when footprint
+// spreading is on.
+func (g *Generator) rel(i int) string {
+	if g.cfg.Footprints <= 1 {
+		return travel.RelFlight
+	}
+	return fmt.Sprintf("Reservation%d", i%g.cfg.Footprints)
+}
+
 // PairQueries returns the two symmetric queries of pair i.
 func (g *Generator) PairQueries(i int) (string, string) {
 	a := fmt.Sprintf("p%d_a", i)
@@ -78,7 +94,8 @@ func (g *Generator) PairQueries(i int) (string, string) {
 		h := travel.HotelFilter{City: g.dest(i)}
 		return travel.BuildTripQuery(a, []string{b}, f, h), travel.BuildTripQuery(b, []string{a}, f, h)
 	}
-	return travel.BuildFlightQuery(a, []string{b}, f), travel.BuildFlightQuery(b, []string{a}, f)
+	rel := g.rel(i)
+	return travel.BuildFlightQueryInto(rel, a, []string{b}, f), travel.BuildFlightQueryInto(rel, b, []string{a}, f)
 }
 
 // GroupQueries returns the GroupSize mutually-constraining queries of group i.
@@ -109,7 +126,7 @@ func (g *Generator) GroupQueries(i int) []string {
 func (g *Generator) LonerQuery(i int) string {
 	self := fmt.Sprintf("loner%d", i)
 	ghost := fmt.Sprintf("ghost%d", i)
-	return travel.BuildFlightQuery(self, []string{ghost}, travel.FlightFilter{Dest: g.dest(i)})
+	return travel.BuildFlightQueryInto(g.rel(i), self, []string{ghost}, travel.FlightFilter{Dest: g.dest(i)})
 }
 
 // Result aggregates a workload run.
@@ -161,11 +178,20 @@ func (r Result) String() string {
 }
 
 // NewSystem builds a Youtopia instance seeded with the travel catalog sized
-// for workload runs.
+// for workload runs. The coordinator gets the default GOMAXPROCS lanes.
 func NewSystem(seed int64) (*core.System, error) {
-	sys := core.NewSystem(core.Config{Coord: coord.Options{
-		UseIndex: true, GroundSmallestFirst: true, Seed: seed,
-	}})
+	return NewSystemShards(seed, 0)
+}
+
+// NewSystemShards is NewSystem with an explicit coordination-lane count
+// (0 = GOMAXPROCS, 1 = the unsharded A7 ablation).
+func NewSystemShards(seed int64, shards int) (*core.System, error) {
+	sys := core.NewSystem(core.Config{
+		Coord: coord.Options{
+			UseIndex: true, GroundSmallestFirst: true, Seed: seed,
+		},
+		CoordShards: shards,
+	})
 	// Disable auto-retry noise during bulk loading benchmarks: matches occur
 	// on arrival anyway. Loaded-system runs re-enable retry explicitly.
 	if err := travel.Seed(sys, travel.SeedConfig{Seed: seed}); err != nil {
