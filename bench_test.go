@@ -39,12 +39,15 @@ func mustSystem(b *testing.B, seed int64) *core.System {
 	return sys
 }
 
+// benchNever is a watchdog channel that never closes: coordination in these
+// benchmarks is synchronous-on-submit, so outcomes are already buffered by
+// the time mustWait runs, and a per-wait timer would only add allocations to
+// every measured op (go test's own -timeout is the deadlock backstop).
+var benchNever = make(chan struct{})
+
 func mustWait(b *testing.B, h *coord.Handle) coord.Outcome {
 	b.Helper()
-	done := make(chan struct{})
-	timer := time.AfterFunc(10*time.Second, func() { close(done) })
-	defer timer.Stop()
-	out, ok := h.Wait(done)
+	out, ok := h.Wait(benchNever)
 	if !ok {
 		b.Fatalf("q%d unanswered", h.ID)
 	}

@@ -134,48 +134,78 @@ func (s *Store) Tuples(name string) []value.Tuple {
 // first position is a constant the first-column index is probed instead of
 // scanning the relation.
 func (s *Store) Matching(pattern eq.Atom) []value.Tuple {
+	return s.AppendMatching(nil, pattern)
+}
+
+// col0 is the first-column index key shared by every probe.
+var col0 = []int{0}
+
+// idScratch pools the RowID buffers of concurrent index probes.
+var idScratch = sync.Pool{New: func() any { return new([]storage.RowID) }}
+
+// AppendMatching is Matching appending into dst (reused from length 0). The
+// matcher calls it at every search node, so the probe path is zero-copy:
+// returned tuples are shared references into the relation (values are
+// immutable — callers must not mutate them), the RowID buffer is pooled, and
+// the repeated-variable check is precomputed per pattern instead of
+// allocating a bindings map per tuple.
+func (s *Store) AppendMatching(dst []value.Tuple, pattern eq.Atom) []value.Tuple {
 	if s.Arity(pattern.Relation) != pattern.Arity() {
-		return nil
+		return dst
 	}
 	tbl, err := s.cat.Get(pattern.Relation)
 	if err != nil {
-		return nil
+		return dst
 	}
-	var out []value.Tuple
-	if len(pattern.Terms) > 0 && !pattern.Terms[0].IsVar {
-		for _, id := range tbl.LookupEq([]int{0}, value.Tuple{pattern.Terms[0].Const}) {
-			tup, err := tbl.Get(id)
-			if err != nil {
-				continue
-			}
-			if matches(pattern, tup) {
-				out = append(out, tup)
-			}
-		}
-		return out
-	}
-	for _, tup := range tbl.All() {
-		if matches(pattern, tup) {
-			out = append(out, tup)
-		}
-	}
-	return out
-}
-
-func matches(pattern eq.Atom, tup value.Tuple) bool {
-	bound := make(map[string]value.Value)
+	// Precompute, once per pattern, the pairs of positions that must agree
+	// because they repeat a variable. Patterns without repeated variables —
+	// every travel-app pattern — take a map-free, pair-free fast path; the
+	// quadratic scan is over the atom's arity (tiny) and allocates only when
+	// a repeat actually exists.
+	var repeats [][2]int
 	for i, t := range pattern.Terms {
-		if t.IsVar {
-			if prev, ok := bound[t.Var]; ok {
-				if !prev.Identical(tup[i]) {
-					return false
-				}
-			} else {
-				bound[t.Var] = tup[i]
-			}
+		if !t.IsVar {
 			continue
 		}
-		if !t.Const.Identical(tup[i]) {
+		for j := 0; j < i; j++ {
+			if pattern.Terms[j].IsVar && pattern.Terms[j].Var == t.Var {
+				repeats = append(repeats, [2]int{i, j})
+				break
+			}
+		}
+	}
+	if len(pattern.Terms) > 0 && !pattern.Terms[0].IsVar {
+		idsp := idScratch.Get().(*[]storage.RowID)
+		ids := tbl.LookupEqAppend((*idsp)[:0], col0, value.Tuple{pattern.Terms[0].Const})
+		for _, id := range ids {
+			tup, ok := tbl.GetRef(id)
+			if ok && matches(pattern, repeats, tup) {
+				dst = append(dst, tup)
+			}
+		}
+		*idsp = ids
+		idScratch.Put(idsp)
+		return dst
+	}
+	tbl.Scan(func(_ storage.RowID, tup value.Tuple) bool {
+		if matches(pattern, repeats, tup) {
+			dst = append(dst, tup)
+		}
+		return true
+	})
+	return dst
+}
+
+// matches checks tup against the pattern's constants and the precomputed
+// repeated-variable position pairs.
+func matches(pattern eq.Atom, repeats [][2]int, tup value.Tuple) bool {
+	for i, t := range pattern.Terms {
+		if !t.IsVar && !t.Const.Identical(tup[i]) {
+			return false
+		}
+	}
+	for _, r := range repeats {
+		if !tup[r[0]].Identical(tup[r[1]]) {
 			return false
 		}
 	}

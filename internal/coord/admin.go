@@ -133,11 +133,11 @@ func (c *Coordinator) Diagnose(id uint64) (Diagnosis, bool) {
 	}
 	p := v.(*pending)
 	d := Diagnosis{ID: id, Logic: p.q.String()}
-	exclude := map[uint64]bool{id: true}
+	self := map[uint64]*pending{id: p}
 	uncovered := 0
 	for _, cons := range p.q.Constraints {
 		cd := ConstraintDiag{Constraint: cons.String()}
-		cd.PendingHeads = len(c.candidates(cons, exclude, nil, nil))
+		cd.PendingHeads = len(c.candidates(cons, self, nil, nil, nil))
 		// Self-covering heads count too (a reflexive constraint).
 		for _, h := range p.q.Heads {
 			if eq.Unifiable(cons, h) {

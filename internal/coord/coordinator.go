@@ -148,6 +148,14 @@ type Coordinator struct {
 	byID sync.Map
 
 	nextID atomic.Uint64
+
+	// lanePool recycles lane lock-sets; every coordination round takes one.
+	lanePool sync.Pool
+
+	// searchHook, when non-nil, replaces the trailed matcher for the round's
+	// coverage search. The differential test installs the reference
+	// clone-based implementation here to prove outcome/stats equivalence.
+	searchHook func(ln *lane, trigger *pending) (*installResult, bool, bool)
 }
 
 // New builds a Coordinator over an execution engine and an answer store.
@@ -191,8 +199,10 @@ func (c *Coordinator) Submit(q *eq.Query, owner string) (*Handle, error) {
 		return nil, fmt.Errorf("coord: empty query")
 	}
 	// Validate answer-relation names and arities up front so the submitter
-	// gets the error, not a forever-pending query.
-	for _, rel := range q.AnswerRelations() {
+	// gets the error, not a forever-pending query. The canonical footprint
+	// doubles as the pending query's relation set below.
+	rels := relationsOf(q)
+	for _, rel := range rels {
 		if !c.store.Is(rel) && c.eng.Catalog().Has(rel) {
 			return nil, fmt.Errorf("%w: %q", answers.ErrNameTaken, rel)
 		}
@@ -203,11 +213,20 @@ func (c *Coordinator) Submit(q *eq.Query, owner string) (*Handle, error) {
 						answers.ErrArityMismatch, rel, ar, h)
 				}
 			}
-			for _, a := range append(append([]eq.Atom{}, q.Constraints...), q.NegConstraints...) {
-				if a.Relation == rel && a.Arity() != ar {
-					return nil, fmt.Errorf("%w: relation %s has arity %d, constraint %s",
-						answers.ErrArityMismatch, rel, ar, a)
+			checkAtoms := func(atoms []eq.Atom) error {
+				for _, a := range atoms {
+					if a.Relation == rel && a.Arity() != ar {
+						return fmt.Errorf("%w: relation %s has arity %d, constraint %s",
+							answers.ErrArityMismatch, rel, ar, a)
+					}
 				}
+				return nil
+			}
+			if err := checkAtoms(q.Constraints); err != nil {
+				return nil, err
+			}
+			if err := checkAtoms(q.NegConstraints); err != nil {
+				return nil, err
 			}
 		}
 	}
@@ -217,7 +236,7 @@ func (c *Coordinator) Submit(q *eq.Query, owner string) (*Handle, error) {
 		q:         q,
 		owner:     owner,
 		submitted: time.Now(),
-		rels:      relationsOf(q),
+		rels:      rels,
 	}
 	p.shards = c.shardSet(p.rels)
 	p.home = p.shards[0]
@@ -325,7 +344,7 @@ func (c *Coordinator) finalize(res *installResult) map[string][]value.Tuple {
 		c.validateMatch(res)
 	}
 	c.shards[res.members[0].home].stats.Matches.Add(1)
-	installed := make(map[string][]value.Tuple)
+	var installed map[string][]value.Tuple
 	for _, m := range res.members {
 		if c.unregister(m.id) == nil {
 			continue // defensive: lane coverage should make this impossible
@@ -334,6 +353,9 @@ func (c *Coordinator) finalize(res *installResult) map[string][]value.Tuple {
 		answers := res.perQuery[m.id]
 		for _, a := range answers {
 			rel := strings.ToLower(a.Relation)
+			if installed == nil {
+				installed = make(map[string][]value.Tuple, 2)
+			}
 			installed[rel] = append(installed[rel], a.Tuples...)
 		}
 		m.handle.ch <- Outcome{
@@ -341,6 +363,12 @@ func (c *Coordinator) finalize(res *installResult) map[string][]value.Tuple {
 			Answers:   answers,
 			MatchSize: len(res.members),
 		}
+	}
+	if installed == nil {
+		// Defensive: a nil map means FullRetryOnMatch to retryIn; an
+		// (impossible) match that installed nothing must not widen into a
+		// full retry pass.
+		installed = make(map[string][]value.Tuple)
 	}
 	return installed
 }

@@ -34,11 +34,57 @@ type installResult struct {
 type domainSource struct {
 	classIdx []int // indexes into the class list, parallel to tuple positions
 	tuples   []value.Tuple
+	qid      uint64 // owning member
+	predIdx  int    // index into the owner's Preds of the generating conjunct
 
 	// Lazy (correlated) sources only:
 	lazy bool
 	sub  *sql.Select
-	qid  uint64 // owning member, whose variable scope the subquery sees
+}
+
+// groundScratch holds the grounder's reusable buffers. Grounding runs under
+// the trigger's home-shard round lock (inside a search), so the home shard's
+// scratch is exclusively owned; everything here persists across backtrack
+// levels, grounding attempts, and searches instead of being reallocated.
+type groundScratch struct {
+	vars     []eq.ScopedVar
+	classOf  map[eq.ScopedVar]int
+	assign   []value.Value
+	assigned []bool
+	covered  []bool
+	sources  []domainSource
+	lazy     []domainSource
+	chosen   []domainSource
+	idxArena []int   // backing storage for domainSource.classIdx slices
+	touched  [][]int // per backtrack level
+	seen     map[string]bool
+	keyBuf   []byte
+	env      *engine.Env
+	grounds  [][]value.Value
+}
+
+// touchedAt returns the (reset) touched buffer of backtrack level i.
+func (sc *groundScratch) touchedAt(i int) []int {
+	for len(sc.touched) <= i {
+		sc.touched = append(sc.touched, nil)
+	}
+	return sc.touched[i][:0]
+}
+
+// envFor returns the pooled environment reset and rebound to the member's
+// currently assigned coordination variables.
+func (sc *groundScratch) envFor(st *matchState, qid uint64, classOf map[eq.ScopedVar]int, assign []value.Value, assigned []bool) *engine.Env {
+	if sc.env == nil {
+		sc.env = engine.NewEnv()
+	}
+	sc.env.Reset()
+	member := st.members[qid]
+	for _, v := range member.q.Vars {
+		if ci, ok := classOf[eq.ScopedVar{QID: qid, Name: v}]; ok && (assigned == nil || assigned[ci]) {
+			sc.env.BindVar(v, assign[ci])
+		}
+	}
+	return sc.env
 }
 
 // ground takes a fully covered match and attempts to extend the unifier to a
@@ -70,15 +116,22 @@ func (c *Coordinator) ground(sh *coordShard, st *matchState) (*installResult, bo
 }
 
 func (c *Coordinator) groundIn(tx *txn.Txn, sh *coordShard, st *matchState) (*installResult, error) {
+	sc := &sh.gscratch
 	// Collect every scoped variable of every member and group into classes.
-	var vars []eq.ScopedVar
+	vars := sc.vars[:0]
 	for _, qid := range st.order {
 		for _, v := range st.members[qid].q.Vars {
 			vars = append(vars, eq.ScopedVar{QID: qid, Name: v})
 		}
 	}
+	sc.vars = vars
 	classes := st.subst.Classes(vars)
-	classOf := make(map[eq.ScopedVar]int, len(vars))
+	if sc.classOf == nil {
+		sc.classOf = make(map[eq.ScopedVar]int, len(vars))
+	} else {
+		clear(sc.classOf)
+	}
+	classOf := sc.classOf
 	for i, cl := range classes {
 		for _, m := range cl.Members {
 			classOf[m] = i
@@ -86,8 +139,9 @@ func (c *Coordinator) groundIn(tx *txn.Txn, sh *coordShard, st *matchState) (*in
 	}
 
 	// Assignment: one constant per class; pre-bound classes are fixed.
-	assign := make([]value.Value, len(classes))
-	assigned := make([]bool, len(classes))
+	assign := grow(sc.assign, len(classes))
+	assigned := grow(sc.assigned, len(classes))
+	sc.assign, sc.assigned = assign, assigned
 	for i, cl := range classes {
 		if cl.Bound {
 			assign[i] = cl.Const
@@ -96,7 +150,7 @@ func (c *Coordinator) groundIn(tx *txn.Txn, sh *coordShard, st *matchState) (*in
 	}
 
 	// Evaluate generators into domain sources for the unassigned classes.
-	sources, lazySources, err := c.collectSources(tx, st, classOf, assigned)
+	sources, lazySources, err := c.collectSources(tx, st, sc, classOf)
 	if err != nil {
 		return nil, err
 	}
@@ -104,7 +158,7 @@ func (c *Coordinator) groundIn(tx *txn.Txn, sh *coordShard, st *matchState) (*in
 	// Greedy cover: every unassigned class needs at least one source.
 	// Correlated (lazy) sources cover their classes too, but are ordered
 	// after every independent source so their inputs are assigned first.
-	chosen, err := chooseSources(classes, assigned, sources, lazySources, c.opts.GroundSmallestFirst)
+	chosen, err := chooseSources(sc, classes, assigned, sources, lazySources, c.opts.GroundSmallestFirst)
 	if err != nil {
 		return nil, err
 	}
@@ -116,23 +170,30 @@ func (c *Coordinator) groundIn(tx *txn.Txn, sh *coordShard, st *matchState) (*in
 	}
 
 	want := c.chooseCount(st)
-	var groundings [][]value.Value
-	seen := make(map[string]bool) // dedup: CHOOSE n wants n DISTINCT answers
+	groundings := sc.grounds[:0]
+	defer func() { sc.grounds = groundings[:0] }()
+	if sc.seen == nil {
+		sc.seen = make(map[string]bool)
+	} else {
+		clear(sc.seen)
+	}
+	seen := sc.seen // dedup: CHOOSE n wants n DISTINCT answers
 
 	var backtrack func(i int) bool
 	backtrack = func(i int) bool {
 		if i == len(chosen) {
-			k := value.Tuple(assign).Key()
-			if seen[k] {
+			kb := value.Tuple(assign).AppendKey(sc.keyBuf[:0])
+			sc.keyBuf = kb
+			if seen[string(kb)] {
 				return false
 			}
-			if !c.checkFilters(tx, st, classOf, assign) {
+			if !c.checkFilters(tx, st, sc, classOf, assign, sources) {
 				return false
 			}
 			if !c.checkNegConstraints(st, classOf, assign, groundings) {
 				return false
 			}
-			seen[k] = true
+			seen[string(kb)] = true
 			g := make([]value.Value, len(assign))
 			copy(g, assign)
 			groundings = append(groundings, g)
@@ -143,13 +204,7 @@ func (c *Coordinator) groundIn(tx *txn.Txn, sh *coordShard, st *matchState) (*in
 		if src.lazy {
 			// Evaluate the correlated generator under the current partial
 			// assignment of its owner's variables.
-			env := engine.NewEnv()
-			member := st.members[src.qid]
-			for _, v := range member.q.Vars {
-				if ci, ok := classOf[eq.ScopedVar{QID: src.qid, Name: v}]; ok && assigned[ci] {
-					env.BindVar(v, assign[ci])
-				}
-			}
+			env := sc.envFor(st, src.qid, classOf, assign, assigned)
 			r, err := c.eng.EvalSelect(tx, src.sub, env)
 			if err != nil || len(r.Cols) != len(src.classIdx) {
 				// Still-unbound dependency, missing table or arity mismatch:
@@ -162,7 +217,7 @@ func (c *Coordinator) groundIn(tx *txn.Txn, sh *coordShard, st *matchState) (*in
 		for _, tup := range tuples {
 			// Tentatively assign this source's classes, respecting earlier
 			// assignments (joint consistency).
-			touched := make([]int, 0, len(src.classIdx))
+			touched := sc.touchedAt(i)
 			ok := true
 			for k, ci := range src.classIdx {
 				if assigned[ci] {
@@ -176,6 +231,7 @@ func (c *Coordinator) groundIn(tx *txn.Txn, sh *coordShard, st *matchState) (*in
 				assigned[ci] = true
 				touched = append(touched, ci)
 			}
+			sc.touched[i] = touched
 			if ok && backtrack(i+1) {
 				// Keep going for more groundings unless done.
 				for _, ci := range touched {
@@ -228,30 +284,54 @@ func (c *Coordinator) groundIn(tx *txn.Txn, sh *coordShard, st *matchState) (*in
 	return res, nil
 }
 
+// grow resizes s to n zeroed entries, reusing capacity when possible.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
 // collectSources evaluates each member's generators into candidate sets.
 // Generators whose subquery references still-unbound coordination variables
 // (correlated generators) cannot be enumerated up front; they are returned
 // separately as lazy sources and evaluated during backtracking once their
-// inputs are assigned.
-func (c *Coordinator) collectSources(tx *txn.Txn, st *matchState, classOf map[eq.ScopedVar]int, assigned []bool) (sources, lazySources []domainSource, err error) {
+// inputs are assigned. Source slices and classIdx storage live in the shard
+// scratch, reused across grounding attempts.
+func (c *Coordinator) collectSources(tx *txn.Txn, st *matchState, sc *groundScratch, classOf map[eq.ScopedVar]int) (sources, lazySources []domainSource, err error) {
+	sources, lazySources = sc.sources[:0], sc.lazy[:0]
+	arena := sc.idxArena[:0]
+	defer func() { sc.sources, sc.lazy, sc.idxArena = sources[:0], lazySources[:0], arena }()
 	for _, qid := range st.order {
 		member := st.members[qid]
 		for _, g := range member.q.Generators {
-			idx := make([]int, len(g.Vars))
-			for i, v := range g.Vars {
+			start := len(arena)
+			bad := false
+			for _, v := range g.Vars {
 				ci, ok := classOf[eq.ScopedVar{QID: qid, Name: v}]
 				if !ok {
-					return nil, nil, fmt.Errorf("coord: internal: variable %s.%s has no class", member.q.Source, v)
+					bad = true
+					break
 				}
-				idx[i] = ci
+				arena = append(arena, ci)
 			}
+			if bad {
+				return nil, nil, fmt.Errorf("coord: internal: variable %s has no class in %s", g.Vars, member.q.Source)
+			}
+			idx := arena[start:len(arena):len(arena)]
 			var tuples []value.Tuple
 			if g.Sub != nil {
-				r, err := c.eng.EvalSelect(tx, g.Sub, engine.NewEnv())
+				if sc.env == nil {
+					sc.env = engine.NewEnv()
+				}
+				sc.env.Reset()
+				r, err := c.eng.EvalSelect(tx, g.Sub, sc.env)
 				if err != nil {
 					if errors.Is(err, engine.ErrUnboundVariable) {
 						lazySources = append(lazySources, domainSource{
-							classIdx: idx, lazy: true, sub: g.Sub, qid: qid,
+							classIdx: idx, lazy: true, sub: g.Sub, qid: qid, predIdx: g.Pred,
 						})
 						continue
 					}
@@ -264,7 +344,7 @@ func (c *Coordinator) collectSources(tx *txn.Txn, st *matchState, classOf map[eq
 			} else {
 				tuples = g.Tuples
 			}
-			sources = append(sources, domainSource{classIdx: idx, tuples: tuples})
+			sources = append(sources, domainSource{classIdx: idx, tuples: tuples, qid: qid, predIdx: g.Pred})
 		}
 	}
 	return sources, lazySources, nil
@@ -275,12 +355,14 @@ func (c *Coordinator) collectSources(tx *txn.Txn, st *matchState, classOf map[eq
 // smallestFirst — the A3 ablation knob). Independent sources are preferred;
 // lazy (correlated) sources cover leftover classes and always run after every
 // independent source, so their inputs are assigned when they evaluate.
-func chooseSources(classes []eq.Class, assigned []bool, sources, lazySources []domainSource, smallestFirst bool) ([]domainSource, error) {
-	covered := make([]bool, len(classes))
+func chooseSources(sc *groundScratch, classes []eq.Class, assigned []bool, sources, lazySources []domainSource, smallestFirst bool) ([]domainSource, error) {
+	covered := grow(sc.covered, len(classes))
+	sc.covered = covered
 	for i := range classes {
 		covered[i] = assigned[i]
 	}
-	var chosen []domainSource
+	chosen := sc.chosen[:0]
+	defer func() { sc.chosen = chosen[:0] }()
 	// Repeatedly pick independent sources until no more help.
 	for {
 		next := -1
@@ -316,8 +398,8 @@ func chooseSources(classes []eq.Class, assigned []bool, sources, lazySources []d
 			return len(chosen[i].tuples) < len(chosen[j].tuples)
 		})
 	}
-	// Lazy sources cover what remains.
-	var lazyChosen []domainSource
+	// Lazy sources cover what remains; they always run after every
+	// independent source, so appending them here preserves that order.
 	for _, s := range lazySources {
 		helps := false
 		for _, ci := range s.classIdx {
@@ -329,7 +411,7 @@ func chooseSources(classes []eq.Class, assigned []bool, sources, lazySources []d
 		if !helps {
 			continue
 		}
-		lazyChosen = append(lazyChosen, s)
+		chosen = append(chosen, s)
 		for _, ci := range s.classIdx {
 			covered[ci] = true
 		}
@@ -339,20 +421,31 @@ func chooseSources(classes []eq.Class, assigned []bool, sources, lazySources []d
 			return nil, errNoGrounding // some class cannot be enumerated
 		}
 	}
-	return append(chosen, lazyChosen...), nil
+	return chosen, nil
 }
 
 // checkFilters evaluates every member's residual predicates under the full
-// assignment, each in an environment binding that member's variable names.
-func (c *Coordinator) checkFilters(tx *txn.Txn, st *matchState, classOf map[eq.ScopedVar]int, assign []value.Value) bool {
+// assignment. Predicates whose generator was already evaluated into an
+// (uncorrelated) domain source in this same transaction are checked by
+// membership against that source's candidate set — the set IS the
+// predicate's satisfying set, so re-running the subquery through the engine
+// would recompute the identical rows. Everything else (correlated
+// generators, non-generating predicates) is evaluated by the engine in the
+// pooled environment rebound to that member's variable names.
+func (c *Coordinator) checkFilters(tx *txn.Txn, st *matchState, sc *groundScratch, classOf map[eq.ScopedVar]int, assign []value.Value, sources []domainSource) bool {
 	for _, qid := range st.order {
 		member := st.members[qid]
-		env := engine.NewEnv()
-		for _, v := range member.q.Vars {
-			ci := classOf[eq.ScopedVar{QID: qid, Name: v}]
-			env.BindVar(v, assign[ci])
-		}
-		for _, p := range member.q.Preds {
+		var env *engine.Env
+		for pi, p := range member.q.Preds {
+			if s := findSource(sources, qid, pi); s != nil {
+				if !sourceContains(s, assign) {
+					return false
+				}
+				continue
+			}
+			if env == nil {
+				env = sc.envFor(st, qid, classOf, assign, nil)
+			}
 			v, err := c.eng.EvalExpr(tx, p, env)
 			if err != nil || v.Type() != value.TypeBool || !v.Bool() {
 				return false
@@ -360,6 +453,35 @@ func (c *Coordinator) checkFilters(tx *txn.Txn, st *matchState, classOf map[eq.S
 		}
 	}
 	return true
+}
+
+// findSource returns the uncorrelated domain source derived from predicate
+// pi of member qid, if one exists. Sources are few (one per generating
+// conjunct of the match), so a linear scan beats any index.
+func findSource(sources []domainSource, qid uint64, pi int) *domainSource {
+	for i := range sources {
+		if sources[i].qid == qid && sources[i].predIdx == pi {
+			return &sources[i]
+		}
+	}
+	return nil
+}
+
+// sourceContains reports whether the assignment restricted to the source's
+// classes appears among its candidate tuples, using the engine's IN
+// comparison semantics (value.Equal positionally — so a NULL never matches,
+// exactly as `IN (SELECT ...)` evaluates).
+func sourceContains(s *domainSource, assign []value.Value) bool {
+outer:
+	for _, tup := range s.tuples {
+		for k, ci := range s.classIdx {
+			if !assign[ci].Equal(tup[k]) {
+				continue outer
+			}
+		}
+		return true
+	}
+	return false
 }
 
 // checkNegConstraints verifies NOT IN ANSWER exclusions against the

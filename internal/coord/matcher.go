@@ -2,6 +2,7 @@ package coord
 
 import (
 	"repro/internal/eq"
+	"repro/internal/value"
 )
 
 // scopedAtom is a constraint atom tagged with the query instance it belongs
@@ -11,40 +12,43 @@ type scopedAtom struct {
 	atom eq.Atom
 }
 
-// matchState is one node of the backtracking coverage search: a partial match
-// set, the most-general unifier accumulated so far, and the worklist of
-// constraint atoms not yet covered by a head atom or an installed answer.
+// matchState is the single, mutated-in-place state of the backtracking
+// coverage search: the partial match set, the most-general unifier
+// accumulated so far (trailed — see eq.Subst.Mark/Undo), and the worklist of
+// constraint atoms. The worklist is append-only with a cursor: covering an
+// atom advances wi, joining a query appends its constraints, and
+// backtracking rewinds the cursor and truncates the appended tail — no
+// copies. The search clones nothing per branch; every mutation (subst,
+// members, order, worklist) is undone on the way back up.
 type matchState struct {
 	members   map[uint64]*pending
-	order     []uint64 // member ids in join order (trigger first)
-	subst     *eq.Subst
-	uncovered []scopedAtom
+	order     []uint64     // member ids in join order (trigger first)
+	subst     *eq.Subst    // trailed MGU; Mark/Undo per branch
+	uncovered []scopedAtom // worklist; entries before wi are covered
+	wi        int          // cursor of the next uncovered constraint
 }
 
-func newMatchState(trigger *pending) *matchState {
-	st := &matchState{
-		members: map[uint64]*pending{trigger.id: trigger},
-		order:   []uint64{trigger.id},
-		subst:   eq.NewSubst(),
+// reset re-initializes the state for a new search rooted at trigger,
+// retaining map/slice storage from previous searches on the same shard.
+func (st *matchState) reset(trigger *pending) {
+	if st.members == nil {
+		st.members = make(map[uint64]*pending, 8)
+	} else {
+		clear(st.members)
 	}
+	if st.subst == nil {
+		st.subst = eq.NewSubst()
+	} else {
+		st.subst.Reset()
+	}
+	st.order = st.order[:0]
+	st.uncovered = st.uncovered[:0]
+	st.wi = 0
+	st.members[trigger.id] = trigger
+	st.order = append(st.order, trigger.id)
 	for _, c := range trigger.q.Constraints {
 		st.uncovered = append(st.uncovered, scopedAtom{qid: trigger.id, atom: c})
 	}
-	return st
-}
-
-// clone copies the state for a backtracking branch.
-func (st *matchState) clone() *matchState {
-	c := &matchState{
-		members:   make(map[uint64]*pending, len(st.members)),
-		order:     append([]uint64(nil), st.order...),
-		subst:     st.subst.Clone(),
-		uncovered: append([]scopedAtom(nil), st.uncovered...),
-	}
-	for k, v := range st.members {
-		c.members[k] = v
-	}
-	return c
 }
 
 // join adds a pending query to the match set, pushing its constraints onto
@@ -57,22 +61,53 @@ func (st *matchState) join(p *pending) {
 	}
 }
 
-// candidates returns head refs that may unify with the constraint atom,
-// excluding refs belonging to queries in the exclude set and queries the
-// lane does not cover (those set *foreign). The index lives on the shard
-// owning the constraint's relation — which the lane necessarily holds, since
-// the constraint belongs to a covered member. When UseIndex is off it
-// degrades to a linear scan over every head of every pending query in the
-// system (the A1 ablation baseline).
-func (c *Coordinator) candidates(a eq.Atom, exclude map[uint64]bool, ln *lane, foreign *bool) []headRef {
-	if c.opts.UseIndex {
-		return c.shardFor(a.Relation).reg.candidates(a, exclude, ln, foreign)
+// unjoin reverses join: p must be the most recently joined member.
+func (st *matchState) unjoin(p *pending) {
+	delete(st.members, p.id)
+	st.order = st.order[:len(st.order)-1]
+	st.uncovered = st.uncovered[:len(st.uncovered)-len(p.q.Constraints)]
+}
+
+// searchScratch is the per-shard allocation arena of the matcher. A search
+// runs while holding its trigger's home-shard round lock, so the home
+// shard's scratch is exclusively owned for the duration; buffers are reused
+// across searches and, within a search, per backtracking depth (deeper
+// recursion must not stomp the buffers a shallower node is iterating).
+type searchScratch struct {
+	st      matchState
+	resolve [][]eq.Term     // per-depth ResolveInto buffers
+	cands   [][]headRef     // per-depth candidate buffers
+	tuples  [][]value.Tuple // per-depth installed-answer buffers
+}
+
+// atDepth grows the per-depth buffer slots to cover depth.
+func (sc *searchScratch) atDepth(depth int) {
+	for len(sc.resolve) <= depth {
+		sc.resolve = append(sc.resolve, nil)
+		sc.cands = append(sc.cands, nil)
+		sc.tuples = append(sc.tuples, nil)
 	}
-	var out []headRef
+}
+
+// candidates returns head refs that may unify with the constraint atom,
+// excluding refs belonging to queries already in the match set and queries
+// the lane does not cover (those set *foreign). The index lives on the shard
+// owning the constraint's relation — which the lane necessarily holds, since
+// the constraint belongs to a covered member. Results are appended to buf
+// (reused from length 0) in (query id, head index) order; the index keeps
+// its buckets sorted at insert time, so the common constant-first probe
+// merges two sorted buckets instead of sorting per call. When UseIndex is
+// off it degrades to a linear scan over every head of every pending query in
+// the system (the A1 ablation baseline).
+func (c *Coordinator) candidates(a eq.Atom, members map[uint64]*pending, ln *lane, foreign *bool, buf []headRef) []headRef {
+	if c.opts.UseIndex {
+		return c.shardFor(a.Relation).reg.candidates(a, members, ln, foreign, buf)
+	}
+	out := buf[:0]
 	for _, sh := range c.shards {
 		sh.reg.mu.RLock()
 		for _, p := range sh.reg.queries {
-			if exclude[p.id] {
+			if _, in := members[p.id]; in {
 				continue
 			}
 			for i, h := range p.q.Heads {
@@ -112,21 +147,33 @@ func (c *Coordinator) candidates(a eq.Atom, exclude map[uint64]bool, ln *lane, f
 // NP-hard in general, and the bound + candidate index keep the common
 // pairwise and small-group workloads polynomial.
 //
+// The exploration is trailed mutate-and-undo over ONE matchState: each
+// branch takes a subst Mark, unifies in place, recurses, and rewinds —
+// there is no per-branch clone. Candidate order and node accounting are
+// identical to the clone-based matcher (the differential test in
+// matcher_diff_test.go locks this in), so fixed-seed runs are unchanged.
+//
 // Recruitment is restricted to queries the lane covers (every shard of their
 // footprint is locked); skipping a candidate for that reason alone sets
 // sawForeign, which tells the caller a wider — escalated — lane might
 // succeed where this one failed.
 func (c *Coordinator) search(ln *lane, trigger *pending) (res *installResult, ok, sawForeign bool) {
+	if c.searchHook != nil {
+		return c.searchHook(ln, trigger)
+	}
 	home := c.shards[trigger.home]
+	sc := &home.scratch
+	st := &sc.st
+	st.reset(trigger)
 	nodes := 0
-	var dfs func(st *matchState) (*installResult, bool)
-	dfs = func(st *matchState) (*installResult, bool) {
+	var dfs func(depth int) (*installResult, bool)
+	dfs = func(depth int) (*installResult, bool) {
 		nodes++
 		home.stats.NodesExplored.Add(1)
 		if nodes > c.opts.MaxNodes {
 			return nil, false
 		}
-		if len(st.uncovered) == 0 {
+		if st.wi == len(st.uncovered) {
 			res, ok := c.ground(home, st)
 			if ok {
 				return res, true
@@ -134,60 +181,65 @@ func (c *Coordinator) search(ln *lane, trigger *pending) (res *installResult, ok
 			home.stats.GroundingFailures.Add(1)
 			return nil, false
 		}
-		sa := st.uncovered[0]
-		rest := st.uncovered[1:]
+		sa := st.uncovered[st.wi]
+		sc.atDepth(depth)
 
 		// Resolve the constraint under the current substitution so installed
 		// answers and the candidate index see bindings made so far.
-		resolved := st.subst.Resolve(sa.qid, sa.atom)
+		resolved := st.subst.ResolveInto(sc.resolve[depth], sa.qid, sa.atom)
+		sc.resolve[depth] = resolved.Terms
+
+		st.wi++
 
 		// (1) Cover with an already-installed answer tuple.
-		for _, tup := range c.store.Matching(resolved) {
-			branch := st.clone()
-			branch.uncovered = append([]scopedAtom(nil), rest...)
-			if eq.UnifyGround(branch.subst, sa.qid, sa.atom, tup) {
-				if res, ok := dfs(branch); ok {
+		tups := c.store.AppendMatching(sc.tuples[depth][:0], resolved)
+		sc.tuples[depth] = tups
+		for _, tup := range tups {
+			mark := st.subst.Mark()
+			if eq.UnifyGround(st.subst, sa.qid, sa.atom, tup) {
+				if res, ok := dfs(depth + 1); ok {
 					return res, true
 				}
 			}
+			st.subst.Undo(mark)
 		}
 
 		// (2) Cover with a head atom of a query already in the set.
-		for _, qid := range st.order {
-			member := st.members[qid]
+		for i := 0; i < len(st.order); i++ {
+			member := st.members[st.order[i]]
 			for _, h := range member.q.Heads {
 				if !eq.Unifiable(resolved, h) {
 					continue
 				}
-				branch := st.clone()
-				branch.uncovered = append([]scopedAtom(nil), rest...)
-				if eq.UnifyAtoms(branch.subst, sa.qid, sa.atom, qid, h) {
-					if res, ok := dfs(branch); ok {
+				mark := st.subst.Mark()
+				if eq.UnifyAtoms(st.subst, sa.qid, sa.atom, member.id, h) {
+					if res, ok := dfs(depth + 1); ok {
 						return res, true
 					}
 				}
+				st.subst.Undo(mark)
 			}
 		}
 
 		// (3) Recruit another pending query whose head covers the constraint.
 		if len(st.members) < c.opts.MaxMatchSize {
-			exclude := make(map[uint64]bool, len(st.members))
-			for id := range st.members {
-				exclude[id] = true
-			}
-			for _, ref := range c.candidates(resolved, exclude, ln, &sawForeign) {
-				branch := st.clone()
-				branch.uncovered = append([]scopedAtom(nil), rest...)
-				if eq.UnifyAtoms(branch.subst, sa.qid, sa.atom, ref.p.id, ref.p.q.Heads[ref.headIdx]) {
-					branch.join(ref.p)
-					if res, ok := dfs(branch); ok {
+			cands := c.candidates(resolved, st.members, ln, &sawForeign, sc.cands[depth])
+			sc.cands[depth] = cands
+			for _, ref := range cands {
+				mark := st.subst.Mark()
+				if eq.UnifyAtoms(st.subst, sa.qid, sa.atom, ref.p.id, ref.p.q.Heads[ref.headIdx]) {
+					st.join(ref.p)
+					if res, ok := dfs(depth + 1); ok {
 						return res, true
 					}
+					st.unjoin(ref.p)
 				}
+				st.subst.Undo(mark)
 			}
 		}
+		st.wi--
 		return nil, false
 	}
-	res, ok = dfs(newMatchState(trigger))
+	res, ok = dfs(0)
 	return res, ok, sawForeign
 }

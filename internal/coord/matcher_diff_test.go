@@ -1,0 +1,325 @@
+package coord
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/eq"
+)
+
+// refSearch is the PR-1 clone-per-branch matcher, kept verbatim as the
+// semantic reference: every backtracking branch deep-copies the match state
+// (substitution maps, member map, order slice, and the uncovered worklist)
+// exactly like the pre-trail implementation. The differential tests install
+// it via Coordinator.searchHook and assert the trailed matcher is
+// observationally identical — same outcomes, same candidate order, same
+// NodesExplored — for fixed seeds.
+func refSearch(c *Coordinator, ln *lane, trigger *pending) (res *installResult, ok, sawForeign bool) {
+	type refState struct {
+		members   map[uint64]*pending
+		order     []uint64
+		subst     *eq.Subst
+		uncovered []scopedAtom
+	}
+	newState := func(p *pending) *refState {
+		st := &refState{
+			members: map[uint64]*pending{p.id: p},
+			order:   []uint64{p.id},
+			subst:   eq.NewSubst(),
+		}
+		for _, cns := range p.q.Constraints {
+			st.uncovered = append(st.uncovered, scopedAtom{qid: p.id, atom: cns})
+		}
+		return st
+	}
+	cloneState := func(st *refState) *refState {
+		cl := &refState{
+			members:   make(map[uint64]*pending, len(st.members)),
+			order:     append([]uint64(nil), st.order...),
+			subst:     st.subst.Clone(),
+			uncovered: append([]scopedAtom(nil), st.uncovered...),
+		}
+		for k, v := range st.members {
+			cl.members[k] = v
+		}
+		return cl
+	}
+	join := func(st *refState, p *pending) {
+		st.members[p.id] = p
+		st.order = append(st.order, p.id)
+		for _, cns := range p.q.Constraints {
+			st.uncovered = append(st.uncovered, scopedAtom{qid: p.id, atom: cns})
+		}
+	}
+	// ground wants a *matchState; the shared fields are what it reads.
+	groundable := func(st *refState) *matchState {
+		return &matchState{members: st.members, order: st.order, subst: st.subst}
+	}
+
+	home := c.shards[trigger.home]
+	nodes := 0
+	var dfs func(st *refState) (*installResult, bool)
+	dfs = func(st *refState) (*installResult, bool) {
+		nodes++
+		home.stats.NodesExplored.Add(1)
+		if nodes > c.opts.MaxNodes {
+			return nil, false
+		}
+		if len(st.uncovered) == 0 {
+			res, ok := c.ground(home, groundable(st))
+			if ok {
+				return res, true
+			}
+			home.stats.GroundingFailures.Add(1)
+			return nil, false
+		}
+		sa := st.uncovered[0]
+		rest := st.uncovered[1:]
+		resolved := st.subst.Resolve(sa.qid, sa.atom)
+
+		for _, tup := range c.store.Matching(resolved) {
+			branch := cloneState(st)
+			branch.uncovered = append([]scopedAtom(nil), rest...)
+			if eq.UnifyGround(branch.subst, sa.qid, sa.atom, tup) {
+				if res, ok := dfs(branch); ok {
+					return res, true
+				}
+			}
+		}
+		for _, qid := range st.order {
+			member := st.members[qid]
+			for _, h := range member.q.Heads {
+				if !eq.Unifiable(resolved, h) {
+					continue
+				}
+				branch := cloneState(st)
+				branch.uncovered = append([]scopedAtom(nil), rest...)
+				if eq.UnifyAtoms(branch.subst, sa.qid, sa.atom, qid, h) {
+					if res, ok := dfs(branch); ok {
+						return res, true
+					}
+				}
+			}
+		}
+		if len(st.members) < c.opts.MaxMatchSize {
+			for _, ref := range c.candidates(resolved, st.members, ln, &sawForeign, nil) {
+				branch := cloneState(st)
+				branch.uncovered = append([]scopedAtom(nil), rest...)
+				if eq.UnifyAtoms(branch.subst, sa.qid, sa.atom, ref.p.id, ref.p.q.Heads[ref.headIdx]) {
+					join(branch, ref.p)
+					if res, ok := dfs(branch); ok {
+						return res, true
+					}
+				}
+			}
+		}
+		return nil, false
+	}
+	res, ok = dfs(newState(trigger))
+	return res, ok, sawForeign
+}
+
+// diffOutcome is the observable result of one submission.
+type diffOutcome struct {
+	Answered  bool
+	MatchSize int
+	Answers   []Answer
+}
+
+// runDiffScenario submits the scripted queries in order and returns the
+// per-submission outcomes, the final answer-relation contents, and the
+// merged + per-shard stats.
+func runDiffScenario(t *testing.T, c *Coordinator, subs []string) ([]diffOutcome, map[string][]string, StatsSnapshot, []StatsSnapshot) {
+	t.Helper()
+	handles := make([]*Handle, len(subs))
+	for i, src := range subs {
+		h, err := c.SubmitSQL(src, fmt.Sprintf("q%d", i))
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		handles[i] = h
+	}
+	outs := make([]diffOutcome, len(subs))
+	for i, h := range handles {
+		if out, ok := h.TryOutcome(); ok {
+			outs[i] = diffOutcome{Answered: true, MatchSize: out.MatchSize, Answers: out.Answers}
+		}
+	}
+	rels := make(map[string][]string)
+	for _, r := range c.Store().Relations() {
+		var tups []string
+		for _, tup := range c.Store().Tuples(r) {
+			tups = append(tups, tup.Key())
+		}
+		sort.Strings(tups)
+		rels[r] = tups
+	}
+	var perShard []StatsSnapshot
+	for _, si := range c.Shards() {
+		perShard = append(perShard, si.Stats)
+	}
+	return outs, rels, c.Stats(), perShard
+}
+
+// groupScenario is the E5 shape: a k-clique where every member constrains
+// every other member's Reservation tuple.
+func groupScenario(k int) []string {
+	members := make([]string, k)
+	for i := range members {
+		members[i] = fmt.Sprintf("m%d", i)
+	}
+	var subs []string
+	for i, self := range members {
+		src := fmt.Sprintf("SELECT '%s', fno INTO ANSWER Reservation\nWHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris')", self)
+		for j, other := range members {
+			if j != i {
+				src += fmt.Sprintf("\nAND ('%s', fno) IN ANSWER Reservation", other)
+			}
+		}
+		subs = append(subs, src+"\nCHOOSE 1")
+	}
+	return subs
+}
+
+// adHocScenario is the E7 shape: the Jerry–Kramer–Elaine overlap graph
+// (flights-only edge plus a flights-and-hotels edge).
+func adHocScenario() []string {
+	jerry := `SELECT 'Jerry', fno INTO ANSWER Reservation
+		WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris')
+		AND ('Kramer', fno) IN ANSWER Reservation CHOOSE 1`
+	kramer := `SELECT ('Kramer', fno) INTO ANSWER Reservation, ('Kramer', hno) INTO ANSWER HotelReservation
+		WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris')
+		AND hno IN (SELECT hno FROM Hotels WHERE city = 'Paris')
+		AND ('Jerry', fno) IN ANSWER Reservation
+		AND ('Elaine', hno) IN ANSWER HotelReservation CHOOSE 1`
+	elaine := `SELECT 'Elaine', hno INTO ANSWER HotelReservation
+		WHERE hno IN (SELECT hno FROM Hotels WHERE city = 'Paris')
+		AND ('Kramer', hno) IN ANSWER HotelReservation CHOOSE 1`
+	return []string{jerry, kramer, elaine}
+}
+
+// loadedScenario parks never-matching loners around a pair, exercising the
+// targeted-retry path and the candidate index under noise.
+func loadedScenario() []string {
+	var subs []string
+	for i := 0; i < 12; i++ {
+		subs = append(subs, fmt.Sprintf(`SELECT 'noise%d', fno INTO ANSWER Reservation
+			WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris')
+			AND ('ghost%d', fno) IN ANSWER Reservation CHOOSE 1`, i, i))
+	}
+	subs = append(subs, pairQuery("Kramer", "Jerry"), pairQuery("Jerry", "Kramer"))
+	// A latecomer answered purely from installed answers.
+	subs = append(subs, `SELECT 'Newman', fno INTO ANSWER Reservation
+		WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris')
+		AND ('Jerry', fno) IN ANSWER Reservation CHOOSE 1`)
+	return subs
+}
+
+// TestTrailedMatcherMatchesCloneReference is the PR-2 differential test:
+// for fixed seeds and shard counts, the trailed mutate-and-undo matcher
+// must produce outcomes, match sizes, answer relations, merged stats AND
+// per-shard stats (including NodesExplored) identical to the clone-based
+// PR-1 matcher on the E5/E7 scenario shapes.
+func TestTrailedMatcherMatchesCloneReference(t *testing.T) {
+	scenarios := map[string]func() []string{
+		"E5_k2":  func() []string { return groupScenario(2) },
+		"E5_k3":  func() []string { return groupScenario(3) },
+		"E5_k4":  func() []string { return groupScenario(4) },
+		"E5_k6":  func() []string { return groupScenario(6) },
+		"E7":     adHocScenario,
+		"loaded": loadedScenario,
+	}
+	for name, mk := range scenarios {
+		for _, shards := range []int{1, 2} {
+			for seed := int64(0); seed < 4; seed++ {
+				t.Run(fmt.Sprintf("%s/shards=%d/seed=%d", name, shards, seed), func(t *testing.T) {
+					opts := Options{UseIndex: true, GroundSmallestFirst: true, Seed: seed, Shards: shards}
+					trailed, _ := newSystem(t, opts)
+					ref, _ := newSystem(t, opts)
+					ref.searchHook = func(ln *lane, trigger *pending) (*installResult, bool, bool) {
+						return refSearch(ref, ln, trigger)
+					}
+
+					wantOuts, wantRels, wantStats, wantShards := runDiffScenario(t, ref, mk())
+					gotOuts, gotRels, gotStats, gotShards := runDiffScenario(t, trailed, mk())
+
+					if !reflect.DeepEqual(gotOuts, wantOuts) {
+						t.Errorf("outcomes differ:\n got: %+v\nwant: %+v", gotOuts, wantOuts)
+					}
+					if !reflect.DeepEqual(gotRels, wantRels) {
+						t.Errorf("answer relations differ:\n got: %v\nwant: %v", gotRels, wantRels)
+					}
+					if gotStats != wantStats {
+						t.Errorf("stats differ:\n got: %+v\nwant: %+v", gotStats, wantStats)
+					}
+					if !reflect.DeepEqual(gotShards, wantShards) {
+						t.Errorf("per-shard stats differ:\n got: %+v\nwant: %+v", gotShards, wantShards)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestTrailedMatcherNegAndChoose extends the differential check to CHOOSE n
+// and NOT IN ANSWER exclusions, which exercise grounding dedup and the
+// negative-constraint path.
+func TestTrailedMatcherNegAndChoose(t *testing.T) {
+	mk := func() []string {
+		a := `SELECT 'A', fno INTO ANSWER Reservation
+			WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris')
+			AND ('B', fno) IN ANSWER Reservation
+			AND ('A', fno) NOT IN ANSWER Blacklist CHOOSE 2`
+		b := `SELECT 'B', fno INTO ANSWER Reservation
+			WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris')
+			AND ('A', fno) IN ANSWER Reservation CHOOSE 2`
+		return []string{a, b}
+	}
+	for seed := int64(0); seed < 6; seed++ {
+		opts := Options{UseIndex: true, GroundSmallestFirst: true, Seed: seed}
+		trailed, _ := newSystem(t, opts)
+		ref, _ := newSystem(t, opts)
+		ref.searchHook = func(ln *lane, trigger *pending) (*installResult, bool, bool) {
+			return refSearch(ref, ln, trigger)
+		}
+		wantOuts, wantRels, wantStats, _ := runDiffScenario(t, ref, mk())
+		gotOuts, gotRels, gotStats, _ := runDiffScenario(t, trailed, mk())
+		if !reflect.DeepEqual(gotOuts, wantOuts) || !reflect.DeepEqual(gotRels, wantRels) || gotStats != wantStats {
+			t.Errorf("seed %d: trailed and reference diverge\n got: %+v %v %+v\nwant: %+v %v %+v",
+				seed, gotOuts, gotRels, gotStats, wantOuts, wantRels, wantStats)
+		}
+	}
+}
+
+// TestTrailedMatcherValidated runs a group scenario with ValidateMatches on:
+// the matcher's central invariant is re-checked against the answer store
+// after every finalized match (it panics on violation).
+func TestTrailedMatcherValidated(t *testing.T) {
+	opts := Options{UseIndex: true, GroundSmallestFirst: true, Seed: 9, ValidateMatches: true}
+	c, _ := newSystem(t, opts)
+	outs, _, stats, _ := runDiffScenario(t, c, groupScenario(4))
+	answered := 0
+	for _, o := range outs {
+		if o.Answered {
+			answered++
+			if o.MatchSize != 4 {
+				t.Errorf("match size %d, want 4", o.MatchSize)
+			}
+		}
+	}
+	if answered != 4 || stats.Matches != 1 {
+		t.Errorf("answered=%d matches=%d", answered, stats.Matches)
+	}
+	// All four received the same flight.
+	var flights []string
+	for _, o := range outs {
+		flights = append(flights, o.Answers[0].Tuples[0][1].String())
+	}
+	for _, f := range flights {
+		if f != flights[0] {
+			t.Fatalf("group split across flights: %v", flights)
+		}
+	}
+}

@@ -111,10 +111,14 @@ type registry struct {
 	mu      sync.RWMutex
 	queries map[uint64]*pending
 	// byRelation indexes head atoms by answer-relation name; within a
-	// relation, refs are stored under the Key() of their first constant
+	// relation, refs are stored under the key of their first constant
 	// position ("" when the first position is a variable), which prunes
 	// most non-unifiable candidates for constraint atoms that start with a
 	// constant — like every traveler-name position in the travel app.
+	// Buckets are kept sorted by (query id, head index) at insert time, so
+	// the probe path returns deterministically ordered candidates without a
+	// per-call sort: ordering work happens once per head registration, not
+	// once per search node.
 	byRelation map[string]map[string][]headRef
 }
 
@@ -130,17 +134,19 @@ func indexKey(a eq.Atom) string {
 	if len(a.Terms) == 0 || a.Terms[0].IsVar {
 		return ""
 	}
-	return value.Tuple{a.Terms[0].Const}.Key()
+	var kb [64]byte
+	return string(a.Terms[0].Const.AppendKey(kb[:0]))
 }
 
-// probeKeys returns the index buckets that may contain heads unifiable with
-// the constraint atom: the bucket of its first constant (or all buckets when
-// it starts with a variable) plus the variable-headed bucket.
-func probeKeys(a eq.Atom) (exact string, wildcardOnly bool) {
+// probeKey appends the index-bucket key of the constraint atom's first
+// constant to b (a stack scratch buffer on the probe path, so the per-node
+// candidate lookup allocates nothing). constFirst is false when the atom
+// starts with a variable and every bucket must be scanned.
+func probeKey(b []byte, a eq.Atom) (key []byte, constFirst bool) {
 	if len(a.Terms) == 0 || a.Terms[0].IsVar {
-		return "", false // must scan every bucket
+		return nil, false // must scan every bucket
 	}
-	return value.Tuple{a.Terms[0].Const}.Key(), true
+	return a.Terms[0].Const.AppendKey(b), true
 }
 
 // addQuery homes a pending query on this shard.
@@ -158,7 +164,9 @@ func (r *registry) removeQuery(id uint64) {
 }
 
 // addHead indexes one head atom of a pending query under this shard's
-// candidate index (the shard owns the atom's relation).
+// candidate index (the shard owns the atom's relation). The ref is inserted
+// at its sorted (query id, head index) position, keeping the bucket ordered
+// so candidates never sorts on the probe path.
 func (r *registry) addHead(ref headRef, h eq.Atom) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -168,7 +176,12 @@ func (r *registry) addHead(ref headRef, h eq.Atom) {
 		r.byRelation[h.Relation] = rel
 	}
 	k := indexKey(h)
-	rel[k] = append(rel[k], ref)
+	refs := rel[k]
+	i := sort.Search(len(refs), func(i int) bool { return refLess(ref, refs[i]) })
+	refs = append(refs, headRef{})
+	copy(refs[i+1:], refs[i:])
+	refs[i] = ref
+	rel[k] = refs
 }
 
 // removeHeads prunes every index entry of query id under the given relation.
@@ -226,58 +239,82 @@ func (r *registry) relations() []string {
 	return out
 }
 
-// candidates returns head refs indexed under this shard that may unify with
-// the constraint atom, excluding refs in the exclude set. Refs whose query
-// the lane does not cover (its footprint spans shards outside the lane's
-// lock set) are skipped, and *foreign is set so the caller can escalate; a
-// nil lane covers everything (advisory reads like Diagnose).
-func (r *registry) candidates(c eq.Atom, exclude map[uint64]bool, ln *lane, foreign *bool) []headRef {
+// candidates appends to buf (reused from length 0) the head refs indexed
+// under this shard that may unify with the constraint atom, excluding refs
+// of queries already in the match set. Refs whose query the lane does not
+// cover (its footprint spans shards outside the lane's lock set) are
+// skipped, and *foreign is set so the caller can escalate; a nil lane covers
+// everything (advisory reads like Diagnose).
+//
+// Output is ordered by (query id, head index). The common constant-first
+// probe merges the two relevant buckets — already sorted at insert time —
+// with two cursors; only the rare variable-first probe, which must visit
+// every bucket of the relation, still sorts.
+func (r *registry) candidates(c eq.Atom, members map[uint64]*pending, ln *lane, foreign *bool, buf []headRef) []headRef {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	var out []headRef
-	collect := func(refs []headRef) {
-		for _, ref := range refs {
-			if exclude[ref.p.id] {
-				continue
-			}
-			if !eq.Unifiable(c, ref.p.q.Heads[ref.headIdx]) {
-				continue
-			}
-			if ln != nil && !ln.covers(ref.p) {
-				if foreign != nil {
-					*foreign = true
-				}
-				continue
-			}
-			out = append(out, ref)
+	out := buf[:0]
+	keep := func(ref headRef) bool {
+		if _, in := members[ref.p.id]; in {
+			return false
 		}
+		if !eq.Unifiable(c, ref.p.q.Heads[ref.headIdx]) {
+			return false
+		}
+		if ln != nil && !ln.covers(ref.p) {
+			if foreign != nil {
+				*foreign = true
+			}
+			return false
+		}
+		return true
 	}
 	rel, ok := r.byRelation[c.Relation]
 	if !ok {
-		return nil
+		return out
 	}
-	exact, constFirst := probeKeys(c)
+	var kb [64]byte
+	exact, constFirst := probeKey(kb[:0], c)
 	if constFirst {
-		collect(rel[exact])
-		collect(rel[""]) // heads whose first position is a variable
+		// Merge the first-constant bucket with the variable-headed bucket.
+		a, b := rel[string(exact)], rel[""]
+		for len(a) > 0 || len(b) > 0 {
+			var ref headRef
+			if len(b) == 0 || (len(a) > 0 && refLess(a[0], b[0])) {
+				ref, a = a[0], a[1:]
+			} else {
+				ref, b = b[0], b[1:]
+			}
+			if keep(ref) {
+				out = append(out, ref)
+			}
+		}
 	} else {
 		for _, refs := range rel {
-			collect(refs)
+			for _, ref := range refs {
+				if keep(ref) {
+					out = append(out, ref)
+				}
+			}
 		}
+		sortRefs(out)
 	}
-	sortRefs(out)
 	return out
 }
 
-// sortRefs orders candidates by (query id, head index) so exploration is
-// deterministic for a fixed seed.
+// refLess orders candidates by (query id, head index) — the deterministic
+// exploration order of the matcher.
+func refLess(a, b headRef) bool {
+	if a.p.id != b.p.id {
+		return a.p.id < b.p.id
+	}
+	return a.headIdx < b.headIdx
+}
+
+// sortRefs sorts refs by refLess; only the variable-first probe and the A1
+// no-index ablation still need it.
 func sortRefs(refs []headRef) {
-	sort.Slice(refs, func(i, j int) bool {
-		if refs[i].p.id != refs[j].p.id {
-			return refs[i].p.id < refs[j].p.id
-		}
-		return refs[i].headIdx < refs[j].headIdx
-	})
+	sort.Slice(refs, func(i, j int) bool { return refLess(refs[i], refs[j]) })
 }
 
 // relationsOf returns the canonical answer relations a query touches.

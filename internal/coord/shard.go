@@ -24,6 +24,13 @@ type coordShard struct {
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
+
+	// scratch holds the matcher's and grounder's reusable buffers. A search
+	// (and its groundings) runs while holding the trigger's home-shard round
+	// lock, so the home shard's scratch is exclusively owned for the whole
+	// search — no pools, no per-branch allocation.
+	scratch  searchScratch
+	gscratch groundScratch
 }
 
 // shuffle permutes tuples using the shard's seeded RNG — the
@@ -52,14 +59,19 @@ func (c *Coordinator) shardFor(relation string) *coordShard {
 }
 
 // shardSet maps a relation footprint to the sorted set of shard ids it
-// spans.
+// spans. Footprints are tiny, so dedup is a linear scan rather than a map.
 func (c *Coordinator) shardSet(rels []string) []int {
-	seen := make(map[int]bool, len(rels))
-	var out []int
+	out := make([]int, 0, len(rels))
 	for _, r := range rels {
 		id := c.shardID(r)
-		if !seen[id] {
-			seen[id] = true
+		dup := false
+		for _, s := range out {
+			if s == id {
+				dup = true
+				break
+			}
+		}
+		if !dup {
 			out = append(out, id)
 		}
 	}
@@ -82,9 +94,13 @@ type lane struct {
 }
 
 // lockLane acquires the round locks of the given shards (sorted unique ids)
-// in ascending order.
+// in ascending order. Lanes are pooled: unlock zeroes the held set and
+// returns the lane for the next round.
 func (c *Coordinator) lockLane(ids []int) *lane {
-	ln := &lane{c: c, in: make([]bool, len(c.shards))}
+	ln, _ := c.lanePool.Get().(*lane)
+	if ln == nil {
+		ln = &lane{c: c, in: make([]bool, len(c.shards))}
+	}
 	for _, id := range ids {
 		c.shards[id].round.Lock()
 		ln.in[id] = true
@@ -92,7 +108,8 @@ func (c *Coordinator) lockLane(ids []int) *lane {
 	return ln
 }
 
-// unlock releases every held round lock.
+// unlock releases every held round lock and recycles the lane; the caller
+// must not touch the lane afterwards.
 func (ln *lane) unlock() {
 	for id := len(ln.in) - 1; id >= 0; id-- {
 		if ln.in[id] {
@@ -100,6 +117,7 @@ func (ln *lane) unlock() {
 			ln.in[id] = false
 		}
 	}
+	ln.c.lanePool.Put(ln)
 }
 
 // covers reports whether the lane holds every shard of p's footprint — the

@@ -165,7 +165,24 @@ func (s *System) Execute(src, owner string) (*Response, error) {
 	if err != nil {
 		return nil, err
 	}
+	if es, ok := stmt.(*sql.EntangledSelect); ok {
+		// Hand the original text to the compiler so Query.Source does not
+		// have to be re-rendered from the AST on every submission.
+		return s.submitEntangled(es, src, owner)
+	}
 	return s.ExecuteStmt(stmt, owner)
+}
+
+func (s *System) submitEntangled(es *sql.EntangledSelect, src, owner string) (*Response, error) {
+	q, err := eq.CompileParsed(es, src)
+	if err != nil {
+		return nil, err
+	}
+	h, err := s.coord.Submit(q, owner)
+	if err != nil {
+		return nil, err
+	}
+	return &Response{Handle: h, Entangled: true}, nil
 }
 
 // ExecuteStmt routes an already-parsed statement.
@@ -174,15 +191,7 @@ func (s *System) ExecuteStmt(stmt sql.Statement, owner string) (*Response, error
 		return nil, fmt.Errorf("core: BEGIN/COMMIT/ROLLBACK require a Session (interactive transactions are per-connection)")
 	}
 	if es, ok := stmt.(*sql.EntangledSelect); ok {
-		q, err := eq.Compile(es)
-		if err != nil {
-			return nil, err
-		}
-		h, err := s.coord.Submit(q, owner)
-		if err != nil {
-			return nil, err
-		}
-		return &Response{Handle: h, Entangled: true}, nil
+		return s.submitEntangled(es, "", owner)
 	}
 	res, err := s.eng.Execute(stmt)
 	if err != nil {

@@ -245,10 +245,12 @@ func (e *Engine) EvalSelect(tx *txn.Txn, s *sql.Select, outer *Env) (*Result, er
 }
 
 type fromTable struct {
-	ref    sql.TableRef
-	tbl    *storage.Table
-	eqCols []int       // pushed-down equality columns
-	eqVals value.Tuple // corresponding literal values
+	ref     sql.TableRef
+	tbl     *storage.Table
+	binding string          // canonical (lower-case) binding name
+	eqCols  []int           // pushed-down equality columns
+	eqVals  value.Tuple     // corresponding literal values
+	ids     []storage.RowID // reusable id buffer for the equality probe
 	// Pushed-down range predicate over an ordered-indexed column
 	// (rangeCol < 0 when absent).
 	rangeCol int
@@ -262,6 +264,7 @@ func (e *Engine) evalSelect(tx *txn.Txn, s *sql.Select, outer *Env) (*Result, er
 	if len(s.From) == 0 {
 		return e.evalSelectNoFrom(tx, s, outer)
 	}
+	fts := make([]fromTable, len(s.From))
 	froms := make([]*fromTable, len(s.From))
 	for i, ref := range s.From {
 		if err := tx.Lock(ref.Name, txn.Shared); err != nil {
@@ -271,13 +274,15 @@ func (e *Engine) evalSelect(tx *txn.Txn, s *sql.Select, outer *Env) (*Result, er
 		if err != nil {
 			return nil, err
 		}
-		froms[i] = &fromTable{ref: ref, tbl: tbl, rangeCol: -1}
+		fts[i] = fromTable{ref: ref, tbl: tbl, rangeCol: -1, binding: strings.ToLower(ref.Binding())}
+		froms[i] = &fts[i]
 	}
 	pushDownPredicates(s.Where, froms, len(s.From) == 1)
 
 	var out struct {
 		cols []string
 		rows []value.Tuple
+		data []value.Value // shared backing slab for rows
 		keys []value.Tuple // ORDER BY keys, parallel to rows
 	}
 	out.cols = projectionCols(s, froms)
@@ -300,11 +305,17 @@ func (e *Engine) evalSelect(tx *txn.Txn, s *sql.Select, outer *Env) (*Result, er
 					return nil
 				}
 			}
-			row, err := e.projectRow(tx, s, froms, env)
+			// Rows are carved out of one shared slab: the per-row slices
+			// stay valid across slab growth (values are immutable and the
+			// three-index cap stops later rows from aliasing earlier ones),
+			// so N result rows cost amortized one allocation, not N.
+			start := len(out.data)
+			data, err := e.projectRowInto(out.data, tx, s, froms, env)
 			if err != nil {
 				return err
 			}
-			out.rows = append(out.rows, row)
+			out.data = data
+			out.rows = append(out.rows, out.data[start:len(out.data):len(out.data)])
 			if len(s.OrderBy) > 0 {
 				key := make(value.Tuple, len(s.OrderBy))
 				for k, ob := range s.OrderBy {
@@ -320,13 +331,17 @@ func (e *Engine) evalSelect(tx *txn.Txn, s *sql.Select, outer *Env) (*Result, er
 		}
 		f := iter[i]
 		iterate := func(row value.Tuple) error {
-			env.Bind(f.ref.Binding(), f.tbl.Schema(), row)
+			env.BindCanonical(f.binding, f.tbl.Schema(), row)
 			return rec(i + 1)
 		}
 		if len(f.eqCols) > 0 {
-			for _, id := range f.tbl.LookupEq(f.eqCols, f.eqVals) {
-				row, err := f.tbl.Get(id)
-				if err != nil {
+			// GetRef hands back shared immutable rows, like Scan below —
+			// projection copies the values it emits, so nothing aliases the
+			// table after evalSelect returns.
+			f.ids = f.tbl.LookupEqAppend(f.ids[:0], f.eqCols, f.eqVals)
+			for _, id := range f.ids {
+				row, ok := f.tbl.GetRef(id)
+				if !ok {
 					continue // row vanished between lookup and get
 				}
 				if err := iterate(row); err != nil {
@@ -337,8 +352,8 @@ func (e *Engine) evalSelect(tx *txn.Txn, s *sql.Select, outer *Env) (*Result, er
 		}
 		if f.rangeCol >= 0 {
 			for _, id := range f.tbl.LookupRange(f.rangeCol, f.lo, f.hi) {
-				row, err := f.tbl.Get(id)
-				if err != nil {
+				row, ok := f.tbl.GetRef(id)
+				if !ok {
 					continue
 				}
 				if err := iterate(row); err != nil {
@@ -431,7 +446,12 @@ func (e *Engine) evalSelectNoFrom(tx *txn.Txn, s *sql.Select, outer *Env) (*Resu
 }
 
 func (e *Engine) projectRow(tx *txn.Txn, s *sql.Select, froms []*fromTable, env *Env) (value.Tuple, error) {
-	var row value.Tuple
+	row, err := e.projectRowInto(make(value.Tuple, 0, len(s.Items)), tx, s, froms, env)
+	return value.Tuple(row), err
+}
+
+// projectRowInto appends the projected values of the current join row to dst.
+func (e *Engine) projectRowInto(dst []value.Value, tx *txn.Txn, s *sql.Select, froms []*fromTable, env *Env) ([]value.Value, error) {
 	for _, it := range s.Items {
 		if it.Star {
 			for _, f := range froms {
@@ -439,7 +459,7 @@ func (e *Engine) projectRow(tx *txn.Txn, s *sql.Select, froms []*fromTable, env 
 				if err != nil {
 					return nil, err
 				}
-				row = append(row, v...)
+				dst = append(dst, v...)
 			}
 			continue
 		}
@@ -447,9 +467,9 @@ func (e *Engine) projectRow(tx *txn.Txn, s *sql.Select, froms []*fromTable, env 
 		if err != nil {
 			return nil, err
 		}
-		row = append(row, v)
+		dst = append(dst, v)
 	}
-	return row, nil
+	return dst, nil
 }
 
 // bindingRow fetches the currently bound row for a binding.
@@ -502,6 +522,9 @@ func orderFroms(froms []*fromTable) []*fromTable {
 		default:
 			return 2
 		}
+	}
+	if len(froms) == 1 {
+		return froms // nothing to order — the common generator shape
 	}
 	out := append([]*fromTable(nil), froms...)
 	sort.SliceStable(out, func(i, j int) bool { return rank(out[i]) < rank(out[j]) })

@@ -34,12 +34,28 @@ type binding struct {
 // NewEnv returns an empty root environment.
 func NewEnv() *Env { return &Env{} }
 
+// Reset empties the environment in place for reuse, dropping table bindings
+// and coordination variables but keeping their allocated storage. The
+// coordinator grounds matches in a tight backtracking loop and rebinds one
+// pooled environment per evaluation instead of allocating.
+func (e *Env) Reset() {
+	e.parent = nil
+	e.bindings = e.bindings[:0]
+	clear(e.vars)
+}
+
 // Child returns a new environment nested inside e.
 func (e *Env) Child() *Env { return &Env{parent: e} }
 
 // Bind adds (or replaces) a table binding in this environment.
 func (e *Env) Bind(name string, schema *value.Schema, row value.Tuple) {
-	key := strings.ToLower(name)
+	e.BindCanonical(strings.ToLower(name), schema, row)
+}
+
+// BindCanonical is Bind for an already-canonical (lower-case) name. The
+// executor binds a row per join iteration; canonicalizing the binding name
+// once per query instead of once per row keeps ToLower off that loop.
+func (e *Env) BindCanonical(key string, schema *value.Schema, row value.Tuple) {
 	for i := range e.bindings {
 		if e.bindings[i].name == key {
 			e.bindings[i].schema = schema

@@ -21,7 +21,9 @@ var ErrUnsafe = errors.New("eq: unsafe entangled query")
 // EntangledSelect.
 var ErrNotEntangled = errors.New("eq: statement is not an entangled query")
 
-// CompileSQL parses and compiles one entangled query.
+// CompileSQL parses and compiles one entangled query. The original text is
+// kept as Query.Source — re-rendering the AST per submission is pure
+// allocation overhead on the arrival hot path.
 func CompileSQL(src string) (*Query, error) {
 	stmt, err := sql.Parse(src)
 	if err != nil {
@@ -31,23 +33,51 @@ func CompileSQL(src string) (*Query, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %T", ErrNotEntangled, stmt)
 	}
-	return Compile(es)
+	return compileES(es, src)
+}
+
+// CompileParsed compiles an already-parsed entangled query, using src (when
+// non-empty) as Query.Source instead of re-rendering the AST.
+func CompileParsed(es *sql.EntangledSelect, src string) (*Query, error) {
+	return compileES(es, src)
 }
 
 // Compile translates a parsed entangled query into the coordination IR and
-// runs the safety analysis.
+// runs the safety analysis. Source is re-rendered from the AST; prefer
+// CompileSQL when the original text is at hand.
 func Compile(es *sql.EntangledSelect) (*Query, error) {
-	q := &Query{Choose: es.Choose, Source: es.String()}
+	return compileES(es, "")
+}
+
+func compileES(es *sql.EntangledSelect, src string) (*Query, error) {
+	if src == "" {
+		src = es.String()
+	}
+	q := &Query{Choose: es.Choose, Source: src}
 	if q.Choose == 0 {
 		q.Choose = 1
 	}
 
-	seenVar := make(map[string]bool)
+	// Entangled queries have a handful of variables; a linear scan over the
+	// accumulated list beats allocating a set per compilation.
+	addVar := func(name string) {
+		for _, v := range q.Vars {
+			if v == name {
+				return
+			}
+		}
+		q.Vars = append(q.Vars, name)
+	}
+	// One visitor closure for the whole compilation, not one per conjunct.
+	noteFreeVars := func(x sql.Expr) {
+		if cr, ok := x.(*sql.ColumnRef); ok && cr.Table == "" {
+			addVar(strings.ToLower(cr.Name))
+		}
+	}
 	noteVars := func(terms []Term) {
 		for _, t := range terms {
-			if t.IsVar && !seenVar[t.Var] {
-				seenVar[t.Var] = true
-				q.Vars = append(q.Vars, t.Var)
+			if t.IsVar {
+				addVar(t.Var)
 			}
 		}
 	}
@@ -88,13 +118,9 @@ func Compile(es *sql.EntangledSelect) (*Query, error) {
 			return nil, err
 		}
 		q.Preds = append(q.Preds, c)
-		for _, v := range freeVars(c) {
-			if !seenVar[v] {
-				seenVar[v] = true
-				q.Vars = append(q.Vars, v)
-			}
-		}
+		sql.WalkExpr(c, noteFreeVars)
 		if g, ok := generatorOf(c); ok {
+			g.Pred = len(q.Preds) - 1
 			q.Generators = append(q.Generators, g)
 		}
 	}
@@ -250,15 +276,19 @@ func asVarLit(a, b sql.Expr) (string, value.Value) {
 // checkSafety enforces that every variable has at least one generator, so
 // grounding always has a finite candidate set to draw from.
 func checkSafety(q *Query) error {
-	generated := make(map[string]bool)
-	for _, g := range q.Generators {
-		for _, v := range g.Vars {
-			generated[v] = true
-		}
-	}
 	var missing []string
 	for _, v := range q.Vars {
-		if !generated[v] {
+		generated := false
+	scan:
+		for _, g := range q.Generators {
+			for _, gv := range g.Vars {
+				if gv == v {
+					generated = true
+					break scan
+				}
+			}
+		}
+		if !generated {
 			missing = append(missing, v)
 		}
 	}

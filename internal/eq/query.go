@@ -15,6 +15,11 @@ type Generator struct {
 	Vars   []string      // variables produced, positionally
 	Sub    *sql.Select   // non-nil: evaluate this subquery for candidates
 	Tuples []value.Tuple // non-nil: inline candidate tuples
+	// Pred is the index into Query.Preds of the conjunct this generator was
+	// derived from. A generator's candidate set IS its predicate's satisfying
+	// set, so once the coordinator has evaluated the generator it can check
+	// the predicate by membership instead of re-running the subquery.
+	Pred int
 }
 
 // String summarizes the generator.
@@ -90,26 +95,30 @@ func (q *Query) HasVar(name string) bool {
 }
 
 // AnswerRelations returns the distinct relations the query contributes to or
-// constrains, canonicalized.
+// constrains, canonicalized (Atom.Relation is already lower-case).
 func (q *Query) AnswerRelations() []string {
-	seen := make(map[string]bool)
-	var out []string
-	add := func(r string) {
-		if !seen[r] {
-			seen[r] = true
-			out = append(out, r)
-		}
-	}
+	out := make([]string, 0, len(q.Heads)+len(q.Constraints)+len(q.NegConstraints))
 	for _, h := range q.Heads {
-		add(h.Relation)
+		out = appendUniqueStr(out, h.Relation)
 	}
 	for _, c := range q.Constraints {
-		add(c.Relation)
+		out = appendUniqueStr(out, c.Relation)
 	}
 	for _, c := range q.NegConstraints {
-		add(c.Relation)
+		out = appendUniqueStr(out, c.Relation)
 	}
 	return out
+}
+
+// appendUniqueStr appends s unless present; relation footprints are tiny, so
+// a linear scan beats allocating a set.
+func appendUniqueStr(out []string, s string) []string {
+	for _, x := range out {
+		if x == s {
+			return out
+		}
+	}
+	return append(out, s)
 }
 
 // BaseTables returns the distinct base (database) tables referenced by the

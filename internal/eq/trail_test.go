@@ -1,0 +1,231 @@
+package eq
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/value"
+)
+
+// trailVars is the variable universe the random-op drivers draw from: a few
+// query instances with overlapping variable names, like a real match set.
+func trailVars() []ScopedVar {
+	var out []ScopedVar
+	for qid := uint64(1); qid <= 3; qid++ {
+		for _, n := range []string{"fno", "hno", "seat", "day"} {
+			out = append(out, ScopedVar{QID: qid, Name: n})
+		}
+	}
+	return out
+}
+
+var trailConsts = []value.Value{
+	value.NewInt(122),
+	value.NewInt(123),
+	value.NewString("Paris"),
+	value.Null,
+}
+
+// applyRandomOp performs one random Bind/Union/UnifyAtoms/Find against s.
+// Failed unifications are part of the point: they leave partial mutations
+// that Undo must rewind.
+func applyRandomOp(rng *rand.Rand, s *Subst, vars []ScopedVar) {
+	switch rng.Intn(5) {
+	case 0:
+		s.Bind(vars[rng.Intn(len(vars))], trailConsts[rng.Intn(len(trailConsts))])
+	case 1:
+		s.Union(vars[rng.Intn(len(vars))], vars[rng.Intn(len(vars))])
+	case 2:
+		// UnifyAtoms over two-term atoms mixing constants and variables.
+		mk := func(qid uint64) Atom {
+			t1 := VarTerm([]string{"fno", "hno", "seat"}[rng.Intn(3)])
+			var t2 Term
+			if rng.Intn(2) == 0 {
+				t2 = ConstTerm(trailConsts[rng.Intn(len(trailConsts))])
+			} else {
+				t2 = VarTerm("day")
+			}
+			return NewAtom("Reservation", t1, t2)
+		}
+		a, b := uint64(rng.Intn(3)+1), uint64(rng.Intn(3)+1)
+		UnifyAtoms(s, a, mk(a), b, mk(b))
+	case 3:
+		UnifyGround(s, uint64(rng.Intn(3)+1),
+			NewAtom("Reservation", VarTerm("fno"), VarTerm("hno")),
+			value.NewTuple("x", rng.Intn(3)))
+	default:
+		// Find triggers path compression — also a trailed mutation.
+		s.Find(vars[rng.Intn(len(vars))])
+	}
+}
+
+// substEqual compares the exact internal state of two substitutions. Undo
+// promises restoration to the exact prior maps, not just an observationally
+// equivalent union-find, so DeepEqual on the maps is the right check.
+func substEqual(a, b *Subst) bool {
+	if len(a.parent) != len(b.parent) || len(a.val) != len(b.val) {
+		return false
+	}
+	return reflect.DeepEqual(a.parent, b.parent) && reflect.DeepEqual(a.val, b.val)
+}
+
+func describeSubst(s *Subst) string {
+	return fmt.Sprintf("parent=%v val=%v", s.parent, s.val)
+}
+
+// TestTrailUndoRestoresCloneSnapshot is the satellite property test: for
+// many random histories, Mark + random ops + Undo(mark) restores a state
+// deep-equal to a Clone snapshot taken at the mark.
+func TestTrailUndoRestoresCloneSnapshot(t *testing.T) {
+	vars := trailVars()
+	rng := rand.New(rand.NewSource(2026))
+	for trial := 0; trial < 500; trial++ {
+		s := NewSubst()
+		// Random prefix that stays.
+		for i := rng.Intn(8); i > 0; i-- {
+			applyRandomOp(rng, s, vars)
+		}
+		snap := s.Clone()
+		mark := s.Mark()
+		for i := rng.Intn(16) + 1; i > 0; i-- {
+			applyRandomOp(rng, s, vars)
+		}
+		s.Undo(mark)
+		if !substEqual(s, snap) {
+			t.Fatalf("trial %d: undo mismatch\n got: %s\nwant: %s", trial, describeSubst(s), describeSubst(snap))
+		}
+		// The trail must be rewound too: undoing to the same mark twice is a
+		// no-op, and further ops behave as if the undone ones never happened.
+		s.Undo(mark)
+		if !substEqual(s, snap) {
+			t.Fatalf("trial %d: second undo changed state", trial)
+		}
+	}
+}
+
+// TestTrailNestedMarks exercises stacked mark/undo pairs, the shape the
+// matcher's DFS produces.
+func TestTrailNestedMarks(t *testing.T) {
+	vars := trailVars()
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		s := NewSubst()
+		type frame struct {
+			mark int
+			snap *Subst
+		}
+		var stack []frame
+		for step := 0; step < 40; step++ {
+			switch {
+			case len(stack) == 0 || rng.Intn(3) == 0:
+				stack = append(stack, frame{mark: s.Mark(), snap: s.Clone()})
+			case rng.Intn(3) == 1:
+				f := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				s.Undo(f.mark)
+				if !substEqual(s, f.snap) {
+					t.Fatalf("trial %d step %d: nested undo mismatch", trial, step)
+				}
+			default:
+				applyRandomOp(rng, s, vars)
+			}
+		}
+		for i := len(stack) - 1; i >= 0; i-- {
+			s.Undo(stack[i].mark)
+			if !substEqual(s, stack[i].snap) {
+				t.Fatalf("trial %d: final unwind mismatch at frame %d", trial, i)
+			}
+		}
+	}
+}
+
+// TestFindIterativeDeepChain builds a pathologically long parent chain and
+// checks Find compresses it without recursion (the old recursive Find would
+// deepen the goroutine stack linearly) and that Undo restores the chain.
+func TestFindIterativeDeepChain(t *testing.T) {
+	s := NewSubst()
+	const n = 200_000
+	// Union in an order that builds a long chain: each new root adopts the
+	// previous chain's root as a child... adversarial ordering.
+	for i := 1; i < n; i++ {
+		a := ScopedVar{QID: uint64(i), Name: "x"}
+		b := ScopedVar{QID: uint64(i + 1), Name: "x"}
+		if !s.Union(a, b) {
+			t.Fatal("union failed")
+		}
+	}
+	mark := s.Mark()
+	root := s.Find(ScopedVar{QID: 1, Name: "x"})
+	if root != s.Find(ScopedVar{QID: n, Name: "x"}) {
+		t.Fatal("chain ends disagree on root")
+	}
+	s.Undo(mark)
+	// After undoing the compression, the chain still finds the same root.
+	if root != s.Find(ScopedVar{QID: 1, Name: "x"}) {
+		t.Fatal("root changed after undoing compression")
+	}
+}
+
+// TestResolveIntoMatchesResolve pins the buffered resolver to the
+// allocating one.
+func TestResolveIntoMatchesResolve(t *testing.T) {
+	s := NewSubst()
+	s.Bind(ScopedVar{QID: 1, Name: "fno"}, value.NewInt(122))
+	a := NewAtom("Reservation", ConstTerm(value.NewString("Jerry")), VarTerm("fno"), VarTerm("hno"))
+	want := s.Resolve(1, a)
+	var buf []Term
+	got := s.ResolveInto(buf, 1, a)
+	if want.String() != got.String() {
+		t.Fatalf("ResolveInto %s != Resolve %s", got, want)
+	}
+}
+
+// TestSubstReset pins Reset to a fresh substitution.
+func TestSubstReset(t *testing.T) {
+	s := NewSubst()
+	vars := trailVars()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		applyRandomOp(rng, s, vars)
+	}
+	s.Reset()
+	if !substEqual(s, NewSubst()) {
+		t.Fatalf("Reset left state: %s", describeSubst(s))
+	}
+	if s.Mark() != 0 {
+		t.Fatalf("Reset left trail of %d entries", s.Mark())
+	}
+}
+
+// FuzzTrail drives the trail with operation streams from the fuzzer: every
+// byte picks an op and its operands, and the invariant is the same
+// clone-snapshot equality the property test asserts.
+func FuzzTrail(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{0xFF, 0x00, 0x10, 0x42})
+	vars := trailVars()
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 256 {
+			ops = ops[:256]
+		}
+		s := NewSubst()
+		half := len(ops) / 2
+		rngA := rand.New(rand.NewSource(int64(len(ops))))
+		for _, b := range ops[:half] {
+			rngA.Seed(int64(b))
+			applyRandomOp(rngA, s, vars)
+		}
+		snap := s.Clone()
+		mark := s.Mark()
+		for _, b := range ops[half:] {
+			rngA.Seed(int64(b))
+			applyRandomOp(rngA, s, vars)
+		}
+		s.Undo(mark)
+		if !substEqual(s, snap) {
+			t.Fatalf("undo mismatch\n got: %s\nwant: %s", describeSubst(s), describeSubst(snap))
+		}
+	})
+}

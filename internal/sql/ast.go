@@ -597,10 +597,17 @@ func Conjuncts(e Expr) []Expr {
 	if e == nil {
 		return nil
 	}
+	// Single accumulator instead of per-level append chains: WHERE clauses
+	// are re-split on every entangled-query compilation.
+	return appendConjuncts(make([]Expr, 0, 4), e)
+}
+
+func appendConjuncts(out []Expr, e Expr) []Expr {
 	if b, ok := e.(*Binary); ok && b.Op == OpAnd {
-		return append(Conjuncts(b.L), Conjuncts(b.R)...)
+		out = appendConjuncts(out, b.L)
+		return appendConjuncts(out, b.R)
 	}
-	return []Expr{e}
+	return append(out, e)
 }
 
 // AndAll rebuilds a conjunction from a list of conjuncts (nil for empty).

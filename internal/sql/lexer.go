@@ -4,25 +4,32 @@ import (
 	"fmt"
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // Lexer splits an input string into tokens. It is a straightforward
 // hand-written scanner; SQL string literals use single quotes with ”
 // escaping, line comments start with --.
+//
+// The scanner works directly on the source string and hands out substrings
+// as token text — queries are lexed on every entangled-query arrival, so
+// the token stream must not copy: idents, numbers, symbols and escape-free
+// string literals alias the input, and keywords alias their canonical
+// upper-case spelling.
 type Lexer struct {
-	src []rune
-	pos int
+	src string
+	pos int // byte offset
 }
 
 // NewLexer returns a lexer over src.
 func NewLexer(src string) *Lexer {
-	return &Lexer{src: []rune(src)}
+	return &Lexer{src: src}
 }
 
 // Tokens lexes the whole input eagerly, returning the token stream followed
 // by a TokEOF, or a lex error.
 func (l *Lexer) Tokens() ([]Token, error) {
-	var toks []Token
+	toks := make([]Token, 0, len(l.src)/4+4)
 	for {
 		tok, err := l.next()
 		if err != nil {
@@ -35,30 +42,32 @@ func (l *Lexer) Tokens() ([]Token, error) {
 	}
 }
 
-func (l *Lexer) peek() rune {
-	if l.pos >= len(l.src) {
-		return 0
-	}
-	return l.src[l.pos]
-}
-
-func (l *Lexer) peekAt(off int) rune {
+// byteAt returns the byte at offset off from the cursor, 0 past the end.
+func (l *Lexer) byteAt(off int) byte {
 	if l.pos+off >= len(l.src) {
 		return 0
 	}
 	return l.src[l.pos+off]
 }
 
+func isDigitByte(b byte) bool { return '0' <= b && b <= '9' }
+
 func (l *Lexer) skipSpaceAndComments() {
 	for l.pos < len(l.src) {
-		r := l.src[l.pos]
+		b := l.src[l.pos]
 		switch {
-		case unicode.IsSpace(r):
+		case b == ' ' || b == '\t' || b == '\n' || b == '\r' || b == '\v' || b == '\f':
 			l.pos++
-		case r == '-' && l.peekAt(1) == '-':
+		case b == '-' && l.byteAt(1) == '-':
 			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
 				l.pos++
 			}
+		case b >= utf8.RuneSelf:
+			r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+			if !unicode.IsSpace(r) {
+				return
+			}
+			l.pos += size
 		default:
 			return
 		}
@@ -71,11 +80,14 @@ func (l *Lexer) next() (Token, error) {
 	if l.pos >= len(l.src) {
 		return Token{Kind: TokEOF, Pos: start}, nil
 	}
-	r := l.src[l.pos]
+	r := rune(l.src[l.pos])
+	if r >= utf8.RuneSelf {
+		r, _ = utf8.DecodeRuneInString(l.src[l.pos:])
+	}
 	switch {
 	case unicode.IsLetter(r) || r == '_':
 		return l.lexWord(start), nil
-	case unicode.IsDigit(r) || (r == '.' && unicode.IsDigit(l.peekAt(1))):
+	case unicode.IsDigit(r) || (r == '.' && isDigitByte(l.byteAt(1))):
 		return l.lexNumber(start)
 	case r == '\'':
 		return l.lexString(start)
@@ -86,24 +98,51 @@ func (l *Lexer) next() (Token, error) {
 
 func (l *Lexer) lexWord(start int) Token {
 	for l.pos < len(l.src) {
-		r := l.src[l.pos]
-		if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_' {
+		b := l.src[l.pos]
+		if b < utf8.RuneSelf {
+			if b != '_' && !('a' <= b && b <= 'z') && !('A' <= b && b <= 'Z') && !isDigitByte(b) {
+				break
+			}
+			l.pos++
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+		if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
 			break
 		}
-		l.pos++
+		l.pos += size
 	}
-	word := string(l.src[start:l.pos])
-	if up := strings.ToUpper(word); keywords[up] {
-		return Token{Kind: TokKeyword, Text: up, Pos: start}
+	word := l.src[start:l.pos]
+	if canon, ok := keywordCanon(word); ok {
+		return Token{Kind: TokKeyword, Text: canon, Pos: start}
 	}
 	return Token{Kind: TokIdent, Text: word, Pos: start}
+}
+
+// keywordCanon reports whether word is a keyword, returning the canonical
+// upper-case spelling interned in the keyword table — no allocation on
+// either hit or miss.
+func keywordCanon(word string) (string, bool) {
+	if len(word) > maxKeywordLen {
+		return "", false
+	}
+	var buf [maxKeywordLen]byte
+	for i := 0; i < len(word); i++ {
+		b := word[i]
+		if 'a' <= b && b <= 'z' {
+			b -= 'a' - 'A'
+		}
+		buf[i] = b
+	}
+	canon, ok := keywordCanonical[string(buf[:len(word)])]
+	return canon, ok
 }
 
 func (l *Lexer) lexNumber(start int) (Token, error) {
 	seenDot := false
 	for l.pos < len(l.src) {
-		r := l.src[l.pos]
-		if r == '.' {
+		b := l.src[l.pos]
+		if b == '.' {
 			if seenDot {
 				break
 			}
@@ -111,12 +150,20 @@ func (l *Lexer) lexNumber(start int) (Token, error) {
 			l.pos++
 			continue
 		}
+		if b < utf8.RuneSelf {
+			if !isDigitByte(b) {
+				break
+			}
+			l.pos++
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(l.src[l.pos:])
 		if !unicode.IsDigit(r) {
 			break
 		}
-		l.pos++
+		l.pos += size
 	}
-	text := string(l.src[start:l.pos])
+	text := l.src[start:l.pos]
 	if text == "." {
 		return Token{}, fmt.Errorf("sql: lex error at %d: bare '.'", start)
 	}
@@ -125,36 +172,54 @@ func (l *Lexer) lexNumber(start int) (Token, error) {
 
 func (l *Lexer) lexString(start int) (Token, error) {
 	l.pos++ // opening quote
+	// Fast path: scan for the closing quote; if no '' escape intervenes the
+	// literal's text is a plain substring of the input.
+	for i := l.pos; i < len(l.src); i++ {
+		if l.src[i] != '\'' {
+			continue
+		}
+		if i+1 < len(l.src) && l.src[i+1] == '\'' {
+			return l.lexEscapedString(start)
+		}
+		text := l.src[l.pos:i]
+		l.pos = i + 1
+		return Token{Kind: TokString, Text: text, Pos: start}, nil
+	}
+	return Token{}, fmt.Errorf("sql: lex error at %d: unterminated string literal", start)
+}
+
+// lexEscapedString handles literals containing ” escapes, the rare case
+// that actually needs a builder. The cursor is just past the opening quote.
+func (l *Lexer) lexEscapedString(start int) (Token, error) {
 	var b strings.Builder
 	for l.pos < len(l.src) {
-		r := l.src[l.pos]
-		if r == '\'' {
-			if l.peekAt(1) == '\'' { // escaped quote
-				b.WriteRune('\'')
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.byteAt(1) == '\'' { // escaped quote
+				b.WriteByte('\'')
 				l.pos += 2
 				continue
 			}
 			l.pos++
 			return Token{Kind: TokString, Text: b.String(), Pos: start}, nil
 		}
-		b.WriteRune(r)
+		b.WriteByte(c)
 		l.pos++
 	}
 	return Token{}, fmt.Errorf("sql: lex error at %d: unterminated string literal", start)
 }
 
 func (l *Lexer) lexSymbol(start int) (Token, error) {
-	r := l.src[l.pos]
-	two := string(r) + string(l.peekAt(1))
-	switch two {
-	case "<=", ">=", "<>", "!=":
+	b := l.src[l.pos]
+	if c := l.byteAt(1); c == '=' && (b == '<' || b == '>' || b == '!') || b == '<' && c == '>' {
 		l.pos += 2
-		return Token{Kind: TokSymbol, Text: two, Pos: start}, nil
+		return Token{Kind: TokSymbol, Text: l.src[start:l.pos], Pos: start}, nil
 	}
-	switch r {
+	switch b {
 	case '(', ')', ',', '*', '=', '<', '>', '+', '-', '/', '.', ';':
 		l.pos++
-		return Token{Kind: TokSymbol, Text: string(r), Pos: start}, nil
+		return Token{Kind: TokSymbol, Text: l.src[start:l.pos], Pos: start}, nil
 	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.pos:])
 	return Token{}, fmt.Errorf("sql: lex error at %d: unexpected character %q", start, string(r))
 }

@@ -13,6 +13,50 @@ type Parser struct {
 	toks []Token
 	pos  int
 	src  string
+
+	// Node slabs: Binary, Literal and ColumnRef dominate expression trees,
+	// and every entangled-query arrival parses one. Nodes are appended into
+	// chunks and pointers handed out into them — ~16 nodes per allocation
+	// instead of one each. Chunks are never reused (the AST outlives the
+	// parser and keeps them alive), so pointers stay valid when a fresh
+	// chunk replaces a full one.
+	bins []Binary
+	lits []Literal
+	cols []ColumnRef
+}
+
+const parserSlab = 16
+
+func (p *Parser) newBinary(op BinOp, l, r Expr) *Binary {
+	if len(p.bins) == cap(p.bins) {
+		p.bins = make([]Binary, 0, parserSlab)
+	}
+	p.bins = append(p.bins, Binary{Op: op, L: l, R: r})
+	return &p.bins[len(p.bins)-1]
+}
+
+func (p *Parser) newLiteral(v value.Value) *Literal {
+	if len(p.lits) == cap(p.lits) {
+		p.lits = make([]Literal, 0, parserSlab)
+	}
+	p.lits = append(p.lits, Literal{Val: v})
+	return &p.lits[len(p.lits)-1]
+}
+
+// newStringLiteral copies the literal's text before wrapping it: string
+// tokens alias the source SQL since the zero-copy lexer, and literal values
+// can outlive the statement by years (INSERTed rows, installed answers) — a
+// substring would pin the whole statement text in memory.
+func (p *Parser) newStringLiteral(s string) *Literal {
+	return p.newLiteral(value.NewString(strings.Clone(s)))
+}
+
+func (p *Parser) newColumnRef(table, name string) *ColumnRef {
+	if len(p.cols) == cap(p.cols) {
+		p.cols = make([]ColumnRef, 0, parserSlab)
+	}
+	p.cols = append(p.cols, ColumnRef{Table: table, Name: name})
+	return &p.cols[len(p.cols)-1]
 }
 
 // Parse parses a single statement (a trailing semicolon is allowed).
@@ -670,7 +714,7 @@ func (p *Parser) orExpr() (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		l = &Binary{Op: OpOr, L: l, R: r}
+		l = p.newBinary(OpOr, l, r)
 	}
 	return l, nil
 }
@@ -685,7 +729,7 @@ func (p *Parser) andExpr() (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		l = &Binary{Op: OpAnd, L: l, R: r}
+		l = p.newBinary(OpAnd, l, r)
 	}
 	return l, nil
 }
@@ -736,10 +780,14 @@ func (p *Parser) comparison() (Expr, error) {
 
 // comparisonTail parses optional operators following a parsed LHS.
 func (p *Parser) comparisonTail(l Expr) (Expr, error) {
-	if in, handled, err := p.tryInTail([]Expr{l}); err != nil {
-		return nil, err
-	} else if handled {
-		return in, nil
+	// Only materialize the single-element LHS slice when an IN family
+	// operator actually follows; plain comparisons vastly outnumber INs.
+	if p.peekInTail() {
+		if in, handled, err := p.tryInTail([]Expr{l}); err != nil {
+			return nil, err
+		} else if handled {
+			return in, nil
+		}
 	}
 	if p.acceptKeyword("IS") {
 		neg := p.acceptKeyword("NOT")
@@ -788,10 +836,22 @@ func (p *Parser) comparisonTail(l Expr) (Expr, error) {
 			if err != nil {
 				return nil, err
 			}
-			return &Binary{Op: op, L: l, R: r}, nil
+			return p.newBinary(op, l, r), nil
 		}
 	}
 	return l, nil
+}
+
+// peekInTail reports whether the cursor sits on "IN" or "NOT IN".
+func (p *Parser) peekInTail() bool {
+	if p.peekKeyword("IN") {
+		return true
+	}
+	if p.peekKeyword("NOT") {
+		t := p.toks[p.pos+1] // safe: the stream always ends in TokEOF
+		return t.Kind == TokKeyword && t.Text == "IN"
+	}
+	return false
 }
 
 // tryInTail parses "[NOT] IN ..." after a left-hand side (scalar or tuple).
@@ -869,13 +929,13 @@ func (p *Parser) additive() (Expr, error) {
 			if err != nil {
 				return nil, err
 			}
-			l = &Binary{Op: OpAdd, L: l, R: r}
+			l = p.newBinary(OpAdd, l, r)
 		case p.acceptSymbol("-"):
 			r, err := p.multiplicative()
 			if err != nil {
 				return nil, err
 			}
-			l = &Binary{Op: OpSub, L: l, R: r}
+			l = p.newBinary(OpSub, l, r)
 		default:
 			return l, nil
 		}
@@ -894,13 +954,13 @@ func (p *Parser) multiplicative() (Expr, error) {
 			if err != nil {
 				return nil, err
 			}
-			l = &Binary{Op: OpMul, L: l, R: r}
+			l = p.newBinary(OpMul, l, r)
 		case p.acceptSymbol("/"):
 			r, err := p.unary()
 			if err != nil {
 				return nil, err
 			}
-			l = &Binary{Op: OpDiv, L: l, R: r}
+			l = p.newBinary(OpDiv, l, r)
 		default:
 			return l, nil
 		}
@@ -928,16 +988,16 @@ func (p *Parser) primary() (Expr, error) {
 			if err != nil {
 				return nil, p.errf("bad number %q", t.Text)
 			}
-			return &Literal{Val: value.NewFloat(f)}, nil
+			return p.newLiteral(value.NewFloat(f)), nil
 		}
 		n, err := strconv.ParseInt(t.Text, 10, 64)
 		if err != nil {
 			return nil, p.errf("bad number %q", t.Text)
 		}
-		return &Literal{Val: value.NewInt(n)}, nil
+		return p.newLiteral(value.NewInt(n)), nil
 	case TokString:
 		p.advance()
-		return &Literal{Val: value.NewString(t.Text)}, nil
+		return p.newStringLiteral(t.Text), nil
 	case TokKeyword:
 		switch t.Text {
 		case "EXISTS":
@@ -962,13 +1022,13 @@ func (p *Parser) primary() (Expr, error) {
 			return &Exists{Sel: sel}, nil
 		case "NULL":
 			p.advance()
-			return &Literal{Val: value.Null}, nil
+			return p.newLiteral(value.Null), nil
 		case "TRUE":
 			p.advance()
-			return &Literal{Val: value.NewBool(true)}, nil
+			return p.newLiteral(value.NewBool(true)), nil
 		case "FALSE":
 			p.advance()
-			return &Literal{Val: value.NewBool(false)}, nil
+			return p.newLiteral(value.NewBool(false)), nil
 		}
 		return nil, p.errf("unexpected %s in expression", t)
 	case TokIdent:
@@ -999,9 +1059,9 @@ func (p *Parser) primary() (Expr, error) {
 			if err != nil {
 				return nil, err
 			}
-			return &ColumnRef{Table: t.Text, Name: col}, nil
+			return p.newColumnRef(t.Text, col), nil
 		}
-		return &ColumnRef{Name: t.Text}, nil
+		return p.newColumnRef("", t.Text), nil
 	case TokSymbol:
 		if t.Text == "(" {
 			p.advance()

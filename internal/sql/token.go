@@ -63,17 +63,35 @@ func (t Token) String() string {
 	return fmt.Sprintf("%s %q", t.Kind, t.Text)
 }
 
-// keywords recognized by the dialect. Everything else alphabetic is an
-// identifier. ANSWER, INTO and CHOOSE carry the entangled-query extensions.
-var keywords = map[string]bool{
-	"SELECT": true, "FROM": true, "WHERE": true, "INTO": true,
-	"ANSWER": true, "CHOOSE": true, "AND": true, "OR": true, "NOT": true,
-	"IN": true, "CREATE": true, "TABLE": true, "DROP": true, "INSERT": true,
-	"VALUES": true, "DELETE": true, "UPDATE": true, "SET": true,
-	"PRIMARY": true, "KEY": true, "NULL": true, "TRUE": true, "FALSE": true,
-	"AS": true, "BETWEEN": true, "DISTINCT": true, "INDEX": true, "ON": true,
-	"ORDER": true, "BY": true, "ASC": true, "DESC": true, "LIMIT": true,
-	"GROUP": true, "HAVING": true,
-	"BEGIN": true, "COMMIT": true, "ROLLBACK": true,
-	"LIKE": true, "IS": true, "EXISTS": true,
+// keywordList enumerates the keywords recognized by the dialect. Everything
+// else alphabetic is an identifier. ANSWER, INTO and CHOOSE carry the
+// entangled-query extensions.
+var keywordList = []string{
+	"SELECT", "FROM", "WHERE", "INTO",
+	"ANSWER", "CHOOSE", "AND", "OR", "NOT",
+	"IN", "CREATE", "TABLE", "DROP", "INSERT",
+	"VALUES", "DELETE", "UPDATE", "SET",
+	"PRIMARY", "KEY", "NULL", "TRUE", "FALSE",
+	"AS", "BETWEEN", "DISTINCT", "INDEX", "ON",
+	"ORDER", "BY", "ASC", "DESC", "LIMIT",
+	"GROUP", "HAVING",
+	"BEGIN", "COMMIT", "ROLLBACK",
+	"LIKE", "IS", "EXISTS",
+}
+
+// keywordCanonical interns each keyword's canonical upper-case spelling, so
+// keyword tokens alias these strings instead of allocating per token.
+var keywordCanonical = make(map[string]string, len(keywordList))
+
+// maxKeywordLen bounds the stack buffer of the lexer's case-folding probe;
+// longer words cannot be keywords (init asserts the table agrees).
+const maxKeywordLen = 8
+
+func init() {
+	for _, k := range keywordList {
+		if len(k) > maxKeywordLen {
+			panic("sql: keyword " + k + " exceeds maxKeywordLen")
+		}
+		keywordCanonical[k] = k
+	}
 }

@@ -11,7 +11,9 @@ package storage
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
+	"strconv"
 	"sync"
 
 	"repro/internal/value"
@@ -55,7 +57,19 @@ func newHashIndex(cols []int) *hashIndex {
 	return &hashIndex{cols: cols, m: make(map[string]map[RowID]struct{})}
 }
 
-func (ix *hashIndex) key(t value.Tuple) string { return t.Project(ix.cols).Key() }
+// key renders the projection's key directly from the row — no intermediate
+// Project tuple; index maintenance runs on every insert/delete.
+func (ix *hashIndex) key(t value.Tuple) string {
+	var kb [64]byte
+	b := kb[:0]
+	for i, c := range ix.cols {
+		if i > 0 {
+			b = append(b, '|')
+		}
+		b = t[c].AppendKey(b)
+	}
+	return string(b)
+}
 
 func (ix *hashIndex) add(id RowID, t value.Tuple) {
 	k := ix.key(t)
@@ -187,11 +201,19 @@ func (t *Table) HasIndex(cols []int) bool {
 }
 
 func indexName(offs []int) string {
-	s := ""
+	var b [32]byte
+	return string(appendIndexName(b[:0], offs))
+}
+
+// appendIndexName writes the index map key for offs into b; probing
+// t.indexes with string(appendIndexName(stack, offs)) does not allocate.
+func appendIndexName(b []byte, offs []int) []byte {
 	for _, o := range offs {
-		s += fmt.Sprintf("c%d,", o)
+		b = append(b, 'c')
+		b = strconv.AppendInt(b, int64(o), 10)
+		b = append(b, ',')
 	}
-	return s
+	return b
 }
 
 // Insert validates and appends a tuple, returning its RowID.
@@ -232,6 +254,18 @@ func (t *Table) Get(id RowID) (value.Tuple, error) {
 		return nil, fmt.Errorf("%w: row %d in %s", ErrNotFound, id, t.name)
 	}
 	return row.Clone(), nil
+}
+
+// GetRef returns the stored row WITHOUT copying, like Scan does for its
+// callback. Values are immutable and rows are replaced wholesale on update,
+// so the reference stays valid and race-free; the caller must not modify
+// the returned tuple. This is the zero-copy read the matcher uses when
+// probing installed answers at every search node.
+func (t *Table) GetRef(id RowID) (value.Tuple, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	row, ok := t.rows[id]
+	return row, ok
 }
 
 // Delete removes the row with the given id and returns the removed tuple
@@ -333,7 +367,7 @@ func (t *Table) Scan(fn func(RowID, value.Tuple) bool) {
 	for id := range t.rows {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	snap := make([]value.Tuple, len(ids))
 	for i, id := range ids {
 		snap[i] = t.rows[id]
@@ -350,26 +384,36 @@ func (t *Table) Scan(fn func(RowID, value.Tuple) bool) {
 // uses a matching hash index when one exists and falls back to a scan
 // otherwise. Results are in ascending RowID order.
 func (t *Table) LookupEq(cols []int, key value.Tuple) []RowID {
+	return t.LookupEqAppend(nil, cols, key)
+}
+
+// LookupEqAppend is LookupEq appending into dst (reused from length 0), so
+// repeated probes — the matcher runs one per search node — can share one
+// buffer. The index probe builds its key on the stack and allocates nothing
+// beyond dst growth.
+func (t *Table) LookupEqAppend(dst []RowID, cols []int, key value.Tuple) []RowID {
+	var nb [32]byte
 	t.mu.RLock()
-	if ix, ok := t.indexes[indexName(cols)]; ok {
-		set := ix.m[key.Key()]
-		ids := make([]RowID, 0, len(set))
+	if ix, ok := t.indexes[string(appendIndexName(nb[:0], cols))]; ok {
+		var kb [64]byte
+		set := ix.m[string(key.AppendKey(kb[:0]))]
+		start := len(dst)
 		for id := range set {
-			ids = append(ids, id)
+			dst = append(dst, id)
 		}
 		t.mu.RUnlock()
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		return ids
+		tail := dst[start:]
+		slices.Sort(tail)
+		return dst
 	}
 	t.mu.RUnlock()
-	var ids []RowID
 	t.Scan(func(id RowID, row value.Tuple) bool {
 		if row.Project(cols).Equal(key) {
-			ids = append(ids, id)
+			dst = append(dst, id)
 		}
 		return true
 	})
-	return ids
+	return dst
 }
 
 // LookupPK returns the row matching the primary key tuple, if any.

@@ -13,6 +13,7 @@ package travel
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -25,6 +26,19 @@ const (
 
 // quote escapes a string for embedding as a SQL literal.
 func quote(s string) string { return "'" + strings.ReplaceAll(s, "'", "''") + "'" }
+
+// writeQuote writes a quoted SQL string literal into b without the
+// intermediate string quote would allocate (builders render one query per
+// booking request on loaded systems).
+func writeQuote(b *strings.Builder, s string) {
+	b.WriteByte('\'')
+	if strings.ContainsRune(s, '\'') {
+		b.WriteString(strings.ReplaceAll(s, "'", "''"))
+	} else {
+		b.WriteString(s)
+	}
+	b.WriteByte('\'')
+}
 
 // FlightFilter narrows the acceptable flights of a booking request — the
 // "certain date and price constraints" of the paper's intro.
@@ -43,12 +57,21 @@ type FlightFilter struct {
 }
 
 func (f FlightFilter) subquery() string {
-	conds := []string{"dest = " + quote(f.Dest)}
+	var b strings.Builder
+	f.writeSubquery(&b)
+	return b.String()
+}
+
+func (f FlightFilter) writeSubquery(b *strings.Builder) {
+	b.WriteString("SELECT fno FROM Flights WHERE dest = ")
+	writeQuote(b, f.Dest)
 	if f.Origin != "" {
-		conds = append(conds, "origin = "+quote(f.Origin))
+		b.WriteString(" AND origin = ")
+		writeQuote(b, f.Origin)
 	}
 	if f.MaxPrice > 0 {
-		conds = append(conds, fmt.Sprintf("price <= %g", f.MaxPrice))
+		b.WriteString(" AND price <= ")
+		b.WriteString(strconv.FormatFloat(f.MaxPrice, 'g', -1, 64))
 	}
 	if f.DayFrom > 0 || f.DayTo > 0 {
 		from, to := f.DayFrom, f.DayTo
@@ -58,9 +81,8 @@ func (f FlightFilter) subquery() string {
 		if to == 0 {
 			to = 1 << 30
 		}
-		conds = append(conds, fmt.Sprintf("day BETWEEN %d AND %d", from, to))
+		fmt.Fprintf(b, " AND day BETWEEN %d AND %d", from, to)
 	}
-	return "SELECT fno FROM Flights WHERE " + strings.Join(conds, " AND ")
 }
 
 // HotelFilter narrows acceptable hotels.
@@ -73,14 +95,22 @@ type HotelFilter struct {
 }
 
 func (h HotelFilter) subquery() string {
-	conds := []string{"city = " + quote(h.City)}
+	var b strings.Builder
+	h.writeSubquery(&b)
+	return b.String()
+}
+
+func (h HotelFilter) writeSubquery(b *strings.Builder) {
+	b.WriteString("SELECT hno FROM Hotels WHERE city = ")
+	writeQuote(b, h.City)
 	if h.MaxPrice > 0 {
-		conds = append(conds, fmt.Sprintf("price <= %g", h.MaxPrice))
+		b.WriteString(" AND price <= ")
+		b.WriteString(strconv.FormatFloat(h.MaxPrice, 'g', -1, 64))
 	}
 	if h.NameLike != "" {
-		conds = append(conds, "name LIKE "+quote(h.NameLike))
+		b.WriteString(" AND name LIKE ")
+		writeQuote(b, h.NameLike)
 	}
-	return "SELECT hno FROM Hotels WHERE " + strings.Join(conds, " AND ")
 }
 
 // BuildFlightQuery renders the entangled query for "book a flight matching
@@ -96,7 +126,14 @@ func BuildFlightQuery(self string, friends []string, f FlightFilter) string {
 // footprints, which the sharded coordinator routes to independent lanes.
 func BuildFlightQueryInto(rel, self string, friends []string, f FlightFilter) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "SELECT %s, fno INTO ANSWER %s\nWHERE fno IN (%s)", quote(self), rel, f.subquery())
+	b.Grow(160 + 48*len(friends))
+	b.WriteString("SELECT ")
+	writeQuote(&b, self)
+	b.WriteString(", fno INTO ANSWER ")
+	b.WriteString(rel)
+	b.WriteString("\nWHERE fno IN (")
+	f.writeSubquery(&b)
+	b.WriteByte(')')
 	if f.Capacity > 0 {
 		group := len(friends) + 1
 		if group > f.Capacity {
@@ -111,7 +148,10 @@ func BuildFlightQueryInto(rel, self string, friends []string, f FlightFilter) st
 		}
 	}
 	for _, fr := range friends {
-		fmt.Fprintf(&b, "\nAND (%s, fno) IN ANSWER %s", quote(fr), rel)
+		b.WriteString("\nAND (")
+		writeQuote(&b, fr)
+		b.WriteString(", fno) IN ANSWER ")
+		b.WriteString(rel)
 	}
 	b.WriteString("\nCHOOSE 1")
 	return b.String()
@@ -122,12 +162,22 @@ func BuildFlightQueryInto(rel, self string, friends []string, f FlightFilter) st
 // scenario, including its group variant.
 func BuildTripQuery(self string, friends []string, f FlightFilter, h HotelFilter) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "SELECT (%s, fno) INTO ANSWER %s, (%s, hno) INTO ANSWER %s\n",
-		quote(self), RelFlight, quote(self), RelHotel)
-	fmt.Fprintf(&b, "WHERE fno IN (%s)\nAND hno IN (%s)", f.subquery(), h.subquery())
+	b.Grow(256 + 96*len(friends))
+	b.WriteString("SELECT (")
+	writeQuote(&b, self)
+	b.WriteString(", fno) INTO ANSWER " + RelFlight + ", (")
+	writeQuote(&b, self)
+	b.WriteString(", hno) INTO ANSWER " + RelHotel + "\nWHERE fno IN (")
+	f.writeSubquery(&b)
+	b.WriteString(")\nAND hno IN (")
+	h.writeSubquery(&b)
+	b.WriteByte(')')
 	for _, fr := range friends {
-		fmt.Fprintf(&b, "\nAND (%s, fno) IN ANSWER %s", quote(fr), RelFlight)
-		fmt.Fprintf(&b, "\nAND (%s, hno) IN ANSWER %s", quote(fr), RelHotel)
+		b.WriteString("\nAND (")
+		writeQuote(&b, fr)
+		b.WriteString(", fno) IN ANSWER " + RelFlight + "\nAND (")
+		writeQuote(&b, fr)
+		b.WriteString(", hno) IN ANSWER " + RelHotel)
 	}
 	b.WriteString("\nCHOOSE 1")
 	return b.String()

@@ -62,15 +62,23 @@ func (t Tuple) Hash() uint64 {
 
 // Key renders a canonical string key consistent with Equal; useful for maps.
 func (t Tuple) Key() string {
-	var b strings.Builder
+	var b [64]byte
+	return string(t.AppendKey(b[:0]))
+}
+
+// AppendKey appends the canonical key bytes of the tuple to b and returns
+// the extended slice. Probing a map with string(t.AppendKey(scratch)) does
+// not allocate (the compiler elides the conversion for map access), which is
+// what the coordination hot path — candidate-index probes, installed-answer
+// lookups, grounding dedup — relies on.
+func (t Tuple) AppendKey(b []byte) []byte {
 	for i, v := range t {
 		if i > 0 {
-			b.WriteByte('|')
+			b = append(b, '|')
 		}
-		// Type tag disambiguates 1 vs '1' vs TRUE.
-		fmt.Fprintf(&b, "%d:%s", v.typ, v.String())
+		b = v.AppendKey(b)
 	}
-	return b.String()
+	return b
 }
 
 // Clone returns a copy of the tuple. Values are immutable, so a shallow copy

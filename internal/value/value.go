@@ -161,6 +161,27 @@ func (v Value) String() string {
 	}
 }
 
+// AppendKey appends a canonical, injective key encoding of the value to b:
+// a type tag, then the payload — strings are length-prefixed so payload
+// bytes can never be confused with tuple separators. The encoding is
+// consistent with Identical for values of the same type; it deliberately
+// avoids fmt and SQL quoting so hot-path key construction writes straight
+// into a caller-owned (usually stack) buffer.
+func (v Value) AppendKey(b []byte) []byte {
+	b = append(b, '0'+byte(v.typ), ':')
+	switch v.typ {
+	case TypeInt, TypeBool:
+		b = strconv.AppendInt(b, v.i, 10)
+	case TypeFloat:
+		b = strconv.AppendFloat(b, v.f, 'g', -1, 64)
+	case TypeString:
+		b = strconv.AppendInt(b, int64(len(v.s)), 10)
+		b = append(b, ':')
+		b = append(b, v.s...)
+	}
+	return b
+}
+
 // numeric reports whether the value is INT or FLOAT.
 func (v Value) numeric() bool { return v.typ == TypeInt || v.typ == TypeFloat }
 

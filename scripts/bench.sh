@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# bench.sh — run the E1–E10 experiment suite with -benchmem and emit a
+# machine-readable JSON file mapping each benchmark to ns/op, B/op and
+# allocs/op, so the repo accumulates a perf trajectory run over run.
+#
+# Usage:
+#   scripts/bench.sh [benchtime]     # default 20x; the CI smoke passes 1x
+#
+# Environment:
+#   OUT=path.json   output file (default BENCH_PR2.json at the repo root)
+#
+# If scripts/bench_baseline_pr2.json exists (the frozen pre-PR-2 numbers),
+# its contents are embedded under "baseline" so before/after always travel
+# together in one artifact.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+benchtime="${1:-20x}"
+out="${OUT:-BENCH_PR2.json}"
+raw="$(go test -run '^$' -bench 'BenchmarkE[0-9]+_' -benchmem -benchtime "$benchtime" .)"
+echo "$raw"
+
+BENCH_RAW="$raw" BENCH_TIME="$benchtime" BENCH_OUT="$out" python3 - <<'EOF'
+import json, os, re
+
+raw = os.environ["BENCH_RAW"]
+current = {}
+for line in raw.splitlines():
+    if not line.startswith("Benchmark"):
+        continue
+    fields = line.split()
+    name = re.sub(r"-\d+$", "", fields[0])
+    entry = {}
+    for i, f in enumerate(fields):
+        if f == "ns/op":
+            entry["ns_op"] = float(fields[i - 1])
+        elif f == "B/op":
+            entry["b_op"] = int(fields[i - 1])
+        elif f == "allocs/op":
+            entry["allocs_op"] = int(fields[i - 1])
+    if entry:
+        current[name] = entry
+
+doc = {"benchtime": os.environ["BENCH_TIME"], "current": current}
+base_path = os.path.join("scripts", "bench_baseline_pr2.json")
+if os.path.exists(base_path):
+    with open(base_path) as f:
+        doc["baseline"] = json.load(f)
+
+out = os.environ["BENCH_OUT"]
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out} ({len(current)} benchmarks)")
+EOF
