@@ -7,6 +7,7 @@ package repro
 import (
 	"fmt"
 	"path/filepath"
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -16,8 +17,10 @@ import (
 	"repro/internal/core"
 	"repro/internal/eq"
 	"repro/internal/server"
+	"repro/internal/storage"
 	"repro/internal/travel"
 	"repro/internal/value"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -276,6 +279,98 @@ func BenchmarkE10_ShardedArrivals(b *testing.B) {
 	for _, shards := range []int{1, 4} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
 			benchShardedArrivals(b, shards, 16, 2_000_000)
+		})
+	}
+}
+
+// BenchmarkE11_DurableCommit — the segmented-WAL experiment: committed
+// ops/sec of group commit vs the naive fsync-per-record baseline at 8
+// concurrent writers. One op is one small committed transaction (4 records
+// streamed, one durability wait) — the shape of a coordinated-answer
+// install. GOMAXPROCS is raised to 8 for the duration so the writers can
+// overlap their fsync waits even on a single-core container; the speedup is
+// the amortization of the write+fsync syscall pair across everything that
+// queued during the previous flush.
+func BenchmarkE11_DurableCommit(b *testing.B) {
+	const writers, perTxn = 8, 4
+	for _, grouped := range []bool{false, true} {
+		name := "mode=fsync-per-record"
+		if grouped {
+			name = "mode=group-commit"
+		}
+		b.Run(name, func(b *testing.B) {
+			defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(writers))
+			cat := storage.NewCatalog()
+			l, err := wal.OpenLog(filepath.Join(b.TempDir(), "wal"), cat,
+				wal.Options{Sync: wal.SyncAlways, NoGroupCommit: !grouped})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			schema := value.NewSchema(value.Col("fno", value.TypeInt), value.Col("dest", value.TypeString))
+			if err := l.Append(storage.LogRecord{Op: storage.OpCreateTable, Table: "T", Schema: schema}); err != nil {
+				b.Fatal(err)
+			}
+			var ctr atomic.Uint64
+			row := value.NewTuple(122, "Paris")
+			b.SetParallelism(1) // 8 procs × 1 = the 8 concurrent writers
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					base := ctr.Add(perTxn) - perTxn
+					for k := 0; k < perTxn; k++ {
+						rec := storage.LogRecord{
+							Op: storage.OpInsert, Table: "T",
+							RowID: storage.RowID(base + uint64(k) + 1), Row: row,
+						}
+						var err error
+						if grouped {
+							err = l.AppendAsync(rec)
+						} else {
+							err = l.Append(rec)
+						}
+						if err != nil {
+							b.Fatal(err)
+						}
+					}
+					if grouped {
+						if err := l.Commit(); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			})
+			b.StopTimer()
+			st := l.Stats()
+			if st.Syncs > 0 {
+				b.ReportMetric(float64(st.Records)/float64(st.Syncs), "records/fsync")
+			}
+		})
+	}
+}
+
+// BenchmarkE12_DurableArrivals — E8-style pair coordinations with the WAL
+// underneath: "committed-arrival" throughput, where acknowledging an arrival
+// under walsync means its records survived an fsync. The volatile
+// configuration is the E8 baseline; os-buffered is the pre-v2 durability
+// point; walsync is the group-committed fsync.
+func BenchmarkE12_DurableArrivals(b *testing.B) {
+	for _, mode := range []string{"volatile", "os-buffered", "walsync"} {
+		b.Run("mode="+mode, func(b *testing.B) {
+			cfg := core.Config{}
+			if mode != "volatile" {
+				cfg.WALPath = filepath.Join(b.TempDir(), "wal")
+				cfg.WALSync = mode == "walsync"
+			}
+			sys, err := workload.NewSystemConfig(21, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sys.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				submitPair(b, sys, "Paris")
+			}
 		})
 	}
 }

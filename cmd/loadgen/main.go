@@ -8,12 +8,20 @@
 // Usage:
 //
 //	loadgen [-pairs 200] [-groups 0] [-groupsize 4] [-trip] [-loners "0,100,500,1000"]
+//	loadgen -durable [-walsync=false] [-waldir DIR] [-walseg BYTES] ...
+//
+// With -durable every mutation is written to a segmented WAL and the
+// reported numbers are committed-arrival throughput: under -walsync (the
+// default) each arrival is acknowledged only after its records are
+// group-committed to disk. The run ends with the durability counters
+// (records per fsync shows the group-commit amortization).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strconv"
 	"strings"
 	"time"
@@ -35,7 +43,60 @@ func main() {
 	rates := flag.String("rates", "", "open-system mode: Poisson pair-arrival rates/sec to sweep (e.g. \"100,500,2000\")")
 	shardStats := flag.Bool("shardstats", false, "print per-shard coordination stats after the sweep")
 	runFor := flag.Duration("runtime", 2*time.Second, "open-system mode: duration per rate")
+	durable := flag.Bool("durable", false, "log every mutation to a WAL; throughput becomes committed-arrival throughput")
+	walDir := flag.String("waldir", "", "WAL directory for -durable (default: a fresh temp dir per run)")
+	walSync := flag.Bool("walsync", true, "with -durable: group-commit an fsync at each statement boundary")
+	walSeg := flag.Int64("walseg", 0, "with -durable: segment rotation threshold in bytes (0 = 4 MiB)")
 	flag.Parse()
+
+	// Each swept configuration gets its own system; the previous one is
+	// closed (draining its WAL) before the next opens, and WAL temp dirs we
+	// created are removed at exit.
+	runID := 0
+	var prevSys *core.System
+	var tmpDirs []string
+	defer func() {
+		if prevSys != nil {
+			prevSys.Close()
+		}
+		for _, d := range tmpDirs {
+			os.RemoveAll(d) //nolint:errcheck
+		}
+	}()
+	newSystem := func() (*core.System, error) {
+		if prevSys != nil {
+			if err := prevSys.Close(); err != nil {
+				return nil, err
+			}
+			prevSys = nil
+		}
+		cfg := core.Config{CoordShards: *shards}
+		if *durable {
+			cfg.WALSync = *walSync
+			cfg.WALSegmentBytes = *walSeg
+			if *walDir != "" {
+				cfg.WALPath = fmt.Sprintf("%s/run%d", *walDir, runID)
+			} else {
+				dir, err := os.MkdirTemp("", "loadgen-wal-*")
+				if err != nil {
+					return nil, err
+				}
+				tmpDirs = append(tmpDirs, dir)
+				cfg.WALPath = dir + "/wal"
+			}
+			runID++
+		}
+		sys, err := workload.NewSystemConfig(*seed, cfg)
+		if err == nil {
+			prevSys = sys
+		}
+		return sys, err
+	}
+	printWAL := func(sys *core.System) {
+		if st, ok := sys.WALStatsSnapshot(); ok {
+			fmt.Printf("\ndurability of the last run:\n%s", st)
+		}
+	}
 
 	if *rates != "" {
 		fmt.Printf("%-10s %-10s %-10s %-12s %-12s %-12s %-12s\n",
@@ -45,7 +106,7 @@ func main() {
 			if err != nil {
 				log.Fatalf("bad -rates entry %q", part)
 			}
-			sys, err := workload.NewSystemShards(*seed, *shards)
+			sys, err := newSystem()
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -57,6 +118,9 @@ func main() {
 				rate, res.Submitted, res.Answered,
 				res.PctLatency(50).Round(1000), res.PctLatency(95).Round(1000),
 				res.PctLatency(99).Round(1000), res.MaxLatency().Round(1000))
+		}
+		if prevSys != nil {
+			printWAL(prevSys)
 		}
 		return
 	}
@@ -75,13 +139,11 @@ func main() {
 	// versa) is invisible in averages.
 	fmt.Printf("%-8s %-10s %-10s %-12s %-12s %-12s %-12s %-12s %-12s\n",
 		"loners", "answered", "thpt/s", "avg-lat", "p50-lat", "p95-lat", "p99-lat", "max-lat", "nodes")
-	var lastSys *core.System
 	for _, l := range loners {
-		sys, err := workload.NewSystemShards(*seed, *shards)
+		sys, err := newSystem()
 		if err != nil {
 			log.Fatal(err)
 		}
-		lastSys = sys
 		res, err := workload.Run(sys, workload.Config{
 			Pairs: *pairs, Groups: *groups, GroupSize: *groupSize,
 			Trip: *trip, Loners: l, Concurrency: *concurrency, Seed: *seed,
@@ -97,11 +159,14 @@ func main() {
 			res.PctLatency(99).Round(1000), res.MaxLatency().Round(1000),
 			res.Coordinator.NodesExplored)
 	}
-	if lastSys != nil && *shardStats {
+	if prevSys != nil && *shardStats {
 		fmt.Println("\nper-shard stats of the last run:")
-		for _, si := range lastSys.Coordinator().Shards() {
+		for _, si := range prevSys.Coordinator().Shards() {
 			fmt.Printf("  shard %-3d pending=%-5d matches=%-7d answered=%-7d escalations=%-5d relations=%v\n",
 				si.ID, si.Pending, si.Stats.Matches, si.Stats.Answered, si.Stats.Escalations, si.Relations)
 		}
+	}
+	if prevSys != nil {
+		printWAL(prevSys)
 	}
 }

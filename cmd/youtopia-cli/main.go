@@ -9,6 +9,7 @@
 //	\seed      load the demo travel catalog (Flights/Hotels/SeatPairs)
 //	\fig1      load exactly the Figure 1(a) database
 //	\state     dump the coordination component's internal state
+//	\wal       durability-layer snapshot (segments, group-commit counters)
 //	\pending   list pending entangled queries
 //	\why <id>  diagnose why a query is still pending
 //	\dot       entanglement graph in Graphviz DOT
@@ -44,9 +45,16 @@ import (
 func main() {
 	seed := flag.Bool("seed", false, "preload the demo travel catalog")
 	owner := flag.String("owner", "cli", "owner label for entangled queries")
+	walPath := flag.String("wal", "", "write-ahead log directory (enables durability)")
+	walSync := flag.Bool("walsync", false, "fsync each statement's records (group-committed)")
 	flag.Parse()
 
-	sys := core.NewSystem(core.Config{})
+	sys := core.NewSystem(core.Config{WALPath: *walPath, WALSync: *walSync})
+	if err := sys.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer sys.Close()
 	cli := &session{sess: core.NewSession(sys), owner: *owner}
 	defer cli.sess.Close()
 	if *seed {
@@ -160,6 +168,12 @@ func meta(sys *core.System, cmd string) bool {
 			fmt.Printf("shard %d: pending=%d relations=%v matches=%d answered=%d escalations=%d\n",
 				si.ID, si.Pending, si.Relations, si.Stats.Matches, si.Stats.Answered, si.Stats.Escalations)
 		}
+	case `\wal`:
+		if st, ok := sys.WALStatsSnapshot(); ok {
+			fmt.Print(st)
+		} else {
+			fmt.Println("not durable (run with -wal DIR)")
+		}
 	case `\dot`:
 		fmt.Print(sys.Coordinator().DOT())
 	case `\why`:
@@ -188,7 +202,7 @@ func meta(sys *core.System, cmd string) bool {
 			fmt.Printf("q%d [%s] waiting %s: %s\n", p.ID, p.Owner, p.Waiting.Round(1e6), p.Logic)
 		}
 	case `\help`:
-		fmt.Println(`\seed \fig1 \state \shards \pending \why <id> \dot \quit — SQL statements end with ';'. Prefix EXPLAIN to see an entangled query's compiled form.`)
+		fmt.Println(`\seed \fig1 \state \shards \wal \pending \why <id> \dot \quit — SQL statements end with ';'. Prefix EXPLAIN to see an entangled query's compiled form.`)
 	default:
 		fmt.Println("unknown meta command; \\help for help")
 	}

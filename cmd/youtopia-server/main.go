@@ -5,9 +5,11 @@
 //
 // Usage:
 //
-//	youtopia-server [-addr 127.0.0.1:7717] [-seed] [-wal path]
+//	youtopia-server [-addr 127.0.0.1:7717] [-seed] [-wal dir] [-walsync]
 //
-// With -wal the database is durably logged and recovered on restart.
+// With -wal the database is durably logged (segmented binary format v2,
+// legacy JSON logs migrated in place) and recovered on restart; -walsync
+// additionally group-commits an fsync at every statement boundary.
 package main
 
 import (
@@ -25,11 +27,12 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7717", "listen address")
 	seed := flag.Bool("seed", false, "preload the demo travel catalog")
-	walPath := flag.String("wal", "", "write-ahead log path (enables durability)")
+	walPath := flag.String("wal", "", "write-ahead log directory (enables durability)")
+	walSync := flag.Bool("walsync", false, "fsync each statement's records (group-committed)")
 	shards := flag.Int("shards", 0, "coordination lanes (0 = GOMAXPROCS, 1 = unsharded)")
 	flag.Parse()
 
-	cfg := core.Config{WALPath: *walPath, CoordShards: *shards}
+	cfg := core.Config{WALPath: *walPath, WALSync: *walSync, CoordShards: *shards}
 	sys := core.NewSystem(cfg)
 	if err := sys.Err(); err != nil {
 		log.Fatal(err)

@@ -4,7 +4,13 @@
 // entangled queries — SELECT statements with answer constraints that can
 // only be satisfied jointly with other users' queries.
 //
-// The public entry point is internal/core.System; see README.md for the
-// architecture and EXPERIMENTS.md for the reproduced demonstration
-// scenarios. The benchmarks in bench_test.go regenerate every experiment.
+// The public entry point is internal/core.System; see ARCHITECTURE.md for
+// the layer map and the reproduced demonstration scenarios. The benchmarks
+// in bench_test.go regenerate every experiment.
+//
+// Durability: core.Config.WALPath enables the segmented binary write-ahead
+// log (on-disk format v2: length-prefixed CRC32C-checksummed records,
+// size-based segment rotation, group-committed fsyncs under WALSync,
+// background compaction, torn-tail-tolerant parallel recovery). v1 logs —
+// the original single-file JSON format — are migrated in place on open.
 package repro

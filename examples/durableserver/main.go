@@ -4,6 +4,12 @@
 // flight through entangled queries, the server restarts, and the coordinated
 // reservations are still there (pending queries, by design, are not).
 //
+// The log is the segmented binary WAL (on-disk format v2): length-prefixed
+// CRC32C-checksummed records in rotating segment files, group-committed
+// fsyncs at every statement boundary (WALSync), and torn-tail-tolerant
+// recovery. The first life ends by asking the server for its durability
+// snapshot over the wire (admin "wal").
+//
 // Run: go run ./examples/durableserver
 package main
 
@@ -28,7 +34,7 @@ func main() {
 	walPath := filepath.Join(dir, "youtopia.wal")
 
 	// --- first life: seed, serve, coordinate ---
-	sys := core.NewSystem(core.Config{WALPath: walPath})
+	sys := core.NewSystem(core.Config{WALPath: walPath, WALSync: true})
 	if err := sys.Err(); err != nil {
 		log.Fatal(err)
 	}
@@ -76,6 +82,11 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("pending before shutdown: %d\n", sys.Coordinator().PendingCount())
+
+	// The durability layer, as any remote admin sees it.
+	if text, err := kramer.AdminWAL(); err == nil {
+		fmt.Printf("admin wal →\n%s", text)
+	}
 
 	kramer.Close()
 	jerry.Close()

@@ -6,6 +6,13 @@
 // arrives, nondeterministically picks one of the mutually acceptable flights,
 // and answers both atomically through the shared answer relation.
 //
+// This quickstart runs in-memory. To make it durable, set
+// core.Config.WALPath to a directory: the system then logs every mutation
+// in the segmented binary WAL (on-disk format v2 — CRC32C-checksummed
+// records, group commit, crash recovery; see examples/durableserver).
+// Logs written by older builds in the v1 single-file JSON format are
+// migrated in place on first open.
+//
 // Run: go run ./examples/quickstart
 package main
 

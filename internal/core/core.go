@@ -9,6 +9,7 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"strings"
 
 	"repro/internal/answers"
 	"repro/internal/coord"
@@ -37,10 +38,30 @@ type Config struct {
 	// that want to isolate arrival-time matching disable it.
 	DisableAutoRetry bool
 	// WALPath, when set, makes base tables and answer relations durable: the
-	// log at this path is replayed on startup and every mutation is appended
-	// to it. Pending (unanswered) entangled queries are deliberately
+	// log rooted at this path is replayed on startup and every mutation is
+	// appended to it. Pending (unanswered) entangled queries are deliberately
 	// volatile — they belong to live sessions.
+	//
+	// The path names a directory of binary log segments (format v2:
+	// length-prefixed, CRC32C-checksummed records; size-based rotation). A
+	// legacy single-file JSON log found at this path is migrated in place on
+	// open and absorbed by the next compaction.
 	WALPath string
+	// WALSync moves the durability point to a group-committed fsync:
+	// mutations stream into the log buffer and each API-level statement
+	// (Execute/Exec/Submit, Session COMMIT) returns only after its records
+	// are on disk — one fsync is amortized across every record and every
+	// concurrent lane that reached the log meanwhile. Without it, commit
+	// batches are handed to the OS without fsync (the pre-v2 behavior:
+	// process-crash safe, not power-failure safe).
+	WALSync bool
+	// WALSegmentBytes overrides the segment rotation threshold
+	// (0 = wal.DefaultSegmentBytes).
+	WALSegmentBytes int64
+	// WALCompactAfter starts a background compaction of sealed segments
+	// whenever at least this many have accumulated. 0 selects 8; negative
+	// disables auto-compaction (Compact still works explicitly).
+	WALCompactAfter int
 }
 
 // System is one Youtopia database instance.
@@ -51,8 +72,8 @@ type System struct {
 	store     *answers.Store
 	coord     *coord.Coordinator
 	autoRetry bool
-	wal       *wal.WAL
-	walPath   string
+	wal       *wal.Log
+	walSync   bool
 	err       error // startup (recovery) error
 }
 
@@ -87,53 +108,65 @@ func NewSystem(cfg Config) *System {
 		autoRetry: !cfg.DisableAutoRetry,
 	}
 	if cfg.WALPath != "" {
-		if _, err := wal.Recover(cfg.WALPath, cat); err != nil {
+		opts := wal.Options{
+			SegmentBytes: cfg.WALSegmentBytes,
+			CompactAfter: cfg.WALCompactAfter,
+		}
+		if opts.CompactAfter == 0 {
+			opts.CompactAfter = 8
+		} else if opts.CompactAfter < 0 {
+			opts.CompactAfter = 0
+		}
+		if cfg.WALSync {
+			opts.Sync = wal.SyncAlways
+		}
+		l, err := wal.OpenLog(cfg.WALPath, cat, opts)
+		if err != nil {
 			s.err = fmt.Errorf("core: WAL recovery: %w", err)
 			return s
 		}
 		store.AdoptFromCatalog()
-		w, err := wal.Open(cfg.WALPath)
-		if err != nil {
-			s.err = fmt.Errorf("core: WAL open: %w", err)
-			return s
+		s.wal = l
+		s.walSync = cfg.WALSync
+		if cfg.WALSync {
+			// Mutations stream into the log buffer; the statement boundary
+			// (commitWAL) is the durability wait.
+			cat.SetLog(func(r storage.LogRecord) { l.AppendAsync(r) }) //nolint:errcheck // sticky error surfaced by commitWAL/Close
+		} else {
+			cat.SetLog(func(r storage.LogRecord) { l.Append(r) }) //nolint:errcheck // sticky error surfaced by Close
 		}
-		s.wal = w
-		s.walPath = cfg.WALPath
-		cat.SetLog(func(r storage.LogRecord) { s.wal.Append(r) }) //nolint:errcheck // sticky error surfaced by Close
 	}
 	return s
+}
+
+// commitWAL is the statement-level durability point: under Config.WALSync it
+// parks on the group commit covering every record this statement streamed
+// into the log. Without WALSync (or without a WAL) it is a no-op.
+func (s *System) commitWAL() error {
+	if s.wal == nil || !s.walSync {
+		return nil
+	}
+	return s.wal.Commit()
 }
 
 // Err reports a startup (WAL recovery) failure; a System with a non-nil Err
 // must not be used.
 func (s *System) Err() error { return s.err }
 
-// Compact rewrites the write-ahead log as a snapshot of the current state,
-// bounding its size. It is a no-op without a WAL. Mutations are quiesced by
-// detaching the logger for the duration; callers should avoid concurrent
-// writes (in-flight transactions would escape the snapshot).
+// Compact seals the active log segment and rewrites every sealed segment as
+// one snapshot, bounding log size. It is a no-op without a WAL. Unlike the
+// pre-segmented log, no quiescence is needed: concurrent mutations land in
+// the fresh active segment and survive compaction untouched.
 func (s *System) Compact() error {
 	if s.wal == nil {
 		return nil
 	}
-	s.cat.SetLog(nil)
-	defer s.cat.SetLog(func(r storage.LogRecord) { s.wal.Append(r) }) //nolint:errcheck
-	if err := s.wal.Sync(); err != nil {
-		return err
-	}
-	if err := s.wal.Close(); err != nil {
-		return err
-	}
-	if err := wal.Compact(s.walPath, s.cat); err != nil {
-		return err
-	}
-	w, err := wal.Open(s.walPath)
-	if err != nil {
-		return err
-	}
-	s.wal = w
-	return nil
+	return s.wal.Compact()
 }
+
+// WAL exposes the write-ahead log for stats/introspection (nil when the
+// system is not durable).
+func (s *System) WAL() *wal.Log { return s.wal }
 
 // Close detaches and closes the write-ahead log (no-op without one). The
 // returned error includes any write error encountered during the lifetime of
@@ -144,6 +177,58 @@ func (s *System) Close() error {
 	}
 	s.cat.SetLog(nil)
 	return s.wal.Close()
+}
+
+// WALStats summarizes the durability layer for the admin surface.
+type WALStats struct {
+	Commits  wal.CommitStats
+	Segments []wal.SegmentInfo
+	Recovery wal.RecoveryInfo
+}
+
+// String renders the snapshot as the admin surface shows it.
+func (w WALStats) String() string {
+	var b strings.Builder
+	c := w.Commits
+	fmt.Fprintf(&b, "wal: records=%d batches=%d fsyncs=%d rotations=%d compactions=%d",
+		c.Records, c.Batches, c.Syncs, c.Rotations, c.Compacts)
+	if c.Batches > 0 {
+		fmt.Fprintf(&b, " (%.1f records/batch", float64(c.Records)/float64(c.Batches))
+		if c.Syncs > 0 {
+			fmt.Fprintf(&b, ", %.1f records/fsync", float64(c.Records)/float64(c.Syncs))
+		}
+		b.WriteString(")")
+	}
+	fmt.Fprintf(&b, "\nrecovery: segments=%d records=%d torn=%v migrated=%v\n",
+		w.Recovery.Segments, w.Recovery.Records, w.Recovery.Torn, w.Recovery.Migrated)
+	for _, s := range w.Segments {
+		state := "active"
+		switch {
+		case s.Snapshot:
+			state = "snapshot"
+		case s.Sealed:
+			state = "sealed"
+		}
+		kind := "v2"
+		if s.JSON {
+			kind = "json"
+		}
+		fmt.Fprintf(&b, "  segment %08d  %-8s %-4s %d bytes\n", s.Seq, state, kind, s.Bytes)
+	}
+	return b.String()
+}
+
+// WALStatsSnapshot returns the current WAL counters and segment layout, or
+// false when the system is not durable.
+func (s *System) WALStatsSnapshot() (WALStats, bool) {
+	if s.wal == nil {
+		return WALStats{}, false
+	}
+	return WALStats{
+		Commits:  s.wal.Stats(),
+		Segments: s.wal.Segments(),
+		Recovery: s.wal.Recovered(),
+	}, true
 }
 
 // Response is the outcome of Execute: exactly one of Result (plain
@@ -182,6 +267,11 @@ func (s *System) submitEntangled(es *sql.EntangledSelect, src, owner string) (*R
 	if err != nil {
 		return nil, err
 	}
+	// The arrival-time round may have installed answers; an acknowledged
+	// arrival is durable.
+	if err := s.commitWAL(); err != nil {
+		return nil, err
+	}
 	return &Response{Handle: h, Entangled: true}, nil
 }
 
@@ -201,6 +291,10 @@ func (s *System) ExecuteStmt(stmt sql.Statement, owner string) (*Response, error
 		// Base-table changes can unblock parked queries ("waits for an
 		// opportunity to retry", §2.1).
 		s.coord.Retry()
+	}
+	// Statement-level durability point (covers retry-installed answers too).
+	if err := s.commitWAL(); err != nil {
+		return nil, err
 	}
 	return &Response{Result: res}, nil
 }

@@ -1,10 +1,16 @@
 package core
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/value"
+	"repro/internal/wal"
 )
 
 func walSystem(t *testing.T, path string) *System {
@@ -111,16 +117,34 @@ func TestDurableRollbackConverges(t *testing.T) {
 	}
 }
 
-// TestWALRecoveryError: a corrupt log surfaces through Err.
+// TestWALRecoveryError: corruption in a sealed segment surfaces through Err.
+// (A damaged tail is truncated, not an error — that is the torn-write path.)
 func TestWALRecoveryError(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "y.wal")
-	s1 := walSystem(t, path)
+	// Auto-compaction off: the test needs the sealed segment file to still
+	// exist (un-absorbed) after Close so it can corrupt it.
+	s1 := NewSystem(Config{WALPath: path, WALSegmentBytes: 128, WALCompactAfter: -1})
+	if err := s1.Err(); err != nil {
+		t.Fatal(err)
+	}
 	s1.Exec("CREATE TABLE T (x INT)") //nolint:errcheck
+	for i := 0; i < 40; i++ {
+		s1.Exec(fmt.Sprintf("INSERT INTO T VALUES (%d)", i)) //nolint:errcheck
+	}
+	segs := s1.WAL().Segments()
+	if len(segs) < 2 {
+		t.Fatalf("need a sealed segment, got %+v", segs)
+	}
+	sealedPath := segs[0].Path
 	s1.Close()
 
-	// Corrupt the first record.
-	data := []byte("NOT JSON\n")
-	if err := appendFileFront(path, data); err != nil {
+	// Corrupt the sealed segment mid-record.
+	data, err := os.ReadFile(sealedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(sealedPath, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	s2 := NewSystem(Config{WALPath: path})
@@ -129,10 +153,183 @@ func TestWALRecoveryError(t *testing.T) {
 	}
 }
 
-func appendFileFront(path string, prefix []byte) error {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return err
+// TestDurableSyncRestart: the group-committed fsync mode round-trips and the
+// WAL stats show fsyncs amortized below one per record.
+func TestDurableSyncRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "y.wal")
+	s1 := NewSystem(Config{WALPath: path, WALSync: true})
+	if err := s1.Err(); err != nil {
+		t.Fatal(err)
 	}
-	return os.WriteFile(path, append(prefix, data...), 0o644)
+	if err := s1.Exec(`
+		CREATE TABLE Flights (fno INT, dest STRING, PRIMARY KEY (fno));
+		INSERT INTO Flights VALUES (1, 'Paris'), (2, 'Rome'), (3, 'Oslo');
+		UPDATE Flights SET dest = 'Milan' WHERE fno = 2;
+	`); err != nil {
+		t.Fatal(err)
+	}
+	st, ok := s1.WALStatsSnapshot()
+	if !ok {
+		t.Fatal("no WAL stats on a durable system")
+	}
+	if st.Commits.Syncs == 0 || st.Commits.Syncs >= st.Commits.Records {
+		t.Errorf("sync mode stats: %+v (want 0 < syncs < records)", st.Commits)
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := NewSystem(Config{WALPath: path, WALSync: true})
+	if err := s2.Err(); err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	res, err := s2.Query("SELECT dest FROM Flights WHERE fno = 2")
+	if err != nil || len(res.Rows) != 1 || res.Rows[0][0].Str() != "Milan" {
+		t.Errorf("rows = %v, %v", res, err)
+	}
+}
+
+// TestRollbackCompensationsDurable: under WALSync a ROLLBACK must flush its
+// compensation records. If a concurrent statement's group commit already
+// carried the transaction's forward records to disk, an un-flushed rollback
+// followed by a crash would resurrect the rolled-back rows on replay.
+func TestRollbackCompensationsDurable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "y.wal")
+	s1 := NewSystem(Config{WALPath: path, WALSync: true})
+	if err := s1.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Exec("CREATE TABLE T (x INT, PRIMARY KEY (x)); CREATE TABLE Other (y INT)"); err != nil {
+		t.Fatal(err)
+	}
+	sess := NewSession(s1)
+	for _, stmt := range []string{"BEGIN", "INSERT INTO T VALUES (1)"} {
+		if _, err := sess.Execute(stmt, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A concurrent plain statement group-commits, carrying the open
+	// transaction's buffered forward records to disk with it.
+	if err := s1.Exec("INSERT INTO Other VALUES (1)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Execute("ROLLBACK", ""); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash: abandon s1 without Close and replay the directory.
+	s2 := NewSystem(Config{WALPath: path})
+	if err := s2.Err(); err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	res, err := s2.Query("SELECT x FROM T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Errorf("rolled-back row resurrected by recovery: %v", res.Rows)
+	}
+}
+
+// TestLegacyJSONMigration: a system that logged with the pre-segmented JSON
+// WAL reopens through the new one, state intact, and keeps growing.
+func TestLegacyJSONMigration(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "y.wal")
+
+	// Write an old-format log directly (the legacy API is kept exactly for
+	// this migration path).
+	cat := storage.NewCatalog()
+	w, err := wal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat.SetLog(func(r storage.LogRecord) { w.Append(r) }) //nolint:errcheck
+	tbl, err := cat.Create("Flights", value.NewSchema(
+		value.Col("fno", value.TypeInt), value.Col("dest", value.TypeString)), "fno")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.Insert(value.NewTuple(122, "Paris")) //nolint:errcheck
+	tbl.Insert(value.NewTuple(136, "Rome"))  //nolint:errcheck
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s := walSystem(t, path)
+	res, err := s.Query("SELECT fno FROM Flights ORDER BY fno")
+	if err != nil || len(res.Rows) != 2 {
+		t.Fatalf("migrated rows = %v, %v", res, err)
+	}
+	if st, ok := s.WALStatsSnapshot(); !ok || !st.Recovery.Migrated {
+		t.Errorf("migration not reported: %+v", st.Recovery)
+	}
+	if err := s.Exec("INSERT INTO Flights VALUES (140, 'Oslo')"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := walSystem(t, path)
+	defer s2.Close()
+	res, err = s2.Query("SELECT fno FROM Flights ORDER BY fno")
+	if err != nil || len(res.Rows) != 3 {
+		t.Errorf("post-migration rows = %v, %v", res, err)
+	}
+}
+
+// TestCompactUnderConcurrentWrites: compaction does not quiesce the system —
+// writers keep committing while it runs, and nothing is lost on restart.
+func TestCompactUnderConcurrentWrites(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "y.wal")
+	s1 := NewSystem(Config{WALPath: path, WALSegmentBytes: 512, WALCompactAfter: -1})
+	if err := s1.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Exec("CREATE TABLE T (x INT, PRIMARY KEY (x))"); err != nil {
+		t.Fatal(err)
+	}
+	const writers, each = 4, 50
+	var wg sync.WaitGroup
+	errCh := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if err := s1.Exec(fmt.Sprintf("INSERT INTO T VALUES (%d)", w*each+i)); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 5; i++ {
+		if err := s1.Compact(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if err := s1.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := walSystem(t, path)
+	defer s2.Close()
+	res, err := s2.Query("SELECT COUNT(*) FROM T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].Int(); got != writers*each {
+		t.Errorf("rows after compaction under load = %d, want %d", got, writers*each)
+	}
 }

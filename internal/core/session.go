@@ -36,7 +36,8 @@ func (s *Session) InTxn() bool { return s.tx != nil }
 // Close rolls back any open transaction.
 func (s *Session) Close() {
 	if s.tx != nil {
-		s.tx.Rollback() //nolint:errcheck
+		s.tx.Rollback()   //nolint:errcheck
+		s.sys.commitWAL() //nolint:errcheck // see ROLLBACK: compensations must not stay buffered
 		s.tx = nil
 	}
 }
@@ -79,6 +80,10 @@ func (s *Session) ExecuteStmt(stmt sql.Statement, owner string) (*Response, erro
 			if s.sys.autoRetry && s.sys.coord.PendingCount() > 0 {
 				s.sys.coord.Retry()
 			}
+			// COMMIT is the transaction's durability point.
+			if err := s.sys.commitWAL(); err != nil {
+				return nil, err
+			}
 			return &Response{}, nil
 		default: // rollback
 			if s.tx == nil {
@@ -87,6 +92,13 @@ func (s *Session) ExecuteStmt(stmt sql.Statement, owner string) (*Response, erro
 			err := s.tx.Rollback()
 			s.tx = nil
 			if err != nil {
+				return nil, err
+			}
+			// The compensation records must reach the durability point too:
+			// if the forward records of this transaction made it into an
+			// earlier flush, an un-flushed rollback could be resurrected by
+			// crash recovery.
+			if err := s.sys.commitWAL(); err != nil {
 				return nil, err
 			}
 			return &Response{}, nil
@@ -108,6 +120,7 @@ func (s *Session) ExecuteStmt(stmt sql.Statement, owner string) (*Response, erro
 			// transaction (strict 2PL has no partial statement rollback).
 			s.tx.Rollback() //nolint:errcheck
 			s.tx = nil
+			s.sys.commitWAL() //nolint:errcheck // compensations durable; sticky error resurfaces on the next commit
 			return nil, fmt.Errorf("%w (transaction rolled back)", err)
 		}
 		return &Response{Result: res}, nil

@@ -253,3 +253,13 @@ func (c *Client) AdminShards() (string, error) {
 	}
 	return resp.Text, nil
 }
+
+// AdminWAL fetches the server's durability-layer snapshot: group-commit
+// counters, recovery summary and the on-disk segment layout.
+func (c *Client) AdminWAL() (string, error) {
+	resp, err := c.call(Request{Admin: "wal"})
+	if err != nil {
+		return "", err
+	}
+	return resp.Text, nil
+}

@@ -31,7 +31,8 @@ type Request struct {
 	Owner string `json:"owner,omitempty"`
 	// Cancel withdraws the entangled query with the given server-side id.
 	Cancel uint64 `json:"cancel,omitempty"`
-	// Admin requests an introspection dump: "state", "pending" or "stats".
+	// Admin requests an introspection dump: "state", "pending", "stats",
+	// "shards" or "wal".
 	Admin string `json:"admin,omitempty"`
 }
 

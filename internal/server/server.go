@@ -166,6 +166,12 @@ func (s *Server) dispatch(cs *connSession, pendingMu *sync.Mutex, pending map[ui
 					si.ID, si.Pending, si.Relations, si.Stats)
 			}
 			return Response{ID: req.ID, Text: text}
+		case "wal":
+			st, ok := s.sys.WALStatsSnapshot()
+			if !ok {
+				return Response{ID: req.ID, Text: "not durable (no WAL configured)\n"}
+			}
+			return Response{ID: req.ID, Text: st.String()}
 		default:
 			return Response{ID: req.ID, Error: fmt.Sprintf("unknown admin command %q", req.Admin)}
 		}

@@ -1,0 +1,274 @@
+package wal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// Segment files live inside the log directory and are named by sequence
+// number: "00000001.wal" (binary, format v2) or "00000001.json" (a legacy
+// JSON log adopted during migration). Higher sequence numbers are strictly
+// newer; the highest segment is the live tail, everything below it is sealed
+// (fsynced at rotation and never written again).
+
+// SegmentInfo describes one on-disk segment (admin surface).
+type SegmentInfo struct {
+	Seq      uint64
+	Path     string
+	Bytes    int64
+	Sealed   bool
+	Snapshot bool
+	JSON     bool // legacy JSON segment awaiting compaction
+}
+
+func segName(seq uint64) string  { return fmt.Sprintf("%08d.wal", seq) }
+func jsonName(seq uint64) string { return fmt.Sprintf("%08d.json", seq) }
+
+// parseSegName extracts (seq, isJSON) from a segment file name.
+func parseSegName(name string) (seq uint64, isJSON, ok bool) {
+	var ext string
+	switch {
+	case strings.HasSuffix(name, ".wal"):
+		ext = ".wal"
+	case strings.HasSuffix(name, ".json"):
+		ext = ".json"
+		isJSON = true
+	default:
+		return 0, false, false
+	}
+	n, err := strconv.ParseUint(strings.TrimSuffix(name, ext), 10, 64)
+	if err != nil || n == 0 {
+		return 0, false, false
+	}
+	return n, isJSON, true
+}
+
+// listSegments returns the segments in dir in replay (sequence) order.
+func listSegments(dir string) ([]SegmentInfo, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []SegmentInfo
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		seq, isJSON, ok := parseSegName(e.Name())
+		if !ok {
+			continue // tmp files, strays
+		}
+		info, err := e.Info()
+		if err != nil {
+			return nil, err
+		}
+		segs = append(segs, SegmentInfo{
+			Seq: seq, Path: filepath.Join(dir, e.Name()),
+			Bytes: info.Size(), JSON: isJSON,
+		})
+	}
+	// A .json/.wal twin at the same sequence is a compaction interrupted
+	// between publishing the snapshot and removing the absorbed JSON
+	// segment: the JSON sorts first and recovery's snapshot pruning drops
+	// it. Same-type duplicates cannot happen and are reported.
+	sort.Slice(segs, func(i, j int) bool {
+		if segs[i].Seq != segs[j].Seq {
+			return segs[i].Seq < segs[j].Seq
+		}
+		return segs[i].JSON && !segs[j].JSON
+	})
+	for i := 1; i < len(segs); i++ {
+		if segs[i].Seq == segs[i-1].Seq && segs[i].JSON == segs[i-1].JSON {
+			return nil, fmt.Errorf("wal: duplicate segment sequence %d (%s and %s)",
+				segs[i].Seq, segs[i-1].Path, segs[i].Path)
+		}
+	}
+	return segs, nil
+}
+
+// segmentDecode is the outcome of decoding one whole segment file.
+type segmentDecode struct {
+	recs     []storage.LogRecord
+	good     int64 // file offset just past the last good record
+	torn     bool  // frame-level failure at good (torn write signature)
+	snapshot bool
+	err      error
+}
+
+// decodeSegmentBytes decodes a binary segment image (header + records).
+// A header that is missing or garbled counts as torn at offset 0 — the
+// signature of a crash immediately after segment creation.
+func decodeSegmentBytes(data []byte) segmentDecode {
+	if len(data) < segHeaderLen {
+		return segmentDecode{torn: true}
+	}
+	flags, err := parseSegHeader(data)
+	if err != nil {
+		return segmentDecode{torn: true}
+	}
+	recs, good, torn, derr := decodeRecords(data[segHeaderLen:])
+	return segmentDecode{
+		recs: recs, good: int64(segHeaderLen + good), torn: torn,
+		snapshot: flags&flagSnapshot != 0, err: derr,
+	}
+}
+
+// decodeJSONSegment decodes a legacy JSON-lines log adopted as a segment.
+// A torn final line is tolerated (the old writer could crash mid-append);
+// anything malformed before that is corruption, exactly as in Recover.
+func decodeJSONSegment(data []byte) segmentDecode {
+	var recs []storage.LogRecord
+	off := 0
+	for off < len(data) {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			return segmentDecode{recs: recs, good: int64(off), torn: true}
+		}
+		line := data[off : off+nl]
+		if len(line) > 0 {
+			var j jsonRecord
+			if err := json.Unmarshal(line, &j); err != nil {
+				if off+nl+1 >= len(data) {
+					return segmentDecode{recs: recs, good: int64(off), torn: true}
+				}
+				return segmentDecode{recs: recs, good: int64(off),
+					err: fmt.Errorf("wal: corrupt JSON record %d: %w", len(recs)+1, err)}
+			}
+			rec, err := decodeJSONRecord(j)
+			if err != nil {
+				return segmentDecode{recs: recs, good: int64(off),
+					err: fmt.Errorf("wal: JSON record %d: %w", len(recs)+1, err)}
+			}
+			recs = append(recs, rec)
+		}
+		off += nl + 1
+	}
+	return segmentDecode{recs: recs, good: int64(off)}
+}
+
+// decodeSegmentFile reads and decodes one segment.
+func decodeSegmentFile(seg SegmentInfo) segmentDecode {
+	data, err := os.ReadFile(seg.Path)
+	if err != nil {
+		return segmentDecode{err: err}
+	}
+	if seg.JSON {
+		return decodeJSONSegment(data)
+	}
+	return decodeSegmentBytes(data)
+}
+
+// writeSnapshotSegment writes a snapshot-flagged segment holding the minimal
+// record sequence that recreates cat (one create per table, its indexes, one
+// insert per live row), through a temp file, fsync and rename. It returns
+// the final file size.
+func writeSnapshotSegment(dir string, seq uint64, cat *storage.Catalog) (int64, error) {
+	tmp := filepath.Join(dir, segName(seq)+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	defer os.Remove(tmp) // no-op after the rename succeeds
+	w := bufio.NewWriterSize(f, 1<<20)
+	if _, err := w.Write(segHeader(flagSnapshot)); err != nil {
+		f.Close()
+		return 0, err
+	}
+	var buf []byte
+	emit := func(r storage.LogRecord) error {
+		var err error
+		buf, err = appendFramedRecord(buf[:0], r)
+		if err != nil {
+			return err
+		}
+		_, err = w.Write(buf)
+		return err
+	}
+	if err := snapshotRecords(cat, emit); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return 0, err
+	}
+	size, err := f.Seek(0, 2)
+	if err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := f.Close(); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, segName(seq))); err != nil {
+		return 0, err
+	}
+	return size, syncDir(dir)
+}
+
+// snapshotRecords feeds emit the canonical snapshot record sequence for cat.
+func snapshotRecords(cat *storage.Catalog, emit func(storage.LogRecord) error) error {
+	for _, name := range cat.Names() {
+		tbl, err := cat.Get(name)
+		if err != nil {
+			return fmt.Errorf("wal: snapshot: %w", err)
+		}
+		if err := emit(storage.LogRecord{
+			Op: storage.OpCreateTable, Table: tbl.Name(),
+			Schema: tbl.Schema(), PK: tbl.PrimaryKey(),
+		}); err != nil {
+			return err
+		}
+		for _, ix := range tbl.Indexes() {
+			if err := emit(storage.LogRecord{Op: storage.OpCreateIndex, Table: tbl.Name(), Cols: ix}); err != nil {
+				return err
+			}
+		}
+		for _, col := range tbl.OrderedIndexes() {
+			if err := emit(storage.LogRecord{Op: storage.OpCreateOrderedIndex, Table: tbl.Name(), Cols: []string{col}}); err != nil {
+				return err
+			}
+		}
+		var scanErr error
+		tbl.Scan(func(id storage.RowID, row value.Tuple) bool {
+			scanErr = emit(storage.LogRecord{Op: storage.OpInsert, Table: tbl.Name(), RowID: id, Row: row})
+			return scanErr == nil
+		})
+		if scanErr != nil {
+			return scanErr
+		}
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so renames and creates within it are durable.
+// Errors are returned, but platforms where directories cannot be synced get
+// a pass (best effort, as in most Go WAL implementations).
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil && (os.IsPermission(err) || strings.Contains(err.Error(), "invalid argument")) {
+		return nil
+	}
+	return err
+}

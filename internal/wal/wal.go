@@ -1,14 +1,24 @@
 // Package wal gives the storage engine durability: a write-ahead log of
 // every applied mutation, replayed on startup to reconstruct the database.
 //
-// Records are JSON lines (stdlib-only, human-inspectable). The log is
-// *physical-redo* style: every mutation is appended in apply order, and
-// rolled-back transactions appear as their operations followed by the undo
-// machinery's compensating operations, so a full replay always converges to
-// the exact pre-crash logical state. Coordination state (the pending-query
-// tables) is deliberately volatile, like the demo system: pending entangled
-// queries belong to live sessions; installed answers live in ordinary
-// tables and are durable.
+// The current on-disk format (v2, see Log in log.go) is a directory of
+// binary segments — length-prefixed, CRC32C-checksummed records, size-based
+// rotation, group-committed fsyncs, background compaction of sealed
+// segments, and parallel torn-tail-tolerant recovery.
+//
+// This file keeps the ORIGINAL v1 format readable and writable: JSON lines
+// in a single file (stdlib-only, human-inspectable). OpenLog migrates a v1
+// file in place by adopting it as segment 1; the WAL/Recover/Compact API
+// below remains for that migration path and for tooling that wants the
+// legacy format.
+//
+// Both formats are *physical-redo* style: every mutation is appended in
+// apply order, and rolled-back transactions appear as their operations
+// followed by the undo machinery's compensating operations, so a full
+// replay always converges to the exact pre-crash logical state.
+// Coordination state (the pending-query tables) is deliberately volatile,
+// like the demo system: pending entangled queries belong to live sessions;
+// installed answers live in ordinary tables and are durable.
 package wal
 
 import (
@@ -203,7 +213,11 @@ func Recover(path string, cat *storage.Catalog) (int, error) {
 			}
 			return applied, fmt.Errorf("wal: corrupt record %d: %w", applied+1, err)
 		}
-		if err := apply(cat, j); err != nil {
+		rec, err := decodeJSONRecord(j)
+		if err != nil {
+			return applied, fmt.Errorf("wal: record %d: %w", applied+1, err)
+		}
+		if err := applyRecord(cat, rec); err != nil {
 			return applied, fmt.Errorf("wal: replay record %d (%s %s): %w", applied+1, j.Op, j.Table, err)
 		}
 		applied++
@@ -218,73 +232,94 @@ func Recover(path string, cat *storage.Catalog) (int, error) {
 // lookahead, which is fine because the caller stops on torn records.
 func isLastLine(sc *bufio.Scanner) bool { return !sc.Scan() }
 
-func apply(cat *storage.Catalog, j jsonRecord) error {
-	switch storage.LogOp(j.Op) {
-	case storage.OpCreateTable:
+// decodeJSONRecord converts the JSON wire form back into a storage.LogRecord
+// so both log formats replay through the same applyRecord.
+func decodeJSONRecord(j jsonRecord) (storage.LogRecord, error) {
+	rec := storage.LogRecord{
+		Op: storage.LogOp(j.Op), Table: j.Table,
+		PK: j.PK, Cols: j.IxCol, RowID: storage.RowID(j.RowID),
+	}
+	switch rec.Op {
+	case storage.OpCreateTable, storage.OpDropTable, storage.OpCreateIndex,
+		storage.OpCreateOrderedIndex, storage.OpInsert, storage.OpDelete,
+		storage.OpUpdate, storage.OpRestore:
+	default:
+		return rec, fmt.Errorf("unknown op %q", j.Op)
+	}
+	if rec.Op == storage.OpCreateTable {
 		schema := value.NewSchema()
 		for _, c := range j.Cols {
 			t, err := value.ParseType(c.Type)
 			if err != nil {
-				return err
+				return rec, err
 			}
 			schema.Columns = append(schema.Columns, value.Col(c.Name, t))
 		}
-		_, err := cat.Create(j.Table, schema, j.PK...)
+		rec.Schema = schema
+	}
+	if len(j.Row) > 0 {
+		row, err := decodeRow(j.Row)
+		if err != nil {
+			return rec, err
+		}
+		rec.Row = row
+	}
+	return rec, nil
+}
+
+// applyRecord replays one logged mutation into the catalog. It is shared by
+// JSON (legacy) and binary (segmented) recovery.
+func applyRecord(cat *storage.Catalog, r storage.LogRecord) error {
+	switch r.Op {
+	case storage.OpCreateTable:
+		_, err := cat.Create(r.Table, r.Schema, r.PK...)
 		return err
 
 	case storage.OpDropTable:
-		return cat.Drop(j.Table)
+		return cat.Drop(r.Table)
 
 	case storage.OpCreateIndex:
-		tbl, err := cat.Get(j.Table)
+		tbl, err := cat.Get(r.Table)
 		if err != nil {
 			return err
 		}
-		return tbl.CreateIndex(j.IxCol...)
+		return tbl.CreateIndex(r.Cols...)
 
 	case storage.OpCreateOrderedIndex:
-		tbl, err := cat.Get(j.Table)
+		tbl, err := cat.Get(r.Table)
 		if err != nil {
 			return err
 		}
-		if len(j.IxCol) != 1 {
-			return fmt.Errorf("ordered index wants exactly one column, got %v", j.IxCol)
+		if len(r.Cols) != 1 {
+			return fmt.Errorf("ordered index wants exactly one column, got %v", r.Cols)
 		}
-		return tbl.CreateOrderedIndex(j.IxCol[0])
+		return tbl.CreateOrderedIndex(r.Cols[0])
 
 	case storage.OpInsert, storage.OpRestore:
-		tbl, err := cat.Get(j.Table)
+		tbl, err := cat.Get(r.Table)
 		if err != nil {
 			return err
 		}
-		row, err := decodeRow(j.Row)
-		if err != nil {
-			return err
-		}
-		return tbl.RestoreAt(storage.RowID(j.RowID), row)
+		return tbl.RestoreAt(r.RowID, r.Row)
 
 	case storage.OpDelete:
-		tbl, err := cat.Get(j.Table)
+		tbl, err := cat.Get(r.Table)
 		if err != nil {
 			return err
 		}
-		_, err = tbl.Delete(storage.RowID(j.RowID))
+		_, err = tbl.Delete(r.RowID)
 		return err
 
 	case storage.OpUpdate:
-		tbl, err := cat.Get(j.Table)
+		tbl, err := cat.Get(r.Table)
 		if err != nil {
 			return err
 		}
-		row, err := decodeRow(j.Row)
-		if err != nil {
-			return err
-		}
-		_, err = tbl.Update(storage.RowID(j.RowID), row)
+		_, err = tbl.Update(r.RowID, r.Row)
 		return err
 
 	default:
-		return fmt.Errorf("unknown op %q", j.Op)
+		return fmt.Errorf("unknown op %q", r.Op)
 	}
 }
 

@@ -186,12 +186,22 @@ func NewSystem(seed int64) (*core.System, error) {
 // NewSystemShards is NewSystem with an explicit coordination-lane count
 // (0 = GOMAXPROCS, 1 = the unsharded A7 ablation).
 func NewSystemShards(seed int64, shards int) (*core.System, error) {
-	sys := core.NewSystem(core.Config{
-		Coord: coord.Options{
-			UseIndex: true, GroundSmallestFirst: true, Seed: seed,
-		},
-		CoordShards: shards,
-	})
+	return NewSystemConfig(seed, core.Config{CoordShards: shards})
+}
+
+// NewSystemConfig is NewSystem over an arbitrary core.Config (WAL settings,
+// lane count, ...); the matcher knobs and the travel seed are applied on
+// top. loadgen's -durable mode uses this to measure committed-arrival
+// throughput.
+func NewSystemConfig(seed int64, cfg core.Config) (*core.System, error) {
+	cfg.Coord = coord.Options{
+		UseIndex: true, GroundSmallestFirst: true, Seed: seed,
+		Shards: cfg.Coord.Shards,
+	}
+	sys := core.NewSystem(cfg)
+	if err := sys.Err(); err != nil {
+		return nil, err
+	}
 	// Disable auto-retry noise during bulk loading benchmarks: matches occur
 	// on arrival anyway. Loaded-system runs re-enable retry explicitly.
 	if err := travel.Seed(sys, travel.SeedConfig{Seed: seed}); err != nil {

@@ -1,23 +1,29 @@
 #!/usr/bin/env bash
-# bench.sh — run the E1–E10 experiment suite with -benchmem and emit a
+# bench.sh — run the E1–E12 experiment suite with -benchmem and emit a
 # machine-readable JSON file mapping each benchmark to ns/op, B/op and
 # allocs/op, so the repo accumulates a perf trajectory run over run.
 #
 # Usage:
-#   scripts/bench.sh [benchtime]     # default 20x; the CI smoke passes 1x
+#   scripts/bench.sh [benchtime]     # default 20x; CI uses 20x to match the
+#                                    # frozen baseline's warmup amortization
 #
 # Environment:
-#   OUT=path.json   output file (default BENCH_PR2.json at the repo root)
+#   OUT=path.json   output file (default BENCH_PR3.json at the repo root)
 #
-# If scripts/bench_baseline_pr2.json exists (the frozen pre-PR-2 numbers),
+# Benchmarks run at -cpu 1 so allocs/op — the container-stable metric the
+# perf gate (bench_gate.sh) compares — is deterministic across machines with
+# different core counts (lane counts default to GOMAXPROCS). ns/op remains
+# report-only. E11 raises GOMAXPROCS internally for its 8 durable writers.
+#
+# If scripts/bench_baseline_pr3.json exists (the frozen pre-PR-3 numbers),
 # its contents are embedded under "baseline" so before/after always travel
 # together in one artifact.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 benchtime="${1:-20x}"
-out="${OUT:-BENCH_PR2.json}"
-raw="$(go test -run '^$' -bench 'BenchmarkE[0-9]+_' -benchmem -benchtime "$benchtime" .)"
+out="${OUT:-BENCH_PR3.json}"
+raw="$(go test -run '^$' -bench 'BenchmarkE[0-9]+_' -benchmem -benchtime "$benchtime" -cpu 1 .)"
 echo "$raw"
 
 BENCH_RAW="$raw" BENCH_TIME="$benchtime" BENCH_OUT="$out" python3 - <<'EOF'
@@ -42,7 +48,7 @@ for line in raw.splitlines():
         current[name] = entry
 
 doc = {"benchtime": os.environ["BENCH_TIME"], "current": current}
-base_path = os.path.join("scripts", "bench_baseline_pr2.json")
+base_path = os.path.join("scripts", "bench_baseline_pr3.json")
 if os.path.exists(base_path):
     with open(base_path) as f:
         doc["baseline"] = json.load(f)
