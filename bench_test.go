@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -706,6 +707,106 @@ func BenchmarkWALAppend(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkE13_WireThroughput — the PR-4 wire experiment: one remote
+// request/response round trip (a SELECT returning the Paris flight block),
+// v2 framed binary vs legacy line-delimited JSON, serial vs pipelined (8
+// submitters multiplexed on ONE connection). allocs/op counts client and
+// server together — the process is shared — so the codec's marshal costs on
+// both sides are in the number. ns/op is report-only per bench methodology;
+// allocs/op is the gated metric.
+func BenchmarkE13_WireThroughput(b *testing.B) {
+	const q = "SELECT * FROM Flights WHERE dest = 'Paris'"
+	newServer := func(b *testing.B) string {
+		sys := mustSystem(b, 20)
+		srv, err := server.Listen(sys, "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { srv.Close() })
+		return srv.Addr().String()
+	}
+	type querier interface {
+		Query(string) (*server.QueryResult, error)
+	}
+	check := func(b *testing.B, res *server.QueryResult, err error) {
+		if err != nil || len(res.Rows) == 0 {
+			b.Fatalf("%v %v", res, err)
+		}
+	}
+	serial := func(b *testing.B, c querier) {
+		res, err := c.Query(q) // warm pools and lazy setup before measuring
+		check(b, res, err)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := c.Query(q)
+			check(b, res, err)
+		}
+	}
+	pipelined := func(b *testing.B, c querier) {
+		const workers = 8
+		res, err := c.Query(q)
+		check(b, res, err)
+		b.ResetTimer()
+		var wg sync.WaitGroup
+		errs := make(chan error, workers) // b.Fatal is main-goroutine-only
+		for w := 0; w < workers; w++ {
+			n := b.N / workers
+			if w < b.N%workers {
+				n++
+			}
+			wg.Add(1)
+			go func(n int) {
+				defer wg.Done()
+				for i := 0; i < n; i++ {
+					res, err := c.Query(q)
+					if err != nil || len(res.Rows) == 0 {
+						errs <- fmt.Errorf("query: %v %v", res, err)
+						return
+					}
+				}
+			}(n)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			b.Fatal(err)
+		}
+	}
+
+	b.Run("codec=v2/mode=serial", func(b *testing.B) {
+		c, err := server.Dial(newServer(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		serial(b, c)
+	})
+	b.Run("codec=v2/mode=pipelined", func(b *testing.B) {
+		c, err := server.Dial(newServer(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		pipelined(b, c)
+	})
+	b.Run("codec=legacy/mode=serial", func(b *testing.B) {
+		c, err := server.DialLegacy(newServer(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		serial(b, c)
+	})
+	b.Run("codec=legacy/mode=pipelined", func(b *testing.B) {
+		c, err := server.DialLegacy(newServer(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		pipelined(b, c)
+	})
 }
 
 // BenchmarkServerRoundTrip — substrate microbench: one remote SELECT over

@@ -9,15 +9,25 @@
 //
 //	loadgen [-pairs 200] [-groups 0] [-groupsize 4] [-trip] [-loners "0,100,500,1000"]
 //	loadgen -durable [-walsync=false] [-waldir DIR] [-walseg BYTES] ...
+//	loadgen -net 127.0.0.1:7717 ...
 //
 // With -durable every mutation is written to a segmented WAL and the
 // reported numbers are committed-arrival throughput: under -walsync (the
 // default) each arrival is acknowledged only after its records are
 // group-committed to disk. The run ends with the durability counters
 // (records per fsync shows the group-commit amortization).
+//
+// With -net every submission and every coordination outcome crosses a real
+// TCP connection to a running youtopia-server (started with -seed), using
+// the v2 framed wire protocol — the same open/closed-system arrival
+// schedules and p50/p95/p99 reporting, but with wire overhead included, so
+// protocol changes show up in the perf trajectory. Shard stats come back
+// over the typed admin API. WAL flags do not apply (durability is the
+// server's configuration).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -27,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/server"
 	"repro/internal/workload"
 )
 
@@ -47,7 +58,14 @@ func main() {
 	walDir := flag.String("waldir", "", "WAL directory for -durable (default: a fresh temp dir per run)")
 	walSync := flag.Bool("walsync", true, "with -durable: group-commit an fsync at each statement boundary")
 	walSeg := flag.Int64("walseg", 0, "with -durable: segment rotation threshold in bytes (0 = 4 MiB)")
+	netAddr := flag.String("net", "", "drive a running youtopia-server at this address over TCP instead of in-process")
 	flag.Parse()
+
+	if *netAddr != "" {
+		runNet(*netAddr, *pairs, *groups, *groupSize, *trip, *lonersCSV,
+			*concurrency, *seed, *footprints, *rates, *shardStats, *runFor, *durable)
+		return
+	}
 
 	// Each swept configuration gets its own system; the previous one is
 	// closed (draining its WAL) before the next opens, and WAL temp dirs we
@@ -168,5 +186,119 @@ func main() {
 	}
 	if prevSys != nil {
 		printWAL(prevSys)
+	}
+}
+
+// netNameStride separates the participant-name spaces of successive sweep
+// points, so answer tuples installed by an earlier run cannot satisfy a
+// later run's identical constraints (which would short-circuit coordination
+// and fake the numbers). Each invocation also salts its offsets with a
+// time-derived base, keeping repeated `loadgen -net` invocations against
+// one long-lived server disjoint from each other too.
+const netNameStride = 10_000_000
+
+// runNet drives a running youtopia-server over TCP with the same arrival
+// schedules and reporting as the in-process modes. Each swept configuration
+// gets its own connection: closing it withdraws that run's pending loners
+// from the server (connection-teardown cancellation), keeping sweep points
+// independent.
+func runNet(addr string, pairs, groups, groupSize int, trip bool, lonersCSV string,
+	concurrency int, seed int64, footprints int, rates string, shardStats bool,
+	runFor time.Duration, durable bool) {
+	probe, err := server.Dial(addr)
+	if err != nil {
+		log.Fatalf("loadgen -net: %v", err)
+	}
+	defer probe.Close()
+	if res, err := probe.Query("SELECT fno FROM Flights"); err != nil || len(res.Rows) == 0 {
+		log.Fatalf("loadgen -net: server at %s has no travel catalog — start it with youtopia-server -seed (%v)", addr, err)
+	}
+	if durable {
+		fmt.Println("loadgen -net: ignoring -durable/-wal* flags (durability is the server's configuration)")
+	}
+
+	run := 0
+	base := int(time.Now().UnixNano()%1_000_000) * 100 * netNameStride
+	withTarget := func(f func(workload.Target, int) error) {
+		c, err := server.Dial(addr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer c.Close()
+		off := base + run*netNameStride
+		run++
+		if err := f(workload.NewClientTarget(c), off); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if rates != "" {
+		fmt.Printf("%-10s %-10s %-10s %-12s %-12s %-12s %-12s\n",
+			"rate/s", "submitted", "answered", "p50-lat", "p95-lat", "p99-lat", "max-lat")
+		for _, part := range strings.Split(rates, ",") {
+			rate, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				log.Fatalf("bad -rates entry %q", part)
+			}
+			withTarget(func(tgt workload.Target, off int) error {
+				res, err := workload.RunOpenTarget(tgt,
+					workload.Config{Seed: seed, Footprints: footprints, NameOffset: off}, rate, runFor)
+				if err != nil {
+					return err
+				}
+				fmt.Printf("%-10.0f %-10d %-10d %-12s %-12s %-12s %-12s\n",
+					rate, res.Submitted, res.Answered,
+					res.PctLatency(50).Round(1000), res.PctLatency(95).Round(1000),
+					res.PctLatency(99).Round(1000), res.MaxLatency().Round(1000))
+				return nil
+			})
+		}
+	} else {
+		var loners []int
+		for _, part := range strings.Split(lonersCSV, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				log.Fatalf("bad -loners entry %q", part)
+			}
+			loners = append(loners, n)
+		}
+		fmt.Printf("%-8s %-10s %-10s %-12s %-12s %-12s %-12s %-12s %-12s\n",
+			"loners", "answered", "thpt/s", "avg-lat", "p50-lat", "p95-lat", "p99-lat", "max-lat", "nodes")
+		for _, l := range loners {
+			withTarget(func(tgt workload.Target, off int) error {
+				res, err := workload.RunTarget(tgt, workload.Config{
+					Pairs: pairs, Groups: groups, GroupSize: groupSize,
+					Trip: trip, Loners: l, Concurrency: concurrency, Seed: seed,
+					Footprints: footprints, NameOffset: off,
+				})
+				if err != nil {
+					return err
+				}
+				fmt.Printf("%-8d %-10d %-10.0f %-12s %-12s %-12s %-12s %-12s %-12d\n",
+					l, res.Answered, res.Throughput(),
+					res.AvgLatency().Round(1000),
+					res.PctLatency(50).Round(1000), res.PctLatency(95).Round(1000),
+					res.PctLatency(99).Round(1000), res.MaxLatency().Round(1000),
+					res.Coordinator.NodesExplored)
+				return nil
+			})
+		}
+	}
+
+	// The same diagnostics the in-process modes print, fetched through the
+	// typed admin API instead of local method calls.
+	if shardStats {
+		shards, err := probe.AdminShardInfo(context.Background())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("\nper-shard stats of the server:")
+		for _, si := range shards {
+			fmt.Printf("  shard %-3d pending=%-5d matches=%-7d answered=%-7d escalations=%-5d relations=%v\n",
+				si.ID, si.Pending, si.Stats.Matches, si.Stats.Answered, si.Stats.Escalations, si.Relations)
+		}
+	}
+	if st, ok, err := probe.AdminWALStats(context.Background()); err == nil && ok {
+		fmt.Printf("\ndurability of the server:\n%s", st)
 	}
 }

@@ -8,26 +8,46 @@
 // audience: pending-query tables filling up, the entanglement graph gaining
 // edges, and matches collapsing it.
 //
+// With -connect the tool instead inspects a *running* youtopia-server over
+// TCP: the wire protocol v2 admin surface returns structured snapshots
+// (coord.StatsSnapshot, []coord.ShardInfo, []coord.PendingInfo,
+// core.WALStats) and the tool renders them client-side — as text, or as
+// machine-readable JSON with -json.
+//
 // Usage:
 //
 //	youtopia-admin                 # run every scenario
 //	youtopia-admin -scenario pair  # pair | trip | group | adhoc
+//	youtopia-admin -connect 127.0.0.1:7717 [-json]   # inspect a live server
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/server"
 	"repro/internal/travel"
 )
 
 func main() {
 	scenario := flag.String("scenario", "all", "pair | trip | group | adhoc | all")
 	shards := flag.Int("shards", 0, "coordination lanes (0 = GOMAXPROCS, 1 = the paper's single serialized round)")
+	connect := flag.String("connect", "", "inspect a running youtopia-server at this address instead of running scenarios")
+	asJSON := flag.Bool("json", false, "with -connect: emit the admin snapshot as JSON")
 	flag.Parse()
+
+	if *connect != "" {
+		if err := inspect(*connect, *asJSON); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	run := func(name string, f func(*travel.Service) error) {
 		if *scenario != "all" && *scenario != name {
@@ -50,6 +70,74 @@ func main() {
 	run("trip", tripScenario)
 	run("group", groupScenario)
 	run("adhoc", adhocScenario)
+}
+
+// inspect fetches a live server's admin state through the typed v2 admin
+// API and renders it client-side — no fmt-formatted text crosses the wire.
+func inspect(addr string, asJSON bool) error {
+	c, err := server.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	ctx := context.Background()
+
+	stats, err := c.AdminStats(ctx)
+	if err != nil {
+		return err
+	}
+	shards, err := c.AdminShardInfo(ctx)
+	if err != nil {
+		return err
+	}
+	pending, err := c.AdminPendingList(ctx)
+	if err != nil {
+		return err
+	}
+	walStats, durable, err := c.AdminWALStats(ctx)
+	if err != nil {
+		return err
+	}
+
+	if asJSON {
+		doc := map[string]any{
+			"stats":   stats,
+			"shards":  shards,
+			"pending": pending,
+			"durable": durable,
+		}
+		if durable {
+			doc["wal"] = walStats
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(doc)
+	}
+
+	fmt.Printf("server %s\n\n=== Stats ===\n  submitted=%d answered=%d matches=%d parked=%d canceled=%d expired=%d retries=%d escalations=%d nodes=%d groundings=%d/%d ok\n",
+		addr, stats.Submitted, stats.Answered, stats.Matches, stats.Parked, stats.Canceled,
+		stats.Expired, stats.Retries, stats.Escalations, stats.NodesExplored,
+		stats.GroundingAttempts-stats.GroundingFailures, stats.GroundingAttempts)
+	fmt.Printf("\n=== Coordination lanes (%d) ===\n", len(shards))
+	for _, si := range shards {
+		fmt.Printf("  shard %d: pending=%d matches=%d answered=%d escalations=%d relations=%v\n",
+			si.ID, si.Pending, si.Stats.Matches, si.Stats.Answered, si.Stats.Escalations, si.Relations)
+	}
+	fmt.Printf("\n=== Pending entangled queries (%d) ===\n", len(pending))
+	for _, p := range pending {
+		owner := p.Owner
+		if owner == "" {
+			owner = "-"
+		}
+		fmt.Printf("  [q%d] owner=%s waiting=%s\n        %s\n", p.ID, owner, p.Waiting.Round(time.Millisecond), p.Logic)
+	}
+	fmt.Printf("\n=== Durability ===\n")
+	if durable {
+		fmt.Print(walStats)
+	} else {
+		fmt.Println("  not durable (server runs without a WAL)")
+	}
+	return nil
 }
 
 func dump(svc *travel.Service, caption string) {

@@ -9,6 +9,7 @@
 //	\seed      load the demo travel catalog (Flights/Hotels/SeatPairs)
 //	\fig1      load exactly the Figure 1(a) database
 //	\state     dump the coordination component's internal state
+//	\stats     coordination counters (typed; JSON under -json)
 //	\wal       durability-layer snapshot (segments, group-commit counters)
 //	\pending   list pending entangled queries
 //	\why <id>  diagnose why a query is still pending
@@ -20,14 +21,19 @@
 // form (heads, constraints, generators, safety) without executing it.
 // BEGIN/COMMIT/ROLLBACK open interactive transactions.
 //
+// The -json flag switches the introspection meta commands (\stats,
+// \shards, \pending, \wal) to machine-readable JSON — the same typed
+// snapshots the wire protocol v2 admin surface serves.
+//
 // Usage:
 //
-//	youtopia-cli [-seed] [-owner NAME]
+//	youtopia-cli [-seed] [-owner NAME] [-json]
 //	echo "SELECT ...;" | youtopia-cli -seed
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -47,7 +53,9 @@ func main() {
 	owner := flag.String("owner", "cli", "owner label for entangled queries")
 	walPath := flag.String("wal", "", "write-ahead log directory (enables durability)")
 	walSync := flag.Bool("walsync", false, "fsync each statement's records (group-committed)")
+	jsonOut := flag.Bool("json", false, "render \\stats/\\shards/\\pending/\\wal as JSON")
 	flag.Parse()
+	metaJSON = *jsonOut
 
 	sys := core.NewSystem(core.Config{WALPath: *walPath, WALSync: *walSync})
 	if err := sys.Err(); err != nil {
@@ -145,6 +153,18 @@ func isTerminalLike() bool {
 	return err == nil && (fi.Mode()&os.ModeCharDevice) != 0
 }
 
+// metaJSON switches the introspection meta commands to JSON output.
+var metaJSON bool
+
+// printJSON renders any typed admin snapshot machine-readably.
+func printJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fmt.Println("error:", err)
+	}
+}
+
 func meta(sys *core.System, cmd string) bool {
 	switch strings.Fields(cmd)[0] {
 	case `\quit`, `\q`:
@@ -163,17 +183,32 @@ func meta(sys *core.System, cmd string) bool {
 		}
 	case `\state`:
 		fmt.Print(sys.Coordinator().DumpState())
+	case `\stats`:
+		if metaJSON {
+			printJSON(sys.Coordinator().Stats())
+			break
+		}
+		fmt.Printf("%+v\n", sys.Coordinator().Stats())
 	case `\shards`:
+		if metaJSON {
+			printJSON(sys.Coordinator().Shards())
+			break
+		}
 		for _, si := range sys.Coordinator().Shards() {
 			fmt.Printf("shard %d: pending=%d relations=%v matches=%d answered=%d escalations=%d\n",
 				si.ID, si.Pending, si.Relations, si.Stats.Matches, si.Stats.Answered, si.Stats.Escalations)
 		}
 	case `\wal`:
-		if st, ok := sys.WALStatsSnapshot(); ok {
-			fmt.Print(st)
-		} else {
+		st, ok := sys.WALStatsSnapshot()
+		if !ok {
 			fmt.Println("not durable (run with -wal DIR)")
+			break
 		}
+		if metaJSON {
+			printJSON(st)
+			break
+		}
+		fmt.Print(st)
 	case `\dot`:
 		fmt.Print(sys.Coordinator().DOT())
 	case `\why`:
@@ -198,11 +233,15 @@ func meta(sys *core.System, cmd string) bool {
 				cd.Constraint, cd.PendingHeads, cd.InstalledHits)
 		}
 	case `\pending`:
+		if metaJSON {
+			printJSON(sys.Coordinator().Pending())
+			break
+		}
 		for _, p := range sys.Coordinator().Pending() {
 			fmt.Printf("q%d [%s] waiting %s: %s\n", p.ID, p.Owner, p.Waiting.Round(1e6), p.Logic)
 		}
 	case `\help`:
-		fmt.Println(`\seed \fig1 \state \shards \wal \pending \why <id> \dot \quit — SQL statements end with ';'. Prefix EXPLAIN to see an entangled query's compiled form.`)
+		fmt.Println(`\seed \fig1 \state \stats \shards \wal \pending \why <id> \dot \quit — SQL statements end with ';'. Prefix EXPLAIN to see an entangled query's compiled form. -json renders \stats/\shards/\pending/\wal machine-readably.`)
 	default:
 		fmt.Println("unknown meta command; \\help for help")
 	}

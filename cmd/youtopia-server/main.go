@@ -1,7 +1,12 @@
 // Command youtopia-server runs Youtopia as a standalone database process the
 // middle tier connects to over TCP — the deployment shape of the paper's
-// three-tier demo architecture (Figure 2). The wire protocol is
-// line-delimited JSON; see internal/server.
+// three-tier demo architecture (Figure 2). Connections speak wire protocol
+// v2 (length-prefixed binary frames, multiplexed requests, typed admin
+// responses); legacy line-delimited JSON clients are auto-detected by their
+// first byte and served by the old codec. See internal/server.
+//
+// Inspect a running server with `youtopia-admin -connect ADDR [-json]`;
+// load it with `loadgen -net ADDR`.
 //
 // Usage:
 //

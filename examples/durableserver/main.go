@@ -7,13 +7,17 @@
 // The log is the segmented binary WAL (on-disk format v2): length-prefixed
 // CRC32C-checksummed records in rotating segment files, group-committed
 // fsyncs at every statement boundary (WALSync), and torn-tail-tolerant
-// recovery. The first life ends by asking the server for its durability
-// snapshot over the wire (admin "wal").
+// recovery. The clients speak wire protocol v2 (binary frames, multiplexed
+// requests, typed admin responses). The first life ends by asking the
+// server for its durability snapshot over the wire — as a typed
+// core.WALStats the middle tier can compute with, rendered to text
+// client-side.
 //
 // Run: go run ./examples/durableserver
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -83,7 +87,13 @@ func main() {
 	}
 	fmt.Printf("pending before shutdown: %d\n", sys.Coordinator().PendingCount())
 
-	// The durability layer, as any remote admin sees it.
+	// The durability layer, as any remote admin sees it: a typed snapshot —
+	// the middle tier can read counters instead of parsing text — plus the
+	// classic rendering, now produced client-side from the same data.
+	if st, durable, err := kramer.AdminWALStats(context.Background()); err == nil && durable {
+		fmt.Printf("admin wal (typed) → %d records in %d fsyncs across %d segment(s)\n",
+			st.Commits.Records, st.Commits.Syncs, len(st.Segments))
+	}
 	if text, err := kramer.AdminWAL(); err == nil {
 		fmt.Printf("admin wal →\n%s", text)
 	}

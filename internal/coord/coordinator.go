@@ -358,11 +358,11 @@ func (c *Coordinator) finalize(res *installResult) map[string][]value.Tuple {
 			}
 			installed[rel] = append(installed[rel], a.Tuples...)
 		}
-		m.handle.ch <- Outcome{
+		m.handle.deliver(Outcome{
 			QueryID:   m.id,
 			Answers:   answers,
 			MatchSize: len(res.members),
-		}
+		})
 	}
 	if installed == nil {
 		// Defensive: a nil map means FullRetryOnMatch to retryIn; an
@@ -552,7 +552,7 @@ func (c *Coordinator) expireIn(ln *lane, now time.Time) int {
 			}
 			sh.stats.Expired.Add(1)
 			expired++
-			p.handle.ch <- Outcome{QueryID: p.id, Canceled: true}
+			p.handle.deliver(Outcome{QueryID: p.id, Canceled: true})
 		}
 	}
 	return expired
@@ -575,7 +575,7 @@ func (c *Coordinator) Cancel(id uint64) bool {
 		return false
 	}
 	sh.stats.Canceled.Add(1)
-	p.handle.ch <- Outcome{QueryID: id, Canceled: true}
+	p.handle.deliver(Outcome{QueryID: id, Canceled: true})
 	return true
 }
 

@@ -1,0 +1,54 @@
+package coord
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestHandleNotify pins the delivery contract the wire server relies on:
+// every callback runs exactly once with the outcome, whether registered
+// before or after delivery, and channel consumers still see the outcome.
+func TestHandleNotify(t *testing.T) {
+	h := &Handle{ID: 7, ch: make(chan Outcome, 1)}
+	var got []Outcome
+	h.Notify(func(o Outcome) { got = append(got, o) })
+	h.Notify(func(o Outcome) { got = append(got, o) })
+	h.deliver(Outcome{QueryID: 7, MatchSize: 2})
+	if len(got) != 2 || got[0].MatchSize != 2 || got[1].MatchSize != 2 {
+		t.Fatalf("callbacks = %+v", got)
+	}
+	// The channel got the outcome too (Wait/Done callers are unaffected).
+	if out, ok := h.TryOutcome(); !ok || out.QueryID != 7 {
+		t.Fatalf("channel delivery lost: %+v %v", out, ok)
+	}
+	// Late registration fires immediately with the stored outcome.
+	fired := false
+	h.Notify(func(o Outcome) { fired = o.QueryID == 7 })
+	if !fired {
+		t.Fatal("post-delivery Notify did not fire")
+	}
+}
+
+// TestHandleNotifyConcurrent races registration against delivery: the
+// callback must fire exactly once either way.
+func TestHandleNotifyConcurrent(t *testing.T) {
+	for i := 0; i < 200; i++ {
+		h := &Handle{ID: 1, ch: make(chan Outcome, 1)}
+		var mu sync.Mutex
+		fires := 0
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			h.deliver(Outcome{QueryID: 1})
+		}()
+		go func() {
+			defer wg.Done()
+			h.Notify(func(Outcome) { mu.Lock(); fires++; mu.Unlock() })
+		}()
+		wg.Wait()
+		if fires != 1 {
+			t.Fatalf("iteration %d: callback fired %d times", i, fires)
+		}
+	}
+}

@@ -47,6 +47,45 @@ type Answer struct {
 type Handle struct {
 	ID uint64
 	ch chan Outcome
+
+	mu        sync.Mutex
+	notify    []func(Outcome)
+	delivered bool
+	out       Outcome
+}
+
+// deliver publishes the outcome exactly once: into the buffered channel
+// (Wait/Done/TryOutcome) and to every registered Notify callback. It is
+// called by the coordinator with lane locks held, so callbacks must not
+// block.
+func (h *Handle) deliver(out Outcome) {
+	h.mu.Lock()
+	h.delivered, h.out = true, out
+	fns := h.notify
+	h.notify = nil
+	h.mu.Unlock()
+	h.ch <- out // cap 1; delivery happens exactly once, so this never blocks
+	for _, fn := range fns {
+		fn(out)
+	}
+}
+
+// Notify registers fn to run exactly once with the outcome, as soon as it is
+// delivered — or immediately if it already was. Unlike Wait, Notify costs no
+// goroutine: the server's connection writer uses it to turn coordination
+// outcomes into queued wire events without a goroutine per pending query.
+// fn runs on the delivering goroutine, which may hold coordination locks:
+// it must not block and must not call back into the coordinator.
+func (h *Handle) Notify(fn func(Outcome)) {
+	h.mu.Lock()
+	if h.delivered {
+		out := h.out
+		h.mu.Unlock()
+		fn(out)
+		return
+	}
+	h.notify = append(h.notify, fn)
+	h.mu.Unlock()
 }
 
 // Wait blocks until the query is answered or canceled, or until done is

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func ctxSystem(t *testing.T) *System { return seeded(t) }
+
+// pairCtxQuery is self's half of a two-person coordination on R.
+func pairCtxQuery(self, friend string) string {
+	return `SELECT '` + self + `', fno INTO ANSWER R
+		WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris')
+		AND ('` + friend + `', fno) IN ANSWER R CHOOSE 1`
+}
+
+// lonerQuery's partner never arrives, so it parks forever.
+func lonerQuery() string { return pairCtxQuery("K", "Ghost") }
+
+// TestExecuteContextPreflight: a dead context gates entry before any work.
+func TestExecuteContextPreflight(t *testing.T) {
+	sys := ctxSystem(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sys.ExecuteContext(ctx, "SELECT fno FROM Flights", ""); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if _, err := sys.SubmitContext(ctx, lonerQuery(), "k"); !errors.Is(err, context.Canceled) {
+		t.Errorf("submit err = %v, want context.Canceled", err)
+	}
+}
+
+// TestSubmitContextCancelWithdraws: canceling the context withdraws a
+// pending entangled query; its handle fires with Canceled.
+func TestSubmitContextCancelWithdraws(t *testing.T) {
+	sys := ctxSystem(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	h, err := sys.SubmitContext(ctx, lonerQuery(), "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Coordinator().PendingCount() != 1 {
+		t.Fatalf("pending = %d", sys.Coordinator().PendingCount())
+	}
+	cancel()
+	select {
+	case out := <-h.Done():
+		if !out.Canceled {
+			t.Errorf("outcome = %+v, want canceled", out)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("context cancel did not withdraw the query")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for sys.Coordinator().PendingCount() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("query still pending")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestSubmitContextDeadlineExpires: a deadline alone (no explicit cancel)
+// withdraws the query when it passes — the coordinator TTL mapping.
+func TestSubmitContextDeadlineExpires(t *testing.T) {
+	sys := ctxSystem(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	h, err := sys.SubmitContext(ctx, lonerQuery(), "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case out := <-h.Done():
+		if !out.Canceled {
+			t.Errorf("outcome = %+v, want canceled", out)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("deadline did not withdraw the query")
+	}
+}
+
+// TestSubmitContextAnsweredBeforeCancel: a query answered while the context
+// is still live is unaffected by a later cancel — the watch was released at
+// delivery (no spurious coordinator call, no stuck state).
+func TestSubmitContextAnsweredBeforeCancel(t *testing.T) {
+	sys := ctxSystem(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	hK, err := sys.SubmitContext(ctx, pairCtxQuery("Kramer", "Jerry"), "kramer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Submit(pairCtxQuery("Jerry", "Kramer"), "jerry"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case out := <-hK.Done():
+		if out.Canceled {
+			t.Fatalf("outcome = %+v", out)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no match")
+	}
+	cancel() // must be a no-op for the already-answered query
+	if got := sys.Coordinator().Stats().Canceled; got != 0 {
+		t.Errorf("canceled = %d after post-answer ctx cancel", got)
+	}
+}
+
+// TestSessionExecuteContext: the session path binds entangled submissions to
+// the context exactly like the system path (the server's per-connection
+// context relies on this).
+func TestSessionExecuteContext(t *testing.T) {
+	sys := ctxSystem(t)
+	sess := NewSession(sys)
+	defer sess.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	resp, err := sess.ExecuteContext(ctx, lonerQuery(), "k")
+	if err != nil || !resp.Entangled {
+		t.Fatalf("%+v %v", resp, err)
+	}
+	cancel()
+	select {
+	case out := <-resp.Handle.Done():
+		if !out.Canceled {
+			t.Errorf("outcome = %+v", out)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("session ctx cancel did not withdraw")
+	}
+}

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -256,6 +257,57 @@ func (s *System) Execute(src, owner string) (*Response, error) {
 		return s.submitEntangled(es, src, owner)
 	}
 	return s.ExecuteStmt(stmt, owner)
+}
+
+// ExecuteContext is Execute with cancellation plumbing. The context is
+// checked before any work starts, and an entangled submission stays bound to
+// it afterwards: when ctx is canceled or its deadline passes while the query
+// is still pending, the query is withdrawn from the coordinator (its handle
+// fires with Canceled). Plain statements are not interruptible mid-execution;
+// for them the context is a pre-flight gate only.
+func (s *System) ExecuteContext(ctx context.Context, src, owner string) (*Response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	resp, err := s.Execute(src, owner)
+	if err != nil {
+		return nil, err
+	}
+	s.bindContext(ctx, resp)
+	return resp, nil
+}
+
+// SubmitContext is Submit bound to a context: cancellation or deadline
+// expiry withdraws the pending query (the paper's TTL/cancel path).
+func (s *System) SubmitContext(ctx context.Context, src, owner string) (*coord.Handle, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	h, err := s.Submit(src, owner)
+	if err != nil {
+		return nil, err
+	}
+	s.bindHandle(ctx, h)
+	return h, nil
+}
+
+// bindContext attaches an entangled response's handle to ctx.
+func (s *System) bindContext(ctx context.Context, resp *Response) {
+	if resp != nil && resp.Entangled && resp.Handle != nil {
+		s.bindHandle(ctx, resp.Handle)
+	}
+}
+
+// bindHandle arranges for ctx's cancellation to withdraw the query, and for
+// the query's own completion to release the watch (so long-lived contexts —
+// e.g. one per server connection — do not accumulate dead watchers).
+func (s *System) bindHandle(ctx context.Context, h *coord.Handle) {
+	if ctx.Done() == nil {
+		return // context.Background(): nothing to watch
+	}
+	id := h.ID
+	stop := context.AfterFunc(ctx, func() { s.coord.Cancel(id) })
+	h.Notify(func(coord.Outcome) { stop() })
 }
 
 func (s *System) submitEntangled(es *sql.EntangledSelect, src, owner string) (*Response, error) {

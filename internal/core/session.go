@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -54,6 +55,24 @@ func (s *Session) Execute(src, owner string) (*Response, error) {
 		return nil, err
 	}
 	return s.ExecuteStmt(stmt, owner)
+}
+
+// ExecuteContext is Execute with cancellation plumbing: the context gates
+// entry, and an entangled submission is withdrawn from the coordinator when
+// ctx is canceled or its deadline passes while the query is still pending
+// (see System.ExecuteContext). The wire server runs every statement through
+// this, with one context per connection: dropping the connection cancels the
+// context, which withdraws every entangled query the connection still owns.
+func (s *Session) ExecuteContext(ctx context.Context, src, owner string) (*Response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	resp, err := s.Execute(src, owner)
+	if err != nil {
+		return nil, err
+	}
+	s.sys.bindContext(ctx, resp)
+	return resp, nil
 }
 
 // ExecuteStmt is Execute for pre-parsed statements.

@@ -2,29 +2,61 @@ package server
 
 import (
 	"bufio"
-	"encoding/json"
+	"context"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
+	"repro/internal/coord"
+	"repro/internal/core"
 	"repro/internal/value"
 )
 
-// Client is a middle-tier connection to a Youtopia server.
+// Client is a middle-tier connection to a Youtopia server, speaking wire
+// protocol v2 (binary frames; see protocol.go). The connection is fully
+// multiplexed: any number of requests may be in flight concurrently, each
+// correlated by id, and asynchronous coordination events are routed to the
+// channel returned by Submit. All methods are safe for concurrent use.
+//
+// Methods without a context parameter are conveniences over the *Context
+// variants with context.Background(). A context deadline on Submit is also
+// sent to the server, which withdraws the entangled query when the deadline
+// passes before coordination — the wire form of the coordinator's TTL.
 type Client struct {
 	conn net.Conn
-	enc  *json.Encoder
+
+	wmu  sync.Mutex // serializes frame writes
+	wbuf frameBuf
 
 	mu      sync.Mutex
 	nextID  uint64
-	replies map[uint64]chan Response // request id → reply slot
-	watches map[uint64]chan Event    // entangled query id → event channel
+	calls   map[uint64]*clientCall // request id → in-flight call
+	watches map[uint64]chan Event  // entangled query id → event channel
 	// early holds events that arrived before their watch was registered
 	// (the server's answer push can overtake the registration reply).
-	early   map[uint64]Event
-	closed  bool
-	readErr error
-	done    chan struct{}
+	early map[uint64]Event
+	// orphans are query ids whose SubmitContext was abandoned by context
+	// cancellation: their one eventual event (canceled or answered) is
+	// dropped instead of parking in early forever.
+	orphans     map[uint64]struct{}
+	maxInFlight int // high-water mark of concurrently in-flight requests
+	closed      bool
+	readErr     error
+	done        chan struct{}
+}
+
+// clientCall accumulates the reply to one request. Result sets arrive as a
+// header frame plus row batches; everything else completes in one frame.
+type clientCall struct {
+	ch  chan clientReply
+	res *QueryResult // streaming result under assembly
+}
+
+type clientReply struct {
+	rp  reply
+	res *QueryResult
+	err error
 }
 
 // Event is an asynchronous coordination outcome pushed by the server.
@@ -48,18 +80,23 @@ type QueryResult struct {
 	Affected int
 }
 
-// Dial connects to a Youtopia server.
+// Dial connects to a Youtopia server with the v2 framed protocol.
+// (DialLegacy speaks the line-delimited JSON protocol of older servers.)
 func Dial(addr string) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
+	if _, err := conn.Write(v2Magic[:]); err != nil {
+		conn.Close()
+		return nil, err
+	}
 	c := &Client{
 		conn:    conn,
-		enc:     json.NewEncoder(conn),
-		replies: make(map[uint64]chan Response),
+		calls:   make(map[uint64]*clientCall),
 		watches: make(map[uint64]chan Event),
 		early:   make(map[uint64]Event),
+		orphans: make(map[uint64]struct{}),
 		done:    make(chan struct{}),
 	}
 	go c.readLoop()
@@ -81,51 +118,66 @@ func (c *Client) Close() error {
 	return err
 }
 
+// MaxInFlight reports the high-water mark of concurrently outstanding
+// requests on this connection — the observable face of multiplexing.
+func (c *Client) MaxInFlight() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.maxInFlight
+}
+
 func (c *Client) readLoop() {
 	defer close(c.done)
-	sc := bufio.NewScanner(c.conn)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		var resp Response
-		if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
-			continue
+	br := bufio.NewReaderSize(c.conn, 64<<10)
+	var rbuf []byte
+	for {
+		payload, err := readFrame(br, rbuf)
+		rbuf = payload
+		if err != nil {
+			break
 		}
-		if resp.Event != "" {
-			ev := Event{Query: resp.Query, Canceled: resp.Event == "canceled", MatchSize: resp.MatchSize}
-			for _, a := range resp.Answers {
-				ca := ClientAnswer{Relation: a.Relation}
-				for _, t := range a.Tuples {
-					ca.Tuples = append(ca.Tuples, decodeTuple(t))
-				}
-				ev.Answers = append(ev.Answers, ca)
-			}
+		rp, err := decodeReply(payload)
+		if err != nil {
+			break // protocol error: fail the connection
+		}
+		switch rp.kind {
+		case kindEvent:
+			c.routeEvent(rp.event)
+		case kindResult:
 			c.mu.Lock()
-			ch := c.watches[ev.Query]
-			if ch == nil {
-				c.early[ev.Query] = ev // watch not registered yet
-			} else {
-				delete(c.watches, ev.Query)
+			if call := c.calls[rp.id]; call != nil {
+				call.res = &QueryResult{Cols: rp.cols, Affected: rp.affected}
 			}
 			c.mu.Unlock()
-			if ch != nil {
-				ch <- ev
+		case kindRows:
+			c.mu.Lock()
+			if call := c.calls[rp.id]; call != nil && call.res != nil {
+				call.res.Rows = append(call.res.Rows, rp.rows...)
 			}
-			continue
-		}
-		c.mu.Lock()
-		ch := c.replies[resp.ID]
-		delete(c.replies, resp.ID)
-		c.mu.Unlock()
-		if ch != nil {
-			ch <- resp
+			c.mu.Unlock()
+		case kindResultEnd:
+			c.complete(rp.id, func(call *clientCall) clientReply {
+				return clientReply{rp: rp, res: call.res}
+			})
+		case kindError:
+			c.complete(rp.id, func(*clientCall) clientReply {
+				return clientReply{rp: rp, err: fmt.Errorf("server: %s", rp.text)}
+			})
+		default: // kindOK, kindEntangled, kindAdminResp
+			c.complete(rp.id, func(*clientCall) clientReply {
+				return clientReply{rp: rp}
+			})
 		}
 	}
-	// Connection gone: fail all waiters.
+	// Connection gone (EOF, or a reply we could not decode): close the
+	// socket too — a protocol error must tear the connection down on both
+	// sides, not leave the fd and the server's session state alive.
+	c.conn.Close()
 	c.mu.Lock()
 	c.readErr = ErrClosed
-	for id, ch := range c.replies {
-		delete(c.replies, id)
-		ch <- Response{Error: ErrClosed.Error()}
+	for id, call := range c.calls {
+		delete(c.calls, id)
+		call.ch <- clientReply{err: ErrClosed}
 	}
 	for id, ch := range c.watches {
 		delete(c.watches, id)
@@ -134,132 +186,365 @@ func (c *Client) readLoop() {
 	c.mu.Unlock()
 }
 
-func decodeTuple(vals []any) value.Tuple {
-	t := make(value.Tuple, len(vals))
-	for i, v := range vals {
-		t[i] = DecodeValue(v)
+func (c *Client) complete(id uint64, mk func(*clientCall) clientReply) {
+	c.mu.Lock()
+	call := c.calls[id]
+	delete(c.calls, id)
+	c.mu.Unlock()
+	if call != nil {
+		call.ch <- mk(call)
 	}
-	return t
 }
 
-// call sends a request and waits for its correlated reply.
-func (c *Client) call(req Request) (Response, error) {
-	ch := make(chan Response, 1)
+func (c *Client) routeEvent(out coord.Outcome) {
+	ev := Event{Query: out.QueryID, Canceled: out.Canceled, MatchSize: out.MatchSize}
+	for _, a := range out.Answers {
+		ev.Answers = append(ev.Answers, ClientAnswer{Relation: a.Relation, Tuples: a.Tuples})
+	}
+	c.mu.Lock()
+	if _, orphaned := c.orphans[ev.Query]; orphaned {
+		delete(c.orphans, ev.Query) // abandoned submit: exactly one event comes
+		c.mu.Unlock()
+		return
+	}
+	ch := c.watches[ev.Query]
+	if ch == nil {
+		c.early[ev.Query] = ev // watch not registered yet
+	} else {
+		delete(c.watches, ev.Query)
+	}
+	c.mu.Unlock()
+	if ch != nil {
+		ch <- ev
+	}
+}
+
+// send registers a call slot and writes one frame built by enc. Multiple
+// goroutines may send concurrently; each gets its own correlation id.
+func (c *Client) send(enc func(f *frameBuf, id uint64) error) (*clientCall, uint64, error) {
+	call := &clientCall{ch: make(chan clientReply, 1)}
 	c.mu.Lock()
 	if c.closed || c.readErr != nil {
 		c.mu.Unlock()
-		return Response{}, ErrClosed
+		return nil, 0, ErrClosed
 	}
 	c.nextID++
-	req.ID = c.nextID
-	c.replies[req.ID] = ch
-	err := c.enc.Encode(req)
+	id := c.nextID
+	c.calls[id] = call
+	if n := len(c.calls); n > c.maxInFlight {
+		c.maxInFlight = n
+	}
 	c.mu.Unlock()
-	if err != nil {
-		return Response{}, err
+
+	c.wmu.Lock()
+	c.wbuf.reset()
+	encErr := enc(&c.wbuf, id)
+	var writeErr error
+	if encErr == nil {
+		_, writeErr = c.conn.Write(c.wbuf.b)
 	}
-	resp := <-ch
-	if resp.Error != "" {
-		return resp, fmt.Errorf("server: %s", resp.Error)
+	c.wmu.Unlock()
+	if encErr != nil {
+		// Nothing hit the wire (end() truncates the frame it rejects), so
+		// the stream is still framed: fail just this call.
+		c.mu.Lock()
+		delete(c.calls, id)
+		c.mu.Unlock()
+		return nil, 0, encErr
 	}
-	return resp, nil
+	if writeErr != nil {
+		// A partial frame write leaves the stream unframeable: a later
+		// frame would start mid-payload and mis-correlate on the server.
+		// Poison the connection — the read loop tears down every waiter.
+		c.mu.Lock()
+		delete(c.calls, id)
+		if c.readErr == nil {
+			c.readErr = writeErr
+		}
+		c.mu.Unlock()
+		c.conn.Close()
+		return nil, 0, writeErr
+	}
+	return call, id, nil
 }
 
-// Query executes a plain SQL statement remotely.
-func (c *Client) Query(sql string) (*QueryResult, error) {
-	resp, err := c.call(Request{SQL: sql})
+// await waits for a call's reply or the context's cancellation. An
+// abandoned reply is dropped when it arrives (the slot is unregistered).
+func (c *Client) await(ctx context.Context, call *clientCall, id uint64) (clientReply, error) {
+	select {
+	case r := <-call.ch:
+		return r, r.err
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.calls, id)
+		c.mu.Unlock()
+		return clientReply{}, ctx.Err()
+	}
+}
+
+func (c *Client) roundTrip(ctx context.Context, enc func(f *frameBuf, id uint64) error) (clientReply, error) {
+	if err := ctx.Err(); err != nil {
+		return clientReply{}, err
+	}
+	call, id, err := c.send(enc)
+	if err != nil {
+		return clientReply{}, err
+	}
+	return c.await(ctx, call, id)
+}
+
+// ttlFrom maps a context deadline onto the wire TTL (0 = none). Sub-
+// millisecond remainders round up so a short-but-live deadline is not sent
+// as "no TTL".
+func ttlFrom(ctx context.Context) time.Duration {
+	d, ok := ctx.Deadline()
+	if !ok {
+		return 0
+	}
+	ttl := time.Until(d)
+	if ttl <= 0 {
+		return time.Millisecond
+	}
+	return ttl.Round(time.Millisecond) + time.Millisecond
+}
+
+// QueryContext executes a plain SQL statement remotely.
+func (c *Client) QueryContext(ctx context.Context, sql string) (*QueryResult, error) {
+	r, err := c.roundTrip(ctx, func(f *frameBuf, id uint64) error {
+		return f.appendExec(id, sql, "", 0)
+	})
 	if err != nil {
 		return nil, err
 	}
-	if resp.Entangled {
+	switch r.rp.kind {
+	case kindResultEnd:
+		return r.res, nil
+	case kindOK:
+		return &QueryResult{}, nil
+	case kindEntangled:
 		return nil, fmt.Errorf("server: Query cannot run entangled statements; use Submit")
+	default:
+		return nil, fmt.Errorf("server: unexpected reply kind 0x%02x", r.rp.kind)
 	}
-	out := &QueryResult{Cols: resp.Cols, Affected: resp.Affected}
-	for _, row := range resp.Rows {
-		out.Rows = append(out.Rows, decodeTuple(row))
-	}
-	return out, nil
 }
 
-// Submit registers an entangled query remotely; the returned channel yields
-// the coordination outcome when the server pushes it.
-func (c *Client) Submit(sql, owner string) (uint64, <-chan Event, error) {
-	ch := make(chan Event, 1)
-	// Register the watch before sending so a fast answer cannot race the
-	// registration. We do not know the query id yet, so park under 0 and
-	// re-key on reply.
-	resp, err := c.callSubmit(Request{SQL: sql, Owner: owner}, ch)
+// Query is QueryContext with context.Background().
+func (c *Client) Query(sql string) (*QueryResult, error) {
+	return c.QueryContext(context.Background(), sql)
+}
+
+// SubmitContext registers an entangled query remotely; the returned channel
+// yields the coordination outcome when the server pushes it. A context
+// deadline travels to the server as a TTL: if coordination has not happened
+// by then, the query is withdrawn server-side and the event arrives with
+// Canceled set.
+func (c *Client) SubmitContext(ctx context.Context, sql, owner string) (uint64, <-chan Event, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, nil, err
+	}
+	watch := make(chan Event, 1)
+	ttl := ttlFrom(ctx)
+	call, id, err := c.send(func(f *frameBuf, id uint64) error {
+		return f.appendExec(id, sql, owner, ttl)
+	})
 	if err != nil {
 		return 0, nil, err
 	}
-	return resp.Query, ch, nil
-}
-
-func (c *Client) callSubmit(req Request, watch chan Event) (Response, error) {
-	reply := make(chan Response, 1)
-	c.mu.Lock()
-	if c.closed || c.readErr != nil {
-		c.mu.Unlock()
-		return Response{}, ErrClosed
-	}
-	c.nextID++
-	req.ID = c.nextID
-	c.replies[req.ID] = reply
-	err := c.enc.Encode(req)
-	c.mu.Unlock()
+	r, err := c.awaitSubmit(ctx, call, id)
 	if err != nil {
-		return Response{}, err
+		return 0, nil, err
 	}
-	resp := <-reply
-	if resp.Error != "" {
-		return resp, fmt.Errorf("server: %s", resp.Error)
+	if r.rp.kind != kindEntangled {
+		if r.rp.kind == kindResultEnd || r.rp.kind == kindOK {
+			return 0, nil, fmt.Errorf("server: statement was not entangled; use Query")
+		}
+		return 0, nil, fmt.Errorf("server: unexpected reply kind 0x%02x", r.rp.kind)
 	}
-	if !resp.Entangled {
-		return resp, fmt.Errorf("server: statement was not entangled; use Query")
-	}
+	q := r.rp.query
 	c.mu.Lock()
-	if ev, ok := c.early[resp.Query]; ok {
-		delete(c.early, resp.Query)
+	if ev, ok := c.early[q]; ok {
+		delete(c.early, q)
 		c.mu.Unlock()
 		watch <- ev
-		return resp, nil
+		return q, watch, nil
 	}
-	c.watches[resp.Query] = watch
+	c.watches[q] = watch
 	c.mu.Unlock()
-	return resp, nil
+	return q, watch, nil
 }
 
-// Cancel withdraws a pending entangled query.
-func (c *Client) Cancel(query uint64) error {
-	_, err := c.call(Request{Cancel: query})
+// awaitSubmit is await for the submit path: abandoning on ctx cancellation
+// must not leak the registration. A reaper takes over the call slot, learns
+// the query id from the (possibly still in-flight) entangled ack, withdraws
+// the query server-side and suppresses its one eventual event — otherwise
+// an abandoned submit would stay pending on the server (able to consume a
+// real match nobody hears about) and park its outcome in c.early forever.
+func (c *Client) awaitSubmit(ctx context.Context, call *clientCall, id uint64) (clientReply, error) {
+	select {
+	case r := <-call.ch:
+		return r, r.err
+	case <-ctx.Done():
+		go func() {
+			r := <-call.ch // the read loop always completes or fails the slot
+			if r.err != nil || r.rp.kind != kindEntangled {
+				return // nothing registered server-side
+			}
+			q := r.rp.query
+			c.mu.Lock()
+			if _, ok := c.early[q]; ok {
+				delete(c.early, q) // the outcome already arrived; drop it
+			} else {
+				c.orphans[q] = struct{}{} // exactly one event will come
+			}
+			c.mu.Unlock()
+			c.CancelContext(context.Background(), q) //nolint:errcheck // best effort; "not pending" means it resolved
+		}()
+		return clientReply{}, ctx.Err()
+	}
+}
+
+// Submit is SubmitContext with context.Background().
+func (c *Client) Submit(sql, owner string) (uint64, <-chan Event, error) {
+	return c.SubmitContext(context.Background(), sql, owner)
+}
+
+// CancelContext withdraws a pending entangled query.
+func (c *Client) CancelContext(ctx context.Context, query uint64) error {
+	_, err := c.roundTrip(ctx, func(f *frameBuf, id uint64) error {
+		return f.appendCancel(id, query)
+	})
 	return err
 }
 
-// AdminState fetches the server's coordination-state dump.
+// Cancel is CancelContext with context.Background().
+func (c *Client) Cancel(query uint64) error {
+	return c.CancelContext(context.Background(), query)
+}
+
+// admin performs one typed admin round trip.
+func (c *Client) admin(ctx context.Context, code byte) (reply, error) {
+	r, err := c.roundTrip(ctx, func(f *frameBuf, id uint64) error {
+		return f.appendAdmin(id, code)
+	})
+	if err != nil {
+		return reply{}, err
+	}
+	if r.rp.kind != kindAdminResp || r.rp.admin != code {
+		return reply{}, fmt.Errorf("server: unexpected admin reply kind 0x%02x", r.rp.kind)
+	}
+	return r.rp, nil
+}
+
+// AdminStats fetches the coordinator's merged counters, typed.
+func (c *Client) AdminStats(ctx context.Context) (coord.StatsSnapshot, error) {
+	rp, err := c.admin(ctx, adminStats)
+	return rp.stats, err
+}
+
+// AdminShardInfo fetches per-lane coordination diagnostics, typed.
+func (c *Client) AdminShardInfo(ctx context.Context) ([]coord.ShardInfo, error) {
+	rp, err := c.admin(ctx, adminShards)
+	return rp.shards, err
+}
+
+// AdminPendingList fetches the pending entangled queries, typed.
+func (c *Client) AdminPendingList(ctx context.Context) ([]coord.PendingInfo, error) {
+	rp, err := c.admin(ctx, adminPending)
+	return rp.pending, err
+}
+
+// AdminWALStats fetches the durability-layer snapshot, typed. durable is
+// false when the server runs without a WAL.
+func (c *Client) AdminWALStats(ctx context.Context) (st core.WALStats, durable bool, err error) {
+	rp, err := c.admin(ctx, adminWAL)
+	return rp.walStats, rp.durable, err
+}
+
+// AdminState fetches the server's coordination-state dump (a rendered
+// report; the structured pieces are available via the typed getters).
 func (c *Client) AdminState() (string, error) {
-	resp, err := c.call(Request{Admin: "state"})
-	if err != nil {
-		return "", err
-	}
-	return resp.Text, nil
+	rp, err := c.admin(context.Background(), adminState)
+	return rp.text, err
 }
 
-// AdminShards fetches the server's per-shard coordination diagnostics: one
-// line per lane with its pending count, indexed relations and counters.
+// AdminShards fetches per-lane diagnostics and renders them client-side in
+// the classic one-line-per-shard format.
 func (c *Client) AdminShards() (string, error) {
-	resp, err := c.call(Request{Admin: "shards"})
+	shards, err := c.AdminShardInfo(context.Background())
 	if err != nil {
 		return "", err
 	}
-	return resp.Text, nil
+	return renderShards(shards), nil
 }
 
-// AdminWAL fetches the server's durability-layer snapshot: group-commit
-// counters, recovery summary and the on-disk segment layout.
+// AdminWAL fetches the durability snapshot and renders it client-side.
 func (c *Client) AdminWAL() (string, error) {
-	resp, err := c.call(Request{Admin: "wal"})
+	st, durable, err := c.AdminWALStats(context.Background())
 	if err != nil {
 		return "", err
 	}
-	return resp.Text, nil
+	return renderWAL(st, durable), nil
+}
+
+// call adapts a legacy Request to the v2 wire — the pre-v2 client surface,
+// kept so existing callers (and the original test suite) run unchanged over
+// the new protocol.
+func (c *Client) call(req Request) (Response, error) {
+	ctx := context.Background()
+	switch {
+	case req.Cancel != 0:
+		if err := c.CancelContext(ctx, req.Cancel); err != nil {
+			return Response{}, err
+		}
+		return Response{ID: req.ID, Query: req.Cancel, Text: "canceled"}, nil
+
+	case req.Admin != "":
+		code, ok := adminCode(req.Admin)
+		if !ok {
+			// Let the server reject it, as the legacy codec did.
+			code = 0xFF
+		}
+		rp, err := c.admin(ctx, code)
+		if err != nil {
+			return Response{}, err
+		}
+		out := Response{ID: req.ID}
+		switch code {
+		case adminState:
+			out.Text = rp.text
+		case adminPending:
+			out.Text = renderPending(rp.pending)
+		case adminStats:
+			out.Text = fmt.Sprintf("%+v", rp.stats)
+		case adminShards:
+			out.Text = renderShards(rp.shards)
+		case adminWAL:
+			out.Text = renderWAL(rp.walStats, rp.durable)
+		}
+		return out, nil
+
+	default:
+		// SQL (or empty — the server replies "empty request").
+		r, err := c.roundTrip(ctx, func(f *frameBuf, id uint64) error {
+			return f.appendExec(id, req.SQL, req.Owner, 0)
+		})
+		if err != nil {
+			return Response{}, err
+		}
+		out := Response{ID: req.ID}
+		switch r.rp.kind {
+		case kindResultEnd:
+			if r.res != nil {
+				out.Cols, out.Affected = r.res.Cols, r.res.Affected
+				for _, row := range r.res.Rows {
+					out.Rows = append(out.Rows, encodeTuple(row))
+				}
+			}
+		case kindOK:
+			out.Text = r.rp.text
+		case kindEntangled:
+			out.Entangled, out.Query = true, r.rp.query
+		}
+		return out, nil
+	}
 }

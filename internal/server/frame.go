@@ -1,0 +1,913 @@
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/coord"
+	"repro/internal/core"
+	"repro/internal/value"
+	"repro/internal/wal"
+)
+
+// Wire format v2: length-prefixed binary frames, reusing the WAL's
+// varint/length-prefixed encoding discipline (internal/wal/binary.go). TCP
+// already checksums, so frames carry no CRC — but the decoder is
+// bounds-checked end to end and can never panic on corrupt input (pinned by
+// FuzzFrameDecode).
+//
+//	preamble: "YTP2" — sent once by the client immediately after connect.
+//	          The server auto-detects the codec from the first byte: '{'
+//	          selects the legacy line-delimited JSON codec, 'Y' this one.
+//	frame:    payload length (uint32 LE) | payload
+//	payload:  kind (1 byte) | correlation id (uvarint) | kind-specific body
+//
+// Integers are varints (int64 round-trips exactly — no float64 detour like
+// JSON), floats are 8 raw bytes, strings are length-prefixed, values are
+// tagged with the same tag bytes the WAL uses. Frames are typed by kind, so
+// asynchronous coordination events are structurally distinct from replies
+// and the legacy "id 0 means event" hack disappears. Result sets stream as a
+// header frame plus row-batch frames instead of one giant line.
+
+// v2Magic is the client's codec preamble.
+var v2Magic = [4]byte{'Y', 'T', 'P', '2'}
+
+const (
+	// maxFrameLen bounds one frame so a corrupt length prefix cannot drive a
+	// huge allocation; oversized frames get an explicit kindError reply with
+	// errFrameTooBig before the connection closes.
+	maxFrameLen = 8 << 20
+
+	// rowBatchRows bounds one kindRows frame; large result sets stream in
+	// batches instead of one giant frame.
+	rowBatchRows = 256
+)
+
+// Frame kinds. Client → server:
+const (
+	kindExec   = 0x01 // sql, owner, ttl — execute one statement
+	kindCancel = 0x02 // withdraw an entangled query by id
+	kindAdmin  = 0x03 // typed admin request (admin* code)
+)
+
+// Server → client:
+const (
+	kindOK        = 0x10 // statement done, no result set (txn control, cancel ack)
+	kindResult    = 0x11 // result header: affected count + column names
+	kindRows      = 0x12 // one batch of result rows
+	kindResultEnd = 0x13 // closes the result opened by kindResult
+	kindEntangled = 0x14 // entangled query registered; body carries its id
+	kindEvent     = 0x15 // async coordination outcome (answer / canceled)
+	kindAdminResp = 0x16 // typed admin response (admin* code + payload)
+	kindError     = 0x17 // error reply, correlated by id
+)
+
+// Admin codes shared by kindAdmin and kindAdminResp.
+const (
+	adminState   = 1 // rendered coordination-state report (string)
+	adminPending = 2 // []coord.PendingInfo
+	adminStats   = 3 // coord.StatsSnapshot
+	adminShards  = 4 // []coord.ShardInfo
+	adminWAL     = 5 // core.WALStats (+ a "durable at all" flag)
+)
+
+// Error codes carried by kindError.
+const (
+	errGeneric     = 1 // server-side execution error; message explains
+	errFrameTooBig = 2 // frame length exceeded maxFrameLen
+	errBadFrame    = 3 // frame failed to decode
+)
+
+// adminCode maps the legacy admin command names onto v2 codes.
+func adminCode(name string) (byte, bool) {
+	switch name {
+	case "state":
+		return adminState, true
+	case "pending":
+		return adminPending, true
+	case "stats":
+		return adminStats, true
+	case "shards":
+		return adminShards, true
+	case "wal":
+		return adminWAL, true
+	default:
+		return 0, false
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+
+// frameBuf accumulates one or more frames. Frames are self-delimiting, so a
+// small response (result header + rows + end) can be packed into one buffer
+// and handed to the connection writer as a single write.
+type frameBuf struct {
+	b     []byte
+	start int // offset of the current frame's length prefix
+}
+
+func (f *frameBuf) reset() { f.b = f.b[:0] }
+
+// begin opens a frame; end back-patches its length prefix.
+func (f *frameBuf) begin(kind byte, id uint64) {
+	f.start = len(f.b)
+	f.b = append(f.b, 0, 0, 0, 0, kind)
+	f.b = binary.AppendUvarint(f.b, id)
+}
+
+func (f *frameBuf) end() error {
+	n := len(f.b) - f.start - 4
+	if n > maxFrameLen {
+		f.b = f.b[:f.start]
+		return fmt.Errorf("server: frame payload %d bytes exceeds the %d-byte limit", n, maxFrameLen)
+	}
+	binary.LittleEndian.PutUint32(f.b[f.start:], uint32(n))
+	return nil
+}
+
+// take returns the accumulated frames as an independent slice and resets.
+func (f *frameBuf) take() []byte {
+	out := make([]byte, len(f.b))
+	copy(out, f.b)
+	f.reset()
+	return out
+}
+
+func (f *frameBuf) uvarint(v uint64) { f.b = binary.AppendUvarint(f.b, v) }
+func (f *frameBuf) varint(v int64)   { f.b = binary.AppendVarint(f.b, v) }
+func (f *frameBuf) u8(v byte)        { f.b = append(f.b, v) }
+func (f *frameBuf) bool(v bool)      { f.b = append(f.b, boolByte(v)) }
+func (f *frameBuf) string(s string)  { f.uvarint(uint64(len(s))); f.b = append(f.b, s...) }
+func (f *frameBuf) strings(ss []string) {
+	f.uvarint(uint64(len(ss)))
+	for _, s := range ss {
+		f.string(s)
+	}
+}
+
+func boolByte(v bool) byte {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// value encodes one value with the WAL's tag discipline: NULL 0, INT 1
+// (varint — int64 exact), FLOAT 2 (8 raw bytes), STRING 3, BOOL 4.
+func (f *frameBuf) value(v value.Value) {
+	switch v.Type() {
+	case value.TypeInt:
+		f.u8(1)
+		f.varint(v.Int())
+	case value.TypeFloat:
+		f.u8(2)
+		f.b = binary.LittleEndian.AppendUint64(f.b, math.Float64bits(v.Float()))
+	case value.TypeString:
+		f.u8(3)
+		f.string(v.Str())
+	case value.TypeBool:
+		f.u8(4)
+		f.bool(v.Bool())
+	default: // NULL
+		f.u8(0)
+	}
+}
+
+func (f *frameBuf) tuple(t value.Tuple) {
+	f.uvarint(uint64(len(t)))
+	for _, v := range t {
+		f.value(v)
+	}
+}
+
+func (f *frameBuf) stats(s coord.StatsSnapshot) {
+	for _, v := range [...]uint64{
+		s.Submitted, s.Answered, s.Matches, s.Parked, s.Canceled,
+		s.Expired, s.Retries, s.Escalations, s.NodesExplored,
+		s.GroundingAttempts, s.GroundingFailures,
+	} {
+		f.uvarint(v)
+	}
+}
+
+// appendExec encodes a kindExec request. A positive ttl asks the server to
+// withdraw the entangled query if it is still pending after that long — the
+// wire mapping of a context deadline.
+func (f *frameBuf) appendExec(id uint64, sql, owner string, ttl time.Duration) error {
+	f.begin(kindExec, id)
+	f.string(sql)
+	f.string(owner)
+	if ttl < 0 {
+		ttl = 0
+	}
+	f.uvarint(uint64(ttl / time.Millisecond))
+	return f.end()
+}
+
+func (f *frameBuf) appendCancel(id, query uint64) error {
+	f.begin(kindCancel, id)
+	f.uvarint(query)
+	return f.end()
+}
+
+func (f *frameBuf) appendAdmin(id uint64, code byte) error {
+	f.begin(kindAdmin, id)
+	f.u8(code)
+	return f.end()
+}
+
+func (f *frameBuf) appendOK(id uint64, text string) error {
+	f.begin(kindOK, id)
+	f.string(text)
+	return f.end()
+}
+
+func (f *frameBuf) appendError(id uint64, code byte, msg string) error {
+	f.begin(kindError, id)
+	f.u8(code)
+	f.string(msg)
+	return f.end()
+}
+
+func (f *frameBuf) appendEntangled(id, query uint64) error {
+	f.begin(kindEntangled, id)
+	f.uvarint(query)
+	return f.end()
+}
+
+// appendResult encodes a whole result set: header, row batches, end marker.
+func (f *frameBuf) appendResult(id uint64, cols []string, rows []value.Tuple, affected int) error {
+	f.begin(kindResult, id)
+	f.uvarint(uint64(affected))
+	f.strings(cols)
+	if err := f.end(); err != nil {
+		return err
+	}
+	for off := 0; off < len(rows); off += rowBatchRows {
+		batch := rows[off:]
+		if len(batch) > rowBatchRows {
+			batch = batch[:rowBatchRows]
+		}
+		f.begin(kindRows, id)
+		f.uvarint(uint64(len(batch)))
+		for _, row := range batch {
+			f.tuple(row)
+		}
+		if err := f.end(); err != nil {
+			return err
+		}
+	}
+	f.begin(kindResultEnd, id)
+	return f.end()
+}
+
+// appendEvent encodes an async coordination outcome. Events are typed by
+// kind, not by a magic id: the correlation id slot carries the query id.
+func (f *frameBuf) appendEvent(out coord.Outcome) error {
+	f.begin(kindEvent, out.QueryID)
+	f.bool(out.Canceled)
+	f.uvarint(uint64(out.MatchSize))
+	f.uvarint(uint64(len(out.Answers)))
+	for _, a := range out.Answers {
+		f.string(a.Relation)
+		f.uvarint(uint64(len(a.Tuples)))
+		for _, t := range a.Tuples {
+			f.tuple(t)
+		}
+	}
+	return f.end()
+}
+
+func (f *frameBuf) appendAdminState(id uint64, text string) error {
+	f.begin(kindAdminResp, id)
+	f.u8(adminState)
+	f.string(text)
+	return f.end()
+}
+
+func (f *frameBuf) appendAdminPending(id uint64, ps []coord.PendingInfo) error {
+	f.begin(kindAdminResp, id)
+	f.u8(adminPending)
+	f.uvarint(uint64(len(ps)))
+	for _, p := range ps {
+		f.uvarint(p.ID)
+		f.string(p.Owner)
+		f.string(p.Source)
+		f.string(p.Logic)
+		f.strings(p.Relations)
+		f.varint(int64(p.Waiting))
+	}
+	return f.end()
+}
+
+func (f *frameBuf) appendAdminStats(id uint64, s coord.StatsSnapshot) error {
+	f.begin(kindAdminResp, id)
+	f.u8(adminStats)
+	f.stats(s)
+	return f.end()
+}
+
+func (f *frameBuf) appendAdminShards(id uint64, shards []coord.ShardInfo) error {
+	f.begin(kindAdminResp, id)
+	f.u8(adminShards)
+	f.uvarint(uint64(len(shards)))
+	for _, si := range shards {
+		f.uvarint(uint64(si.ID))
+		f.uvarint(uint64(si.Pending))
+		f.strings(si.Relations)
+		f.stats(si.Stats)
+	}
+	return f.end()
+}
+
+func (f *frameBuf) appendAdminWAL(id uint64, st core.WALStats, durable bool) error {
+	f.begin(kindAdminResp, id)
+	f.u8(adminWAL)
+	f.bool(durable)
+	if durable {
+		c := st.Commits
+		for _, v := range [...]uint64{c.Records, c.Batches, c.Syncs, c.Rotations, c.Compacts} {
+			f.uvarint(v)
+		}
+		r := st.Recovery
+		f.varint(int64(r.Records))
+		f.varint(int64(r.Segments))
+		f.bool(r.Torn)
+		f.varint(r.TornBytes)
+		f.bool(r.Migrated)
+		f.uvarint(uint64(len(st.Segments)))
+		for _, s := range st.Segments {
+			f.uvarint(s.Seq)
+			f.string(s.Path)
+			f.varint(s.Bytes)
+			f.bool(s.Sealed)
+			f.bool(s.Snapshot)
+			f.bool(s.JSON)
+		}
+	}
+	return f.end()
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+
+// readFrame reads one length-prefixed frame into buf (grown as needed),
+// returning the payload. A zero or oversized length is reported as
+// errFrameSize so the caller can send the explicit max-frame-size error the
+// protocol promises before closing.
+var errFrameSize = fmt.Errorf("server: frame length exceeds the %d-byte limit", maxFrameLen)
+
+func readFrame(r *bufio.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return buf, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrameLen {
+		return buf, errFrameSize
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return buf, err
+	}
+	return buf, nil
+}
+
+// frameReader is a bounds-checked cursor over one frame payload. Every read
+// reports an error instead of panicking, so arbitrarily corrupt input
+// degrades to a decode error (the contract FuzzFrameDecode pins).
+type frameReader struct {
+	b   []byte
+	off int
+
+	// shared, when set by internRemaining, is one immutable copy of the
+	// payload tail; decoded strings slice it instead of allocating one copy
+	// each. Row batches use this so a 256-row frame costs one string
+	// allocation, not one per string value.
+	shared    string
+	sharedOff int
+}
+
+// internRemaining snapshots the undecoded payload tail into one string; all
+// string reads from here on alias it. Called before decoding bulk row data
+// (the payload buffer itself is reused across frames, so slicing it
+// directly would corrupt earlier results).
+func (r *frameReader) internRemaining() {
+	r.shared = string(r.b[r.off:])
+	r.sharedOff = r.off
+}
+
+func (r *frameReader) remaining() int { return len(r.b) - r.off }
+
+func (r *frameReader) u8() (byte, error) {
+	if r.off >= len(r.b) {
+		return 0, fmt.Errorf("server: frame truncated")
+	}
+	c := r.b[r.off]
+	r.off++
+	return c, nil
+}
+
+func (r *frameReader) bool() (bool, error) {
+	b, err := r.u8()
+	return b != 0, err
+}
+
+func (r *frameReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("server: bad uvarint in frame")
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *frameReader) varint() (int64, error) {
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("server: bad varint in frame")
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *frameReader) bytes(n int) ([]byte, error) {
+	if n < 0 || n > r.remaining() {
+		return nil, fmt.Errorf("server: frame truncated (want %d bytes, have %d)", n, r.remaining())
+	}
+	b := r.b[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+func (r *frameReader) string() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(r.remaining()) {
+		return "", fmt.Errorf("server: string length %d exceeds frame", n)
+	}
+	start := r.off
+	b, err := r.bytes(int(n))
+	if err != nil {
+		return "", err
+	}
+	if r.shared != "" && start >= r.sharedOff {
+		return r.shared[start-r.sharedOff : start-r.sharedOff+int(n)], nil
+	}
+	return string(b), nil
+}
+
+// count reads an element count and sanity-checks it against the bytes left
+// (each element needs at least one byte), bounding allocations on corrupt
+// input.
+func (r *frameReader) count() (int, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if n > uint64(r.remaining()) {
+		return 0, fmt.Errorf("server: element count %d exceeds frame", n)
+	}
+	return int(n), nil
+}
+
+func (r *frameReader) strings() ([]string, error) {
+	n, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for i := 0; i < n; i++ {
+		s, err := r.string()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func (r *frameReader) value() (value.Value, error) {
+	tag, err := r.u8()
+	if err != nil {
+		return value.Null, err
+	}
+	switch tag {
+	case 0:
+		return value.Null, nil
+	case 1:
+		i, err := r.varint()
+		if err != nil {
+			return value.Null, err
+		}
+		return value.NewInt(i), nil
+	case 2:
+		b, err := r.bytes(8)
+		if err != nil {
+			return value.Null, err
+		}
+		return value.NewFloat(math.Float64frombits(binary.LittleEndian.Uint64(b))), nil
+	case 3:
+		s, err := r.string()
+		if err != nil {
+			return value.Null, err
+		}
+		return value.NewString(s), nil
+	case 4:
+		b, err := r.u8()
+		if err != nil {
+			return value.Null, err
+		}
+		return value.NewBool(b != 0), nil
+	default:
+		return value.Null, fmt.Errorf("server: unknown value tag %d", tag)
+	}
+}
+
+func (r *frameReader) tuple() (value.Tuple, error) {
+	n, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	t := make(value.Tuple, 0, n)
+	for i := 0; i < n; i++ {
+		v, err := r.value()
+		if err != nil {
+			return nil, err
+		}
+		t = append(t, v)
+	}
+	return t, nil
+}
+
+func (r *frameReader) stats() (coord.StatsSnapshot, error) {
+	var s coord.StatsSnapshot
+	for _, dst := range [...]*uint64{
+		&s.Submitted, &s.Answered, &s.Matches, &s.Parked, &s.Canceled,
+		&s.Expired, &s.Retries, &s.Escalations, &s.NodesExplored,
+		&s.GroundingAttempts, &s.GroundingFailures,
+	} {
+		v, err := r.uvarint()
+		if err != nil {
+			return s, err
+		}
+		*dst = v
+	}
+	return s, nil
+}
+
+// frameHeader peels kind and correlation id off a payload. The id is
+// best-effort recoverable even when the body later fails to decode, so error
+// replies can echo it (the legacy codec's unrecoverable-id problem, fixed
+// structurally).
+func frameHeader(payload []byte) (kind byte, id uint64, r frameReader, err error) {
+	r = frameReader{b: payload}
+	if kind, err = r.u8(); err != nil {
+		return 0, 0, r, err
+	}
+	if id, err = r.uvarint(); err != nil {
+		return 0, 0, r, err
+	}
+	return kind, id, r, nil
+}
+
+// request is one decoded client → server v2 message.
+type request struct {
+	kind  byte
+	id    uint64
+	sql   string
+	owner string
+	ttl   time.Duration
+	query uint64 // kindCancel
+	admin byte   // kindAdmin
+}
+
+// decodeRequest decodes a client frame. On failure the returned request
+// still carries any id recovered from the header, so the error reply is
+// correlated instead of orphaned.
+func decodeRequest(payload []byte) (request, error) {
+	var req request
+	kind, id, r, err := frameHeader(payload)
+	req.kind, req.id = kind, id
+	if err != nil {
+		return req, err
+	}
+	switch kind {
+	case kindExec:
+		if req.sql, err = r.string(); err != nil {
+			return req, err
+		}
+		if req.owner, err = r.string(); err != nil {
+			return req, err
+		}
+		ms, err := r.uvarint()
+		if err != nil {
+			return req, err
+		}
+		if ms > uint64(math.MaxInt64/int64(time.Millisecond)) {
+			return req, fmt.Errorf("server: ttl %dms out of range", ms)
+		}
+		req.ttl = time.Duration(ms) * time.Millisecond
+	case kindCancel:
+		if req.query, err = r.uvarint(); err != nil {
+			return req, err
+		}
+	case kindAdmin:
+		if req.admin, err = r.u8(); err != nil {
+			return req, err
+		}
+	default:
+		return req, fmt.Errorf("server: unknown request kind 0x%02x", kind)
+	}
+	if r.remaining() != 0 {
+		return req, fmt.Errorf("server: %d trailing bytes in request frame", r.remaining())
+	}
+	return req, nil
+}
+
+// reply is one decoded server → client v2 message.
+type reply struct {
+	kind     byte
+	id       uint64
+	text     string // kindOK text, kindError message, adminState report
+	errCode  byte
+	query    uint64 // kindEntangled
+	affected int
+	cols     []string
+	rows     []value.Tuple // kindRows batch
+	event    coord.Outcome // kindEvent
+	admin    byte
+	pending  []coord.PendingInfo
+	stats    coord.StatsSnapshot
+	shards   []coord.ShardInfo
+	walStats core.WALStats
+	durable  bool
+}
+
+// decodeReply decodes a server frame (the client side of the codec; also the
+// entry point FuzzFrameDecode drives, since it is a superset of the request
+// decoder's primitives).
+func decodeReply(payload []byte) (reply, error) {
+	var rp reply
+	kind, id, r, err := frameHeader(payload)
+	rp.kind, rp.id = kind, id
+	if err != nil {
+		return rp, err
+	}
+	switch kind {
+	case kindOK:
+		if rp.text, err = r.string(); err != nil {
+			return rp, err
+		}
+	case kindError:
+		if rp.errCode, err = r.u8(); err != nil {
+			return rp, err
+		}
+		if rp.text, err = r.string(); err != nil {
+			return rp, err
+		}
+	case kindEntangled:
+		if rp.query, err = r.uvarint(); err != nil {
+			return rp, err
+		}
+	case kindResult:
+		aff, err := r.uvarint()
+		if err != nil {
+			return rp, err
+		}
+		if aff > math.MaxInt32 {
+			return rp, fmt.Errorf("server: affected count %d out of range", aff)
+		}
+		rp.affected = int(aff)
+		r.internRemaining() // column names share one backing string
+		if rp.cols, err = r.strings(); err != nil {
+			return rp, err
+		}
+	case kindRows:
+		n, err := r.count()
+		if err != nil {
+			return rp, err
+		}
+		// Bulk path: one interned string for every string value in the
+		// batch, one value slab for every tuple (each row is a capped
+		// sub-slice; slab growth leaves earlier rows on the old backing,
+		// which stays valid). Pre-sizes are clamped: n is only bounded by
+		// one-byte-per-row, so trusting it would let a hostile 8 MiB frame
+		// demand a multi-GiB up-front allocation.
+		r.internRemaining()
+		rp.rows = make([]value.Tuple, 0, min(n, rowBatchRows))
+		slab := make(value.Tuple, 0, min(8*n, 8*rowBatchRows))
+		for i := 0; i < n; i++ {
+			m, err := r.count()
+			if err != nil {
+				return rp, err
+			}
+			start := len(slab)
+			for j := 0; j < m; j++ {
+				v, err := r.value()
+				if err != nil {
+					return rp, err
+				}
+				slab = append(slab, v)
+			}
+			rp.rows = append(rp.rows, slab[start:len(slab):len(slab)])
+		}
+	case kindResultEnd:
+		// No body.
+	case kindEvent:
+		rp.event.QueryID = id
+		r.internRemaining()
+		if rp.event.Canceled, err = r.bool(); err != nil {
+			return rp, err
+		}
+		ms, err := r.uvarint()
+		if err != nil {
+			return rp, err
+		}
+		if ms > math.MaxInt32 {
+			return rp, fmt.Errorf("server: match size %d out of range", ms)
+		}
+		rp.event.MatchSize = int(ms)
+		na, err := r.count()
+		if err != nil {
+			return rp, err
+		}
+		for i := 0; i < na; i++ {
+			var a coord.Answer
+			if a.Relation, err = r.string(); err != nil {
+				return rp, err
+			}
+			nt, err := r.count()
+			if err != nil {
+				return rp, err
+			}
+			for j := 0; j < nt; j++ {
+				t, err := r.tuple()
+				if err != nil {
+					return rp, err
+				}
+				a.Tuples = append(a.Tuples, t)
+			}
+			rp.event.Answers = append(rp.event.Answers, a)
+		}
+	case kindAdminResp:
+		if rp.admin, err = r.u8(); err != nil {
+			return rp, err
+		}
+		if err := decodeAdminBody(&rp, &r); err != nil {
+			return rp, err
+		}
+	default:
+		return rp, fmt.Errorf("server: unknown reply kind 0x%02x", kind)
+	}
+	if r.remaining() != 0 {
+		return rp, fmt.Errorf("server: %d trailing bytes in reply frame", r.remaining())
+	}
+	return rp, nil
+}
+
+func decodeAdminBody(rp *reply, r *frameReader) (err error) {
+	switch rp.admin {
+	case adminState:
+		rp.text, err = r.string()
+		return err
+	case adminPending:
+		n, err := r.count()
+		if err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			var p coord.PendingInfo
+			if p.ID, err = r.uvarint(); err != nil {
+				return err
+			}
+			if p.Owner, err = r.string(); err != nil {
+				return err
+			}
+			if p.Source, err = r.string(); err != nil {
+				return err
+			}
+			if p.Logic, err = r.string(); err != nil {
+				return err
+			}
+			if p.Relations, err = r.strings(); err != nil {
+				return err
+			}
+			w, err := r.varint()
+			if err != nil {
+				return err
+			}
+			p.Waiting = time.Duration(w)
+			rp.pending = append(rp.pending, p)
+		}
+		return nil
+	case adminStats:
+		rp.stats, err = r.stats()
+		return err
+	case adminShards:
+		n, err := r.count()
+		if err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			var si coord.ShardInfo
+			id, err := r.uvarint()
+			if err != nil {
+				return err
+			}
+			pend, err := r.uvarint()
+			if err != nil {
+				return err
+			}
+			if id > math.MaxInt32 || pend > math.MaxInt32 {
+				return fmt.Errorf("server: shard fields out of range")
+			}
+			si.ID, si.Pending = int(id), int(pend)
+			if si.Relations, err = r.strings(); err != nil {
+				return err
+			}
+			if si.Stats, err = r.stats(); err != nil {
+				return err
+			}
+			rp.shards = append(rp.shards, si)
+		}
+		return nil
+	case adminWAL:
+		if rp.durable, err = r.bool(); err != nil {
+			return err
+		}
+		if !rp.durable {
+			return nil
+		}
+		c := &rp.walStats.Commits
+		for _, dst := range [...]*uint64{&c.Records, &c.Batches, &c.Syncs, &c.Rotations, &c.Compacts} {
+			if *dst, err = r.uvarint(); err != nil {
+				return err
+			}
+		}
+		rec := &rp.walStats.Recovery
+		recs, err := r.varint()
+		if err != nil {
+			return err
+		}
+		segs, err := r.varint()
+		if err != nil {
+			return err
+		}
+		if recs > math.MaxInt32 || recs < 0 || segs > math.MaxInt32 || segs < 0 {
+			return fmt.Errorf("server: recovery counts out of range")
+		}
+		rec.Records, rec.Segments = int(recs), int(segs)
+		if rec.Torn, err = r.bool(); err != nil {
+			return err
+		}
+		if rec.TornBytes, err = r.varint(); err != nil {
+			return err
+		}
+		if rec.Migrated, err = r.bool(); err != nil {
+			return err
+		}
+		n, err := r.count()
+		if err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			var s wal.SegmentInfo
+			if s.Seq, err = r.uvarint(); err != nil {
+				return err
+			}
+			if s.Path, err = r.string(); err != nil {
+				return err
+			}
+			if s.Bytes, err = r.varint(); err != nil {
+				return err
+			}
+			if s.Sealed, err = r.bool(); err != nil {
+				return err
+			}
+			if s.Snapshot, err = r.bool(); err != nil {
+				return err
+			}
+			if s.JSON, err = r.bool(); err != nil {
+				return err
+			}
+			rp.walStats.Segments = append(rp.walStats.Segments, s)
+		}
+		return nil
+	default:
+		return fmt.Errorf("server: unknown admin code %d", rp.admin)
+	}
+}

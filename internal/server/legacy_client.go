@@ -1,0 +1,228 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/value"
+)
+
+// LegacyClient is the pre-v2 middle-tier connection: line-delimited JSON,
+// one logical request/reply stream plus async events flagged by the "event"
+// field. It is kept (unchanged in behavior) as the reference peer for the
+// server's first-byte codec auto-detection, and as the baseline side of the
+// wire-throughput benchmark. New code should use Client.
+//
+// Known lossiness, inherited from JSON: integers outside ±2^53 round
+// through float64 on the decode path (see DecodeValue).
+type LegacyClient struct {
+	conn net.Conn
+	enc  *json.Encoder
+
+	mu      sync.Mutex
+	nextID  uint64
+	replies map[uint64]chan Response // request id → reply slot
+	watches map[uint64]chan Event    // entangled query id → event channel
+	// early holds events that arrived before their watch was registered
+	// (the server's answer push can overtake the registration reply).
+	early   map[uint64]Event
+	closed  bool
+	readErr error
+	done    chan struct{}
+}
+
+// DialLegacy connects to a Youtopia server with the legacy JSON protocol.
+func DialLegacy(addr string) (*LegacyClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &LegacyClient{
+		conn:    conn,
+		enc:     json.NewEncoder(conn),
+		replies: make(map[uint64]chan Response),
+		watches: make(map[uint64]chan Event),
+		early:   make(map[uint64]Event),
+		done:    make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Close tears down the connection; the server withdraws this client's
+// pending entangled queries.
+func (c *LegacyClient) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.conn.Close()
+	<-c.done
+	return err
+}
+
+func (c *LegacyClient) readLoop() {
+	defer close(c.done)
+	sc := bufio.NewScanner(c.conn)
+	sc.Buffer(make([]byte, 1<<20), legacyMaxLine)
+	for sc.Scan() {
+		var resp Response
+		if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+			continue
+		}
+		if resp.Event != "" {
+			ev := Event{Query: resp.Query, Canceled: resp.Event == "canceled", MatchSize: resp.MatchSize}
+			for _, a := range resp.Answers {
+				ca := ClientAnswer{Relation: a.Relation}
+				for _, t := range a.Tuples {
+					ca.Tuples = append(ca.Tuples, decodeTuple(t))
+				}
+				ev.Answers = append(ev.Answers, ca)
+			}
+			c.mu.Lock()
+			ch := c.watches[ev.Query]
+			if ch == nil {
+				c.early[ev.Query] = ev // watch not registered yet
+			} else {
+				delete(c.watches, ev.Query)
+			}
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- ev
+			}
+			continue
+		}
+		c.mu.Lock()
+		ch := c.replies[resp.ID]
+		delete(c.replies, resp.ID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- resp
+		}
+	}
+	// Connection gone: fail all waiters.
+	c.mu.Lock()
+	c.readErr = ErrClosed
+	for id, ch := range c.replies {
+		delete(c.replies, id)
+		ch <- Response{Error: ErrClosed.Error()}
+	}
+	for id, ch := range c.watches {
+		delete(c.watches, id)
+		ch <- Event{Query: id, Canceled: true}
+	}
+	c.mu.Unlock()
+}
+
+func decodeTuple(vals []any) value.Tuple {
+	t := make(value.Tuple, len(vals))
+	for i, v := range vals {
+		t[i] = DecodeValue(v)
+	}
+	return t
+}
+
+// call sends a request and waits for its correlated reply.
+func (c *LegacyClient) call(req Request) (Response, error) {
+	ch := make(chan Response, 1)
+	c.mu.Lock()
+	if c.closed || c.readErr != nil {
+		c.mu.Unlock()
+		return Response{}, ErrClosed
+	}
+	c.nextID++
+	req.ID = c.nextID
+	c.replies[req.ID] = ch
+	err := c.enc.Encode(req)
+	c.mu.Unlock()
+	if err != nil {
+		return Response{}, err
+	}
+	resp := <-ch
+	if resp.Error != "" {
+		return resp, fmt.Errorf("server: %s", resp.Error)
+	}
+	return resp, nil
+}
+
+// Query executes a plain SQL statement remotely.
+func (c *LegacyClient) Query(sql string) (*QueryResult, error) {
+	resp, err := c.call(Request{SQL: sql})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Entangled {
+		return nil, fmt.Errorf("server: Query cannot run entangled statements; use Submit")
+	}
+	out := &QueryResult{Cols: resp.Cols, Affected: resp.Affected}
+	for _, row := range resp.Rows {
+		out.Rows = append(out.Rows, decodeTuple(row))
+	}
+	return out, nil
+}
+
+// Submit registers an entangled query remotely; the returned channel yields
+// the coordination outcome when the server pushes it.
+func (c *LegacyClient) Submit(sql, owner string) (uint64, <-chan Event, error) {
+	ch := make(chan Event, 1)
+	resp, err := c.callSubmit(Request{SQL: sql, Owner: owner}, ch)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.Query, ch, nil
+}
+
+func (c *LegacyClient) callSubmit(req Request, watch chan Event) (Response, error) {
+	reply := make(chan Response, 1)
+	c.mu.Lock()
+	if c.closed || c.readErr != nil {
+		c.mu.Unlock()
+		return Response{}, ErrClosed
+	}
+	c.nextID++
+	req.ID = c.nextID
+	c.replies[req.ID] = reply
+	err := c.enc.Encode(req)
+	c.mu.Unlock()
+	if err != nil {
+		return Response{}, err
+	}
+	resp := <-reply
+	if resp.Error != "" {
+		return resp, fmt.Errorf("server: %s", resp.Error)
+	}
+	if !resp.Entangled {
+		return resp, fmt.Errorf("server: statement was not entangled; use Query")
+	}
+	c.mu.Lock()
+	if ev, ok := c.early[resp.Query]; ok {
+		delete(c.early, resp.Query)
+		c.mu.Unlock()
+		watch <- ev
+		return resp, nil
+	}
+	c.watches[resp.Query] = watch
+	c.mu.Unlock()
+	return resp, nil
+}
+
+// Cancel withdraws a pending entangled query.
+func (c *LegacyClient) Cancel(query uint64) error {
+	_, err := c.call(Request{Cancel: query})
+	return err
+}
+
+// AdminState fetches the server's coordination-state dump.
+func (c *LegacyClient) AdminState() (string, error) {
+	resp, err := c.call(Request{Admin: "state"})
+	if err != nil {
+		return "", err
+	}
+	return resp.Text, nil
+}

@@ -1,30 +1,67 @@
 // Package server exposes a Youtopia system over TCP so the middle tier can
 // run in a separate process, as in the paper's three-tier deployment
-// (browser → middle tier → Youtopia). The protocol is line-delimited JSON:
+// (browser → middle tier → Youtopia).
 //
-// Client → server, one request per line:
+// Two wire protocols share the listen port, auto-detected from the first
+// byte a client sends:
+//
+// # Wire protocol v2 (the default — Dial speaks it)
+//
+// Length-prefixed binary frames (see frame.go for the exact layout). The
+// client opens with the 4-byte preamble "YTP2", then both sides exchange
+// frames of `uint32 LE length | kind | correlation id (uvarint) | body`.
+// Frames are typed by kind — request, result header, row batch, entangled
+// ack, async event, typed admin response, error — so asynchronous
+// coordination events are structurally distinct from replies instead of
+// being flagged by a magic id. Many requests may be in flight on one
+// connection (pipelining/multiplexing); replies are correlated by id.
+// Values round-trip exactly: int64 is a varint on the wire, never a float64.
+// Result sets stream as a header frame plus row batches. Admin responses
+// are structured (coord.StatsSnapshot, []coord.ShardInfo,
+// []coord.PendingInfo, core.WALStats) and rendered client-side.
+//
+// # Legacy protocol (line-delimited JSON)
+//
+// A client whose first byte is '{' gets the original codec. One request per
+// line:
 //
 //	{"id": 1, "sql": "SELECT ...", "owner": "jerry"}
 //	{"id": 2, "cancel": 7}                  // cancel entangled query q7
-//	{"id": 3, "admin": "state"}             // state | pending | stats
+//	{"id": 3, "admin": "state"}             // state | pending | stats | shards | wal
 //
-// Server → client, one response per line, correlated by id:
+// One response per line, correlated by id:
 //
 //	{"id": 1, "rows": [...], "cols": [...], "affected": n}      // plain SQL
 //	{"id": 1, "entangled": true, "query": 7}                    // registered
 //	{"id": 0, "event": "answer", "query": 7, "answers": [...]}  // async push
 //	{"id": 1, "error": "..."}
 //
-// Entangled answers arrive asynchronously as events with id 0, exactly like
-// the demo's Facebook notifications: the client submits, keeps working, and
-// is told later which flight it got.
+// Entangled answers arrive asynchronously as events, exactly like the
+// demo's Facebook notifications: the client submits, keeps working, and is
+// told later which flight it got.
+//
+// Legacy limitations (both fixed in v2): request lines are capped at 1 MiB
+// (the server now replies with an explicit error before closing instead of
+// dying silently), and integers round-trip through JSON float64 on the
+// client decode path, so values outside ±2^53 lose precision — an int64
+// like 1<<60+1 comes back rounded to the nearest representable float64.
+// The v2 codec carries int64 as a varint and is exact.
 package server
 
 import (
+	"fmt"
+	"strings"
+
+	"repro/internal/coord"
+	"repro/internal/core"
 	"repro/internal/value"
 )
 
-// Request is one client → server message.
+// legacyMaxLine caps one legacy JSON request line. The v2 framed protocol
+// has its own (larger) bound, maxFrameLen, with an explicit error frame.
+const legacyMaxLine = 1 << 20
+
+// Request is one legacy client → server message.
 type Request struct {
 	ID    uint64 `json:"id"`
 	SQL   string `json:"sql,omitempty"`
@@ -36,7 +73,7 @@ type Request struct {
 	Admin string `json:"admin,omitempty"`
 }
 
-// Response is one server → client message.
+// Response is one legacy server → client message.
 type Response struct {
 	ID uint64 `json:"id"`
 	// Plain statement results.
@@ -55,7 +92,7 @@ type Response struct {
 	Error string `json:"error,omitempty"`
 }
 
-// AnswerJSON is one answer relation's contribution in an event.
+// AnswerJSON is one answer relation's contribution in a legacy event.
 type AnswerJSON struct {
 	Relation string  `json:"relation"`
 	Tuples   [][]any `json:"tuples"`
@@ -83,7 +120,9 @@ func encodeTuple(t value.Tuple) []any {
 
 // DecodeValue converts a JSON-decoded any back into a value.Value.
 // JSON numbers arrive as float64; integral floats become INTs, matching the
-// coercion rules of the value layer.
+// coercion rules of the value layer. This is the legacy codec's lossy step:
+// int64 values outside ±2^53 round to the nearest float64 (tested tolerance
+// — the v2 codec round-trips them exactly).
 func DecodeValue(x any) value.Value {
 	switch v := x.(type) {
 	case nil:
@@ -100,4 +139,34 @@ func DecodeValue(x any) value.Value {
 	default:
 		return value.Null
 	}
+}
+
+// renderShards formats per-lane diagnostics the way the admin surface always
+// has. The v2 client renders this client-side from []coord.ShardInfo; the
+// legacy server renders it server-side.
+func renderShards(shards []coord.ShardInfo) string {
+	var b strings.Builder
+	for _, si := range shards {
+		fmt.Fprintf(&b, "shard %d: pending=%d relations=%v stats=%+v\n",
+			si.ID, si.Pending, si.Relations, si.Stats)
+	}
+	return b.String()
+}
+
+// renderWAL formats the durability snapshot (or its absence).
+func renderWAL(st core.WALStats, durable bool) string {
+	if !durable {
+		return "not durable (no WAL configured)\n"
+	}
+	return st.String()
+}
+
+// renderPending formats the pending-query table the way the legacy "pending"
+// admin command always has.
+func renderPending(ps []coord.PendingInfo) string {
+	var b strings.Builder
+	for _, p := range ps {
+		fmt.Fprintf(&b, "q%d [%s] %s\n", p.ID, p.Owner, p.Logic)
+	}
+	return b.String()
 }

@@ -2,17 +2,24 @@ package server
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"time"
 
+	"repro/internal/coord"
 	"repro/internal/core"
 )
 
 // Server accepts middle-tier connections and forwards their statements to a
-// core.System.
+// core.System. Each connection speaks either the v2 framed binary protocol
+// or the legacy line-delimited JSON protocol; the codec is auto-detected
+// from the first byte the client sends ('{' selects legacy JSON, mirroring
+// the WAL's v1-adoption pattern).
 type Server struct {
 	sys *core.System
 	ln  net.Listener
@@ -77,67 +84,415 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// session state for one connection.
-type connSession struct {
-	mu   sync.Mutex // serializes writes (request replies vs async events)
-	enc  *json.Encoder
-	sess *core.Session // interactive transaction state (BEGIN/COMMIT/ROLLBACK)
+// conn is the per-connection state shared by both codecs: one core.Session
+// (interactive transaction state), one context whose cancellation withdraws
+// the connection's still-pending entangled queries, and one writer goroutine
+// draining an outbound queue — request replies and asynchronous coordination
+// events are enqueued from any goroutine and serialized by the writer, so no
+// per-event goroutine is ever spawned.
+type conn struct {
+	srv  *Server
+	c    net.Conn
+	sess *core.Session
+
+	// ctx is canceled at teardown; every statement runs under it, so the
+	// core withdraws entangled queries this connection still owns (their
+	// answers could never be delivered anyway).
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	qmu         sync.Mutex
+	qcond       *sync.Cond // signals drain progress to throttled readers
+	queue       []outItem  // messages awaiting the writer
+	queuedBytes int        // encoded bytes sitting in queue (events estimated)
+	dead        bool       // no further enqueues; writer drains and exits
+	kick        chan struct{}
+	wdone       chan struct{}
+	legacy      bool // codec of this connection (writer encodes events per codec)
 }
 
-func (cs *connSession) send(r Response) error {
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
-	return cs.enc.Encode(r)
+// outItem is one outbound message: either pre-encoded bytes (request
+// replies) or a coordination outcome the WRITER goroutine encodes at drain
+// time — so delivery callbacks, which run on the coordinator's goroutine
+// with lane locks held, never pay for marshaling a large answer set.
+type outItem struct {
+	b  []byte
+	ev *coord.Outcome
 }
 
-func (s *Server) handle(conn net.Conn) {
+// maxQueuedBytes is the per-connection outbound high-water mark: a reader
+// that finds more than this queued parks until the writer drains, restoring
+// the TCP backpressure the old write-inline server had (a client that
+// pipelines requests without reading replies throttles itself instead of
+// growing server memory without bound). Event enqueues stay non-blocking —
+// they are produced at most once per accepted request, so bounding the
+// request path bounds them too.
+const maxQueuedBytes = 8 << 20
+
+// enqueue hands an encoded message to the writer. It never blocks: messages
+// enqueued after teardown are dropped. Safe to call from coordination
+// callbacks that hold lane locks.
+func (cn *conn) enqueue(b []byte) { cn.put(outItem{b: b}) }
+
+// enqueueEvent queues a coordination outcome for encoding by the writer.
+func (cn *conn) enqueueEvent(out coord.Outcome) { cn.put(outItem{ev: &out}) }
+
+func (cn *conn) put(it outItem) {
+	cn.qmu.Lock()
+	if cn.dead {
+		cn.qmu.Unlock()
+		return
+	}
+	cn.queue = append(cn.queue, it)
+	if it.ev != nil {
+		cn.queuedBytes += 64 // encoded later; charge a nominal size
+	} else {
+		cn.queuedBytes += len(it.b)
+	}
+	cn.qmu.Unlock()
+	select {
+	case cn.kick <- struct{}{}:
+	default:
+	}
+}
+
+// throttle parks the reader while the outbound queue is over the high-water
+// mark. Called between requests from the serve loops only (never from
+// delivery callbacks).
+func (cn *conn) throttle() {
+	cn.qmu.Lock()
+	for cn.queuedBytes > maxQueuedBytes && !cn.dead {
+		cn.qcond.Wait()
+	}
+	cn.qmu.Unlock()
+}
+
+// writer is the connection's single outbound goroutine: it batches whatever
+// has queued since the last write into one writev, encoding queued
+// coordination outcomes as it goes. On write error it marks the connection
+// dead (dropping future messages) and closes it to unwedge the reader.
+func (cn *conn) writer() {
+	defer close(cn.wdone)
+	var werr error
+	var evBuf frameBuf
+	for {
+		cn.qmu.Lock()
+		batch := cn.queue
+		cn.queue = nil
+		cn.queuedBytes = 0
+		dead := cn.dead
+		cn.qcond.Broadcast()
+		cn.qmu.Unlock()
+		if len(batch) == 0 {
+			if dead {
+				return
+			}
+			<-cn.kick
+			continue
+		}
+		if werr != nil {
+			continue // broken pipe: keep draining so enqueuers stay cheap
+		}
+		bufs := make(net.Buffers, 0, len(batch))
+		for _, it := range batch {
+			if it.ev != nil {
+				if b := cn.encodeEvent(&evBuf, *it.ev); b != nil {
+					bufs = append(bufs, b)
+				}
+				continue
+			}
+			bufs = append(bufs, it.b)
+		}
+		if len(bufs) == 0 {
+			continue
+		}
+		if _, err := bufs.WriteTo(cn.c); err != nil {
+			werr = err
+			cn.qmu.Lock()
+			cn.dead = true
+			cn.qcond.Broadcast()
+			cn.qmu.Unlock()
+			cn.c.Close()
+		}
+	}
+}
+
+// encodeEvent marshals one outcome in the connection's codec.
+func (cn *conn) encodeEvent(f *frameBuf, out coord.Outcome) []byte {
+	if cn.legacy {
+		b, err := json.Marshal(legacyEvent(out))
+		if err != nil {
+			return nil
+		}
+		return append(b, '\n')
+	}
+	f.reset()
+	if f.appendEvent(out) != nil {
+		return nil
+	}
+	return append([]byte(nil), f.b...)
+}
+
+// shutdownWriter flushes the queue (bounded by the write deadline set in
+// handle's teardown) and stops the writer.
+func (cn *conn) shutdownWriter() {
+	cn.qmu.Lock()
+	cn.dead = true
+	cn.qmu.Unlock()
+	select {
+	case cn.kick <- struct{}{}:
+	default:
+	}
+	<-cn.wdone
+}
+
+func (s *Server) handle(c net.Conn) {
 	defer s.wg.Done()
+	cn := &conn{
+		srv:   s,
+		c:     c,
+		sess:  core.NewSession(s.sys),
+		kick:  make(chan struct{}, 1),
+		wdone: make(chan struct{}),
+	}
+	cn.qcond = sync.NewCond(&cn.qmu)
+	cn.ctx, cn.cancel = context.WithCancel(context.Background())
+	go cn.writer()
 	defer func() {
+		// Give queued replies (e.g. the final error frame) a bounded chance
+		// to flush, then tear down. Canceling the context withdraws this
+		// connection's pending entangled queries from the coordinator;
+		// closing the session rolls back an abandoned transaction.
+		cn.c.SetWriteDeadline(time.Now().Add(2 * time.Second)) //nolint:errcheck
+		cn.shutdownWriter()
 		s.mu.Lock()
-		delete(s.conns, conn)
+		delete(s.conns, c)
 		s.mu.Unlock()
-		conn.Close()
+		c.Close()
+		cn.cancel()
+		cn.sess.Close()
 	}()
 
-	cs := &connSession{enc: json.NewEncoder(conn), sess: core.NewSession(s.sys)}
-	defer cs.sess.Close()
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	// Codec auto-detection: a v2 client's first byte is the preamble's 'Y';
+	// anything else — '{' from a legacy JSON client, or arbitrary garbage —
+	// is served by the legacy codec, which answers malformed lines with a
+	// JSON error (the pre-v2 contract).
+	br := bufio.NewReaderSize(c, 64<<10)
+	first, err := br.Peek(1)
+	if err != nil {
+		return
+	}
+	if first[0] == v2Magic[0] {
+		cn.serveV2(br)
+		return
+	}
+	cn.legacy = true
+	cn.serveLegacy(br)
+}
 
-	// Track this connection's entangled queries so they are withdrawn when
-	// the client goes away (its handle could never be delivered anyway).
-	var pendingMu sync.Mutex
-	pending := make(map[uint64]struct{})
-	defer func() {
-		pendingMu.Lock()
-		ids := make([]uint64, 0, len(pending))
-		for id := range pending {
-			ids = append(ids, id)
-		}
-		pendingMu.Unlock()
-		for _, id := range ids {
-			s.sys.Cancel(id)
-		}
-	}()
+// ---------------------------------------------------------------------------
+// v2 framed protocol
 
-	for sc.Scan() {
+func (cn *conn) serveV2(br *bufio.Reader) {
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil || magic != v2Magic {
+		cn.sendErrorV2(0, errBadFrame, "server: unrecognized protocol preamble")
+		return
+	}
+	var rbuf []byte
+	var enc frameBuf
+	for {
+		// Backpressure before every read — replies to malformed frames are
+		// queued output too, so a flood of bad input must park the reader
+		// exactly like a flood of valid pipelined requests.
+		cn.throttle()
+		payload, err := readFrame(br, rbuf)
+		rbuf = payload
+		if err != nil {
+			if err == errFrameSize {
+				// The explicit max-frame-size error the protocol promises:
+				// the stream position is unrecoverable after an oversized
+				// length prefix, so report and close.
+				cn.sendErrorV2(0, errFrameTooBig, err.Error())
+			}
+			return
+		}
+		req, derr := decodeRequest(payload)
+		if derr != nil {
+			// Frame boundaries are intact (the frame was read in full), so a
+			// bad frame is reported — correlated by any id recovered from
+			// its header — and the connection keeps serving.
+			cn.sendErrorV2(req.id, errBadFrame, derr.Error())
+			continue
+		}
+		cn.dispatchV2(&enc, req)
+	}
+}
+
+func (cn *conn) sendErrorV2(id uint64, code byte, msg string) {
+	var f frameBuf
+	if f.appendError(id, code, msg) == nil {
+		cn.enqueue(f.b)
+	}
+}
+
+// dispatchV2 runs one request and enqueues its reply. Requests are executed
+// serially per connection — that preserves session (transaction) semantics —
+// but the client may pipeline arbitrarily many: the reader never waits for
+// the writer, and replies carry the request id.
+func (cn *conn) dispatchV2(enc *frameBuf, req request) {
+	enc.reset()
+	switch req.kind {
+	case kindCancel:
+		if cn.srv.sys.Cancel(req.query) {
+			enc.appendOK(req.id, "canceled") //nolint:errcheck // small frame
+		} else {
+			enc.appendError(req.id, errGeneric, fmt.Sprintf("q%d is not pending", req.query)) //nolint:errcheck
+		}
+	case kindAdmin:
+		cn.adminV2(enc, req)
+	case kindExec:
+		cn.execV2(enc, req)
+	}
+	if len(enc.b) > 0 {
+		cn.enqueue(enc.take())
+	}
+}
+
+func (cn *conn) execV2(enc *frameBuf, req request) {
+	if req.sql == "" {
+		enc.appendError(req.id, errGeneric, "empty request") //nolint:errcheck
+		return
+	}
+	// A request TTL (the wire form of a client context deadline) bounds an
+	// entangled query's pending life: the per-request context expires, and
+	// the core's context binding withdraws the query from the coordinator.
+	ctx, cancel := cn.ctx, context.CancelFunc(nil)
+	if req.ttl > 0 {
+		ctx, cancel = context.WithTimeout(cn.ctx, req.ttl)
+	}
+	resp, err := cn.sess.ExecuteContext(ctx, req.sql, req.owner)
+	if err != nil {
+		if cancel != nil {
+			cancel()
+		}
+		enc.appendError(req.id, errGeneric, err.Error()) //nolint:errcheck
+		return
+	}
+	if resp.Entangled {
+		h := resp.Handle
+		enc.appendEntangled(req.id, h.ID) //nolint:errcheck // small frame
+		h.Notify(func(out coord.Outcome) {
+			if cancel != nil {
+				cancel() // release the TTL timer; the outcome is settled
+			}
+			// The writer goroutine encodes; this callback runs on the
+			// coordinator's goroutine with lane locks held and must stay
+			// cheap and non-blocking.
+			cn.enqueueEvent(out)
+		})
+		return
+	}
+	if cancel != nil {
+		cancel()
+	}
+	if resp.Result == nil {
+		// Transaction-control statements carry no result set.
+		enc.appendOK(req.id, "OK") //nolint:errcheck
+		return
+	}
+	if err := enc.appendResult(req.id, resp.Result.Cols, resp.Result.Rows, resp.Result.Affected); err != nil {
+		enc.reset()
+		enc.appendError(req.id, errGeneric, err.Error()) //nolint:errcheck
+	}
+}
+
+// adminV2 answers the typed admin surface: structured snapshots, serialized
+// properly, replacing the legacy codec's fmt.Sprintf text dumps.
+func (cn *conn) adminV2(enc *frameBuf, req request) {
+	sys := cn.srv.sys
+	switch req.admin {
+	case adminState:
+		enc.appendAdminState(req.id, sys.Coordinator().DumpState()) //nolint:errcheck
+	case adminPending:
+		enc.appendAdminPending(req.id, sys.Coordinator().Pending()) //nolint:errcheck
+	case adminStats:
+		enc.appendAdminStats(req.id, sys.Coordinator().Stats()) //nolint:errcheck
+	case adminShards:
+		enc.appendAdminShards(req.id, sys.Coordinator().Shards()) //nolint:errcheck
+	case adminWAL:
+		st, ok := sys.WALStatsSnapshot()
+		enc.appendAdminWAL(req.id, st, ok) //nolint:errcheck
+	default:
+		enc.appendError(req.id, errGeneric, fmt.Sprintf("unknown admin command %d", req.admin)) //nolint:errcheck
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Legacy line-delimited JSON protocol
+
+func (cn *conn) serveLegacy(br *bufio.Reader) {
+	sc := bufio.NewScanner(br)
+	sc.Buffer(make([]byte, 64<<10), legacyMaxLine)
+	for {
+		cn.throttle() // see serveV2: error replies count against the queue too
+		if !sc.Scan() {
+			break
+		}
 		line := sc.Bytes()
 		if len(line) == 0 {
 			continue
 		}
 		var req Request
 		if err := json.Unmarshal(line, &req); err != nil {
-			cs.send(Response{Error: fmt.Sprintf("bad request: %v", err)}) //nolint:errcheck
+			// Echo the request id when it is recoverable from the bad line,
+			// so a pipelining client can correlate the error instead of
+			// seeing an orphaned id-0 reply that resembles an async event.
+			var idOnly struct {
+				ID uint64 `json:"id"`
+			}
+			json.Unmarshal(line, &idOnly) //nolint:errcheck // best effort
+			cn.sendJSON(Response{ID: idOnly.ID, Error: fmt.Sprintf("bad request: %v", err)})
 			continue
 		}
-		resp := s.dispatch(cs, &pendingMu, pending, req)
-		if err := cs.send(resp); err != nil {
-			return
+		cn.sendJSON(cn.dispatchLegacy(req))
+	}
+	if err := sc.Err(); err != nil {
+		// A too-long line used to kill the connection silently; now the
+		// client is told why before the close.
+		msg := fmt.Sprintf("request rejected: %v", err)
+		if errors.Is(err, bufio.ErrTooLong) {
+			msg = fmt.Sprintf("request line exceeds the %d-byte legacy limit; use the v2 framed protocol for large statements", legacyMaxLine)
 		}
+		cn.sendJSON(Response{Error: msg})
 	}
 }
 
-func (s *Server) dispatch(cs *connSession, pendingMu *sync.Mutex, pending map[uint64]struct{}, req Request) Response {
+func (cn *conn) sendJSON(r Response) {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return
+	}
+	cn.enqueue(append(b, '\n'))
+}
+
+func legacyEvent(out coord.Outcome) Response {
+	ev := Response{Event: "answer", Query: out.QueryID, MatchSize: out.MatchSize}
+	if out.Canceled {
+		ev.Event = "canceled"
+	}
+	for _, a := range out.Answers {
+		aj := AnswerJSON{Relation: a.Relation}
+		for _, t := range a.Tuples {
+			aj.Tuples = append(aj.Tuples, encodeTuple(t))
+		}
+		ev.Answers = append(ev.Answers, aj)
+	}
+	return ev
+}
+
+func (cn *conn) dispatchLegacy(req Request) Response {
+	s := cn.srv
 	switch {
 	case req.Cancel != 0:
 		ok := s.sys.Cancel(req.Cancel)
@@ -151,59 +506,30 @@ func (s *Server) dispatch(cs *connSession, pendingMu *sync.Mutex, pending map[ui
 		case "state":
 			return Response{ID: req.ID, Text: s.sys.Coordinator().DumpState()}
 		case "pending":
-			text := ""
-			for _, p := range s.sys.Coordinator().Pending() {
-				text += fmt.Sprintf("q%d [%s] %s\n", p.ID, p.Owner, p.Logic)
-			}
-			return Response{ID: req.ID, Text: text}
+			return Response{ID: req.ID, Text: renderPending(s.sys.Coordinator().Pending())}
 		case "stats":
 			st := s.sys.Coordinator().Stats()
 			return Response{ID: req.ID, Text: fmt.Sprintf("%+v", st)}
 		case "shards":
-			text := ""
-			for _, si := range s.sys.Coordinator().Shards() {
-				text += fmt.Sprintf("shard %d: pending=%d relations=%v stats=%+v\n",
-					si.ID, si.Pending, si.Relations, si.Stats)
-			}
-			return Response{ID: req.ID, Text: text}
+			return Response{ID: req.ID, Text: renderShards(s.sys.Coordinator().Shards())}
 		case "wal":
 			st, ok := s.sys.WALStatsSnapshot()
-			if !ok {
-				return Response{ID: req.ID, Text: "not durable (no WAL configured)\n"}
-			}
-			return Response{ID: req.ID, Text: st.String()}
+			return Response{ID: req.ID, Text: renderWAL(st, ok)}
 		default:
 			return Response{ID: req.ID, Error: fmt.Sprintf("unknown admin command %q", req.Admin)}
 		}
 
 	case req.SQL != "":
-		resp, err := cs.sess.Execute(req.SQL, req.Owner)
+		resp, err := cn.sess.ExecuteContext(cn.ctx, req.SQL, req.Owner)
 		if err != nil {
 			return Response{ID: req.ID, Error: err.Error()}
 		}
 		if resp.Entangled {
 			h := resp.Handle
-			pendingMu.Lock()
-			pending[h.ID] = struct{}{}
-			pendingMu.Unlock()
-			go func() {
-				out := <-h.Done()
-				pendingMu.Lock()
-				delete(pending, h.ID)
-				pendingMu.Unlock()
-				ev := Response{Event: "answer", Query: out.QueryID, MatchSize: out.MatchSize}
-				if out.Canceled {
-					ev.Event = "canceled"
-				}
-				for _, a := range out.Answers {
-					aj := AnswerJSON{Relation: a.Relation}
-					for _, t := range a.Tuples {
-						aj.Tuples = append(aj.Tuples, encodeTuple(t))
-					}
-					ev.Answers = append(ev.Answers, aj)
-				}
-				cs.send(ev) //nolint:errcheck // connection may be gone
-			}()
+			// The writer queue replaces the old goroutine-per-event spawn;
+			// encoding happens on the writer goroutine, off the
+			// coordinator's locks.
+			h.Notify(func(out coord.Outcome) { cn.enqueueEvent(out) })
 			return Response{ID: req.ID, Entangled: true, Query: h.ID}
 		}
 		if resp.Result == nil {

@@ -675,6 +675,18 @@ func (l *Log) Compact() error {
 			l.mu.Unlock()
 			return err
 		}
+		// Appends that arrived during the rotation window parked on a fresh
+		// commit generation with no elected leader (they saw flushing held
+		// by us). Drain it, or — if every writer goroutine is parked — no
+		// later Append would ever come to wake them.
+		if l.gen != nil {
+			l.drainLocked()
+			if l.err != nil {
+				err := l.err
+				l.mu.Unlock()
+				return err
+			}
+		}
 	}
 	for l.compacting { // let a background run finish, then fold in the rest
 		l.cond.Wait()

@@ -8,7 +8,6 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/coord"
 	"repro/internal/core"
 )
 
@@ -20,6 +19,13 @@ import (
 // coordinator's service capacity. This is the loaded-system demonstration
 // (§3) in its steady-state form.
 func RunOpen(sys *core.System, cfg Config, rate float64, duration time.Duration) (Result, error) {
+	return RunOpenTarget(NewLocalTarget(sys), cfg, rate, duration)
+}
+
+// RunOpenTarget is RunOpen over any workload target — in-process or a
+// remote server connection (loadgen -net), where each arrival's two
+// submissions and outcomes all cross the wire.
+func RunOpenTarget(tgt Target, cfg Config, rate float64, duration time.Duration) (Result, error) {
 	if rate <= 0 {
 		return Result{}, fmt.Errorf("workload: RunOpen needs rate > 0")
 	}
@@ -28,7 +34,7 @@ func RunOpen(sys *core.System, cfg Config, rate float64, duration time.Duration)
 	rng := rand.New(rand.NewSource(cfg.Seed + 1))
 
 	for i := 0; i < cfg.Loners; i++ {
-		if _, err := sys.Submit(g.LonerQuery(i), "loadgen"); err != nil {
+		if _, err := tgt.Submit(g.LonerQuery(i), "loadgen"); err != nil {
 			return Result{}, err
 		}
 	}
@@ -62,7 +68,7 @@ func RunOpen(sys *core.System, cfg Config, rate float64, duration time.Duration)
 		go func(a, b string) {
 			defer wg.Done()
 			t0 := time.Now()
-			h1, err := sys.Submit(a, "open")
+			aw1, err := tgt.Submit(a, "open")
 			if err != nil {
 				mu.Lock()
 				if firstErr == nil {
@@ -74,7 +80,7 @@ func RunOpen(sys *core.System, cfg Config, rate float64, duration time.Duration)
 			if cfg.PartnerDelay > 0 {
 				time.Sleep(cfg.PartnerDelay)
 			}
-			h2, err := sys.Submit(b, "open")
+			aw2, err := tgt.Submit(b, "open")
 			if err != nil {
 				mu.Lock()
 				if firstErr == nil {
@@ -86,8 +92,8 @@ func RunOpen(sys *core.System, cfg Config, rate float64, duration time.Duration)
 			done := make(chan struct{})
 			timer := time.AfterFunc(30*time.Second, func() { close(done) })
 			defer timer.Stop()
-			for _, h := range []*coord.Handle{h1, h2} {
-				if _, ok := h.Wait(done); !ok {
+			for _, aw := range []Await{aw1, aw2} {
+				if !aw(done) {
 					return
 				}
 				mu.Lock()
@@ -104,7 +110,7 @@ func RunOpen(sys *core.System, cfg Config, rate float64, duration time.Duration)
 		Unanswered:  submitted - answered,
 		Duration:    time.Since(start),
 		Latencies:   latencies,
-		Coordinator: sys.Coordinator().Stats(),
+		Coordinator: tgt.Stats(),
 	}, nil
 }
 

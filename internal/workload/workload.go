@@ -7,6 +7,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -15,8 +16,95 @@ import (
 
 	"repro/internal/coord"
 	"repro/internal/core"
+	"repro/internal/server"
 	"repro/internal/travel"
 )
+
+// Target abstracts where a workload submits its queries: an in-process
+// System, or a real server over TCP (so wire overhead shows up in the
+// measured latencies). Submit registers one entangled query and returns an
+// Await for its outcome.
+type Target interface {
+	Submit(sql, owner string) (Await, error)
+	// Stats snapshots the coordinator counters after a run (over the wire,
+	// via the typed admin API, for remote targets).
+	Stats() coord.StatsSnapshot
+}
+
+// Await blocks until the query's coordination outcome arrives or done is
+// closed, reporting whether the outcome arrived.
+type Await func(done <-chan struct{}) bool
+
+// localTarget submits straight into an in-process System.
+type localTarget struct{ sys *core.System }
+
+// NewLocalTarget wraps an in-process System as a workload target.
+func NewLocalTarget(sys *core.System) Target { return localTarget{sys} }
+
+func (t localTarget) Submit(sql, owner string) (Await, error) {
+	h, err := t.sys.Submit(sql, owner)
+	if err != nil {
+		return nil, err
+	}
+	return func(done <-chan struct{}) bool {
+		_, ok := h.Wait(done)
+		return ok
+	}, nil
+}
+
+func (t localTarget) Stats() coord.StatsSnapshot { return t.sys.Coordinator().Stats() }
+
+// clientTarget submits through a wire-protocol client connection; every
+// submission and every outcome crosses the TCP stack. The server's
+// counters are cumulative over its lifetime, so the target snapshots them
+// at construction and reports deltas — matching the fresh-System semantics
+// of the in-process path, sweep point by sweep point.
+type clientTarget struct {
+	c    *server.Client
+	base coord.StatsSnapshot
+}
+
+// NewClientTarget wraps a server connection as a workload target. The
+// server must already hold the travel catalog (e.g. youtopia-server -seed).
+func NewClientTarget(c *server.Client) Target {
+	base, _ := c.AdminStats(context.Background()) //nolint:errcheck // zero base on error
+	return clientTarget{c: c, base: base}
+}
+
+func (t clientTarget) Submit(sql, owner string) (Await, error) {
+	_, ev, err := t.c.Submit(sql, owner)
+	if err != nil {
+		return nil, err
+	}
+	return func(done <-chan struct{}) bool {
+		select {
+		case <-ev:
+			return true
+		case <-done:
+			return false
+		}
+	}, nil
+}
+
+func (t clientTarget) Stats() coord.StatsSnapshot {
+	st, err := t.c.AdminStats(context.Background())
+	if err != nil {
+		return coord.StatsSnapshot{}
+	}
+	return coord.StatsSnapshot{
+		Submitted:         st.Submitted - t.base.Submitted,
+		Answered:          st.Answered - t.base.Answered,
+		Matches:           st.Matches - t.base.Matches,
+		Parked:            st.Parked - t.base.Parked,
+		Canceled:          st.Canceled - t.base.Canceled,
+		Expired:           st.Expired - t.base.Expired,
+		Retries:           st.Retries - t.base.Retries,
+		Escalations:       st.Escalations - t.base.Escalations,
+		NodesExplored:     st.NodesExplored - t.base.NodesExplored,
+		GroundingAttempts: st.GroundingAttempts - t.base.GroundingAttempts,
+		GroundingFailures: st.GroundingFailures - t.base.GroundingFailures,
+	}
+}
 
 // Config parameterizes a generated workload.
 type Config struct {
@@ -46,6 +134,11 @@ type Config struct {
 	Footprints int
 	// Seed drives destination/price jitter.
 	Seed int64
+	// NameOffset shifts every generated participant name (p<i>_a, g<i>_m<j>,
+	// loner<i>) by this much. Successive runs against one long-lived server
+	// (loadgen -net) use distinct offsets so a fresh run's constraints can
+	// never be satisfied by answer tuples a previous run installed.
+	NameOffset int
 }
 
 func (c Config) withDefaults() Config {
@@ -87,8 +180,8 @@ func (g *Generator) rel(i int) string {
 
 // PairQueries returns the two symmetric queries of pair i.
 func (g *Generator) PairQueries(i int) (string, string) {
-	a := fmt.Sprintf("p%d_a", i)
-	b := fmt.Sprintf("p%d_b", i)
+	a := fmt.Sprintf("p%d_a", i+g.cfg.NameOffset)
+	b := fmt.Sprintf("p%d_b", i+g.cfg.NameOffset)
 	f := travel.FlightFilter{Dest: g.dest(i)}
 	if g.cfg.Trip {
 		h := travel.HotelFilter{City: g.dest(i)}
@@ -102,7 +195,7 @@ func (g *Generator) PairQueries(i int) (string, string) {
 func (g *Generator) GroupQueries(i int) []string {
 	names := make([]string, g.cfg.GroupSize)
 	for j := range names {
-		names[j] = fmt.Sprintf("g%d_m%d", i, j)
+		names[j] = fmt.Sprintf("g%d_m%d", i+g.cfg.NameOffset, j)
 	}
 	f := travel.FlightFilter{Dest: g.dest(i)}
 	out := make([]string, len(names))
@@ -124,8 +217,8 @@ func (g *Generator) GroupQueries(i int) []string {
 
 // LonerQuery returns a query whose partner never arrives.
 func (g *Generator) LonerQuery(i int) string {
-	self := fmt.Sprintf("loner%d", i)
-	ghost := fmt.Sprintf("ghost%d", i)
+	self := fmt.Sprintf("loner%d", i+g.cfg.NameOffset)
+	ghost := fmt.Sprintf("ghost%d", i+g.cfg.NameOffset)
 	return travel.BuildFlightQueryInto(g.rel(i), self, []string{ghost}, travel.FlightFilter{Dest: g.dest(i)})
 }
 
@@ -214,11 +307,17 @@ func NewSystemConfig(seed int64, cfg core.Config) (*core.System, error) {
 // all pairs and groups with Concurrency submitters, waiting for every
 // non-loner to be answered. It returns aggregate metrics.
 func Run(sys *core.System, cfg Config) (Result, error) {
+	return RunTarget(NewLocalTarget(sys), cfg)
+}
+
+// RunTarget is Run over any workload target — in-process or a remote server
+// connection (loadgen -net).
+func RunTarget(tgt Target, cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
 	g := NewGenerator(cfg)
 
 	for i := 0; i < cfg.Loners; i++ {
-		if _, err := sys.Submit(g.LonerQuery(i), "loadgen"); err != nil {
+		if _, err := tgt.Submit(g.LonerQuery(i), "loadgen"); err != nil {
 			return Result{}, fmt.Errorf("loner %d: %w", i, err)
 		}
 	}
@@ -248,13 +347,13 @@ func Run(sys *core.System, cfg Config) (Result, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			handles := make([]*coord.Handle, 0, len(j.queries))
+			awaits := make([]Await, 0, len(j.queries))
 			t0 := time.Now()
 			for qi, q := range j.queries {
 				if qi > 0 && cfg.PartnerDelay > 0 {
 					time.Sleep(cfg.PartnerDelay)
 				}
-				h, err := sys.Submit(q, "loadgen")
+				aw, err := tgt.Submit(q, "loadgen")
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {
@@ -263,13 +362,13 @@ func Run(sys *core.System, cfg Config) (Result, error) {
 					mu.Unlock()
 					return
 				}
-				handles = append(handles, h)
+				awaits = append(awaits, aw)
 			}
-			timeout := time.After(30 * time.Second)
 			done := make(chan struct{})
-			go func() { <-timeout; close(done) }()
-			for _, h := range handles {
-				if _, ok := h.Wait(done); !ok {
+			timer := time.AfterFunc(30*time.Second, func() { close(done) })
+			defer timer.Stop()
+			for _, aw := range awaits {
+				if !aw(done) {
 					return // unanswered within deadline
 				}
 				mu.Lock()
@@ -294,7 +393,7 @@ func Run(sys *core.System, cfg Config) (Result, error) {
 		Unanswered:  submitted - answered - cfg.Loners,
 		Duration:    dur,
 		Latencies:   latencies,
-		Coordinator: sys.Coordinator().Stats(),
+		Coordinator: tgt.Stats(),
 	}, nil
 }
 
