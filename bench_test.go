@@ -16,6 +16,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/coord"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/eq"
 	"repro/internal/server"
 	"repro/internal/storage"
@@ -806,6 +807,155 @@ func BenchmarkE13_WireThroughput(b *testing.B) {
 		}
 		defer c.Close()
 		pipelined(b, c)
+	})
+}
+
+// BenchmarkE14_PreparedThroughput — the PR-5 prepared-statement experiment.
+//
+// point/*: one parameterized point query per op (indexed dest equality +
+// price filter), three ways: mode=text parses per op with the statement
+// cache disabled — the pre-PR-5 behavior of every Execute, and still the
+// real cost of any text workload whose constants vary per request (travel's
+// builders embed user names, so each rendered text is unique); mode=cached
+// re-sends IDENTICAL text against the LRU (parse skipped on hit); and
+// mode=prepared binds a fresh parameter vector per op against one compiled
+// plan. The acceptance target compares prepared against text.
+//
+// entangled/*: one direct-booking submission per op (unique traveler per
+// op, exactly like the workload generators). mode=text parses + compiles
+// the coordination IR per arrival; mode=prepared binds one compiled
+// template — sql.Parse and eq compilation are skipped entirely, the only
+// per-arrival work above the coordinator itself is atom substitution.
+//
+// wire/*: the point query over TCP — text ships and parses per op vs a
+// statement id + binary vector against the per-connection statement table.
+func BenchmarkE14_PreparedThroughput(b *testing.B) {
+	const pointText = "SELECT fno, price FROM Flights WHERE dest = 'Paris' AND price <= 400.5 ORDER BY price LIMIT 3"
+	const pointTmpl = "SELECT fno, price FROM Flights WHERE dest = ? AND price <= ? ORDER BY price LIMIT 3"
+	newSys := func(b *testing.B, cache int) *core.System {
+		b.Helper()
+		sys, err := workload.NewSystemConfig(23, core.Config{StmtCacheSize: cache})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return sys
+	}
+	checkRows := func(b *testing.B, res *engine.Result, err error) {
+		if err != nil || len(res.Rows) == 0 {
+			b.Fatalf("%v %v", res, err)
+		}
+	}
+
+	b.Run("point/mode=text", func(b *testing.B) {
+		sys := newSys(b, -1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := sys.Query(pointText)
+			checkRows(b, res, err)
+		}
+	})
+	b.Run("point/mode=cached", func(b *testing.B) {
+		sys := newSys(b, 0)
+		res, err := sys.Query(pointText) // populate the LRU before measuring
+		checkRows(b, res, err)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := sys.Query(pointText)
+			checkRows(b, res, err)
+		}
+	})
+	b.Run("point/mode=prepared", func(b *testing.B) {
+		sys := newSys(b, 0)
+		ps, err := sys.Prepare(pointTmpl)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ps.Exec("", "Paris", 400.5); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// The vector is built per op — binding cost is part of the story.
+			resp, err := ps.ExecuteBound(value.NewTuple("Paris", 400.5), "")
+			if err != nil || len(resp.Result.Rows) == 0 {
+				b.Fatalf("%v %v", resp, err)
+			}
+		}
+	})
+
+	b.Run("entangled/mode=text", func(b *testing.B) {
+		sys := newSys(b, -1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			n := uniq.Add(1)
+			src := travel.BuildDirectBooking(fmt.Sprintf("d%d", n), 122)
+			h, err := sys.Submit(src, "bench")
+			if err != nil {
+				b.Fatal(err)
+			}
+			mustWait(b, h)
+		}
+	})
+	b.Run("entangled/mode=prepared", func(b *testing.B) {
+		sys := newSys(b, 0)
+		ps, err := sys.Prepare(travel.DirectBookingTemplate)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			n := uniq.Add(1)
+			h, err := ps.SubmitBound(travel.DirectBookingParams(fmt.Sprintf("d%d", n), 122), "bench")
+			if err != nil {
+				b.Fatal(err)
+			}
+			mustWait(b, h)
+		}
+	})
+
+	newWire := func(b *testing.B, cache int) *server.Client {
+		b.Helper()
+		srv, err := server.Listen(newSys(b, cache), "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { srv.Close() })
+		c, err := server.Dial(srv.Addr().String())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { c.Close() })
+		return c
+	}
+	b.Run("wire/mode=text", func(b *testing.B) {
+		c := newWire(b, -1)
+		if res, err := c.Query(pointText); err != nil || len(res.Rows) == 0 {
+			b.Fatalf("%v %v", res, err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := c.Query(pointText)
+			if err != nil || len(res.Rows) == 0 {
+				b.Fatalf("%v %v", res, err)
+			}
+		}
+	})
+	b.Run("wire/mode=prepared", func(b *testing.B) {
+		c := newWire(b, 0)
+		st, err := c.Prepare(pointTmpl)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res, err := st.Query("Paris", 400.5); err != nil || len(res.Rows) == 0 {
+			b.Fatalf("%v %v", res, err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := st.Query("Paris", 400.5)
+			if err != nil || len(res.Rows) == 0 {
+				b.Fatalf("%v %v", res, err)
+			}
+		}
 	})
 }
 

@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -59,11 +60,12 @@ func main() {
 	walSync := flag.Bool("walsync", true, "with -durable: group-commit an fsync at each statement boundary")
 	walSeg := flag.Int64("walseg", 0, "with -durable: segment rotation threshold in bytes (0 = 4 MiB)")
 	netAddr := flag.String("net", "", "drive a running youtopia-server at this address over TCP instead of in-process")
+	preparedCmp := flag.Bool("prepared", false, "run each sweep point twice — text vs prepared statements — and report throughput + allocs/arrival deltas")
 	flag.Parse()
 
 	if *netAddr != "" {
 		runNet(*netAddr, *pairs, *groups, *groupSize, *trip, *lonersCSV,
-			*concurrency, *seed, *footprints, *rates, *shardStats, *runFor, *durable)
+			*concurrency, *seed, *footprints, *rates, *shardStats, *runFor, *durable, *preparedCmp)
 		return
 	}
 
@@ -154,28 +156,50 @@ func main() {
 
 	// Arrival-to-outcome latency percentiles make tail behavior visible from
 	// the CLI: a multi-lane change that helps p50 but hurts p99 (or vice
-	// versa) is invisible in averages.
-	fmt.Printf("%-8s %-10s %-10s %-12s %-12s %-12s %-12s %-12s %-12s\n",
-		"loners", "answered", "thpt/s", "avg-lat", "p50-lat", "p95-lat", "p99-lat", "max-lat", "nodes")
+	// versa) is invisible in averages. Under -prepared, each sweep point
+	// runs twice — rendered SQL text vs prepared templates with bound
+	// parameter vectors — with the per-arrival allocation count alongside,
+	// so the parse-once/bind-many saving is visible per configuration.
+	modes := []bool{false}
+	if *preparedCmp {
+		modes = []bool{false, true}
+	}
+	fmt.Printf("%-8s %-9s %-10s %-10s %-12s %-12s %-12s %-12s %-12s %-11s %-12s\n",
+		"loners", "mode", "answered", "thpt/s", "avg-lat", "p50-lat", "p95-lat", "p99-lat", "max-lat", "allocs/arr", "nodes")
 	for _, l := range loners {
-		sys, err := newSystem()
-		if err != nil {
-			log.Fatal(err)
+		var allocsPerArr [2]float64
+		for mi, prep := range modes {
+			sys, err := newSystem()
+			if err != nil {
+				log.Fatal(err)
+			}
+			var m0, m1 runtime.MemStats
+			runtime.ReadMemStats(&m0)
+			res, err := workload.Run(sys, workload.Config{
+				Pairs: *pairs, Groups: *groups, GroupSize: *groupSize,
+				Trip: *trip, Loners: l, Concurrency: *concurrency, Seed: *seed,
+				Footprints: *footprints, Prepared: prep,
+			})
+			runtime.ReadMemStats(&m1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			allocsPerArr[mi] = float64(m1.Mallocs-m0.Mallocs) / float64(res.Submitted)
+			mode := "text"
+			if prep {
+				mode = "prepared"
+			}
+			fmt.Printf("%-8d %-9s %-10d %-10.0f %-12s %-12s %-12s %-12s %-12s %-11.0f %-12d\n",
+				l, mode, res.Answered, res.Throughput(),
+				res.AvgLatency().Round(1000),
+				res.PctLatency(50).Round(1000), res.PctLatency(95).Round(1000),
+				res.PctLatency(99).Round(1000), res.MaxLatency().Round(1000),
+				allocsPerArr[mi], res.Coordinator.NodesExplored)
 		}
-		res, err := workload.Run(sys, workload.Config{
-			Pairs: *pairs, Groups: *groups, GroupSize: *groupSize,
-			Trip: *trip, Loners: l, Concurrency: *concurrency, Seed: *seed,
-			Footprints: *footprints,
-		})
-		if err != nil {
-			log.Fatal(err)
+		if *preparedCmp && allocsPerArr[1] > 0 {
+			fmt.Printf("         -> prepared arrivals allocate %.1fx less than text\n",
+				allocsPerArr[0]/allocsPerArr[1])
 		}
-		fmt.Printf("%-8d %-10d %-10.0f %-12s %-12s %-12s %-12s %-12s %-12d\n",
-			l, res.Answered, res.Throughput(),
-			res.AvgLatency().Round(1000),
-			res.PctLatency(50).Round(1000), res.PctLatency(95).Round(1000),
-			res.PctLatency(99).Round(1000), res.MaxLatency().Round(1000),
-			res.Coordinator.NodesExplored)
 	}
 	if prevSys != nil && *shardStats {
 		fmt.Println("\nper-shard stats of the last run:")
@@ -204,7 +228,7 @@ const netNameStride = 10_000_000
 // independent.
 func runNet(addr string, pairs, groups, groupSize int, trip bool, lonersCSV string,
 	concurrency int, seed int64, footprints int, rates string, shardStats bool,
-	runFor time.Duration, durable bool) {
+	runFor time.Duration, durable, prepared bool) {
 	probe, err := server.Dial(addr)
 	if err != nil {
 		log.Fatalf("loadgen -net: %v", err)
@@ -242,7 +266,7 @@ func runNet(addr string, pairs, groups, groupSize int, trip bool, lonersCSV stri
 			}
 			withTarget(func(tgt workload.Target, off int) error {
 				res, err := workload.RunOpenTarget(tgt,
-					workload.Config{Seed: seed, Footprints: footprints, NameOffset: off}, rate, runFor)
+					workload.Config{Seed: seed, Footprints: footprints, NameOffset: off, Prepared: prepared}, rate, runFor)
 				if err != nil {
 					return err
 				}
@@ -269,7 +293,7 @@ func runNet(addr string, pairs, groups, groupSize int, trip bool, lonersCSV stri
 				res, err := workload.RunTarget(tgt, workload.Config{
 					Pairs: pairs, Groups: groups, GroupSize: groupSize,
 					Trip: trip, Loners: l, Concurrency: concurrency, Seed: seed,
-					Footprints: footprints, NameOffset: off,
+					Footprints: footprints, NameOffset: off, Prepared: prepared,
 				})
 				if err != nil {
 					return err

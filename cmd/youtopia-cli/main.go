@@ -14,6 +14,9 @@
 //	\pending   list pending entangled queries
 //	\why <id>  diagnose why a query is still pending
 //	\dot       entanglement graph in Graphviz DOT
+//	\prepare <name> <sql>   compile a statement with ? / $n placeholders once
+//	\exec <name> [args...]  bind arguments and run it (parse-once/bind-many);
+//	           \prepare alone lists the prepared statements
 //	\help      this text
 //	\quit      exit
 //
@@ -46,6 +49,7 @@ import (
 	"repro/internal/eq"
 	"repro/internal/sql"
 	"repro/internal/travel"
+	"repro/internal/value"
 )
 
 func main() {
@@ -85,7 +89,7 @@ func main() {
 		line := in.Text()
 		trimmed := strings.TrimSpace(line)
 		if strings.HasPrefix(trimmed, `\`) {
-			if !meta(sys, trimmed) {
+			if !meta(cli, sys, trimmed) {
 				cli.drain()
 				return
 			}
@@ -118,6 +122,8 @@ type session struct {
 	sess        *core.Session
 	owner       string
 	outstanding []*coord.Handle
+	// prepared holds the \prepare'd statements by name for \exec.
+	prepared map[string]*core.PreparedStmt
 }
 
 // poll prints outcomes that have arrived since the last statement.
@@ -165,10 +171,14 @@ func printJSON(v any) {
 	}
 }
 
-func meta(sys *core.System, cmd string) bool {
+func meta(cli *session, sys *core.System, cmd string) bool {
 	switch strings.Fields(cmd)[0] {
 	case `\quit`, `\q`:
 		return false
+	case `\prepare`:
+		cli.metaPrepare(cmd)
+	case `\exec`:
+		cli.metaExec(cmd)
 	case `\seed`:
 		if err := travel.Seed(sys, travel.SeedConfig{Seed: 1}); err != nil {
 			fmt.Println("error:", err)
@@ -241,11 +251,117 @@ func meta(sys *core.System, cmd string) bool {
 			fmt.Printf("q%d [%s] waiting %s: %s\n", p.ID, p.Owner, p.Waiting.Round(1e6), p.Logic)
 		}
 	case `\help`:
-		fmt.Println(`\seed \fig1 \state \stats \shards \wal \pending \why <id> \dot \quit — SQL statements end with ';'. Prefix EXPLAIN to see an entangled query's compiled form. -json renders \stats/\shards/\pending/\wal machine-readably.`)
+		fmt.Println(`\seed \fig1 \state \stats \shards \wal \pending \why <id> \dot \prepare <name> <sql> \exec <name> [args...] \quit — SQL statements end with ';'. Prefix EXPLAIN to see an entangled query's compiled form. -json renders \stats/\shards/\pending/\wal machine-readably.
+\prepare compiles a statement with ? / $n placeholders once; \exec binds arguments (numbers, 'strings', NULL) and runs it — parse-once/bind-many from the shell.`)
 	default:
 		fmt.Println("unknown meta command; \\help for help")
 	}
 	return true
+}
+
+// metaPrepare handles `\prepare <name> <sql with ? placeholders>`.
+func (c *session) metaPrepare(cmd string) {
+	rest := strings.TrimSpace(strings.TrimPrefix(cmd, `\prepare`))
+	name, src, ok := strings.Cut(rest, " ")
+	if !ok || name == "" {
+		if len(c.prepared) == 0 {
+			fmt.Println("usage: \\prepare <name> <sql>   (no statements prepared yet)")
+			return
+		}
+		for n, ps := range c.prepared {
+			kind := "plain"
+			if ps.Entangled() {
+				kind = "entangled"
+			}
+			fmt.Printf("%s: %s, %d parameter(s)\n", n, kind, ps.NumParams())
+		}
+		return
+	}
+	src = strings.TrimSuffix(strings.TrimSpace(src), ";")
+	ps, err := c.sess.Prepare(src)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if c.prepared == nil {
+		c.prepared = make(map[string]*core.PreparedStmt)
+	}
+	c.prepared[name] = ps
+	fmt.Printf("-- prepared %q: %d parameter(s), entangled=%v\n", name, ps.NumParams(), ps.Entangled())
+}
+
+// metaExec handles `\exec <name> [arg ...]`; arguments parse as numbers,
+// 'quoted strings' (or bare words), TRUE/FALSE, and NULL.
+func (c *session) metaExec(cmd string) {
+	fields := splitArgs(strings.TrimSpace(strings.TrimPrefix(cmd, `\exec`)))
+	if len(fields) == 0 {
+		fmt.Println("usage: \\exec <name> [args...]")
+		return
+	}
+	ps := c.prepared[fields[0]]
+	if ps == nil {
+		fmt.Printf("no prepared statement %q (use \\prepare)\n", fields[0])
+		return
+	}
+	params := make(value.Tuple, 0, len(fields)-1)
+	for _, a := range fields[1:] {
+		params = append(params, parseArg(a))
+	}
+	resp, err := c.sess.ExecutePrepared(ps, params, c.owner)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	c.printResponse(resp)
+}
+
+// splitArgs splits on spaces outside single quotes.
+func splitArgs(s string) []string {
+	var out []string
+	var b strings.Builder
+	inStr := false
+	flush := func() {
+		if b.Len() > 0 {
+			out = append(out, b.String())
+			b.Reset()
+		}
+	}
+	for i := 0; i < len(s); i++ {
+		ch := s[i]
+		switch {
+		case ch == '\'':
+			inStr = !inStr
+			b.WriteByte(ch)
+		case ch == ' ' && !inStr:
+			flush()
+		default:
+			b.WriteByte(ch)
+		}
+	}
+	flush()
+	return out
+}
+
+// parseArg converts one \exec argument to a typed value.
+func parseArg(a string) value.Value {
+	if len(a) >= 2 && a[0] == '\'' && a[len(a)-1] == '\'' {
+		return value.NewString(strings.ReplaceAll(a[1:len(a)-1], "''", "'"))
+	}
+	switch strings.ToUpper(a) {
+	case "NULL":
+		return value.Null
+	case "TRUE":
+		return value.NewBool(true)
+	case "FALSE":
+		return value.NewBool(false)
+	}
+	if n, err := strconv.ParseInt(a, 10, 64); err == nil {
+		return value.NewInt(n)
+	}
+	if f, err := strconv.ParseFloat(a, 64); err == nil {
+		return value.NewFloat(f)
+	}
+	return value.NewString(a)
 }
 
 func (c *session) run(script string) {
@@ -259,34 +375,40 @@ func (c *session) run(script string) {
 			fmt.Println("error:", err)
 			continue
 		}
-		if resp.Entangled {
-			h := resp.Handle
-			if out, ok := h.TryOutcome(); ok {
-				printOutcome(out)
-				continue
+		c.printResponse(resp)
+	}
+}
+
+// printResponse renders one execution outcome (shared by SQL input and
+// \exec of prepared statements).
+func (c *session) printResponse(resp *core.Response) {
+	if resp.Entangled {
+		h := resp.Handle
+		if out, ok := h.TryOutcome(); ok {
+			printOutcome(out)
+			return
+		}
+		fmt.Printf("-- entangled query registered as q%d; waiting for coordination\n", h.ID)
+		c.outstanding = append(c.outstanding, h)
+		return
+	}
+	res := resp.Result
+	if res == nil { // transaction control (BEGIN/COMMIT/ROLLBACK)
+		fmt.Println("OK")
+		return
+	}
+	if len(res.Cols) > 0 {
+		fmt.Println(strings.Join(res.Cols, " | "))
+		for _, row := range res.Rows {
+			cells := make([]string, len(row))
+			for i, v := range row {
+				cells[i] = v.String()
 			}
-			fmt.Printf("-- entangled query registered as q%d; waiting for coordination\n", h.ID)
-			c.outstanding = append(c.outstanding, h)
-			continue
+			fmt.Println(strings.Join(cells, " | "))
 		}
-		res := resp.Result
-		if res == nil { // transaction control (BEGIN/COMMIT/ROLLBACK)
-			fmt.Println("OK")
-			continue
-		}
-		if len(res.Cols) > 0 {
-			fmt.Println(strings.Join(res.Cols, " | "))
-			for _, row := range res.Rows {
-				cells := make([]string, len(row))
-				for i, v := range row {
-					cells[i] = v.String()
-				}
-				fmt.Println(strings.Join(cells, " | "))
-			}
-			fmt.Printf("(%d rows)\n", len(res.Rows))
-		} else {
-			fmt.Printf("OK (%d affected)\n", res.Affected)
-		}
+		fmt.Printf("(%d rows)\n", len(res.Rows))
+	} else {
+		fmt.Printf("OK (%d affected)\n", res.Affected)
 	}
 }
 

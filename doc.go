@@ -13,4 +13,14 @@
 // size-based segment rotation, group-committed fsyncs under WALSync,
 // background compaction, torn-tail-tolerant parallel recovery). v1 logs —
 // the original single-file JSON format — are migrated in place on open.
+//
+// Prepared statements: the dialect accepts ? / $n placeholders, and
+// core.System.Prepare compiles a statement once into a reusable handle —
+// an execution plan for plain SQL, a bound-per-submission coordination
+// template for entangled queries — so the paper's repeated query shapes
+// pay parsing and compilation once, not per call (parse-once/bind-many).
+// A size-bounded LRU behind plain Execute extends the same saving to
+// identical re-sent text, and wire protocol v2 carries the lifecycle
+// remotely (prepare / exec-with-binary-vector / close), with typed
+// int64/float64 parameters that round-trip exactly.
 package repro

@@ -79,6 +79,9 @@ func (sc *groundScratch) envFor(st *matchState, qid uint64, classOf map[eq.Scope
 	}
 	sc.env.Reset()
 	member := st.members[qid]
+	// A template-bound member's residual predicates still carry symbolic
+	// parameter slots; its vector rides on the query.
+	sc.env.BindParams(member.q.Params)
 	for _, v := range member.q.Vars {
 		if ci, ok := classOf[eq.ScopedVar{QID: qid, Name: v}]; ok && (assigned == nil || assigned[ci]) {
 			sc.env.BindVar(v, assign[ci])
@@ -327,6 +330,7 @@ func (c *Coordinator) collectSources(tx *txn.Txn, st *matchState, sc *groundScra
 					sc.env = engine.NewEnv()
 				}
 				sc.env.Reset()
+				sc.env.BindParams(member.q.Params)
 				r, err := c.eng.EvalSelect(tx, g.Sub, sc.env)
 				if err != nil {
 					if errors.Is(err, engine.ErrUnboundVariable) {

@@ -63,6 +63,12 @@ type Config struct {
 	// whenever at least this many have accumulated. 0 selects 8; negative
 	// disables auto-compaction (Compact still works explicitly).
 	WALCompactAfter int
+	// StmtCacheSize bounds the text→artifact LRU behind Prepare and plain
+	// Execute: up to this many statement texts keep their parsed/compiled
+	// artifacts alive, so identical text is parsed once. 0 selects 256;
+	// negative disables the cache (every Execute parses, Prepare still
+	// returns uncached handles).
+	StmtCacheSize int
 }
 
 // System is one Youtopia database instance.
@@ -75,6 +81,7 @@ type System struct {
 	autoRetry bool
 	wal       *wal.Log
 	walSync   bool
+	stmts     *stmtCache
 	err       error // startup (recovery) error
 }
 
@@ -100,6 +107,10 @@ func NewSystem(cfg Config) *System {
 		cfg.Coord = coord.DefaultOptions()
 	}
 	cfg.Coord.Shards = shards
+	cacheSize := cfg.StmtCacheSize
+	if cacheSize == 0 {
+		cacheSize = 256
+	}
 	s := &System{
 		cat:       cat,
 		mgr:       mgr,
@@ -107,6 +118,7 @@ func NewSystem(cfg Config) *System {
 		store:     store,
 		coord:     coord.New(eng, store, cfg.Coord),
 		autoRetry: !cfg.DisableAutoRetry,
+		stmts:     newStmtCache(cacheSize),
 	}
 	if cfg.WALPath != "" {
 		opts := wal.Options{
@@ -246,17 +258,17 @@ type Response struct {
 // Execute parses and runs one statement, routing entangled queries to the
 // coordination component and everything else to the execution engine.
 // The optional owner labels entangled submissions in the admin interface.
+//
+// Execution is fronted by the statement cache: re-executing identical text
+// reuses its parsed/compiled artifact (parse-once even without an explicit
+// Prepare). Statements with parameter placeholders cannot run here — they
+// need a bound vector, via Prepare.
 func (s *System) Execute(src, owner string) (*Response, error) {
-	stmt, err := sql.Parse(src)
+	ps, err := s.prepareCached(src)
 	if err != nil {
 		return nil, err
 	}
-	if es, ok := stmt.(*sql.EntangledSelect); ok {
-		// Hand the original text to the compiler so Query.Source does not
-		// have to be re-rendered from the AST on every submission.
-		return s.submitEntangled(es, src, owner)
-	}
-	return s.ExecuteStmt(stmt, owner)
+	return ps.ExecuteBound(nil, owner)
 }
 
 // ExecuteContext is Execute with cancellation plumbing. The context is
@@ -339,16 +351,21 @@ func (s *System) ExecuteStmt(stmt sql.Statement, owner string) (*Response, error
 	if err != nil {
 		return nil, err
 	}
-	if s.autoRetry && isDML(stmt) && s.coord.PendingCount() > 0 {
-		// Base-table changes can unblock parked queries ("waits for an
-		// opportunity to retry", §2.1).
-		s.coord.Retry()
-	}
-	// Statement-level durability point (covers retry-installed answers too).
-	if err := s.commitWAL(); err != nil {
+	if err := s.afterPlain(stmt); err != nil {
 		return nil, err
 	}
 	return &Response{Result: res}, nil
+}
+
+// afterPlain is the post-execution tail of every successful plain statement:
+// the auto-retry pass (base-table changes can unblock parked queries —
+// "waits for an opportunity to retry", §2.1) and the statement-level
+// durability point (which covers retry-installed answers too).
+func (s *System) afterPlain(stmt sql.Statement) error {
+	if s.autoRetry && isDML(stmt) && s.coord.PendingCount() > 0 {
+		s.coord.Retry()
+	}
+	return s.commitWAL()
 }
 
 func isDML(stmt sql.Statement) bool {

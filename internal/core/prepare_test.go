@@ -1,0 +1,226 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/value"
+)
+
+func newPrepSystem(t *testing.T) *System {
+	t.Helper()
+	sys := NewSystem(Config{})
+	if err := sys.Exec(`CREATE TABLE Flights (fno INT, dest STRING, price FLOAT, PRIMARY KEY (fno));
+CREATE INDEX ON Flights (dest);
+INSERT INTO Flights VALUES (1, 'Paris', 100.0), (2, 'Paris', 250.0), (3, 'Rome', 180.0)`); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestSystemPreparePlain(t *testing.T) {
+	sys := newPrepSystem(t)
+	ps, err := sys.Prepare("SELECT fno FROM Flights WHERE dest = ? ORDER BY fno")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.NumParams() != 1 || ps.Entangled() {
+		t.Fatalf("handle: n=%d entangled=%v", ps.NumParams(), ps.Entangled())
+	}
+	for i := 0; i < 3; i++ {
+		resp, err := ps.Exec("", "Paris")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Result.Rows) != 2 {
+			t.Fatalf("round %d: %d rows", i, len(resp.Result.Rows))
+		}
+	}
+	// Same text → same cached handle.
+	again, err := sys.Prepare("SELECT fno FROM Flights WHERE dest = ? ORDER BY fno")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != ps {
+		t.Fatal("statement cache did not deduplicate identical text")
+	}
+}
+
+func TestSystemPrepareEntangled(t *testing.T) {
+	sys := newPrepSystem(t)
+	ps, err := sys.Prepare(`SELECT ?, fno INTO ANSWER Reservation
+WHERE fno IN (SELECT fno FROM Flights WHERE dest = ?)
+AND (?, fno) IN ANSWER Reservation CHOOSE 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ps.Entangled() || ps.NumParams() != 3 {
+		t.Fatalf("handle: n=%d entangled=%v", ps.NumParams(), ps.Entangled())
+	}
+	h1, err := ps.SubmitBound(value.NewTuple("Kramer", "Paris", "Jerry"), "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := ps.SubmitBound(value.NewTuple("Jerry", "Paris", "Kramer"), "j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := make(chan struct{})
+	timer := time.AfterFunc(10*time.Second, func() { close(deadline) })
+	defer timer.Stop()
+	out1, ok1 := h1.Wait(deadline)
+	out2, ok2 := h2.Wait(deadline)
+	if !ok1 || !ok2 {
+		t.Fatal("prepared pair did not coordinate")
+	}
+	// Both must be answered on the same flight number.
+	f1 := out1.Answers[0].Tuples[0][1]
+	f2 := out2.Answers[0].Tuples[0][1]
+	if !f1.Identical(f2) {
+		t.Fatalf("pair coordinated on different flights: %s vs %s", f1, f2)
+	}
+	// And the answers carry the BOUND names, not placeholders.
+	if got := out1.Answers[0].Tuples[0][0].Str(); got != "Kramer" {
+		t.Fatalf("answer name %q", got)
+	}
+}
+
+func TestExecuteRejectsUnboundParams(t *testing.T) {
+	sys := newPrepSystem(t)
+	if _, err := sys.Execute("SELECT fno FROM Flights WHERE dest = ?", ""); err == nil {
+		t.Fatal("Execute of parameterized text accepted without a vector")
+	}
+	if _, err := sys.Submit("SELECT ?, fno INTO ANSWER R WHERE fno = ? CHOOSE 1", ""); err == nil {
+		t.Fatal("Submit of parameterized entangled text accepted")
+	}
+}
+
+func TestStmtCacheLRUAndDDL(t *testing.T) {
+	sys := NewSystem(Config{StmtCacheSize: 2})
+	if err := sys.Exec("CREATE TABLE T (x INT)"); err != nil {
+		t.Fatal(err)
+	}
+	mk := func(i int) string { return fmt.Sprintf("SELECT x FROM T WHERE x = %d", i) }
+	a, _ := sys.Prepare(mk(1))
+	b, _ := sys.Prepare(mk(2))
+	if got := sys.stmts.len(); got != 2 {
+		t.Fatalf("cache len = %d, want 2", got)
+	}
+	// Touch a (making b the LRU), then insert c: b must be evicted.
+	if got, _ := sys.Prepare(mk(1)); got != a {
+		t.Fatal("a fell out of the cache prematurely")
+	}
+	if _, err := sys.Prepare(mk(3)); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := sys.Prepare(mk(1)); got != a {
+		t.Fatal("a evicted although recently used")
+	}
+	if got, _ := sys.Prepare(mk(2)); got == b {
+		t.Fatal("b survived although least recently used")
+	}
+
+	// DDL invalidates: a re-prepare after schema change yields a fresh
+	// artifact (stamped with the new version).
+	before, _ := sys.Prepare(mk(1))
+	if err := sys.Exec("CREATE TABLE U (y INT)"); err != nil {
+		t.Fatal(err)
+	}
+	after, err := sys.Prepare(mk(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after == before {
+		t.Fatal("cached artifact survived DDL")
+	}
+}
+
+func TestStmtCacheDisabled(t *testing.T) {
+	sys := NewSystem(Config{StmtCacheSize: -1})
+	if err := sys.Exec("CREATE TABLE T (x INT)"); err != nil {
+		t.Fatal(err)
+	}
+	a, err := sys.Prepare("SELECT x FROM T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sys.Prepare("SELECT x FROM T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("disabled cache still deduplicated")
+	}
+	if _, err := a.ExecuteBound(nil, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSessionPreparedTxn: prepared DML joins an open interactive
+// transaction and rolls back with it.
+func TestSessionPreparedTxn(t *testing.T) {
+	sys := newPrepSystem(t)
+	sess := NewSession(sys)
+	defer sess.Close()
+	ins, err := sess.Prepare("INSERT INTO Flights VALUES (?, ?, ?)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Execute("BEGIN", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.ExecutePrepared(ins, value.NewTuple(50, "Lima", 300.0), ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Execute("ROLLBACK", ""); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Query("SELECT fno FROM Flights WHERE fno = 50")
+	if err != nil || len(res.Rows) != 0 {
+		t.Fatalf("rolled-back prepared insert visible: %v %v", res, err)
+	}
+
+	// Entangled prepared statements are rejected inside a transaction.
+	book, err := sess.Prepare("SELECT ?, fno INTO ANSWER Reservation WHERE fno = ? CHOOSE 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Execute("BEGIN", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.ExecutePrepared(book, value.NewTuple("u", 1), ""); err == nil ||
+		!strings.Contains(err.Error(), "COMMIT or ROLLBACK") {
+		t.Fatalf("entangled prepared inside txn: %v", err)
+	}
+	if _, err := sess.Execute("COMMIT", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPreparedFloatRoundTrip: float64 parameters reach the answer store
+// bit-exactly through the whole core pipeline (the %g text path cannot even
+// represent these).
+func TestPreparedFloatRoundTrip(t *testing.T) {
+	sys := newPrepSystem(t)
+	if err := sys.Exec("CREATE TABLE P (x FLOAT)"); err != nil {
+		t.Fatal(err)
+	}
+	ins, err := sys.Prepare("INSERT INTO P VALUES ($1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tiny = 1e-05 // %g renders as "1e-05", which text SQL cannot lex
+	if _, err := ins.Exec("", tiny); err != nil {
+		t.Fatal(err)
+	}
+	sel, err := sys.Prepare("SELECT x FROM P WHERE x = $1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := sel.Exec("", tiny)
+	if err != nil || len(resp.Result.Rows) != 1 {
+		t.Fatalf("tiny float lost: %v %v", resp, err)
+	}
+}

@@ -49,12 +49,15 @@ func (s *Session) Close() {
 // entangled queries are rejected — a coordinated match is its own atomic
 // joint execution (the paper's model), and nesting it inside a client
 // transaction would entangle unrelated lock scopes.
+//
+// Like System.Execute, this is fronted by the statement cache: identical
+// text re-sent on any session reuses one parsed/compiled artifact.
 func (s *Session) Execute(src, owner string) (*Response, error) {
-	stmt, err := sql.Parse(src)
+	ps, err := s.sys.prepareCached(src)
 	if err != nil {
 		return nil, err
 	}
-	return s.ExecuteStmt(stmt, owner)
+	return s.ExecutePrepared(ps, nil, owner)
 }
 
 // ExecuteContext is Execute with cancellation plumbing: the context gates

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+)
+
+// stmtCache is the size-bounded LRU mapping SQL text to its compiled
+// artifact (*PreparedStmt). It fronts both the explicit Prepare API and
+// plain Execute/Session.Execute, so a middle tier that re-sends identical
+// text still parses it once. Entries are stamped with the catalog's DDL
+// version at insertion and dropped on first access after any schema change —
+// the cached engine plans would replan themselves anyway, but explicit
+// invalidation keeps the cache from pinning artifacts of dropped tables.
+type stmtCache struct {
+	mu  sync.Mutex
+	max int
+	m   map[string]*list.Element
+	ll  *list.List // front = most recently used
+}
+
+type stmtCacheEnt struct {
+	src     string
+	ps      *PreparedStmt
+	version uint64 // catalog DDL version at insertion
+}
+
+func newStmtCache(max int) *stmtCache {
+	if max <= 0 {
+		return &stmtCache{} // disabled
+	}
+	return &stmtCache{max: max, m: make(map[string]*list.Element, max), ll: list.New()}
+}
+
+// get returns the cached artifact for src, or nil. A hit moves the entry to
+// the front; an entry from before the given DDL version is dropped instead.
+func (c *stmtCache) get(src string, ddl uint64) *PreparedStmt {
+	if c.max <= 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el := c.m[src]
+	if el == nil {
+		return nil
+	}
+	ent := el.Value.(*stmtCacheEnt)
+	if ent.version != ddl {
+		c.ll.Remove(el)
+		delete(c.m, src)
+		return nil
+	}
+	c.ll.MoveToFront(el)
+	return ent.ps
+}
+
+// put inserts (or refreshes) the artifact for src, evicting the least
+// recently used entry when full.
+func (c *stmtCache) put(src string, ps *PreparedStmt, ddl uint64) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el := c.m[src]; el != nil {
+		ent := el.Value.(*stmtCacheEnt)
+		ent.ps, ent.version = ps, ddl
+		c.ll.MoveToFront(el)
+		return
+	}
+	if c.ll.Len() >= c.max {
+		if back := c.ll.Back(); back != nil {
+			c.ll.Remove(back)
+			delete(c.m, back.Value.(*stmtCacheEnt).src)
+		}
+	}
+	c.m[src] = c.ll.PushFront(&stmtCacheEnt{src: src, ps: ps, version: ddl})
+}
+
+// len reports the number of cached artifacts (diagnostics/tests).
+func (c *stmtCache) len() int {
+	if c.max <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

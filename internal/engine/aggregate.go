@@ -57,7 +57,11 @@ func (e *Engine) evalAggregate(tx *txn.Txn, s *sql.Select, outer *Env) (*Result,
 		}
 		froms[i] = &fromTable{ref: ref, tbl: tbl, rangeCol: -1}
 	}
-	pushDownPredicates(s.Where, froms, len(s.From) == 1)
+	var params value.Tuple
+	if outer != nil {
+		params = outer.Params()
+	}
+	pushDownPredicates(s.Where, froms, len(s.From) == 1, params)
 
 	baseEnv := NewEnv()
 	if outer != nil {

@@ -59,6 +59,22 @@ func (e *Engine) Execute(stmt sql.Statement) (*Result, error) {
 // transaction; this mirrors common database behaviour and keeps the catalog
 // simple.
 func (e *Engine) ExecuteIn(tx *txn.Txn, stmt sql.Statement) (*Result, error) {
+	return e.executeIn(tx, stmt, nil)
+}
+
+// ExecuteInBound is ExecuteIn with a bound parameter vector: sql.Param
+// expressions anywhere in the statement (including subquery bodies) resolve
+// against params.
+func (e *Engine) ExecuteInBound(tx *txn.Txn, stmt sql.Statement, params value.Tuple) (*Result, error) {
+	return e.executeIn(tx, stmt, params)
+}
+
+func (e *Engine) executeIn(tx *txn.Txn, stmt sql.Statement, params value.Tuple) (*Result, error) {
+	var base *Env
+	if params != nil {
+		base = NewEnv()
+		base.BindParams(params)
+	}
 	switch s := stmt.(type) {
 	case *sql.CreateTable:
 		schema := value.NewSchema()
@@ -68,6 +84,7 @@ func (e *Engine) ExecuteIn(tx *txn.Txn, stmt sql.Statement) (*Result, error) {
 		if _, err := e.Catalog().Create(s.Name, schema, s.PK...); err != nil {
 			return nil, err
 		}
+		e.Catalog().BumpDDL()
 		return &Result{}, nil
 
 	case *sql.CreateIndex:
@@ -82,25 +99,28 @@ func (e *Engine) ExecuteIn(tx *txn.Txn, stmt sql.Statement) (*Result, error) {
 		} else if err := tbl.CreateIndex(s.Cols...); err != nil {
 			return nil, err
 		}
+		// Index presence feeds plan selection; cached plans must notice.
+		e.Catalog().BumpDDL()
 		return &Result{}, nil
 
 	case *sql.DropTable:
 		if err := e.Catalog().Drop(s.Name); err != nil {
 			return nil, err
 		}
+		e.Catalog().BumpDDL()
 		return &Result{}, nil
 
 	case *sql.Insert:
-		return e.execInsert(tx, s)
+		return e.execInsert(tx, s, base)
 
 	case *sql.Delete:
-		return e.execDelete(tx, s)
+		return e.execDelete(tx, s, base)
 
 	case *sql.Update:
-		return e.execUpdate(tx, s)
+		return e.execUpdate(tx, s, base)
 
 	case *sql.Select:
-		return e.evalSelect(tx, s, nil)
+		return e.evalSelect(tx, s, base)
 
 	case *sql.EntangledSelect:
 		return nil, fmt.Errorf("engine: entangled query must be submitted to the coordination component, not the plain engine")
@@ -110,10 +130,13 @@ func (e *Engine) ExecuteIn(tx *txn.Txn, stmt sql.Statement) (*Result, error) {
 	}
 }
 
-func (e *Engine) execInsert(tx *txn.Txn, s *sql.Insert) (*Result, error) {
-	env := NewEnv()
+func (e *Engine) execInsert(tx *txn.Txn, s *sql.Insert, base *Env) (*Result, error) {
+	env := base
+	if env == nil {
+		env = NewEnv()
+	}
 	if s.From != nil {
-		res, err := e.evalSelect(tx, s.From, nil)
+		res, err := e.evalSelect(tx, s.From, base)
 		if err != nil {
 			return nil, err
 		}
@@ -142,7 +165,7 @@ func (e *Engine) execInsert(tx *txn.Txn, s *sql.Insert) (*Result, error) {
 	return &Result{Affected: n}, nil
 }
 
-func (e *Engine) execDelete(tx *txn.Txn, s *sql.Delete) (*Result, error) {
+func (e *Engine) execDelete(tx *txn.Txn, s *sql.Delete, base *Env) (*Result, error) {
 	tbl, err := e.Catalog().Get(s.Table)
 	if err != nil {
 		return nil, err
@@ -153,9 +176,13 @@ func (e *Engine) execDelete(tx *txn.Txn, s *sql.Delete) (*Result, error) {
 	}
 	var ids []storage.RowID
 	var evalErr error
+	rowEnv := base
+	if rowEnv == nil {
+		rowEnv = NewEnv()
+	}
 	tbl.Scan(func(id storage.RowID, row value.Tuple) bool {
 		if s.Where != nil {
-			env := NewEnv()
+			env := rowEnv
 			env.Bind(s.Table, tbl.Schema(), row)
 			v, err := e.EvalExpr(tx, s.Where, env)
 			if err != nil {
@@ -180,7 +207,7 @@ func (e *Engine) execDelete(tx *txn.Txn, s *sql.Delete) (*Result, error) {
 	return &Result{Affected: len(ids)}, nil
 }
 
-func (e *Engine) execUpdate(tx *txn.Txn, s *sql.Update) (*Result, error) {
+func (e *Engine) execUpdate(tx *txn.Txn, s *sql.Update, base *Env) (*Result, error) {
 	tbl, err := e.Catalog().Get(s.Table)
 	if err != nil {
 		return nil, err
@@ -202,8 +229,12 @@ func (e *Engine) execUpdate(tx *txn.Txn, s *sql.Update) (*Result, error) {
 	}
 	var changes []change
 	var evalErr error
+	rowEnv := base
+	if rowEnv == nil {
+		rowEnv = NewEnv()
+	}
 	tbl.Scan(func(id storage.RowID, row value.Tuple) bool {
-		env := NewEnv()
+		env := rowEnv
 		env.Bind(s.Table, tbl.Schema(), row)
 		if s.Where != nil {
 			v, err := e.EvalExpr(tx, s.Where, env)
@@ -277,21 +308,41 @@ func (e *Engine) evalSelect(tx *txn.Txn, s *sql.Select, outer *Env) (*Result, er
 		fts[i] = fromTable{ref: ref, tbl: tbl, rangeCol: -1, binding: strings.ToLower(ref.Binding())}
 		froms[i] = &fts[i]
 	}
-	pushDownPredicates(s.Where, froms, len(s.From) == 1)
-
-	var out struct {
-		cols []string
-		rows []value.Tuple
-		data []value.Value // shared backing slab for rows
-		keys []value.Tuple // ORDER BY keys, parallel to rows
+	var params value.Tuple
+	if outer != nil {
+		params = outer.Params()
 	}
-	out.cols = projectionCols(s, froms)
+	pushDownPredicates(s.Where, froms, len(s.From) == 1, params)
 
 	env := NewEnv()
 	if outer != nil {
 		env = outer.Child()
 	}
 	iter := orderFroms(froms) // join iteration order; projection keeps FROM order
+	return e.runSelect(tx, s, froms, iter, env, projectionCols(s, froms))
+}
+
+// runSelect is the shared execution half of a planned SELECT: the nested-loop
+// join over already-analyzed fromTables (locks taken, pushdowns attached),
+// followed by ORDER BY / DISTINCT / LIMIT. evalSelect analyzes per execution;
+// Prepared replays a cached analysis and calls this directly.
+func (e *Engine) runSelect(tx *txn.Txn, s *sql.Select, froms, iter []*fromTable, env *Env, cols []string) (*Result, error) {
+	var out struct {
+		rows []value.Tuple
+		data []value.Value // shared backing slab for rows
+		keys []value.Tuple // ORDER BY keys, parallel to rows
+		kdat []value.Value // shared backing slab for keys
+	}
+	// Pre-size for a small result: one allocation per slab instead of a
+	// doubling chain from nil — the dominant allocation cost of a point
+	// query. Large results grow past the estimate exactly as before.
+	const rowEstimate = 16
+	out.rows = make([]value.Tuple, 0, rowEstimate)
+	out.data = make([]value.Value, 0, rowEstimate*max(len(cols), 1))
+	if len(s.OrderBy) > 0 {
+		out.keys = make([]value.Tuple, 0, rowEstimate)
+		out.kdat = make([]value.Value, 0, rowEstimate*len(s.OrderBy))
+	}
 
 	var rec func(i int) error
 	rec = func(i int) error {
@@ -317,15 +368,16 @@ func (e *Engine) evalSelect(tx *txn.Txn, s *sql.Select, outer *Env) (*Result, er
 			out.data = data
 			out.rows = append(out.rows, out.data[start:len(out.data):len(out.data)])
 			if len(s.OrderBy) > 0 {
-				key := make(value.Tuple, len(s.OrderBy))
-				for k, ob := range s.OrderBy {
+				// Keys share one slab too (same discipline as the rows).
+				kstart := len(out.kdat)
+				for _, ob := range s.OrderBy {
 					v, err := e.EvalExpr(tx, ob.Expr, env)
 					if err != nil {
 						return err
 					}
-					key[k] = v
+					out.kdat = append(out.kdat, v)
 				}
-				out.keys = append(out.keys, key)
+				out.keys = append(out.keys, out.kdat[kstart:len(out.kdat):len(out.kdat)])
 			}
 			return nil
 		}
@@ -375,28 +427,9 @@ func (e *Engine) evalSelect(tx *txn.Txn, s *sql.Select, outer *Env) (*Result, er
 
 	rows := out.rows
 	if len(s.OrderBy) > 0 {
-		idx := make([]int, len(rows))
-		for i := range idx {
-			idx[i] = i
-		}
-		sort.SliceStable(idx, func(a, b int) bool {
-			ka, kb := out.keys[idx[a]], out.keys[idx[b]]
-			for k, ob := range s.OrderBy {
-				c := ka[k].Compare(kb[k])
-				if c != 0 {
-					if ob.Desc {
-						return c > 0
-					}
-					return c < 0
-				}
-			}
-			return false
-		})
-		sorted := make([]value.Tuple, len(rows))
-		for i, j := range idx {
-			sorted[i] = rows[j]
-		}
-		rows = sorted
+		// In-place stable sort permuting rows and keys together: no index
+		// slice, no second row slice.
+		sort.Stable(&rowSorter{rows: rows, keys: out.keys, by: s.OrderBy})
 	}
 	if s.Distinct {
 		seen := make(map[string]struct{}, len(rows))
@@ -413,7 +446,35 @@ func (e *Engine) evalSelect(tx *txn.Txn, s *sql.Select, outer *Env) (*Result, er
 	if s.Limit >= 0 && len(rows) > s.Limit {
 		rows = rows[:s.Limit]
 	}
-	return &Result{Cols: out.cols, Rows: rows}, nil
+	return &Result{Cols: cols, Rows: rows}, nil
+}
+
+// rowSorter sorts result rows and their ORDER BY keys together, in place.
+type rowSorter struct {
+	rows []value.Tuple
+	keys []value.Tuple
+	by   []sql.OrderItem
+}
+
+func (s *rowSorter) Len() int { return len(s.rows) }
+
+func (s *rowSorter) Less(a, b int) bool {
+	ka, kb := s.keys[a], s.keys[b]
+	for k, ob := range s.by {
+		c := ka[k].Compare(kb[k])
+		if c != 0 {
+			if ob.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+	}
+	return false
+}
+
+func (s *rowSorter) Swap(a, b int) {
+	s.rows[a], s.rows[b] = s.rows[b], s.rows[a]
+	s.keys[a], s.keys[b] = s.keys[b], s.keys[a]
 }
 
 // evalSelectNoFrom handles constant selects like SELECT 1, 'x'.
@@ -538,10 +599,15 @@ func orderFroms(froms []*fromTable) []*fromTable {
 //   - binding.col </<=/>/>= literal and col BETWEEN a AND b → range lookup,
 //     when the column carries an ordered index.
 //
+// A bound statement parameter counts as a literal: `dest = ?` executed
+// through a prepared statement probes the index exactly like `dest = 'X'`
+// in text SQL — without this, the parse-once/bind-many pipeline would trade
+// the parser's allocations for full table scans.
+//
 // Unqualified columns are pushed only in single-table queries. Conjuncts are
 // left in WHERE — re-checking is cheap and keeps correctness independent of
 // the pushdown.
-func pushDownPredicates(where sql.Expr, froms []*fromTable, single bool) {
+func pushDownPredicates(where sql.Expr, froms []*fromTable, single bool, params value.Tuple) {
 	locate := func(cr *sql.ColumnRef) (*fromTable, int) {
 		for _, f := range froms {
 			if cr.Table != "" && !strings.EqualFold(cr.Table, f.ref.Binding()) {
@@ -581,12 +647,19 @@ func pushDownPredicates(where sql.Expr, froms []*fromTable, single bool) {
 		}
 	}
 
+	// One shape recognizer serves both the text path (resolved against
+	// params right here) and the prepared planner (symbolic sources): see
+	// normalizeCmpSym/srcOf in prepare.go.
 	for _, c := range sql.Conjuncts(where) {
 		switch b := c.(type) {
 		case *sql.Binary:
-			cr, lit, op, ok := normalizeCmp(b)
+			cr, src, op, ok := normalizeCmpSym(b)
 			if !ok {
 				continue
+			}
+			lit, ok := src.resolve(params)
+			if !ok {
+				continue // unbound parameter: leave the conjunct to eval
 			}
 			f, o := locate(cr)
 			if f == nil {
@@ -610,8 +683,13 @@ func pushDownPredicates(where sql.Expr, froms []*fromTable, single bool) {
 			if !ok {
 				continue
 			}
-			lo, okLo := b.Lo.(*sql.Literal)
-			hi, okHi := b.Hi.(*sql.Literal)
+			loSrc, okLo := srcOf(b.Lo)
+			hiSrc, okHi := srcOf(b.Hi)
+			if !okLo || !okHi {
+				continue
+			}
+			lo, okLo := loSrc.resolve(params)
+			hi, okHi := hiSrc.resolve(params)
 			if !okLo || !okHi {
 				continue
 			}
@@ -619,8 +697,8 @@ func pushDownPredicates(where sql.Expr, froms []*fromTable, single bool) {
 			if f == nil {
 				continue
 			}
-			tightenLo(f, o, storage.BoundAt(lo.Val, true))
-			tightenHi(f, o, storage.BoundAt(hi.Val, true))
+			tightenLo(f, o, storage.BoundAt(lo, true))
+			tightenHi(f, o, storage.BoundAt(hi, true))
 		}
 	}
 	// Equality lookups win over range lookups when both were pushed.
@@ -629,27 +707,4 @@ func pushDownPredicates(where sql.Expr, froms []*fromTable, single bool) {
 			f.rangeCol = -1
 		}
 	}
-}
-
-// normalizeCmp matches `col OP literal` or `literal OP col` (flipping the
-// operator), for OP in {=, <, <=, >, >=}.
-func normalizeCmp(b *sql.Binary) (*sql.ColumnRef, value.Value, sql.BinOp, bool) {
-	flip := map[sql.BinOp]sql.BinOp{
-		sql.OpEq: sql.OpEq, sql.OpLt: sql.OpGt, sql.OpLe: sql.OpGe,
-		sql.OpGt: sql.OpLt, sql.OpGe: sql.OpLe,
-	}
-	if _, ok := flip[b.Op]; !ok {
-		return nil, value.Null, 0, false
-	}
-	if cr, ok := b.L.(*sql.ColumnRef); ok {
-		if lit, ok := b.R.(*sql.Literal); ok {
-			return cr, lit.Val, b.Op, true
-		}
-	}
-	if cr, ok := b.R.(*sql.ColumnRef); ok {
-		if lit, ok := b.L.(*sql.Literal); ok {
-			return cr, lit.Val, flip[b.Op], true
-		}
-	}
-	return nil, value.Null, 0, false
 }

@@ -23,6 +23,11 @@ type Env struct {
 	// vars are free coordination variables bound by the coordinator during
 	// grounding of entangled queries; they resolve like unqualified columns.
 	vars map[string]value.Value
+	// params is the parameter vector of the prepared statement being
+	// executed; sql.Param expressions resolve against it. Subquery (child)
+	// environments find it through the parent chain, so one root binding
+	// covers arbitrarily nested scopes.
+	params value.Tuple
 }
 
 type binding struct {
@@ -41,7 +46,30 @@ func NewEnv() *Env { return &Env{} }
 func (e *Env) Reset() {
 	e.parent = nil
 	e.bindings = e.bindings[:0]
+	e.params = nil
 	clear(e.vars)
+}
+
+// BindParams attaches a prepared statement's bound parameter vector.
+func (e *Env) BindParams(ps value.Tuple) { e.params = ps }
+
+// Params returns the parameter vector in scope (walking the parent chain).
+func (e *Env) Params() value.Tuple {
+	for env := e; env != nil; env = env.parent {
+		if env.params != nil {
+			return env.params
+		}
+	}
+	return nil
+}
+
+// Param resolves parameter slot i (0-based) in scope.
+func (e *Env) Param(i int) (value.Value, bool) {
+	ps := e.Params()
+	if i < 0 || i >= len(ps) {
+		return value.Null, false
+	}
+	return ps[i], true
 }
 
 // Child returns a new environment nested inside e.

@@ -20,11 +20,25 @@ var ErrUnboundVariable = errors.New("engine: unbound variable")
 // coordination component.
 var ErrAnswerConstraint = errors.New("engine: IN ANSWER constraint outside entangled query")
 
+// ErrUnboundParam is returned when a sql.Param expression is evaluated
+// without a parameter vector in scope (or with one too short) — i.e. a
+// parameterized statement was executed as plain text instead of through the
+// prepare/bind pipeline.
+var ErrUnboundParam = errors.New("engine: unbound statement parameter")
+
 // EvalExpr evaluates an expression in env, reading tables through tx.
 func (e *Engine) EvalExpr(tx *txn.Txn, expr sql.Expr, env *Env) (value.Value, error) {
 	switch x := expr.(type) {
 	case *sql.Literal:
 		return x.Val, nil
+
+	case *sql.Param:
+		v, ok := env.Param(x.Idx)
+		if !ok {
+			return value.Null, fmt.Errorf("%w: parameter $%d (bind a %d-value vector via Prepare)",
+				ErrUnboundParam, x.Idx+1, x.Idx+1)
+		}
+		return v, nil
 
 	case *sql.ColumnRef:
 		if x.Table != "" {

@@ -1,0 +1,406 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sql"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/value"
+)
+
+// Prepared is the engine half of a prepared statement: one parsed statement
+// whose planning — table resolution, projection columns, index selection,
+// join ordering — is done once and replayed for every execution with a bound
+// parameter vector. The plan is stamped with the catalog's DDL version and
+// transparently rebuilt when schema changes invalidate it, so a handle
+// survives CREATE INDEX (picking up the new access path) and reports a clean
+// error after DROP TABLE.
+//
+// A Prepared is immutable after construction and safe for concurrent
+// Execute/ExecuteIn calls; per-execution state lives in a pooled scratch.
+type Prepared struct {
+	eng  *Engine
+	stmt sql.Statement
+	n    int // parameter-vector length the statement needs
+
+	plan    atomic.Pointer[stmtPlan]
+	scratch sync.Pool // *execScratch
+}
+
+// stmtPlan is one version-stamped planning result. sel is non-nil for the
+// plannable SELECT shape (non-aggregate, with FROM); other statements run
+// through the generic executor, which re-reads the catalog itself.
+type stmtPlan struct {
+	version uint64
+	sel     *selectPlan
+}
+
+// selectPlan caches the per-execution analysis evalSelect performs: resolved
+// tables, canonical bindings, projection columns, pushdown slots (with
+// symbolic value sources, so parameters participate in index selection), and
+// the join iteration order.
+type selectPlan struct {
+	sel   *sql.Select
+	cols  []string
+	froms []fromPlan
+	iter  []int // join iteration order: indexes into froms
+}
+
+// fromPlan is the static part of a fromTable.
+type fromPlan struct {
+	ref      sql.TableRef
+	tbl      *storage.Table
+	binding  string
+	lockName string // canonical table name for LockCanonical
+	eqCols   []int
+	eqSrcs   []valueSrc
+	// Range pushdowns over an ordered-indexed column; bounds tighten at
+	// bind time (which of two parameterized bounds is tighter depends on
+	// the bound values).
+	rangeCol   int
+	rangeConds []rangeCond
+}
+
+// valueSrc is a value known at plan time (literal) or bind time (parameter).
+type valueSrc struct {
+	param int // -1: lit holds the value
+	lit   value.Value
+}
+
+func (v valueSrc) resolve(params value.Tuple) (value.Value, bool) {
+	if v.param < 0 {
+		return v.lit, true
+	}
+	if v.param >= len(params) {
+		return value.Null, false
+	}
+	return params[v.param], true
+}
+
+// rangeCond is one pushable comparison over the range column: a lower or
+// upper bound, inclusive or not.
+type rangeCond struct {
+	lo   bool
+	incl bool
+	src  valueSrc
+}
+
+// execScratch is the pooled per-execution state of a planned SELECT.
+type execScratch struct {
+	fts   []fromTable
+	froms []*fromTable
+	iter  []*fromTable
+	env   *Env
+}
+
+// Prepare plans one parsed statement for repeated execution. Entangled
+// queries are compiled by package eq instead (they execute through the
+// coordination component); transaction control carries no plan.
+func (e *Engine) Prepare(stmt sql.Statement) (*Prepared, error) {
+	switch stmt.(type) {
+	case *sql.EntangledSelect:
+		return nil, fmt.Errorf("engine: entangled query must be prepared through the coordination pipeline")
+	case *sql.TxnStmt:
+		return nil, fmt.Errorf("engine: transaction control cannot be prepared")
+	}
+	return &Prepared{eng: e, stmt: stmt, n: sql.NumParams(stmt)}, nil
+}
+
+// Statement returns the parsed statement behind the handle.
+func (p *Prepared) Statement() sql.Statement { return p.stmt }
+
+// NumParams returns the length of the parameter vector Execute expects.
+func (p *Prepared) NumParams() int { return p.n }
+
+// Execute runs the statement with params bound, in its own transaction.
+func (p *Prepared) Execute(params value.Tuple) (*Result, error) {
+	var res *Result
+	err := p.eng.mgr.RunAtomic(func(tx *txn.Txn) error {
+		var err error
+		res, err = p.ExecuteIn(tx, params)
+		return err
+	})
+	return res, err
+}
+
+// ExecuteIn runs the statement with params bound inside an existing
+// transaction (the session/interactive-transaction path).
+func (p *Prepared) ExecuteIn(tx *txn.Txn, params value.Tuple) (*Result, error) {
+	if len(params) < p.n {
+		return nil, fmt.Errorf("engine: statement needs %d parameter(s), got %d", p.n, len(params))
+	}
+	plan := p.plan.Load()
+	if plan == nil || plan.version != p.eng.Catalog().DDLVersion() {
+		var err error
+		if plan, err = p.buildPlan(); err != nil {
+			return nil, err
+		}
+		p.plan.Store(plan)
+	}
+	if plan.sel == nil {
+		return p.eng.ExecuteInBound(tx, p.stmt, params)
+	}
+	return p.execSelect(tx, plan.sel, params)
+}
+
+// buildPlan runs the planning work of evalSelect once, against the current
+// catalog version. Statements outside the plannable shape get a plan with
+// sel == nil (generic execution, still parse-free).
+func (p *Prepared) buildPlan() (*stmtPlan, error) {
+	version := p.eng.Catalog().DDLVersion()
+	s, ok := p.stmt.(*sql.Select)
+	if !ok || hasAggregates(s) || len(s.GroupBy) > 0 || len(s.From) == 0 {
+		return &stmtPlan{version: version}, nil
+	}
+	sp := &selectPlan{sel: s, froms: make([]fromPlan, len(s.From))}
+	for i, ref := range s.From {
+		tbl, err := p.eng.Catalog().Get(ref.Name)
+		if err != nil {
+			return nil, err
+		}
+		sp.froms[i] = fromPlan{
+			ref: ref, tbl: tbl, binding: strings.ToLower(ref.Binding()),
+			lockName: strings.ToLower(ref.Name), rangeCol: -1,
+		}
+	}
+	planPushDowns(s.Where, sp.froms, len(s.From) == 1)
+	sp.cols = projectionColsPlanned(s, sp.froms)
+
+	// Join iteration order: indexed/equality access first, ranges next, full
+	// scans last — the orderFroms ranking, decided once at plan time.
+	sp.iter = make([]int, len(sp.froms))
+	for i := range sp.iter {
+		sp.iter[i] = i
+	}
+	rank := func(f *fromPlan) int {
+		switch {
+		case len(f.eqCols) > 0:
+			return 0
+		case f.rangeCol >= 0:
+			return 1
+		default:
+			return 2
+		}
+	}
+	if len(sp.iter) > 1 {
+		// Stable insertion sort by rank (the lists are tiny).
+		for i := 1; i < len(sp.iter); i++ {
+			for j := i; j > 0 && rank(&sp.froms[sp.iter[j-1]]) > rank(&sp.froms[sp.iter[j]]); j-- {
+				sp.iter[j-1], sp.iter[j] = sp.iter[j], sp.iter[j-1]
+			}
+		}
+	}
+	return &stmtPlan{version: version, sel: sp}, nil
+}
+
+// planPushDowns is pushDownPredicates with symbolic value sources: the same
+// conjunct shapes are recognized, but parameter operands stay unresolved
+// until bind time.
+func planPushDowns(where sql.Expr, froms []fromPlan, single bool) {
+	locate := func(cr *sql.ColumnRef) (*fromPlan, int) {
+		for i := range froms {
+			f := &froms[i]
+			if cr.Table != "" && !strings.EqualFold(cr.Table, f.ref.Binding()) {
+				continue
+			}
+			if cr.Table == "" && !single {
+				continue
+			}
+			if o := f.tbl.Schema().Ordinal(cr.Name); o >= 0 {
+				return f, o
+			}
+		}
+		return nil, -1
+	}
+	addRange := func(f *fromPlan, o int, rc rangeCond) {
+		if f.rangeCol >= 0 && f.rangeCol != o {
+			return // one range column per table
+		}
+		if !f.tbl.HasOrderedIndex(o) {
+			return
+		}
+		f.rangeCol = o
+		f.rangeConds = append(f.rangeConds, rc)
+	}
+	for _, c := range sql.Conjuncts(where) {
+		switch b := c.(type) {
+		case *sql.Binary:
+			cr, src, op, ok := normalizeCmpSym(b)
+			if !ok {
+				continue
+			}
+			f, o := locate(cr)
+			if f == nil {
+				continue
+			}
+			switch op {
+			case sql.OpEq:
+				f.eqCols = append(f.eqCols, o)
+				f.eqSrcs = append(f.eqSrcs, src)
+			case sql.OpGt:
+				addRange(f, o, rangeCond{lo: true, src: src})
+			case sql.OpGe:
+				addRange(f, o, rangeCond{lo: true, incl: true, src: src})
+			case sql.OpLt:
+				addRange(f, o, rangeCond{src: src})
+			case sql.OpLe:
+				addRange(f, o, rangeCond{incl: true, src: src})
+			}
+		case *sql.Between:
+			cr, ok := b.X.(*sql.ColumnRef)
+			if !ok {
+				continue
+			}
+			lo, okLo := srcOf(b.Lo)
+			hi, okHi := srcOf(b.Hi)
+			if !okLo || !okHi {
+				continue
+			}
+			f, o := locate(cr)
+			if f == nil {
+				continue
+			}
+			addRange(f, o, rangeCond{lo: true, incl: true, src: lo})
+			addRange(f, o, rangeCond{incl: true, src: hi})
+		}
+	}
+	for i := range froms {
+		if len(froms[i].eqCols) > 0 {
+			froms[i].rangeCol = -1
+			froms[i].rangeConds = nil
+		}
+	}
+}
+
+func normalizeCmpSym(b *sql.Binary) (*sql.ColumnRef, valueSrc, sql.BinOp, bool) {
+	var flipped sql.BinOp
+	switch b.Op {
+	case sql.OpEq:
+		flipped = sql.OpEq
+	case sql.OpLt:
+		flipped = sql.OpGt
+	case sql.OpLe:
+		flipped = sql.OpGe
+	case sql.OpGt:
+		flipped = sql.OpLt
+	case sql.OpGe:
+		flipped = sql.OpLe
+	default:
+		return nil, valueSrc{}, 0, false
+	}
+	if cr, ok := b.L.(*sql.ColumnRef); ok {
+		if src, ok := srcOf(b.R); ok {
+			return cr, src, b.Op, true
+		}
+	}
+	if cr, ok := b.R.(*sql.ColumnRef); ok {
+		if src, ok := srcOf(b.L); ok {
+			return cr, src, flipped, true
+		}
+	}
+	return nil, valueSrc{}, 0, false
+}
+
+func srcOf(e sql.Expr) (valueSrc, bool) {
+	switch x := e.(type) {
+	case *sql.Literal:
+		return valueSrc{param: -1, lit: x.Val}, true
+	case *sql.Param:
+		return valueSrc{param: x.Idx}, true
+	}
+	return valueSrc{}, false
+}
+
+// projectionColsPlanned is projectionCols over fromPlans.
+func projectionColsPlanned(s *sql.Select, froms []fromPlan) []string {
+	var cols []string
+	for _, it := range s.Items {
+		switch {
+		case it.Star:
+			for i := range froms {
+				for _, c := range froms[i].tbl.Schema().Columns {
+					cols = append(cols, c.Name)
+				}
+			}
+		case it.Alias != "":
+			cols = append(cols, it.Alias)
+		default:
+			if cr, ok := it.Expr.(*sql.ColumnRef); ok {
+				cols = append(cols, cr.Name)
+			} else {
+				cols = append(cols, it.Expr.String())
+			}
+		}
+	}
+	return cols
+}
+
+// execSelect replays the cached analysis: locks, bind-time pushdown value
+// resolution, then the shared join loop. Everything per-execution lives in
+// the pooled scratch; only the result rows are freshly allocated (they
+// escape to the caller).
+func (p *Prepared) execSelect(tx *txn.Txn, sp *selectPlan, params value.Tuple) (*Result, error) {
+	sc, _ := p.scratch.Get().(*execScratch)
+	if sc == nil {
+		sc = &execScratch{env: NewEnv()}
+	}
+	defer p.scratch.Put(sc)
+	if cap(sc.fts) < len(sp.froms) {
+		sc.fts = make([]fromTable, len(sp.froms))
+		sc.froms = make([]*fromTable, len(sp.froms))
+		sc.iter = make([]*fromTable, len(sp.froms))
+	}
+	fts := sc.fts[:len(sp.froms)]
+	froms := sc.froms[:len(sp.froms)]
+	iter := sc.iter[:len(sp.froms)]
+
+	for i := range sp.froms {
+		fp := &sp.froms[i]
+		if err := tx.LockCanonical(fp.lockName, txn.Shared); err != nil {
+			return nil, err
+		}
+		ft := &fts[i]
+		eqVals := ft.eqVals[:0] // keep the scratch tuple's capacity
+		ids := ft.ids           // keep the reusable id buffer
+		*ft = fromTable{ref: fp.ref, tbl: fp.tbl, binding: fp.binding, rangeCol: -1, ids: ids}
+		for _, src := range fp.eqSrcs {
+			v, ok := src.resolve(params)
+			if !ok {
+				return nil, fmt.Errorf("engine: parameter $%d out of range", src.param+1)
+			}
+			eqVals = append(eqVals, v)
+		}
+		ft.eqVals = eqVals
+		ft.eqCols = fp.eqCols // plan-owned, read-only during execution
+		for _, rc := range fp.rangeConds {
+			v, ok := rc.src.resolve(params)
+			if !ok {
+				return nil, fmt.Errorf("engine: parameter $%d out of range", rc.src.param+1)
+			}
+			ft.rangeCol = fp.rangeCol
+			b := storage.BoundAt(v, rc.incl)
+			if rc.lo {
+				if !ft.lo.Set || b.Value.Compare(ft.lo.Value) > 0 {
+					ft.lo = b
+				}
+			} else {
+				if !ft.hi.Set || b.Value.Compare(ft.hi.Value) < 0 {
+					ft.hi = b
+				}
+			}
+		}
+		froms[i] = ft
+	}
+	for i, idx := range sp.iter {
+		iter[i] = &fts[idx]
+	}
+
+	env := sc.env
+	env.Reset()
+	env.BindParams(params)
+	return p.eng.runSelect(tx, sp.sel, froms, iter, env, sp.cols)
+}

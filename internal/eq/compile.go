@@ -21,6 +21,11 @@ var ErrUnsafe = errors.New("eq: unsafe entangled query")
 // EntangledSelect.
 var ErrNotEntangled = errors.New("eq: statement is not an entangled query")
 
+// ErrHasParams is returned when a parameterized entangled query is compiled
+// for direct submission: without a bound vector its placeholders could never
+// ground, so it must go through CompileTemplate/Bind instead.
+var ErrHasParams = errors.New("eq: entangled query has parameter placeholders; compile it as a template and bind a vector")
+
 // CompileSQL parses and compiles one entangled query. The original text is
 // kept as Query.Source — re-rendering the AST per submission is pure
 // allocation overhead on the arrival hot path.
@@ -33,29 +38,37 @@ func CompileSQL(src string) (*Query, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %T", ErrNotEntangled, stmt)
 	}
-	return compileES(es, src)
+	return compileES(es, src, nil)
 }
 
 // CompileParsed compiles an already-parsed entangled query, using src (when
 // non-empty) as Query.Source instead of re-rendering the AST.
 func CompileParsed(es *sql.EntangledSelect, src string) (*Query, error) {
-	return compileES(es, src)
+	return compileES(es, src, nil)
 }
 
 // Compile translates a parsed entangled query into the coordination IR and
 // runs the safety analysis. Source is re-rendered from the AST; prefer
 // CompileSQL when the original text is at hand.
 func Compile(es *sql.EntangledSelect) (*Query, error) {
-	return compileES(es, "")
+	return compileES(es, "", nil)
 }
 
-func compileES(es *sql.EntangledSelect, src string) (*Query, error) {
+// compileES compiles into the coordination IR. tmpl is non-nil when
+// compiling a parameterized template: parameter placeholders are then legal
+// in answer tuples, constraints and inline generators, and their positions
+// are recorded as patch lists on tmpl for Bind to fill. With tmpl == nil any
+// placeholder is an error — an unbindable parameter would park forever.
+func compileES(es *sql.EntangledSelect, src string, tmpl *Template) (*Query, error) {
 	if src == "" {
 		src = es.String()
 	}
 	q := &Query{Choose: es.Choose, Source: src}
 	if q.Choose == 0 {
 		q.Choose = 1
+	}
+	if tmpl == nil && sql.NumParams(es) > 0 {
+		return nil, ErrHasParams
 	}
 
 	// Entangled queries have a handful of variables; a linear scan over the
@@ -86,8 +99,9 @@ func compileES(es *sql.EntangledSelect, src string) (*Query, error) {
 	if len(es.Targets) == 0 {
 		return nil, fmt.Errorf("eq: entangled query has no INTO ANSWER target")
 	}
+	allowParams := tmpl != nil
 	for _, tgt := range es.Targets {
-		terms, err := exprsToTerms(tgt.Exprs, "answer tuple")
+		terms, patches, err := exprsToTerms(tgt.Exprs, "answer tuple", allowParams)
 		if err != nil {
 			return nil, err
 		}
@@ -95,21 +109,30 @@ func compileES(es *sql.EntangledSelect, src string) (*Query, error) {
 			return nil, fmt.Errorf("eq: empty answer tuple for relation %s", tgt.Relation)
 		}
 		q.Heads = append(q.Heads, NewAtom(tgt.Relation, terms...))
+		if tmpl != nil {
+			tmpl.headPatches = append(tmpl.headPatches, patches)
+		}
 		noteVars(terms)
 	}
 
 	// Split WHERE conjuncts into constraint atoms and residual predicates.
 	for _, c := range sql.Conjuncts(es.Where) {
 		if ia, ok := c.(*sql.InAnswer); ok {
-			terms, err := exprsToTerms(ia.Left, "answer constraint")
+			terms, patches, err := exprsToTerms(ia.Left, "answer constraint", allowParams)
 			if err != nil {
 				return nil, err
 			}
 			atom := NewAtom(ia.Relation, terms...)
 			if ia.Neg {
 				q.NegConstraints = append(q.NegConstraints, atom)
+				if tmpl != nil {
+					tmpl.negPatches = append(tmpl.negPatches, patches)
+				}
 			} else {
 				q.Constraints = append(q.Constraints, atom)
+				if tmpl != nil {
+					tmpl.consPatches = append(tmpl.consPatches, patches)
+				}
 			}
 			noteVars(terms)
 			continue
@@ -119,9 +142,16 @@ func compileES(es *sql.EntangledSelect, src string) (*Query, error) {
 		}
 		q.Preds = append(q.Preds, c)
 		sql.WalkExpr(c, noteFreeVars)
-		if g, ok := generatorOf(c); ok {
+		if g, patches, ok := generatorOf(c, allowParams); ok {
 			g.Pred = len(q.Preds) - 1
 			q.Generators = append(q.Generators, g)
+			if tmpl != nil {
+				gi := len(q.Generators) - 1
+				for _, gp := range patches {
+					gp.gen = gi
+					tmpl.genPatches = append(tmpl.genPatches, gp)
+				}
+			}
 		}
 	}
 
@@ -132,34 +162,44 @@ func compileES(es *sql.EntangledSelect, src string) (*Query, error) {
 }
 
 // exprsToTerms converts answer-tuple or constraint expressions to terms.
-// Only constants and bare variables are allowed, keeping queries within the
-// conjunctive fragment the matching algorithm handles.
-func exprsToTerms(exprs []sql.Expr, where string) ([]Term, error) {
+// Only constants and bare variables are allowed — plus, when compiling a
+// template, parameter placeholders, whose positions come back as a patch
+// list for Bind to fill (the term itself holds a NULL placeholder until
+// then). This keeps queries within the conjunctive fragment the matching
+// algorithm handles.
+func exprsToTerms(exprs []sql.Expr, where string, allowParams bool) ([]Term, []termPatch, error) {
 	terms := make([]Term, len(exprs))
+	var patches []termPatch
 	for i, e := range exprs {
 		switch x := e.(type) {
 		case *sql.Literal:
 			terms[i] = ConstTerm(x.Val)
+		case *sql.Param:
+			if !allowParams {
+				return nil, nil, ErrHasParams
+			}
+			terms[i] = ConstTerm(value.Null)
+			patches = append(patches, termPatch{pos: i, param: x.Idx})
 		case *sql.ColumnRef:
 			if x.Table != "" {
-				return nil, fmt.Errorf("eq: qualified name %s not allowed in %s (entangled queries have no FROM scope)", x, where)
+				return nil, nil, fmt.Errorf("eq: qualified name %s not allowed in %s (entangled queries have no FROM scope)", x, where)
 			}
 			terms[i] = VarTerm(x.Name)
 		case *sql.Neg:
 			lit, ok := x.X.(*sql.Literal)
 			if !ok {
-				return nil, fmt.Errorf("eq: %s must contain only constants and variables, found %s", where, e)
+				return nil, nil, fmt.Errorf("eq: %s must contain only constants and variables, found %s", where, e)
 			}
 			v, err := negateLiteral(lit.Val)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			terms[i] = ConstTerm(v)
 		default:
-			return nil, fmt.Errorf("eq: %s must contain only constants and variables, found %s", where, e)
+			return nil, nil, fmt.Errorf("eq: %s must contain only constants and variables, found %s", where, e)
 		}
 	}
-	return terms, nil
+	return terms, patches, nil
 }
 
 func negateLiteral(v value.Value) (value.Value, error) {
@@ -210,67 +250,104 @@ func freeVars(e sql.Expr) []string {
 //	(x, y) IN (SELECT ...)       → joint subquery generator
 //	x = const / const = x        → singleton generator
 //	x IN (c1, ..., ck)           → inline list generator
-func generatorOf(e sql.Expr) (Generator, bool) {
+//
+// When allowParams (template compilation), a parameter placeholder counts as
+// a constant in the singleton and inline-list shapes: `fno = ?` generates
+// for fno, with the slot recorded as a patch (gen index filled by the
+// caller) so safety analysis sees the variable as generated even though the
+// value arrives at bind time.
+func generatorOf(e sql.Expr, allowParams bool) (Generator, []genPatch, bool) {
 	switch x := e.(type) {
 	case *sql.InSelect:
 		if x.Neg {
-			return Generator{}, false
+			return Generator{}, nil, false
 		}
 		vars := make([]string, len(x.Left))
 		for i, le := range x.Left {
 			cr, ok := le.(*sql.ColumnRef)
 			if !ok || cr.Table != "" {
-				return Generator{}, false
+				return Generator{}, nil, false
 			}
 			vars[i] = strings.ToLower(cr.Name)
 		}
-		return Generator{Vars: vars, Sub: x.Sub}, true
+		return Generator{Vars: vars, Sub: x.Sub}, nil, true
 
 	case *sql.Binary:
 		if x.Op != sql.OpEq {
-			return Generator{}, false
+			return Generator{}, nil, false
 		}
-		cr, lit := asVarLit(x.L, x.R)
+		cr, lit, pidx := asVarConst(x.L, x.R, allowParams)
 		if cr == "" {
-			return Generator{}, false
+			return Generator{}, nil, false
 		}
-		return Generator{Vars: []string{cr}, Tuples: []value.Tuple{{lit}}}, true
+		g := Generator{Vars: []string{cr}, Tuples: []value.Tuple{{lit}}}
+		if pidx >= 0 {
+			return g, []genPatch{{row: 0, col: 0, param: pidx}}, true
+		}
+		return g, nil, true
 
 	case *sql.InValues:
 		if x.Neg {
-			return Generator{}, false
+			return Generator{}, nil, false
 		}
 		cr, ok := x.X.(*sql.ColumnRef)
 		if !ok || cr.Table != "" {
-			return Generator{}, false
+			return Generator{}, nil, false
 		}
 		var tuples []value.Tuple
+		var patches []genPatch
 		for _, ve := range x.Vals {
-			lit, ok := ve.(*sql.Literal)
-			if !ok {
-				return Generator{}, false
+			switch lit := ve.(type) {
+			case *sql.Literal:
+				tuples = append(tuples, value.Tuple{lit.Val})
+			case *sql.Param:
+				if !allowParams {
+					return Generator{}, nil, false
+				}
+				patches = append(patches, genPatch{row: len(tuples), col: 0, param: lit.Idx})
+				tuples = append(tuples, value.Tuple{value.Null})
+			default:
+				return Generator{}, nil, false
 			}
-			tuples = append(tuples, value.Tuple{lit.Val})
 		}
-		return Generator{Vars: []string{strings.ToLower(cr.Name)}, Tuples: tuples}, true
+		return Generator{Vars: []string{strings.ToLower(cr.Name)}, Tuples: tuples}, patches, true
 	}
-	return Generator{}, false
+	return Generator{}, nil, false
 }
 
-// asVarLit matches (var, literal) in either order, returning the canonical
-// var name and the literal value, or "" when the shape doesn't match.
-func asVarLit(a, b sql.Expr) (string, value.Value) {
-	if cr, ok := a.(*sql.ColumnRef); ok && cr.Table == "" {
-		if lit, ok := b.(*sql.Literal); ok {
-			return strings.ToLower(cr.Name), lit.Val
+// asVarConst matches (var, literal-or-param) in either order, returning the
+// canonical var name plus either the literal value (param -1) or the
+// parameter slot. An empty name means the shape did not match.
+func asVarConst(a, b sql.Expr, allowParams bool) (string, value.Value, int) {
+	name := func(e sql.Expr) (string, bool) {
+		cr, ok := e.(*sql.ColumnRef)
+		if !ok || cr.Table != "" {
+			return "", false
 		}
+		return strings.ToLower(cr.Name), true
 	}
-	if cr, ok := b.(*sql.ColumnRef); ok && cr.Table == "" {
-		if lit, ok := a.(*sql.Literal); ok {
-			return strings.ToLower(cr.Name), lit.Val
+	try := func(v, c sql.Expr) (string, value.Value, int, bool) {
+		n, ok := name(v)
+		if !ok {
+			return "", value.Null, -1, false
 		}
+		switch x := c.(type) {
+		case *sql.Literal:
+			return n, x.Val, -1, true
+		case *sql.Param:
+			if allowParams {
+				return n, value.Null, x.Idx, true
+			}
+		}
+		return "", value.Null, -1, false
 	}
-	return "", value.Null
+	if n, v, p, ok := try(a, b); ok {
+		return n, v, p
+	}
+	if n, v, p, ok := try(b, a); ok {
+		return n, v, p
+	}
+	return "", value.Null, -1
 }
 
 // checkSafety enforces that every variable has at least one generator, so

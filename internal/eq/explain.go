@@ -45,7 +45,7 @@ func Explain(q *Query) string {
 	}
 	filters := 0
 	for _, p := range q.Preds {
-		if _, isGen := generatorOf(p); !isGen {
+		if _, _, isGen := generatorOf(p, true); !isGen {
 			filters++
 		}
 	}

@@ -57,6 +57,12 @@ type Query struct {
 	Choose int
 	// Source is the SQL text the query was compiled from (diagnostics).
 	Source string
+	// Params is the bound parameter vector of a template-instantiated query
+	// (nil for directly compiled queries). Atom slots were substituted at
+	// bind time; parameters inside residual predicates stay symbolic in the
+	// shared ASTs and the engine resolves them against this vector during
+	// grounding.
+	Params value.Tuple
 }
 
 // String renders the query in logic notation, e.g.

@@ -1,0 +1,154 @@
+package eq
+
+import (
+	"fmt"
+
+	"repro/internal/sql"
+	"repro/internal/value"
+)
+
+// Template is a parameterized entangled query compiled once: the coordination
+// IR — head/constraint atoms, residual predicates, generators, safety
+// analysis — is built a single time, and Bind stamps out a submittable *Query
+// per arrival by substituting the parameter vector into the few term slots
+// that reference it. Everything else (predicate ASTs, generator subqueries,
+// variable lists) is shared by every bound query, so a repeated submission
+// skips both sql.Parse and the compiler entirely.
+//
+// Parameters inside residual predicates (including subquery bodies, e.g.
+// `fno IN (SELECT fno FROM Flights WHERE dest = $1)`) are not substituted at
+// all: the bound Query carries its vector in Query.Params and the execution
+// engine resolves them during grounding — and pushes them down to index
+// lookups exactly like literals.
+//
+// A Template is immutable after compilation and safe for concurrent Bind.
+type Template struct {
+	src  string
+	n    int
+	base Query
+
+	// Patch lists: which atom term positions take which parameter slot.
+	headPatches [][]termPatch // parallel to base.Heads
+	consPatches [][]termPatch // parallel to base.Constraints
+	negPatches  [][]termPatch // parallel to base.NegConstraints
+	genPatches  []genPatch    // inline-tuple generator slots
+	// cloneGens: generators must be deep-copied per bind — either because a
+	// tuple slot is patched, or because the grounder shuffles inline tuple
+	// slices in place (CHOOSE nondeterminism), which must not race across
+	// concurrently bound queries.
+	cloneGens bool
+}
+
+// termPatch routes parameter slot param into term position pos of one atom.
+type termPatch struct{ pos, param int }
+
+// genPatch routes parameter slot param into row/col of generator gen's
+// inline tuples.
+type genPatch struct{ gen, row, col, param int }
+
+// CompileTemplate compiles a parsed entangled query with parameter
+// placeholders into a reusable template. src (when non-empty) becomes the
+// Source of every bound query.
+func CompileTemplate(es *sql.EntangledSelect, src string) (*Template, error) {
+	t := &Template{src: src, n: sql.NumParams(es)}
+	q, err := compileES(es, src, t)
+	if err != nil {
+		return nil, err
+	}
+	t.base = *q
+	for _, g := range t.base.Generators {
+		if g.Tuples != nil {
+			t.cloneGens = true
+			break
+		}
+	}
+	return t, nil
+}
+
+// CompileTemplateSQL parses and compiles one parameterized entangled query.
+func CompileTemplateSQL(src string) (*Template, error) {
+	stmt, err := sql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	es, ok := stmt.(*sql.EntangledSelect)
+	if !ok {
+		return nil, fmt.Errorf("%w: %T", ErrNotEntangled, stmt)
+	}
+	return CompileTemplate(es, src)
+}
+
+// NumParams returns the parameter-vector length Bind expects.
+func (t *Template) NumParams() int { return t.n }
+
+// Source returns the SQL text the template was compiled from.
+func (t *Template) Source() string { return t.base.Source }
+
+// Bind materializes one submittable query from the template: parameter slots
+// in head/constraint atoms and inline generators become constants, and the
+// vector rides along in Query.Params for the engine to resolve residual-
+// predicate parameters during grounding.
+func (t *Template) Bind(params value.Tuple) (*Query, error) {
+	if len(params) < t.n {
+		return nil, fmt.Errorf("eq: template needs %d parameter(s), got %d", t.n, len(params))
+	}
+	q := new(Query)
+	*q = t.base // shares Preds, Vars, subquery generators, Source
+	q.Params = params
+	q.Heads = patchAtoms(t.base.Heads, t.headPatches, params)
+	q.Constraints = patchAtoms(t.base.Constraints, t.consPatches, params)
+	q.NegConstraints = patchAtoms(t.base.NegConstraints, t.negPatches, params)
+	if t.cloneGens {
+		gens := make([]Generator, len(t.base.Generators))
+		copy(gens, t.base.Generators)
+		for i := range gens {
+			if gens[i].Tuples == nil {
+				continue
+			}
+			// Fresh slice header per bind: the grounder shuffles candidate
+			// slices in place, and concurrent binds must not share one.
+			tt := make([]value.Tuple, len(gens[i].Tuples))
+			copy(tt, gens[i].Tuples)
+			gens[i].Tuples = tt
+		}
+		for _, gp := range t.genPatches {
+			row := gens[gp.gen].Tuples[gp.row]
+			fresh := make(value.Tuple, len(row))
+			copy(fresh, row)
+			fresh[gp.col] = params[gp.param]
+			gens[gp.gen].Tuples[gp.row] = fresh
+		}
+		q.Generators = gens
+	}
+	return q, nil
+}
+
+// patchAtoms returns atoms with the patched term positions replaced by
+// parameter values — sharing the input slice (and every Terms slice) when no
+// atom is patched.
+func patchAtoms(atoms []Atom, patches [][]termPatch, params value.Tuple) []Atom {
+	any := false
+	for _, ps := range patches {
+		if len(ps) > 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return atoms
+	}
+	out := make([]Atom, len(atoms))
+	copy(out, atoms)
+	for i, ps := range patches {
+		if len(ps) == 0 {
+			continue
+		}
+		terms := make([]Term, len(out[i].Terms))
+		copy(terms, out[i].Terms)
+		for _, p := range ps {
+			terms[p.pos] = ConstTerm(params[p.param])
+		}
+		out[i].Terms = terms
+	}
+	return out
+}

@@ -1,0 +1,210 @@
+package eq
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/value"
+)
+
+const pairTemplate = `SELECT ?, fno INTO ANSWER Reservation
+WHERE fno IN (SELECT fno FROM Flights WHERE dest = ?)
+AND (?, fno) IN ANSWER Reservation
+CHOOSE 1`
+
+func mustTemplate(t *testing.T, src string) *Template {
+	t.Helper()
+	tmpl, err := CompileTemplateSQL(src)
+	if err != nil {
+		t.Fatalf("CompileTemplateSQL(%q): %v", src, err)
+	}
+	return tmpl
+}
+
+func TestTemplateBindMatchesDirectCompile(t *testing.T) {
+	tmpl := mustTemplate(t, pairTemplate)
+	if tmpl.NumParams() != 3 {
+		t.Fatalf("NumParams = %d, want 3", tmpl.NumParams())
+	}
+	bound, err := tmpl.Bind(value.NewTuple("Kramer", "Paris", "Jerry"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := CompileSQL(`SELECT 'Kramer', fno INTO ANSWER Reservation
+WHERE fno IN (SELECT fno FROM Flights WHERE dest = 'Paris')
+AND ('Jerry', fno) IN ANSWER Reservation
+CHOOSE 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Heads and constraints must be term-for-term identical to the direct
+	// compilation (the subquery's dest stays a symbolic param — resolved by
+	// the engine via Query.Params — so Preds are not compared).
+	if len(bound.Heads) != len(direct.Heads) {
+		t.Fatalf("heads: %d vs %d", len(bound.Heads), len(direct.Heads))
+	}
+	for i := range bound.Heads {
+		for j, term := range bound.Heads[i].Terms {
+			if !term.Equal(direct.Heads[i].Terms[j]) {
+				t.Fatalf("head %d term %d: %s vs %s", i, j, term, direct.Heads[i].Terms[j])
+			}
+		}
+	}
+	for i := range bound.Constraints {
+		for j, term := range bound.Constraints[i].Terms {
+			if !term.Equal(direct.Constraints[i].Terms[j]) {
+				t.Fatalf("constraint %d term %d: %s vs %s", i, j, term, direct.Constraints[i].Terms[j])
+			}
+		}
+	}
+	if len(bound.Params) != 3 {
+		t.Fatal("bound query lost its parameter vector")
+	}
+}
+
+// TestTemplateBindShares: binds must share the compiled skeleton (preds,
+// vars, subquery generators) and not leak one bind's constants into another.
+func TestTemplateBindShares(t *testing.T) {
+	tmpl := mustTemplate(t, pairTemplate)
+	q1, err := tmpl.Bind(value.NewTuple("a1", "Paris", "b1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := tmpl.Bind(value.NewTuple("a2", "Rome", "b2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &q1.Preds[0] != &q2.Preds[0] {
+		t.Fatal("binds do not share the predicate ASTs")
+	}
+	if q1.Heads[0].Terms[0].Const.Str() != "a1" || q2.Heads[0].Terms[0].Const.Str() != "a2" {
+		t.Fatalf("cross-bind contamination: %s vs %s", q1.Heads[0], q2.Heads[0])
+	}
+	if q1.Constraints[0].Terms[0].Const.Str() != "b1" || q2.Constraints[0].Terms[0].Const.Str() != "b2" {
+		t.Fatalf("cross-bind constraint contamination: %s vs %s", q1.Constraints[0], q2.Constraints[0])
+	}
+}
+
+// TestTemplateParamGenerator: `fno = ?` must count as a generator for fno
+// (safety) and materialize the bound constant; inline generator tuple slices
+// must be per-bind (the grounder shuffles them in place).
+func TestTemplateParamGenerator(t *testing.T) {
+	tmpl := mustTemplate(t, "SELECT ?, fno INTO ANSWER Reservation WHERE fno = ? CHOOSE 1")
+	q1, err := tmpl.Bind(value.NewTuple("u1", int64(122)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := tmpl.Bind(value.NewTuple("u2", int64(123)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q1.Generators) != 1 || len(q1.Generators[0].Tuples) != 1 {
+		t.Fatalf("generators: %+v", q1.Generators)
+	}
+	if got := q1.Generators[0].Tuples[0][0].Int(); got != 122 {
+		t.Fatalf("bound generator tuple = %d, want 122", got)
+	}
+	if got := q2.Generators[0].Tuples[0][0].Int(); got != 123 {
+		t.Fatalf("bound generator tuple = %d, want 123", got)
+	}
+	// Distinct backing: mutating one bind's candidate slice (as the
+	// grounder's shuffle does) must not touch the other's.
+	q1.Generators[0].Tuples[0] = value.Tuple{value.NewInt(999)}
+	if q2.Generators[0].Tuples[0][0].Int() != 123 {
+		t.Fatal("binds share inline generator tuple storage")
+	}
+
+	// IN-list with a mix of params and literals.
+	tmpl2 := mustTemplate(t, "SELECT ?, fno INTO ANSWER Reservation WHERE fno IN (1, ?, 3) CHOOSE 1")
+	q, err := tmpl2.Bind(value.NewTuple("u", int64(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int64
+	for _, tup := range q.Generators[0].Tuples {
+		got = append(got, tup[0].Int())
+	}
+	if fmt.Sprint(got) != "[1 2 3]" {
+		t.Fatalf("IN-list generator = %v", got)
+	}
+}
+
+func TestTemplateSafety(t *testing.T) {
+	// A variable generated ONLY through a param equality is safe...
+	if _, err := CompileTemplateSQL("SELECT ?, fno INTO ANSWER R WHERE fno = ? CHOOSE 1"); err != nil {
+		t.Fatalf("param-generated variable rejected: %v", err)
+	}
+	// ...but a variable with no generator is still unsafe.
+	if _, err := CompileTemplateSQL("SELECT ?, fno INTO ANSWER R WHERE fno > ? CHOOSE 1"); !errors.Is(err, ErrUnsafe) {
+		t.Fatalf("want ErrUnsafe, got %v", err)
+	}
+}
+
+func TestTemplateArity(t *testing.T) {
+	tmpl := mustTemplate(t, pairTemplate)
+	if _, err := tmpl.Bind(value.NewTuple("only", "two")); err == nil {
+		t.Fatal("short vector accepted")
+	}
+}
+
+// TestDirectCompileRejectsParams: the non-template compile paths must refuse
+// placeholders — an unbindable parameter would park the query forever.
+func TestDirectCompileRejectsParams(t *testing.T) {
+	for _, src := range []string{
+		pairTemplate, // params in head/constraint
+		"SELECT 'u', fno INTO ANSWER R WHERE fno IN (SELECT fno FROM F WHERE dest = ?) CHOOSE 1", // param only inside a pred
+	} {
+		if _, err := CompileSQL(src); !errors.Is(err, ErrHasParams) {
+			t.Fatalf("CompileSQL(%q): want ErrHasParams, got %v", src, err)
+		}
+	}
+}
+
+// TestTemplateConcurrentBind: one template, many concurrent binds — shared
+// skeleton, distinct atoms; run under -race this pins the immutability
+// contract.
+func TestTemplateConcurrentBind(t *testing.T) {
+	tmpl := mustTemplate(t, pairTemplate)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				self := fmt.Sprintf("u%d_%d", w, i)
+				q, err := tmpl.Bind(value.NewTuple(self, "Paris", "partner"))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if q.Heads[0].Terms[0].Const.Str() != self {
+					errs <- fmt.Errorf("bind corrupted: %s", q.Heads[0])
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestTemplateLogicRendering: a bound query renders like its direct twin
+// (modulo the symbolic subquery param), so diagnostics stay readable.
+func TestTemplateLogicRendering(t *testing.T) {
+	tmpl := mustTemplate(t, pairTemplate)
+	q, err := tmpl.Bind(value.NewTuple("Kramer", "Paris", "Jerry"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := q.String()
+	if !strings.Contains(s, "'Kramer'") || !strings.Contains(s, "'Jerry'") {
+		t.Fatalf("bound logic rendering lost constants: %s", s)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/coord"
@@ -339,14 +340,21 @@ func (c *Client) Query(sql string) (*QueryResult, error) {
 // by then, the query is withdrawn server-side and the event arrives with
 // Canceled set.
 func (c *Client) SubmitContext(ctx context.Context, sql, owner string) (uint64, <-chan Event, error) {
+	ttl := ttlFrom(ctx)
+	return c.submitRoundTrip(ctx, func(f *frameBuf, id uint64) error {
+		return f.appendExec(id, sql, owner, ttl)
+	})
+}
+
+// submitRoundTrip is the shared submit plumbing of the text and prepared
+// paths: send the frame, await the entangled ack, register (or satisfy from
+// the early set) the outcome watch.
+func (c *Client) submitRoundTrip(ctx context.Context, enc func(f *frameBuf, id uint64) error) (uint64, <-chan Event, error) {
 	if err := ctx.Err(); err != nil {
 		return 0, nil, err
 	}
 	watch := make(chan Event, 1)
-	ttl := ttlFrom(ctx)
-	call, id, err := c.send(func(f *frameBuf, id uint64) error {
-		return f.appendExec(id, sql, owner, ttl)
-	})
+	call, id, err := c.send(enc)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -484,6 +492,112 @@ func (c *Client) AdminWAL() (string, error) {
 		return "", err
 	}
 	return renderWAL(st, durable), nil
+}
+
+// Stmt is a client handle to a server-side prepared statement: the SQL text
+// crossed the wire once (PrepareContext) and every execution ships only the
+// statement id plus a binary-encoded parameter vector — int64 and float64
+// parameters round-trip exactly, with no text formatting in between.
+//
+// Statement ids are scoped to the connection that prepared them; closing the
+// connection discards every statement it prepared.
+type Stmt struct {
+	c         *Client
+	id        uint64
+	nParams   int
+	entangled bool
+	closed    atomic.Bool
+}
+
+// PrepareContext compiles one statement server-side and returns its handle.
+func (c *Client) PrepareContext(ctx context.Context, sql string) (*Stmt, error) {
+	r, err := c.roundTrip(ctx, func(f *frameBuf, id uint64) error {
+		return f.appendPrepare(id, sql)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if r.rp.kind != kindPrepared {
+		return nil, fmt.Errorf("server: unexpected reply kind 0x%02x to prepare", r.rp.kind)
+	}
+	return &Stmt{c: c, id: r.rp.stmt, nParams: r.rp.nParams, entangled: r.rp.prepEnt}, nil
+}
+
+// Prepare is PrepareContext with context.Background().
+func (c *Client) Prepare(sql string) (*Stmt, error) {
+	return c.PrepareContext(context.Background(), sql)
+}
+
+// NumParams returns the parameter-vector length executions expect.
+func (st *Stmt) NumParams() int { return st.nParams }
+
+// Entangled reports whether executions coordinate (use Submit, not Query).
+func (st *Stmt) Entangled() bool { return st.entangled }
+
+func (st *Stmt) check() error {
+	if st.closed.Load() {
+		return fmt.Errorf("server: prepared statement s%d is closed", st.id)
+	}
+	return nil
+}
+
+// QueryContext executes the prepared statement with the bound vector.
+func (st *Stmt) QueryContext(ctx context.Context, params value.Tuple) (*QueryResult, error) {
+	if err := st.check(); err != nil {
+		return nil, err
+	}
+	r, err := st.c.roundTrip(ctx, func(f *frameBuf, id uint64) error {
+		return f.appendExecPrepared(id, st.id, "", 0, params)
+	})
+	if err != nil {
+		return nil, err
+	}
+	switch r.rp.kind {
+	case kindResultEnd:
+		return r.res, nil
+	case kindOK:
+		return &QueryResult{}, nil
+	case kindEntangled:
+		return nil, fmt.Errorf("server: Query cannot run entangled statements; use Submit")
+	default:
+		return nil, fmt.Errorf("server: unexpected reply kind 0x%02x", r.rp.kind)
+	}
+}
+
+// Query executes with Go-native arguments (see value.NewTuple).
+func (st *Stmt) Query(args ...any) (*QueryResult, error) {
+	return st.QueryContext(context.Background(), value.NewTuple(args...))
+}
+
+// SubmitContext executes an entangled prepared statement: the template is
+// bound server-side and submitted to the coordination component, skipping
+// parse and compile — and the wire carries no SQL text at all. The returned
+// channel and TTL semantics match Client.SubmitContext.
+func (st *Stmt) SubmitContext(ctx context.Context, owner string, params value.Tuple) (uint64, <-chan Event, error) {
+	if err := st.check(); err != nil {
+		return 0, nil, err
+	}
+	ttl := ttlFrom(ctx)
+	return st.c.submitRoundTrip(ctx, func(f *frameBuf, id uint64) error {
+		return f.appendExecPrepared(id, st.id, owner, ttl, params)
+	})
+}
+
+// Submit is SubmitContext with context.Background() and native arguments.
+func (st *Stmt) Submit(owner string, args ...any) (uint64, <-chan Event, error) {
+	return st.SubmitContext(context.Background(), owner, value.NewTuple(args...))
+}
+
+// Close drops the statement from the server's per-connection table. Further
+// executions fail; closing twice is an error-free no-op client-side.
+func (st *Stmt) Close() error {
+	if st.closed.Swap(true) {
+		return nil
+	}
+	_, err := st.c.roundTrip(context.Background(), func(f *frameBuf, id uint64) error {
+		return f.appendClosePrepared(id, st.id)
+	})
+	return err
 }
 
 // call adapts a legacy Request to the v2 wire — the pre-v2 client surface,

@@ -52,6 +52,14 @@ const (
 	kindExec   = 0x01 // sql, owner, ttl — execute one statement
 	kindCancel = 0x02 // withdraw an entangled query by id
 	kindAdmin  = 0x03 // typed admin request (admin* code)
+	// Prepared-statement lifecycle: a statement is parsed/compiled once
+	// server-side and repeated executions ship only its id plus a
+	// binary-encoded parameter vector — the SQL text stops crossing the
+	// wire entirely. Statement ids are per-connection; the table is torn
+	// down with the connection.
+	kindPrepare       = 0x04 // sql — parse/compile, reply kindPrepared
+	kindExecPrepared  = 0x05 // stmt id, owner, ttl, parameter tuple
+	kindClosePrepared = 0x06 // stmt id — drop from the connection's table
 )
 
 // Server → client:
@@ -64,6 +72,7 @@ const (
 	kindEvent     = 0x15 // async coordination outcome (answer / canceled)
 	kindAdminResp = 0x16 // typed admin response (admin* code + payload)
 	kindError     = 0x17 // error reply, correlated by id
+	kindPrepared  = 0x18 // prepare ack: stmt id, parameter count, entangled flag
 )
 
 // Admin codes shared by kindAdmin and kindAdminResp.
@@ -212,6 +221,41 @@ func (f *frameBuf) appendExec(id uint64, sql, owner string, ttl time.Duration) e
 func (f *frameBuf) appendCancel(id, query uint64) error {
 	f.begin(kindCancel, id)
 	f.uvarint(query)
+	return f.end()
+}
+
+func (f *frameBuf) appendPrepare(id uint64, sql string) error {
+	f.begin(kindPrepare, id)
+	f.string(sql)
+	return f.end()
+}
+
+// appendExecPrepared encodes one prepared execution: the statement id, the
+// owner label, the TTL (as in appendExec) and the parameter vector in the
+// tagged binary value encoding — int64 and float64 round-trip exactly.
+func (f *frameBuf) appendExecPrepared(id, stmt uint64, owner string, ttl time.Duration, params value.Tuple) error {
+	f.begin(kindExecPrepared, id)
+	f.uvarint(stmt)
+	f.string(owner)
+	if ttl < 0 {
+		ttl = 0
+	}
+	f.uvarint(uint64(ttl / time.Millisecond))
+	f.tuple(params)
+	return f.end()
+}
+
+func (f *frameBuf) appendClosePrepared(id, stmt uint64) error {
+	f.begin(kindClosePrepared, id)
+	f.uvarint(stmt)
+	return f.end()
+}
+
+func (f *frameBuf) appendPrepared(id, stmt uint64, nParams int, entangled bool) error {
+	f.begin(kindPrepared, id)
+	f.uvarint(stmt)
+	f.uvarint(uint64(nParams))
+	f.bool(entangled)
 	return f.end()
 }
 
@@ -586,13 +630,15 @@ func frameHeader(payload []byte) (kind byte, id uint64, r frameReader, err error
 
 // request is one decoded client → server v2 message.
 type request struct {
-	kind  byte
-	id    uint64
-	sql   string
-	owner string
-	ttl   time.Duration
-	query uint64 // kindCancel
-	admin byte   // kindAdmin
+	kind   byte
+	id     uint64
+	sql    string
+	owner  string
+	ttl    time.Duration
+	query  uint64      // kindCancel
+	admin  byte        // kindAdmin
+	stmt   uint64      // kindExecPrepared / kindClosePrepared
+	params value.Tuple // kindExecPrepared
 }
 
 // decodeRequest decodes a client frame. On failure the returned request
@@ -629,6 +675,35 @@ func decodeRequest(payload []byte) (request, error) {
 		if req.admin, err = r.u8(); err != nil {
 			return req, err
 		}
+	case kindPrepare:
+		if req.sql, err = r.string(); err != nil {
+			return req, err
+		}
+	case kindExecPrepared:
+		if req.stmt, err = r.uvarint(); err != nil {
+			return req, err
+		}
+		if req.owner, err = r.string(); err != nil {
+			return req, err
+		}
+		ms, err := r.uvarint()
+		if err != nil {
+			return req, err
+		}
+		if ms > uint64(math.MaxInt64/int64(time.Millisecond)) {
+			return req, fmt.Errorf("server: ttl %dms out of range", ms)
+		}
+		req.ttl = time.Duration(ms) * time.Millisecond
+		// The parameter vector: decoded strings must not alias the reused
+		// frame buffer — they live as long as the bound statement runs.
+		r.internRemaining()
+		if req.params, err = r.tuple(); err != nil {
+			return req, err
+		}
+	case kindClosePrepared:
+		if req.stmt, err = r.uvarint(); err != nil {
+			return req, err
+		}
 	default:
 		return req, fmt.Errorf("server: unknown request kind 0x%02x", kind)
 	}
@@ -645,6 +720,9 @@ type reply struct {
 	text     string // kindOK text, kindError message, adminState report
 	errCode  byte
 	query    uint64 // kindEntangled
+	stmt     uint64 // kindPrepared: statement id
+	nParams  int    // kindPrepared
+	prepEnt  bool   // kindPrepared: statement is entangled
 	affected int
 	cols     []string
 	rows     []value.Tuple // kindRows batch
@@ -681,6 +759,21 @@ func decodeReply(payload []byte) (reply, error) {
 		}
 	case kindEntangled:
 		if rp.query, err = r.uvarint(); err != nil {
+			return rp, err
+		}
+	case kindPrepared:
+		if rp.stmt, err = r.uvarint(); err != nil {
+			return rp, err
+		}
+		n, err := r.uvarint()
+		if err != nil {
+			return rp, err
+		}
+		if n > math.MaxInt32 {
+			return rp, fmt.Errorf("server: parameter count %d out of range", n)
+		}
+		rp.nParams = int(n)
+		if rp.prepEnt, err = r.bool(); err != nil {
 			return rp, err
 		}
 	case kindResult:

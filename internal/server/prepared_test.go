@@ -1,0 +1,245 @@
+package server
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/travel"
+)
+
+func newPreparedServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	sys := core.NewSystem(core.Config{})
+	if err := sys.Exec(`CREATE TABLE Flights (fno INT, dest STRING, price FLOAT, PRIMARY KEY (fno));
+CREATE INDEX ON Flights (dest);
+INSERT INTO Flights VALUES (1, 'Paris', 100.0), (2, 'Paris', 250.0), (3, 'Rome', 180.0)`); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Listen(sys, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, srv.Addr().String()
+}
+
+func dialT(t *testing.T, addr string) *Client {
+	t.Helper()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestPreparedWireQuery(t *testing.T) {
+	_, addr := newPreparedServer(t)
+	c := dialT(t, addr)
+	st, err := c.Prepare("SELECT fno FROM Flights WHERE dest = ? ORDER BY fno")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumParams() != 1 || st.Entangled() {
+		t.Fatalf("stmt meta: n=%d entangled=%v", st.NumParams(), st.Entangled())
+	}
+	for i := 0; i < 3; i++ { // bind-many over one prepared id
+		res, err := st.Query("Paris")
+		if err != nil || len(res.Rows) != 2 {
+			t.Fatalf("round %d: %v %v", i, res, err)
+		}
+		if res.Rows[0][0].Int() != 1 || res.Rows[1][0].Int() != 2 {
+			t.Fatalf("round %d rows: %v", i, res.Rows)
+		}
+	}
+	res, err := st.Query("Rome")
+	if err != nil || len(res.Rows) != 1 || res.Rows[0][0].Int() != 3 {
+		t.Fatalf("rebind: %v %v", res, err)
+	}
+}
+
+// TestPreparedWireClose: exec-after-close errors, double close is a no-op,
+// closing an unknown id errors.
+func TestPreparedWireClose(t *testing.T) {
+	srv, addr := newPreparedServer(t)
+	c := dialT(t, addr)
+	st, err := c.Prepare("SELECT fno FROM Flights WHERE dest = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.PreparedStatements(); got != 1 {
+		t.Fatalf("server holds %d statements, want 1", got)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.PreparedStatements(); got != 0 {
+		t.Fatalf("server holds %d statements after close, want 0", got)
+	}
+	if _, err := st.Query("Paris"); err == nil || !strings.Contains(err.Error(), "closed") {
+		t.Fatalf("exec after close: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+	// A stale/foreign id is a correlated server error, not a dead connection.
+	_, err = c.roundTrip(context.Background(), func(f *frameBuf, id uint64) error {
+		return f.appendExecPrepared(id, 999, "", 0, nil)
+	})
+	if err == nil || !strings.Contains(err.Error(), "not open") {
+		t.Fatalf("foreign stmt id: %v", err)
+	}
+	res, err := c.Query("SELECT fno FROM Flights WHERE dest = 'Rome'")
+	if err != nil || len(res.Rows) != 1 {
+		t.Fatalf("connection unusable after prepared errors: %v %v", res, err)
+	}
+}
+
+// TestPreparedWireDisconnectCleanup: a dropped connection takes its whole
+// statement table with it.
+func TestPreparedWireDisconnectCleanup(t *testing.T) {
+	srv, addr := newPreparedServer(t)
+	c := dialT(t, addr)
+	for _, q := range []string{
+		"SELECT fno FROM Flights WHERE dest = ?",
+		"SELECT fno FROM Flights WHERE price <= ?",
+		"INSERT INTO Flights VALUES (?, ?, ?)",
+	} {
+		if _, err := c.Prepare(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c2 := dialT(t, addr)
+	if _, err := c2.Prepare("SELECT fno FROM Flights WHERE dest = ?"); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.PreparedStatements(); got != 4 {
+		t.Fatalf("server holds %d statements, want 4", got)
+	}
+	c.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.PreparedStatements() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("server still holds %d statements after disconnect, want 1", srv.PreparedStatements())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestPreparedWireDDLMidConnection: DDL between executions of one wire
+// statement — the cached plan must be invalidated, not serve stale results
+// or crash; after DROP TABLE the error is clean and the handle recovers when
+// the table returns.
+func TestPreparedWireDDLMidConnection(t *testing.T) {
+	_, addr := newPreparedServer(t)
+	c := dialT(t, addr)
+	st, err := c.Prepare("SELECT fno FROM Flights WHERE dest = ? ORDER BY fno")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := st.Query("Paris"); err != nil || len(res.Rows) != 2 {
+		t.Fatalf("%v %v", res, err)
+	}
+	if _, err := c.Query("DROP TABLE Flights"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Query("Paris"); err == nil {
+		t.Fatal("prepared exec served a dropped table")
+	}
+	if _, err := c.Query("CREATE TABLE Flights (fno INT, dest STRING)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query("INSERT INTO Flights VALUES (9, 'Paris')"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := st.Query("Paris")
+	if err != nil || len(res.Rows) != 1 || res.Rows[0][0].Int() != 9 {
+		t.Fatalf("prepared handle did not replan after re-create: %v %v", res, err)
+	}
+}
+
+// TestPreparedWireFloatExact: float64 parameters cross the wire as 8 raw
+// bits — a subnormal the text dialect cannot even lex must round-trip and
+// compare equal server-side.
+func TestPreparedWireFloatExact(t *testing.T) {
+	_, addr := newPreparedServer(t)
+	c := dialT(t, addr)
+	if _, err := c.Query("CREATE TABLE P (x FLOAT)"); err != nil {
+		t.Fatal(err)
+	}
+	ins, err := c.Prepare("INSERT INTO P VALUES (?)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := c.Prepare("SELECT x FROM P WHERE x = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []float64{math.Pi, 0.1 + 0.2, 1e-05, 5e-324, math.MaxFloat64} {
+		if _, err := ins.Query(f); err != nil {
+			t.Fatalf("insert %v: %v", f, err)
+		}
+		res, err := sel.Query(f)
+		if err != nil || len(res.Rows) != 1 {
+			t.Fatalf("float %v lost over the wire: %v %v", f, res, err)
+		}
+		if bits := math.Float64bits(res.Rows[0][0].Float()); bits != math.Float64bits(f) {
+			t.Fatalf("float %v: got bits %x want %x", f, bits, math.Float64bits(f))
+		}
+	}
+}
+
+// TestPreparedWireEntangled: two clients coordinate through prepared
+// templates — the SQL text crossed the wire once per client; every
+// submission shipped only an id and a vector.
+func TestPreparedWireEntangled(t *testing.T) {
+	_, addr := newPreparedServer(t)
+	tmpl := travel.FlightQueryTemplate("Reservation", 1, travel.FlightFilter{Dest: "Paris"})
+
+	ca := dialT(t, addr)
+	cb := dialT(t, addr)
+	sa, err := ca.Prepare(tmpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := cb.Prepare(tmpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sa.Entangled() {
+		t.Fatal("template not marked entangled")
+	}
+	_, evA, err := sa.SubmitContext(context.Background(), "a",
+		travel.FlightQueryParams("wireA", []string{"wireB"}, travel.FlightFilter{Dest: "Paris"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, evB, err := sb.SubmitContext(context.Background(), "b",
+		travel.FlightQueryParams("wireB", []string{"wireA"}, travel.FlightFilter{Dest: "Paris"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got [2]Event
+	for i, ev := range []<-chan Event{evA, evB} {
+		select {
+		case got[i] = <-ev:
+		case <-time.After(10 * time.Second):
+			t.Fatal("prepared entangled pair did not coordinate")
+		}
+	}
+	if got[0].Canceled || got[1].Canceled {
+		t.Fatalf("canceled: %+v %+v", got[0], got[1])
+	}
+	fa := got[0].Answers[0].Tuples[0][1]
+	fb := got[1].Answers[0].Tuples[0][1]
+	if !fa.Identical(fb) {
+		t.Fatalf("pair coordinated on different flights: %s vs %s", fa, fb)
+	}
+	if name := got[0].Answers[0].Tuples[0][0].Str(); name != "wireA" {
+		t.Fatalf("answer carries %q, want the bound name", name)
+	}
+}

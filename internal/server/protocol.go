@@ -20,6 +20,17 @@
 // are structured (coord.StatsSnapshot, []coord.ShardInfo,
 // []coord.PendingInfo, core.WALStats) and rendered client-side.
 //
+// Prepared statements (Client.Prepare → server.Stmt): kindPrepare ships a
+// statement's SQL text once and returns a per-connection statement id plus
+// its parameter count and entangled flag; kindExecPrepared then carries
+// only the id, owner, TTL and a binary-encoded parameter vector (typed
+// values — float64 and int64 parameters are bit-exact, with no text
+// formatting anywhere), and kindClosePrepared drops the entry. Repeated
+// statements stop shipping SQL text at all; the server executes them
+// through core's parse-once/bind-many pipeline. Statement ids are scoped
+// to their connection and the table dies with it — a disconnect can never
+// leak server-side statements.
+//
 // # Legacy protocol (line-delimited JSON)
 //
 // A client whose first byte is '{' gets the original codec. One request per

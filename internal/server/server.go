@@ -9,6 +9,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/coord"
@@ -28,7 +29,16 @@ type Server struct {
 	closed bool
 	conns  map[net.Conn]struct{}
 	wg     sync.WaitGroup
+
+	// prepared counts live prepared statements across every connection's
+	// table — observable evidence that per-connection tables are torn down
+	// on disconnect, not leaked.
+	prepared atomic.Int64
 }
+
+// PreparedStatements reports the number of prepared statements currently
+// held in per-connection tables (diagnostics/tests).
+func (s *Server) PreparedStatements() int { return int(s.prepared.Load()) }
 
 // Serve starts serving on ln. It returns when the listener is closed.
 func Serve(sys *core.System, ln net.Listener) *Server {
@@ -109,6 +119,14 @@ type conn struct {
 	kick        chan struct{}
 	wdone       chan struct{}
 	legacy      bool // codec of this connection (writer encodes events per codec)
+
+	// stmts is this connection's prepared-statement table: wire statement id
+	// → compiled artifact. Only the serve goroutine touches it (requests
+	// execute serially per connection), and it dies with the connection —
+	// exec-after-disconnect is structurally impossible, exec-after-close is
+	// an explicit error.
+	stmts    map[uint64]*core.PreparedStmt
+	nextStmt uint64
 }
 
 // outItem is one outbound message: either pre-encoded bytes (request
@@ -262,7 +280,8 @@ func (s *Server) handle(c net.Conn) {
 		// Give queued replies (e.g. the final error frame) a bounded chance
 		// to flush, then tear down. Canceling the context withdraws this
 		// connection's pending entangled queries from the coordinator;
-		// closing the session rolls back an abandoned transaction.
+		// closing the session rolls back an abandoned transaction; the
+		// prepared-statement table goes with the connection.
 		cn.c.SetWriteDeadline(time.Now().Add(2 * time.Second)) //nolint:errcheck
 		cn.shutdownWriter()
 		s.mu.Lock()
@@ -271,6 +290,8 @@ func (s *Server) handle(c net.Conn) {
 		c.Close()
 		cn.cancel()
 		cn.sess.Close()
+		s.prepared.Add(-int64(len(cn.stmts)))
+		cn.stmts = nil
 	}()
 
 	// Codec auto-detection: a v2 client's first byte is the preamble's 'Y';
@@ -353,10 +374,61 @@ func (cn *conn) dispatchV2(enc *frameBuf, req request) {
 		cn.adminV2(enc, req)
 	case kindExec:
 		cn.execV2(enc, req)
+	case kindPrepare:
+		cn.prepareV2(enc, req)
+	case kindExecPrepared:
+		cn.execPreparedV2(enc, req)
+	case kindClosePrepared:
+		if _, ok := cn.stmts[req.stmt]; !ok {
+			enc.appendError(req.id, errGeneric, fmt.Sprintf("prepared statement s%d is not open", req.stmt)) //nolint:errcheck
+		} else {
+			delete(cn.stmts, req.stmt)
+			cn.srv.prepared.Add(-1)
+			enc.appendOK(req.id, "closed") //nolint:errcheck
+		}
 	}
 	if len(enc.b) > 0 {
 		cn.enqueue(enc.take())
 	}
+}
+
+// prepareV2 compiles one statement into this connection's table. The
+// artifact itself comes from the system's shared text→artifact cache, so a
+// thousand connections preparing the same template share one compilation.
+func (cn *conn) prepareV2(enc *frameBuf, req request) {
+	if req.sql == "" {
+		enc.appendError(req.id, errGeneric, "empty prepare request") //nolint:errcheck
+		return
+	}
+	ps, err := cn.sess.Prepare(req.sql)
+	if err != nil {
+		enc.appendError(req.id, errGeneric, err.Error()) //nolint:errcheck
+		return
+	}
+	if cn.stmts == nil {
+		cn.stmts = make(map[uint64]*core.PreparedStmt)
+	}
+	cn.nextStmt++
+	cn.stmts[cn.nextStmt] = ps
+	cn.srv.prepared.Add(1)
+	enc.appendPrepared(req.id, cn.nextStmt, ps.NumParams(), ps.Entangled()) //nolint:errcheck // small frame
+}
+
+// execPreparedV2 runs one prepared execution: statement id + parameter
+// vector in, the same reply shapes as kindExec out (result set, OK, or
+// entangled ack followed by an async event).
+func (cn *conn) execPreparedV2(enc *frameBuf, req request) {
+	ps, ok := cn.stmts[req.stmt]
+	if !ok {
+		enc.appendError(req.id, errGeneric, fmt.Sprintf("prepared statement s%d is not open", req.stmt)) //nolint:errcheck
+		return
+	}
+	ctx, cancel := cn.ctx, context.CancelFunc(nil)
+	if req.ttl > 0 {
+		ctx, cancel = context.WithTimeout(cn.ctx, req.ttl)
+	}
+	resp, err := cn.sess.ExecutePreparedContext(ctx, ps, req.params, req.owner)
+	cn.reply(enc, req, resp, err, cancel)
 }
 
 func (cn *conn) execV2(enc *frameBuf, req request) {
@@ -372,6 +444,12 @@ func (cn *conn) execV2(enc *frameBuf, req request) {
 		ctx, cancel = context.WithTimeout(cn.ctx, req.ttl)
 	}
 	resp, err := cn.sess.ExecuteContext(ctx, req.sql, req.owner)
+	cn.reply(enc, req, resp, err, cancel)
+}
+
+// reply encodes one execution outcome — shared by the text and prepared
+// paths, whose reply shapes are identical.
+func (cn *conn) reply(enc *frameBuf, req request, resp *core.Response, err error, cancel context.CancelFunc) {
 	if err != nil {
 		if cancel != nil {
 			cancel()

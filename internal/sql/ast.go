@@ -330,6 +330,18 @@ func (*Literal) expr() {}
 
 func (e *Literal) String() string { return e.Val.String() }
 
+// Param is a statement-parameter placeholder: `?` (ordinal) or `$n`
+// (explicit 1-based slot) in the source text. Idx is the 0-based slot in the
+// parameter vector bound at execution time; a statement's parameter count is
+// NumParams. Parameters are the prepare/bind half of the parse-once/
+// bind-many pipeline: the same parsed statement (or compiled entangled
+// template) is executed many times with only the vector changing.
+type Param struct{ Idx int }
+
+func (*Param) expr() {}
+
+func (e *Param) String() string { return "$" + strconv.Itoa(e.Idx+1) }
+
 // ColumnRef names a column, optionally qualified by table or alias. In
 // entangled queries unqualified references are free coordination variables.
 type ColumnRef struct {
@@ -590,6 +602,115 @@ func WalkExpr(e Expr, fn func(Expr)) {
 			WalkExpr(l, fn)
 		}
 	}
+}
+
+// walkDeep calls fn on e and every sub-expression including the bodies of
+// nested subqueries (which WalkExpr deliberately skips as separate scopes).
+func walkDeep(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch x := e.(type) {
+	case *Binary:
+		walkDeep(x.L, fn)
+		walkDeep(x.R, fn)
+	case *FuncCall:
+		walkDeep(x.Arg, fn)
+	case *Not:
+		walkDeep(x.X, fn)
+	case *Neg:
+		walkDeep(x.X, fn)
+	case *Between:
+		walkDeep(x.X, fn)
+		walkDeep(x.Lo, fn)
+		walkDeep(x.Hi, fn)
+	case *Like:
+		walkDeep(x.X, fn)
+		walkDeep(x.Pattern, fn)
+	case *IsNull:
+		walkDeep(x.X, fn)
+	case *InValues:
+		walkDeep(x.X, fn)
+		for _, v := range x.Vals {
+			walkDeep(v, fn)
+		}
+	case *InSelect:
+		for _, l := range x.Left {
+			walkDeep(l, fn)
+		}
+		walkSelectDeep(x.Sub, fn)
+	case *InAnswer:
+		for _, l := range x.Left {
+			walkDeep(l, fn)
+		}
+	case *Exists:
+		walkSelectDeep(x.Sel, fn)
+	case *Subquery:
+		walkSelectDeep(x.Sel, fn)
+	}
+}
+
+func walkSelectDeep(s *Select, fn func(Expr)) {
+	if s == nil {
+		return
+	}
+	for _, it := range s.Items {
+		walkDeep(it.Expr, fn)
+	}
+	walkDeep(s.Where, fn)
+	for _, g := range s.GroupBy {
+		walkDeep(g, fn)
+	}
+	walkDeep(s.Having, fn)
+	for _, o := range s.OrderBy {
+		walkDeep(o.Expr, fn)
+	}
+}
+
+// VisitExprs calls fn on every expression of the statement, at any depth —
+// including inside subquery bodies. It is the traversal NumParams and the
+// prepared-statement planners rely on to find every Param slot.
+func VisitExprs(stmt Statement, fn func(Expr)) {
+	switch s := stmt.(type) {
+	case *Select:
+		walkSelectDeep(s, fn)
+	case *EntangledSelect:
+		for _, t := range s.Targets {
+			for _, e := range t.Exprs {
+				walkDeep(e, fn)
+			}
+		}
+		walkDeep(s.Where, fn)
+	case *Insert:
+		for _, row := range s.Rows {
+			for _, e := range row {
+				walkDeep(e, fn)
+			}
+		}
+		walkSelectDeep(s.From, fn)
+	case *Update:
+		for _, a := range s.Sets {
+			walkDeep(a.Val, fn)
+		}
+		walkDeep(s.Where, fn)
+	case *Delete:
+		walkDeep(s.Where, fn)
+	}
+}
+
+// NumParams returns the parameter-vector length the statement needs: one
+// more than the highest Param slot it mentions (so `$3` alone needs a
+// 3-value vector; `?` placeholders were numbered in textual order by the
+// parser).
+func NumParams(stmt Statement) int {
+	n := 0
+	VisitExprs(stmt, func(e Expr) {
+		if p, ok := e.(*Param); ok && p.Idx+1 > n {
+			n = p.Idx + 1
+		}
+	})
+	return n
 }
 
 // Conjuncts flattens a WHERE tree into its top-level AND-ed conjuncts.

@@ -91,6 +91,8 @@ func (l *Lexer) next() (Token, error) {
 		return l.lexNumber(start)
 	case r == '\'':
 		return l.lexString(start)
+	case r == '?' || r == '$':
+		return l.lexParam(start)
 	default:
 		return l.lexSymbol(start)
 	}
@@ -207,6 +209,25 @@ func (l *Lexer) lexEscapedString(start int) (Token, error) {
 		l.pos++
 	}
 	return Token{}, fmt.Errorf("sql: lex error at %d: unterminated string literal", start)
+}
+
+// lexParam scans a statement-parameter placeholder: '?' (ordinal — slots
+// assigned in textual order) or '$n' (explicit 1-based slot). The digits of
+// $n become the token text; '?' carries empty text.
+func (l *Lexer) lexParam(start int) (Token, error) {
+	if l.src[l.pos] == '?' {
+		l.pos++
+		return Token{Kind: TokParam, Pos: start}, nil
+	}
+	l.pos++ // '$'
+	digits := l.pos
+	for l.pos < len(l.src) && isDigitByte(l.src[l.pos]) {
+		l.pos++
+	}
+	if l.pos == digits {
+		return Token{}, fmt.Errorf("sql: lex error at %d: '$' must be followed by a parameter number", start)
+	}
+	return Token{Kind: TokParam, Text: l.src[digits:l.pos], Pos: start}, nil
 }
 
 func (l *Lexer) lexSymbol(start int) (Token, error) {

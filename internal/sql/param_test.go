@@ -1,0 +1,136 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParseParam(t *testing.T, src string) Statement {
+	t.Helper()
+	stmt, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return stmt
+}
+
+func TestParamOrdinals(t *testing.T) {
+	stmt := mustParseParam(t, "SELECT a FROM T WHERE x = ? AND y = ? AND z = ?")
+	if n := NumParams(stmt); n != 3 {
+		t.Fatalf("NumParams = %d, want 3", n)
+	}
+	var idxs []int
+	VisitExprs(stmt, func(e Expr) {
+		if p, ok := e.(*Param); ok {
+			idxs = append(idxs, p.Idx)
+		}
+	})
+	if len(idxs) != 3 || idxs[0] != 0 || idxs[1] != 1 || idxs[2] != 2 {
+		t.Fatalf("ordinal slots = %v, want [0 1 2]", idxs)
+	}
+}
+
+func TestParamExplicitSlots(t *testing.T) {
+	stmt := mustParseParam(t, "SELECT a FROM T WHERE x = $2 AND y = $1 AND z = $2")
+	if n := NumParams(stmt); n != 2 {
+		t.Fatalf("NumParams = %d, want 2", n)
+	}
+	// $3 alone still needs a 3-vector.
+	stmt = mustParseParam(t, "DELETE FROM T WHERE x = $3")
+	if n := NumParams(stmt); n != 3 {
+		t.Fatalf("NumParams = %d, want 3", n)
+	}
+}
+
+func TestParamPositions(t *testing.T) {
+	// Placeholders must parse in every expression position, including
+	// subquery bodies and entangled answer tuples.
+	for _, src := range []string{
+		"INSERT INTO T VALUES (?, ?, ?)",
+		"UPDATE T SET a = ?, b = ? WHERE c = ?",
+		"DELETE FROM T WHERE a BETWEEN ? AND ?",
+		"SELECT a FROM T WHERE b IN (?, ?, 3)",
+		"SELECT a FROM T WHERE b IN (SELECT c FROM U WHERE d = ?)",
+		"SELECT ?, fno INTO ANSWER R WHERE fno IN (SELECT fno FROM F WHERE dest = ?) AND (?, fno) IN ANSWER R CHOOSE 1",
+		"SELECT a FROM T WHERE b LIKE ?",
+		"SELECT a FROM T WHERE b = ? ORDER BY a LIMIT 1",
+	} {
+		stmt := mustParseParam(t, src)
+		if NumParams(stmt) == 0 {
+			t.Errorf("%q: no params found", src)
+		}
+	}
+}
+
+func TestParamStatementScopedNumbering(t *testing.T) {
+	stmts, err := ParseAll("SELECT a FROM T WHERE x = ?; SELECT b FROM U WHERE y = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range stmts {
+		if n := NumParams(s); n != 1 {
+			t.Fatalf("statement %d: NumParams = %d, want 1 (numbering restarts per statement)", i, n)
+		}
+	}
+}
+
+func TestParamPrintRoundTrip(t *testing.T) {
+	// '?' prints as its resolved '$n' form, which must re-parse to the same
+	// slot (the fuzz round-trip closure depends on this).
+	stmt := mustParseParam(t, "SELECT a FROM T WHERE x = ? AND y = $1")
+	printed := stmt.String()
+	if !strings.Contains(printed, "$1") {
+		t.Fatalf("printed form %q lost the parameters", printed)
+	}
+	again := mustParseParam(t, printed)
+	if NumParams(again) != NumParams(stmt) {
+		t.Fatalf("round trip changed NumParams: %q -> %q", printed, again.String())
+	}
+}
+
+func TestParamErrors(t *testing.T) {
+	for _, src := range []string{
+		"SELECT a FROM T WHERE x = $",       // no digits
+		"SELECT a FROM T WHERE x = $0",      // slots are 1-based
+		"SELECT a FROM T WHERE x = $999999", // over maxParamSlot
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) accepted a bad placeholder", src)
+		}
+	}
+}
+
+// FuzzParse: the single-statement parser must never panic on arbitrary
+// input — including the placeholder syntax — and anything it accepts must
+// print to a form it accepts again with the same parameter count.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT a FROM T WHERE x = ? AND y = $2",
+		"SELECT ?, fno INTO ANSWER R WHERE fno IN (SELECT fno FROM F WHERE dest = ?) AND (?, fno) IN ANSWER R CHOOSE 1",
+		"INSERT INTO T VALUES (?, $1, ?)",
+		"UPDATE T SET a = ? WHERE b IN (?, 2, $3)",
+		"DELETE FROM T WHERE x BETWEEN ? AND $9",
+		"SELECT a FROM T WHERE x = $",
+		"$1",
+		"?",
+		"SELECT $184467440737095516151",
+		"SELECT '?' FROM T WHERE x = '$1'",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		stmt, err := Parse(src)
+		if err != nil {
+			return
+		}
+		printed := stmt.String()
+		again, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected own printing %q: %v", src, printed, err)
+		}
+		if NumParams(again) != NumParams(stmt) {
+			t.Fatalf("param count changed across print round trip: %q -> %q", src, printed)
+		}
+	})
+}

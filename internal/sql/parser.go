@@ -23,7 +23,16 @@ type Parser struct {
 	bins []Binary
 	lits []Literal
 	cols []ColumnRef
+
+	// ordParam numbers the '?' ordinal placeholders of the statement being
+	// parsed, in textual order. '$n' placeholders address their slot
+	// explicitly and do not advance it.
+	ordParam int
 }
+
+// maxParamSlot bounds explicit $n placeholders so a hostile `$99999999`
+// cannot demand an enormous parameter vector downstream.
+const maxParamSlot = 1 << 16
 
 const parserSlab = 16
 
@@ -85,6 +94,7 @@ func ParseAll(src string) ([]Statement, error) {
 		if p.cur().Kind == TokEOF {
 			break
 		}
+		p.ordParam = 0 // '?' slots are numbered per statement
 		s, err := p.statement()
 		if err != nil {
 			return nil, err
@@ -998,6 +1008,18 @@ func (p *Parser) primary() (Expr, error) {
 	case TokString:
 		p.advance()
 		return p.newStringLiteral(t.Text), nil
+	case TokParam:
+		p.advance()
+		if t.Text == "" { // '?': next ordinal slot
+			idx := p.ordParam
+			p.ordParam++
+			return &Param{Idx: idx}, nil
+		}
+		n, err := strconv.Atoi(t.Text)
+		if err != nil || n < 1 || n > maxParamSlot {
+			return nil, p.errf("bad parameter number $%s", t.Text)
+		}
+		return &Param{Idx: n - 1}, nil
 	case TokKeyword:
 		switch t.Text {
 		case "EXISTS":

@@ -27,6 +27,7 @@ const (
 	TokString
 	TokKeyword
 	TokSymbol // punctuation and operators
+	TokParam  // statement parameter placeholder: '?' (Text "") or '$n' (Text "n")
 )
 
 func (k TokenKind) String() string {
@@ -43,6 +44,8 @@ func (k TokenKind) String() string {
 		return "keyword"
 	case TokSymbol:
 		return "symbol"
+	case TokParam:
+		return "parameter"
 	default:
 		return "?"
 	}
@@ -59,6 +62,12 @@ type Token struct {
 func (t Token) String() string {
 	if t.Kind == TokEOF {
 		return "end of input"
+	}
+	if t.Kind == TokParam {
+		if t.Text == "" {
+			return `parameter "?"`
+		}
+		return fmt.Sprintf("parameter %q", "$"+t.Text)
 	}
 	return fmt.Sprintf("%s %q", t.Kind, t.Text)
 }

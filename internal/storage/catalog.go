@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/value"
 )
@@ -15,7 +16,19 @@ type Catalog struct {
 	log    logState
 	mu     sync.RWMutex
 	tables map[string]*Table
+	// ddl counts schema changes (CREATE/DROP TABLE, CREATE INDEX). Cached
+	// query plans and prepared-statement artifacts are stamped with the
+	// version they were built against and rebuilt when it moves — the DDL
+	// invalidation point of the plan cache.
+	ddl atomic.Uint64
 }
+
+// BumpDDL advances the schema version; call after any DDL that can change
+// plan validity (table existence, schemas, index presence).
+func (c *Catalog) BumpDDL() { c.ddl.Add(1) }
+
+// DDLVersion returns the current schema version.
+func (c *Catalog) DDLVersion() uint64 { return c.ddl.Load() }
 
 // NewCatalog returns an empty catalog.
 func NewCatalog() *Catalog {

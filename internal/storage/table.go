@@ -394,6 +394,17 @@ func (t *Table) LookupEq(cols []int, key value.Tuple) []RowID {
 func (t *Table) LookupEqAppend(dst []RowID, cols []int, key value.Tuple) []RowID {
 	var nb [32]byte
 	t.mu.RLock()
+	// Primary-key point probe: an equality on exactly the PK columns is one
+	// alloc-free map lookup — the classic OLTP point query.
+	if t.pk != nil && slices.Equal(cols, t.pkCols) {
+		var kb [64]byte
+		id, ok := t.pk[string(key.AppendKey(kb[:0]))]
+		t.mu.RUnlock()
+		if ok {
+			dst = append(dst, id)
+		}
+		return dst
+	}
 	if ix, ok := t.indexes[string(appendIndexName(nb[:0], cols))]; ok {
 		var kb [64]byte
 		set := ix.m[string(key.AppendKey(kb[:0]))]

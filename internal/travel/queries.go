@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"repro/internal/value"
 )
 
 // Answer relation names used by the travel application.
@@ -225,4 +227,182 @@ func flightConds(alias string, f FlightFilter) []string {
 // flight directly.
 func BuildDirectBooking(self string, fno int64) string {
 	return fmt.Sprintf("SELECT %s, fno INTO ANSWER %s\nWHERE fno = %d\nCHOOSE 1", quote(self), RelFlight, fno)
+}
+
+// ---------------------------------------------------------------------------
+// Prepared templates
+//
+// The builders above embed every constant into SQL text, so each booking
+// request costs a full parse + compile and floats detour through %g
+// formatting. The *Template/*Params pairs below split each query into a
+// placeholder template — whose text depends only on the request SHAPE
+// (answer relation, friend count, which optional filter pieces are present)
+// — and a typed parameter vector. The middle tier prepares the template once
+// (the core's statement cache makes that automatic) and binds a fresh vector
+// per booking: parse-once/bind-many, with float parameters carried as typed
+// float64 end to end.
+
+// writeSubqueryTemplate renders the flight-filter subquery with placeholders
+// for every present constant; appendParams appends the matching vector
+// values in the same textual order.
+func (f FlightFilter) writeSubqueryTemplate(b *strings.Builder) {
+	b.WriteString("SELECT fno FROM Flights WHERE dest = ?")
+	if f.Origin != "" {
+		b.WriteString(" AND origin = ?")
+	}
+	if f.MaxPrice > 0 {
+		b.WriteString(" AND price <= ?")
+	}
+	if f.DayFrom > 0 || f.DayTo > 0 {
+		b.WriteString(" AND day BETWEEN ? AND ?")
+	}
+}
+
+func (f FlightFilter) appendParams(t value.Tuple) value.Tuple {
+	t = append(t, value.NewString(f.Dest))
+	if f.Origin != "" {
+		t = append(t, value.NewString(f.Origin))
+	}
+	if f.MaxPrice > 0 {
+		// Typed float parameter: no %g text round trip, bit-exact.
+		t = append(t, value.NewFloat(f.MaxPrice))
+	}
+	if f.DayFrom > 0 || f.DayTo > 0 {
+		from, to := f.DayFrom, f.DayTo
+		if from == 0 {
+			from = 1
+		}
+		if to == 0 {
+			to = 1 << 30
+		}
+		t = append(t, value.NewInt(int64(from)), value.NewInt(int64(to)))
+	}
+	return t
+}
+
+func (h HotelFilter) writeSubqueryTemplate(b *strings.Builder) {
+	b.WriteString("SELECT hno FROM Hotels WHERE city = ?")
+	if h.MaxPrice > 0 {
+		b.WriteString(" AND price <= ?")
+	}
+	if h.NameLike != "" {
+		b.WriteString(" AND name LIKE ?")
+	}
+}
+
+func (h HotelFilter) appendParams(t value.Tuple) value.Tuple {
+	t = append(t, value.NewString(h.City))
+	if h.MaxPrice > 0 {
+		t = append(t, value.NewFloat(h.MaxPrice))
+	}
+	if h.NameLike != "" {
+		t = append(t, value.NewString(h.NameLike))
+	}
+	return t
+}
+
+// FlightQueryTemplate is BuildFlightQueryInto with placeholders: the self
+// name, every filter constant and every friend name become parameters. Two
+// requests with the same relation, friend count and filter shape share one
+// template text (and therefore one cached compilation).
+func FlightQueryTemplate(rel string, nFriends int, f FlightFilter) string {
+	var b strings.Builder
+	b.Grow(160 + 32*nFriends)
+	b.WriteString("SELECT ?, fno INTO ANSWER ")
+	b.WriteString(rel)
+	b.WriteString("\nWHERE fno IN (")
+	f.writeSubqueryTemplate(&b)
+	b.WriteByte(')')
+	if f.Capacity > 0 {
+		group := nFriends + 1
+		if group > f.Capacity {
+			b.WriteString("\nAND 1 = 0")
+		} else {
+			fmt.Fprintf(&b, "\nAND fno NOT IN (SELECT a2 FROM %s GROUP BY a2 HAVING COUNT(*) > %d)",
+				rel, f.Capacity-group)
+		}
+	}
+	for i := 0; i < nFriends; i++ {
+		b.WriteString("\nAND (?, fno) IN ANSWER ")
+		b.WriteString(rel)
+	}
+	b.WriteString("\nCHOOSE 1")
+	return b.String()
+}
+
+// FlightQueryParams builds the vector FlightQueryTemplate's placeholders
+// bind, in textual order: self, filter constants, friends.
+func FlightQueryParams(self string, friends []string, f FlightFilter) value.Tuple {
+	t := make(value.Tuple, 0, 2+len(friends)+4)
+	t = append(t, value.NewString(self))
+	t = f.appendParams(t)
+	for _, fr := range friends {
+		t = append(t, value.NewString(fr))
+	}
+	return t
+}
+
+// TripQueryTemplate is BuildTripQuery with placeholders (see
+// FlightQueryTemplate).
+func TripQueryTemplate(nFriends int, f FlightFilter, h HotelFilter) string {
+	var b strings.Builder
+	b.Grow(256 + 64*nFriends)
+	b.WriteString("SELECT (?, fno) INTO ANSWER " + RelFlight + ", (?, hno) INTO ANSWER " + RelHotel)
+	b.WriteString("\nWHERE fno IN (")
+	f.writeSubqueryTemplate(&b)
+	b.WriteString(")\nAND hno IN (")
+	h.writeSubqueryTemplate(&b)
+	b.WriteByte(')')
+	for i := 0; i < nFriends; i++ {
+		b.WriteString("\nAND (?, fno) IN ANSWER " + RelFlight + "\nAND (?, hno) IN ANSWER " + RelHotel)
+	}
+	b.WriteString("\nCHOOSE 1")
+	return b.String()
+}
+
+// TripQueryParams builds the vector for TripQueryTemplate: self twice (one
+// per answer atom), flight filter, hotel filter, then each friend twice.
+func TripQueryParams(self string, friends []string, f FlightFilter, h HotelFilter) value.Tuple {
+	t := make(value.Tuple, 0, 2+2*len(friends)+6)
+	t = append(t, value.NewString(self), value.NewString(self))
+	t = f.appendParams(t)
+	t = h.appendParams(t)
+	for _, fr := range friends {
+		t = append(t, value.NewString(fr), value.NewString(fr))
+	}
+	return t
+}
+
+// AdjacentSeatTemplate is BuildAdjacentSeatQuery with placeholders.
+func AdjacentSeatTemplate(f FlightFilter) string {
+	var b strings.Builder
+	b.WriteString("SELECT ?, fno, myseat INTO ANSWER " + RelSeat)
+	b.WriteString("\nWHERE (fno, myseat, yourseat) IN (SELECT p.fno, p.seat1, p.seat2 FROM SeatPairs p, Flights f WHERE p.fno = f.fno AND f.dest = ?")
+	if f.Origin != "" {
+		b.WriteString(" AND f.origin = ?")
+	}
+	if f.MaxPrice > 0 {
+		b.WriteString(" AND f.price <= ?")
+	}
+	if f.DayFrom > 0 || f.DayTo > 0 {
+		b.WriteString(" AND f.day BETWEEN ? AND ?")
+	}
+	b.WriteString(")\nAND (?, fno, yourseat) IN ANSWER " + RelSeat + "\nCHOOSE 1")
+	return b.String()
+}
+
+// AdjacentSeatParams builds the vector for AdjacentSeatTemplate.
+func AdjacentSeatParams(self, friend string, f FlightFilter) value.Tuple {
+	t := make(value.Tuple, 0, 6)
+	t = append(t, value.NewString(self))
+	t = f.appendParams(t)
+	return append(t, value.NewString(friend))
+}
+
+// DirectBookingTemplate is BuildDirectBooking with placeholders.
+const DirectBookingTemplate = "SELECT ?, fno INTO ANSWER " + RelFlight + "\nWHERE fno = ?\nCHOOSE 1"
+
+// DirectBookingParams builds the vector for DirectBookingTemplate.
+func DirectBookingParams(self string, fno int64) value.Tuple {
+	return value.Tuple{value.NewString(self), value.NewInt(fno)}
 }

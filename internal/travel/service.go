@@ -256,29 +256,33 @@ func (s *Service) SearchHotels(h HotelFilter) ([]value.Tuple, error) {
 
 // BookFlight submits "fly to f.Dest on the same flight as friends" (§3.1
 // scenarios 1, 3 and 4; friends may be empty, one, or a whole group).
+//
+// Booking requests go through prepared templates: all requests with the same
+// shape (relation, friend count, filter pieces) share one parsed/compiled
+// artifact — the core's statement cache keeps it alive — and only the typed
+// parameter vector varies per request.
 func (s *Service) BookFlight(user string, friends []string, f FlightFilter) (*Booking, error) {
-	src := BuildFlightQuery(user, friends, f)
-	return s.submit(user, "flight", friends, src)
+	tmpl := FlightQueryTemplate(RelFlight, len(friends), f)
+	return s.submit(user, "flight", friends, tmpl, FlightQueryParams(user, friends, f))
 }
 
 // BookTrip submits the combined flight+hotel coordination (§3.1 scenarios 2
 // and 5).
 func (s *Service) BookTrip(user string, friends []string, f FlightFilter, h HotelFilter) (*Booking, error) {
-	src := BuildTripQuery(user, friends, f, h)
-	return s.submit(user, "trip", friends, src)
+	tmpl := TripQueryTemplate(len(friends), f, h)
+	return s.submit(user, "trip", friends, tmpl, TripQueryParams(user, friends, f, h))
 }
 
 // BookAdjacentSeat submits "fly in an adjacent seat to friend".
 func (s *Service) BookAdjacentSeat(user, friend string, f FlightFilter) (*Booking, error) {
-	src := BuildAdjacentSeatQuery(user, friend, f)
-	return s.submit(user, "seat", []string{friend}, src)
+	tmpl := AdjacentSeatTemplate(f)
+	return s.submit(user, "seat", []string{friend}, tmpl, AdjacentSeatParams(user, friend, f))
 }
 
 // BookDirect books a specific flight with no coordination constraints — the
 // Figure 4 alternate path after browsing friends' bookings.
 func (s *Service) BookDirect(user string, fno int64) (*Booking, error) {
-	src := BuildDirectBooking(user, fno)
-	return s.submit(user, "direct", nil, src)
+	return s.submit(user, "direct", nil, DirectBookingTemplate, DirectBookingParams(user, fno))
 }
 
 // CancelBooking withdraws a still-pending booking.
@@ -286,8 +290,12 @@ func (s *Service) CancelBooking(b *Booking) bool {
 	return s.sys.Cancel(b.ID)
 }
 
-func (s *Service) submit(user, kind string, friends []string, src string) (*Booking, error) {
-	h, err := s.sys.Submit(src, user)
+func (s *Service) submit(user, kind string, friends []string, src string, params value.Tuple) (*Booking, error) {
+	ps, err := s.sys.Prepare(src)
+	if err != nil {
+		return nil, err
+	}
+	h, err := ps.SubmitBound(params, user)
 	if err != nil {
 		return nil, err
 	}

@@ -47,7 +47,15 @@ func (m *Manager) Stats() (committed, aborted, timeouts uint64) {
 
 // Begin starts a transaction.
 func (m *Manager) Begin() *Txn {
-	return &Txn{mgr: m, id: m.nextID.Add(1), held: make(map[string]LockMode)}
+	t := &Txn{mgr: m, id: m.nextID.Add(1)}
+	t.held = t.heldBuf[:0]
+	return t
+}
+
+// heldLock is one acquired table lock.
+type heldLock struct {
+	name string
+	mode LockMode
 }
 
 // undoRecord reverses one mutation.
@@ -61,11 +69,15 @@ type undoRecord struct {
 // Txn is a single transaction: strict 2PL plus an undo log. A Txn is not
 // safe for concurrent use by multiple goroutines (like database/sql.Tx).
 type Txn struct {
-	mgr  *Manager
-	id   uint64
-	held map[string]LockMode // canonical table name → strongest mode held
-	undo []undoRecord
-	done bool
+	mgr *Manager
+	id  uint64
+	// held records the strongest mode held per canonical table name. A
+	// statement touches a handful of tables, so a linear slice beats a map —
+	// and, backed by the inline buffer, costs no allocation at all.
+	held    []heldLock
+	heldBuf [4]heldLock
+	undo    []undoRecord
+	done    bool
 
 	mu sync.Mutex // guards done for the rare cross-goroutine Rollback
 }
@@ -86,16 +98,40 @@ func (t *Txn) Lock(table string, mode LockMode) error {
 	if t.done {
 		return ErrTxnDone
 	}
-	key := strings.ToLower(table)
-	if cur, ok := t.held[key]; ok && (cur == Exclusive || cur == mode) {
-		return nil
+	return t.lockCanonical(strings.ToLower(table), table, mode)
+}
+
+// LockCanonical is Lock for an already-canonical (lower-case) table name —
+// prepared plans store canonical names, keeping ToLower off the per-
+// execution path.
+func (t *Txn) LockCanonical(key string, mode LockMode) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	return t.lockCanonical(key, key, mode)
+}
+
+func (t *Txn) lockCanonical(key, display string, mode LockMode) error {
+	hi := -1
+	for i := range t.held {
+		if t.held[i].name == key {
+			if cur := t.held[i].mode; cur == Exclusive || cur == mode {
+				return nil
+			}
+			hi = i
+			break
+		}
 	}
 	if err := t.mgr.locks.get(key).acquire(t.id, mode, t.deadline()); err != nil {
 		t.mgr.stats.timeouts.Add(1)
-		return fmt.Errorf("%w: %s", err, lockDesc(table, mode))
+		return fmt.Errorf("%w: %s", err, lockDesc(display, mode))
 	}
-	if cur, ok := t.held[key]; !ok || mode == Exclusive && cur == Shared {
-		t.held[key] = mode
+	if hi >= 0 {
+		if mode == Exclusive && t.held[hi].mode == Shared {
+			t.held[hi].mode = mode
+		}
+	} else {
+		t.held = append(t.held, heldLock{name: key, mode: mode})
 	}
 	return nil
 }
@@ -247,10 +283,10 @@ func (t *Txn) Rollback() error {
 
 // finish releases all locks. Caller holds t.mu.
 func (t *Txn) finish() {
-	for name := range t.held {
-		t.mgr.locks.get(name).releaseAll(t.id)
+	for _, h := range t.held {
+		t.mgr.locks.get(h.name).releaseAll(t.id)
 	}
-	t.held = map[string]LockMode{}
+	t.held = nil
 	t.undo = nil
 	t.done = true
 }

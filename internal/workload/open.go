@@ -34,7 +34,7 @@ func RunOpenTarget(tgt Target, cfg Config, rate float64, duration time.Duration)
 	rng := rand.New(rand.NewSource(cfg.Seed + 1))
 
 	for i := 0; i < cfg.Loners; i++ {
-		if _, err := tgt.Submit(g.LonerQuery(i), "loadgen"); err != nil {
+		if _, err := submit(tgt, g.LonerReq(i), "loadgen"); err != nil {
 			return Result{}, err
 		}
 	}
@@ -59,16 +59,16 @@ func RunOpenTarget(tgt Target, cfg Config, rate float64, duration time.Duration)
 		if !time.Now().Before(deadline) {
 			break
 		}
-		a, b := g.PairQueries(pair + 1_000_000) // offset to avoid Run collisions
+		a, b := g.PairReqs(pair + 1_000_000) // offset to avoid Run collisions
 		pair++
 		mu.Lock()
 		submitted += 2
 		mu.Unlock()
 		wg.Add(1)
-		go func(a, b string) {
+		go func(a, b Req) {
 			defer wg.Done()
 			t0 := time.Now()
-			aw1, err := tgt.Submit(a, "open")
+			aw1, err := submit(tgt, a, "open")
 			if err != nil {
 				mu.Lock()
 				if firstErr == nil {
@@ -80,7 +80,7 @@ func RunOpenTarget(tgt Target, cfg Config, rate float64, duration time.Duration)
 			if cfg.PartnerDelay > 0 {
 				time.Sleep(cfg.PartnerDelay)
 			}
-			aw2, err := tgt.Submit(b, "open")
+			aw2, err := submit(tgt, b, "open")
 			if err != nil {
 				mu.Lock()
 				if firstErr == nil {

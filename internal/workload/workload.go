@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/server"
 	"repro/internal/travel"
+	"repro/internal/value"
 )
 
 // Target abstracts where a workload submits its queries: an in-process
@@ -26,9 +27,31 @@ import (
 // Await for its outcome.
 type Target interface {
 	Submit(sql, owner string) (Await, error)
+	// SubmitPrepared registers one entangled query through the prepared
+	// pipeline: tmpl is parsed/compiled at most once per target (in-process
+	// via the system's statement cache, over the wire via a per-connection
+	// statement table) and params is bound per submission — arrivals skip
+	// sql.Parse and eq compilation, and over the wire the SQL text stops
+	// shipping at all.
+	SubmitPrepared(tmpl string, params value.Tuple, owner string) (Await, error)
 	// Stats snapshots the coordinator counters after a run (over the wire,
 	// via the typed admin API, for remote targets).
 	Stats() coord.StatsSnapshot
+}
+
+// Req is one workload submission: entangled SQL text, or (with Params set) a
+// prepared template plus its parameter vector.
+type Req struct {
+	SQL    string
+	Params value.Tuple // nil = text submission
+}
+
+// submit routes a Req to the matching Target method.
+func submit(tgt Target, q Req, owner string) (Await, error) {
+	if q.Params == nil {
+		return tgt.Submit(q.SQL, owner)
+	}
+	return tgt.SubmitPrepared(q.SQL, q.Params, owner)
 }
 
 // Await blocks until the query's coordination outcome arrives or done is
@@ -52,6 +75,21 @@ func (t localTarget) Submit(sql, owner string) (Await, error) {
 	}, nil
 }
 
+func (t localTarget) SubmitPrepared(tmpl string, params value.Tuple, owner string) (Await, error) {
+	ps, err := t.sys.Prepare(tmpl) // statement-cache hit after the first shape
+	if err != nil {
+		return nil, err
+	}
+	h, err := ps.SubmitBound(params, owner)
+	if err != nil {
+		return nil, err
+	}
+	return func(done <-chan struct{}) bool {
+		_, ok := h.Wait(done)
+		return ok
+	}, nil
+}
+
 func (t localTarget) Stats() coord.StatsSnapshot { return t.sys.Coordinator().Stats() }
 
 // clientTarget submits through a wire-protocol client connection; every
@@ -62,20 +100,60 @@ func (t localTarget) Stats() coord.StatsSnapshot { return t.sys.Coordinator().St
 type clientTarget struct {
 	c    *server.Client
 	base coord.StatsSnapshot
+
+	// stmts caches the wire statement handle per template text, so each
+	// distinct shape is prepared once per connection and every later
+	// submission ships only the id + parameter vector.
+	mu    sync.Mutex
+	stmts map[string]*server.Stmt
 }
 
 // NewClientTarget wraps a server connection as a workload target. The
 // server must already hold the travel catalog (e.g. youtopia-server -seed).
 func NewClientTarget(c *server.Client) Target {
 	base, _ := c.AdminStats(context.Background()) //nolint:errcheck // zero base on error
-	return clientTarget{c: c, base: base}
+	return &clientTarget{c: c, base: base, stmts: make(map[string]*server.Stmt)}
 }
 
-func (t clientTarget) Submit(sql, owner string) (Await, error) {
+func (t *clientTarget) Submit(sql, owner string) (Await, error) {
 	_, ev, err := t.c.Submit(sql, owner)
 	if err != nil {
 		return nil, err
 	}
+	return awaitEvent(ev), nil
+}
+
+func (t *clientTarget) SubmitPrepared(tmpl string, params value.Tuple, owner string) (Await, error) {
+	t.mu.Lock()
+	st := t.stmts[tmpl]
+	t.mu.Unlock()
+	if st == nil {
+		fresh, err := t.c.Prepare(tmpl)
+		if err != nil {
+			return nil, err
+		}
+		t.mu.Lock()
+		if prior := t.stmts[tmpl]; prior != nil {
+			t.mu.Unlock()
+			// Lost a prepare race: use the winner's handle and release the
+			// redundant server-side statement instead of leaking it in the
+			// connection's table.
+			fresh.Close() //nolint:errcheck // best effort
+			st = prior
+		} else {
+			t.stmts[tmpl] = fresh
+			t.mu.Unlock()
+			st = fresh
+		}
+	}
+	_, ev, err := st.SubmitContext(context.Background(), owner, params)
+	if err != nil {
+		return nil, err
+	}
+	return awaitEvent(ev), nil
+}
+
+func awaitEvent(ev <-chan server.Event) Await {
 	return func(done <-chan struct{}) bool {
 		select {
 		case <-ev:
@@ -83,10 +161,10 @@ func (t clientTarget) Submit(sql, owner string) (Await, error) {
 		case <-done:
 			return false
 		}
-	}, nil
+	}
 }
 
-func (t clientTarget) Stats() coord.StatsSnapshot {
+func (t *clientTarget) Stats() coord.StatsSnapshot {
 	st, err := t.c.AdminStats(context.Background())
 	if err != nil {
 		return coord.StatsSnapshot{}
@@ -139,6 +217,10 @@ type Config struct {
 	// (loadgen -net) use distinct offsets so a fresh run's constraints can
 	// never be satisfied by answer tuples a previous run installed.
 	NameOffset int
+	// Prepared drives every arrival through the prepared-statement pipeline
+	// (templates + bound parameter vectors) instead of rendering SQL text
+	// per submission — loadgen's -prepared flag.
+	Prepared bool
 }
 
 func (c Config) withDefaults() Config {
@@ -191,6 +273,28 @@ func (g *Generator) PairQueries(i int) (string, string) {
 	return travel.BuildFlightQueryInto(rel, a, []string{b}, f), travel.BuildFlightQueryInto(rel, b, []string{a}, f)
 }
 
+// PairReqs returns pair i's two submissions, honoring Config.Prepared: in
+// prepared mode both share the shape template (one per footprint relation)
+// and differ only in their parameter vectors.
+func (g *Generator) PairReqs(i int) (Req, Req) {
+	if !g.cfg.Prepared {
+		a, b := g.PairQueries(i)
+		return Req{SQL: a}, Req{SQL: b}
+	}
+	a := fmt.Sprintf("p%d_a", i+g.cfg.NameOffset)
+	b := fmt.Sprintf("p%d_b", i+g.cfg.NameOffset)
+	f := travel.FlightFilter{Dest: g.dest(i)}
+	if g.cfg.Trip {
+		h := travel.HotelFilter{City: g.dest(i)}
+		tmpl := travel.TripQueryTemplate(1, f, h)
+		return Req{SQL: tmpl, Params: travel.TripQueryParams(a, []string{b}, f, h)},
+			Req{SQL: tmpl, Params: travel.TripQueryParams(b, []string{a}, f, h)}
+	}
+	tmpl := travel.FlightQueryTemplate(g.rel(i), 1, f)
+	return Req{SQL: tmpl, Params: travel.FlightQueryParams(a, []string{b}, f)},
+		Req{SQL: tmpl, Params: travel.FlightQueryParams(b, []string{a}, f)}
+}
+
 // GroupQueries returns the GroupSize mutually-constraining queries of group i.
 func (g *Generator) GroupQueries(i int) []string {
 	names := make([]string, g.cfg.GroupSize)
@@ -215,11 +319,58 @@ func (g *Generator) GroupQueries(i int) []string {
 	return out
 }
 
+// GroupReqs is GroupQueries honoring Config.Prepared.
+func (g *Generator) GroupReqs(i int) []Req {
+	if !g.cfg.Prepared {
+		qs := g.GroupQueries(i)
+		out := make([]Req, len(qs))
+		for j, q := range qs {
+			out[j] = Req{SQL: q}
+		}
+		return out
+	}
+	names := make([]string, g.cfg.GroupSize)
+	for j := range names {
+		names[j] = fmt.Sprintf("g%d_m%d", i+g.cfg.NameOffset, j)
+	}
+	f := travel.FlightFilter{Dest: g.dest(i)}
+	h := travel.HotelFilter{City: g.dest(i)}
+	out := make([]Req, len(names))
+	for j, self := range names {
+		var friends []string
+		for k, o := range names {
+			if k != j {
+				friends = append(friends, o)
+			}
+		}
+		if g.cfg.Trip {
+			out[j] = Req{SQL: travel.TripQueryTemplate(len(friends), f, h),
+				Params: travel.TripQueryParams(self, friends, f, h)}
+		} else {
+			out[j] = Req{SQL: travel.FlightQueryTemplate(travel.RelFlight, len(friends), f),
+				Params: travel.FlightQueryParams(self, friends, f)}
+		}
+	}
+	return out
+}
+
 // LonerQuery returns a query whose partner never arrives.
 func (g *Generator) LonerQuery(i int) string {
 	self := fmt.Sprintf("loner%d", i+g.cfg.NameOffset)
 	ghost := fmt.Sprintf("ghost%d", i+g.cfg.NameOffset)
 	return travel.BuildFlightQueryInto(g.rel(i), self, []string{ghost}, travel.FlightFilter{Dest: g.dest(i)})
+}
+
+// LonerReq is LonerQuery honoring Config.Prepared.
+func (g *Generator) LonerReq(i int) Req {
+	if !g.cfg.Prepared {
+		return Req{SQL: g.LonerQuery(i)}
+	}
+	self := fmt.Sprintf("loner%d", i+g.cfg.NameOffset)
+	ghost := fmt.Sprintf("ghost%d", i+g.cfg.NameOffset)
+	f := travel.FlightFilter{Dest: g.dest(i)}
+	return Req{SQL: travel.FlightQueryTemplate(g.rel(i), 1, f),
+		Params: travel.FlightQueryParams(self, []string{ghost}, f)}
 }
 
 // Result aggregates a workload run.
@@ -317,19 +468,19 @@ func RunTarget(tgt Target, cfg Config) (Result, error) {
 	g := NewGenerator(cfg)
 
 	for i := 0; i < cfg.Loners; i++ {
-		if _, err := tgt.Submit(g.LonerQuery(i), "loadgen"); err != nil {
+		if _, err := submit(tgt, g.LonerReq(i), "loadgen"); err != nil {
 			return Result{}, fmt.Errorf("loner %d: %w", i, err)
 		}
 	}
 
-	type job struct{ queries []string }
+	type job struct{ queries []Req }
 	var jobs []job
 	for i := 0; i < cfg.Pairs; i++ {
-		a, b := g.PairQueries(i)
-		jobs = append(jobs, job{queries: []string{a, b}})
+		a, b := g.PairReqs(i)
+		jobs = append(jobs, job{queries: []Req{a, b}})
 	}
 	for i := 0; i < cfg.Groups; i++ {
-		jobs = append(jobs, job{queries: g.GroupQueries(i)})
+		jobs = append(jobs, job{queries: g.GroupReqs(i)})
 	}
 
 	var (
@@ -353,7 +504,7 @@ func RunTarget(tgt Target, cfg Config) (Result, error) {
 				if qi > 0 && cfg.PartnerDelay > 0 {
 					time.Sleep(cfg.PartnerDelay)
 				}
-				aw, err := tgt.Submit(q, "loadgen")
+				aw, err := submit(tgt, q, "loadgen")
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {
