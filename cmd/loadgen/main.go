@@ -53,6 +53,7 @@ func main() {
 	shards := flag.Int("shards", 0, "coordination lanes (0 = GOMAXPROCS, 1 = unsharded)")
 	footprints := flag.Int("footprints", 0, "disjoint answer-relation footprints to spread pairs across (0/1 = shared Reservation)")
 	rates := flag.String("rates", "", "open-system mode: Poisson pair-arrival rates/sec to sweep (e.g. \"100,500,2000\")")
+	reads := flag.Float64("reads", 0, "open-system mode: fraction of arrivals that are plain snapshot point reads (0..1); read latencies report separately")
 	shardStats := flag.Bool("shardstats", false, "print per-shard coordination stats after the sweep")
 	runFor := flag.Duration("runtime", 2*time.Second, "open-system mode: duration per rate")
 	durable := flag.Bool("durable", false, "log every mutation to a WAL; throughput becomes committed-arrival throughput")
@@ -65,7 +66,7 @@ func main() {
 
 	if *netAddr != "" {
 		runNet(*netAddr, *pairs, *groups, *groupSize, *trip, *lonersCSV,
-			*concurrency, *seed, *footprints, *rates, *shardStats, *runFor, *durable, *preparedCmp)
+			*concurrency, *seed, *footprints, *rates, *reads, *shardStats, *runFor, *durable, *preparedCmp)
 		return
 	}
 
@@ -119,8 +120,7 @@ func main() {
 	}
 
 	if *rates != "" {
-		fmt.Printf("%-10s %-10s %-10s %-12s %-12s %-12s %-12s\n",
-			"rate/s", "submitted", "answered", "p50-lat", "p95-lat", "p99-lat", "max-lat")
+		printOpenHeader(*reads)
 		for _, part := range strings.Split(*rates, ",") {
 			rate, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
 			if err != nil {
@@ -130,14 +130,11 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			res, err := workload.RunOpen(sys, workload.Config{Seed: *seed, Footprints: *footprints}, rate, *runFor)
+			res, err := workload.RunOpen(sys, workload.Config{Seed: *seed, Footprints: *footprints, ReadFraction: *reads}, rate, *runFor)
 			if err != nil {
 				log.Fatal(err)
 			}
-			fmt.Printf("%-10.0f %-10d %-10d %-12s %-12s %-12s %-12s\n",
-				rate, res.Submitted, res.Answered,
-				res.PctLatency(50).Round(1000), res.PctLatency(95).Round(1000),
-				res.PctLatency(99).Round(1000), res.MaxLatency().Round(1000))
+			printOpenRow(rate, res, *reads)
 		}
 		if prevSys != nil {
 			printWAL(prevSys)
@@ -213,6 +210,41 @@ func main() {
 	}
 }
 
+// printOpenHeader and printOpenRow render one open-system sweep line. With a
+// read mix, the entangled (coordination) and snapshot-read percentiles print
+// side by side: under MVCC the read tail should stay flat as the entangled
+// rate climbs, because readers never wait on the coordination writers.
+func printOpenHeader(reads float64) {
+	if reads > 0 {
+		fmt.Printf("%-10s %-10s %-10s %-12s %-12s %-12s %-8s %-12s %-12s %-12s\n",
+			"rate/s", "submitted", "answered", "ent-p50", "ent-p95", "ent-p99",
+			"reads", "read-p50", "read-p95", "read-p99")
+		return
+	}
+	fmt.Printf("%-10s %-10s %-10s %-12s %-12s %-12s %-12s\n",
+		"rate/s", "submitted", "answered", "p50-lat", "p95-lat", "p99-lat", "max-lat")
+}
+
+func printOpenRow(rate float64, res workload.Result, reads float64) {
+	if reads > 0 {
+		fmt.Printf("%-10.0f %-10d %-10d %-12s %-12s %-12s %-8d %-12s %-12s %-12s\n",
+			rate, res.Submitted, res.Answered,
+			res.PctLatency(50).Round(1000), res.PctLatency(95).Round(1000),
+			res.PctLatency(99).Round(1000),
+			res.Reads,
+			res.PctReadLatency(50).Round(1000), res.PctReadLatency(95).Round(1000),
+			res.PctReadLatency(99).Round(1000))
+		if res.ReadErrors > 0 {
+			fmt.Printf("           (%d read errors)\n", res.ReadErrors)
+		}
+		return
+	}
+	fmt.Printf("%-10.0f %-10d %-10d %-12s %-12s %-12s %-12s\n",
+		rate, res.Submitted, res.Answered,
+		res.PctLatency(50).Round(1000), res.PctLatency(95).Round(1000),
+		res.PctLatency(99).Round(1000), res.MaxLatency().Round(1000))
+}
+
 // netNameStride separates the participant-name spaces of successive sweep
 // points, so answer tuples installed by an earlier run cannot satisfy a
 // later run's identical constraints (which would short-circuit coordination
@@ -227,7 +259,7 @@ const netNameStride = 10_000_000
 // from the server (connection-teardown cancellation), keeping sweep points
 // independent.
 func runNet(addr string, pairs, groups, groupSize int, trip bool, lonersCSV string,
-	concurrency int, seed int64, footprints int, rates string, shardStats bool,
+	concurrency int, seed int64, footprints int, rates string, reads float64, shardStats bool,
 	runFor time.Duration, durable, prepared bool) {
 	probe, err := server.Dial(addr)
 	if err != nil {
@@ -257,8 +289,7 @@ func runNet(addr string, pairs, groups, groupSize int, trip bool, lonersCSV stri
 	}
 
 	if rates != "" {
-		fmt.Printf("%-10s %-10s %-10s %-12s %-12s %-12s %-12s\n",
-			"rate/s", "submitted", "answered", "p50-lat", "p95-lat", "p99-lat", "max-lat")
+		printOpenHeader(reads)
 		for _, part := range strings.Split(rates, ",") {
 			rate, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
 			if err != nil {
@@ -266,14 +297,11 @@ func runNet(addr string, pairs, groups, groupSize int, trip bool, lonersCSV stri
 			}
 			withTarget(func(tgt workload.Target, off int) error {
 				res, err := workload.RunOpenTarget(tgt,
-					workload.Config{Seed: seed, Footprints: footprints, NameOffset: off, Prepared: prepared}, rate, runFor)
+					workload.Config{Seed: seed, Footprints: footprints, NameOffset: off, Prepared: prepared, ReadFraction: reads}, rate, runFor)
 				if err != nil {
 					return err
 				}
-				fmt.Printf("%-10.0f %-10d %-10d %-12s %-12s %-12s %-12s\n",
-					rate, res.Submitted, res.Answered,
-					res.PctLatency(50).Round(1000), res.PctLatency(95).Round(1000),
-					res.PctLatency(99).Round(1000), res.MaxLatency().Round(1000))
+				printOpenRow(rate, res, reads)
 				return nil
 			})
 		}

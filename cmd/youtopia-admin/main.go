@@ -39,9 +39,17 @@ func main() {
 	shards := flag.Int("shards", 0, "coordination lanes (0 = GOMAXPROCS, 1 = the paper's single serialized round)")
 	connect := flag.String("connect", "", "inspect a running youtopia-server at this address instead of running scenarios")
 	asJSON := flag.Bool("json", false, "with -connect: emit the admin snapshot as JSON")
+	txnOnly := flag.Bool("txn", false, "with -connect: show only the transaction/MVCC counters")
 	flag.Parse()
 
 	if *connect != "" {
+		if *txnOnly {
+			if err := inspectTxn(*connect, *asJSON); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			return
+		}
 		if err := inspect(*connect, *asJSON); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -98,6 +106,10 @@ func inspect(addr string, asJSON bool) error {
 	if err != nil {
 		return err
 	}
+	txnStats, err := c.AdminTxnStats(ctx)
+	if err != nil {
+		return err
+	}
 
 	if asJSON {
 		doc := map[string]any{
@@ -105,6 +117,7 @@ func inspect(addr string, asJSON bool) error {
 			"shards":  shards,
 			"pending": pending,
 			"durable": durable,
+			"txn":     txnStats,
 		}
 		if durable {
 			doc["wal"] = walStats
@@ -131,12 +144,36 @@ func inspect(addr string, asJSON bool) error {
 		}
 		fmt.Printf("  [q%d] owner=%s waiting=%s\n        %s\n", p.ID, owner, p.Waiting.Round(time.Millisecond), p.Logic)
 	}
+	fmt.Printf("\n=== Transactions ===\n  committed=%d aborted=%d timeouts=%d writeConflicts=%d gcReclaimed=%d\n",
+		txnStats.Committed, txnStats.Aborted, txnStats.Timeouts, txnStats.WriteConflicts, txnStats.GCReclaimed)
 	fmt.Printf("\n=== Durability ===\n")
 	if durable {
 		fmt.Print(walStats)
 	} else {
 		fmt.Println("  not durable (server runs without a WAL)")
 	}
+	return nil
+}
+
+// inspectTxn fetches and prints only the transaction/MVCC counters — the
+// natural thing to watch in a loop while a workload runs.
+func inspectTxn(addr string, asJSON bool) error {
+	c, err := server.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	st, err := c.AdminTxnStats(context.Background())
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(st)
+	}
+	fmt.Printf("committed=%d aborted=%d timeouts=%d writeConflicts=%d gcReclaimed=%d\n",
+		st.Committed, st.Aborted, st.Timeouts, st.WriteConflicts, st.GCReclaimed)
 	return nil
 }
 

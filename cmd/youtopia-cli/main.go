@@ -57,7 +57,7 @@ func main() {
 	owner := flag.String("owner", "cli", "owner label for entangled queries")
 	walPath := flag.String("wal", "", "write-ahead log directory (enables durability)")
 	walSync := flag.Bool("walsync", false, "fsync each statement's records (group-committed)")
-	jsonOut := flag.Bool("json", false, "render \\stats/\\shards/\\pending/\\wal as JSON")
+	jsonOut := flag.Bool("json", false, "render \\stats/\\shards/\\pending/\\wal/\\txn as JSON")
 	flag.Parse()
 	metaJSON = *jsonOut
 
@@ -208,6 +208,14 @@ func meta(cli *session, sys *core.System, cmd string) bool {
 			fmt.Printf("shard %d: pending=%d relations=%v matches=%d answered=%d escalations=%d\n",
 				si.ID, si.Pending, si.Relations, si.Stats.Matches, si.Stats.Answered, si.Stats.Escalations)
 		}
+	case `\txn`:
+		st := sys.TxnStats()
+		if metaJSON {
+			printJSON(st)
+			break
+		}
+		fmt.Printf("committed=%d aborted=%d timeouts=%d writeConflicts=%d gcReclaimed=%d\n",
+			st.Committed, st.Aborted, st.Timeouts, st.WriteConflicts, st.GCReclaimed)
 	case `\wal`:
 		st, ok := sys.WALStatsSnapshot()
 		if !ok {
@@ -251,7 +259,7 @@ func meta(cli *session, sys *core.System, cmd string) bool {
 			fmt.Printf("q%d [%s] waiting %s: %s\n", p.ID, p.Owner, p.Waiting.Round(1e6), p.Logic)
 		}
 	case `\help`:
-		fmt.Println(`\seed \fig1 \state \stats \shards \wal \pending \why <id> \dot \prepare <name> <sql> \exec <name> [args...] \quit — SQL statements end with ';'. Prefix EXPLAIN to see an entangled query's compiled form. -json renders \stats/\shards/\pending/\wal machine-readably.
+		fmt.Println(`\seed \fig1 \state \stats \shards \wal \txn \pending \why <id> \dot \prepare <name> <sql> \exec <name> [args...] \quit — SQL statements end with ';'. Prefix EXPLAIN to see an entangled query's compiled form. -json renders \stats/\shards/\pending/\wal/\txn machine-readably.
 \prepare compiles a statement with ? / $n placeholders once; \exec binds arguments (numbers, 'strings', NULL) and runs it — parse-once/bind-many from the shell.`)
 	default:
 		fmt.Println("unknown meta command; \\help for help")

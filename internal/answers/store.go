@@ -150,6 +150,14 @@ var idScratch = sync.Pool{New: func() any { return new([]storage.RowID) }}
 // the repeated-variable check is precomputed per pattern instead of
 // allocating a bindings map per tuple.
 func (s *Store) AppendMatching(dst []value.Tuple, pattern eq.Atom) []value.Tuple {
+	return s.AppendMatchingAt(storage.Latest(), dst, pattern)
+}
+
+// AppendMatchingAt is AppendMatching against a snapshot: the coordinator
+// pins one snapshot per match search so every candidate probe across the
+// search tree observes the same consistent answer state, without blocking
+// the writers installing new matches underneath.
+func (s *Store) AppendMatchingAt(snap storage.Snapshot, dst []value.Tuple, pattern eq.Atom) []value.Tuple {
 	if s.Arity(pattern.Relation) != pattern.Arity() {
 		return dst
 	}
@@ -176,9 +184,9 @@ func (s *Store) AppendMatching(dst []value.Tuple, pattern eq.Atom) []value.Tuple
 	}
 	if len(pattern.Terms) > 0 && !pattern.Terms[0].IsVar {
 		idsp := idScratch.Get().(*[]storage.RowID)
-		ids := tbl.LookupEqAppend((*idsp)[:0], col0, value.Tuple{pattern.Terms[0].Const})
+		ids := tbl.LookupEqAppendAt(snap, (*idsp)[:0], col0, value.Tuple{pattern.Terms[0].Const})
 		for _, id := range ids {
-			tup, ok := tbl.GetRef(id)
+			tup, ok := tbl.GetRefAt(snap, id)
 			if ok && matches(pattern, repeats, tup) {
 				dst = append(dst, tup)
 			}
@@ -187,7 +195,7 @@ func (s *Store) AppendMatching(dst []value.Tuple, pattern eq.Atom) []value.Tuple
 		idScratch.Put(idsp)
 		return dst
 	}
-	tbl.Scan(func(_ storage.RowID, tup value.Tuple) bool {
+	tbl.ScanAt(snap, func(_ storage.RowID, tup value.Tuple) bool {
 		if matches(pattern, repeats, tup) {
 			dst = append(dst, tup)
 		}

@@ -162,7 +162,8 @@ func (c *Coordinator) Diagnose(id uint64) (Diagnosis, bool) {
 }
 
 // DumpState renders a human-readable report of the coordination state: the
-// pending-query table, the entanglement graph and the answer relations.
+// pending-query table, the entanglement graph, the answer relations and the
+// MVCC storage counters (commit clock, GC watermark, live version chains).
 func (c *Coordinator) DumpState() string {
 	var b strings.Builder
 	pend := c.Pending()
@@ -198,5 +199,9 @@ func (c *Coordinator) DumpState() string {
 	fmt.Fprintf(&b, "=== Stats ===\n  submitted=%d answered=%d matches=%d parked=%d canceled=%d retries=%d escalations=%d nodes=%d groundings=%d/%d ok\n",
 		s.Submitted, s.Answered, s.Matches, s.Parked, s.Canceled, s.Retries, s.Escalations, s.NodesExplored,
 		s.GroundingAttempts-s.GroundingFailures, s.GroundingAttempts)
+	cat := c.eng.Catalog()
+	chains, versions := cat.VersionStats()
+	fmt.Fprintf(&b, "=== MVCC ===\n  clock=%d watermark=%d active-snapshots=%d version-chains=%d live-versions=%d write-conflicts=%d gc-reclaimed=%d\n",
+		cat.Clock(), cat.Watermark(), cat.ActiveSnapshots(), chains, versions, cat.Conflicts(), cat.GCReclaimed())
 	return b.String()
 }

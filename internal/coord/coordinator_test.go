@@ -639,7 +639,7 @@ func TestAdminIntrospection(t *testing.T) {
 	}
 
 	dump := c.DumpState()
-	for _, want := range []string{"Pending entangled queries (3)", "Entanglement graph", "Answer relations", "Stats"} {
+	for _, want := range []string{"Pending entangled queries (3)", "Entanglement graph", "Answer relations", "Stats", "MVCC", "watermark="} {
 		if !strings.Contains(dump, want) {
 			t.Errorf("DumpState missing %q", want)
 		}

@@ -2,6 +2,7 @@ package coord
 
 import (
 	"repro/internal/eq"
+	"repro/internal/storage"
 	"repro/internal/value"
 )
 
@@ -78,6 +79,7 @@ type searchScratch struct {
 	resolve [][]eq.Term     // per-depth ResolveInto buffers
 	cands   [][]headRef     // per-depth candidate buffers
 	tuples  [][]value.Tuple // per-depth installed-answer buffers
+	snapRef storage.SnapRef // intrusive pin for the per-search MVCC snapshot
 }
 
 // atDepth grows the per-depth buffer slots to cover depth.
@@ -165,6 +167,15 @@ func (c *Coordinator) search(ln *lane, trigger *pending) (res *installResult, ok
 	sc := &home.scratch
 	st := &sc.st
 	st.reset(trigger)
+	// Pin one MVCC snapshot for the whole search: every installed-answer
+	// probe across the backtracking tree sees the same consistent answer
+	// state, without blocking concurrent match installs (they become visible
+	// to the NEXT search round — exactly the round-based semantics the
+	// version-bump wakeup already implements). The pin is intrusive (no
+	// allocation) and released before returning so GC is never held up.
+	cat := c.eng.Catalog()
+	snap := storage.SnapshotAt(cat.PinSnapshot(&sc.snapRef), nil)
+	defer cat.UnpinSnapshot(&sc.snapRef)
 	nodes := 0
 	var dfs func(depth int) (*installResult, bool)
 	dfs = func(depth int) (*installResult, bool) {
@@ -192,7 +203,7 @@ func (c *Coordinator) search(ln *lane, trigger *pending) (res *installResult, ok
 		st.wi++
 
 		// (1) Cover with an already-installed answer tuple.
-		tups := c.store.AppendMatching(sc.tuples[depth][:0], resolved)
+		tups := c.store.AppendMatchingAt(snap, sc.tuples[depth][:0], resolved)
 		sc.tuples[depth] = tups
 		for _, tup := range tups {
 			mark := st.subst.Mark()

@@ -1,0 +1,90 @@
+package coord
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// TestScanCompletesWhileMatchCommitsMidScan: a long snapshot scan over the
+// shared answer relation parks mid-row while a fresh entangled pair matches,
+// grounds, and commits new answer tuples underneath it. The scan must run to
+// completion (no reader/writer blocking under MVCC), observe exactly its
+// snapshot's tuples, and the committed match must be visible to the next
+// snapshot. Run under -race this pins that coordination commits and
+// concurrent snapshot reads are properly synchronized.
+func TestScanCompletesWhileMatchCommitsMidScan(t *testing.T) {
+	c, eng := newSystem(t, DefaultOptions())
+
+	// Seed the answer relation: one matched pair → two Reservation tuples.
+	h1, err := c.SubmitSQL(pairQuery("A", "B"), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := c.SubmitSQL(pairQuery("B", "A"), "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitOutcome(t, h1)
+	waitOutcome(t, h2)
+
+	cat := eng.Catalog()
+	rel, err := cat.Get("Reservation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rel.Len(); got != 2 {
+		t.Fatalf("Reservation has %d tuples before the scan, want 2", got)
+	}
+
+	var pin storage.SnapRef
+	snap := storage.SnapshotAt(cat.PinSnapshot(&pin), nil)
+	defer cat.UnpinSnapshot(&pin)
+
+	parked := make(chan struct{})
+	installed := make(chan struct{})
+	go func() {
+		defer close(installed)
+		<-parked
+		h3, err := c.SubmitSQL(pairQuery("C", "D"), "c")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		h4, err := c.SubmitSQL(pairQuery("D", "C"), "d")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		timeout := make(chan struct{})
+		timer := time.AfterFunc(2*time.Second, func() { close(timeout) })
+		defer timer.Stop()
+		for _, h := range []*Handle{h3, h4} {
+			if _, ok := h.Wait(timeout); !ok {
+				t.Errorf("q%d not answered while a scan was in flight", h.ID)
+				return
+			}
+		}
+	}()
+
+	n := 0
+	rel.ScanAt(snap, func(_ storage.RowID, tup value.Tuple) bool {
+		if n == 0 {
+			close(parked)
+			<-installed // the C/D match commits while this scan is mid-flight
+		}
+		if name := tup[0].Str(); name != "A" && name != "B" {
+			t.Errorf("snapshot scan saw post-snapshot tuple %v", tup)
+		}
+		n++
+		return true
+	})
+	if n != 2 {
+		t.Fatalf("scan visited %d tuples, want the 2 in its snapshot", n)
+	}
+	if got := rel.Len(); got != 4 {
+		t.Fatalf("Reservation has %d tuples after the mid-scan match, want 4", got)
+	}
+}

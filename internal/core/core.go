@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"runtime"
 	"strings"
+	"time"
 
 	"repro/internal/answers"
 	"repro/internal/coord"
@@ -69,6 +70,19 @@ type Config struct {
 	// negative disables the cache (every Execute parses, Prepare still
 	// returns uncached handles).
 	StmtCacheSize int
+	// GCInterval is the cadence of the background MVCC garbage collector
+	// that prunes tuple versions below the oldest-active-snapshot watermark.
+	// 0 selects one second; negative disables background collection
+	// (storage.Catalog.GC still works explicitly).
+	GCInterval time.Duration
+}
+
+// gcInterval resolves the Config.GCInterval convention.
+func gcInterval(d time.Duration) time.Duration {
+	if d == 0 {
+		return time.Second
+	}
+	return d
 }
 
 // System is one Youtopia database instance.
@@ -82,7 +96,8 @@ type System struct {
 	wal       *wal.Log
 	walSync   bool
 	stmts     *stmtCache
-	err       error // startup (recovery) error
+	stopGC    func() // halts the MVCC version-chain garbage collector
+	err       error  // startup (recovery) error
 }
 
 // NewSystem creates a Youtopia instance. With Config.WALPath set, the
@@ -119,6 +134,11 @@ func NewSystem(cfg Config) *System {
 		coord:     coord.New(eng, store, cfg.Coord),
 		autoRetry: !cfg.DisableAutoRetry,
 		stmts:     newStmtCache(cacheSize),
+	}
+	// Background MVCC garbage collection: prune version chains no snapshot
+	// can read, at a cadence comfortably above the per-search pin lifetime.
+	if iv := gcInterval(cfg.GCInterval); iv > 0 {
+		s.stopGC = mgr.StartGC(iv)
 	}
 	if cfg.WALPath != "" {
 		opts := wal.Options{
@@ -181,10 +201,13 @@ func (s *System) Compact() error {
 // system is not durable).
 func (s *System) WAL() *wal.Log { return s.wal }
 
-// Close detaches and closes the write-ahead log (no-op without one). The
-// returned error includes any write error encountered during the lifetime of
-// the log.
+// Close stops the MVCC garbage collector and detaches and closes the
+// write-ahead log (no-op without one). The returned error includes any write
+// error encountered during the lifetime of the log.
 func (s *System) Close() error {
+	if s.stopGC != nil {
+		s.stopGC()
+	}
 	if s.wal == nil {
 		return nil
 	}
@@ -438,3 +461,13 @@ func (s *System) Answers() *answers.Store { return s.store }
 
 // Catalog exposes the table catalog.
 func (s *System) Catalog() *storage.Catalog { return s.cat }
+
+// TxnStats returns the transaction manager's cumulative counters —
+// committed/aborted/timeouts plus the MVCC first-committer-wins conflict and
+// GC-reclaimed-version totals (admin surface).
+func (s *System) TxnStats() txn.Stats { return s.mgr.Stats() }
+
+// TxnManager exposes the transaction manager, so benchmarks and tests can
+// flip compatibility knobs such as LockReads (the pre-MVCC shared-lock read
+// protocol) before driving load.
+func (s *System) TxnManager() *txn.Manager { return s.mgr }

@@ -61,20 +61,24 @@ func (e *Engine) evalAggregate(tx *txn.Txn, s *sql.Select, outer *Env) (*Result,
 	if outer != nil {
 		params = outer.Params()
 	}
-	pushDownPredicates(s.Where, froms, len(s.From) == 1, params)
+	conds, skip := pushDownPredicates(s.Where, froms, len(s.From) == 1, params)
 
 	baseEnv := NewEnv()
 	if outer != nil {
 		baseEnv = outer.Child()
 	}
 
-	// Materialize the filtered join.
+	// Materialize the filtered join, reading one consistent snapshot.
+	snap := tx.Snapshot()
 	var rows []capturedRow
 	var rec func(i int, cur capturedRow) error
 	rec = func(i int, cur capturedRow) error {
 		if i == len(froms) {
-			if s.Where != nil {
-				v, err := e.EvalExpr(tx, s.Where, baseEnv)
+			for ci, c := range conds {
+				if ci < 64 && skip&(1<<uint(ci)) != 0 {
+					continue
+				}
+				v, err := e.EvalExpr(tx, c, baseEnv)
 				if err != nil {
 					return err
 				}
@@ -94,9 +98,9 @@ func (e *Engine) evalAggregate(tx *txn.Txn, s *sql.Select, outer *Env) (*Result,
 			return rec(i+1, cur)
 		}
 		if len(f.eqCols) > 0 {
-			for _, id := range f.tbl.LookupEq(f.eqCols, f.eqVals) {
-				row, err := f.tbl.Get(id)
-				if err != nil {
+			for _, id := range f.tbl.LookupEqAppendAt(snap, nil, f.eqCols, f.eqVals) {
+				row, ok := f.tbl.GetRefAt(snap, id)
+				if !ok {
 					continue
 				}
 				if err := iterate(row); err != nil {
@@ -106,9 +110,9 @@ func (e *Engine) evalAggregate(tx *txn.Txn, s *sql.Select, outer *Env) (*Result,
 			return nil
 		}
 		if f.rangeCol >= 0 {
-			for _, id := range f.tbl.LookupRange(f.rangeCol, f.lo, f.hi) {
-				row, err := f.tbl.Get(id)
-				if err != nil {
+			for _, id := range f.tbl.LookupRangeAt(snap, f.rangeCol, f.lo, f.hi) {
+				row, ok := f.tbl.GetRefAt(snap, id)
+				if !ok {
 					continue
 				}
 				if err := iterate(row); err != nil {
@@ -118,7 +122,7 @@ func (e *Engine) evalAggregate(tx *txn.Txn, s *sql.Select, outer *Env) (*Result,
 			return nil
 		}
 		var iterErr error
-		f.tbl.Scan(func(_ storage.RowID, row value.Tuple) bool {
+		f.tbl.ScanAt(snap, func(_ storage.RowID, row value.Tuple) bool {
 			iterErr = iterate(row)
 			return iterErr == nil
 		})

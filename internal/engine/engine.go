@@ -180,7 +180,9 @@ func (e *Engine) execDelete(tx *txn.Txn, s *sql.Delete, base *Env) (*Result, err
 	if rowEnv == nil {
 		rowEnv = NewEnv()
 	}
-	tbl.Scan(func(id storage.RowID, row value.Tuple) bool {
+	// Snapshot taken after the exclusive lock: sees every prior commit plus
+	// the transaction's own writes.
+	tbl.ScanAt(tx.Snapshot(), func(id storage.RowID, row value.Tuple) bool {
 		if s.Where != nil {
 			env := rowEnv
 			env.Bind(s.Table, tbl.Schema(), row)
@@ -233,7 +235,7 @@ func (e *Engine) execUpdate(tx *txn.Txn, s *sql.Update, base *Env) (*Result, err
 	if rowEnv == nil {
 		rowEnv = NewEnv()
 	}
-	tbl.Scan(func(id storage.RowID, row value.Tuple) bool {
+	tbl.ScanAt(tx.Snapshot(), func(id storage.RowID, row value.Tuple) bool {
 		env := rowEnv
 		env.Bind(s.Table, tbl.Schema(), row)
 		if s.Where != nil {
@@ -286,6 +288,11 @@ type fromTable struct {
 	// (rangeCol < 0 when absent).
 	rangeCol int
 	lo, hi   storage.Bound
+	// Conjunct indices absorbed by the range pushdown, un-skipped again if
+	// an equality probe supersedes the range. Fixed-size so the text path
+	// allocates nothing; overflow conjuncts simply stay evaluated.
+	rconj  [4]int
+	nrconj int
 }
 
 func (e *Engine) evalSelect(tx *txn.Txn, s *sql.Select, outer *Env) (*Result, error) {
@@ -312,21 +319,33 @@ func (e *Engine) evalSelect(tx *txn.Txn, s *sql.Select, outer *Env) (*Result, er
 	if outer != nil {
 		params = outer.Params()
 	}
-	pushDownPredicates(s.Where, froms, len(s.From) == 1, params)
+	conds, skip := pushDownPredicates(s.Where, froms, len(s.From) == 1, params)
 
 	env := NewEnv()
 	if outer != nil {
 		env = outer.Child()
 	}
 	iter := orderFroms(froms) // join iteration order; projection keeps FROM order
-	return e.runSelect(tx, s, froms, iter, env, projectionCols(s, froms))
+	return e.runSelect(tx, s, froms, iter, env, projectionCols(s, froms), conds, skip)
 }
 
 // runSelect is the shared execution half of a planned SELECT: the nested-loop
 // join over already-analyzed fromTables (locks taken, pushdowns attached),
 // followed by ORDER BY / DISTINCT / LIMIT. evalSelect analyzes per execution;
-// Prepared replays a cached analysis and calls this directly.
-func (e *Engine) runSelect(tx *txn.Txn, s *sql.Select, froms, iter []*fromTable, env *Env, cols []string) (*Result, error) {
+// Prepared replays a cached analysis and calls this directly. conds are the
+// WHERE conjuncts; per joined row only those whose bit is NOT set in skip
+// are evaluated — the caller's pushdown analysis marks the ones its index
+// probes cover exactly, so a pure point query skips expression evaluation
+// entirely. (The prepared path precomputes its residual list at plan time
+// and passes skip == 0.) Evaluating conjuncts in order short-circuits on
+// the first false one, exactly like the AND chain they came from.
+func (e *Engine) runSelect(tx *txn.Txn, s *sql.Select, froms, iter []*fromTable, env *Env, cols []string, conds []sql.Expr, skip uint64) (*Result, error) {
+	// One snapshot for the whole statement: every probe and scan below reads
+	// the same consistent view, lock-free with respect to writers. Within a
+	// multi-statement transaction the snapshot is the transaction's pinned
+	// one, so reads are repeatable across statements too.
+	snap := tx.Snapshot()
+
 	var out struct {
 		rows []value.Tuple
 		data []value.Value // shared backing slab for rows
@@ -335,20 +354,36 @@ func (e *Engine) runSelect(tx *txn.Txn, s *sql.Select, froms, iter []*fromTable,
 	}
 	// Pre-size for a small result: one allocation per slab instead of a
 	// doubling chain from nil — the dominant allocation cost of a point
-	// query. Large results grow past the estimate exactly as before.
-	const rowEstimate = 16
-	out.rows = make([]value.Tuple, 0, rowEstimate)
-	out.data = make([]value.Value, 0, rowEstimate*max(len(cols), 1))
+	// query. Large results grow past the estimate exactly as before. A
+	// single-table equality plan — the point-probe shape — runs its index
+	// lookup up front so the slabs are sized to the exact candidate count:
+	// the common one-row probe allocates one-row slabs, and a miss allocates
+	// none at all.
+	est := 16
+	probed := false
+	if len(iter) == 1 && len(iter[0].eqCols) > 0 {
+		f := iter[0]
+		f.ids = f.tbl.LookupEqAppendAt(snap, f.ids[:0], f.eqCols, f.eqVals)
+		probed = true
+		if len(f.ids) < est {
+			est = len(f.ids)
+		}
+	}
+	out.rows = make([]value.Tuple, 0, est)
+	out.data = make([]value.Value, 0, est*max(len(cols), 1))
 	if len(s.OrderBy) > 0 {
-		out.keys = make([]value.Tuple, 0, rowEstimate)
-		out.kdat = make([]value.Value, 0, rowEstimate*len(s.OrderBy))
+		out.keys = make([]value.Tuple, 0, est)
+		out.kdat = make([]value.Value, 0, est*len(s.OrderBy))
 	}
 
 	var rec func(i int) error
 	rec = func(i int) error {
 		if i == len(iter) {
-			if s.Where != nil {
-				v, err := e.EvalExpr(tx, s.Where, env)
+			for ci, c := range conds {
+				if ci < 64 && skip&(1<<uint(ci)) != 0 {
+					continue
+				}
+				v, err := e.EvalExpr(tx, c, env)
 				if err != nil {
 					return err
 				}
@@ -390,9 +425,11 @@ func (e *Engine) runSelect(tx *txn.Txn, s *sql.Select, froms, iter []*fromTable,
 			// GetRef hands back shared immutable rows, like Scan below —
 			// projection copies the values it emits, so nothing aliases the
 			// table after evalSelect returns.
-			f.ids = f.tbl.LookupEqAppend(f.ids[:0], f.eqCols, f.eqVals)
+			if !probed || i > 0 {
+				f.ids = f.tbl.LookupEqAppendAt(snap, f.ids[:0], f.eqCols, f.eqVals)
+			}
 			for _, id := range f.ids {
-				row, ok := f.tbl.GetRef(id)
+				row, ok := f.tbl.GetRefAt(snap, id)
 				if !ok {
 					continue // row vanished between lookup and get
 				}
@@ -403,8 +440,8 @@ func (e *Engine) runSelect(tx *txn.Txn, s *sql.Select, froms, iter []*fromTable,
 			return nil
 		}
 		if f.rangeCol >= 0 {
-			for _, id := range f.tbl.LookupRange(f.rangeCol, f.lo, f.hi) {
-				row, ok := f.tbl.GetRef(id)
+			for _, id := range f.tbl.LookupRangeAt(snap, f.rangeCol, f.lo, f.hi) {
+				row, ok := f.tbl.GetRefAt(snap, id)
 				if !ok {
 					continue
 				}
@@ -415,7 +452,7 @@ func (e *Engine) runSelect(tx *txn.Txn, s *sql.Select, froms, iter []*fromTable,
 			return nil
 		}
 		var iterErr error
-		f.tbl.Scan(func(_ storage.RowID, row value.Tuple) bool {
+		f.tbl.ScanAt(snap, func(_ storage.RowID, row value.Tuple) bool {
 			iterErr = iterate(row)
 			return iterErr == nil
 		})
@@ -604,10 +641,20 @@ func orderFroms(froms []*fromTable) []*fromTable {
 // in text SQL — without this, the parse-once/bind-many pipeline would trade
 // the parser's allocations for full table scans.
 //
-// Unqualified columns are pushed only in single-table queries. Conjuncts are
-// left in WHERE — re-checking is cheap and keeps correctness independent of
-// the pushdown.
-func pushDownPredicates(where sql.Expr, froms []*fromTable, single bool, params value.Tuple) {
+// Unqualified columns are pushed only in single-table queries.
+//
+// The returned conds are the top-level conjuncts; skip is a bitmask of the
+// ones execution need not evaluate per joined row. A conjunct is skipped
+// only when its pushdown is an exact stand-in: equality values are coerced
+// to the column's declared type (index probes compare with Identical, and
+// stored values are always the declared type) and must be non-NULL; range
+// bounds share value.Compare with evalBinary and the ordered index skips
+// NULL entries, so any non-NULL bound is exact. NULL or uncoercible operands
+// leave the conjunct evaluated — for equality the probe is also withheld,
+// since a raw mistyped key would under-select rather than over-select.
+// Conjuncts beyond the mask's 64 bits are pushed but never skipped (safe:
+// re-evaluating a covered conjunct only re-confirms it).
+func pushDownPredicates(where sql.Expr, froms []*fromTable, single bool, params value.Tuple) (conds []sql.Expr, skip uint64) {
 	locate := func(cr *sql.ColumnRef) (*fromTable, int) {
 		for _, f := range froms {
 			if cr.Table != "" && !strings.EqualFold(cr.Table, f.ref.Binding()) {
@@ -622,35 +669,50 @@ func pushDownPredicates(where sql.Expr, froms []*fromTable, single bool, params 
 		}
 		return nil, -1
 	}
-	tightenLo := func(f *fromTable, o int, b storage.Bound) {
+	tightenLo := func(f *fromTable, o int, b storage.Bound) bool {
 		if f.rangeCol >= 0 && f.rangeCol != o {
-			return // one range column per table
+			return false // one range column per table
 		}
 		if !f.tbl.HasOrderedIndex(o) {
-			return
+			return false
 		}
 		f.rangeCol = o
 		if !f.lo.Set || b.Value.Compare(f.lo.Value) > 0 {
 			f.lo = b
 		}
+		return true
 	}
-	tightenHi := func(f *fromTable, o int, b storage.Bound) {
+	tightenHi := func(f *fromTable, o int, b storage.Bound) bool {
 		if f.rangeCol >= 0 && f.rangeCol != o {
-			return
+			return false
 		}
 		if !f.tbl.HasOrderedIndex(o) {
-			return
+			return false
 		}
 		f.rangeCol = o
 		if !f.hi.Set || b.Value.Compare(f.hi.Value) < 0 {
 			f.hi = b
 		}
+		return true
 	}
 
 	// One shape recognizer serves both the text path (resolved against
 	// params right here) and the prepared planner (symbolic sources): see
 	// normalizeCmpSym/srcOf in prepare.go.
-	for _, c := range sql.Conjuncts(where) {
+	conjuncts := sql.Conjuncts(where)
+	consume := func(ci int) {
+		if ci < 64 {
+			skip |= 1 << uint(ci)
+		}
+	}
+	consumeRange := func(f *fromTable, ci int) {
+		if ci < 64 && f.nrconj < len(f.rconj) {
+			f.rconj[f.nrconj] = ci
+			f.nrconj++
+			skip |= 1 << uint(ci)
+		}
+	}
+	for ci, c := range conjuncts {
 		switch b := c.(type) {
 		case *sql.Binary:
 			cr, src, op, ok := normalizeCmpSym(b)
@@ -667,16 +729,31 @@ func pushDownPredicates(where sql.Expr, froms []*fromTable, single bool, params 
 			}
 			switch op {
 			case sql.OpEq:
+				cv, err := lit.Coerce(f.tbl.Schema().Columns[o].Type)
+				if err != nil || cv.IsNull() {
+					continue // probe would under-select; evaluate instead
+				}
 				f.eqCols = append(f.eqCols, o)
-				f.eqVals = append(f.eqVals, lit)
-			case sql.OpGt:
-				tightenLo(f, o, storage.BoundAt(lit, false))
-			case sql.OpGe:
-				tightenLo(f, o, storage.BoundAt(lit, true))
-			case sql.OpLt:
-				tightenHi(f, o, storage.BoundAt(lit, false))
-			case sql.OpLe:
-				tightenHi(f, o, storage.BoundAt(lit, true))
+				f.eqVals = append(f.eqVals, cv)
+				consume(ci)
+			case sql.OpGt, sql.OpGe, sql.OpLt, sql.OpLe:
+				if lit.IsNull() {
+					continue // never truthy; the conjunct filters everything
+				}
+				var pushed bool
+				switch op {
+				case sql.OpGt:
+					pushed = tightenLo(f, o, storage.BoundAt(lit, false))
+				case sql.OpGe:
+					pushed = tightenLo(f, o, storage.BoundAt(lit, true))
+				case sql.OpLt:
+					pushed = tightenHi(f, o, storage.BoundAt(lit, false))
+				default:
+					pushed = tightenHi(f, o, storage.BoundAt(lit, true))
+				}
+				if pushed {
+					consumeRange(f, ci)
+				}
 			}
 		case *sql.Between:
 			cr, ok := b.X.(*sql.ColumnRef)
@@ -697,14 +774,25 @@ func pushDownPredicates(where sql.Expr, froms []*fromTable, single bool, params 
 			if f == nil {
 				continue
 			}
-			tightenLo(f, o, storage.BoundAt(lo, true))
-			tightenHi(f, o, storage.BoundAt(hi, true))
+			if lo.IsNull() || hi.IsNull() {
+				continue
+			}
+			pushedLo := tightenLo(f, o, storage.BoundAt(lo, true))
+			pushedHi := tightenHi(f, o, storage.BoundAt(hi, true))
+			if pushedLo && pushedHi {
+				consumeRange(f, ci)
+			}
 		}
 	}
-	// Equality lookups win over range lookups when both were pushed.
+	// Equality lookups win over range lookups when both were pushed; the
+	// discarded range conjuncts go back to being evaluated.
 	for _, f := range froms {
-		if len(f.eqCols) > 0 {
+		if len(f.eqCols) > 0 && f.rangeCol >= 0 {
 			f.rangeCol = -1
+			for _, ci := range f.rconj[:f.nrconj] {
+				skip &^= 1 << uint(ci)
+			}
 		}
 	}
+	return conjuncts, skip
 }

@@ -48,6 +48,13 @@ type selectPlan struct {
 	cols  []string
 	froms []fromPlan
 	iter  []int // join iteration order: indexes into froms
+	// WHERE split into top-level conjuncts, plus a bitmask of the ones
+	// exactly covered by an index pushdown. When every bind-time guard holds
+	// (probe values coerce to the column type and are non-NULL), execution
+	// skips the masked conjuncts — for a pure point probe that is all of
+	// them; when a guard fails it falls back to re-checking every conjunct.
+	conds []sql.Expr
+	skip  uint64
 }
 
 // fromPlan is the static part of a fromTable.
@@ -63,6 +70,11 @@ type fromPlan struct {
 	// the bound values).
 	rangeCol   int
 	rangeConds []rangeCond
+	// Conjunct indices absorbed by the range pushdown, un-masked again if an
+	// equality probe supersedes the range. Fixed-size; overflow conjuncts
+	// simply stay evaluated.
+	rconj  [4]int
+	nrconj int
 }
 
 // valueSrc is a value known at plan time (literal) or bind time (parameter).
@@ -167,7 +179,8 @@ func (p *Prepared) buildPlan() (*stmtPlan, error) {
 			lockName: strings.ToLower(ref.Name), rangeCol: -1,
 		}
 	}
-	planPushDowns(s.Where, sp.froms, len(s.From) == 1)
+	sp.conds = sql.Conjuncts(s.Where)
+	sp.skip = planPushDowns(s.Where, sp.froms, len(s.From) == 1)
 	sp.cols = projectionColsPlanned(s, sp.froms)
 
 	// Join iteration order: indexed/equality access first, ranges next, full
@@ -199,8 +212,24 @@ func (p *Prepared) buildPlan() (*stmtPlan, error) {
 
 // planPushDowns is pushDownPredicates with symbolic value sources: the same
 // conjunct shapes are recognized, but parameter operands stay unresolved
-// until bind time.
-func planPushDowns(where sql.Expr, froms []fromPlan, single bool) {
+// until bind time. It returns a bitmask of the conjuncts (in sql.Conjuncts
+// order) exactly covered by an attached pushdown, which execution skips when
+// the bind-time guards in execSelect hold. Conjuncts beyond the mask's 64
+// bits are pushed but never skipped.
+//
+// A conjunct may be masked out because the pushdown that absorbed it has
+// identical semantics:
+//
+//   - equality probes compare with Identical, which agrees with SQL = for
+//     every non-NULL value once the probe is coerced to the column's declared
+//     type (stored values always are, schema validation coerces on insert);
+//   - range scans and evalBinary comparisons both order with value.Compare,
+//     and the ordered index skips NULL entries exactly as `col < x` is never
+//     truthy for a NULL column.
+//
+// The NULL/coercion preconditions involve bound values, so they are checked
+// per execution; this function only decides coverage shape.
+func planPushDowns(where sql.Expr, froms []fromPlan, single bool) (skip uint64) {
 	locate := func(cr *sql.ColumnRef) (*fromPlan, int) {
 		for i := range froms {
 			f := &froms[i]
@@ -216,17 +245,30 @@ func planPushDowns(where sql.Expr, froms []fromPlan, single bool) {
 		}
 		return nil, -1
 	}
-	addRange := func(f *fromPlan, o int, rc rangeCond) {
+	addRange := func(f *fromPlan, o int, rc rangeCond) bool {
 		if f.rangeCol >= 0 && f.rangeCol != o {
-			return // one range column per table
+			return false // one range column per table
 		}
 		if !f.tbl.HasOrderedIndex(o) {
-			return
+			return false
 		}
 		f.rangeCol = o
 		f.rangeConds = append(f.rangeConds, rc)
+		return true
 	}
-	for _, c := range sql.Conjuncts(where) {
+	consume := func(ci int) {
+		if ci < 64 {
+			skip |= 1 << uint(ci)
+		}
+	}
+	consumeRange := func(f *fromPlan, ci int) {
+		if ci < 64 && f.nrconj < len(f.rconj) {
+			f.rconj[f.nrconj] = ci
+			f.nrconj++
+			skip |= 1 << uint(ci)
+		}
+	}
+	for ci, c := range sql.Conjuncts(where) {
 		switch b := c.(type) {
 		case *sql.Binary:
 			cr, src, op, ok := normalizeCmpSym(b)
@@ -241,14 +283,23 @@ func planPushDowns(where sql.Expr, froms []fromPlan, single bool) {
 			case sql.OpEq:
 				f.eqCols = append(f.eqCols, o)
 				f.eqSrcs = append(f.eqSrcs, src)
+				consume(ci)
 			case sql.OpGt:
-				addRange(f, o, rangeCond{lo: true, src: src})
+				if addRange(f, o, rangeCond{lo: true, src: src}) {
+					consumeRange(f, ci)
+				}
 			case sql.OpGe:
-				addRange(f, o, rangeCond{lo: true, incl: true, src: src})
+				if addRange(f, o, rangeCond{lo: true, incl: true, src: src}) {
+					consumeRange(f, ci)
+				}
 			case sql.OpLt:
-				addRange(f, o, rangeCond{src: src})
+				if addRange(f, o, rangeCond{src: src}) {
+					consumeRange(f, ci)
+				}
 			case sql.OpLe:
-				addRange(f, o, rangeCond{incl: true, src: src})
+				if addRange(f, o, rangeCond{incl: true, src: src}) {
+					consumeRange(f, ci)
+				}
 			}
 		case *sql.Between:
 			cr, ok := b.X.(*sql.ColumnRef)
@@ -264,16 +315,28 @@ func planPushDowns(where sql.Expr, froms []fromPlan, single bool) {
 			if f == nil {
 				continue
 			}
-			addRange(f, o, rangeCond{lo: true, incl: true, src: lo})
-			addRange(f, o, rangeCond{incl: true, src: hi})
+			pushedLo := addRange(f, o, rangeCond{lo: true, incl: true, src: lo})
+			pushedHi := addRange(f, o, rangeCond{incl: true, src: hi})
+			// Only full coverage lets the conjunct be masked; a half-pushed
+			// BETWEEN still narrows candidates correctly.
+			if pushedLo && pushedHi {
+				consumeRange(f, ci)
+			}
 		}
 	}
+	// Equality lookups win over range lookups when both were pushed; the
+	// discarded range conjuncts go back to being evaluated.
 	for i := range froms {
-		if len(froms[i].eqCols) > 0 {
-			froms[i].rangeCol = -1
-			froms[i].rangeConds = nil
+		f := &froms[i]
+		if len(f.eqCols) > 0 && f.rangeCol >= 0 {
+			f.rangeCol = -1
+			f.rangeConds = nil
+			for _, ci := range f.rconj[:f.nrconj] {
+				skip &^= 1 << uint(ci)
+			}
 		}
 	}
+	return skip
 }
 
 func normalizeCmpSym(b *sql.Binary) (*sql.ColumnRef, valueSrc, sql.BinOp, bool) {
@@ -358,6 +421,12 @@ func (p *Prepared) execSelect(tx *txn.Txn, sp *selectPlan, params value.Tuple) (
 	froms := sc.froms[:len(sp.froms)]
 	iter := sc.iter[:len(sp.froms)]
 
+	// exact tracks whether every pushdown is a semantically exact stand-in
+	// for its conjunct this execution: equality probes must coerce to the
+	// column type (the index compares with Identical; a raw INT probe would
+	// miss FLOAT-keyed rows) and be non-NULL, range bounds must be non-NULL.
+	// While exact, the plan's skip mask suppresses the covered conjuncts.
+	exact := true
 	for i := range sp.froms {
 		fp := &sp.froms[i]
 		if err := tx.LockCanonical(fp.lockName, txn.Shared); err != nil {
@@ -367,10 +436,16 @@ func (p *Prepared) execSelect(tx *txn.Txn, sp *selectPlan, params value.Tuple) (
 		eqVals := ft.eqVals[:0] // keep the scratch tuple's capacity
 		ids := ft.ids           // keep the reusable id buffer
 		*ft = fromTable{ref: fp.ref, tbl: fp.tbl, binding: fp.binding, rangeCol: -1, ids: ids}
-		for _, src := range fp.eqSrcs {
+		for j, src := range fp.eqSrcs {
 			v, ok := src.resolve(params)
 			if !ok {
 				return nil, fmt.Errorf("engine: parameter $%d out of range", src.param+1)
+			}
+			colType := fp.tbl.Schema().Columns[fp.eqCols[j]].Type
+			if cv, err := v.Coerce(colType); err == nil && !cv.IsNull() {
+				v = cv
+			} else {
+				exact = false // NULL or uncoercible: probe raw, re-check WHERE
 			}
 			eqVals = append(eqVals, v)
 		}
@@ -380,6 +455,9 @@ func (p *Prepared) execSelect(tx *txn.Txn, sp *selectPlan, params value.Tuple) (
 			v, ok := rc.src.resolve(params)
 			if !ok {
 				return nil, fmt.Errorf("engine: parameter $%d out of range", rc.src.param+1)
+			}
+			if v.IsNull() {
+				exact = false // NULL bound scans wide; WHERE filters exactly
 			}
 			ft.rangeCol = fp.rangeCol
 			b := storage.BoundAt(v, rc.incl)
@@ -399,8 +477,12 @@ func (p *Prepared) execSelect(tx *txn.Txn, sp *selectPlan, params value.Tuple) (
 		iter[i] = &fts[idx]
 	}
 
+	skip := sp.skip
+	if !exact {
+		skip = 0
+	}
 	env := sc.env
 	env.Reset()
 	env.BindParams(params)
-	return p.eng.runSelect(tx, sp.sel, froms, iter, env, sp.cols)
+	return p.eng.runSelect(tx, sp.sel, froms, iter, env, sp.cols, sp.conds, skip)
 }

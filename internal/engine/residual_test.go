@@ -1,0 +1,138 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sql"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/value"
+)
+
+// Residual predicate elimination: when an index probe exactly covers a WHERE
+// conjunct, the executor skips re-evaluating it per row. These tests pin the
+// safety semantics — an indexed plan must return exactly what a plain scan
+// returns, including the cross-type cases where the index key encoding
+// (type-tagged, Identical) disagrees with SQL `=` (numeric cross-type Equal)
+// unless the probe value is first coerced to the declared column type.
+
+// buildPair returns two engines over identical data: one fully indexed, one
+// with no secondary indexes (ground truth via scan + full WHERE).
+func buildPair(t *testing.T) (indexed, plain *Engine) {
+	t.Helper()
+	mk := func(withIndexes bool) *Engine {
+		e := New(txn.NewManager(storage.NewCatalog()))
+		ddl := []string{
+			"CREATE TABLE Fares (id INT, dest STRING, price FLOAT, hops INT, PRIMARY KEY (id))",
+			"INSERT INTO Fares VALUES (1, 'Paris', 100.0, 0), (2, 'Paris', 250.0, 1), " +
+				"(3, 'Rome', 2.0, 2), (4, 'Oslo', 90.0, 0), (5, 'Rome', 180.5, 1)",
+			"INSERT INTO Fares VALUES (6, 'Paris', NULL, 3)", // price NULL
+		}
+		if withIndexes {
+			ddl = append(ddl,
+				"CREATE INDEX ON Fares (dest)",
+				"CREATE INDEX ON Fares (price)",
+				"CREATE ORDERED INDEX ON Fares (hops)",
+			)
+		}
+		for _, src := range ddl {
+			if _, err := e.ExecuteSQL(src); err != nil {
+				t.Fatalf("%s: %v", src, err)
+			}
+		}
+		return e
+	}
+	return mk(true), mk(false)
+}
+
+func rowsString(r *Result) string {
+	s := ""
+	for _, row := range r.Rows {
+		s += fmt.Sprintf("%v;", row)
+	}
+	return s
+}
+
+// TestResidualEliminationMatchesScan runs the same queries through the
+// indexed engine (pushdown + residual elimination) and the index-free engine
+// (scan + full WHERE), as both text and prepared statements. Any divergence
+// means a conjunct was dropped that the probe did not exactly cover.
+func TestResidualEliminationMatchesScan(t *testing.T) {
+	indexed, plain := buildPair(t)
+	cases := []struct {
+		src    string
+		params value.Tuple
+	}{
+		// Exact coverage: eq probe on the declared type.
+		{"SELECT id FROM Fares WHERE dest = ? ORDER BY id", value.NewTuple("Paris")},
+		// Cross-type eq: INT literal probing a FLOAT-keyed hash index. The
+		// probe must be coerced to FLOAT or the index misses row 3 entirely
+		// (a miss the residual re-check can never resurrect).
+		{"SELECT id FROM Fares WHERE price = ? ORDER BY id", value.NewTuple(int64(2))},
+		{"SELECT id FROM Fares WHERE price = 2 ORDER BY id", nil},
+		// Cross-type range bound: FLOAT bound on an INT ordered index.
+		{"SELECT id FROM Fares WHERE hops >= ? ORDER BY id", value.NewTuple(0.5)},
+		// NULL parameter: SQL `=` is never true against NULL, even though the
+		// hash index treats NULL keys as identical. Must return no rows.
+		{"SELECT id FROM Fares WHERE price = ? ORDER BY id", value.NewTuple(value.Null)},
+		// Uncoercible parameter: probe cannot be encoded as FLOAT; falls back
+		// to re-checking the WHERE, which matches nothing.
+		{"SELECT id FROM Fares WHERE price = ? ORDER BY id", value.NewTuple("expensive")},
+		// eq wins over range: the discarded range conjunct must return to the
+		// residual, or row 2 (Paris, 250.0) leaks through.
+		{"SELECT id FROM Fares WHERE dest = ? AND price <= ? ORDER BY id", value.NewTuple("Paris", 150.0)},
+		// Range + untouched conjunct.
+		{"SELECT id FROM Fares WHERE hops BETWEEN ? AND ? AND dest = 'Rome' ORDER BY id", value.NewTuple(int64(1), int64(2))},
+		// Aggregate path shares pushDownPredicates.
+		{"SELECT COUNT(*) FROM Fares WHERE price = ?", value.NewTuple(int64(2))},
+		{"SELECT dest, COUNT(*) FROM Fares WHERE hops >= ? GROUP BY dest ORDER BY dest", value.NewTuple(int64(1))},
+	}
+	for _, tc := range cases {
+		name := fmt.Sprintf("%s%v", tc.src, tc.params)
+		stmt, err := sql.Parse(tc.src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var want, gotText, gotPrep *Result
+		run := func(e *Engine) (text, prepped *Result) {
+			p, err := e.Prepare(stmt)
+			if err != nil {
+				t.Fatalf("%s: prepare: %v", name, err)
+			}
+			prepped, err = p.Execute(tc.params)
+			if err != nil {
+				t.Fatalf("%s: prepared exec: %v", name, err)
+			}
+			if tc.params == nil {
+				text, err = e.ExecuteSQL(tc.src)
+				if err != nil {
+					t.Fatalf("%s: text exec: %v", name, err)
+				}
+			}
+			return text, prepped
+		}
+		_, want = run(plain)
+		gotText, gotPrep = run(indexed)
+		if rowsString(gotPrep) != rowsString(want) {
+			t.Errorf("%s: prepared indexed = %v, scan = %v", name, gotPrep.Rows, want.Rows)
+		}
+		if gotText != nil && rowsString(gotText) != rowsString(want) {
+			t.Errorf("%s: text indexed = %v, scan = %v", name, gotText.Rows, want.Rows)
+		}
+	}
+}
+
+// TestCrossTypeEqProbeUsesCoercedKey pins the bug the coercion fixed: an INT
+// literal equality against a FLOAT-keyed hash index must find the row whose
+// stored value compares equal under SQL `=`.
+func TestCrossTypeEqProbeUsesCoercedKey(t *testing.T) {
+	indexed, _ := buildPair(t)
+	res, err := indexed.ExecuteSQL("SELECT id FROM Fares WHERE price = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 3 {
+		t.Fatalf("INT probe against FLOAT index: rows = %v, want [[3]]", res.Rows)
+	}
+}

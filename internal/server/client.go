@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/coord"
 	"repro/internal/core"
+	"repro/internal/txn"
 	"repro/internal/value"
 )
 
@@ -468,6 +469,23 @@ func (c *Client) AdminWALStats(ctx context.Context) (st core.WALStats, durable b
 	return rp.walStats, rp.durable, err
 }
 
+// AdminTxnStats fetches the transaction manager's cumulative counters —
+// commits, aborts, lock timeouts, MVCC write conflicts, and GC-reclaimed
+// tuple versions — typed.
+func (c *Client) AdminTxnStats(ctx context.Context) (txn.Stats, error) {
+	rp, err := c.admin(ctx, adminTxn)
+	return rp.txnStats, err
+}
+
+// AdminTxn fetches the transaction counters and renders them client-side.
+func (c *Client) AdminTxn() (string, error) {
+	st, err := c.AdminTxnStats(context.Background())
+	if err != nil {
+		return "", err
+	}
+	return renderTxn(st), nil
+}
+
 // AdminState fetches the server's coordination-state dump (a rendered
 // report; the structured pieces are available via the typed getters).
 func (c *Client) AdminState() (string, error) {
@@ -634,6 +652,8 @@ func (c *Client) call(req Request) (Response, error) {
 			out.Text = renderShards(rp.shards)
 		case adminWAL:
 			out.Text = renderWAL(rp.walStats, rp.durable)
+		case adminTxn:
+			out.Text = renderTxn(rp.txnStats)
 		}
 		return out, nil
 

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/coord"
 	"repro/internal/core"
+	"repro/internal/txn"
 	"repro/internal/value"
 	"repro/internal/wal"
 )
@@ -82,6 +83,7 @@ const (
 	adminStats   = 3 // coord.StatsSnapshot
 	adminShards  = 4 // []coord.ShardInfo
 	adminWAL     = 5 // core.WALStats (+ a "durable at all" flag)
+	adminTxn     = 6 // txn.Stats — transaction/MVCC counters
 )
 
 // Error codes carried by kindError.
@@ -104,6 +106,8 @@ func adminCode(name string) (byte, bool) {
 		return adminShards, true
 	case "wal":
 		return adminWAL, true
+	case "txn":
+		return adminTxn, true
 	default:
 		return 0, false
 	}
@@ -393,6 +397,17 @@ func (f *frameBuf) appendAdminWAL(id uint64, st core.WALStats, durable bool) err
 			f.bool(s.Snapshot)
 			f.bool(s.JSON)
 		}
+	}
+	return f.end()
+}
+
+func (f *frameBuf) appendAdminTxn(id uint64, st txn.Stats) error {
+	f.begin(kindAdminResp, id)
+	f.u8(adminTxn)
+	for _, v := range [...]uint64{
+		st.Committed, st.Aborted, st.Timeouts, st.WriteConflicts, st.GCReclaimed,
+	} {
+		f.uvarint(v)
 	}
 	return f.end()
 }
@@ -733,6 +748,7 @@ type reply struct {
 	shards   []coord.ShardInfo
 	walStats core.WALStats
 	durable  bool
+	txnStats txn.Stats
 }
 
 // decodeReply decodes a server frame (the client side of the codec; also the
@@ -998,6 +1014,16 @@ func decodeAdminBody(rp *reply, r *frameReader) (err error) {
 				return err
 			}
 			rp.walStats.Segments = append(rp.walStats.Segments, s)
+		}
+		return nil
+	case adminTxn:
+		for _, dst := range [...]*uint64{
+			&rp.txnStats.Committed, &rp.txnStats.Aborted, &rp.txnStats.Timeouts,
+			&rp.txnStats.WriteConflicts, &rp.txnStats.GCReclaimed,
+		} {
+			if *dst, err = r.uvarint(); err != nil {
+				return err
+			}
 		}
 		return nil
 	default:

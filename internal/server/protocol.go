@@ -65,6 +65,7 @@ import (
 
 	"repro/internal/coord"
 	"repro/internal/core"
+	"repro/internal/txn"
 	"repro/internal/value"
 )
 
@@ -170,6 +171,15 @@ func renderWAL(st core.WALStats, durable bool) string {
 		return "not durable (no WAL configured)\n"
 	}
 	return st.String()
+}
+
+// renderTxn formats the transaction/MVCC counters. Shared by both codecs:
+// the v2 client renders this client-side from txn.Stats, the legacy server
+// renders it server-side.
+func renderTxn(st txn.Stats) string {
+	return fmt.Sprintf(
+		"committed=%d aborted=%d timeouts=%d writeConflicts=%d gcReclaimed=%d\n",
+		st.Committed, st.Aborted, st.Timeouts, st.WriteConflicts, st.GCReclaimed)
 }
 
 // renderPending formats the pending-query table the way the legacy "pending"

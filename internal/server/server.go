@@ -501,6 +501,8 @@ func (cn *conn) adminV2(enc *frameBuf, req request) {
 	case adminWAL:
 		st, ok := sys.WALStatsSnapshot()
 		enc.appendAdminWAL(req.id, st, ok) //nolint:errcheck
+	case adminTxn:
+		enc.appendAdminTxn(req.id, sys.TxnStats()) //nolint:errcheck
 	default:
 		enc.appendError(req.id, errGeneric, fmt.Sprintf("unknown admin command %d", req.admin)) //nolint:errcheck
 	}
@@ -593,6 +595,8 @@ func (cn *conn) dispatchLegacy(req Request) Response {
 		case "wal":
 			st, ok := s.sys.WALStatsSnapshot()
 			return Response{ID: req.ID, Text: renderWAL(st, ok)}
+		case "txn":
+			return Response{ID: req.ID, Text: renderTxn(s.sys.TxnStats())}
 		default:
 			return Response{ID: req.ID, Error: fmt.Sprintf("unknown admin command %q", req.Admin)}
 		}

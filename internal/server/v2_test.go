@@ -327,7 +327,9 @@ func TestQueryContextCancel(t *testing.T) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
 	defer cancel()
-	if _, err := c.QueryContext(ctx, "SELECT fno FROM Flights"); err != context.DeadlineExceeded {
+	// Under MVCC reads never block, so stall on the writer's exclusive lock
+	// with a (no-match) write instead.
+	if _, err := c.QueryContext(ctx, "DELETE FROM Flights WHERE fno = -1"); err != context.DeadlineExceeded {
 		t.Fatalf("err = %v, want DeadlineExceeded", err)
 	}
 	if _, err := locker.Query("ROLLBACK"); err != nil {
@@ -427,6 +429,24 @@ func TestTypedAdminEquivalence(t *testing.T) {
 	}
 	if shardText != renderShards(sys.Coordinator().Shards()) {
 		t.Errorf("shard rendering diverged: %q", shardText)
+	}
+
+	txnStats, err := c.AdminTxnStats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := sys.TxnStats(); txnStats != want {
+		t.Errorf("txn stats = %+v, want %+v", txnStats, want)
+	}
+	if txnStats.Committed == 0 {
+		t.Errorf("txn stats show no commits after seeding: %+v", txnStats)
+	}
+	txnText, err := c.AdminTxn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if txnText != renderTxn(sys.TxnStats()) {
+		t.Errorf("txn rendering diverged: %q", txnText)
 	}
 }
 
@@ -532,13 +552,15 @@ func TestAbandonedSubmitReaped(t *testing.T) {
 		}
 	}
 	// Stall c's dispatch queue behind a table lock so the submit's ack is
-	// deterministically delayed past the context cancellation.
+	// deterministically delayed past the context cancellation. Snapshot reads
+	// never block, so the staller is a (no-match) write contending on the
+	// exclusive lock.
 	mustQ("BEGIN")
 	mustQ("INSERT INTO Flights VALUES (910, 'X', 'Bonn', 1, 9.0, 'Z')")
 	blocked := make(chan struct{})
 	go func() {
 		defer close(blocked)
-		c.Query("SELECT fno FROM Flights WHERE fno = 910") //nolint:errcheck
+		c.Query("DELETE FROM Flights WHERE fno = -1") //nolint:errcheck
 	}()
 	deadline := time.Now().Add(5 * time.Second)
 	for c.MaxInFlight() < 1 {

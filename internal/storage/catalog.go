@@ -12,6 +12,11 @@ import (
 
 // Catalog is the namespace of tables in a Youtopia database instance. Table
 // names are case-insensitive, as in the paper's SQL examples.
+//
+// The catalog also owns the MVCC machinery shared by its tables: the commit
+// clock every write and snapshot draws timestamps from, the registry of
+// active snapshots whose minimum is the garbage-collection watermark, and
+// the catalog-wide conflict/GC counters.
 type Catalog struct {
 	log    logState
 	mu     sync.RWMutex
@@ -21,6 +26,23 @@ type Catalog struct {
 	// version they were built against and rebuilt when it moves — the DDL
 	// invalidation point of the plan cache.
 	ddl atomic.Uint64
+
+	// clock is the commit clock: monotonically increasing, bumped by every
+	// auto-committed mutation and every Writer commit. A snapshot at ts sees
+	// exactly the commits stamped ≤ ts.
+	clock atomic.Uint64
+
+	// snapMu guards the active-snapshot ring AND serializes Writer commit
+	// publication against snapshot pinning: publishCommit advances the clock
+	// and stores the writer's commit state under it, so a snapshot pinned at
+	// ts can never observe a transaction publishing at ≤ ts "half-committed"
+	// (clock bumped but state not yet visible) — the lost-update hole that
+	// would defeat first-committer-wins.
+	snapMu sync.Mutex
+	snaps  SnapRef // sentinel of a doubly-linked ring of pinned snapshots
+
+	conflicts   atomic.Uint64 // first-committer-wins aborts, cumulative
+	gcReclaimed atomic.Uint64 // versions pruned by GC, cumulative
 }
 
 // BumpDDL advances the schema version; call after any DDL that can change
@@ -32,7 +54,135 @@ func (c *Catalog) DDLVersion() uint64 { return c.ddl.Load() }
 
 // NewCatalog returns an empty catalog.
 func NewCatalog() *Catalog {
-	return &Catalog{tables: make(map[string]*Table)}
+	c := &Catalog{tables: make(map[string]*Table)}
+	c.snaps.prev = &c.snaps
+	c.snaps.next = &c.snaps
+	return c
+}
+
+// Clock returns the current commit-clock value.
+func (c *Catalog) Clock() uint64 { return c.clock.Load() }
+
+// AdvanceClock moves the commit clock forward to at least ts; recovery calls
+// it while replaying commit records so post-recovery timestamps stay ahead
+// of every pre-crash commit.
+func (c *Catalog) AdvanceClock(ts uint64) {
+	for {
+		cur := c.clock.Load()
+		if cur >= ts || c.clock.CompareAndSwap(cur, ts) {
+			return
+		}
+	}
+}
+
+// PinSnapshot registers r as an active snapshot at the current clock value
+// and returns the snapshot timestamp. The registration keeps the GC
+// watermark at or below the timestamp until UnpinSnapshot; r is intrusive,
+// so pinning allocates nothing when r is embedded in a longer-lived struct.
+func (c *Catalog) PinSnapshot(r *SnapRef) uint64 {
+	c.snapMu.Lock()
+	r.ts = c.clock.Load()
+	r.prev = c.snaps.prev
+	r.next = &c.snaps
+	r.prev.next = r
+	c.snaps.prev = r
+	c.snapMu.Unlock()
+	return r.ts
+}
+
+// UnpinSnapshot releases a registration made by PinSnapshot. It is
+// idempotent on an already-unpinned ref.
+func (c *Catalog) UnpinSnapshot(r *SnapRef) {
+	c.snapMu.Lock()
+	if r.next != nil {
+		r.prev.next = r.next
+		r.next.prev = r.prev
+		r.prev, r.next = nil, nil
+	}
+	c.snapMu.Unlock()
+}
+
+// publishCommit atomically assigns w a fresh commit timestamp and publishes
+// it. Running under snapMu means no snapshot can be pinned between the clock
+// bump and the state store — so any snapshot with ts ≥ the new timestamp is
+// guaranteed to see the commit, and any with ts < it is guaranteed not to.
+func (c *Catalog) publishCommit(w *Writer) uint64 {
+	c.snapMu.Lock()
+	ts := c.clock.Add(1)
+	w.state.Store(ts)
+	c.snapMu.Unlock()
+	return ts
+}
+
+// Watermark returns the oldest timestamp any active snapshot can read —
+// the version-chain GC horizon. With no snapshots pinned it is the current
+// clock (everything superseded before now is reclaimable).
+func (c *Catalog) Watermark() uint64 {
+	c.snapMu.Lock()
+	defer c.snapMu.Unlock()
+	wm := c.clock.Load()
+	for r := c.snaps.next; r != &c.snaps; r = r.next {
+		if r.ts < wm {
+			wm = r.ts
+		}
+	}
+	return wm
+}
+
+// ActiveSnapshots returns the number of currently pinned snapshots.
+func (c *Catalog) ActiveSnapshots() int {
+	c.snapMu.Lock()
+	defer c.snapMu.Unlock()
+	n := 0
+	for r := c.snaps.next; r != &c.snaps; r = r.next {
+		n++
+	}
+	return n
+}
+
+// GC prunes version chains in every table against the current watermark and
+// returns the number of versions reclaimed (also accumulated in
+// GCReclaimed). The txn manager runs this from a background ticker.
+func (c *Catalog) GC() int {
+	wm := c.Watermark()
+	c.mu.RLock()
+	tables := make([]*Table, 0, len(c.tables))
+	for _, t := range c.tables {
+		tables = append(tables, t)
+	}
+	c.mu.RUnlock()
+	total := 0
+	for _, t := range tables {
+		total += t.gc(wm)
+	}
+	if total > 0 {
+		c.gcReclaimed.Add(uint64(total))
+	}
+	return total
+}
+
+// Conflicts returns the cumulative count of first-committer-wins aborts.
+func (c *Catalog) Conflicts() uint64 { return c.conflicts.Load() }
+
+// GCReclaimed returns the cumulative count of versions pruned by GC.
+func (c *Catalog) GCReclaimed() uint64 { return c.gcReclaimed.Load() }
+
+// VersionStats sums version-chain statistics across all tables: the number
+// of chains (rows ever written and not yet fully reclaimed) and stored
+// versions. Surfaced by the admin state dump for MVCC debugging.
+func (c *Catalog) VersionStats() (chains, versions int) {
+	c.mu.RLock()
+	tables := make([]*Table, 0, len(c.tables))
+	for _, t := range c.tables {
+		tables = append(tables, t)
+	}
+	c.mu.RUnlock()
+	for _, t := range tables {
+		ch, ver := t.VersionStats()
+		chains += ch
+		versions += ver
+	}
+	return
 }
 
 func canonical(name string) string { return strings.ToLower(name) }
@@ -44,6 +194,8 @@ func (c *Catalog) Create(name string, schema *value.Schema, pkCols ...string) (*
 		return nil, err
 	}
 	t.log = &c.log
+	t.clock = &c.clock
+	t.conflicts = &c.conflicts
 	c.mu.Lock()
 	key := canonical(name)
 	if _, exists := c.tables[key]; exists {

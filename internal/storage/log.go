@@ -20,6 +20,10 @@ const (
 	OpDelete             LogOp = "delete"
 	OpUpdate             LogOp = "update"
 	OpRestore            LogOp = "restore"
+	// OpCommit marks a transaction's commit point and carries its commit
+	// timestamp, so recovery advances the commit clock past every timestamp
+	// ever handed out and post-recovery snapshots order correctly.
+	OpCommit LogOp = "commit"
 )
 
 // LogRecord describes one durable mutation. The write-ahead log appends
@@ -35,6 +39,7 @@ type LogRecord struct {
 	Cols   []string      // OpCreateIndex
 	RowID  RowID         // row ops
 	Row    value.Tuple   // OpInsert/OpUpdate/OpRestore
+	TS     uint64        // OpCommit: the transaction's commit timestamp
 }
 
 // LogFunc receives every mutation after it is applied, while the table lock

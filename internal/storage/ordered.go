@@ -3,7 +3,6 @@ package storage
 import (
 	"fmt"
 	"sort"
-	"sync"
 
 	"repro/internal/value"
 )
@@ -12,10 +11,16 @@ import (
 // lookups (BETWEEN, <, >) without a full scan. Entries are kept in a sorted
 // slice; insertion is O(n) worst case, which is the right trade-off for the
 // read-heavy generator subqueries of the coordination workload.
+//
+// Like the hash indexes, the ordered index covers every stored version of a
+// row: an entry means "some version of this row has this value", entries are
+// added when such a version appears and removed only when GC prunes the last
+// version carrying the value. Probes re-resolve each candidate against the
+// read snapshot and verify the visible version's value. All access runs
+// under the owning table's mutex.
 type orderedIndex struct {
-	mu      sync.RWMutex
 	col     int
-	entries []orderedEntry // sorted by (value, id)
+	entries []orderedEntry // sorted by (value, id), unique
 }
 
 type orderedEntry struct {
@@ -37,22 +42,25 @@ func (ix *orderedIndex) locate(e orderedEntry) int {
 	})
 }
 
+// add records (value, id) if absent; idempotent across versions sharing the
+// value. Caller holds t.mu.
 func (ix *orderedIndex) add(id RowID, row value.Tuple) {
 	e := orderedEntry{v: row[ix.col], id: id}
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
 	pos := ix.locate(e)
+	if pos < len(ix.entries) && ix.entries[pos].id == e.id && ix.entries[pos].v.Compare(e.v) == 0 {
+		return
+	}
 	ix.entries = append(ix.entries, orderedEntry{})
 	copy(ix.entries[pos+1:], ix.entries[pos:])
 	ix.entries[pos] = e
 }
 
+// remove drops (value, id); GC calls it once no version of the row carries
+// the value anymore. Caller holds t.mu.
 func (ix *orderedIndex) remove(id RowID, row value.Tuple) {
 	e := orderedEntry{v: row[ix.col], id: id}
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
 	pos := ix.locate(e)
-	if pos < len(ix.entries) && ix.entries[pos].id == id {
+	if pos < len(ix.entries) && ix.entries[pos].id == id && ix.entries[pos].v.Compare(e.v) == 0 {
 		ix.entries = append(ix.entries[:pos], ix.entries[pos+1:]...)
 	}
 }
@@ -69,12 +77,13 @@ func BoundAt(v value.Value, inclusive bool) Bound {
 	return Bound{Value: v, Inclusive: inclusive, Set: true}
 }
 
-// scan returns ids with lo ≤(≤) value ≤(≤) hi, in (value, id) order.
+// scanAt appends ids with lo ≤(≤) visible value ≤(≤) hi in (value, id)
+// order, verifying each candidate against the snapshot: the entry counts
+// only when the version of the row visible at s actually carries the entry's
+// value (an id appears at most once — its visible version has one value).
 // NULLs never satisfy a range predicate, matching the engine's comparison
-// semantics.
-func (ix *orderedIndex) scan(lo, hi Bound) []RowID {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
+// semantics. Caller holds t.mu.
+func (ix *orderedIndex) scanAt(t *Table, s Snapshot, lo, hi Bound) []RowID {
 	start := 0
 	if lo.Set {
 		start = sort.Search(len(ix.entries), func(i int) bool {
@@ -97,7 +106,9 @@ func (ix *orderedIndex) scan(lo, hi Bound) []RowID {
 				break
 			}
 		}
-		out = append(out, e.id)
+		if v := visibleVersion(t.rows[e.id], s); v != nil && v.tup[ix.col].Compare(e.v) == 0 {
+			out = append(out, e.id)
+		}
 	}
 	return out
 }
@@ -114,14 +125,15 @@ func (t *Table) CreateOrderedIndex(col string) error {
 		return nil
 	}
 	ix := &orderedIndex{col: o}
-	for id, row := range t.rows {
-		ix.entries = append(ix.entries, orderedEntry{v: row[o], id: id})
-	}
-	sort.Slice(ix.entries, func(i, j int) bool { return ix.less(ix.entries[i], ix.entries[j]) })
 	if t.ordered == nil {
 		t.ordered = make(map[int]*orderedIndex)
 	}
 	t.ordered[o] = ix
+	for id, h := range t.rows {
+		for v := h; v != nil; v = v.prev {
+			ix.add(id, v.tup) // cover every version so old snapshots probe correctly
+		}
+	}
 	t.log.emit(LogRecord{Op: OpCreateOrderedIndex, Table: t.name, Cols: []string{col}})
 	return nil
 }
@@ -151,19 +163,26 @@ func (t *Table) OrderedIndexes() []string {
 	return names
 }
 
-// LookupRange returns ids of rows whose col value lies within [lo, hi]
-// (bounds optional), using the ordered index when present and a scan
-// otherwise. Results are in (value, id) order with the index, RowID order
-// without.
+// LookupRange returns ids of rows whose col value lies within [lo, hi] in
+// the latest committed state.
 func (t *Table) LookupRange(col int, lo, hi Bound) []RowID {
+	return t.LookupRangeAt(Latest(), col, lo, hi)
+}
+
+// LookupRangeAt is the snapshot-visible range probe, using the ordered index
+// when present and a scan otherwise. Results are in (value, id) order with
+// the index, RowID order without (bounds optional either way).
+func (t *Table) LookupRangeAt(s Snapshot, col int, lo, hi Bound) []RowID {
 	t.mu.RLock()
 	ix, ok := t.ordered[col]
-	t.mu.RUnlock()
 	if ok {
-		return ix.scan(lo, hi)
+		out := ix.scanAt(t, s, lo, hi)
+		t.mu.RUnlock()
+		return out
 	}
+	t.mu.RUnlock()
 	var out []RowID
-	t.Scan(func(id RowID, row value.Tuple) bool {
+	t.ScanAt(s, func(id RowID, row value.Tuple) bool {
 		v := row[col]
 		if v.IsNull() {
 			return true

@@ -2,10 +2,14 @@
 // Youtopia's execution engine and coordination component read and write.
 //
 // It provides named tables with typed schemas, optional primary keys, hash
-// indexes for equality lookups, and physically consistent concurrent access.
-// Transactional isolation (strict two-phase locking) is layered on top by
-// package txn; the storage layer itself only guarantees that individual
-// operations are atomic and that scans observe a consistent snapshot.
+// indexes for equality lookups, and multi-version concurrency control:
+// every row is a chain of timestamped versions (see mvcc.go), so readers
+// resolve a consistent snapshot without blocking writers and writers never
+// block readers. Transactional semantics — write locking, undo, snapshot
+// pinning, first-committer-wins retry — are layered on top by package txn;
+// the storage layer guarantees that individual operations are atomic, that
+// snapshot reads are repeatable, and that a Writer's commit is atomic across
+// every row and table it touched.
 package storage
 
 import (
@@ -15,6 +19,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/value"
 )
@@ -30,24 +35,33 @@ var ErrNotFound = errors.New("storage: not found")
 // table's primary key.
 var ErrDuplicateKey = errors.New("storage: duplicate primary key")
 
-// Table is a heap of tuples with a schema, optional primary key, and hash
-// indexes. All methods are safe for concurrent use.
+// Table is a heap of tuple version chains with a schema, optional primary
+// key, and hash indexes. All methods are safe for concurrent use.
 type Table struct {
 	name   string
 	schema *value.Schema
 	log    *logState // shared with the owning catalog; nil when standalone
 
+	// clock/conflicts point into the owning catalog; standalone tables (no
+	// catalog) get private ones so auto-commit stamping still works.
+	clock     *atomic.Uint64
+	conflicts *atomic.Uint64
+
 	mu      sync.RWMutex
-	rows    map[RowID]value.Tuple
+	rows    map[RowID]*version // head (newest) of each row's version chain
 	nextID  RowID
-	pkCols  []int            // primary key column offsets, nil if none
-	pk      map[string]RowID // PK tuple key → row
+	pkCols  []int      // primary key column offsets, nil if none
+	pk      *hashIndex // over pkCols; like all indexes it covers every version
 	indexes map[string]*hashIndex
 	ordered map[int]*orderedIndex // column offset → ordered index
 	version uint64                // bumped on every mutation; used for cheap change detection
 }
 
-// hashIndex maps the key of a column projection to the set of rows holding it.
+// hashIndex maps the key of a column projection to the rows holding it in
+// ANY version: entries are added when a version carrying the key appears and
+// removed only when garbage collection prunes the last version carrying it.
+// Probes therefore re-resolve each candidate against the read snapshot and
+// verify the visible version still matches the key.
 type hashIndex struct {
 	cols []int
 	m    map[string]map[RowID]struct{}
@@ -57,20 +71,31 @@ func newHashIndex(cols []int) *hashIndex {
 	return &hashIndex{cols: cols, m: make(map[string]map[RowID]struct{})}
 }
 
-// key renders the projection's key directly from the row — no intermediate
-// Project tuple; index maintenance runs on every insert/delete.
-func (ix *hashIndex) key(t value.Tuple) string {
-	var kb [64]byte
-	b := kb[:0]
+// appendKey renders the projection's key for the row into b — no
+// intermediate Project tuple; index maintenance runs on every insert/update.
+func (ix *hashIndex) appendKey(b []byte, t value.Tuple) []byte {
 	for i, c := range ix.cols {
 		if i > 0 {
 			b = append(b, '|')
 		}
 		b = t[c].AppendKey(b)
 	}
-	return string(b)
+	return b
 }
 
+func (ix *hashIndex) key(t value.Tuple) string {
+	var kb [64]byte
+	return string(ix.appendKey(kb[:0], t))
+}
+
+// keyMatches reports whether the row's projection renders exactly k,
+// building the candidate key on the stack (comparison allocates nothing).
+func (ix *hashIndex) keyMatches(t value.Tuple, k string) bool {
+	var kb [64]byte
+	return string(ix.appendKey(kb[:0], t)) == k
+}
+
+// add is idempotent: a row whose versions share the key is recorded once.
 func (ix *hashIndex) add(id RowID, t value.Tuple) {
 	k := ix.key(t)
 	s := ix.m[k]
@@ -81,8 +106,9 @@ func (ix *hashIndex) add(id RowID, t value.Tuple) {
 	s[id] = struct{}{}
 }
 
-func (ix *hashIndex) remove(id RowID, t value.Tuple) {
-	k := ix.key(t)
+// removeKey drops id from the key's entry; GC calls it once no version of
+// the row carries the key anymore.
+func (ix *hashIndex) removeKey(k string, id RowID) {
 	if s := ix.m[k]; s != nil {
 		delete(s, id)
 		if len(s) == 0 {
@@ -95,11 +121,13 @@ func (ix *hashIndex) remove(id RowID, t value.Tuple) {
 // columns forming a primary key (uniqueness-enforced and auto-indexed).
 func NewTable(name string, schema *value.Schema, pkCols ...string) (*Table, error) {
 	t := &Table{
-		name:    name,
-		schema:  schema,
-		rows:    make(map[RowID]value.Tuple),
-		nextID:  1,
-		indexes: make(map[string]*hashIndex),
+		name:      name,
+		schema:    schema,
+		rows:      make(map[RowID]*version),
+		nextID:    1,
+		indexes:   make(map[string]*hashIndex),
+		clock:     new(atomic.Uint64),
+		conflicts: new(atomic.Uint64),
 	}
 	for _, c := range pkCols {
 		o := schema.Ordinal(c)
@@ -109,7 +137,7 @@ func NewTable(name string, schema *value.Schema, pkCols ...string) (*Table, erro
 		t.pkCols = append(t.pkCols, o)
 	}
 	if len(t.pkCols) > 0 {
-		t.pk = make(map[string]RowID)
+		t.pk = newHashIndex(t.pkCols)
 	}
 	return t, nil
 }
@@ -120,7 +148,8 @@ func (t *Table) Name() string { return t.name }
 // Schema returns the table schema. The schema is immutable after creation.
 func (t *Table) Schema() *value.Schema { return t.schema }
 
-// Version returns a counter bumped on every mutation. The coordination
+// Version returns a counter bumped on every mutation (and on every commit
+// that touched the table, when changes become visible). The coordination
 // component uses it to detect base-table changes that may unblock pending
 // entangled queries.
 func (t *Table) Version() uint64 {
@@ -129,11 +158,35 @@ func (t *Table) Version() uint64 {
 	return t.version
 }
 
-// Len returns the number of rows.
-func (t *Table) Len() int {
+// Len returns the number of rows visible to the latest committed state.
+func (t *Table) Len() int { return t.LenAt(Latest()) }
+
+// LenAt returns the number of rows visible at the snapshot.
+func (t *Table) LenAt(s Snapshot) int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return len(t.rows)
+	n := 0
+	for _, h := range t.rows {
+		if visibleVersion(h, s) != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// VersionStats returns the number of version chains and total stored
+// versions (live plus garbage not yet collected) — the MVCC debugging
+// counters surfaced in the admin state dump.
+func (t *Table) VersionStats() (chains, versions int) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, h := range t.rows {
+		chains++
+		for v := h; v != nil; v = v.prev {
+			versions++
+		}
+	}
+	return
 }
 
 // CreateIndex builds (or reuses) a hash index on the given columns.
@@ -153,8 +206,10 @@ func (t *Table) CreateIndex(cols ...string) error {
 		return nil
 	}
 	ix := newHashIndex(offs)
-	for id, row := range t.rows {
-		ix.add(id, row)
+	for id, h := range t.rows {
+		for v := h; v != nil; v = v.prev {
+			ix.add(id, v.tup) // cover every version so old snapshots probe correctly
+		}
 	}
 	t.indexes[name] = ix
 	t.log.emit(LogRecord{Op: OpCreateIndex, Table: t.name, Cols: cols})
@@ -216,8 +271,87 @@ func appendIndexName(b []byte, offs []int) []byte {
 	return b
 }
 
-// Insert validates and appends a tuple, returning its RowID.
-func (t *Table) Insert(tup value.Tuple) (RowID, error) {
+// headLive reports whether the chain head currently occupies its primary-key
+// slot from w's point of view: not deleted by a committed transaction, not
+// deleted by w itself. Caller holds t.mu.
+func headLive(h *version, w *Writer) bool {
+	if ew := h.ew; ew != nil {
+		if ew == w {
+			return false // deleted by the asking writer: slot is free for it
+		}
+		return ew.state.Load() == 0 // someone's in-flight delete still holds the slot
+	}
+	return h.end == liveTS
+}
+
+// pkOccupied reports whether primary-key k is currently taken by a live row
+// other than skip. Caller holds t.mu.
+func (t *Table) pkOccupied(k string, w *Writer, skip RowID) bool {
+	for id := range t.pk.m[k] {
+		if id == skip {
+			continue
+		}
+		h := t.rows[id]
+		if h == nil || !t.pk.keyMatches(h.tup, k) {
+			continue // an older version carried k; the current head does not
+		}
+		if headLive(h, w) {
+			return true
+		}
+	}
+	return false
+}
+
+// writeHead locates the writable chain head for id on behalf of w (nil for
+// auto-commit), enforcing first-committer-wins: if the newest committed
+// change to the row is younger than w's snapshot, the write conflicts and
+// the transaction must abort. Caller holds t.mu.
+func (t *Table) writeHead(w *Writer, id RowID) (*version, error) {
+	h := t.rows[id]
+	if h == nil {
+		return nil, fmt.Errorf("%w: row %d in %s", ErrNotFound, id, t.name)
+	}
+	if bw := h.bw; bw != nil && bw != w {
+		ts := bw.state.Load()
+		if ts == 0 || (w != nil && ts > w.snap) {
+			return nil, t.conflictErr(id)
+		}
+	} else if h.bw == nil && w != nil && h.begin > w.snap {
+		return nil, t.conflictErr(id)
+	}
+	if ew := h.ew; ew != nil {
+		if ew == w {
+			return nil, fmt.Errorf("%w: row %d in %s", ErrNotFound, id, t.name)
+		}
+		ts := ew.state.Load()
+		if ts == 0 || (w != nil && ts > w.snap) {
+			return nil, t.conflictErr(id)
+		}
+		return nil, fmt.Errorf("%w: row %d in %s", ErrNotFound, id, t.name)
+	}
+	if h.end != liveTS {
+		if w != nil && h.end > w.snap {
+			return nil, t.conflictErr(id)
+		}
+		return nil, fmt.Errorf("%w: row %d in %s", ErrNotFound, id, t.name)
+	}
+	return h, nil
+}
+
+func (t *Table) conflictErr(id RowID) error {
+	t.conflicts.Add(1)
+	return fmt.Errorf("%w: row %d in %s", ErrWriteConflict, id, t.name)
+}
+
+// Insert validates and appends a tuple as an auto-committed version,
+// returning its RowID.
+func (t *Table) Insert(tup value.Tuple) (RowID, error) { return t.insert(nil, tup) }
+
+// InsertW is Insert on behalf of an in-flight writer: the new version stays
+// invisible to other snapshots until the writer commits.
+func (t *Table) InsertW(w *Writer, tup value.Tuple) (RowID, error) { return t.insert(w, tup) }
+
+func (t *Table) insert(w *Writer, tup value.Tuple) (RowID, error) {
 	tup, err := t.schema.Validate(tup)
 	if err != nil {
 		return 0, fmt.Errorf("storage: insert into %s: %w", t.name, err)
@@ -225,132 +359,175 @@ func (t *Table) Insert(tup value.Tuple) (RowID, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.pk != nil {
-		k := tup.Project(t.pkCols).Key()
-		if _, dup := t.pk[k]; dup {
+		var kb [64]byte
+		k := string(t.pk.appendKey(kb[:0], tup))
+		if t.pkOccupied(k, w, 0) {
 			return 0, fmt.Errorf("%w: %s in %s", ErrDuplicateKey, tup.Project(t.pkCols), t.name)
 		}
-		t.pk[k] = t.nextID
 	}
 	id := t.nextID
 	t.nextID++
-	t.rows[id] = tup.Clone()
+	v := &version{tup: tup.Clone(), end: liveTS}
+	if w == nil {
+		v.begin = t.clock.Add(1)
+	} else {
+		v.bw = w
+		w.touch(t, v)
+	}
+	t.rows[id] = v
+	t.addKeys(id, v.tup)
+	t.version++
+	t.log.emit(LogRecord{Op: OpInsert, Table: t.name, RowID: id, Row: tup})
+	return id, nil
+}
+
+// addKeys records the version's keys in the primary key and every index.
+// Caller holds t.mu.
+func (t *Table) addKeys(id RowID, tup value.Tuple) {
+	if t.pk != nil {
+		t.pk.add(id, tup)
+	}
 	for _, ix := range t.indexes {
 		ix.add(id, tup)
 	}
 	for _, ox := range t.ordered {
 		ox.add(id, tup)
 	}
-	t.version++
-	t.log.emit(LogRecord{Op: OpInsert, Table: t.name, RowID: id, Row: tup})
-	return id, nil
 }
 
-// Get returns the tuple stored under id.
-func (t *Table) Get(id RowID) (value.Tuple, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	row, ok := t.rows[id]
+// Get returns the tuple stored under id in the latest committed state.
+func (t *Table) Get(id RowID) (value.Tuple, error) { return t.GetAt(Latest(), id) }
+
+// GetAt returns a copy of the version of id visible at the snapshot.
+func (t *Table) GetAt(s Snapshot, id RowID) (value.Tuple, error) {
+	row, ok := t.GetRefAt(s, id)
 	if !ok {
 		return nil, fmt.Errorf("%w: row %d in %s", ErrNotFound, id, t.name)
 	}
 	return row.Clone(), nil
 }
 
-// GetRef returns the stored row WITHOUT copying, like Scan does for its
-// callback. Values are immutable and rows are replaced wholesale on update,
-// so the reference stays valid and race-free; the caller must not modify
-// the returned tuple. This is the zero-copy read the matcher uses when
-// probing installed answers at every search node.
-func (t *Table) GetRef(id RowID) (value.Tuple, bool) {
+// GetRef returns the latest committed row WITHOUT copying, like Scan does
+// for its callback. Versions are immutable once written, so the reference
+// stays valid and race-free; the caller must not modify the returned tuple.
+// This is the zero-copy read the matcher uses when probing installed answers
+// at every search node.
+func (t *Table) GetRef(id RowID) (value.Tuple, bool) { return t.GetRefAt(Latest(), id) }
+
+// GetRefAt is GetRef against a snapshot: the read resolves the version chain
+// lock-free with respect to writers (only the table's short structural
+// latch is taken) and never observes uncommitted data.
+func (t *Table) GetRefAt(s Snapshot, id RowID) (value.Tuple, bool) {
 	t.mu.RLock()
-	defer t.mu.RUnlock()
-	row, ok := t.rows[id]
-	return row, ok
+	v := visibleVersion(t.rows[id], s)
+	t.mu.RUnlock()
+	if v == nil {
+		return nil, false
+	}
+	return v.tup, true
 }
 
-// Delete removes the row with the given id and returns the removed tuple
-// (so callers such as the transaction undo log can restore it).
-func (t *Table) Delete(id RowID) (value.Tuple, error) {
+// Delete removes the row with the given id (auto-commit) and returns the
+// removed tuple (so callers such as the transaction undo log can restore it).
+func (t *Table) Delete(id RowID) (value.Tuple, error) { return t.delete(nil, id) }
+
+// DeleteW is Delete on behalf of an in-flight writer.
+func (t *Table) DeleteW(w *Writer, id RowID) (value.Tuple, error) { return t.delete(w, id) }
+
+func (t *Table) delete(w *Writer, id RowID) (value.Tuple, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	row, ok := t.rows[id]
-	if !ok {
-		return nil, fmt.Errorf("%w: row %d in %s", ErrNotFound, id, t.name)
+	h, err := t.writeHead(w, id)
+	if err != nil {
+		return nil, err
 	}
-	delete(t.rows, id)
-	if t.pk != nil {
-		delete(t.pk, row.Project(t.pkCols).Key())
-	}
-	for _, ix := range t.indexes {
-		ix.remove(id, row)
-	}
-	for _, ox := range t.ordered {
-		ox.remove(id, row)
+	if w == nil {
+		h.end = t.clock.Add(1)
+	} else {
+		h.ew = w
+		w.touch(t, h)
 	}
 	t.version++
 	t.log.emit(LogRecord{Op: OpDelete, Table: t.name, RowID: id})
-	return row, nil
+	return h.tup, nil
 }
 
 // Update replaces the tuple stored under id and returns the previous tuple.
-func (t *Table) Update(id RowID, tup value.Tuple) (value.Tuple, error) {
+func (t *Table) Update(id RowID, tup value.Tuple) (value.Tuple, error) { return t.update(nil, id, tup) }
+
+// UpdateW is Update on behalf of an in-flight writer.
+func (t *Table) UpdateW(w *Writer, id RowID, tup value.Tuple) (value.Tuple, error) {
+	return t.update(w, id, tup)
+}
+
+func (t *Table) update(w *Writer, id RowID, tup value.Tuple) (value.Tuple, error) {
 	tup, err := t.schema.Validate(tup)
 	if err != nil {
 		return nil, fmt.Errorf("storage: update %s: %w", t.name, err)
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	old, ok := t.rows[id]
-	if !ok {
-		return nil, fmt.Errorf("%w: row %d in %s", ErrNotFound, id, t.name)
+	h, err := t.writeHead(w, id)
+	if err != nil {
+		return nil, err
 	}
 	if t.pk != nil {
-		oldK := old.Project(t.pkCols).Key()
-		newK := tup.Project(t.pkCols).Key()
-		if oldK != newK {
-			if _, dup := t.pk[newK]; dup {
-				return nil, fmt.Errorf("%w: %s in %s", ErrDuplicateKey, tup.Project(t.pkCols), t.name)
-			}
-			delete(t.pk, oldK)
-			t.pk[newK] = id
+		var ob, nb [64]byte
+		oldK := string(t.pk.appendKey(ob[:0], h.tup))
+		newK := string(t.pk.appendKey(nb[:0], tup))
+		if oldK != newK && t.pkOccupied(newK, w, id) {
+			return nil, fmt.Errorf("%w: %s in %s", ErrDuplicateKey, tup.Project(t.pkCols), t.name)
 		}
 	}
-	for _, ix := range t.indexes {
-		ix.remove(id, old)
-		ix.add(id, tup)
+	v := &version{tup: tup.Clone(), end: liveTS, prev: h}
+	if w == nil {
+		ts := t.clock.Add(1)
+		v.begin = ts
+		h.end = ts
+	} else {
+		v.bw = w
+		h.ew = w
+		w.touch(t, v)
+		w.touch(t, h)
 	}
-	for _, ox := range t.ordered {
-		ox.remove(id, old)
-		ox.add(id, tup)
-	}
-	t.rows[id] = tup.Clone()
+	t.rows[id] = v
+	t.addKeys(id, v.tup) // old version keys stay until GC prunes the version
 	t.version++
 	t.log.emit(LogRecord{Op: OpUpdate, Table: t.name, RowID: id, Row: tup})
-	return old, nil
+	return h.tup, nil
 }
 
-// RestoreAt reinserts a tuple under a specific RowID; it is used only by the
-// transaction undo log to reverse a Delete. The id must not be live.
-func (t *Table) RestoreAt(id RowID, tup value.Tuple) error {
+// RestoreAt reinserts a tuple under a specific RowID; the transaction undo
+// log uses it to reverse a Delete, and WAL replay uses it to reproduce
+// original RowIDs. The id must not be live.
+func (t *Table) RestoreAt(id RowID, tup value.Tuple) error { return t.restoreAt(nil, id, tup) }
+
+// RestoreAtW is RestoreAt on behalf of an in-flight writer (the undo path of
+// a transaction that deleted the row earlier).
+func (t *Table) RestoreAtW(w *Writer, id RowID, tup value.Tuple) error {
+	return t.restoreAt(w, id, tup)
+}
+
+func (t *Table) restoreAt(w *Writer, id RowID, tup value.Tuple) error {
 	tup, err := t.schema.Validate(tup)
 	if err != nil {
 		return err
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if _, exists := t.rows[id]; exists {
+	h := t.rows[id]
+	if h != nil && (headLive(h, w) || (w != nil && h.bw == w && h.ew != w)) {
 		return fmt.Errorf("storage: RestoreAt: row %d already live in %s", id, t.name)
 	}
-	if t.pk != nil {
-		t.pk[tup.Project(t.pkCols).Key()] = id
+	v := &version{tup: tup.Clone(), end: liveTS, prev: h}
+	if w == nil {
+		v.begin = t.clock.Add(1)
+	} else {
+		v.bw = w
+		w.touch(t, v)
 	}
-	t.rows[id] = tup.Clone()
-	for _, ix := range t.indexes {
-		ix.add(id, tup)
-	}
-	for _, ox := range t.ordered {
-		ox.add(id, tup)
-	}
+	t.rows[id] = v
+	t.addKeys(id, v.tup)
 	if id >= t.nextID {
 		t.nextID = id + 1
 	}
@@ -359,18 +536,26 @@ func (t *Table) RestoreAt(id RowID, tup value.Tuple) error {
 	return nil
 }
 
-// Scan invokes fn for every row in ascending RowID order until fn returns
-// false. The iteration observes a consistent snapshot taken at call time.
-func (t *Table) Scan(fn func(RowID, value.Tuple) bool) {
+// Scan invokes fn for every row in the latest committed state in ascending
+// RowID order until fn returns false.
+func (t *Table) Scan(fn func(RowID, value.Tuple) bool) { t.ScanAt(Latest(), fn) }
+
+// ScanAt is Scan against a snapshot. The visible rows are collected under
+// the table's shared latch FIRST and the callback runs entirely outside it,
+// so a slow consumer never blocks writers (or other readers) and the
+// iteration still observes exactly the snapshot's consistent state.
+func (t *Table) ScanAt(s Snapshot, fn func(RowID, value.Tuple) bool) {
 	t.mu.RLock()
 	ids := make([]RowID, 0, len(t.rows))
-	for id := range t.rows {
-		ids = append(ids, id)
+	for id, h := range t.rows {
+		if visibleVersion(h, s) != nil {
+			ids = append(ids, id)
+		}
 	}
 	slices.Sort(ids)
 	snap := make([]value.Tuple, len(ids))
 	for i, id := range ids {
-		snap[i] = t.rows[id]
+		snap[i] = visibleVersion(t.rows[id], s).tup
 	}
 	t.mu.RUnlock()
 	for i, id := range ids {
@@ -380,37 +565,42 @@ func (t *Table) Scan(fn func(RowID, value.Tuple) bool) {
 	}
 }
 
-// LookupEq returns the IDs of rows whose projection on cols equals key. It
-// uses a matching hash index when one exists and falls back to a scan
-// otherwise. Results are in ascending RowID order.
+// LookupEq returns the IDs of rows whose projection on cols equals key in
+// the latest committed state. It uses a matching hash index when one exists
+// and falls back to a scan otherwise. Results are in ascending RowID order.
 func (t *Table) LookupEq(cols []int, key value.Tuple) []RowID {
-	return t.LookupEqAppend(nil, cols, key)
+	return t.LookupEqAppendAt(Latest(), nil, cols, key)
 }
 
 // LookupEqAppend is LookupEq appending into dst (reused from length 0), so
 // repeated probes — the matcher runs one per search node — can share one
-// buffer. The index probe builds its key on the stack and allocates nothing
-// beyond dst growth.
+// buffer.
 func (t *Table) LookupEqAppend(dst []RowID, cols []int, key value.Tuple) []RowID {
+	return t.LookupEqAppendAt(Latest(), dst, cols, key)
+}
+
+// LookupEqAppendAt is the snapshot-visible equality probe. The index probe
+// builds its key on the stack and allocates nothing beyond dst growth; each
+// candidate is resolved against the snapshot and re-verified against the key
+// (index entries cover every version of a row, so a candidate's visible
+// version may carry a different value).
+func (t *Table) LookupEqAppendAt(s Snapshot, dst []RowID, cols []int, key value.Tuple) []RowID {
 	var nb [32]byte
 	t.mu.RLock()
-	// Primary-key point probe: an equality on exactly the PK columns is one
-	// alloc-free map lookup — the classic OLTP point query.
-	if t.pk != nil && slices.Equal(cols, t.pkCols) {
-		var kb [64]byte
-		id, ok := t.pk[string(key.AppendKey(kb[:0]))]
-		t.mu.RUnlock()
-		if ok {
-			dst = append(dst, id)
-		}
-		return dst
+	// Primary-key point probe: an equality on exactly the PK columns probes
+	// the PK index — the classic OLTP point query.
+	ix := t.pk
+	if ix == nil || !slices.Equal(cols, t.pkCols) {
+		ix = t.indexes[string(appendIndexName(nb[:0], cols))]
 	}
-	if ix, ok := t.indexes[string(appendIndexName(nb[:0], cols))]; ok {
+	if ix != nil {
 		var kb [64]byte
-		set := ix.m[string(key.AppendKey(kb[:0]))]
+		k := string(key.AppendKey(kb[:0]))
 		start := len(dst)
-		for id := range set {
-			dst = append(dst, id)
+		for id := range ix.m[k] {
+			if v := visibleVersion(t.rows[id], s); v != nil && ix.keyMatches(v.tup, k) {
+				dst = append(dst, id)
+			}
 		}
 		t.mu.RUnlock()
 		tail := dst[start:]
@@ -418,7 +608,7 @@ func (t *Table) LookupEqAppend(dst []RowID, cols []int, key value.Tuple) []RowID
 		return dst
 	}
 	t.mu.RUnlock()
-	t.Scan(func(id RowID, row value.Tuple) bool {
+	t.ScanAt(s, func(id RowID, row value.Tuple) bool {
 		if row.Project(cols).Equal(key) {
 			dst = append(dst, id)
 		}
@@ -427,21 +617,33 @@ func (t *Table) LookupEqAppend(dst []RowID, cols []int, key value.Tuple) []RowID
 	return dst
 }
 
-// LookupPK returns the row matching the primary key tuple, if any.
+// LookupPK returns the row matching the primary key tuple in the latest
+// committed state, if any.
 func (t *Table) LookupPK(key value.Tuple) (RowID, value.Tuple, bool) {
+	return t.LookupPKAt(Latest(), key)
+}
+
+// LookupPKAt is LookupPK against a snapshot. At most one row is visible per
+// key at any snapshot (uniqueness holds at every instant), so the first
+// visible match wins.
+func (t *Table) LookupPKAt(s Snapshot, key value.Tuple) (RowID, value.Tuple, bool) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	if t.pk == nil {
 		return 0, nil, false
 	}
-	id, ok := t.pk[key.Key()]
-	if !ok {
-		return 0, nil, false
+	var kb [64]byte
+	k := string(key.AppendKey(kb[:0]))
+	for id := range t.pk.m[k] {
+		if v := visibleVersion(t.rows[id], s); v != nil && t.pk.keyMatches(v.tup, k) {
+			return id, v.tup.Clone(), true
+		}
 	}
-	return id, t.rows[id].Clone(), true
+	return 0, nil, false
 }
 
-// All returns a snapshot of every row, in ascending RowID order.
+// All returns a snapshot of every row in the latest committed state, in
+// ascending RowID order.
 func (t *Table) All() []value.Tuple {
 	var out []value.Tuple
 	t.Scan(func(_ RowID, row value.Tuple) bool {
@@ -449,4 +651,79 @@ func (t *Table) All() []value.Tuple {
 		return true
 	})
 	return out
+}
+
+// gc prunes the table's version chains against the watermark (the oldest
+// snapshot any reader can still hold): versions shadowed by a newer
+// committed version that itself began at or before the watermark can never
+// be resolved again, and chains whose newest version died at or before it
+// disappear entirely. Dead versions (begin == end — an aborted transaction's
+// compensated intermediates) are invisible to every snapshot and pruned
+// unconditionally. Returns the number of versions reclaimed.
+func (t *Table) gc(wm uint64) (reclaimed int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for id, h := range t.rows {
+		if h.bw == nil && h.ew == nil && h.end != liveTS && h.end <= wm {
+			// Whole chain dead to every current and future snapshot.
+			delete(t.rows, id)
+			for v := h; v != nil; v = v.prev {
+				t.dropKeys(id, v, nil)
+				reclaimed++
+			}
+			continue
+		}
+		prev := h
+		anchored := h.bw == nil && h.begin <= wm
+		for v := h.prev; v != nil; v = v.prev {
+			committed := v.bw == nil && v.ew == nil
+			dead := committed && v.begin == v.end
+			if (anchored && committed) || dead {
+				prev.prev = v.prev
+				t.dropKeys(id, v, h)
+				reclaimed++
+				continue
+			}
+			if committed && v.begin <= wm {
+				anchored = true // v stays (visible at wm); everything below goes
+			}
+			prev = v
+		}
+	}
+	return reclaimed
+}
+
+// dropKeys removes the pruned version's index entries unless a surviving
+// version of the chain (rooted at head, nil when the chain is gone) still
+// carries the same key. Caller holds t.mu.
+func (t *Table) dropKeys(id RowID, dead *version, head *version) {
+	drop := func(ix *hashIndex) {
+		var kb [64]byte
+		k := string(ix.appendKey(kb[:0], dead.tup))
+		for v := head; v != nil; v = v.prev {
+			if v != dead && ix.keyMatches(v.tup, k) {
+				return
+			}
+		}
+		ix.removeKey(k, id)
+	}
+	if t.pk != nil {
+		drop(t.pk)
+	}
+	for _, ix := range t.indexes {
+		drop(ix)
+	}
+	for _, ox := range t.ordered {
+		val := dead.tup[ox.col]
+		shared := false
+		for v := head; v != nil; v = v.prev {
+			if v != dead && v.tup[ox.col].Compare(val) == 0 {
+				shared = true
+				break
+			}
+		}
+		if !shared {
+			ox.remove(id, dead.tup)
+		}
+	}
 }

@@ -1,14 +1,26 @@
-// Package txn provides transactions over the storage engine: strict
-// two-phase locking at table granularity with an undo log for rollback.
+// Package txn provides transactions over the storage engine: snapshot
+// isolation for reads, strict two-phase locking on writes, and an undo log
+// for rollback.
+//
+// Reads resolve against a per-transaction snapshot pinned from the
+// catalog's MVCC commit clock, so they never take table locks, never block
+// writers, and never observe uncommitted or mid-commit state. Writes still
+// acquire exclusive table locks (serializing writers per table) and are
+// checked first-committer-wins against the snapshot: a row changed by a
+// transaction that committed after the snapshot aborts the writer with
+// storage.ErrWriteConflict, which RunAtomic retries on a fresh snapshot.
+// The shared lock mode survives only behind the Manager.LockReads
+// compatibility knob (benchmarking the old lock-table design).
 //
 // The coordination component relies on this layer for the paper's central
 // atomicity guarantee: when a set of entangled queries matches, their answer
 // tuples and any accompanying updates are installed in ONE transaction, so
 // either every query in the match observes the coordinated outcome or none
-// does. Deadlocks are resolved by lock-wait timeouts (the victim aborts and
-// the caller retries), and by offering sorted bulk acquisition for callers —
-// like the coordinator — that know their lock set up front, which makes them
-// deadlock-free by the ordered-resource argument.
+// does — under MVCC the whole match becomes visible at a single commit
+// timestamp. Write-write deadlocks are resolved by lock-wait timeouts (the
+// victim aborts and the caller retries), and by offering sorted bulk
+// acquisition for callers — like the coordinator — that know their lock set
+// up front, which makes them deadlock-free by the ordered-resource argument.
 package txn
 
 import (
@@ -44,14 +56,18 @@ var ErrLockTimeout = errors.New("txn: lock wait timeout (possible deadlock)")
 // ErrTxnDone is returned when using a transaction after Commit or Rollback.
 var ErrTxnDone = errors.New("txn: transaction already finished")
 
-// tableLock is a fair-enough reader/writer lock supporting per-transaction
-// reentrancy and shared→exclusive upgrade when the holder is the only reader.
+// tableLock is a writer-priority reader/writer lock supporting
+// per-transaction reentrancy and shared→exclusive upgrade when the holder is
+// the only reader. A parked exclusive request blocks NEW shared grants
+// (reentrant re-acquisition still succeeds), so a continuous stream of
+// readers cannot starve writers indefinitely.
 type tableLock struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	readers map[uint64]int // txn id → hold count
 	writer  uint64         // txn id holding exclusive, 0 if none
 	wcount  int            // reentrant exclusive hold count
+	xwait   int            // exclusive acquisitions currently parked
 }
 
 func newTableLock() *tableLock {
@@ -65,6 +81,14 @@ func newTableLock() *tableLock {
 func (l *tableLock) acquire(id uint64, mode LockMode, deadline time.Time) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if mode == Exclusive {
+		l.xwait++
+		defer func() {
+			l.xwait--
+			// Our departure (granted or timed out) may unblock parked readers.
+			l.cond.Broadcast()
+		}()
+	}
 
 	// A timer wakes all waiters periodically so deadline checks make progress
 	// without requiring per-waiter timers on the happy path.
@@ -101,8 +125,20 @@ func waitWithWake(cond *sync.Cond, deadline time.Time) {
 func (l *tableLock) granted(id uint64, mode LockMode) bool {
 	switch mode {
 	case Shared:
-		// OK if no writer, or we are the writer (X subsumes S).
-		return l.writer == 0 || l.writer == id
+		if l.writer == id {
+			return true // X subsumes S
+		}
+		if l.writer != 0 {
+			return false
+		}
+		if l.xwait > 0 {
+			// Writer priority: a parked X request fences off new readers, but
+			// a txn already holding S may re-enter (it cannot be the blocker
+			// of the parked X and must not deadlock on itself).
+			_, held := l.readers[id]
+			return held
+		}
+		return true
 	case Exclusive:
 		if l.writer == id {
 			return true // reentrant

@@ -23,6 +23,13 @@ type Manager struct {
 	// ErrLockTimeout (deadlock resolution). Zero means wait forever.
 	LockTimeout time.Duration
 
+	// LockReads restores the pre-MVCC behavior of taking shared table locks
+	// for reads. Under snapshot isolation reads resolve against a pinned
+	// snapshot and shared locks are pure overhead, so this is off by default;
+	// it exists to benchmark the lock-table design against the snapshot path
+	// (BenchmarkE15_SnapshotReaders) and as an escape hatch.
+	LockReads bool
+
 	stats struct {
 		committed atomic.Uint64
 		aborted   atomic.Uint64
@@ -40,12 +47,58 @@ func NewManager(cat *storage.Catalog) *Manager {
 // physically consistent but not isolated).
 func (m *Manager) Catalog() *storage.Catalog { return m.catalog }
 
-// Stats reports committed/aborted/timeout counters.
-func (m *Manager) Stats() (committed, aborted, timeouts uint64) {
-	return m.stats.committed.Load(), m.stats.aborted.Load(), m.stats.timeouts.Load()
+// Stats is a snapshot of the manager's cumulative transaction counters.
+type Stats struct {
+	Committed      uint64 // transactions committed
+	Aborted        uint64 // transactions rolled back (explicit or error)
+	Timeouts       uint64 // lock-wait timeouts (deadlock resolution)
+	WriteConflicts uint64 // first-committer-wins aborts (storage.ErrWriteConflict)
+	GCReclaimed    uint64 // tuple versions pruned by the MVCC garbage collector
 }
 
-// Begin starts a transaction.
+// Stats reports the cumulative transaction counters, including the MVCC
+// conflict and garbage-collection counters kept by the catalog.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Committed:      m.stats.committed.Load(),
+		Aborted:        m.stats.aborted.Load(),
+		Timeouts:       m.stats.timeouts.Load(),
+		WriteConflicts: m.catalog.Conflicts(),
+		GCReclaimed:    m.catalog.GCReclaimed(),
+	}
+}
+
+// StartGC launches a background loop that prunes version chains against the
+// oldest-active-snapshot watermark every interval. It returns a stop
+// function (idempotent) that halts the loop and runs one final collection.
+func (m *Manager) StartGC(interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				m.catalog.GC()
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() {
+		once.Do(func() {
+			close(done)
+			m.catalog.GC()
+		})
+	}
+}
+
+// Begin starts a transaction. Its snapshot is pinned lazily — at the first
+// read, or at the first write after its exclusive lock is granted — so a
+// transaction that waits on a lock is not penalized with an old snapshot
+// (and a single-statement write can never lose first-committer-wins to a
+// commit that happened before it even started).
 func (m *Manager) Begin() *Txn {
 	t := &Txn{mgr: m, id: m.nextID.Add(1)}
 	t.held = t.heldBuf[:0]
@@ -66,8 +119,9 @@ type undoRecord struct {
 	before value.Tuple
 }
 
-// Txn is a single transaction: strict 2PL plus an undo log. A Txn is not
-// safe for concurrent use by multiple goroutines (like database/sql.Tx).
+// Txn is a single transaction: snapshot-isolated reads plus strict 2PL on
+// writes with an undo log. A Txn is not safe for concurrent use by multiple
+// goroutines (like database/sql.Tx).
 type Txn struct {
 	mgr *Manager
 	id  uint64
@@ -79,11 +133,47 @@ type Txn struct {
 	undo    []undoRecord
 	done    bool
 
+	// MVCC state: the pinned snapshot (registered with the catalog so GC
+	// respects it) and the storage writer carrying uncommitted versions.
+	snapTS  uint64
+	pinned  bool
+	snapRef storage.SnapRef
+	w       *storage.Writer
+
 	mu sync.Mutex // guards done for the rare cross-goroutine Rollback
 }
 
 // ID returns the transaction id (diagnostics only).
 func (t *Txn) ID() uint64 { return t.id }
+
+// Snapshot returns the transaction's read snapshot, pinning it on first use.
+// Every read through the transaction resolves against this one timestamp, so
+// reads are repeatable and never block on (or observe) concurrent writers;
+// the transaction's own uncommitted writes remain visible to it.
+func (t *Txn) Snapshot() storage.Snapshot {
+	if !t.pinned {
+		t.snapTS = t.mgr.catalog.PinSnapshot(&t.snapRef)
+		t.pinned = true
+		if t.w != nil {
+			t.w.SetSnapshot(t.snapTS)
+		}
+	}
+	return storage.SnapshotAt(t.snapTS, t.w)
+}
+
+// writer returns the transaction's storage writer, creating it (and pinning
+// the snapshot) on the first write. Callers must already hold the exclusive
+// table lock, so pinning here — after the lock grant — keeps the snapshot as
+// fresh as possible and avoids spurious first-committer-wins aborts for
+// lock-then-write transactions.
+func (t *Txn) writer() *storage.Writer {
+	if t.w == nil {
+		t.w = t.mgr.catalog.NewWriter()
+		t.Snapshot() // pin now (no-op if already pinned) and attach below
+		t.w.SetSnapshot(t.snapTS)
+	}
+	return t.w
+}
 
 func (t *Txn) deadline() time.Time {
 	if t.mgr.LockTimeout == 0 {
@@ -93,10 +183,16 @@ func (t *Txn) deadline() time.Time {
 }
 
 // Lock acquires a table lock in the given mode (idempotent; upgrades when a
-// stronger mode is requested).
+// stronger mode is requested). Under snapshot isolation shared locks are a
+// no-op — reads never block writers or vice versa — unless the manager's
+// LockReads compatibility knob is set; exclusive locks still serialize
+// writers per table.
 func (t *Txn) Lock(table string, mode LockMode) error {
 	if t.done {
 		return ErrTxnDone
+	}
+	if mode == Shared && !t.mgr.LockReads {
+		return nil
 	}
 	return t.lockCanonical(strings.ToLower(table), table, mode)
 }
@@ -107,6 +203,9 @@ func (t *Txn) Lock(table string, mode LockMode) error {
 func (t *Txn) LockCanonical(key string, mode LockMode) error {
 	if t.done {
 		return ErrTxnDone
+	}
+	if mode == Shared && !t.mgr.LockReads {
+		return nil
 	}
 	return t.lockCanonical(key, key, mode)
 }
@@ -164,7 +263,8 @@ func (t *Txn) table(name string) (*storage.Table, error) {
 	return t.mgr.catalog.Get(name)
 }
 
-// Insert inserts a tuple under an exclusive lock and logs the undo.
+// Insert inserts a tuple under an exclusive lock and logs the undo. The new
+// version is invisible to other transactions until commit.
 func (t *Txn) Insert(table string, tup value.Tuple) (storage.RowID, error) {
 	if err := t.Lock(table, Exclusive); err != nil {
 		return 0, err
@@ -173,7 +273,7 @@ func (t *Txn) Insert(table string, tup value.Tuple) (storage.RowID, error) {
 	if err != nil {
 		return 0, err
 	}
-	id, err := tbl.Insert(tup)
+	id, err := tbl.InsertW(t.writer(), tup)
 	if err != nil {
 		return 0, err
 	}
@@ -190,7 +290,7 @@ func (t *Txn) Delete(table string, id storage.RowID) error {
 	if err != nil {
 		return err
 	}
-	old, err := tbl.Delete(id)
+	old, err := tbl.DeleteW(t.writer(), id)
 	if err != nil {
 		return err
 	}
@@ -207,7 +307,7 @@ func (t *Txn) Update(table string, id storage.RowID, tup value.Tuple) error {
 	if err != nil {
 		return err
 	}
-	old, err := tbl.Update(id, tup)
+	old, err := tbl.UpdateW(t.writer(), id, tup)
 	if err != nil {
 		return err
 	}
@@ -215,7 +315,9 @@ func (t *Txn) Update(table string, id storage.RowID, tup value.Tuple) error {
 	return nil
 }
 
-// Scan iterates the table under (at least) a shared lock.
+// Scan iterates the table against the transaction's snapshot. It takes no
+// lock (unless LockReads is set): the snapshot guarantees a consistent,
+// repeatable view while writers proceed underneath.
 func (t *Txn) Scan(table string, fn func(storage.RowID, value.Tuple) bool) error {
 	if err := t.Lock(table, Shared); err != nil {
 		return err
@@ -224,11 +326,11 @@ func (t *Txn) Scan(table string, fn func(storage.RowID, value.Tuple) bool) error
 	if err != nil {
 		return err
 	}
-	tbl.Scan(fn)
+	tbl.ScanAt(t.Snapshot(), fn)
 	return nil
 }
 
-// Get reads one row under a shared lock.
+// Get reads one row against the transaction's snapshot.
 func (t *Txn) Get(table string, id storage.RowID) (value.Tuple, error) {
 	if err := t.Lock(table, Shared); err != nil {
 		return nil, err
@@ -237,15 +339,20 @@ func (t *Txn) Get(table string, id storage.RowID) (value.Tuple, error) {
 	if err != nil {
 		return nil, err
 	}
-	return tbl.Get(id)
+	return tbl.GetAt(t.Snapshot(), id)
 }
 
-// Commit releases all locks and discards the undo log.
+// Commit publishes the transaction's writes at one commit timestamp (making
+// every touched row visible atomically), releases locks, and unpins the
+// snapshot.
 func (t *Txn) Commit() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.done {
 		return ErrTxnDone
+	}
+	if t.w != nil {
+		t.w.Commit()
 	}
 	t.finish()
 	t.mgr.stats.committed.Add(1)
@@ -253,8 +360,12 @@ func (t *Txn) Commit() error {
 }
 
 // Rollback undoes every mutation in reverse order, then releases locks.
-// Rolling back a finished transaction is a no-op (so `defer tx.Rollback()` is
-// safe, as with database/sql).
+// The undo runs through the transaction's own writer and is then committed:
+// the forward and compensating versions cancel out (begin == end), so no
+// snapshot ever observes the aborted intermediates, while the write-ahead
+// log keeps its pure physical-redo shape (forward operations followed by
+// compensating ones). Rolling back a finished transaction is a no-op (so
+// `defer tx.Rollback()` is safe, as with database/sql).
 func (t *Txn) Rollback() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -269,44 +380,56 @@ func (t *Txn) Rollback() error {
 		}
 		switch r.kind {
 		case 0:
-			tbl.Delete(r.id) //nolint:errcheck // best-effort undo
+			tbl.DeleteW(t.w, r.id) //nolint:errcheck // best-effort undo
 		case 1:
-			tbl.RestoreAt(r.id, r.before) //nolint:errcheck
+			tbl.RestoreAtW(t.w, r.id, r.before) //nolint:errcheck
 		case 2:
-			tbl.Update(r.id, r.before) //nolint:errcheck
+			tbl.UpdateW(t.w, r.id, r.before) //nolint:errcheck
 		}
+	}
+	if t.w != nil {
+		t.w.Commit() // publish forward+compensating pairs; net effect nil
 	}
 	t.finish()
 	t.mgr.stats.aborted.Add(1)
 	return nil
 }
 
-// finish releases all locks. Caller holds t.mu.
+// finish releases all locks and unpins the snapshot. Caller holds t.mu.
 func (t *Txn) finish() {
 	for _, h := range t.held {
 		t.mgr.locks.get(h.name).releaseAll(t.id)
 	}
+	if t.pinned {
+		t.mgr.catalog.UnpinSnapshot(&t.snapRef)
+		t.pinned = false
+	}
 	t.held = nil
 	t.undo = nil
+	t.w = nil
 	t.done = true
 }
 
 // RunAtomic runs fn in a transaction, committing on nil and rolling back on
-// error or panic. ErrLockTimeout aborts are retried up to three times, which
-// resolves ordinary two-party deadlocks.
+// error or panic. ErrLockTimeout aborts (ordinary two-party deadlocks) and
+// first-committer-wins write conflicts are retried up to three times; the
+// retry re-pins a fresh snapshot, so a conflict whose winner has committed
+// does not recur.
 func (m *Manager) RunAtomic(fn func(*Txn) error) error {
 	const retries = 3
 	var err error
 	for attempt := 0; attempt <= retries; attempt++ {
 		err = m.runOnce(fn)
-		if err == nil || !isTimeout(err) {
+		if err == nil || !isRetryable(err) {
 			return err
 		}
 	}
 	return err
 }
 
-func isTimeout(err error) bool { return errors.Is(err, ErrLockTimeout) }
+func isRetryable(err error) bool {
+	return errors.Is(err, ErrLockTimeout) || errors.Is(err, storage.ErrWriteConflict)
+}
 
 func (m *Manager) runOnce(fn func(*Txn) error) (err error) {
 	tx := m.Begin()

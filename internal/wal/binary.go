@@ -62,6 +62,8 @@ func opCode(op storage.LogOp) (byte, bool) {
 		return 7, true
 	case storage.OpRestore:
 		return 8, true
+	case storage.OpCommit:
+		return 9, true
 	default:
 		return 0, false
 	}
@@ -85,6 +87,8 @@ func opFromCode(c byte) (storage.LogOp, bool) {
 		return storage.OpUpdate, true
 	case 8:
 		return storage.OpRestore, true
+	case 9:
+		return storage.OpCommit, true
 	default:
 		return "", false
 	}
@@ -180,6 +184,8 @@ func appendRecordPayload(dst []byte, r storage.LogRecord) ([]byte, error) {
 		for _, c := range r.Cols {
 			dst = appendString(dst, c)
 		}
+	case storage.OpCommit:
+		dst = appendUvarint(dst, r.TS)
 	default: // row ops
 		dst = appendUvarint(dst, uint64(r.RowID))
 		dst = appendUvarint(dst, uint64(len(r.Row)))
@@ -385,6 +391,10 @@ func decodeRecordPayload(b []byte) (storage.LogRecord, error) {
 				return rec, err
 			}
 			rec.Cols = append(rec.Cols, c)
+		}
+	case storage.OpCommit:
+		if rec.TS, err = r.uvarint(); err != nil {
+			return rec, err
 		}
 	default:
 		rid, err := r.uvarint()

@@ -62,6 +62,12 @@ func Compact(path string, cat *storage.Catalog) error {
 			return scanErr
 		}
 	}
+	// Preserve the MVCC commit clock across the rewrite: replaying the
+	// snapshot alone would restart the clock near the row count.
+	if err := emit(storage.LogRecord{Op: storage.OpCommit, TS: cat.Clock()}); err != nil {
+		f.Close()
+		return err
+	}
 	if err := w.Flush(); err != nil {
 		f.Close()
 		return err

@@ -252,7 +252,9 @@ func snapshotRecords(cat *storage.Catalog, emit func(storage.LogRecord) error) e
 			return scanErr
 		}
 	}
-	return nil
+	// Preserve the MVCC commit clock across compaction: replaying the
+	// snapshot alone would restart the clock near the row count.
+	return emit(storage.LogRecord{Op: storage.OpCommit, TS: cat.Clock()})
 }
 
 // syncDir fsyncs a directory so renames and creates within it are durable.

@@ -83,6 +83,7 @@ type jsonRecord struct {
 	IxCol []string    `json:"cols,omitempty"` // index
 	RowID uint64      `json:"rid,omitempty"`
 	Row   []jsonValue `json:"row,omitempty"`
+	TS    uint64      `json:"ts,omitempty"` // commit
 }
 
 type colDef struct {
@@ -91,7 +92,7 @@ type colDef struct {
 }
 
 func encodeRecord(r storage.LogRecord) jsonRecord {
-	j := jsonRecord{Op: string(r.Op), Table: r.Table, PK: r.PK, IxCol: r.Cols, RowID: uint64(r.RowID)}
+	j := jsonRecord{Op: string(r.Op), Table: r.Table, PK: r.PK, IxCol: r.Cols, RowID: uint64(r.RowID), TS: r.TS}
 	if r.Schema != nil {
 		for _, c := range r.Schema.Columns {
 			j.Cols = append(j.Cols, colDef{Name: c.Name, Type: c.Type.String()})
@@ -237,12 +238,12 @@ func isLastLine(sc *bufio.Scanner) bool { return !sc.Scan() }
 func decodeJSONRecord(j jsonRecord) (storage.LogRecord, error) {
 	rec := storage.LogRecord{
 		Op: storage.LogOp(j.Op), Table: j.Table,
-		PK: j.PK, Cols: j.IxCol, RowID: storage.RowID(j.RowID),
+		PK: j.PK, Cols: j.IxCol, RowID: storage.RowID(j.RowID), TS: j.TS,
 	}
 	switch rec.Op {
 	case storage.OpCreateTable, storage.OpDropTable, storage.OpCreateIndex,
 		storage.OpCreateOrderedIndex, storage.OpInsert, storage.OpDelete,
-		storage.OpUpdate, storage.OpRestore:
+		storage.OpUpdate, storage.OpRestore, storage.OpCommit:
 	default:
 		return rec, fmt.Errorf("unknown op %q", j.Op)
 	}
@@ -317,6 +318,13 @@ func applyRecord(cat *storage.Catalog, r storage.LogRecord) error {
 		}
 		_, err = tbl.Update(r.RowID, r.Row)
 		return err
+
+	case storage.OpCommit:
+		// Advance the MVCC commit clock so post-recovery snapshots order
+		// after every pre-crash commit. Row effects were already replayed by
+		// the preceding physical records.
+		cat.AdvanceClock(r.TS)
+		return nil
 
 	default:
 		return fmt.Errorf("unknown op %q", r.Op)

@@ -42,14 +42,18 @@ func RunOpenTarget(tgt Target, cfg Config, rate float64, duration time.Duration)
 	var (
 		mu        sync.Mutex
 		latencies []time.Duration
+		readLats  []time.Duration
 		answered  int
 		submitted int
+		reads     int
+		readErrs  int
 		firstErr  error
 	)
 	var wg sync.WaitGroup
 	start := time.Now()
 	deadline := start.Add(duration)
 	pair := 0
+	nread := 0
 	for time.Now().Before(deadline) {
 		// Exponential inter-arrival for a Poisson process.
 		wait := time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
@@ -58,6 +62,31 @@ func RunOpenTarget(tgt Target, cfg Config, rate float64, duration time.Duration)
 		}
 		if !time.Now().Before(deadline) {
 			break
+		}
+		// A ReadFraction-weighted coin decides the arrival's species: a plain
+		// snapshot point read, or a coordination pair. Reads are timed
+		// separately — they never coordinate, so folding them into the
+		// entangled percentiles would just dilute both signals.
+		if cfg.ReadFraction > 0 && rng.Float64() < cfg.ReadFraction {
+			q := g.ReadQuery(nread)
+			nread++
+			mu.Lock()
+			reads++
+			mu.Unlock()
+			wg.Add(1)
+			go func(q string) {
+				defer wg.Done()
+				t0 := time.Now()
+				err := tgt.Read(q)
+				mu.Lock()
+				if err != nil {
+					readErrs++
+				} else {
+					readLats = append(readLats, time.Since(t0))
+				}
+				mu.Unlock()
+			}(q)
+			continue
 		}
 		a, b := g.PairReqs(pair + 1_000_000) // offset to avoid Run collisions
 		pair++
@@ -110,16 +139,28 @@ func RunOpenTarget(tgt Target, cfg Config, rate float64, duration time.Duration)
 		Unanswered:  submitted - answered,
 		Duration:    time.Since(start),
 		Latencies:   latencies,
+		Reads:       reads,
+		ReadErrors:  readErrs,
+		ReadLats:    readLats,
 		Coordinator: tgt.Stats(),
 	}, nil
 }
 
-// PctLatency returns the p-th percentile latency (p in (0,100]).
+// PctLatency returns the p-th percentile entangled latency (p in (0,100]).
 func (r Result) PctLatency(p float64) time.Duration {
-	if len(r.Latencies) == 0 {
+	return pctOf(r.Latencies, p)
+}
+
+// PctReadLatency returns the p-th percentile snapshot-read latency.
+func (r Result) PctReadLatency(p float64) time.Duration {
+	return pctOf(r.ReadLats, p)
+}
+
+func pctOf(ls []time.Duration, p float64) time.Duration {
+	if len(ls) == 0 {
 		return 0
 	}
-	sorted := append([]time.Duration(nil), r.Latencies...)
+	sorted := append([]time.Duration(nil), ls...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
 	if idx < 0 {

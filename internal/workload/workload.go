@@ -34,6 +34,11 @@ type Target interface {
 	// sql.Parse and eq compilation, and over the wire the SQL text stops
 	// shipping at all.
 	SubmitPrepared(tmpl string, params value.Tuple, owner string) (Await, error)
+	// Read executes one plain (non-entangled) SQL query and discards its
+	// rows. Under MVCC these run against a snapshot and never block on the
+	// coordination writers, so a read-mixed workload (Config.ReadFraction)
+	// measures reader latency while entangled matches commit underneath.
+	Read(sql string) error
 	// Stats snapshots the coordinator counters after a run (over the wire,
 	// via the typed admin API, for remote targets).
 	Stats() coord.StatsSnapshot
@@ -88,6 +93,11 @@ func (t localTarget) SubmitPrepared(tmpl string, params value.Tuple, owner strin
 		_, ok := h.Wait(done)
 		return ok
 	}, nil
+}
+
+func (t localTarget) Read(sql string) error {
+	_, err := t.sys.Query(sql)
+	return err
 }
 
 func (t localTarget) Stats() coord.StatsSnapshot { return t.sys.Coordinator().Stats() }
@@ -164,6 +174,11 @@ func awaitEvent(ev <-chan server.Event) Await {
 	}
 }
 
+func (t *clientTarget) Read(sql string) error {
+	_, err := t.c.Query(sql)
+	return err
+}
+
 func (t *clientTarget) Stats() coord.StatsSnapshot {
 	st, err := t.c.AdminStats(context.Background())
 	if err != nil {
@@ -221,6 +236,12 @@ type Config struct {
 	// (templates + bound parameter vectors) instead of rendering SQL text
 	// per submission — loadgen's -prepared flag.
 	Prepared bool
+	// ReadFraction makes this share of open-system arrivals plain snapshot
+	// point reads (SELECT by primary key) instead of coordination pairs —
+	// loadgen's -reads flag. Read latencies are reported separately
+	// (Result.ReadLatencies): under MVCC they stay flat while entangled
+	// writers commit, which is the point of the experiment.
+	ReadFraction float64
 }
 
 func (c Config) withDefaults() Config {
@@ -373,6 +394,15 @@ func (g *Generator) LonerReq(i int) Req {
 		Params: travel.FlightQueryParams(self, []string{ghost}, f)}
 }
 
+// ReadQuery returns a plain point SELECT by primary key — the snapshot-read
+// side of a mixed workload. Flight numbers start at 100 and the default seed
+// creates FlightsPerDest=8 per destination; rotating i over that range keeps
+// every read a hit without coordinating with anything.
+func (g *Generator) ReadQuery(i int) string {
+	fno := 100 + i%(8*len(travel.Destinations))
+	return fmt.Sprintf("SELECT fno, dest, price FROM Flights WHERE fno = %d", fno)
+}
+
 // Result aggregates a workload run.
 type Result struct {
 	Submitted   int
@@ -380,6 +410,9 @@ type Result struct {
 	Unanswered  int
 	Duration    time.Duration
 	Latencies   []time.Duration // per answered query, submit→answer
+	Reads       int             // plain snapshot reads issued (ReadFraction)
+	ReadErrors  int
+	ReadLats    []time.Duration // per completed read
 	Coordinator coord.StatsSnapshot
 }
 
@@ -416,9 +449,13 @@ func (r Result) MaxLatency() time.Duration {
 
 // String renders a one-line summary (used by cmd/loadgen).
 func (r Result) String() string {
-	return fmt.Sprintf("submitted=%d answered=%d unanswered=%d dur=%s thpt=%.0f/s avg=%s max=%s",
+	s := fmt.Sprintf("submitted=%d answered=%d unanswered=%d dur=%s thpt=%.0f/s avg=%s max=%s",
 		r.Submitted, r.Answered, r.Unanswered, r.Duration.Round(time.Millisecond),
 		r.Throughput(), r.AvgLatency().Round(time.Microsecond), r.MaxLatency().Round(time.Microsecond))
+	if r.Reads > 0 {
+		s += fmt.Sprintf(" reads=%d read-p95=%s", r.Reads, r.PctReadLatency(95).Round(time.Microsecond))
+	}
+	return s
 }
 
 // NewSystem builds a Youtopia instance seeded with the travel catalog sized
