@@ -1,0 +1,36 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/value"
+)
+
+func TestRedundantBoundInclusivity(t *testing.T) {
+	cat := storage.NewCatalog()
+	mgr := txn.NewManager(cat)
+	eng := New(mgr, nil)
+	mustExec := func(q string, params ...value.Value) *Result {
+		r, err := eng.Execute(q, value.NewTuple(params...))
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		return r
+	}
+	mustExec("CREATE TABLE T (id INT, a INT, PRIMARY KEY(id))")
+	mustExec("CREATE ORDERED INDEX ON T (a)")
+	for i := 1; i <= 20; i++ {
+		mustExec("INSERT INTO T VALUES (?, ?)", value.NewInt(int64(i)), value.NewInt(int64(i)))
+	}
+	r := mustExec("SELECT id FROM T WHERE a >= 10 AND a > 10 ORDER BY id")
+	for _, row := range r.Rows {
+		if row[0].Int() == 10 {
+			t.Fatalf("row a=10 returned despite WHERE a > 10: %v", r.Rows)
+		}
+	}
+	if len(r.Rows) != 10 {
+		t.Fatalf("want 10 rows (11..20), got %d: %v", len(r.Rows), r.Rows)
+	}
+}
