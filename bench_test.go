@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/eq"
+	"repro/internal/repl"
 	"repro/internal/server"
 	"repro/internal/storage"
 	"repro/internal/travel"
@@ -1112,4 +1113,64 @@ func BenchmarkUnify(b *testing.B) {
 			b.Fatal("unify failed")
 		}
 	}
+}
+
+// E16: replication shipping cost — durable commits on a primary streaming
+// live to one connected follower over the framed log-shipping protocol. An
+// iteration is one acknowledged primary commit; the timer stops only after
+// the follower's chain has durably applied every shipped byte, so ship,
+// replay and ack all amortize into ns/op. Compare against E11's standalone
+// fsync-per-record commit: the delta is what a synchronous follower costs.
+func BenchmarkE16_ReplicatedCommit(b *testing.B) {
+	pdir := filepath.Join(b.TempDir(), "wal")
+	sys := core.NewSystem(core.Config{WALPath: pdir, WALSync: true, CoordShards: 1})
+	if err := sys.Err(); err != nil {
+		b.Fatal(err)
+	}
+	defer sys.Close() //nolint:errcheck
+	pn, err := repl.Start(repl.Config{System: sys, Dir: pdir, ListenAddr: "127.0.0.1:0"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pn.Close() //nolint:errcheck
+
+	fdir := filepath.Join(b.TempDir(), "fwal")
+	fsys := core.NewSystem(core.Config{WALPath: fdir, WALSync: true, WALFollower: true, CoordShards: 1})
+	if err := fsys.Err(); err != nil {
+		b.Fatal(err)
+	}
+	defer fsys.Close() //nolint:errcheck
+	fn, err := repl.Start(repl.Config{System: fsys, Dir: fdir, PrimaryAddr: pn.Addr(), PrimaryClientAddr: "bench"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer fn.Close() //nolint:errcheck
+
+	if _, err := sys.Execute("CREATE TABLE Repl (id INT, note STRING, PRIMARY KEY(id))", "bench"); err != nil {
+		b.Fatal(err)
+	}
+	waitReplConverge(b, sys, fsys)
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := fmt.Sprintf("INSERT INTO Repl VALUES (%d, 'r')", i)
+		if _, err := sys.Execute(q, "bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	waitReplConverge(b, sys, fsys)
+	b.StopTimer()
+}
+
+func waitReplConverge(b *testing.B, p, f *core.System) {
+	b.Helper()
+	target := p.WAL().End()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if cur, _ := f.WAL().TailInfo(); cur == target && f.Ready() {
+			return
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	b.Fatalf("follower did not converge to %+v", target)
 }

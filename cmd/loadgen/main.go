@@ -61,8 +61,17 @@ func main() {
 	walSync := flag.Bool("walsync", true, "with -durable: group-commit an fsync at each statement boundary")
 	walSeg := flag.Int64("walseg", 0, "with -durable: segment rotation threshold in bytes (0 = 4 MiB)")
 	netAddr := flag.String("net", "", "drive a running youtopia-server at this address over TCP instead of in-process")
+	replicas := flag.String("replicas", "", "with -net PRIMARY: comma-separated follower addresses; reads fan out across them and per-replica latency + observed staleness is reported")
 	preparedCmp := flag.Bool("prepared", false, "run each sweep point twice — text vs prepared statements — and report throughput + allocs/arrival deltas")
 	flag.Parse()
+
+	if *replicas != "" {
+		if *netAddr == "" {
+			log.Fatal("loadgen -replicas needs -net PRIMARY (writes go to the primary)")
+		}
+		runReplicas(*netAddr, *replicas, *concurrency, *runFor)
+		return
+	}
 
 	if *netAddr != "" {
 		runNet(*netAddr, *pairs, *groups, *groupSize, *trip, *lonersCSV,

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/repl"
+	"repro/internal/server"
+)
+
+// runReplicas drives a replica set: writes go to the primary, reads fan out
+// across the follower list through the retry/backoff client, and the report
+// shows per-replica read percentiles plus observed staleness — how far
+// behind the primary's last acknowledged write each read's snapshot was.
+//
+// Staleness is measured with a probe row the primary updates continuously
+// (a version counter and a wall-clock stamp); every replica read returns
+// the version it observed, and the gap to the newest acknowledged version
+// at read time is that read's staleness in versions / milliseconds.
+func runReplicas(primaryAddr, replicasCSV string, concurrency int, runFor time.Duration) {
+	addrs := splitAddrs(replicasCSV)
+	if len(addrs) == 0 {
+		log.Fatal("loadgen -replicas: empty replica list")
+	}
+	primary, err := server.Dial(primaryAddr)
+	if err != nil {
+		log.Fatalf("loadgen -replicas: primary %s: %v", primaryAddr, err)
+	}
+	defer primary.Close()
+	ctx := context.Background()
+
+	// Fresh probe table per invocation (name salted by time so repeated runs
+	// against one long-lived primary stay independent).
+	table := fmt.Sprintf("ReplProbe%d", time.Now().UnixNano()%1_000_000)
+	mustExec := func(sql string) {
+		if _, err := primary.Query(sql); err != nil {
+			log.Fatalf("loadgen -replicas: %s: %v", sql, err)
+		}
+	}
+	mustExec(fmt.Sprintf("CREATE TABLE %s (id INT, v INT, ts INT, PRIMARY KEY(id))", table))
+	mustExec(fmt.Sprintf("INSERT INTO %s VALUES (1, 0, %d)", table, time.Now().UnixMicro()))
+
+	// Writer: bump the version as fast as acknowledged round trips allow.
+	// ackVersion holds the newest version the primary has acknowledged —
+	// the reference point replica staleness is measured against.
+	var ackVersion atomic.Int64
+	stopWriter := make(chan struct{})
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		for v := int64(1); ; v++ {
+			select {
+			case <-stopWriter:
+				return
+			default:
+			}
+			q := fmt.Sprintf("UPDATE %s SET v = %d, ts = %d WHERE id = 1", table, v, time.Now().UnixMicro())
+			if _, err := primary.Query(q); err != nil {
+				return
+			}
+			ackVersion.Store(v)
+		}
+	}()
+
+	// Readers: each goroutine owns a ReplicaClient (its own connections and
+	// round-robin cursor) and hammers the probe row until the deadline.
+	type sample struct {
+		addr      string
+		lat       time.Duration
+		staleVers int64
+		staleTime time.Duration
+	}
+	var mu sync.Mutex
+	var samples []sample
+	var readErrs atomic.Int64
+	deadline := time.Now().Add(runFor)
+	var readerWG sync.WaitGroup
+	query := fmt.Sprintf("SELECT v, ts FROM %s WHERE id = 1", table)
+	for i := 0; i < concurrency; i++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			rc := repl.NewReplicaClient(addrs)
+			defer rc.Close()
+			for time.Now().Before(deadline) {
+				ref := ackVersion.Load()
+				start := time.Now()
+				res, addr, err := rc.QueryContext(ctx, query)
+				lat := time.Since(start)
+				if err != nil || len(res.Rows) == 0 {
+					readErrs.Add(1)
+					continue
+				}
+				v := res.Rows[0][0].Int()
+				ts := res.Rows[0][1].Int()
+				s := sample{addr: addr, lat: lat, staleVers: ref - v}
+				if s.staleVers < 0 {
+					s.staleVers = 0 // writer advanced mid-read; the read was current
+				}
+				if s.staleVers > 0 {
+					s.staleTime = time.Since(time.UnixMicro(ts))
+				}
+				mu.Lock()
+				samples = append(samples, s)
+				mu.Unlock()
+			}
+		}()
+	}
+	readerWG.Wait()
+	close(stopWriter)
+	writerWG.Wait()
+	mustExec(fmt.Sprintf("DROP TABLE %s", table))
+
+	written := ackVersion.Load()
+	fmt.Printf("replica-set read sweep: %d writes acknowledged on primary, %d reads, %d read errors\n\n",
+		written, len(samples), readErrs.Load())
+	fmt.Printf("%-22s %-8s %-10s %-10s %-10s %-10s %-12s %-12s\n",
+		"replica", "reads", "p50-lat", "p95-lat", "p99-lat", "stale-p50", "stale-p95", "stale-max")
+	for _, addr := range addrs {
+		var lats []time.Duration
+		var vers []int64
+		for _, s := range samples {
+			if s.addr == addr {
+				lats = append(lats, s.lat)
+				vers = append(vers, s.staleVers)
+			}
+		}
+		if len(lats) == 0 {
+			fmt.Printf("%-22s %-8d (no successful reads)\n", addr, 0)
+			continue
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		sort.Slice(vers, func(i, j int) bool { return vers[i] < vers[j] })
+		pctD := func(p int) time.Duration { return lats[min(len(lats)*p/100, len(lats)-1)] }
+		pctV := func(p int) int64 { return vers[min(len(vers)*p/100, len(vers)-1)] }
+		fmt.Printf("%-22s %-8d %-10s %-10s %-10s %-10s %-12s %-12s\n",
+			addr, len(lats),
+			pctD(50).Round(time.Microsecond), pctD(95).Round(time.Microsecond), pctD(99).Round(time.Microsecond),
+			fmt.Sprintf("%dv", pctV(50)), fmt.Sprintf("%dv", pctV(95)), fmt.Sprintf("%dv", vers[len(vers)-1]))
+	}
+	fmt.Println("\nstaleness in versions behind the primary's newest acknowledged write at read start;")
+	fmt.Println("0v = the read observed every write acknowledged before it began.")
+}
+
+func splitAddrs(csv string) []string {
+	var out []string
+	for _, a := range strings.Split(csv, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}

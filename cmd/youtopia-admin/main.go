@@ -19,6 +19,9 @@
 //	youtopia-admin                 # run every scenario
 //	youtopia-admin -scenario pair  # pair | trip | group | adhoc
 //	youtopia-admin -connect 127.0.0.1:7717 [-json]   # inspect a live server
+//	youtopia-admin -connect ADDR -repl     # replication lag and health
+//	youtopia-admin -connect ADDR -health   # role + readiness, one line
+//	youtopia-admin -connect ADDR -promote  # promote a follower to primary
 package main
 
 import (
@@ -40,17 +43,26 @@ func main() {
 	connect := flag.String("connect", "", "inspect a running youtopia-server at this address instead of running scenarios")
 	asJSON := flag.Bool("json", false, "with -connect: emit the admin snapshot as JSON")
 	txnOnly := flag.Bool("txn", false, "with -connect: show only the transaction/MVCC counters")
+	replOnly := flag.Bool("repl", false, "with -connect: show replication status (role, epoch, follower lag)")
+	health := flag.Bool("health", false, "with -connect: one-line role + readiness; exit 1 when not ready")
+	promote := flag.Bool("promote", false, "with -connect: promote the follower to primary")
 	flag.Parse()
 
 	if *connect != "" {
-		if *txnOnly {
-			if err := inspectTxn(*connect, *asJSON); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			return
+		var err error
+		switch {
+		case *promote:
+			err = promoteServer(*connect, *asJSON)
+		case *health:
+			err = healthCheck(*connect)
+		case *replOnly:
+			err = inspectRepl(*connect, *asJSON)
+		case *txnOnly:
+			err = inspectTxn(*connect, *asJSON)
+		default:
+			err = inspect(*connect, *asJSON)
 		}
-		if err := inspect(*connect, *asJSON); err != nil {
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -174,6 +186,68 @@ func inspectTxn(addr string, asJSON bool) error {
 	}
 	fmt.Printf("committed=%d aborted=%d timeouts=%d writeConflicts=%d gcReclaimed=%d\n",
 		st.Committed, st.Aborted, st.Timeouts, st.WriteConflicts, st.GCReclaimed)
+	return nil
+}
+
+// inspectRepl fetches and renders the replication status: role, fencing
+// epoch, chain position, and per-follower ship/ack lag on a primary.
+func inspectRepl(addr string, asJSON bool) error {
+	c, err := server.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	st, err := c.AdminRepl(context.Background())
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(st)
+	}
+	fmt.Print(st.String())
+	return nil
+}
+
+// healthCheck prints one parseable line of role and readiness, exiting
+// non-zero when the server should not take traffic (follower mid-resync).
+func healthCheck(addr string) error {
+	c, err := server.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	st, err := c.AdminRepl(context.Background())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("role=%s ready=%t epoch=%d seq=%d off=%d\n", st.Role, st.Ready, st.Epoch, st.Seq, st.Off)
+	if !st.Ready {
+		os.Exit(1)
+	}
+	return nil
+}
+
+// promoteServer asks a follower to promote itself and prints the resulting
+// status, so the operator sees the new role and epoch in one round trip.
+func promoteServer(addr string, asJSON bool) error {
+	c, err := server.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	st, err := c.AdminPromote(context.Background())
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(st)
+	}
+	fmt.Printf("promoted: now %s at epoch %d\n", st.Role, st.Epoch)
+	fmt.Print(st.String())
 	return nil
 }
 

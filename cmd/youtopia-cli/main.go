@@ -227,6 +227,13 @@ func meta(cli *session, sys *core.System, cmd string) bool {
 			break
 		}
 		fmt.Print(st)
+	case `\repl`:
+		st := sys.ReplStatus()
+		if metaJSON {
+			printJSON(st)
+			break
+		}
+		fmt.Print(st.String())
 	case `\dot`:
 		fmt.Print(sys.Coordinator().DOT())
 	case `\why`:
@@ -259,7 +266,7 @@ func meta(cli *session, sys *core.System, cmd string) bool {
 			fmt.Printf("q%d [%s] waiting %s: %s\n", p.ID, p.Owner, p.Waiting.Round(1e6), p.Logic)
 		}
 	case `\help`:
-		fmt.Println(`\seed \fig1 \state \stats \shards \wal \txn \pending \why <id> \dot \prepare <name> <sql> \exec <name> [args...] \quit — SQL statements end with ';'. Prefix EXPLAIN to see an entangled query's compiled form. -json renders \stats/\shards/\pending/\wal/\txn machine-readably.
+		fmt.Println(`\seed \fig1 \state \stats \shards \wal \txn \repl \pending \why <id> \dot \prepare <name> <sql> \exec <name> [args...] \quit — SQL statements end with ';'. Prefix EXPLAIN to see an entangled query's compiled form. -json renders \stats/\shards/\pending/\wal/\txn/\repl machine-readably.
 \prepare compiles a statement with ? / $n placeholders once; \exec binds arguments (numbers, 'strings', NULL) and runs it — parse-once/bind-many from the shell.`)
 	default:
 		fmt.Println("unknown meta command; \\help for help")

@@ -11,10 +11,18 @@
 // Usage:
 //
 //	youtopia-server [-addr 127.0.0.1:7717] [-seed] [-wal dir] [-walsync]
+//	                [-repl-listen ADDR] [-follow ADDR -primary-addr SQLADDR]
 //
 // With -wal the database is durably logged (segmented binary format v2,
 // legacy JSON logs migrated in place) and recovered on restart; -walsync
 // additionally group-commits an fsync at every statement boundary.
+//
+// Replication (requires -wal): -repl-listen serves the WAL-shipping stream
+// to followers; -follow starts this process as a read-only follower pulling
+// from a primary's -repl-listen address (-primary-addr names the primary's
+// SQL address for client redirects). Promote a follower with
+// `youtopia-admin -connect ADDR -promote` — and drop its -follow flag on the
+// next restart.
 package main
 
 import (
@@ -25,6 +33,7 @@ import (
 	"os/signal"
 
 	"repro/internal/core"
+	"repro/internal/repl"
 	"repro/internal/server"
 	"repro/internal/travel"
 )
@@ -35,15 +44,42 @@ func main() {
 	walPath := flag.String("wal", "", "write-ahead log directory (enables durability)")
 	walSync := flag.Bool("walsync", false, "fsync each statement's records (group-committed)")
 	shards := flag.Int("shards", 0, "coordination lanes (0 = GOMAXPROCS, 1 = unsharded)")
+	replListen := flag.String("repl-listen", "", "serve the replication stream to followers at this address (requires -wal)")
+	follow := flag.String("follow", "", "run as a follower of the primary's -repl-listen address (requires -wal)")
+	primaryAddr := flag.String("primary-addr", "", "with -follow: the primary's SQL address, used in client redirects")
 	flag.Parse()
 
-	cfg := core.Config{WALPath: *walPath, WALSync: *walSync, CoordShards: *shards}
+	if (*replListen != "" || *follow != "") && *walPath == "" {
+		log.Fatal("replication requires -wal: the stream ships WAL segments")
+	}
+
+	cfg := core.Config{
+		WALPath: *walPath, WALSync: *walSync, CoordShards: *shards,
+		WALFollower: *follow != "",
+	}
 	sys := core.NewSystem(cfg)
 	if err := sys.Err(); err != nil {
 		log.Fatal(err)
 	}
-	if *seed && !sys.Catalog().Has("Flights") {
+	// A follower's state comes from the primary's stream; seeding locally
+	// would fork its history before the first byte arrives.
+	if *seed && *follow == "" && !sys.Catalog().Has("Flights") {
 		if err := travel.Seed(sys, travel.SeedConfig{Seed: 1}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var node *repl.Node
+	if *replListen != "" || *follow != "" {
+		var err error
+		node, err = repl.Start(repl.Config{
+			System:            sys,
+			Dir:               *walPath,
+			ListenAddr:        *replListen,
+			PrimaryAddr:       *follow,
+			PrimaryClientAddr: *primaryAddr,
+		})
+		if err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -52,12 +88,22 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("youtopia-server listening on %s (wal=%q)\n", srv.Addr(), *walPath)
+	role := "primary"
+	if *follow != "" {
+		role = "follower of " + *follow
+	}
+	fmt.Printf("youtopia-server listening on %s (wal=%q, role=%s)\n", srv.Addr(), *walPath, role)
+	if node != nil && node.Addr() != "" {
+		fmt.Printf("replication stream on %s (epoch %d)\n", node.Addr(), node.Epoch())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
 	fmt.Println("shutting down")
 	srv.Close()
+	if node != nil {
+		node.Close()
+	}
 	sys.Close()
 }

@@ -23,4 +23,13 @@
 // identical re-sent text, and wire protocol v2 carries the lifecycle
 // remotely (prepare / exec-with-binary-vector / close), with typed
 // int64/float64 parameters that round-trip exactly.
+//
+// Replication: internal/repl ships the WAL byte-for-byte to follower
+// processes that replay it continuously and serve lock-free snapshot
+// reads, with catch-up from any position (snapshot re-ship when the
+// prefix was compacted away), retention pins, epoch-fenced failover
+// promotion, a typed redirect-to-primary error with a retry/backoff
+// replica client, and a deterministic fault-injection harness
+// (internal/fault) backing a seeded chaos test. See ARCHITECTURE.md
+// "Replication and failover" and examples/replicaset.
 package repro

@@ -1,0 +1,189 @@
+// Replica set: a three-node Youtopia deployment — one primary and two
+// followers — in the shape `youtopia-server` runs in production: each node
+// owns a WAL directory, a wire-protocol listener for clients, and a
+// replication link (the primary serves the WAL-shipping stream, followers
+// pull and replay it). The walkthrough shows:
+//
+//  1. followers converging on the primary's chain and serving snapshot
+//     reads, with replication lag visible on the primary's admin surface;
+//  2. a write sent to a follower bouncing with a typed redirect to the
+//     primary, and the retry/backoff ReplicaClient spreading reads across
+//     the follower list;
+//  3. kill -9 on a follower mid-stream (the fault layer drops every write
+//     cold, like the process dying) and catch-up after restart from its own
+//     torn chain — resumed byte-exactly, or re-shipped from a snapshot if
+//     the primary compacted meanwhile;
+//  4. failover: promoting a follower, which seals its chain, bumps the
+//     fencing epoch past the old primary's, and starts accepting writes.
+//
+// Run: go run ./examples/replicaset
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/repl"
+	"repro/internal/server"
+	"repro/internal/wal"
+)
+
+// node is one member of the replica set: system + replication link + client
+// listener, exactly what one youtopia-server process holds.
+type node struct {
+	name string
+	dir  string
+	sys  *core.System
+	rn   *repl.Node
+	srv  *server.Server
+	fs   *fault.FS // follower-only: the kill-9 seam
+}
+
+func (n *node) clientAddr() string { return n.srv.Addr().String() }
+
+func (n *node) stop() {
+	n.srv.Close() //nolint:errcheck
+	n.rn.Close()  //nolint:errcheck
+	n.sys.Close() //nolint:errcheck
+}
+
+func startPrimary(dir string) *node {
+	sys := core.NewSystem(core.Config{WALPath: dir, WALSync: true})
+	must(sys.Err())
+	rn, err := repl.Start(repl.Config{System: sys, Dir: dir, ListenAddr: "127.0.0.1:0"})
+	must(err)
+	srv, err := server.Listen(sys, "127.0.0.1:0")
+	must(err)
+	return &node{name: "primary", dir: dir, sys: sys, rn: rn, srv: srv}
+}
+
+func startFollower(name, dir, primaryRepl, primarySQL string) *node {
+	fs := fault.NewFS(wal.OSFS())
+	sys := core.NewSystem(core.Config{WALPath: dir, WALSync: true, WALFollower: true, WALFS: fs})
+	must(sys.Err())
+	rn, err := repl.Start(repl.Config{
+		System: sys, Dir: dir, PrimaryAddr: primaryRepl, PrimaryClientAddr: primarySQL,
+	})
+	must(err)
+	srv, err := server.Listen(sys, "127.0.0.1:0")
+	must(err)
+	return &node{name: name, dir: dir, sys: sys, rn: rn, srv: srv, fs: fs}
+}
+
+func main() {
+	root, err := os.MkdirTemp("", "youtopia-replicaset-*")
+	must(err)
+	defer os.RemoveAll(root)
+
+	// --- boot the set: one primary, two followers -----------------------
+	p := startPrimary(filepath.Join(root, "primary"))
+	f1 := startFollower("follower-1", filepath.Join(root, "f1"), p.rn.Addr(), p.clientAddr())
+	f2 := startFollower("follower-2", filepath.Join(root, "f2"), p.rn.Addr(), p.clientAddr())
+	fmt.Printf("primary    %s  (stream %s)\n", p.clientAddr(), p.rn.Addr())
+	fmt.Printf("follower-1 %s\nfollower-2 %s\n\n", f1.clientAddr(), f2.clientAddr())
+
+	pc, err := server.Dial(p.clientAddr())
+	must(err)
+	defer pc.Close()
+
+	exec := func(sql string) {
+		if _, err := pc.Query(sql); err != nil {
+			log.Fatalf("%s: %v", sql, err)
+		}
+	}
+	exec("CREATE TABLE Itinerary (id INT, leg STRING, PRIMARY KEY(id))")
+	rows := 0
+	write := func(n int) {
+		for i := 0; i < n; i++ {
+			exec(fmt.Sprintf("INSERT INTO Itinerary VALUES (%d, 'CDG-JFK')", rows))
+			rows++
+		}
+	}
+	write(50)
+
+	// --- 1. convergence and the lag surface -----------------------------
+	waitConverged(p, f1, f2)
+	st, err := pc.AdminRepl(context.Background())
+	must(err)
+	fmt.Printf("primary admin `repl` after 50 writes:\n%s\n", st)
+
+	// --- 2. follower reads; writes redirect -----------------------------
+	f1c, err := server.Dial(f1.clientAddr())
+	must(err)
+	res, err := f1c.Query("SELECT id FROM Itinerary")
+	must(err)
+	fmt.Printf("follower-1 snapshot read: %d rows\n", len(res.Rows))
+	_, err = f1c.Query("INSERT INTO Itinerary VALUES (999, 'nope')")
+	if !errors.Is(err, server.ErrNotPrimary) {
+		log.Fatalf("expected a not-primary redirect, got %v", err)
+	}
+	fmt.Printf("follower-1 write bounced: %v\n", err)
+	f1c.Close()
+
+	rc := repl.NewReplicaClient([]string{f1.clientAddr(), f2.clientAddr()})
+	for i := 0; i < 4; i++ {
+		_, addr, err := rc.QueryContext(context.Background(), "SELECT id FROM Itinerary WHERE id = 0")
+		must(err)
+		fmt.Printf("replica read %d served by %s\n", i+1, addr)
+	}
+	rc.Close()
+
+	// --- 3. kill -9 a follower, write on, restart it, catch up ----------
+	fmt.Println("\nkill -9 follower-1 mid-stream…")
+	f1.fs.Kill() // every subsequent file write on f1 fails cold
+	f1.stop()
+	write(50)
+	fmt.Printf("primary is at %d rows; restarting follower-1 from its torn chain\n", rows)
+	f1 = startFollower("follower-1", f1.dir, p.rn.Addr(), p.clientAddr())
+	waitConverged(p, f1, f2)
+	fmt.Printf("follower-1 caught up: %s\n", f1.sys.ReplStatus())
+
+	// --- 4. failover ----------------------------------------------------
+	fmt.Println("promoting follower-1…")
+	f1a, err := server.Dial(f1.clientAddr())
+	must(err)
+	nst, err := f1a.AdminPromote(context.Background())
+	must(err)
+	fmt.Printf("promoted: role=%s epoch=%d\n", nst.Role, nst.Epoch)
+	if _, err := f1a.Query(fmt.Sprintf("INSERT INTO Itinerary VALUES (%d, 'post-failover')", rows)); err != nil {
+		log.Fatal(err)
+	}
+	res, err = f1a.Query("SELECT id FROM Itinerary")
+	must(err)
+	fmt.Printf("new primary accepts writes: %d rows (%d pre-failover + 1)\n", len(res.Rows), rows)
+	f1a.Close()
+
+	f1.stop()
+	f2.stop()
+	p.stop()
+}
+
+func waitConverged(p *node, followers ...*node) {
+	target := p.sys.WAL().End()
+	deadline := time.Now().Add(10 * time.Second)
+	for _, f := range followers {
+		for {
+			cur, _ := f.sys.WAL().TailInfo()
+			if cur == target && f.sys.Ready() {
+				break
+			}
+			if time.Now().After(deadline) {
+				log.Fatalf("%s did not converge to %+v (at %+v)", f.name, target, cur)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

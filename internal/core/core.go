@@ -64,6 +64,17 @@ type Config struct {
 	// whenever at least this many have accumulated. 0 selects 8; negative
 	// disables auto-compaction (Compact still works explicitly).
 	WALCompactAfter int
+	// WALFollower opens the log as a replication follower: recovery replays
+	// through a transaction-demultiplexing applier (so later streamed records
+	// never expose half a transaction to readers), no log hook is attached
+	// (records arrive from the primary, already logged), auto-compaction is
+	// off (the follower's segment chain must stay byte-identical to the
+	// primary's), and every statement but a plain SELECT is rejected with a
+	// NotPrimaryError until promotion.
+	WALFollower bool
+	// WALFS overrides the log's filesystem (fault injection, tests). Nil
+	// selects the real filesystem.
+	WALFS wal.FS
 	// StmtCacheSize bounds the text→artifact LRU behind Prepare and plain
 	// Execute: up to this many statement texts keep their parsed/compiled
 	// artifacts alive, so identical text is parsed once. 0 selects 256;
@@ -97,6 +108,7 @@ type System struct {
 	walSync   bool
 	stmts     *stmtCache
 	stopGC    func() // halts the MVCC version-chain garbage collector
+	repl      repl   // replication role/state (zero value: standalone primary)
 	err       error  // startup (recovery) error
 }
 
@@ -144,6 +156,7 @@ func NewSystem(cfg Config) *System {
 		opts := wal.Options{
 			SegmentBytes: cfg.WALSegmentBytes,
 			CompactAfter: cfg.WALCompactAfter,
+			FS:           cfg.WALFS,
 		}
 		if opts.CompactAfter == 0 {
 			opts.CompactAfter = 8
@@ -153,6 +166,18 @@ func NewSystem(cfg Config) *System {
 		if cfg.WALSync {
 			opts.Sync = wal.SyncAlways
 		}
+		if cfg.WALFollower {
+			// The follower's chain must stay a byte-identical copy of the
+			// primary's; compacting locally would diverge it (and could
+			// materialize rows of transactions still awaiting their commit
+			// record). Recovery and all streamed records replay through the
+			// applier so concurrent readers only ever see committed states.
+			opts.CompactAfter = 0
+			s.repl.follower = true
+			s.repl.ready = true // existing replayed state is consistent
+			s.repl.applier = wal.NewApplier(cat)
+			opts.Replay = s.repl.applier.Apply
+		}
 		l, err := wal.OpenLog(cfg.WALPath, cat, opts)
 		if err != nil {
 			s.err = fmt.Errorf("core: WAL recovery: %w", err)
@@ -161,6 +186,13 @@ func NewSystem(cfg Config) *System {
 		store.AdoptFromCatalog()
 		s.wal = l
 		s.walSync = cfg.WALSync
+		if cfg.WALFollower {
+			// Recovery may end mid-transaction (the primary will re-ship the
+			// rest); readers see only through the last replayed commit. No
+			// log hook: shipped records are appended by the replication
+			// layer, byte-for-byte.
+			return s
+		}
 		if cfg.WALSync {
 			// Mutations stream into the log buffer; the statement boundary
 			// (commitWAL) is the durability wait.
@@ -364,6 +396,9 @@ func (s *System) submitEntangled(es *sql.EntangledSelect, src, owner string) (*R
 
 // ExecuteStmt routes an already-parsed statement.
 func (s *System) ExecuteStmt(stmt sql.Statement, owner string) (*Response, error) {
+	if err := s.gate(stmt); err != nil {
+		return nil, err
+	}
 	if _, ok := stmt.(*sql.TxnStmt); ok {
 		return nil, fmt.Errorf("core: BEGIN/COMMIT/ROLLBACK require a Session (interactive transactions are per-connection)")
 	}

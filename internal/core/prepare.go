@@ -100,6 +100,9 @@ func (ps *PreparedStmt) checkParams(params value.Tuple) error {
 // query to the coordinator — skipping sql.Parse and eq compilation entirely
 // — and return a waitable handle, exactly like Execute does for text.
 func (ps *PreparedStmt) ExecuteBound(params value.Tuple, owner string) (*Response, error) {
+	if err := ps.sys.gate(ps.stmt); err != nil {
+		return nil, err
+	}
 	if err := ps.checkParams(params); err != nil {
 		return nil, err
 	}
@@ -141,6 +144,9 @@ func (ps *PreparedStmt) ExecuteBoundContext(ctx context.Context, params value.Tu
 // query with the coordination component — the bind-many half of the
 // pipeline: no parse, no compile, just atom substitution and submission.
 func (ps *PreparedStmt) SubmitBound(params value.Tuple, owner string) (*coord.Handle, error) {
+	if err := ps.sys.gate(ps.stmt); err != nil {
+		return nil, err
+	}
 	if ps.tmpl == nil {
 		return nil, fmt.Errorf("core: SubmitBound requires an entangled statement (INTO ANSWER)")
 	}

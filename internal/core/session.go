@@ -82,6 +82,12 @@ func (s *Session) ExecuteContext(ctx context.Context, src, owner string) (*Respo
 func (s *Session) ExecuteStmt(stmt sql.Statement, owner string) (*Response, error) {
 	switch st := stmt.(type) {
 	case *sql.TxnStmt:
+		if err := s.sys.gate(stmt); err != nil {
+			// A follower has no interactive transactions: BEGIN cannot open
+			// one (writes would be refused anyway), and COMMIT/ROLLBACK have
+			// nothing to close.
+			return nil, err
+		}
 		switch st.Kind {
 		case sql.TxnBegin:
 			if s.tx != nil {

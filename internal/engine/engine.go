@@ -654,6 +654,19 @@ func orderFroms(froms []*fromTable) []*fromTable {
 // since a raw mistyped key would under-select rather than over-select.
 // Conjuncts beyond the mask's 64 bits are pushed but never skipped (safe:
 // re-evaluating a covered conjunct only re-confirms it).
+// tighterLo/tighterHi report whether bound b narrows the scan more than the
+// current bound. At equal values the exclusive bound wins: `a > 10` is
+// strictly tighter than `a >= 10`.
+func tighterLo(b, cur storage.Bound) bool {
+	c := b.Value.Compare(cur.Value)
+	return c > 0 || (c == 0 && !b.Inclusive && cur.Inclusive)
+}
+
+func tighterHi(b, cur storage.Bound) bool {
+	c := b.Value.Compare(cur.Value)
+	return c < 0 || (c == 0 && !b.Inclusive && cur.Inclusive)
+}
+
 func pushDownPredicates(where sql.Expr, froms []*fromTable, single bool, params value.Tuple) (conds []sql.Expr, skip uint64) {
 	locate := func(cr *sql.ColumnRef) (*fromTable, int) {
 		for _, f := range froms {
@@ -677,7 +690,7 @@ func pushDownPredicates(where sql.Expr, froms []*fromTable, single bool, params 
 			return false
 		}
 		f.rangeCol = o
-		if !f.lo.Set || b.Value.Compare(f.lo.Value) > 0 {
+		if !f.lo.Set || tighterLo(b, f.lo) {
 			f.lo = b
 		}
 		return true
@@ -690,7 +703,7 @@ func pushDownPredicates(where sql.Expr, froms []*fromTable, single bool, params 
 			return false
 		}
 		f.rangeCol = o
-		if !f.hi.Set || b.Value.Compare(f.hi.Value) < 0 {
+		if !f.hi.Set || tighterHi(b, f.hi) {
 			f.hi = b
 		}
 		return true

@@ -462,11 +462,11 @@ func (p *Prepared) execSelect(tx *txn.Txn, sp *selectPlan, params value.Tuple) (
 			ft.rangeCol = fp.rangeCol
 			b := storage.BoundAt(v, rc.incl)
 			if rc.lo {
-				if !ft.lo.Set || b.Value.Compare(ft.lo.Value) > 0 {
+				if !ft.lo.Set || tighterLo(b, ft.lo) {
 					ft.lo = b
 				}
 			} else {
-				if !ft.hi.Set || b.Value.Compare(ft.hi.Value) < 0 {
+				if !ft.hi.Set || tighterHi(b, ft.hi) {
 					ft.hi = b
 				}
 			}

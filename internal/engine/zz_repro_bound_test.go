@@ -3,6 +3,7 @@ package engine
 import (
 	"testing"
 
+	"repro/internal/sql"
 	"repro/internal/storage"
 	"repro/internal/txn"
 	"repro/internal/value"
@@ -11,9 +12,18 @@ import (
 func TestRedundantBoundInclusivity(t *testing.T) {
 	cat := storage.NewCatalog()
 	mgr := txn.NewManager(cat)
-	eng := New(mgr, nil)
+	eng := New(mgr)
 	mustExec := func(q string, params ...value.Value) *Result {
-		r, err := eng.Execute(q, value.NewTuple(params...))
+		stmt, err := sql.Parse(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		var r *Result
+		err = mgr.RunAtomic(func(tx *txn.Txn) error {
+			var err error
+			r, err = eng.ExecuteInBound(tx, stmt, value.Tuple(params))
+			return err
+		})
 		if err != nil {
 			t.Fatalf("%s: %v", q, err)
 		}

@@ -1,0 +1,136 @@
+package fault
+
+import (
+	"errors"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/wal"
+)
+
+// The FS seam must fire at exact operation boundaries: n failed writes then
+// transparent again, a short write that persists precisely the armed prefix,
+// and Kill leaving whatever reached the disk untouched forever after.
+func TestFSInjection(t *testing.T) {
+	fs := NewFS(wal.OSFS())
+	path := filepath.Join(t.TempDir(), "f")
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fs.FailWrites(2)
+	for i := 0; i < 2; i++ {
+		if _, err := f.Write([]byte("xx")); !errors.Is(err, ErrInjected) {
+			t.Fatalf("armed write %d: got %v", i, err)
+		}
+	}
+	if _, err := f.Write([]byte("abc")); err != nil {
+		t.Fatalf("disarmed write failed: %v", err)
+	}
+
+	fs.ShortWrite(2)
+	if n, err := f.Write([]byte("defg")); n != 2 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("short write: n=%d err=%v, want 2 bytes then injected failure", n, err)
+	}
+	if b, err := fs.ReadFile(path); err != nil || string(b) != "abcde" {
+		t.Fatalf("on-disk content %q err=%v, want the good write plus the 2-byte torn prefix", b, err)
+	}
+
+	fs.Kill()
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write after Kill: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync after Kill: %v", err)
+	}
+	if _, err := fs.OpenFile(path, os.O_RDWR, 0o644); !errors.Is(err, ErrInjected) {
+		t.Fatalf("open after Kill: %v", err)
+	}
+	// A fresh FS over the same directory sees exactly the pre-kill bytes.
+	if b, err := wal.OSFS().ReadFile(path); err != nil || string(b) != "abcde" {
+		t.Fatalf("post-kill content %q err=%v", b, err)
+	}
+}
+
+// The dialer seam: Partition refuses new dials and cuts live conns, Heal
+// restores dialing, CutAll severs live conns without blocking new ones.
+func TestDialerInjection(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				buf := make([]byte, 1)
+				for {
+					if _, err := c.Read(buf); err != nil {
+						return
+					}
+					if _, err := c.Write(buf); err != nil {
+						return
+					}
+				}
+			}(c)
+		}
+	}()
+
+	d := NewDialer()
+	echo := func(c net.Conn) error {
+		if _, err := c.Write([]byte("a")); err != nil {
+			return err
+		}
+		_, err := c.Read(make([]byte, 1))
+		return err
+	}
+
+	c1, err := d.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := echo(c1); err != nil {
+		t.Fatalf("echo through transparent dialer: %v", err)
+	}
+
+	d.Partition()
+	if _, err := d.Dial("tcp", l.Addr().String()); !errors.Is(err, ErrInjected) {
+		t.Fatalf("dial under partition: %v", err)
+	}
+	if err := echo(c1); err == nil {
+		t.Fatal("live conn survived the partition")
+	}
+
+	d.Heal()
+	c2, err := d.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+	if err := echo(c2); err != nil {
+		t.Fatalf("echo after heal: %v", err)
+	}
+
+	d.CutAll()
+	if err := echo(c2); err == nil {
+		t.Fatal("live conn survived CutAll")
+	}
+	c3, err := d.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatalf("dial after CutAll should work: %v", err)
+	}
+	if err := echo(c3); err != nil {
+		t.Fatalf("echo on post-cut conn: %v", err)
+	}
+	if d.Dials() < 3 {
+		t.Fatalf("Dials() = %d, want >= 3 successful dials counted", d.Dials())
+	}
+	c3.Close()
+}

@@ -1,0 +1,167 @@
+package repl
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/wal"
+)
+
+// TestChaosConvergence drives a primary and two followers through seeded
+// crashes, partitions and compactions under continuous write traffic, and
+// after every round asserts the invariants the replication design promises:
+//
+//   - byte-identical convergence: each follower's segment files equal the
+//     primary's, and the catalog digests match;
+//   - follower reads never block and never observe torn state: whenever a
+//     follower reports ready, a snapshot read succeeds and sees a row count
+//     that some committed primary state had;
+//   - no acknowledged commit is lost: at the end, a follower is promoted and
+//     every row the primary ever acknowledged is present on the new primary.
+//
+// The schedule is entirely deterministic for a given REPL_CHAOS_SEED: faults
+// are drawn from a seeded generator, nothing fires probabilistically at
+// runtime, so a failure reproduces by re-running with the printed seed.
+// REPL_CHAOS_ROUNDS scales the run (default 8 rounds, a few seconds; CI smoke
+// uses more).
+func TestChaosConvergence(t *testing.T) {
+	rounds := 8
+	if s := os.Getenv("REPL_CHAOS_ROUNDS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			t.Fatalf("bad REPL_CHAOS_ROUNDS %q", s)
+		}
+		rounds = n
+	}
+	seed := int64(1)
+	if s := os.Getenv("REPL_CHAOS_SEED"); s != "" {
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad REPL_CHAOS_SEED %q", s)
+		}
+		seed = n
+	}
+	t.Logf("chaos: %d rounds, seed %d", rounds, seed)
+	rng := rand.New(rand.NewSource(seed))
+
+	psys, pnode := testPrimary(t)
+	mustExec(t, psys, "CREATE TABLE Ledger (id INT, note STRING, PRIMARY KEY(id))")
+
+	// follower 1 restarts across kill -9; follower 2 stays up behind a
+	// faultable link. Both dial through partitionable dialers.
+	type fnode struct {
+		sys  *core.System
+		node *Node
+		dir  string
+		d    *fault.Dialer
+		fs   *fault.FS
+	}
+	start := func(dir string, d *fault.Dialer) *fnode {
+		f := &fnode{dir: dir, d: d, fs: fault.NewFS(wal.OSFS())}
+		f.sys, f.node = testFollower(t, pnode.Addr(), dir, d, f.fs)
+		return f
+	}
+	f1 := start(filepath.Join(t.TempDir(), "wal"), fault.NewDialer())
+	f2 := start(filepath.Join(t.TempDir(), "wal"), fault.NewDialer())
+	closed := false
+	defer func() {
+		if !closed {
+			f1.node.Close() //nolint:errcheck
+			f1.sys.Close()  //nolint:errcheck
+		}
+		f2.node.Close() //nolint:errcheck
+		f2.sys.Close()  //nolint:errcheck
+	}()
+
+	acked := 0 // rows the primary has acknowledged committing
+	write := func(n int) {
+		for i := 0; i < n; i++ {
+			mustExec(t, psys, fmt.Sprintf("INSERT INTO Ledger VALUES (%d, 'round')", acked))
+			acked++
+		}
+	}
+	readCheck := func(f *fnode) {
+		if !f.sys.Ready() {
+			return // mid-resync; reads are refused by design, not partially served
+		}
+		start := time.Now()
+		res, err := f.sys.Query("SELECT id FROM Ledger")
+		if err != nil {
+			// The ready flag can drop between the check and the read when a
+			// reset begins; that race is the one tolerated error.
+			if f.sys.Ready() {
+				t.Fatalf("ready follower refused a read: %v", err)
+			}
+			return
+		}
+		if d := time.Since(start); d > 2*time.Second {
+			t.Fatalf("snapshot read blocked for %v", d)
+		}
+		if len(res.Rows) > acked {
+			t.Fatalf("follower sees %d rows, primary only ever acknowledged %d", len(res.Rows), acked)
+		}
+	}
+
+	for round := 0; round < rounds; round++ {
+		write(10 + rng.Intn(20))
+		readCheck(f1)
+		readCheck(f2)
+
+		switch rng.Intn(5) {
+		case 0: // transient link cut on follower 1; it redials and resumes
+			f1.d.CutAll()
+		case 1: // partition follower 2 through a burst of writes, then heal
+			f2.d.Partition()
+			write(10 + rng.Intn(10))
+			f2.d.Heal()
+		case 2: // kill -9 follower 1 mid-stream and restart it from its dir
+			f1.fs.Kill()
+			f1.d.CutAll()   // sever so the primary notices promptly
+			f1.node.Close() //nolint:errcheck
+			f1.sys.Close()  //nolint:errcheck
+			nf := start(f1.dir, f1.d)
+			*f1 = *nf
+		case 3: // compact the primary's chain under everyone
+			write(5)
+			if err := psys.WAL().Compact(); err != nil {
+				t.Fatal(err)
+			}
+		case 4: // quiet round: plain traffic
+			write(5)
+		}
+
+		waitConverge(t, psys, f1.sys, 15*time.Second)
+		waitConverge(t, psys, f2.sys, 15*time.Second)
+		assertIdentical(t, psys, f1.sys)
+		assertIdentical(t, psys, f2.sys)
+	}
+
+	// Failover: promote follower 1 and verify every acknowledged commit is
+	// present and readable on the new primary — nothing the old primary
+	// acknowledged was lost, and the promoted node accepts writes.
+	if err := f1.node.Promote(); err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	res, err := f1.sys.Query("SELECT id FROM Ledger")
+	if err != nil {
+		t.Fatalf("read on promoted node: %v", err)
+	}
+	if len(res.Rows) != acked {
+		t.Fatalf("promoted node has %d rows, primary acknowledged %d", len(res.Rows), acked)
+	}
+	mustExec(t, f1.sys, fmt.Sprintf("INSERT INTO Ledger VALUES (%d, 'post-failover')", acked))
+	res, err = f1.sys.Query("SELECT id FROM Ledger")
+	if err != nil || len(res.Rows) != acked+1 {
+		t.Fatalf("write on promoted node: %d rows, err %v", len(res.Rows), err)
+	}
+	f1.node.Close() //nolint:errcheck
+	f1.sys.Close()  //nolint:errcheck
+	closed = true
+}

@@ -1,0 +1,154 @@
+package repl
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/server"
+)
+
+// ReplicaClient fans reads across a replica set. Each read goes to one
+// replica, round-robin from a random start; a replica that is unreachable,
+// drops the connection mid-flight, or answers "not ready" (mid-resync
+// follower) is skipped and the read retried on the next one, with
+// exponential backoff + full jitter between full passes over the list. A
+// "not primary" redirect is terminal for reads routed here on purpose — it
+// means a write slipped in, and the caller should use a primary connection.
+type ReplicaClient struct {
+	addrs []string
+
+	mu    sync.Mutex
+	conns []*server.Client // lazily dialed, nil until first use
+	next  int
+	rng   *rand.Rand
+
+	// Retry policy; zero values take the defaults in NewReplicaClient.
+	MaxPasses int           // full passes over the replica list before giving up
+	Backoff   time.Duration // base sleep between passes (doubles, full jitter)
+	MaxSleep  time.Duration // backoff cap
+}
+
+// NewReplicaClient builds a client over the given replica addresses. No
+// connection is made until the first read.
+func NewReplicaClient(addrs []string) *ReplicaClient {
+	c := &ReplicaClient{
+		addrs:     append([]string(nil), addrs...),
+		MaxPasses: 8,
+		Backoff:   25 * time.Millisecond,
+		MaxSleep:  2 * time.Second,
+		rng:       rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	c.conns = make([]*server.Client, len(c.addrs))
+	c.next = c.rng.Intn(max(len(c.addrs), 1))
+	return c
+}
+
+// Addrs returns the replica list (read-only).
+func (c *ReplicaClient) Addrs() []string { return c.addrs }
+
+// Close closes every open connection.
+func (c *ReplicaClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, conn := range c.conns {
+		if conn != nil {
+			conn.Close() //nolint:errcheck
+			c.conns[i] = nil
+		}
+	}
+	return nil
+}
+
+// pick returns the next replica's index, connection, and address, dialing if
+// needed. A dial failure returns the index with a nil client so the caller
+// can count the attempt and move on.
+func (c *ReplicaClient) pick() (int, *server.Client, string) {
+	c.mu.Lock()
+	i := c.next
+	c.next = (c.next + 1) % len(c.addrs)
+	conn := c.conns[i]
+	c.mu.Unlock()
+	if conn != nil {
+		return i, conn, c.addrs[i]
+	}
+	conn, err := server.Dial(c.addrs[i])
+	if err != nil {
+		return i, nil, c.addrs[i]
+	}
+	c.mu.Lock()
+	if c.conns[i] == nil {
+		c.conns[i] = conn
+	} else { // lost a race; keep the established one
+		conn.Close() //nolint:errcheck
+		conn = c.conns[i]
+	}
+	c.mu.Unlock()
+	return i, conn, c.addrs[i]
+}
+
+// drop discards a replica's connection after a transport error so the next
+// attempt redials.
+func (c *ReplicaClient) drop(i int, conn *server.Client) {
+	c.mu.Lock()
+	if c.conns[i] == conn {
+		c.conns[i] = nil
+	}
+	c.mu.Unlock()
+	conn.Close() //nolint:errcheck
+}
+
+// retryable reports whether the read should move on to another replica.
+// Transport errors and "not ready" (resyncing follower) are retryable. A
+// server that answered with any other error is not worth retrying: a
+// statement error reproduces identically everywhere, and a "not primary"
+// redirect means a write was routed here by mistake.
+func retryable(err error) bool {
+	if errors.Is(err, server.ErrNotReady) {
+		return true
+	}
+	var we *server.WireError
+	return !errors.As(err, &we)
+}
+
+// QueryContext runs one read, failing over across the replica list.
+func (c *ReplicaClient) QueryContext(ctx context.Context, sql string) (*server.QueryResult, string, error) {
+	var lastErr error
+	sleep := c.Backoff
+	for pass := 0; pass < c.MaxPasses; pass++ {
+		for range c.addrs {
+			if err := ctx.Err(); err != nil {
+				return nil, "", err
+			}
+			i, conn, addr := c.pick()
+			if conn == nil {
+				lastErr = errors.New("repl: dial " + addr + " failed")
+				continue
+			}
+			res, err := conn.QueryContext(ctx, sql)
+			if err == nil {
+				return res, addr, nil
+			}
+			lastErr = err
+			if !retryable(err) {
+				return nil, addr, err
+			}
+			if !errors.Is(err, server.ErrNotReady) {
+				c.drop(i, conn) // transport error: connection is suspect
+			}
+		}
+		// Whole list failed this pass; back off before the next one.
+		d := time.Duration(c.rng.Int63n(int64(sleep))) + time.Millisecond
+		select {
+		case <-time.After(d):
+		case <-ctx.Done():
+			return nil, "", ctx.Err()
+		}
+		if sleep *= 2; sleep > c.MaxSleep {
+			sleep = c.MaxSleep
+		}
+	}
+	return nil, "", lastErr
+}

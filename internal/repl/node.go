@@ -1,0 +1,319 @@
+package repl
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/wal"
+)
+
+// Config assembles a replication node around a core.System.
+type Config struct {
+	// System is the database this node replicates (or replicates into). For a
+	// follower it must have been opened with core.Config.WALFollower.
+	System *core.System
+	// Dir is the WAL directory; the fencing EPOCH file lives beside the
+	// segments.
+	Dir string
+	// ListenAddr, when set, serves the replication stream to followers. Only
+	// a primary ships; a follower listens too (so it can serve immediately
+	// after promotion) but refuses handshakes until promoted.
+	ListenAddr string
+	// PrimaryAddr is the upstream replication address a follower pulls from.
+	// Empty means this node starts as primary.
+	PrimaryAddr string
+	// PrimaryClientAddr is the primary's SQL address, handed to clients in
+	// redirect errors.
+	PrimaryClientAddr string
+	// Dial overrides the outbound dialer (fault injection). Nil uses net.Dial.
+	Dial func(network, addr string) (net.Conn, error)
+	// FS overrides the filesystem for the EPOCH file. Nil uses the log's.
+	FS wal.FS
+}
+
+// Node runs the replication role of one process: shipper connections while
+// primary, the puller loop while follower, and the promotion path between.
+type Node struct {
+	sys  *core.System
+	log  *wal.Log
+	dir  string
+	fs   wal.FS
+	dial func(network, addr string) (net.Conn, error)
+
+	epoch   atomic.Uint64
+	primary atomic.Bool
+
+	ln net.Listener
+
+	mu          sync.Mutex
+	shippers    map[*shipper]struct{}
+	puller      *puller
+	primaryAddr string
+	closed      bool
+	wg          sync.WaitGroup
+}
+
+// epochFile is the fencing epoch's home, beside the segments it fences.
+const epochFile = "EPOCH"
+
+// Start brings the node up in the role Config implies and returns it.
+func Start(cfg Config) (*Node, error) {
+	if cfg.System == nil || cfg.System.WAL() == nil {
+		return nil, errors.New("repl: system must be durable (WALPath set)")
+	}
+	n := &Node{
+		sys:         cfg.System,
+		log:         cfg.System.WAL(),
+		dir:         cfg.Dir,
+		fs:          cfg.FS,
+		dial:        cfg.Dial,
+		shippers:    make(map[*shipper]struct{}),
+		primaryAddr: cfg.PrimaryAddr,
+	}
+	if n.fs == nil {
+		n.fs = n.log.FS()
+	}
+	if n.dial == nil {
+		n.dial = net.Dial
+	}
+	ep, err := n.readEpoch()
+	if err != nil {
+		return nil, err
+	}
+	follower := cfg.PrimaryAddr != ""
+	if !follower && ep == 0 {
+		// A primary's chain is generation 1 from the start, so a follower
+		// always learns a positive epoch to compare against.
+		ep = 1
+		if err := n.writeEpoch(ep); err != nil {
+			return nil, err
+		}
+	}
+	n.epoch.Store(ep)
+	n.primary.Store(!follower)
+	if follower {
+		if !cfg.System.IsFollower() {
+			return nil, errors.New("repl: follower node needs a system opened with WALFollower")
+		}
+		cfg.System.SetPrimaryAddr(cfg.PrimaryClientAddr)
+		p := &puller{n: n, addr: cfg.PrimaryAddr}
+		p.stop = make(chan struct{})
+		n.puller = p
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			p.run()
+		}()
+	}
+	if cfg.ListenAddr != "" {
+		ln, err := net.Listen("tcp", cfg.ListenAddr)
+		if err != nil {
+			n.Close() //nolint:errcheck
+			return nil, err
+		}
+		n.ln = ln
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.acceptLoop(ln)
+		}()
+	}
+	cfg.System.SetReplStatus(n.Status)
+	cfg.System.SetPromote(n.Promote)
+	return n, nil
+}
+
+// Addr returns the replication listen address ("" when not listening).
+func (n *Node) Addr() string {
+	if n.ln == nil {
+		return ""
+	}
+	return n.ln.Addr().String()
+}
+
+// Epoch returns the fencing epoch this node believes in.
+func (n *Node) Epoch() uint64 { return n.epoch.Load() }
+
+// IsPrimary reports the node's current role.
+func (n *Node) IsPrimary() bool { return n.primary.Load() }
+
+func (n *Node) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			conn.Close() //nolint:errcheck
+			return
+		}
+		s := &shipper{n: n, conn: conn, addr: conn.RemoteAddr().String()}
+		s.stop = make(chan struct{})
+		n.shippers[s] = struct{}{}
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			s.run()
+			n.mu.Lock()
+			delete(n.shippers, s)
+			n.mu.Unlock()
+		}()
+	}
+}
+
+// Promote turns this follower into the primary: the puller stops, the
+// fencing epoch advances past every epoch this node has seen (so the deposed
+// primary's stream — and this node's own old stream — are refused
+// everywhere the new epoch reaches), in-flight replicated transactions
+// publish, and the system starts accepting writes.
+func (n *Node) Promote() error {
+	if n.primary.Load() {
+		return errors.New("repl: already primary")
+	}
+	if !n.sys.Ready() {
+		return errors.New("repl: follower is mid-resync; cannot promote")
+	}
+	n.mu.Lock()
+	p := n.puller
+	n.puller = nil
+	n.mu.Unlock()
+	if p != nil {
+		p.shutdown()
+	}
+	if err := n.writeEpoch(n.epoch.Load() + 1); err != nil {
+		return fmt.Errorf("repl: promote: %w", err)
+	}
+	n.epoch.Add(1)
+	if err := n.sys.BecomePrimary(); err != nil {
+		return err
+	}
+	n.sys.SetPrimaryAddr("")
+	n.primary.Store(true)
+	return nil
+}
+
+// Close stops the puller, every shipper connection and the listener.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	p := n.puller
+	n.puller = nil
+	shippers := make([]*shipper, 0, len(n.shippers))
+	for s := range n.shippers {
+		shippers = append(shippers, s)
+	}
+	n.mu.Unlock()
+	if n.ln != nil {
+		n.ln.Close() //nolint:errcheck
+	}
+	if p != nil {
+		p.shutdown()
+	}
+	for _, s := range shippers {
+		s.close()
+	}
+	n.wg.Wait()
+	return nil
+}
+
+// Status reports replication health for the admin surface.
+func (n *Node) Status() core.ReplStatus {
+	st := core.ReplStatus{
+		Role:  "primary",
+		Ready: n.sys.Ready(),
+		Epoch: n.epoch.Load(),
+	}
+	pos := n.log.End()
+	st.Seq, st.Off = pos.Seq, pos.Off
+	if !n.primary.Load() {
+		st.Role = "follower"
+		st.Primary = n.primaryAddr
+		if a := n.sys.ReplApplier(); a != nil {
+			st.LastTS, st.Applied, st.Open = a.LastTS(), a.Applied(), a.OpenTxns()
+		}
+		n.mu.Lock()
+		if p := n.puller; p != nil {
+			st.Link = p.connected()
+		}
+		n.mu.Unlock()
+		return st
+	}
+	n.mu.Lock()
+	for s := range n.shippers {
+		if f, ok := s.status(); ok {
+			st.Followers = append(st.Followers, f)
+		}
+	}
+	n.mu.Unlock()
+	return st
+}
+
+// readEpoch loads the persisted fencing epoch (0 when never written).
+func (n *Node) readEpoch() (uint64, error) {
+	data, err := n.fs.ReadFile(filepath.Join(n.dir, epochFile))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	v, err := strconv.ParseUint(strings.TrimSpace(string(data)), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("repl: corrupt %s file: %w", epochFile, err)
+	}
+	return v, nil
+}
+
+// writeEpoch persists the fencing epoch durably (tmp, fsync, rename) — a
+// promotion or a learned newer epoch must survive a crash, or a deposed
+// primary's stream could be accepted after restart.
+func (n *Node) writeEpoch(v uint64) error {
+	path := filepath.Join(n.dir, epochFile)
+	tmp := path + ".tmp"
+	f, err := n.fs.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte(strconv.FormatUint(v, 10) + "\n")); err != nil {
+		f.Close() //nolint:errcheck
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close() //nolint:errcheck
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := n.fs.Rename(tmp, path); err != nil {
+		return err
+	}
+	return n.fs.SyncDir(n.dir)
+}
+
+// learnEpoch adopts a newer epoch seen from the upstream primary.
+func (n *Node) learnEpoch(v uint64) error {
+	if v <= n.epoch.Load() {
+		return nil
+	}
+	if err := n.writeEpoch(v); err != nil {
+		return err
+	}
+	n.epoch.Store(v)
+	return nil
+}

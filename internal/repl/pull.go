@@ -1,0 +1,285 @@
+package repl
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// puller is the follower's side of the stream: it dials the primary,
+// handshakes with its chain end, ingests shipped chunks byte-for-byte (whole
+// frames only, so the on-disk tail is always frame-aligned), replays every
+// record through the applier, and acknowledges durable positions. A broken
+// link redials with exponential backoff + jitter; a kill -9 at any byte
+// boundary is recovered by the log's standard torn-tail truncation on
+// restart, after which the handshake resumes exactly where the disk ends.
+type puller struct {
+	n    *Node
+	addr string
+	stop chan struct{}
+
+	mu   sync.Mutex
+	conn net.Conn
+	up   bool
+	done bool
+}
+
+func (p *puller) connected() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.up
+}
+
+// shutdown stops the loop and severs any live connection.
+func (p *puller) shutdown() {
+	p.mu.Lock()
+	if p.done {
+		p.mu.Unlock()
+		return
+	}
+	p.done = true
+	conn := p.conn
+	p.mu.Unlock()
+	close(p.stop)
+	if conn != nil {
+		conn.Close() //nolint:errcheck
+	}
+}
+
+func (p *puller) stopped() bool {
+	select {
+	case <-p.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+func (p *puller) run() {
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	backoff := 50 * time.Millisecond
+	const maxBackoff = 2 * time.Second
+	for !p.stopped() {
+		ok := p.session()
+		if p.stopped() {
+			return
+		}
+		if ok {
+			backoff = 50 * time.Millisecond // made progress; fail fast next time
+		}
+		// Full jitter: sleep uniformly in (0, backoff] so reconnecting
+		// followers do not stampede a recovering primary in lockstep.
+		d := time.Duration(rng.Int63n(int64(backoff))) + time.Millisecond
+		select {
+		case <-time.After(d):
+		case <-p.stop:
+			return
+		}
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+}
+
+// session runs one connection lifetime; ok reports whether the handshake
+// completed (used to reset the redial backoff).
+func (p *puller) session() (ok bool) {
+	conn, err := p.n.dial("tcp", p.addr)
+	if err != nil {
+		return false
+	}
+	p.mu.Lock()
+	if p.done {
+		p.mu.Unlock()
+		conn.Close() //nolint:errcheck
+		return false
+	}
+	p.conn = conn
+	p.mu.Unlock()
+	defer func() {
+		conn.Close() //nolint:errcheck
+		p.mu.Lock()
+		p.conn, p.up = nil, false
+		p.mu.Unlock()
+	}()
+
+	br := bufio.NewReaderSize(conn, 256<<10)
+	bw := bufio.NewWriterSize(conn, 32<<10)
+	log := p.n.log
+	applier := p.n.sys.ReplApplier()
+
+	pos, tailSnap := log.TailInfo()
+	hello := helloMsg{Epoch: p.n.epoch.Load(), Pos: pos, TailSnap: tailSnap}
+	if _, err := bw.WriteString(magic); err != nil {
+		return false
+	}
+	if err := writeFlush(bw, kHello, encodeHello(hello)); err != nil {
+		return false
+	}
+	kind, body, err := readMsg(br)
+	if err != nil {
+		return false
+	}
+	if kind == kErr {
+		return false // refused (not primary / fenced); back off and retry
+	}
+	if kind != kHelloOK {
+		return false
+	}
+	hok, err := decodeHelloOK(body)
+	if err != nil {
+		return false
+	}
+	if hok.Epoch < p.n.epoch.Load() {
+		// Fencing: this "primary" is from a deposed generation. Its chain
+		// may have diverged from the promoted timeline; accepting one byte
+		// could split the replica set's history.
+		return false
+	}
+	if err := p.n.learnEpoch(hok.Epoch); err != nil {
+		return false
+	}
+
+	resync := hok.Reset
+	if resync {
+		// Our position predates the primary's retained chain (or diverged):
+		// drop everything and take the full re-ship. Reads are refused until
+		// the replacement state has applied through the catch-up target.
+		p.n.sys.SetReady(false)
+		if err := applier.Reset(); err != nil {
+			return false
+		}
+		if err := log.IngestReset(); err != nil {
+			return false
+		}
+	}
+	p.mu.Lock()
+	p.up = true
+	p.mu.Unlock()
+
+	// active tracks whether the log has an open tail this session writes to;
+	// after recovery the tail segment is open unless it was sealed.
+	cur, _ := log.TailInfo()
+	active := false
+	if !resync {
+		if st, ok := log.SegmentStatus(cur.Seq); ok && !st.Sealed {
+			active = true
+		}
+	} else {
+		cur = wal.Position{}
+	}
+	var recs uint64 // records applied this connection
+	caughtUp := func() {
+		if resync && !hok.Ready.Less(cur) {
+			p.n.sys.SetReady(true)
+			resync = false
+		}
+	}
+	caughtUp() // an empty catch-up target (idle fresh primary) is current already
+
+	sendAck := func(echo int64) bool {
+		ack := ackMsg{Pos: cur, Records: recs, LastTS: applier.LastTS(), EchoNanos: echo}
+		return writeFlush(bw, kAck, encodeAck(ack)) == nil
+	}
+
+	for {
+		kind, body, err := readMsg(br)
+		if err != nil {
+			return true
+		}
+		switch kind {
+		case kSegOpen:
+			m, err := decodeSegOpen(body)
+			if err != nil {
+				return true
+			}
+			switch {
+			case m.Seq == cur.Seq:
+				// Re-announce of the segment our tail is in (resume) — or,
+				// with the tail sealed, a segment we already hold in full.
+			case m.Seq > cur.Seq:
+				if active {
+					return true // protocol error: previous segment never sealed
+				}
+				if err := log.IngestOpen(m.Seq, m.Snapshot); err != nil {
+					return true
+				}
+				if m.Snapshot {
+					applier.BeginSnapshot()
+				}
+				cur = wal.Position{Seq: m.Seq, Off: 0}
+				active = true
+			default:
+				return true // shipping backwards: protocol error
+			}
+		case kData:
+			m, err := decodeData(body)
+			if err != nil {
+				return true
+			}
+			if m.Seq != cur.Seq || !active {
+				return true
+			}
+			// Durability first: bytes land on disk before their effects are
+			// applied or acknowledged, so an acknowledged position is always
+			// replayable after a crash, and an injected write failure kills
+			// the session before state can run ahead of the disk.
+			if err := log.IngestWrite(m.Off, m.Payload); err != nil {
+				return true
+			}
+			records, err := wal.DecodeShipped(m.Payload, m.Off == 0)
+			if err != nil {
+				return true
+			}
+			if uint64(len(records)) != m.Records {
+				return true
+			}
+			for _, r := range records {
+				if err := p.apply(applier, r); err != nil {
+					return true
+				}
+			}
+			recs += uint64(len(records))
+			cur.Off = m.Off + int64(len(m.Payload))
+			caughtUp()
+			if !sendAck(m.SentNanos) {
+				return true
+			}
+		case kSegSeal:
+			m, err := decodeSegSeal(body)
+			if err != nil {
+				return true
+			}
+			if active && m.Seq == cur.Seq {
+				if err := log.IngestSeal(); err != nil {
+					return true
+				}
+				active = false
+			}
+			caughtUp()
+			if !sendAck(0) {
+				return true
+			}
+		case kErr:
+			return true
+		default:
+			return true
+		}
+	}
+}
+
+// apply replays one shipped record, keeping the follower's statement cache
+// coherent (the applier bumps the DDL version; nothing else is needed — the
+// engine re-plans against the replicated schema on the next statement).
+func (p *puller) apply(a *wal.Applier, r storage.LogRecord) error {
+	if err := a.Apply(r); err != nil {
+		return fmt.Errorf("repl: apply %v on %q: %w", r.Op, r.Table, err)
+	}
+	return nil
+}

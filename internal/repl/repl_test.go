@@ -1,0 +1,447 @@
+package repl
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/wal"
+)
+
+// testPrimary boots a durable primary system with a replication listener.
+// Segments rotate early (2 KiB) so a few dozen rows cross several segment
+// boundaries; auto-compaction is off so tests trigger it explicitly.
+func testPrimary(t *testing.T) (*core.System, *Node) {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "wal")
+	sys := core.NewSystem(core.Config{
+		WALPath: dir, WALSync: true, WALSegmentBytes: 2048, WALCompactAfter: -1,
+		CoordShards: 1,
+	})
+	if err := sys.Err(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := Start(Config{System: sys, Dir: dir, ListenAddr: "127.0.0.1:0"})
+	if err != nil {
+		sys.Close() //nolint:errcheck
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Close(); sys.Close() }) //nolint:errcheck
+	return sys, n
+}
+
+// testFollower boots a follower of primary in its own directory, optionally
+// through a fault dialer and a fault filesystem.
+func testFollower(t *testing.T, primaryRepl, dir string, d *fault.Dialer, fs wal.FS) (*core.System, *Node) {
+	t.Helper()
+	sys := core.NewSystem(core.Config{
+		WALPath: dir, WALSync: true, WALFollower: true, WALFS: fs, CoordShards: 1,
+	})
+	if err := sys.Err(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		System: sys, Dir: dir, PrimaryAddr: primaryRepl,
+		PrimaryClientAddr: "primary.example:7717",
+	}
+	if d != nil {
+		cfg.Dial = d.Dial
+	}
+	n, err := Start(cfg)
+	if err != nil {
+		sys.Close() //nolint:errcheck
+		t.Fatal(err)
+	}
+	return sys, n
+}
+
+func mustExec(t *testing.T, sys *core.System, sql string) {
+	t.Helper()
+	if _, err := sys.Execute(sql, "test"); err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+}
+
+// waitConverge blocks until the follower's chain end reaches the primary's
+// current end and the follower serves reads, or fails the test.
+func waitConverge(t *testing.T, p, f *core.System, timeout time.Duration) {
+	t.Helper()
+	target := p.WAL().End()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		cur, _ := f.WAL().TailInfo()
+		if cur == target && f.Ready() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	cur, _ := f.WAL().TailInfo()
+	t.Fatalf("follower did not converge: at %+v ready=%v, want %+v", cur, f.Ready(), target)
+}
+
+// assertIdentical checks logical state (catalog digest) and physical state:
+// walking back from the follower's tail, every segment must be a byte-exact
+// copy of the primary's, down to the primary's compaction horizon. Below that
+// horizon the follower legitimately holds MORE history than the primary — a
+// compaction under a connected follower rewrites the primary's old segments
+// into a snapshot the follower never needed, while the follower keeps its raw
+// copies for its own crash recovery. What must never happen is a shared
+// segment whose bytes differ.
+func assertIdentical(t *testing.T, p, f *core.System) {
+	t.Helper()
+	if pd, fd := wal.StateDigest(p.Catalog()), wal.StateDigest(f.Catalog()); pd != fd {
+		t.Fatalf("catalog digests differ: primary %x follower %x", pd[:8], fd[:8])
+	}
+	pm := make(map[uint64]wal.SegmentInfo)
+	for _, s := range p.WAL().Segments() {
+		pm[s.Seq] = s
+	}
+	fch := f.WAL().Segments()
+	compared := 0
+	for i := len(fch) - 1; i >= 0; i-- {
+		fs := fch[i]
+		ps, ok := pm[fs.Seq]
+		if !ok || ps.Snapshot != fs.Snapshot {
+			break // the primary compacted history below this point
+		}
+		pb, err := os.ReadFile(ps.Path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fb, err := os.ReadFile(fs.Path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(pb) != string(fb) {
+			t.Fatalf("segment %d differs between primary (%d B) and follower (%d B)", fs.Seq, len(pb), len(fb))
+		}
+		compared++
+	}
+	if compared == 0 {
+		t.Fatalf("no shared segments to compare: primary %+v follower %+v", p.WAL().Segments(), fch)
+	}
+}
+
+func TestFollowerReplicatesAndGatesWrites(t *testing.T) {
+	psys, pnode := testPrimary(t)
+	mustExec(t, psys, "CREATE TABLE Flights (fno INT, dest STRING, PRIMARY KEY(fno))")
+	for i := 0; i < 50; i++ {
+		mustExec(t, psys, fmt.Sprintf("INSERT INTO Flights VALUES (%d, 'Paris')", i))
+	}
+
+	fdir := filepath.Join(t.TempDir(), "wal")
+	fsys, fnode := testFollower(t, pnode.Addr(), fdir, nil, nil)
+	defer func() { fnode.Close(); fsys.Close() }() //nolint:errcheck
+	waitConverge(t, psys, fsys, 5*time.Second)
+	assertIdentical(t, psys, fsys)
+
+	// Snapshot reads serve at the replayed watermark.
+	res, err := fsys.Query("SELECT fno FROM Flights WHERE dest = 'Paris'")
+	if err != nil {
+		t.Fatalf("follower read: %v", err)
+	}
+	if len(res.Rows) != 50 {
+		t.Fatalf("follower sees %d rows, want 50", len(res.Rows))
+	}
+
+	// Writes redirect to the primary with its client address.
+	var np *core.NotPrimaryError
+	if _, err := fsys.Execute("INSERT INTO Flights VALUES (99, 'Oslo')", "test"); !errors.As(err, &np) {
+		t.Fatalf("follower write: got %v, want NotPrimaryError", err)
+	} else if np.Primary != "primary.example:7717" {
+		t.Fatalf("redirect names %q", np.Primary)
+	}
+
+	// Entangled submissions are writes-in-waiting; same redirect.
+	q := "SELECT ('A', fno) INTO ANSWER Reservation WHERE fno IN (SELECT fno FROM Flights) CHOOSE 1"
+	if _, err := fsys.Submit(q, "a"); !errors.As(err, &np) {
+		t.Fatalf("follower submit: got %v, want NotPrimaryError", err)
+	}
+
+	// Continuous replay: new primary writes arrive without a reconnect.
+	for i := 50; i < 60; i++ {
+		mustExec(t, psys, fmt.Sprintf("INSERT INTO Flights VALUES (%d, 'Oslo')", i))
+	}
+	waitConverge(t, psys, fsys, 5*time.Second)
+	res, err = fsys.Query("SELECT fno FROM Flights")
+	if err != nil || len(res.Rows) != 60 {
+		t.Fatalf("after live writes: %d rows, err %v", len(res.Rows), err)
+	}
+}
+
+func TestFollowerCatchUpAcrossCompaction(t *testing.T) {
+	psys, pnode := testPrimary(t)
+	mustExec(t, psys, "CREATE TABLE KV (k INT, v STRING, PRIMARY KEY(k))")
+	for i := 0; i < 20; i++ {
+		mustExec(t, psys, fmt.Sprintf("INSERT INTO KV VALUES (%d, 'r1')", i))
+	}
+
+	d := fault.NewDialer()
+	fdir := filepath.Join(t.TempDir(), "wal")
+	fsys, fnode := testFollower(t, pnode.Addr(), fdir, d, nil)
+	defer func() { fnode.Close(); fsys.Close() }() //nolint:errcheck
+	waitConverge(t, psys, fsys, 5*time.Second)
+	joined, _ := fsys.WAL().TailInfo()
+
+	// Disconnect, then write far past the follower's position and compact the
+	// chain away underneath it.
+	d.Partition()
+	for i := 20; i < 120; i++ {
+		mustExec(t, psys, fmt.Sprintf("INSERT INTO KV VALUES (%d, 'r2')", i))
+	}
+	waitShipperGone(t, pnode)
+	if err := psys.WAL().Compact(); err != nil {
+		t.Fatal(err)
+	}
+	segs := psys.WAL().Segments()
+	if len(segs) == 0 || !segs[0].Snapshot || segs[0].Seq <= joined.Seq {
+		t.Fatalf("compaction did not absorb the follower's position: %+v", segs)
+	}
+
+	// Reconnect: the handshake must answer "reset" and re-ship the whole
+	// chain, snapshot segment first.
+	d.Heal()
+	waitConverge(t, psys, fsys, 10*time.Second)
+	fsegs := fsys.WAL().Segments()
+	if len(fsegs) == 0 || fsegs[0].Seq != segs[0].Seq || !fsegs[0].Snapshot {
+		t.Fatalf("follower chain does not start at the primary's snapshot: %+v", fsegs)
+	}
+	assertIdentical(t, psys, fsys)
+	res, err := fsys.Query("SELECT k FROM KV")
+	if err != nil || len(res.Rows) != 120 {
+		t.Fatalf("after resync: %d rows, err %v", len(res.Rows), err)
+	}
+}
+
+// waitShipperGone waits for the primary to notice the broken connection and
+// release the follower's retention pin.
+func waitShipperGone(t *testing.T, n *Node) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		n.mu.Lock()
+		live := len(n.shippers)
+		n.mu.Unlock()
+		if live == 0 {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("shipper connection never drained")
+}
+
+func TestRetentionPinsHoldSegmentsForConnectedFollowers(t *testing.T) {
+	psys, pnode := testPrimary(t)
+	mustExec(t, psys, "CREATE TABLE KV (k INT, v STRING, PRIMARY KEY(k))")
+	pad := strings.Repeat("x", 120) // cross several 2 KiB segment boundaries
+	for i := 0; i < 60; i++ {
+		mustExec(t, psys, fmt.Sprintf("INSERT INTO KV VALUES (%d, '%s')", i, pad))
+	}
+	if n := len(psys.WAL().Segments()); n < 3 {
+		t.Fatalf("want a multi-segment chain, got %d segments", n)
+	}
+
+	// A raw protocol follower that handshakes at the chain start and never
+	// acknowledges: its pin must hold every segment in place.
+	conn, err := net.Dial("tcp", pnode.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	bw := bufio.NewWriter(conn)
+	br := bufio.NewReader(conn)
+	if _, err := bw.WriteString(magic); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFlush(bw, kHello, encodeHello(helloMsg{Epoch: 1})); err != nil {
+		t.Fatal(err)
+	}
+	kind, _, err := readMsg(br)
+	if err != nil || kind != kHelloOK {
+		t.Fatalf("handshake: kind %d err %v", kind, err)
+	}
+
+	firstSeq := psys.WAL().Segments()[0].Seq
+	if err := psys.WAL().Compact(); err != nil {
+		t.Fatal(err)
+	}
+	segs := psys.WAL().Segments()
+	if segs[0].Seq != firstSeq || segs[0].Snapshot {
+		t.Fatalf("compaction touched pinned segment %d: %+v", firstSeq, segs[0])
+	}
+
+	// Disconnect; once the pin is released the same compaction proceeds.
+	conn.Close() //nolint:errcheck
+	waitShipperGone(t, pnode)
+	if err := psys.WAL().Compact(); err != nil {
+		t.Fatal(err)
+	}
+	segs = psys.WAL().Segments()
+	if segs[0].Seq <= firstSeq || !segs[0].Snapshot {
+		t.Fatalf("compaction still held back after release: %+v", segs)
+	}
+}
+
+func TestPromotionBumpsEpochAndAcceptsWrites(t *testing.T) {
+	psys, pnode := testPrimary(t)
+	mustExec(t, psys, "CREATE TABLE KV (k INT, v STRING, PRIMARY KEY(k))")
+	for i := 0; i < 30; i++ {
+		mustExec(t, psys, fmt.Sprintf("INSERT INTO KV VALUES (%d, 'pre')", i))
+	}
+
+	fdir := filepath.Join(t.TempDir(), "wal")
+	fsys, fnode := testFollower(t, pnode.Addr(), fdir, nil, nil)
+	defer func() { fnode.Close(); fsys.Close() }() //nolint:errcheck
+	waitConverge(t, psys, fsys, 5*time.Second)
+
+	if err := fnode.Promote(); err != nil {
+		t.Fatal(err)
+	}
+	if got := fnode.Epoch(); got != 2 {
+		t.Fatalf("promoted epoch = %d, want 2", got)
+	}
+	if !fnode.IsPrimary() || fsys.IsFollower() {
+		t.Fatal("promotion did not flip the role")
+	}
+	// The persisted epoch survives a restart of the promoted node.
+	if b, err := os.ReadFile(filepath.Join(fdir, epochFile)); err != nil || string(b) != "2\n" {
+		t.Fatalf("EPOCH file = %q, %v; want \"2\\n\"", b, err)
+	}
+
+	// Writes are accepted now, and the clock moved past the replayed
+	// watermark so new commits order after every replicated one.
+	mustExec(t, fsys, "INSERT INTO KV VALUES (1000, 'post-promotion')")
+	res, err := fsys.Query("SELECT k FROM KV")
+	if err != nil || len(res.Rows) != 31 {
+		t.Fatalf("promoted node sees %d rows, err %v; want 31", len(res.Rows), err)
+	}
+
+	// The promoted node survives its own crash-recovery cycle: reopen the
+	// chain as a standalone primary and find everything still there.
+	fnode.Close() //nolint:errcheck
+	if err := fsys.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re := core.NewSystem(core.Config{WALPath: fdir, WALSync: true, CoordShards: 1})
+	if err := re.Err(); err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close() //nolint:errcheck
+	res, err = re.Query("SELECT k FROM KV")
+	if err != nil || len(res.Rows) != 31 {
+		t.Fatalf("recovered promoted node sees %d rows, err %v; want 31", len(res.Rows), err)
+	}
+}
+
+func TestFencingRefusesStaleAndDeposedStreams(t *testing.T) {
+	psys, pnode := testPrimary(t)
+	mustExec(t, psys, "CREATE TABLE KV (k INT, PRIMARY KEY(k))")
+	mustExec(t, psys, "INSERT INTO KV VALUES (1)")
+
+	// Shipper side: a follower from a later epoch (it witnessed a promotion
+	// this primary missed) must be refused — this primary's chain is stale.
+	conn, err := net.Dial("tcp", pnode.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	bw := bufio.NewWriter(conn)
+	br := bufio.NewReader(conn)
+	if _, err := bw.WriteString(magic); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFlush(bw, kHello, encodeHello(helloMsg{Epoch: pnode.Epoch() + 1})); err != nil {
+		t.Fatal(err)
+	}
+	kind, body, err := readMsg(br)
+	if err != nil || kind != kErr {
+		t.Fatalf("future-epoch hello: kind %d err %v, want kErr", kind, err)
+	}
+	if string(body) == "" {
+		t.Fatal("refusal carries no reason")
+	}
+
+	// Puller side: a follower that has learned a newer epoch refuses this
+	// deposed primary's stream and never ingests a byte from it.
+	fdir := filepath.Join(t.TempDir(), "wal")
+	if err := os.MkdirAll(fdir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(fdir, epochFile), []byte("2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fsys, fnode := testFollower(t, pnode.Addr(), fdir, nil, nil)
+	defer func() { fnode.Close(); fsys.Close() }() //nolint:errcheck
+	start, _ := fsys.WAL().TailInfo()              // a fresh log's own empty header, nothing shipped
+	time.Sleep(300 * time.Millisecond)
+	if a := fsys.ReplApplier(); a.Applied() != 0 {
+		t.Fatalf("follower at epoch 2 applied %d records from an epoch-1 primary", a.Applied())
+	}
+	if cur, _ := fsys.WAL().TailInfo(); cur != start {
+		t.Fatalf("follower at epoch 2 ingested bytes from an epoch-1 primary: %+v -> %+v", start, cur)
+	}
+	if fnode.Status().Link {
+		t.Fatal("follower at epoch 2 reports a live link to an epoch-1 primary")
+	}
+}
+
+func TestTornStreamAndKillMinusNineRecovery(t *testing.T) {
+	psys, pnode := testPrimary(t)
+	mustExec(t, psys, "CREATE TABLE KV (k INT, v STRING, PRIMARY KEY(k))")
+	for i := 0; i < 40; i++ {
+		mustExec(t, psys, fmt.Sprintf("INSERT INTO KV VALUES (%d, 'pre')", i))
+	}
+
+	ffs := fault.NewFS(wal.OSFS())
+	fdir := filepath.Join(t.TempDir(), "wal")
+	fsys, fnode := testFollower(t, pnode.Addr(), fdir, nil, ffs)
+	waitConverge(t, psys, fsys, 5*time.Second)
+
+	// Torn stream: the next ingest write persists 3 bytes of its chunk and
+	// fails — exactly what a crash mid-write leaves on disk.
+	ffs.ShortWrite(3)
+	for i := 40; i < 80; i++ {
+		mustExec(t, psys, fmt.Sprintf("INSERT INTO KV VALUES (%d, 'mid')", i))
+	}
+	// The injected failure is sticky for this process; "kill -9" it.
+	ffs.Kill()
+	fnode.Close() //nolint:errcheck
+	fsys.Close()  //nolint:errcheck
+
+	// Restart from the same directory: recovery truncates the torn tail at
+	// the last whole frame, the handshake resumes from the truncated end,
+	// and the chain converges byte-identically.
+	fsys2, fnode2 := testFollower(t, pnode.Addr(), fdir, nil, fault.NewFS(wal.OSFS()))
+	defer func() { fnode2.Close(); fsys2.Close() }() //nolint:errcheck
+	waitConverge(t, psys, fsys2, 10*time.Second)
+	assertIdentical(t, psys, fsys2)
+	res, err := fsys2.Query("SELECT k FROM KV")
+	if err != nil || len(res.Rows) != 80 {
+		t.Fatalf("after torn-stream recovery: %d rows, err %v; want 80", len(res.Rows), err)
+	}
+}
+
+func TestFollowerRejectsInteractiveTransactions(t *testing.T) {
+	psys, pnode := testPrimary(t)
+	mustExec(t, psys, "CREATE TABLE KV (k INT, PRIMARY KEY(k))")
+
+	fdir := filepath.Join(t.TempDir(), "wal")
+	fsys, fnode := testFollower(t, pnode.Addr(), fdir, nil, nil)
+	defer func() { fnode.Close(); fsys.Close() }() //nolint:errcheck
+	waitConverge(t, psys, fsys, 5*time.Second)
+
+	sess := core.NewSession(fsys)
+	defer sess.Close()
+	var np *core.NotPrimaryError
+	if _, err := sess.Execute("BEGIN", "t"); !errors.As(err, &np) {
+		t.Fatalf("BEGIN on follower: got %v, want NotPrimaryError", err)
+	}
+}

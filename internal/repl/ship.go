@@ -1,0 +1,255 @@
+package repl
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/wal"
+)
+
+// shipChunk is the target chunk size; a chunk grows past it only when a
+// single record frame is larger.
+const shipChunk = 256 << 10
+
+// shipper streams the log to one follower connection. The shipping goroutine
+// is the only writer on the connection; a companion goroutine reads acks,
+// advancing the retention pin so compaction never deletes a segment this
+// follower still needs.
+type shipper struct {
+	n    *Node
+	conn net.Conn
+	addr string
+	stop chan struct{}
+
+	mu        sync.Mutex
+	started   bool // handshake done; status() reports this follower
+	connected bool
+	shipPos   wal.Position
+	shipRecs  uint64
+	ack       ackMsg
+	lagMillis int64
+}
+
+func (s *shipper) close() {
+	s.conn.Close() //nolint:errcheck
+}
+
+// status reports this follower for the admin surface.
+func (s *shipper) status() (core.ReplFollowerStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.started {
+		return core.ReplFollowerStatus{}, false
+	}
+	lag := uint64(0)
+	if s.shipRecs > s.ack.Records {
+		lag = s.shipRecs - s.ack.Records
+	}
+	return core.ReplFollowerStatus{
+		Addr:       s.addr,
+		ShipSeq:    s.shipPos.Seq,
+		ShipOff:    s.shipPos.Off,
+		AckSeq:     s.ack.Pos.Seq,
+		AckOff:     s.ack.Pos.Off,
+		AckRecords: s.ack.Records,
+		LagRecords: lag,
+		LagMillis:  s.lagMillis,
+		Connected:  s.connected,
+	}, true
+}
+
+func (s *shipper) run() {
+	defer s.conn.Close() //nolint:errcheck
+	br := bufio.NewReaderSize(s.conn, 64<<10)
+	bw := bufio.NewWriterSize(s.conn, 64<<10)
+
+	var m [len(magic)]byte
+	if _, err := readFull(br, m[:]); err != nil || string(m[:]) != magic {
+		return
+	}
+	kind, body, err := readMsg(br)
+	if err != nil || kind != kHello {
+		return
+	}
+	hello, err := decodeHello(body)
+	if err != nil {
+		return
+	}
+	refuse := func(format string, args ...any) {
+		writeMsg(bw, kErr, encodeErr(fmt.Sprintf(format, args...))) //nolint:errcheck
+		bw.Flush()                                                  //nolint:errcheck
+	}
+	if !s.n.primary.Load() {
+		refuse("not primary")
+		return
+	}
+	epoch := s.n.epoch.Load()
+	if hello.Epoch > epoch {
+		// The follower has seen a newer generation: we were deposed while
+		// away. Refusing here is the fencing cut — our stale chain never
+		// reaches a follower of the new primary.
+		refuse("fenced: follower epoch %d is newer than ours (%d)", hello.Epoch, epoch)
+		return
+	}
+	segs, pin, reset, err := s.n.log.ShipHandshake(hello.Pos, hello.TailSnap)
+	if err != nil {
+		refuse("handshake: %v", err)
+		return
+	}
+	defer pin.Release()
+	// Everything through the chain end as of now is the catch-up target: a
+	// follower that was reset serves reads again once it has applied through
+	// here (the snapshot's trailing commit is at or before it).
+	ready := s.n.log.End()
+	if err := writeMsg(bw, kHelloOK, encodeHelloOK(helloOKMsg{Epoch: epoch, Reset: reset, Ready: ready})); err != nil {
+		return
+	}
+	if err := bw.Flush(); err != nil {
+		return
+	}
+
+	pos := hello.Pos
+	if reset {
+		pos = wal.Position{Seq: segs[0].Seq, Off: 0}
+	}
+	s.mu.Lock()
+	s.started, s.connected = true, true
+	s.shipPos = pos
+	s.mu.Unlock()
+
+	// Ack reader: advances the pin and the lag stats; its exit (connection
+	// gone) stops a shipper parked in WaitSegment.
+	go func() {
+		defer close(s.stop)
+		for {
+			kind, body, err := readMsg(br)
+			if err != nil || kind != kAck {
+				return
+			}
+			ack, err := decodeAck(body)
+			if err != nil {
+				return
+			}
+			pin.Update(ack.Pos.Seq)
+			s.mu.Lock()
+			s.ack = ack
+			if ack.EchoNanos > 0 {
+				if ms := (time.Now().UnixNano() - ack.EchoNanos) / int64(time.Millisecond); ms >= 0 {
+					s.lagMillis = ms
+				}
+			}
+			s.mu.Unlock()
+		}
+	}()
+
+	s.ship(bw, pos) //nolint:errcheck // a broken connection just ends this session; the follower redials
+
+	s.conn.Close() //nolint:errcheck
+	<-s.stop       // reader has exited; safe to drop the connection state
+	s.mu.Lock()
+	s.connected = false
+	s.mu.Unlock()
+}
+
+// ship streams from pos to the end of the log, parking when caught up.
+func (s *shipper) ship(bw *bufio.Writer, pos wal.Position) error {
+	var f wal.File
+	var openSeq uint64
+	defer func() {
+		if f != nil {
+			f.Close() //nolint:errcheck
+		}
+	}()
+	fsys := s.n.log.FS()
+	buf := make([]byte, shipChunk)
+	for {
+		st, ok := s.n.log.SegmentStatus(pos.Seq)
+		if !ok {
+			return fmt.Errorf("repl: segment %d vanished under its pin", pos.Seq)
+		}
+		if f == nil || openSeq != pos.Seq {
+			if f != nil {
+				f.Close() //nolint:errcheck
+				f = nil
+			}
+			nf, err := fsys.OpenFile(st.Path, os.O_RDONLY, 0)
+			if err != nil {
+				return err
+			}
+			f, openSeq = nf, pos.Seq
+			if err := writeFlush(bw, kSegOpen, encodeSegOpen(segOpenMsg{Seq: st.Seq, Snapshot: st.Snapshot})); err != nil {
+				return err
+			}
+		}
+		switch {
+		case pos.Off < st.Bytes:
+			n := st.Bytes - pos.Off
+			if n > int64(len(buf)) {
+				n = int64(len(buf))
+			}
+			if _, err := f.ReadAt(buf[:n], pos.Off); err != nil {
+				return err
+			}
+			cut, recs := wal.CutFrames(buf[:n], pos.Off == 0)
+			if cut == 0 {
+				// One frame larger than the buffer: grow and retry. The
+				// frame is complete on disk (sizes only advance at frame
+				// boundaries), so doubling terminates.
+				if int64(len(buf)) >= st.Bytes-pos.Off {
+					return fmt.Errorf("repl: segment %d not frame-aligned at %d", pos.Seq, pos.Off)
+				}
+				buf = make([]byte, 2*len(buf))
+				continue
+			}
+			hdr := encodeDataHeader(dataMsg{
+				Seq: pos.Seq, Off: pos.Off, Records: uint64(recs),
+				SentNanos: time.Now().UnixNano(),
+			})
+			frame := append(hdr, buf[:cut]...)
+			if err := writeFlush(bw, kData, frame); err != nil {
+				return err
+			}
+			pos.Off += int64(cut)
+			s.mu.Lock()
+			s.shipPos = pos
+			s.shipRecs += uint64(recs)
+			s.mu.Unlock()
+		case st.Sealed:
+			if err := writeFlush(bw, kSegSeal, encodeSegSeal(segSealMsg{Seq: pos.Seq})); err != nil {
+				return err
+			}
+			pos = wal.Position{Seq: pos.Seq + 1, Off: 0}
+			s.mu.Lock()
+			s.shipPos = pos
+			s.mu.Unlock()
+		default:
+			if err := s.n.log.WaitSegment(pos.Seq, pos.Off, s.stop); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func writeFlush(bw *bufio.Writer, kind byte, body []byte) error {
+	if err := writeMsg(bw, kind, body); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func readFull(r *bufio.Reader, p []byte) (int, error) {
+	n := 0
+	for n < len(p) {
+		m, err := r.Read(p[n:])
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,275 @@
+// Package repl is the WAL-shipping replication layer: a primary-side shipper
+// that streams the segmented log to followers, a follower-side puller that
+// ingests the stream byte-for-byte and replays it through a
+// transaction-demultiplexing applier, explicit failover promotion with epoch
+// fencing, and a retry/backoff client that fails reads over across a replica
+// set.
+//
+// Replication is physical and pull-based. A follower dials its primary's
+// replication port, presents the end of its local segment chain, and the
+// primary answers with either "resume here" or "reset" (the follower's
+// position was compacted away), then streams segment bytes. Every shipped
+// chunk ends on a record-frame boundary, so the follower's on-disk tail is
+// always frame-aligned and a reconnect after any crash resumes byte-exactly —
+// the primary's own torn-tail recovery handles whatever a kill -9 left
+// behind.
+package repl
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/wal"
+)
+
+// Stream preamble: the follower opens with magic, then framed messages flow
+// in both directions — data primary→follower, acks follower→primary.
+const magic = "YREP1"
+
+// Message kinds.
+const (
+	kHello   = 1 // f→p: epoch, chain end position, tail-snapshot flag
+	kHelloOK = 2 // p→f: epoch, reset flag, catch-up target position
+	kSegOpen = 3 // p→f: segment starts (seq, snapshot flag)
+	kData    = 4 // p→f: frame-aligned chunk (seq, off, records, sendNanos, bytes)
+	kSegSeal = 5 // p→f: segment is complete and sealed
+	kAck     = 6 // f→p: durably applied position, counters, timestamp echo
+	kErr     = 7 // p→f: handshake refusal (fencing, not-primary, bad position)
+)
+
+// maxMsgLen bounds one message: the largest record frame (64 MiB) plus
+// framing slack. A length beyond it means a corrupt or hostile stream.
+const maxMsgLen = 65 << 20
+
+type helloMsg struct {
+	Epoch    uint64
+	Pos      wal.Position
+	TailSnap bool
+}
+
+type helloOKMsg struct {
+	Epoch uint64
+	Reset bool
+	Ready wal.Position // applying through here makes the follower current
+}
+
+type segOpenMsg struct {
+	Seq      uint64
+	Snapshot bool
+}
+
+type dataMsg struct {
+	Seq       uint64
+	Off       int64
+	Records   uint64
+	SentNanos int64
+	Payload   []byte
+}
+
+type segSealMsg struct {
+	Seq uint64
+}
+
+type ackMsg struct {
+	Pos       wal.Position
+	Records   uint64 // records applied on this connection
+	LastTS    uint64 // replayed commit-timestamp watermark
+	EchoNanos int64  // SentNanos of the newest applied chunk
+}
+
+type errMsg struct {
+	Msg string
+}
+
+// writeMsg frames and writes one message: u32 length | kind | body.
+func writeMsg(w io.Writer, kind byte, body []byte) error {
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(1+len(body)))
+	hdr[4] = kind
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// readMsg reads one framed message.
+func readMsg(r *bufio.Reader) (kind byte, body []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || n > maxMsgLen {
+		return 0, nil, fmt.Errorf("repl: message length %d out of range", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, err
+	}
+	return buf[0], buf[1:], nil
+}
+
+// Field helpers: all integers are uvarints (offsets and nanos cast through
+// uint64), bools one byte.
+
+func appendU(dst []byte, v uint64) []byte { return binary.AppendUvarint(dst, v) }
+
+func appendB(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+type reader struct {
+	b []byte
+}
+
+func (r *reader) u() (uint64, error) {
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		return 0, fmt.Errorf("repl: truncated message field")
+	}
+	r.b = r.b[n:]
+	return v, nil
+}
+
+func (r *reader) boolean() (bool, error) {
+	if len(r.b) == 0 {
+		return false, fmt.Errorf("repl: truncated message field")
+	}
+	v := r.b[0] != 0
+	r.b = r.b[1:]
+	return v, nil
+}
+
+func encodeHello(m helloMsg) []byte {
+	b := appendU(nil, m.Epoch)
+	b = appendU(b, m.Pos.Seq)
+	b = appendU(b, uint64(m.Pos.Off))
+	return appendB(b, m.TailSnap)
+}
+
+func decodeHello(b []byte) (m helloMsg, err error) {
+	r := reader{b}
+	if m.Epoch, err = r.u(); err != nil {
+		return
+	}
+	if m.Pos.Seq, err = r.u(); err != nil {
+		return
+	}
+	var off uint64
+	if off, err = r.u(); err != nil {
+		return
+	}
+	m.Pos.Off = int64(off)
+	m.TailSnap, err = r.boolean()
+	return
+}
+
+func encodeHelloOK(m helloOKMsg) []byte {
+	b := appendU(nil, m.Epoch)
+	b = appendB(b, m.Reset)
+	b = appendU(b, m.Ready.Seq)
+	return appendU(b, uint64(m.Ready.Off))
+}
+
+func decodeHelloOK(b []byte) (m helloOKMsg, err error) {
+	r := reader{b}
+	if m.Epoch, err = r.u(); err != nil {
+		return
+	}
+	if m.Reset, err = r.boolean(); err != nil {
+		return
+	}
+	if m.Ready.Seq, err = r.u(); err != nil {
+		return
+	}
+	var off uint64
+	off, err = r.u()
+	m.Ready.Off = int64(off)
+	return
+}
+
+func encodeSegOpen(m segOpenMsg) []byte {
+	return appendB(appendU(nil, m.Seq), m.Snapshot)
+}
+
+func decodeSegOpen(b []byte) (m segOpenMsg, err error) {
+	r := reader{b}
+	if m.Seq, err = r.u(); err != nil {
+		return
+	}
+	m.Snapshot, err = r.boolean()
+	return
+}
+
+func encodeDataHeader(m dataMsg) []byte {
+	b := appendU(nil, m.Seq)
+	b = appendU(b, uint64(m.Off))
+	b = appendU(b, m.Records)
+	return appendU(b, uint64(m.SentNanos))
+}
+
+func decodeData(b []byte) (m dataMsg, err error) {
+	r := reader{b}
+	if m.Seq, err = r.u(); err != nil {
+		return
+	}
+	var v uint64
+	if v, err = r.u(); err != nil {
+		return
+	}
+	m.Off = int64(v)
+	if m.Records, err = r.u(); err != nil {
+		return
+	}
+	if v, err = r.u(); err != nil {
+		return
+	}
+	m.SentNanos = int64(v)
+	m.Payload = r.b
+	return
+}
+
+func encodeSegSeal(m segSealMsg) []byte { return appendU(nil, m.Seq) }
+
+func decodeSegSeal(b []byte) (m segSealMsg, err error) {
+	r := reader{b}
+	m.Seq, err = r.u()
+	return
+}
+
+func encodeAck(m ackMsg) []byte {
+	b := appendU(nil, m.Pos.Seq)
+	b = appendU(b, uint64(m.Pos.Off))
+	b = appendU(b, m.Records)
+	b = appendU(b, m.LastTS)
+	return appendU(b, uint64(m.EchoNanos))
+}
+
+func decodeAck(b []byte) (m ackMsg, err error) {
+	r := reader{b}
+	if m.Pos.Seq, err = r.u(); err != nil {
+		return
+	}
+	var v uint64
+	if v, err = r.u(); err != nil {
+		return
+	}
+	m.Pos.Off = int64(v)
+	if m.Records, err = r.u(); err != nil {
+		return
+	}
+	if m.LastTS, err = r.u(); err != nil {
+		return
+	}
+	v, err = r.u()
+	m.EchoNanos = int64(v)
+	return
+}
+
+func encodeErr(msg string) []byte { return []byte(msg) }

@@ -163,7 +163,7 @@ func (c *Client) readLoop() {
 			})
 		case kindError:
 			c.complete(rp.id, func(*clientCall) clientReply {
-				return clientReply{rp: rp, err: fmt.Errorf("server: %s", rp.text)}
+				return clientReply{rp: rp, err: wireError(rp.errCode, rp.text)}
 			})
 		default: // kindOK, kindEntangled, kindAdminResp
 			c.complete(rp.id, func(*clientCall) clientReply {

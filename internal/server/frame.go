@@ -84,6 +84,8 @@ const (
 	adminShards  = 4 // []coord.ShardInfo
 	adminWAL     = 5 // core.WALStats (+ a "durable at all" flag)
 	adminTxn     = 6 // txn.Stats — transaction/MVCC counters
+	adminRepl    = 7 // core.ReplStatus — replication role/lag/health
+	adminPromote = 8 // promote this follower to primary; replies adminRepl
 )
 
 // Error codes carried by kindError.
@@ -91,6 +93,8 @@ const (
 	errGeneric     = 1 // server-side execution error; message explains
 	errFrameTooBig = 2 // frame length exceeded maxFrameLen
 	errBadFrame    = 3 // frame failed to decode
+	errNotPrimary  = 4 // write/entangled statement on a read-only follower
+	errNotReady    = 5 // follower mid-resync; retry shortly (possibly elsewhere)
 )
 
 // adminCode maps the legacy admin command names onto v2 codes.
@@ -108,6 +112,10 @@ func adminCode(name string) (byte, bool) {
 		return adminWAL, true
 	case "txn":
 		return adminTxn, true
+	case "repl":
+		return adminRepl, true
+	case "promote":
+		return adminPromote, true
 	default:
 		return 0, false
 	}
@@ -749,6 +757,7 @@ type reply struct {
 	walStats core.WALStats
 	durable  bool
 	txnStats txn.Stats
+	repl     core.ReplStatus
 }
 
 // decodeReply decodes a server frame (the client side of the codec; also the
@@ -1026,6 +1035,8 @@ func decodeAdminBody(rp *reply, r *frameReader) (err error) {
 			}
 		}
 		return nil
+	case adminRepl, adminPromote:
+		return decodeAdminRepl(rp, r)
 	default:
 		return fmt.Errorf("server: unknown admin code %d", rp.admin)
 	}

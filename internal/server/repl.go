@@ -1,0 +1,181 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Typed replication errors the wire protocol carries by code, so clients can
+// react without parsing messages: redirect writes to the primary, retry reads
+// elsewhere while a follower resyncs.
+var (
+	// ErrNotPrimary reports a write or entangled statement sent to a
+	// read-only follower. The message names the primary when known.
+	ErrNotPrimary = errors.New("server: not primary")
+	// ErrNotReady reports a follower mid-resync; the read is retryable —
+	// here shortly, or on another replica now.
+	ErrNotReady = errors.New("server: follower not ready")
+)
+
+// replErrCode maps a core-layer error to its wire error code.
+func replErrCode(err error) byte {
+	var np *core.NotPrimaryError
+	switch {
+	case errors.As(err, &np):
+		return errNotPrimary
+	case errors.Is(err, core.ErrNotReady):
+		return errNotReady
+	default:
+		return errGeneric
+	}
+}
+
+// WireError is an error the server answered with (as opposed to a transport
+// failure). Code distinguishes replication redirects from plain statement
+// errors; errors.Is sees through to ErrNotPrimary / ErrNotReady.
+type WireError struct {
+	Code byte
+	Msg  string
+}
+
+func (e *WireError) Error() string { return fmt.Sprintf("server: %s", e.Msg) }
+
+func (e *WireError) Unwrap() error {
+	switch e.Code {
+	case errNotPrimary:
+		return ErrNotPrimary
+	case errNotReady:
+		return ErrNotReady
+	default:
+		return nil
+	}
+}
+
+// wireError reconstructs a typed error from a reply's error code (client
+// side).
+func wireError(code byte, msg string) error {
+	return &WireError{Code: code, Msg: msg}
+}
+
+func (f *frameBuf) appendAdminRepl(id uint64, code byte, st core.ReplStatus) error {
+	f.begin(kindAdminResp, id)
+	f.u8(code)
+	f.string(st.Role)
+	f.bool(st.Ready)
+	f.uvarint(st.Epoch)
+	f.string(st.Primary)
+	f.uvarint(st.Seq)
+	f.varint(st.Off)
+	f.uvarint(st.LastTS)
+	f.uvarint(st.Applied)
+	f.varint(int64(st.Open))
+	f.bool(st.Link)
+	f.uvarint(uint64(len(st.Followers)))
+	for _, fo := range st.Followers {
+		f.string(fo.Addr)
+		f.uvarint(fo.ShipSeq)
+		f.varint(fo.ShipOff)
+		f.uvarint(fo.AckSeq)
+		f.varint(fo.AckOff)
+		f.uvarint(fo.AckRecords)
+		f.uvarint(fo.LagRecords)
+		f.varint(fo.LagMillis)
+		f.bool(fo.Connected)
+	}
+	return f.end()
+}
+
+func decodeAdminRepl(rp *reply, r *frameReader) (err error) {
+	st := &rp.repl
+	if st.Role, err = r.string(); err != nil {
+		return err
+	}
+	if st.Ready, err = r.bool(); err != nil {
+		return err
+	}
+	if st.Epoch, err = r.uvarint(); err != nil {
+		return err
+	}
+	if st.Primary, err = r.string(); err != nil {
+		return err
+	}
+	if st.Seq, err = r.uvarint(); err != nil {
+		return err
+	}
+	if st.Off, err = r.varint(); err != nil {
+		return err
+	}
+	if st.LastTS, err = r.uvarint(); err != nil {
+		return err
+	}
+	if st.Applied, err = r.uvarint(); err != nil {
+		return err
+	}
+	open, err := r.varint()
+	if err != nil {
+		return err
+	}
+	st.Open = int(open)
+	if st.Link, err = r.bool(); err != nil {
+		return err
+	}
+	n, err := r.count()
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		var fo core.ReplFollowerStatus
+		if fo.Addr, err = r.string(); err != nil {
+			return err
+		}
+		if fo.ShipSeq, err = r.uvarint(); err != nil {
+			return err
+		}
+		if fo.ShipOff, err = r.varint(); err != nil {
+			return err
+		}
+		if fo.AckSeq, err = r.uvarint(); err != nil {
+			return err
+		}
+		if fo.AckOff, err = r.varint(); err != nil {
+			return err
+		}
+		if fo.AckRecords, err = r.uvarint(); err != nil {
+			return err
+		}
+		if fo.LagRecords, err = r.uvarint(); err != nil {
+			return err
+		}
+		if fo.LagMillis, err = r.varint(); err != nil {
+			return err
+		}
+		if fo.Connected, err = r.bool(); err != nil {
+			return err
+		}
+		st.Followers = append(st.Followers, fo)
+	}
+	return nil
+}
+
+// AdminRepl returns the server's replication status (role, epoch, per-
+// follower ship/ack positions and lag).
+func (c *Client) AdminRepl(ctx context.Context) (core.ReplStatus, error) {
+	rp, err := c.admin(ctx, adminRepl)
+	if err != nil {
+		return core.ReplStatus{}, err
+	}
+	return rp.repl, nil
+}
+
+// AdminPromote promotes the server (a follower) to primary and returns its
+// post-promotion replication status.
+func (c *Client) AdminPromote(ctx context.Context) (core.ReplStatus, error) {
+	rp, err := c.admin(ctx, adminPromote)
+	if err != nil {
+		return core.ReplStatus{}, err
+	}
+	return rp.repl, nil
+}

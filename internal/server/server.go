@@ -454,7 +454,7 @@ func (cn *conn) reply(enc *frameBuf, req request, resp *core.Response, err error
 		if cancel != nil {
 			cancel()
 		}
-		enc.appendError(req.id, errGeneric, err.Error()) //nolint:errcheck
+		enc.appendError(req.id, replErrCode(err), err.Error()) //nolint:errcheck
 		return
 	}
 	if resp.Entangled {
@@ -503,6 +503,14 @@ func (cn *conn) adminV2(enc *frameBuf, req request) {
 		enc.appendAdminWAL(req.id, st, ok) //nolint:errcheck
 	case adminTxn:
 		enc.appendAdminTxn(req.id, sys.TxnStats()) //nolint:errcheck
+	case adminRepl:
+		enc.appendAdminRepl(req.id, adminRepl, sys.ReplStatus()) //nolint:errcheck
+	case adminPromote:
+		if err := sys.Promote(); err != nil {
+			enc.appendError(req.id, errGeneric, err.Error()) //nolint:errcheck
+			return
+		}
+		enc.appendAdminRepl(req.id, adminPromote, sys.ReplStatus()) //nolint:errcheck
 	default:
 		enc.appendError(req.id, errGeneric, fmt.Sprintf("unknown admin command %d", req.admin)) //nolint:errcheck
 	}

@@ -43,6 +43,10 @@ type Catalog struct {
 
 	conflicts   atomic.Uint64 // first-committer-wins aborts, cumulative
 	gcReclaimed atomic.Uint64 // versions pruned by GC, cumulative
+
+	// writerSeq hands out writer ids, the Txn tags that group one
+	// transaction's log records (see LogRecord.Txn).
+	writerSeq atomic.Uint64
 }
 
 // BumpDDL advances the schema version; call after any DDL that can change

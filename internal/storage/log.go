@@ -40,6 +40,12 @@ type LogRecord struct {
 	RowID  RowID         // row ops
 	Row    value.Tuple   // OpInsert/OpUpdate/OpRestore
 	TS     uint64        // OpCommit: the transaction's commit timestamp
+	// Txn groups the records of one writing transaction: row ops carry the
+	// writer's id and the transaction's OpCommit repeats it, so a consumer
+	// replaying the log concurrently with readers (a replication follower)
+	// can publish each transaction's rows atomically at its commit record.
+	// Zero means auto-commit: the record is its own atomic unit.
+	Txn uint64
 }
 
 // LogFunc receives every mutation after it is applied, while the table lock

@@ -119,6 +119,7 @@ func visibleVersion(h *version, s Snapshot) *version {
 // operations followed by compensating ones) intact.
 type Writer struct {
 	cat   *Catalog
+	id    uint64        // Txn tag on this writer's log records
 	state atomic.Uint64 // 0 in flight; commit ts once published
 	snap  uint64        // owning txn's snapshot, for first-committer-wins checks
 	vers  []wver
@@ -131,7 +132,22 @@ type wver struct {
 
 // NewWriter returns a writer drawing commit timestamps from the catalog's
 // clock.
-func (c *Catalog) NewWriter() *Writer { return &Writer{cat: c} }
+func (c *Catalog) NewWriter() *Writer { return &Writer{cat: c, id: c.writerSeq.Add(1)} }
+
+// NewTaggedWriter returns a writer whose log records carry the given Txn tag
+// instead of a locally drawn one. The replication applier preserves the
+// original primary's tags this way, so the commit records a promoted follower
+// emits into its own log demultiplex correctly on any downstream follower.
+func (c *Catalog) NewTaggedWriter(id uint64) *Writer { return &Writer{cat: c, id: id} }
+
+// txnID is the LogRecord.Txn tag for a mutation made on behalf of w (zero for
+// auto-commit mutations, which are their own atomic unit).
+func txnID(w *Writer) uint64 {
+	if w == nil {
+		return 0
+	}
+	return w.id
+}
 
 // SetSnapshot records the owning transaction's snapshot timestamp; writes
 // compare committed row timestamps against it to detect conflicts.
@@ -165,7 +181,7 @@ func (w *Writer) Commit() uint64 {
 		i = j
 	}
 	if len(w.vers) > 0 {
-		w.cat.log.emit(LogRecord{Op: OpCommit, TS: ts})
+		w.cat.log.emit(LogRecord{Op: OpCommit, TS: ts, Txn: w.id})
 	}
 	return ts
 }

@@ -377,7 +377,7 @@ func (t *Table) insert(w *Writer, tup value.Tuple) (RowID, error) {
 	t.rows[id] = v
 	t.addKeys(id, v.tup)
 	t.version++
-	t.log.emit(LogRecord{Op: OpInsert, Table: t.name, RowID: id, Row: tup})
+	t.log.emit(LogRecord{Op: OpInsert, Table: t.name, RowID: id, Row: tup, Txn: txnID(w)})
 	return id, nil
 }
 
@@ -448,7 +448,7 @@ func (t *Table) delete(w *Writer, id RowID) (value.Tuple, error) {
 		w.touch(t, h)
 	}
 	t.version++
-	t.log.emit(LogRecord{Op: OpDelete, Table: t.name, RowID: id})
+	t.log.emit(LogRecord{Op: OpDelete, Table: t.name, RowID: id, Txn: txnID(w)})
 	return h.tup, nil
 }
 
@@ -493,7 +493,7 @@ func (t *Table) update(w *Writer, id RowID, tup value.Tuple) (value.Tuple, error
 	t.rows[id] = v
 	t.addKeys(id, v.tup) // old version keys stay until GC prunes the version
 	t.version++
-	t.log.emit(LogRecord{Op: OpUpdate, Table: t.name, RowID: id, Row: tup})
+	t.log.emit(LogRecord{Op: OpUpdate, Table: t.name, RowID: id, Row: tup, Txn: txnID(w)})
 	return h.tup, nil
 }
 
@@ -532,7 +532,7 @@ func (t *Table) restoreAt(w *Writer, id RowID, tup value.Tuple) error {
 		t.nextID = id + 1
 	}
 	t.version++
-	t.log.emit(LogRecord{Op: OpRestore, Table: t.name, RowID: id, Row: tup})
+	t.log.emit(LogRecord{Op: OpRestore, Table: t.name, RowID: id, Row: tup, Txn: txnID(w)})
 	return nil
 }
 

@@ -186,12 +186,14 @@ func appendRecordPayload(dst []byte, r storage.LogRecord) ([]byte, error) {
 		}
 	case storage.OpCommit:
 		dst = appendUvarint(dst, r.TS)
+		dst = appendUvarint(dst, r.Txn)
 	default: // row ops
 		dst = appendUvarint(dst, uint64(r.RowID))
 		dst = appendUvarint(dst, uint64(len(r.Row)))
 		for _, v := range r.Row {
 			dst = appendValue(dst, v)
 		}
+		dst = appendUvarint(dst, r.Txn)
 	}
 	return dst, nil
 }
@@ -396,6 +398,13 @@ func decodeRecordPayload(b []byte) (storage.LogRecord, error) {
 		if rec.TS, err = r.uvarint(); err != nil {
 			return rec, err
 		}
+		// The transaction tag was added after format v2 shipped; records
+		// written before it simply end here, so it decodes as optional.
+		if r.remaining() > 0 {
+			if rec.Txn, err = r.uvarint(); err != nil {
+				return rec, err
+			}
+		}
 	default:
 		rid, err := r.uvarint()
 		if err != nil {
@@ -414,6 +423,12 @@ func decodeRecordPayload(b []byte) (storage.LogRecord, error) {
 					return rec, err
 				}
 				rec.Row = append(rec.Row, v)
+			}
+		}
+		// Optional transaction tag, as for OpCommit above.
+		if r.remaining() > 0 {
+			if rec.Txn, err = r.uvarint(); err != nil {
+				return rec, err
 			}
 		}
 	}

@@ -1,0 +1,88 @@
+package wal
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strings"
+
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// StateDigest hashes the logical database state: every table's name, schema,
+// primary key, indexes, and live rows (sorted by row id — scan order is
+// map-iteration order and differs between processes). Two replicas that
+// applied the same committed writes produce identical digests.
+//
+// Commit timestamps are deliberately excluded: read-only transactions
+// advance the commit clock without logging, so clocks legitimately diverge
+// between replicas that hold byte-identical data.
+func StateDigest(cat *storage.Catalog) [32]byte {
+	h := sha256.New()
+	var buf []byte
+	put := func(b []byte) { h.Write(b) }
+	putStr := func(s string) {
+		buf = binary.AppendUvarint(buf[:0], uint64(len(s)))
+		put(buf)
+		put([]byte(s))
+	}
+	putU64 := func(v uint64) {
+		buf = binary.AppendUvarint(buf[:0], v)
+		put(buf)
+	}
+
+	for _, name := range cat.Names() {
+		tbl, err := cat.Get(name)
+		if err != nil {
+			continue // dropped between Names and Get
+		}
+		putStr("T")
+		putStr(tbl.Name())
+		sch := tbl.Schema()
+		putU64(uint64(len(sch.Columns)))
+		for _, c := range sch.Columns {
+			putStr(c.Name)
+			put([]byte{byte(c.Type)})
+		}
+		pk := tbl.PrimaryKey()
+		putU64(uint64(len(pk)))
+		for _, p := range pk {
+			putStr(p)
+		}
+		var ixs []string
+		for _, ix := range tbl.Indexes() {
+			ixs = append(ixs, strings.Join(ix, ","))
+		}
+		for _, col := range tbl.OrderedIndexes() {
+			ixs = append(ixs, "ord:"+col)
+		}
+		sort.Strings(ixs)
+		putU64(uint64(len(ixs)))
+		for _, ix := range ixs {
+			putStr(ix)
+		}
+
+		type rowEnt struct {
+			id  storage.RowID
+			row value.Tuple
+		}
+		var rows []rowEnt
+		tbl.Scan(func(id storage.RowID, row value.Tuple) bool {
+			rows = append(rows, rowEnt{id, row})
+			return true
+		})
+		sort.Slice(rows, func(i, j int) bool { return rows[i].id < rows[j].id })
+		putU64(uint64(len(rows)))
+		var venc []byte
+		for _, r := range rows {
+			putU64(uint64(r.id))
+			putU64(uint64(len(r.row)))
+			for _, v := range r.row {
+				venc = appendValue(venc[:0], v)
+				put(venc)
+			}
+		}
+	}
+	return [32]byte(h.Sum(nil))
+}

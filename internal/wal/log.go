@@ -33,6 +33,7 @@ import (
 type Log struct {
 	dir  string
 	opts Options
+	fs   FS
 
 	mu       sync.Mutex
 	cond     *sync.Cond // signals flushing/compacting ownership changes
@@ -40,11 +41,19 @@ type Log struct {
 	closed   bool
 	flushing bool
 
-	f    *os.File // active segment, owned by the current flush leader
-	seq  uint64   // active segment sequence number
-	size int64    // active segment size in bytes
+	f    File   // active segment, owned by the current flush leader
+	seq  uint64 // active segment sequence number
+	size int64  // active segment size in bytes
 
 	sealed []SegmentInfo
+
+	// Log-shipping state (ship.go): watch wakes shippers parked on the tail,
+	// pins hold back compaction for connected followers, and the ingest
+	// fields track a follower-side segment being received.
+	watch      chan struct{}
+	pins       []*Pin
+	ingestTmp  string // staging path of a snapshot segment being ingested
+	ingestSnap bool   // active segment is an ingested snapshot
 
 	pending  []byte     // encoded records awaiting the next flush
 	spare    []byte     // recycled batch buffer
@@ -97,6 +106,15 @@ type Options struct {
 	// many sealed segments have accumulated. Zero disables auto-compaction
 	// (Compact can still be called explicitly).
 	CompactAfter int
+	// FS is the filesystem the log runs on. Nil selects the real one; the
+	// fault-injection harness substitutes a wrapper that scripts write
+	// errors, short writes and crashes.
+	FS FS
+	// Replay overrides how recovery applies decoded records. Nil applies
+	// each record directly into the catalog. A replication follower installs
+	// its Applier here so recovery rebuilds in-flight transaction state
+	// instead of surfacing partially-shipped transactions.
+	Replay func(storage.LogRecord) error
 }
 
 // CommitStats counts the write-side activity of a Log.
@@ -132,7 +150,10 @@ func OpenLog(dir string, cat *storage.Catalog, opts Options) (*Log, error) {
 	if opts.SegmentBytes < segHeaderLen+16 {
 		opts.SegmentBytes = segHeaderLen + 16
 	}
-	l := &Log{dir: dir, opts: opts}
+	if opts.FS == nil {
+		opts.FS = OSFS()
+	}
+	l := &Log{dir: dir, opts: opts, fs: opts.FS, watch: make(chan struct{})}
 	l.cond = sync.NewCond(&l.mu)
 	if err := l.prepareDir(); err != nil {
 		return nil, err
@@ -151,43 +172,47 @@ func OpenLog(dir string, cat *storage.Catalog, opts Options) (*Log, error) {
 // where every step is atomic and resumable after a crash.
 func (l *Log) prepareDir() error {
 	legacy := l.dir + ".legacy"
-	if fi, err := os.Stat(l.dir); err == nil && !fi.IsDir() {
+	if fi, err := l.fs.Stat(l.dir); err == nil && !fi.IsDir() {
 		// A legacy JSON log: move it aside, make the directory.
-		if err := os.Rename(l.dir, legacy); err != nil {
+		if err := l.fs.Rename(l.dir, legacy); err != nil {
 			return err
 		}
 	} else if err != nil && !errors.Is(err, os.ErrNotExist) {
 		return err
 	}
-	if err := os.MkdirAll(l.dir, 0o755); err != nil {
+	if err := l.fs.MkdirAll(l.dir, 0o755); err != nil {
 		return err
 	}
-	if _, err := os.Stat(legacy); err == nil {
+	if _, err := l.fs.Stat(legacy); err == nil {
 		dst := filepath.Join(l.dir, jsonName(1))
-		if _, err := os.Stat(dst); err == nil {
+		if _, err := l.fs.Stat(dst); err == nil {
 			return fmt.Errorf("wal: migration conflict: both %s and %s exist", legacy, dst)
 		}
 		// Make the adopted segment durable before the rename publishes it.
-		if f, err := os.Open(legacy); err == nil {
+		if f, err := l.fs.OpenFile(legacy, os.O_RDONLY, 0); err == nil {
 			f.Sync() //nolint:errcheck // best effort; the data survived this long
 			f.Close()
 		}
-		if err := os.Rename(legacy, dst); err != nil {
+		if err := l.fs.Rename(legacy, dst); err != nil {
 			return err
 		}
 		l.recovered.Migrated = true
 	}
-	if err := syncDir(filepath.Dir(l.dir)); err != nil {
+	if err := l.fs.SyncDir(filepath.Dir(l.dir)); err != nil {
 		return err
 	}
-	return syncDir(l.dir)
+	return l.fs.SyncDir(l.dir)
 }
 
 // recover replays the segments into cat and opens the active segment.
 func (l *Log) recover(cat *storage.Catalog) error {
-	segs, err := listSegments(l.dir)
+	segs, err := listSegments(l.fs, l.dir)
 	if err != nil {
 		return err
+	}
+	apply := l.opts.Replay
+	if apply == nil {
+		apply = func(rec storage.LogRecord) error { return applyRecord(cat, rec) }
 	}
 
 	// Decode every segment concurrently; the results are applied strictly in
@@ -200,7 +225,7 @@ func (l *Log) recover(cat *storage.Catalog) error {
 		go func(i int) {
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			results[i] <- decodeSegmentFile(segs[i])
+			results[i] <- decodeSegmentFile(l.fs, segs[i])
 		}(i)
 	}
 
@@ -245,7 +270,7 @@ func (l *Log) recover(cat *storage.Catalog) error {
 			}
 		}
 		for n, rec := range d.recs {
-			if err := applyRecord(cat, rec); err != nil {
+			if err := apply(rec); err != nil {
 				return fmt.Errorf("wal: replay %s record %d (%s %s): %w",
 					filepath.Base(segs[i].Path), n+1, rec.Op, rec.Table, err)
 			}
@@ -254,7 +279,7 @@ func (l *Log) recover(cat *storage.Catalog) error {
 	}
 	l.recovered.Segments = len(segs)
 	for _, p := range stale {
-		os.Remove(p) //nolint:errcheck // best effort; ignored by future recoveries anyway
+		l.fs.Remove(p) //nolint:errcheck // best effort; ignored by future recoveries anyway
 	}
 
 	// Open the tail for appending. A binary, non-snapshot tail is truncated
@@ -275,7 +300,7 @@ func (l *Log) recover(cat *storage.Catalog) error {
 	}
 	if reuse >= 0 {
 		s, d := segs[reuse], decoded[reuse]
-		f, err := os.OpenFile(s.Path, os.O_RDWR, 0o644)
+		f, err := l.fs.OpenFile(s.Path, os.O_RDWR, 0o644)
 		if err != nil {
 			return err
 		}
@@ -328,9 +353,9 @@ func (l *Log) recover(cat *storage.Catalog) error {
 }
 
 // newSegmentFile creates and headers a segment file.
-func newSegmentFile(dir string, seq uint64) (*os.File, error) {
+func newSegmentFile(fsys FS, dir string, seq uint64) (File, error) {
 	path := filepath.Join(dir, segName(seq))
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -338,7 +363,7 @@ func newSegmentFile(dir string, seq uint64) (*os.File, error) {
 		f.Close()
 		return nil, err
 	}
-	if err := syncDir(dir); err != nil {
+	if err := fsys.SyncDir(dir); err != nil {
 		f.Close()
 		return nil, err
 	}
@@ -347,7 +372,7 @@ func newSegmentFile(dir string, seq uint64) (*os.File, error) {
 
 // createSegment creates a new active segment (recovery-time helper).
 func (l *Log) createSegment(seq uint64) error {
-	f, err := newSegmentFile(l.dir, seq)
+	f, err := newSegmentFile(l.fs, l.dir, seq)
 	if err != nil {
 		return err
 	}
@@ -574,6 +599,7 @@ func (l *Log) finishFlushLocked(n int, werr error) {
 	if l.opts.Sync == SyncAlways {
 		l.stats.Syncs++
 	}
+	l.bumpWatchLocked()
 	if l.size >= l.opts.SegmentBytes {
 		l.rotateOwned()
 	}
@@ -590,16 +616,17 @@ func (l *Log) rotateOwned() {
 	if sealErr == nil {
 		sealErr = oldF.Close()
 	}
-	var newF *os.File
+	var newF File
 	var createErr error
 	if sealErr == nil {
-		newF, createErr = newSegmentFile(l.dir, oldSeq+1)
+		newF, createErr = newSegmentFile(l.fs, l.dir, oldSeq+1)
 	}
 	l.mu.Lock()
 	if sealErr != nil {
 		if l.err == nil {
 			l.err = sealErr
 		}
+		l.bumpWatchLocked()
 		return
 	}
 	if l.opts.Sync != SyncAlways {
@@ -614,9 +641,11 @@ func (l *Log) rotateOwned() {
 		if l.err == nil {
 			l.err = createErr
 		}
+		l.bumpWatchLocked()
 		return
 	}
 	l.f, l.seq, l.size = newF, oldSeq+1, segHeaderLen
+	l.bumpWatchLocked()
 	l.maybeAutoCompactLocked()
 }
 
@@ -626,11 +655,11 @@ func (l *Log) maybeAutoCompactLocked() {
 	if l.opts.CompactAfter <= 0 || l.compacting || l.closed {
 		return
 	}
-	if len(l.sealed) < l.opts.CompactAfter {
+	segs := l.compactableLocked()
+	if len(segs) < l.opts.CompactAfter {
 		return
 	}
 	l.compacting = true
-	segs := append([]SegmentInfo(nil), l.sealed...)
 	l.bg.Add(1)
 	go func() {
 		defer l.bg.Done()
@@ -691,14 +720,14 @@ func (l *Log) Compact() error {
 	for l.compacting { // let a background run finish, then fold in the rest
 		l.cond.Wait()
 	}
-	if len(l.sealed) == 0 {
+	segs := l.compactableLocked()
+	if len(segs) == 0 {
 		err := l.compactErr
 		l.compactErr = nil
 		l.mu.Unlock()
 		return err
 	}
 	l.compacting = true
-	segs := append([]SegmentInfo(nil), l.sealed...)
 	l.mu.Unlock()
 
 	err := l.compactSegments(segs)
@@ -722,7 +751,7 @@ func (l *Log) Compact() error {
 func (l *Log) compactSegments(segs []SegmentInfo) error {
 	scratch := storage.NewCatalog()
 	for _, s := range segs {
-		d := decodeSegmentFile(s)
+		d := decodeSegmentFile(l.fs, s)
 		if d.err != nil {
 			return fmt.Errorf("wal: compact: segment %s: %w", filepath.Base(s.Path), d.err)
 		}
@@ -736,7 +765,7 @@ func (l *Log) compactSegments(segs []SegmentInfo) error {
 		}
 	}
 	last := segs[len(segs)-1]
-	size, err := writeSnapshotSegment(l.dir, last.Seq, scratch)
+	size, err := writeSnapshotSegment(l.fs, l.dir, last.Seq, scratch)
 	if err != nil {
 		return fmt.Errorf("wal: compact: %w", err)
 	}
@@ -744,9 +773,9 @@ func (l *Log) compactSegments(segs []SegmentInfo) error {
 		if s.Seq == last.Seq && !s.JSON {
 			continue // replaced by the snapshot via rename
 		}
-		os.Remove(s.Path) //nolint:errcheck // stale; recovery ignores leftovers
+		l.fs.Remove(s.Path) //nolint:errcheck // stale; recovery ignores leftovers
 	}
-	if err := syncDir(l.dir); err != nil {
+	if err := l.fs.SyncDir(l.dir); err != nil {
 		return err
 	}
 
@@ -820,6 +849,7 @@ func (l *Log) Close() error {
 		l.drainLocked()
 	}
 	l.closed = true
+	l.bumpWatchLocked()
 	err := l.err
 	if l.f != nil {
 		syncErr := l.f.Sync()
@@ -846,11 +876,15 @@ func (l *Log) Stats() CommitStats {
 	return l.stats
 }
 
-// Segments lists the on-disk segments, sealed first, active last.
+// Segments lists the on-disk segments, sealed first, active last. Between an
+// ingest seal and the next ingest open there is no active segment.
 func (l *Log) Segments() []SegmentInfo {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	segs := append([]SegmentInfo(nil), l.sealed...)
+	if l.f == nil {
+		return segs
+	}
 	return append(segs, SegmentInfo{
 		Seq: l.seq, Path: filepath.Join(l.dir, segName(l.seq)), Bytes: l.size,
 	})

@@ -325,7 +325,7 @@ func TestCompactSealedSegments(t *testing.T) {
 		t.Errorf("compact did not shrink: %d → %d bytes", beforeBytes, afterBytes)
 	}
 	// On-disk file set matches the in-memory view.
-	onDisk, err := listSegments(dir)
+	onDisk, err := listSegments(OSFS(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -54,8 +54,8 @@ func parseSegName(name string) (seq uint64, isJSON, ok bool) {
 }
 
 // listSegments returns the segments in dir in replay (sequence) order.
-func listSegments(dir string) ([]SegmentInfo, error) {
-	ents, err := os.ReadDir(dir)
+func listSegments(fsys FS, dir string) ([]SegmentInfo, error) {
+	ents, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -157,8 +157,8 @@ func decodeJSONSegment(data []byte) segmentDecode {
 }
 
 // decodeSegmentFile reads and decodes one segment.
-func decodeSegmentFile(seg SegmentInfo) segmentDecode {
-	data, err := os.ReadFile(seg.Path)
+func decodeSegmentFile(fsys FS, seg SegmentInfo) segmentDecode {
+	data, err := fsys.ReadFile(seg.Path)
 	if err != nil {
 		return segmentDecode{err: err}
 	}
@@ -172,13 +172,13 @@ func decodeSegmentFile(seg SegmentInfo) segmentDecode {
 // record sequence that recreates cat (one create per table, its indexes, one
 // insert per live row), through a temp file, fsync and rename. It returns
 // the final file size.
-func writeSnapshotSegment(dir string, seq uint64, cat *storage.Catalog) (int64, error) {
+func writeSnapshotSegment(fsys FS, dir string, seq uint64, cat *storage.Catalog) (int64, error) {
 	tmp := filepath.Join(dir, segName(seq)+".tmp")
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := fsys.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return 0, err
 	}
-	defer os.Remove(tmp) // no-op after the rename succeeds
+	defer fsys.Remove(tmp) // no-op after the rename succeeds
 	w := bufio.NewWriterSize(f, 1<<20)
 	if _, err := w.Write(segHeader(flagSnapshot)); err != nil {
 		f.Close()
@@ -214,10 +214,10 @@ func writeSnapshotSegment(dir string, seq uint64, cat *storage.Catalog) (int64, 
 	if err := f.Close(); err != nil {
 		return 0, err
 	}
-	if err := os.Rename(tmp, filepath.Join(dir, segName(seq))); err != nil {
+	if err := fsys.Rename(tmp, filepath.Join(dir, segName(seq))); err != nil {
 		return 0, err
 	}
-	return size, syncDir(dir)
+	return size, fsys.SyncDir(dir)
 }
 
 // snapshotRecords feeds emit the canonical snapshot record sequence for cat.
@@ -255,22 +255,4 @@ func snapshotRecords(cat *storage.Catalog, emit func(storage.LogRecord) error) e
 	// Preserve the MVCC commit clock across compaction: replaying the
 	// snapshot alone would restart the clock near the row count.
 	return emit(storage.LogRecord{Op: storage.OpCommit, TS: cat.Clock()})
-}
-
-// syncDir fsyncs a directory so renames and creates within it are durable.
-// Errors are returned, but platforms where directories cannot be synced get
-// a pass (best effort, as in most Go WAL implementations).
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	err = d.Sync()
-	if cerr := d.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil && (os.IsPermission(err) || strings.Contains(err.Error(), "invalid argument")) {
-		return nil
-	}
-	return err
 }

@@ -83,7 +83,8 @@ type jsonRecord struct {
 	IxCol []string    `json:"cols,omitempty"` // index
 	RowID uint64      `json:"rid,omitempty"`
 	Row   []jsonValue `json:"row,omitempty"`
-	TS    uint64      `json:"ts,omitempty"` // commit
+	TS    uint64      `json:"ts,omitempty"`  // commit
+	Txn   uint64      `json:"txn,omitempty"` // transaction tag (0 = auto-commit)
 }
 
 type colDef struct {
@@ -92,7 +93,7 @@ type colDef struct {
 }
 
 func encodeRecord(r storage.LogRecord) jsonRecord {
-	j := jsonRecord{Op: string(r.Op), Table: r.Table, PK: r.PK, IxCol: r.Cols, RowID: uint64(r.RowID), TS: r.TS}
+	j := jsonRecord{Op: string(r.Op), Table: r.Table, PK: r.PK, IxCol: r.Cols, RowID: uint64(r.RowID), TS: r.TS, Txn: r.Txn}
 	if r.Schema != nil {
 		for _, c := range r.Schema.Columns {
 			j.Cols = append(j.Cols, colDef{Name: c.Name, Type: c.Type.String()})
@@ -238,7 +239,7 @@ func isLastLine(sc *bufio.Scanner) bool { return !sc.Scan() }
 func decodeJSONRecord(j jsonRecord) (storage.LogRecord, error) {
 	rec := storage.LogRecord{
 		Op: storage.LogOp(j.Op), Table: j.Table,
-		PK: j.PK, Cols: j.IxCol, RowID: storage.RowID(j.RowID), TS: j.TS,
+		PK: j.PK, Cols: j.IxCol, RowID: storage.RowID(j.RowID), TS: j.TS, Txn: j.Txn,
 	}
 	switch rec.Op {
 	case storage.OpCreateTable, storage.OpDropTable, storage.OpCreateIndex,
