@@ -174,7 +174,6 @@ func NewSystem(cfg Config) *System {
 			// applier so concurrent readers only ever see committed states.
 			opts.CompactAfter = 0
 			s.repl.follower = true
-			s.repl.ready = true // existing replayed state is consistent
 			s.repl.applier = wal.NewApplier(cat)
 			opts.Replay = s.repl.applier.Apply
 		}
@@ -191,6 +190,15 @@ func NewSystem(cfg Config) *System {
 			// rest); readers see only through the last replayed commit. No
 			// log hook: shipped records are appended by the replication
 			// layer, byte-for-byte.
+			//
+			// The read gate opens only if recovery actually replayed state: a
+			// chain is always a consistent (if stale) prefix of the primary's
+			// history, but a chain emptied by a crash mid-resync (IngestReset
+			// ran, the replacement never landed) reopens like a brand-new
+			// follower, and serving its empty catalog would present data loss
+			// as truth. Such a node stays not-ready — and unpromotable —
+			// until its next catch-up completes.
+			s.repl.ready = s.repl.applier.Applied() > 0
 			return s
 		}
 		if cfg.WALSync {

@@ -39,7 +39,7 @@ type ReplFollowerStatus struct {
 	Addr       string // follower's remote address
 	ShipSeq    uint64 // segment/offset the shipper has sent through
 	ShipOff    int64
-	AckSeq     uint64 // segment/offset the follower has durably applied
+	AckSeq     uint64 // segment/offset the follower has applied (durable up to its last seal)
 	AckOff     int64
 	AckRecords uint64 // records acknowledged in this connection
 	LagRecords uint64 // records shipped but not yet acknowledged

@@ -15,7 +15,7 @@ import (
 // puller is the follower's side of the stream: it dials the primary,
 // handshakes with its chain end, ingests shipped chunks byte-for-byte (whole
 // frames only, so the on-disk tail is always frame-aligned), replays every
-// record through the applier, and acknowledges durable positions. A broken
+// record through the applier, and acknowledges applied positions. A broken
 // link redials with exponential backoff + jitter; a kill -9 at any byte
 // boundary is recovered by the log's standard torn-tail truncation on
 // restart, after which the handshake resumes exactly where the disk ends.
@@ -175,13 +175,19 @@ func (p *puller) session() (ok bool) {
 		cur = wal.Position{}
 	}
 	var recs uint64 // records applied this connection
+	// The read gate: closed above for a resync, and possibly already closed
+	// by a restart that recovered no replayed state. Either way it reopens
+	// only once the local chain has applied through the primary's catch-up
+	// target (cur >= hok.Ready), never before — a just-reset follower at
+	// cur={0,0} stays dark until the replacement state has fully landed.
+	ready := !resync && p.n.sys.Ready()
 	caughtUp := func() {
-		if resync && !hok.Ready.Less(cur) {
+		if !ready && !cur.Less(hok.Ready) {
 			p.n.sys.SetReady(true)
-			resync = false
+			ready = true
 		}
 	}
-	caughtUp() // an empty catch-up target (idle fresh primary) is current already
+	caughtUp() // a chain already at the catch-up target is current as-is
 
 	sendAck := func(echo int64) bool {
 		ack := ackMsg{Pos: cur, Records: recs, LastTS: applier.LastTS(), EchoNanos: echo}
@@ -226,10 +232,12 @@ func (p *puller) session() (ok bool) {
 			if m.Seq != cur.Seq || !active {
 				return true
 			}
-			// Durability first: bytes land on disk before their effects are
-			// applied or acknowledged, so an acknowledged position is always
-			// replayable after a crash, and an injected write failure kills
-			// the session before state can run ahead of the disk.
+			// Log first: bytes land in the local chain before their effects
+			// are applied or acknowledged, so an injected write failure kills
+			// the session before state can run ahead of the log. The write is
+			// not fsynced — durability arrives at the next seal — so a crash
+			// can regress an acknowledged tail; the reconnect handshake then
+			// resumes from whatever survived on disk, at worst as a reset.
 			if err := log.IngestWrite(m.Off, m.Payload); err != nil {
 				return true
 			}

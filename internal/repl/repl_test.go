@@ -221,6 +221,208 @@ func TestFollowerCatchUpAcrossCompaction(t *testing.T) {
 	}
 }
 
+// TestResyncGatesReadsUntilCaughtUp drives a real follower from a scripted
+// primary so the not-ready window is held open deliberately: the handshake
+// orders a reset, which discards the follower's state, and from that moment
+// until the chain has applied through the handshake's catch-up target every
+// read must be refused with core.ErrNotReady — never served from the empty or
+// partially re-shipped catalog. Reads come back exactly at the target.
+func TestResyncGatesReadsUntilCaughtUp(t *testing.T) {
+	// Donor chain: a standalone durable system whose segment files the
+	// scripted shipper re-ships verbatim.
+	ddir := filepath.Join(t.TempDir(), "wal")
+	donor := core.NewSystem(core.Config{WALPath: ddir, WALSync: true, WALSegmentBytes: 2048, WALCompactAfter: -1, CoordShards: 1})
+	if err := donor.Err(); err != nil {
+		t.Fatal(err)
+	}
+	defer donor.Close() //nolint:errcheck
+	mustExec(t, donor, "CREATE TABLE KV (k INT, v STRING, PRIMARY KEY(k))")
+	pad := strings.Repeat("x", 150) // cross several 2 KiB segment boundaries
+	for i := 0; i < 30; i++ {
+		mustExec(t, donor, fmt.Sprintf("INSERT INTO KV VALUES (%d, '%s')", i, pad))
+	}
+	segs := donor.WAL().Segments()
+	target := donor.WAL().End()
+	if len(segs) < 2 {
+		t.Fatalf("want a multi-segment donor chain, got %d segments", len(segs))
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close() //nolint:errcheck
+
+	fdir := filepath.Join(t.TempDir(), "wal")
+	fsys, fnode := testFollower(t, ln.Addr().String(), fdir, nil, nil)
+	defer func() { fnode.Close(); fsys.Close() }() //nolint:errcheck
+
+	conn, err := ln.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close() //nolint:errcheck
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	var m [len(magic)]byte
+	if _, err := readFull(br, m[:]); err != nil || string(m[:]) != magic {
+		t.Fatalf("magic %q: %v", m, err)
+	}
+	kind, body, err := readMsg(br)
+	if err != nil || kind != kHello {
+		t.Fatalf("hello: kind %d err %v", kind, err)
+	}
+	if _, err := decodeHello(body); err != nil {
+		t.Fatal(err)
+	}
+	// Order a reset with the donor's end as the catch-up target, then stall:
+	// the follower wipes its chain and must hold its read gate closed.
+	if err := writeFlush(bw, kHelloOK, encodeHelloOK(helloOKMsg{Epoch: 1, Reset: true, Ready: target})); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if cur, _ := fsys.WAL().TailInfo(); cur == (wal.Position{}) {
+			break // IngestReset done; SetReady(false) strictly precedes it
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("follower never processed the reset")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if fsys.Ready() {
+		t.Fatal("follower ready mid-resync, before any replacement state applied")
+	}
+	if _, err := fsys.Query("SELECT k FROM KV"); !errors.Is(err, core.ErrNotReady) {
+		t.Fatalf("mid-resync read: got %v, want ErrNotReady", err)
+	}
+
+	// Ship the donor chain one segment per chunk, checking the gate at every
+	// acknowledged position below the target. Acks arrive after the follower
+	// applied the chunk (and ran its catch-up check), so each one is a
+	// deterministic observation point.
+	readAck := func() ackMsg {
+		t.Helper()
+		kind, body, err := readMsg(br)
+		if err != nil || kind != kAck {
+			t.Fatalf("ack: kind %d err %v", kind, err)
+		}
+		ack, err := decodeAck(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ack
+	}
+	expectGate := func(ack ackMsg) {
+		t.Helper()
+		if ack.Pos.Less(target) && fsys.Ready() {
+			t.Fatalf("follower ready at %+v, before catch-up target %+v", ack.Pos, target)
+		}
+	}
+	var last ackMsg
+	for _, s := range segs {
+		if err := writeFlush(bw, kSegOpen, encodeSegOpen(segOpenMsg{Seq: s.Seq, Snapshot: s.Snapshot})); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(s.Path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data = data[:s.Bytes]
+		n, recs := wal.CutFrames(data, true)
+		if n != len(data) {
+			t.Fatalf("donor segment %d not frame-aligned: %d of %d bytes", s.Seq, n, len(data))
+		}
+		hdr := encodeDataHeader(dataMsg{Seq: s.Seq, Off: 0, Records: uint64(recs)})
+		if err := writeFlush(bw, kData, append(hdr, data...)); err != nil {
+			t.Fatal(err)
+		}
+		last = readAck()
+		expectGate(last)
+		if s.Sealed {
+			if err := writeFlush(bw, kSegSeal, encodeSegSeal(segSealMsg{Seq: s.Seq})); err != nil {
+				t.Fatal(err)
+			}
+			last = readAck()
+			expectGate(last)
+		}
+	}
+	if last.Pos != target {
+		t.Fatalf("final ack at %+v, want the catch-up target %+v", last.Pos, target)
+	}
+	if !fsys.Ready() {
+		t.Fatal("follower not ready after applying through the catch-up target")
+	}
+	res, err := fsys.Query("SELECT k FROM KV")
+	if err != nil || len(res.Rows) != 30 {
+		t.Fatalf("after catch-up: %d rows, err %v; want 30", len(res.Rows), err)
+	}
+}
+
+// TestEmptyChainRestartStaysNotReady covers the restart half of the resync
+// gate: a follower killed after IngestReset wiped its chain but before any
+// replacement state landed reopens with an empty catalog. That node must come
+// back not-ready (refusing reads and promotion) instead of serving emptiness
+// as truth, and must become ready again through a normal catch-up.
+func TestEmptyChainRestartStaysNotReady(t *testing.T) {
+	psys, pnode := testPrimary(t)
+	mustExec(t, psys, "CREATE TABLE KV (k INT, PRIMARY KEY(k))")
+	mustExec(t, psys, "INSERT INTO KV VALUES (1)")
+
+	// Simulate the mid-resync crash by hand: a follower directory whose chain
+	// is empty — exactly what a kill -9 between IngestReset and the first
+	// replacement seal leaves behind (segment files gone, nothing replayed).
+	fdir := filepath.Join(t.TempDir(), "wal")
+	fsys := core.NewSystem(core.Config{WALPath: fdir, WALSync: true, WALFollower: true, CoordShards: 1})
+	if err := fsys.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if fsys.Ready() {
+		t.Fatal("follower with an empty recovered chain reports ready")
+	}
+	if _, err := fsys.Query("SELECT k FROM KV"); !errors.Is(err, core.ErrNotReady) {
+		t.Fatalf("read on empty follower: got %v, want ErrNotReady", err)
+	}
+
+	// With the upstream link held down the node stays not-ready, and failover
+	// promotion must refuse it — promoting an empty follower is data loss.
+	d := fault.NewDialer()
+	d.Partition()
+	fnode, err := Start(Config{System: fsys, Dir: fdir, PrimaryAddr: pnode.Addr(), Dial: d.Dial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { fnode.Close(); fsys.Close() }() //nolint:errcheck
+	if err := fnode.Promote(); err == nil || fnode.IsPrimary() {
+		t.Fatalf("promotion of a not-ready empty follower did not refuse (err %v)", err)
+	}
+
+	// Catch-up restores readiness; a restarted follower with actual replayed
+	// state, by contrast, serves (stale) reads immediately.
+	d.Heal()
+	waitConverge(t, psys, fsys, 5*time.Second)
+	res, err := fsys.Query("SELECT k FROM KV")
+	if err != nil || len(res.Rows) != 1 {
+		t.Fatalf("after catch-up: %d rows, err %v; want 1", len(res.Rows), err)
+	}
+
+	fnode.Close() //nolint:errcheck
+	if err := fsys.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re := core.NewSystem(core.Config{WALPath: fdir, WALSync: true, WALFollower: true, CoordShards: 1})
+	if err := re.Err(); err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close() //nolint:errcheck
+	if !re.Ready() {
+		t.Fatal("follower with replayed state reopened not-ready")
+	}
+	if res, err := re.Query("SELECT k FROM KV"); err != nil || len(res.Rows) != 1 {
+		t.Fatalf("stale read after restart: %d rows, err %v; want 1", len(res.Rows), err)
+	}
+}
+
 // waitShipperGone waits for the primary to notice the broken connection and
 // release the follower's retention pin.
 func waitShipperGone(t *testing.T, n *Node) {

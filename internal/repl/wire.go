@@ -35,7 +35,7 @@ const (
 	kSegOpen = 3 // p→f: segment starts (seq, snapshot flag)
 	kData    = 4 // p→f: frame-aligned chunk (seq, off, records, sendNanos, bytes)
 	kSegSeal = 5 // p→f: segment is complete and sealed
-	kAck     = 6 // f→p: durably applied position, counters, timestamp echo
+	kAck     = 6 // f→p: applied position (durable only up to the last seal), counters, timestamp echo
 	kErr     = 7 // p→f: handshake refusal (fencing, not-primary, bad position)
 )
 
@@ -73,10 +73,10 @@ type segSealMsg struct {
 }
 
 type ackMsg struct {
-	Pos       wal.Position
-	Records   uint64 // records applied on this connection
-	LastTS    uint64 // replayed commit-timestamp watermark
-	EchoNanos int64  // SentNanos of the newest applied chunk
+	Pos       wal.Position // written and applied; fsynced only through the last seal
+	Records   uint64       // records applied on this connection
+	LastTS    uint64       // replayed commit-timestamp watermark
+	EchoNanos int64        // SentNanos of the newest applied chunk
 }
 
 type errMsg struct {
