@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -1173,4 +1174,115 @@ func waitReplConverge(b *testing.B, p, f *core.System) {
 		time.Sleep(100 * time.Microsecond)
 	}
 	b.Fatalf("follower did not converge to %+v", target)
+}
+
+// BenchmarkE17_LargerThanRAM — the disk-backed storage engine's headline
+// experiment: a cold History relation several times larger than the buffer
+// pool, so every sweep of the key space pages frames in and out of the 8 KiB
+// heap files. Three access patterns run against the same loaded system:
+// prepared point lookups and ordered-index range scans over the cold data
+// (paging on the measured path), and pair coordination on pinned relations
+// (Flights/Hotels plus the auto-pinned answer store), which must stay fully
+// resident — its coldMiss/op metric reports any pool traffic it causes.
+func BenchmarkE17_LargerThanRAM(b *testing.B) {
+	const (
+		poolPages = 128   // 1 MiB of 8 KiB frames
+		coldRows  = 40000 // ~5 MiB of heap records — ~5x the pool
+		batch     = 250   // rows per multi-row INSERT during load
+	)
+	sys, err := workload.NewSystemConfig(17, core.Config{
+		BufferPoolPages: poolPages,
+		PinnedRelations: []string{"Flights", "Hotels"},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sys.Close() //nolint:errcheck
+	if err := sys.Exec("CREATE TABLE History (id INT, body STRING, PRIMARY KEY (id));"); err != nil {
+		b.Fatal(err)
+	}
+	pad := strings.Repeat("x", 112)
+	for lo := 0; lo < coldRows; lo += batch {
+		var sb strings.Builder
+		sb.WriteString("INSERT INTO History VALUES ")
+		for i := lo; i < lo+batch; i++ {
+			if i > lo {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "(%d, 'h%06d-%s')", i, i, pad)
+		}
+		if err := sys.Exec(sb.String()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := sys.Exec("CREATE ORDERED INDEX ON History (id);"); err != nil {
+		b.Fatal(err)
+	}
+	st, ok := sys.PoolStats()
+	if !ok {
+		b.Fatal("buffer pool reported disabled")
+	}
+	if st.HeapPages < 4*st.Capacity {
+		b.Fatalf("dataset did not outgrow the pool: %d heap pages vs %d frames", st.HeapPages, st.Capacity)
+	}
+
+	b.Run("point", func(b *testing.B) {
+		probe, err := sys.Prepare("SELECT body FROM History WHERE id = ?")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// A stride coprime to the row count sweeps the whole heap, so
+			// lookups keep missing the pool instead of settling into a
+			// cached working set.
+			id := (i * 9973) % coldRows
+			resp, err := probe.ExecuteBound(value.NewTuple(id), "")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(resp.Result.Rows) != 1 {
+				b.Fatalf("id %d returned %d rows", id, len(resp.Result.Rows))
+			}
+		}
+		b.StopTimer()
+		if st, ok := sys.PoolStats(); ok {
+			b.ReportMetric(100*st.HitRatio(), "hit%")
+			b.ReportMetric(float64(st.HeapPages), "heapPages")
+		}
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		b.ReportMetric(float64(ms.HeapAlloc)/(1<<20), "heapMB")
+	})
+
+	b.Run("range", func(b *testing.B) {
+		eng := sys.Engine()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			lo := (i * 7919) % (coldRows - 256)
+			q := fmt.Sprintf("SELECT id FROM History WHERE id BETWEEN %d AND %d", lo, lo+255)
+			res, err := eng.ExecuteSQL(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Rows) != 256 {
+				b.Fatalf("window at %d returned %d rows", lo, len(res.Rows))
+			}
+		}
+	})
+
+	b.Run("coord", func(b *testing.B) {
+		pre, _ := sys.PoolStats()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			submitPair(b, sys, "Paris")
+		}
+		b.StopTimer()
+		post, _ := sys.PoolStats()
+		if b.N > 0 {
+			// Pinned + answer relations are fully resident: coordination
+			// should not touch the disk heaps at all.
+			b.ReportMetric(float64(post.Misses-pre.Misses)/float64(b.N), "coldMiss/op")
+		}
+	})
 }

@@ -19,6 +19,7 @@
 //	youtopia-admin                 # run every scenario
 //	youtopia-admin -scenario pair  # pair | trip | group | adhoc
 //	youtopia-admin -connect 127.0.0.1:7717 [-json]   # inspect a live server
+//	youtopia-admin -connect ADDR -pool     # buffer pool and heap footprint
 //	youtopia-admin -connect ADDR -repl     # replication lag and health
 //	youtopia-admin -connect ADDR -health   # role + readiness, one line
 //	youtopia-admin -connect ADDR -promote  # promote a follower to primary
@@ -43,6 +44,7 @@ func main() {
 	connect := flag.String("connect", "", "inspect a running youtopia-server at this address instead of running scenarios")
 	asJSON := flag.Bool("json", false, "with -connect: emit the admin snapshot as JSON")
 	txnOnly := flag.Bool("txn", false, "with -connect: show only the transaction/MVCC counters")
+	poolOnly := flag.Bool("pool", false, "with -connect: show the buffer pool and heap footprint")
 	replOnly := flag.Bool("repl", false, "with -connect: show replication status (role, epoch, follower lag)")
 	health := flag.Bool("health", false, "with -connect: one-line role + readiness; exit 1 when not ready")
 	promote := flag.Bool("promote", false, "with -connect: promote the follower to primary")
@@ -59,6 +61,8 @@ func main() {
 			err = inspectRepl(*connect, *asJSON)
 		case *txnOnly:
 			err = inspectTxn(*connect, *asJSON)
+		case *poolOnly:
+			err = inspectPool(*connect, *asJSON)
 		default:
 			err = inspect(*connect, *asJSON)
 		}
@@ -122,6 +126,10 @@ func inspect(addr string, asJSON bool) error {
 	if err != nil {
 		return err
 	}
+	poolStats, poolOn, err := c.AdminPoolStats(ctx)
+	if err != nil {
+		return err
+	}
 
 	if asJSON {
 		doc := map[string]any{
@@ -133,6 +141,9 @@ func inspect(addr string, asJSON bool) error {
 		}
 		if durable {
 			doc["wal"] = walStats
+		}
+		if poolOn {
+			doc["pool"] = poolStats
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -158,6 +169,12 @@ func inspect(addr string, asJSON bool) error {
 	}
 	fmt.Printf("\n=== Transactions ===\n  committed=%d aborted=%d timeouts=%d writeConflicts=%d gcReclaimed=%d\n",
 		txnStats.Committed, txnStats.Aborted, txnStats.Timeouts, txnStats.WriteConflicts, txnStats.GCReclaimed)
+	if poolOn {
+		fmt.Printf("\n=== Buffer pool ===\n  frames=%d resident=%d dirty=%d hit-ratio=%.1f%% evictions=%d writebacks=%d\n  spilled-tables=%d pinned-relations=%d heap-pages=%d\n",
+			poolStats.Capacity, poolStats.Resident, poolStats.Dirty, 100*poolStats.HitRatio(),
+			poolStats.Evictions, poolStats.Writebacks,
+			poolStats.SpilledTables, poolStats.PinnedTables, poolStats.HeapPages)
+	}
 	fmt.Printf("\n=== Durability ===\n")
 	if durable {
 		fmt.Print(walStats)
@@ -186,6 +203,43 @@ func inspectTxn(addr string, asJSON bool) error {
 	}
 	fmt.Printf("committed=%d aborted=%d timeouts=%d writeConflicts=%d gcReclaimed=%d\n",
 		st.Committed, st.Aborted, st.Timeouts, st.WriteConflicts, st.GCReclaimed)
+	return nil
+}
+
+// inspectPool fetches and renders the buffer-pool snapshot: frame occupancy,
+// hit ratio, eviction/writeback counters, and each spilled table's heap
+// footprint — the thing to watch while a larger-than-RAM workload runs.
+func inspectPool(addr string, asJSON bool) error {
+	c, err := server.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	st, enabled, err := c.AdminPoolStats(context.Background())
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		doc := map[string]any{"enabled": enabled}
+		if enabled {
+			doc["pool"] = st
+			doc["hitRatio"] = st.HitRatio()
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(doc)
+	}
+	if !enabled {
+		fmt.Println("no buffer pool (server runs fully in memory)")
+		return nil
+	}
+	fmt.Printf("pool: frames=%d resident=%d dirty=%d hit-ratio=%.1f%% (hits=%d misses=%d) evictions=%d writebacks=%d\n",
+		st.Capacity, st.Resident, st.Dirty, 100*st.HitRatio(), st.Hits, st.Misses, st.Evictions, st.Writebacks)
+	fmt.Printf("heap: spilled-tables=%d pinned-relations=%d pages=%d\n",
+		st.SpilledTables, st.PinnedTables, st.HeapPages)
+	for _, t := range st.Tables {
+		fmt.Printf("  %-24s %d page(s)\n", t.Name, t.Pages)
+	}
 	return nil
 }
 

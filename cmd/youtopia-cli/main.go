@@ -11,6 +11,7 @@
 //	\state     dump the coordination component's internal state
 //	\stats     coordination counters (typed; JSON under -json)
 //	\wal       durability-layer snapshot (segments, group-commit counters)
+//	\pool      buffer-pool snapshot (hit ratio, evictions, heap footprint)
 //	\pending   list pending entangled queries
 //	\why <id>  diagnose why a query is still pending
 //	\dot       entanglement graph in Graphviz DOT
@@ -57,11 +58,21 @@ func main() {
 	owner := flag.String("owner", "cli", "owner label for entangled queries")
 	walPath := flag.String("wal", "", "write-ahead log directory (enables durability)")
 	walSync := flag.Bool("walsync", false, "fsync each statement's records (group-committed)")
+	poolPages := flag.Int("pool-pages", 0, "buffer-pool frames of 8 KiB; >0 pages cold tables to disk")
+	pin := flag.String("pin", "", "comma-separated relations kept fully in memory with -pool-pages")
 	jsonOut := flag.Bool("json", false, "render \\stats/\\shards/\\pending/\\wal/\\txn as JSON")
 	flag.Parse()
 	metaJSON = *jsonOut
 
-	sys := core.NewSystem(core.Config{WALPath: *walPath, WALSync: *walSync})
+	cfg := core.Config{WALPath: *walPath, WALSync: *walSync, BufferPoolPages: *poolPages}
+	if *pin != "" {
+		for _, name := range strings.Split(*pin, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				cfg.PinnedRelations = append(cfg.PinnedRelations, name)
+			}
+		}
+	}
+	sys := core.NewSystem(cfg)
 	if err := sys.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -234,6 +245,23 @@ func meta(cli *session, sys *core.System, cmd string) bool {
 			break
 		}
 		fmt.Print(st.String())
+	case `\pool`:
+		st, ok := sys.PoolStats()
+		if !ok {
+			fmt.Println("no buffer pool (run with -pool-pages N)")
+			break
+		}
+		if metaJSON {
+			printJSON(st)
+			break
+		}
+		fmt.Printf("pool: frames=%d resident=%d dirty=%d hit-ratio=%.1f%% (hits=%d misses=%d) evictions=%d writebacks=%d\n",
+			st.Capacity, st.Resident, st.Dirty, 100*st.HitRatio(), st.Hits, st.Misses, st.Evictions, st.Writebacks)
+		fmt.Printf("heap: spilled-tables=%d pinned-relations=%d pages=%d\n",
+			st.SpilledTables, st.PinnedTables, st.HeapPages)
+		for _, t := range st.Tables {
+			fmt.Printf("  %-24s %d page(s)\n", t.Name, t.Pages)
+		}
 	case `\dot`:
 		fmt.Print(sys.Coordinator().DOT())
 	case `\why`:
@@ -266,7 +294,7 @@ func meta(cli *session, sys *core.System, cmd string) bool {
 			fmt.Printf("q%d [%s] waiting %s: %s\n", p.ID, p.Owner, p.Waiting.Round(1e6), p.Logic)
 		}
 	case `\help`:
-		fmt.Println(`\seed \fig1 \state \stats \shards \wal \txn \repl \pending \why <id> \dot \prepare <name> <sql> \exec <name> [args...] \quit — SQL statements end with ';'. Prefix EXPLAIN to see an entangled query's compiled form. -json renders \stats/\shards/\pending/\wal/\txn/\repl machine-readably.
+		fmt.Println(`\seed \fig1 \state \stats \shards \wal \txn \repl \pool \pending \why <id> \dot \prepare <name> <sql> \exec <name> [args...] \quit — SQL statements end with ';'. Prefix EXPLAIN to see an entangled query's compiled form. -json renders \stats/\shards/\pending/\wal/\txn/\repl/\pool machine-readably.
 \prepare compiles a statement with ? / $n placeholders once; \exec binds arguments (numbers, 'strings', NULL) and runs it — parse-once/bind-many from the shell.`)
 	default:
 		fmt.Println("unknown meta command; \\help for help")

@@ -11,7 +11,13 @@
 // Usage:
 //
 //	youtopia-server [-addr 127.0.0.1:7717] [-seed] [-wal dir] [-walsync]
+//	                [-pool-pages N] [-pin rel1,rel2]
 //	                [-repl-listen ADDR] [-follow ADDR -primary-addr SQLADDR]
+//
+// With -pool-pages the storage engine pages cold tables to disk through a
+// buffer pool of that many 8 KiB frames, so datasets several times larger
+// than RAM stay queryable; -pin names hot relations kept fully resident.
+// Inspect the pool live with `youtopia-admin -connect ADDR -pool`.
 //
 // With -wal the database is durably logged (segmented binary format v2,
 // legacy JSON logs migrated in place) and recovered on restart; -walsync
@@ -31,6 +37,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/repl"
@@ -44,6 +51,8 @@ func main() {
 	walPath := flag.String("wal", "", "write-ahead log directory (enables durability)")
 	walSync := flag.Bool("walsync", false, "fsync each statement's records (group-committed)")
 	shards := flag.Int("shards", 0, "coordination lanes (0 = GOMAXPROCS, 1 = unsharded)")
+	poolPages := flag.Int("pool-pages", 0, "buffer-pool frames of 8 KiB; >0 pages cold tables to disk (datasets beyond RAM)")
+	pin := flag.String("pin", "", "comma-separated relations kept fully in memory with -pool-pages (answer relations always are)")
 	replListen := flag.String("repl-listen", "", "serve the replication stream to followers at this address (requires -wal)")
 	follow := flag.String("follow", "", "run as a follower of the primary's -repl-listen address (requires -wal)")
 	primaryAddr := flag.String("primary-addr", "", "with -follow: the primary's SQL address, used in client redirects")
@@ -55,7 +64,15 @@ func main() {
 
 	cfg := core.Config{
 		WALPath: *walPath, WALSync: *walSync, CoordShards: *shards,
-		WALFollower: *follow != "",
+		WALFollower:     *follow != "",
+		BufferPoolPages: *poolPages,
+	}
+	if *pin != "" {
+		for _, name := range strings.Split(*pin, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				cfg.PinnedRelations = append(cfg.PinnedRelations, name)
+			}
+		}
 	}
 	sys := core.NewSystem(cfg)
 	if err := sys.Err(); err != nil {

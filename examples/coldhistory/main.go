@@ -1,0 +1,182 @@
+// Cold history: a dataset several times larger than RAM — or here, larger
+// than a deliberately tiny buffer pool — in the shape `youtopia-server
+// -pool-pages N -pin Flights` runs in. A durable system pages a cold
+// History relation through 64 8-KiB frames (512 KiB of memory for ~2.5 MiB
+// of heap), while the Flights relation and the shared answer store stay
+// pinned fully resident. The walkthrough shows:
+//
+//  1. the heap outgrowing the pool (~5x) with scans and point reads still
+//     answering correctly, evictions and the hit ratio visible live via
+//     the admin surface (`youtopia-admin -pool`, CLI `\pool`);
+//  2. a hot key window settling into the pool — the hit ratio climbing
+//     once the working set fits even though the relation never does;
+//  3. pair coordination on the pinned relations causing zero pool misses:
+//     entangled matching never waits on a page fault;
+//  4. checkpoint + kill + restart: heap files are scratch, so recovery
+//     rebuilds them from the newest WAL snapshot plus the tail, and the
+//     cold rows and coordinated reservations both survive.
+//
+// Run: go run ./examples/coldhistory
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+const (
+	poolPages = 64    // 512 KiB of frames
+	coldRows  = 20000 // ~2.5 MiB of heap records — ~5x the pool
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "youtopia-cold-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	walPath := filepath.Join(dir, "youtopia.wal")
+
+	cfg := core.Config{
+		WALPath:         walPath,
+		BufferPoolPages: poolPages,
+		PinnedRelations: []string{"Flights"},
+	}
+
+	// --- first life: load cold data, watch it page, coordinate hot ---
+	sys := core.NewSystem(cfg)
+	if err := sys.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Exec(`
+		CREATE TABLE Flights (fno INT, dest STRING, PRIMARY KEY (fno));
+		INSERT INTO Flights VALUES (122, 'Paris'), (123, 'Paris'), (136, 'Rome');
+		CREATE TABLE History (id INT, body STRING, PRIMARY KEY (id));
+	`); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loading %d cold rows through a %d-frame pool...\n", coldRows, poolPages)
+	pad := strings.Repeat("x", 100)
+	for lo := 0; lo < coldRows; lo += 250 {
+		var sb strings.Builder
+		sb.WriteString("INSERT INTO History VALUES ")
+		for i := lo; i < lo+250; i++ {
+			if i > lo {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "(%d, 'event-%06d-%s')", i, i, pad)
+		}
+		if err := sys.Exec(sb.String()); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The operator's view: the same text `youtopia-admin -pool` and the
+	// CLI's \pool print, fetched over the wire-v2 typed admin frame.
+	srv, err := server.Listen(sys, "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := server.Dial(srv.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	poolDump := func(label string) {
+		text, err := c.AdminPool()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n[%s]\n%s", label, text)
+	}
+	poolDump("after load")
+
+	st, _ := sys.PoolStats()
+	fmt.Printf("\nheap is %dx the pool; %d evictions so far\n",
+		st.HeapPages/st.Capacity, st.Evictions)
+
+	// A cold sweep touches every page once: the pool can only miss.
+	for i := 0; i < coldRows; i += 100 {
+		if _, err := sys.Query(fmt.Sprintf("SELECT body FROM History WHERE id = %d", i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// A hot window smaller than the pool settles in: hits from here on.
+	pre, _ := sys.PoolStats()
+	for pass := 0; pass < 20; pass++ {
+		for i := 0; i < 1000; i += 100 {
+			if _, err := sys.Query(fmt.Sprintf("SELECT body FROM History WHERE id = %d", i)); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	post, _ := sys.PoolStats()
+	fmt.Printf("hot window: +%d hits, +%d misses after the first pass\n",
+		post.Hits-pre.Hits, post.Misses-pre.Misses)
+
+	// Coordination runs entirely on pinned relations (Flights by config,
+	// the Reservation answer store always): zero pool traffic.
+	pre, _ = sys.PoolStats()
+	kramer, err := sys.Submit(`
+		SELECT 'Kramer', fno INTO ANSWER Reservation
+		WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris')
+		AND ('Jerry', fno) IN ANSWER Reservation
+		CHOOSE 1`, "kramer")
+	if err != nil {
+		log.Fatal(err)
+	}
+	jerry, err := sys.Submit(`
+		SELECT 'Jerry', fno INTO ANSWER Reservation
+		WHERE fno IN (SELECT fno FROM Flights WHERE dest='Paris')
+		AND ('Kramer', fno) IN ANSWER Reservation
+		CHOOSE 1`, "jerry")
+	if err != nil {
+		log.Fatal(err)
+	}
+	done := make(chan struct{})
+	timer := time.AfterFunc(5*time.Second, func() { close(done) })
+	defer timer.Stop()
+	outK, ok := kramer.Wait(done)
+	if !ok {
+		log.Fatal("coordination timed out")
+	}
+	jerry.Wait(done)
+	post, _ = sys.PoolStats()
+	fmt.Printf("coordinated Reservation%s with %d pool misses\n",
+		outK.Answers[0].Tuples[0], post.Misses-pre.Misses)
+
+	// --- checkpoint, die, recover ---
+	// Heap files are scratch: a checkpoint flushes dirty pages and folds
+	// the sealed WAL into a snapshot segment, and recovery rebuilds every
+	// heap from the log. Closing uncleanly here loses nothing committed.
+	if err := sys.Checkpoint(); err != nil {
+		log.Fatal(err)
+	}
+	c.Close()
+	srv.Close()
+	sys.Close()
+	fmt.Println("\ncheckpointed and shut down; restarting from the WAL...")
+
+	sys2 := core.NewSystem(cfg)
+	if err := sys2.Err(); err != nil {
+		log.Fatal(err)
+	}
+	defer sys2.Close()
+	res, err := sys2.Query("SELECT COUNT(*) FROM History")
+	if err != nil {
+		log.Fatal(err)
+	}
+	booked, err := sys2.Query("SELECT * FROM Reservation ORDER BY a1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	st2, _ := sys2.PoolStats()
+	fmt.Printf("recovered %s cold rows (%d heap pages re-spilled) and %d reservations\n",
+		res.Rows[0][0], st2.HeapPages, len(booked.Rows))
+}

@@ -73,6 +73,10 @@ func (s *Store) Ensure(name string, proto value.Tuple) (*storage.Table, error) {
 		}
 		schema.Columns = append(schema.Columns, value.Col(fmt.Sprintf("a%d", i+1), t))
 	}
+	// Answer relations are hot coordination state — probed at every matcher
+	// search node — so when the catalog pages cold tables to disk, they stay
+	// fully resident (no-op without a buffer pool).
+	s.cat.PinResident(name)
 	tbl, err := s.cat.Create(name, schema)
 	if err != nil {
 		return nil, err
@@ -250,6 +254,10 @@ func (s *Store) AdoptFromCatalog() int {
 		if !match {
 			continue
 		}
+		// Recovery replayed this relation as a plain (possibly spilled)
+		// table; adopting it also restores the hot-set pinning policy,
+		// materializing any paged-out answers back into memory.
+		s.cat.PinResident(name)
 		s.rels[key] = &relInfo{display: name, arity: schema.Arity()}
 		adopted++
 	}

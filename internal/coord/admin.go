@@ -203,5 +203,13 @@ func (c *Coordinator) DumpState() string {
 	chains, versions := cat.VersionStats()
 	fmt.Fprintf(&b, "=== MVCC ===\n  clock=%d watermark=%d active-snapshots=%d version-chains=%d live-versions=%d write-conflicts=%d gc-reclaimed=%d\n",
 		cat.Clock(), cat.Watermark(), cat.ActiveSnapshots(), chains, versions, cat.Conflicts(), cat.GCReclaimed())
+	if ps, ok := cat.PoolStats(); ok {
+		fmt.Fprintf(&b, "=== Buffer pool ===\n  frames=%d resident=%d dirty=%d hit-ratio=%.1f%% (hits=%d misses=%d) evictions=%d writebacks=%d\n  spilled-tables=%d pinned-relations=%d heap-pages=%d\n",
+			ps.Capacity, ps.Resident, ps.Dirty, 100*ps.HitRatio(), ps.Hits, ps.Misses,
+			ps.Evictions, ps.Writebacks, ps.SpilledTables, ps.PinnedTables, ps.HeapPages)
+		for _, tb := range ps.Tables {
+			fmt.Fprintf(&b, "    %s: %d page(s)\n", tb.Name, tb.Pages)
+		}
+	}
 	return b.String()
 }

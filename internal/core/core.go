@@ -9,6 +9,8 @@ package core
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
@@ -75,6 +77,18 @@ type Config struct {
 	// WALFS overrides the log's filesystem (fault injection, tests). Nil
 	// selects the real filesystem.
 	WALFS wal.FS
+	// BufferPoolPages, when positive, enables the disk-backed paged store:
+	// tables spill committed tuples to 8 KiB heap pages cached in a buffer
+	// pool of this many frames, so datasets several times larger than RAM
+	// stay queryable. Heap files live under WALPath/pages (or a private
+	// temporary directory when the system is not durable); they are scratch —
+	// the WAL remains the only recovery source, and startup rebuilds them by
+	// replay. Zero keeps the pre-PR-8 all-in-memory layout.
+	BufferPoolPages int
+	// PinnedRelations names tables kept fully in memory despite
+	// BufferPoolPages — the hot coordination relations of the workload.
+	// Answer relations are always pinned; matching is case-insensitive.
+	PinnedRelations []string
 	// StmtCacheSize bounds the text→artifact LRU behind Prepare and plain
 	// Execute: up to this many statement texts keep their parsed/compiled
 	// artifacts alive, so identical text is parsed once. 0 selects 256;
@@ -109,6 +123,7 @@ type System struct {
 	stmts     *stmtCache
 	stopGC    func() // halts the MVCC version-chain garbage collector
 	repl      repl   // replication role/state (zero value: standalone primary)
+	pagesDir  string // ephemeral pages directory to remove on Close ("" = none)
 	err       error  // startup (recovery) error
 }
 
@@ -151,6 +166,29 @@ func NewSystem(cfg Config) *System {
 	// can read, at a cadence comfortably above the per-search pin lifetime.
 	if iv := gcInterval(cfg.GCInterval); iv > 0 {
 		s.stopGC = mgr.StartGC(iv)
+	}
+	// Paged storage must be armed before WAL recovery so replay writes cold
+	// relations through the buffer pool instead of materializing them.
+	if cfg.BufferPoolPages > 0 {
+		dir := ""
+		if cfg.WALPath != "" {
+			// Lives inside the WAL directory; segment discovery skips
+			// subdirectories, so the chain scan never mistakes heap files
+			// for segments.
+			dir = filepath.Join(cfg.WALPath, "pages")
+		} else {
+			tmp, err := os.MkdirTemp("", "youtopia-pages-")
+			if err != nil {
+				s.err = fmt.Errorf("core: pages directory: %w", err)
+				return s
+			}
+			dir = tmp
+			s.pagesDir = tmp
+		}
+		if err := cat.EnableSpill(dir, cfg.BufferPoolPages, cfg.PinnedRelations); err != nil {
+			s.err = fmt.Errorf("core: enable buffer pool: %w", err)
+			return s
+		}
 	}
 	if cfg.WALPath != "" {
 		opts := wal.Options{
@@ -237,6 +275,24 @@ func (s *System) Compact() error {
 	return s.wal.Compact()
 }
 
+// Checkpoint is the buffer-pool-aware durability point: every dirty page is
+// written back to its heap file, then the log compacts into a snapshot
+// segment. Recovery afterwards is the newest snapshot plus the WAL tail —
+// and because heap files are rebuilt by that replay, a checkpoint bounds
+// recovery work without adding a second recovery source. Compaction's
+// replication retention pins are honored unchanged (Compact defers to them).
+// Without a WAL this degenerates to the page flush alone.
+func (s *System) Checkpoint() error {
+	if err := s.cat.FlushPool(); err != nil {
+		return err
+	}
+	return s.Compact()
+}
+
+// PoolStats reports the buffer pool and heap footprint, or false when the
+// system runs without paged storage (Config.BufferPoolPages == 0).
+func (s *System) PoolStats() (storage.PoolStats, bool) { return s.cat.PoolStats() }
+
 // WAL exposes the write-ahead log for stats/introspection (nil when the
 // system is not durable).
 func (s *System) WAL() *wal.Log { return s.wal }
@@ -248,6 +304,14 @@ func (s *System) Close() error {
 	if s.stopGC != nil {
 		s.stopGC()
 	}
+	defer func() {
+		// Heap files are scratch: close descriptors and, when the system
+		// owned a private temporary pages directory, remove it.
+		s.cat.CloseSpill()
+		if s.pagesDir != "" {
+			os.RemoveAll(s.pagesDir) //nolint:errcheck // best effort
+		}
+	}()
 	if s.wal == nil {
 		return nil
 	}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/coord"
 	"repro/internal/core"
+	"repro/internal/storage"
 	"repro/internal/txn"
 	"repro/internal/value"
 )
@@ -475,6 +476,22 @@ func (c *Client) AdminWALStats(ctx context.Context) (st core.WALStats, durable b
 func (c *Client) AdminTxnStats(ctx context.Context) (txn.Stats, error) {
 	rp, err := c.admin(ctx, adminTxn)
 	return rp.txnStats, err
+}
+
+// AdminPoolStats fetches the buffer-pool snapshot, typed. enabled is false
+// when the server runs fully in memory (no Config.BufferPoolPages).
+func (c *Client) AdminPoolStats(ctx context.Context) (st storage.PoolStats, enabled bool, err error) {
+	rp, err := c.admin(ctx, adminPool)
+	return rp.pool, rp.poolOn, err
+}
+
+// AdminPool fetches the buffer-pool snapshot and renders it client-side.
+func (c *Client) AdminPool() (string, error) {
+	st, enabled, err := c.AdminPoolStats(context.Background())
+	if err != nil {
+		return "", err
+	}
+	return renderPool(st, enabled), nil
 }
 
 // AdminTxn fetches the transaction counters and renders them client-side.

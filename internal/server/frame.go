@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/coord"
 	"repro/internal/core"
+	"repro/internal/storage"
 	"repro/internal/txn"
 	"repro/internal/value"
 	"repro/internal/wal"
@@ -86,6 +87,7 @@ const (
 	adminTxn     = 6 // txn.Stats — transaction/MVCC counters
 	adminRepl    = 7 // core.ReplStatus — replication role/lag/health
 	adminPromote = 8 // promote this follower to primary; replies adminRepl
+	adminPool    = 9 // storage.PoolStats (+ a "pool enabled at all" flag)
 )
 
 // Error codes carried by kindError.
@@ -116,6 +118,8 @@ func adminCode(name string) (byte, bool) {
 		return adminRepl, true
 	case "promote":
 		return adminPromote, true
+	case "pool":
+		return adminPool, true
 	default:
 		return 0, false
 	}
@@ -404,6 +408,29 @@ func (f *frameBuf) appendAdminWAL(id uint64, st core.WALStats, durable bool) err
 			f.bool(s.Sealed)
 			f.bool(s.Snapshot)
 			f.bool(s.JSON)
+		}
+	}
+	return f.end()
+}
+
+func (f *frameBuf) appendAdminPool(id uint64, st storage.PoolStats, enabled bool) error {
+	f.begin(kindAdminResp, id)
+	f.u8(adminPool)
+	f.bool(enabled)
+	if enabled {
+		for _, v := range [...]int{st.Capacity, st.Resident, st.Dirty} {
+			f.varint(int64(v))
+		}
+		for _, v := range [...]uint64{st.Hits, st.Misses, st.Evictions, st.Writebacks} {
+			f.uvarint(v)
+		}
+		for _, v := range [...]int{st.SpilledTables, st.PinnedTables, st.HeapPages} {
+			f.varint(int64(v))
+		}
+		f.uvarint(uint64(len(st.Tables)))
+		for _, t := range st.Tables {
+			f.string(t.Name)
+			f.varint(int64(t.Pages))
 		}
 	}
 	return f.end()
@@ -758,6 +785,8 @@ type reply struct {
 	durable  bool
 	txnStats txn.Stats
 	repl     core.ReplStatus
+	pool     storage.PoolStats
+	poolOn   bool
 }
 
 // decodeReply decodes a server frame (the client side of the codec; also the
@@ -1037,7 +1066,64 @@ func decodeAdminBody(rp *reply, r *frameReader) (err error) {
 		return nil
 	case adminRepl, adminPromote:
 		return decodeAdminRepl(rp, r)
+	case adminPool:
+		return decodeAdminPool(rp, r)
 	default:
 		return fmt.Errorf("server: unknown admin code %d", rp.admin)
 	}
+}
+
+func decodeAdminPool(rp *reply, r *frameReader) (err error) {
+	if rp.poolOn, err = r.bool(); err != nil {
+		return err
+	}
+	if !rp.poolOn {
+		return nil
+	}
+	st := &rp.pool
+	for _, dst := range [...]*int{&st.Capacity, &st.Resident, &st.Dirty} {
+		v, err := r.varint()
+		if err != nil {
+			return err
+		}
+		if v < 0 || v > math.MaxInt32 {
+			return fmt.Errorf("server: pool frame count out of range")
+		}
+		*dst = int(v)
+	}
+	for _, dst := range [...]*uint64{&st.Hits, &st.Misses, &st.Evictions, &st.Writebacks} {
+		if *dst, err = r.uvarint(); err != nil {
+			return err
+		}
+	}
+	for _, dst := range [...]*int{&st.SpilledTables, &st.PinnedTables, &st.HeapPages} {
+		v, err := r.varint()
+		if err != nil {
+			return err
+		}
+		if v < 0 || v > math.MaxInt32 {
+			return fmt.Errorf("server: pool table count out of range")
+		}
+		*dst = int(v)
+	}
+	n, err := r.count()
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		var t storage.PoolTableInfo
+		if t.Name, err = r.string(); err != nil {
+			return err
+		}
+		pages, err := r.varint()
+		if err != nil {
+			return err
+		}
+		if pages < 0 || pages > math.MaxInt32 {
+			return fmt.Errorf("server: pool page count out of range")
+		}
+		t.Pages = int(pages)
+		st.Tables = append(st.Tables, t)
+	}
+	return nil
 }

@@ -65,6 +65,7 @@ import (
 
 	"repro/internal/coord"
 	"repro/internal/core"
+	"repro/internal/storage"
 	"repro/internal/txn"
 	"repro/internal/value"
 )
@@ -180,6 +181,23 @@ func renderTxn(st txn.Stats) string {
 	return fmt.Sprintf(
 		"committed=%d aborted=%d timeouts=%d writeConflicts=%d gcReclaimed=%d\n",
 		st.Committed, st.Aborted, st.Timeouts, st.WriteConflicts, st.GCReclaimed)
+}
+
+// renderPool formats the buffer-pool snapshot (or its absence). Shared by
+// both codecs: the v2 client renders it client-side from storage.PoolStats.
+func renderPool(st storage.PoolStats, enabled bool) string {
+	if !enabled {
+		return "no buffer pool (fully in-memory storage)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "pool: frames=%d resident=%d dirty=%d hit-ratio=%.1f%% (hits=%d misses=%d) evictions=%d writebacks=%d\n",
+		st.Capacity, st.Resident, st.Dirty, 100*st.HitRatio(), st.Hits, st.Misses, st.Evictions, st.Writebacks)
+	fmt.Fprintf(&b, "heap: spilled-tables=%d pinned-relations=%d pages=%d (%d KiB)\n",
+		st.SpilledTables, st.PinnedTables, st.HeapPages, st.HeapPages*storage.PageSize/1024)
+	for _, t := range st.Tables {
+		fmt.Fprintf(&b, "  %-24s %d page(s)\n", t.Name, t.Pages)
+	}
+	return b.String()
 }
 
 // renderPending formats the pending-query table the way the legacy "pending"

@@ -505,6 +505,9 @@ func (cn *conn) adminV2(enc *frameBuf, req request) {
 		enc.appendAdminTxn(req.id, sys.TxnStats()) //nolint:errcheck
 	case adminRepl:
 		enc.appendAdminRepl(req.id, adminRepl, sys.ReplStatus()) //nolint:errcheck
+	case adminPool:
+		st, ok := sys.PoolStats()
+		enc.appendAdminPool(req.id, st, ok) //nolint:errcheck
 	case adminPromote:
 		if err := sys.Promote(); err != nil {
 			enc.appendError(req.id, errGeneric, err.Error()) //nolint:errcheck
@@ -605,6 +608,9 @@ func (cn *conn) dispatchLegacy(req Request) Response {
 			return Response{ID: req.ID, Text: renderWAL(st, ok)}
 		case "txn":
 			return Response{ID: req.ID, Text: renderTxn(s.sys.TxnStats())}
+		case "pool":
+			st, ok := s.sys.PoolStats()
+			return Response{ID: req.ID, Text: renderPool(st, ok)}
 		default:
 			return Response{ID: req.ID, Error: fmt.Sprintf("unknown admin command %q", req.Admin)}
 		}

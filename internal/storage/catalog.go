@@ -47,6 +47,11 @@ type Catalog struct {
 	// writerSeq hands out writer ids, the Txn tags that group one
 	// transaction's log records (see LogRecord.Txn).
 	writerSeq atomic.Uint64
+
+	// spill, when non-nil, is the disk-backed paging machinery (heap.go):
+	// buffer pool, pages directory and the pinned-relation policy. Set once
+	// by EnableSpill before any table exists, read-only afterwards.
+	spill *spillState
 }
 
 // BumpDDL advances the schema version; call after any DDL that can change
@@ -200,10 +205,23 @@ func (c *Catalog) Create(name string, schema *value.Schema, pkCols ...string) (*
 	t.log = &c.log
 	t.clock = &c.clock
 	t.conflicts = &c.conflicts
-	c.mu.Lock()
 	key := canonical(name)
+	if c.spill != nil && !c.spill.isPinned(key) {
+		// Cold relation: committed tuples page out through the shared pool.
+		// Relations pinned by policy (config, answer relations) stay wholly
+		// in memory.
+		h, err := c.spill.open(key)
+		if err != nil {
+			return nil, err
+		}
+		t.heap = h
+	}
+	c.mu.Lock()
 	if _, exists := c.tables[key]; exists {
 		c.mu.Unlock()
+		if t.heap != nil {
+			c.spill.retire(key)
+		}
 		return nil, fmt.Errorf("storage: table %q already exists", name)
 	}
 	c.tables[key] = t
@@ -236,10 +254,14 @@ func (c *Catalog) Drop(name string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	key := canonical(name)
-	if _, ok := c.tables[key]; !ok {
+	t, ok := c.tables[key]
+	if !ok {
 		return fmt.Errorf("%w: table %q", ErrNotFound, name)
 	}
 	delete(c.tables, key)
+	if t.heap != nil && c.spill != nil {
+		c.spill.retire(key)
+	}
 	c.log.emit(LogRecord{Op: OpDropTable, Table: name})
 	return nil
 }

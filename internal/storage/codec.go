@@ -1,0 +1,135 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/value"
+)
+
+// This file is the one binary codec for typed values shared by everything
+// that serializes tuples: the write-ahead log's record payloads (format v2,
+// internal/wal/binary.go delegates here) and the paged heap files behind the
+// buffer pool (page.go). Keeping a single implementation means a tuple's
+// on-page bytes and its WAL bytes are the same encoding, so the two disk
+// formats can never drift apart.
+//
+// Encoding: a value is a one-byte type tag followed by its payload —
+//
+//	0            NULL, no payload
+//	1 varint     INT
+//	2 8 bytes    FLOAT, IEEE-754 bits little-endian
+//	3 len+bytes  STRING, uvarint length prefix
+//	4 1 byte     BOOL, 0 or 1
+//
+// A tuple is a uvarint column count followed by its values.
+
+// AppendUvarint appends v in unsigned varint encoding.
+func AppendUvarint(dst []byte, v uint64) []byte { return binary.AppendUvarint(dst, v) }
+
+// AppendString appends a uvarint length prefix followed by the raw bytes.
+func AppendString(dst []byte, s string) []byte {
+	dst = AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// AppendValue appends one typed value (tag byte + payload).
+func AppendValue(dst []byte, v value.Value) []byte {
+	switch v.Type() {
+	case value.TypeInt:
+		dst = append(dst, 1)
+		dst = binary.AppendVarint(dst, v.Int())
+	case value.TypeFloat:
+		dst = append(dst, 2)
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.Float()))
+	case value.TypeString:
+		dst = append(dst, 3)
+		dst = AppendString(dst, v.Str())
+	case value.TypeBool:
+		b := byte(0)
+		if v.Bool() {
+			b = 1
+		}
+		dst = append(dst, 4, b)
+	default: // NULL
+		dst = append(dst, 0)
+	}
+	return dst
+}
+
+// AppendTuple appends a uvarint column count followed by every value.
+func AppendTuple(dst []byte, t value.Tuple) []byte {
+	dst = AppendUvarint(dst, uint64(len(t)))
+	for _, v := range t {
+		dst = AppendValue(dst, v)
+	}
+	return dst
+}
+
+// DecodeValue decodes one value from the front of b, returning it and the
+// number of bytes consumed. Corrupt input degrades to an error, never a
+// panic, so callers validating untrusted bytes (the WAL decoder's contract)
+// can rely on it.
+func DecodeValue(b []byte) (value.Value, int, error) {
+	if len(b) == 0 {
+		return value.Null, 0, fmt.Errorf("storage: value encoding truncated")
+	}
+	switch tag := b[0]; tag {
+	case 0:
+		return value.Null, 1, nil
+	case 1:
+		i, n := binary.Varint(b[1:])
+		if n <= 0 {
+			return value.Null, 0, fmt.Errorf("storage: bad varint in value encoding")
+		}
+		return value.NewInt(i), 1 + n, nil
+	case 2:
+		if len(b) < 9 {
+			return value.Null, 0, fmt.Errorf("storage: value encoding truncated (want 8 float bytes, have %d)", len(b)-1)
+		}
+		return value.NewFloat(math.Float64frombits(binary.LittleEndian.Uint64(b[1:]))), 9, nil
+	case 3:
+		sl, n := binary.Uvarint(b[1:])
+		if n <= 0 {
+			return value.Null, 0, fmt.Errorf("storage: bad string length in value encoding")
+		}
+		off := 1 + n
+		if sl > uint64(len(b)-off) {
+			return value.Null, 0, fmt.Errorf("storage: string length %d exceeds encoding", sl)
+		}
+		return value.NewString(string(b[off : off+int(sl)])), off + int(sl), nil
+	case 4:
+		if len(b) < 2 {
+			return value.Null, 0, fmt.Errorf("storage: value encoding truncated (bool payload)")
+		}
+		return value.NewBool(b[1] != 0), 2, nil
+	default:
+		return value.Null, 0, fmt.Errorf("storage: unknown value tag %d", tag)
+	}
+}
+
+// DecodeTuple decodes a tuple written by AppendTuple from the front of b,
+// returning it and the number of bytes consumed.
+func DecodeTuple(b []byte) (value.Tuple, int, error) {
+	cnt, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("storage: bad column count in tuple encoding")
+	}
+	if cnt > uint64(len(b)-n) {
+		// Each value needs at least its tag byte; bound allocations on
+		// corrupt counts.
+		return nil, 0, fmt.Errorf("storage: column count %d exceeds encoding", cnt)
+	}
+	off := n
+	tup := make(value.Tuple, 0, cnt)
+	for i := uint64(0); i < cnt; i++ {
+		v, vn, err := DecodeValue(b[off:])
+		if err != nil {
+			return nil, 0, err
+		}
+		tup = append(tup, v)
+		off += vn
+	}
+	return tup, off, nil
+}

@@ -1,0 +1,345 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/value"
+)
+
+// A heapFile is the paged backing store of one spillable table: an
+// append-only sequence of PageSize pages under the catalog's pages
+// directory. Records are placed into an in-memory tail page; when the next
+// record does not fit, the tail is sealed — handed to the buffer pool as a
+// dirty frame (or written straight to disk when every frame is pinned) — and
+// a fresh tail begins. Sealed pages are immutable forever.
+//
+// The heap is SCRATCH, not a recovery source: the WAL remains the single
+// durable truth, and startup truncates and rebuilds every heap by replaying
+// the newest snapshot segment plus the log tail through the ordinary insert
+// path. That keeps the PR-3 crash-safety story (and the PR-7 replication
+// retention contract) byte-for-byte unchanged — a torn heap page after
+// kill -9 is simply thrown away.
+//
+// Concurrency: place is called only under the owning table's exclusive
+// latch, so the tail mutates single-threadedly. Readers resolve a pageRef
+// with load, possibly holding no table latch at all (ScanAt materializes
+// after unlatching): that is safe because refs are written once, sealed
+// pages are immutable, and the current tail is published through an atomic
+// pointer whose buffer is never recycled — an in-flight reader keeps
+// decoding a superseded tail buffer while the writer fills a fresh one.
+type heapFile struct {
+	name string // canonical table name (diagnostics, stats)
+	path string
+	f    *os.File
+	pool *Pool
+
+	// tail is the page currently accepting records. Swapped (never mutated
+	// in place: the buffer of a sealed tail is left behind for late readers)
+	// under the owning table's exclusive latch.
+	tail atomic.Pointer[tailPage]
+
+	payload []byte // AppendTuple scratch; guarded by the table's latch
+	rec     []byte // record scratch; guarded by the table's latch
+}
+
+type tailPage struct {
+	no  uint32
+	buf []byte
+}
+
+func newTailPage(no uint32) *tailPage {
+	tp := &tailPage{no: no, buf: make([]byte, PageSize)}
+	setPageUsed(tp.buf, pageHeaderLen)
+	return tp
+}
+
+func openHeapFile(dir, name string, pool *Pool) (*heapFile, error) {
+	path := filepath.Join(dir, name+".heap")
+	// O_TRUNC: heaps never carry state across process lifetimes (see above).
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open heap for table %s: %w", name, err)
+	}
+	h := &heapFile{name: name, path: path, f: f, pool: pool}
+	h.tail.Store(newTailPage(0))
+	return h, nil
+}
+
+func (h *heapFile) writePage(no uint32, buf []byte) error {
+	_, err := h.f.WriteAt(buf, int64(no)*PageSize)
+	return err
+}
+
+func (h *heapFile) readPage(no uint32, buf []byte) error {
+	_, err := h.f.ReadAt(buf, int64(no)*PageSize)
+	return err
+}
+
+// pages returns the number of pages the heap has begun (sealed + tail).
+func (h *heapFile) pages() int { return int(h.tail.Load().no) + 1 }
+
+// place appends the tuple's record to the heap and returns its ref. Called
+// only under the owning table's exclusive latch. ErrTupleTooLarge means the
+// record cannot fit any page; the caller keeps the tuple resident instead.
+func (h *heapFile) place(id RowID, tup value.Tuple) (pageRef, error) {
+	h.payload = AppendTuple(h.payload[:0], tup)
+	h.rec = appendHeapRecord(h.rec[:0], id, h.payload)
+	if len(h.rec) > maxRecordLen {
+		return pageRef{}, fmt.Errorf("%w: %d bytes encoded, page holds %d", ErrTupleTooLarge, len(h.rec), maxRecordLen)
+	}
+	tp := h.tail.Load()
+	used := pageUsed(tp.buf)
+	if used+len(h.rec) > PageSize {
+		if err := h.seal(tp); err != nil {
+			return pageRef{}, err
+		}
+		tp = newTailPage(tp.no + 1)
+		used = pageHeaderLen
+		h.tail.Store(tp)
+	}
+	copy(tp.buf[used:], h.rec)
+	setPageUsed(tp.buf, used+len(h.rec))
+	setPageCount(tp.buf, pageCount(tp.buf)+1)
+	return pageRef{page: tp.no, off: uint16(used), n: uint16(len(h.rec))}, nil
+}
+
+// seal hands a full tail page to the buffer pool as a dirty resident frame;
+// when the pool has no evictable frame, the page bypasses it straight to
+// disk (reads fall back symmetrically), so an exhausted pool degrades
+// throughput instead of failing writes.
+func (h *heapFile) seal(tp *tailPage) error {
+	err := h.pool.adopt(h, tp.no, tp.buf)
+	if err == nil {
+		return nil
+	}
+	if err == ErrPoolExhausted {
+		return h.writePage(tp.no, tp.buf)
+	}
+	return err
+}
+
+// load resolves a ref to its decoded tuple. Safe without the table latch
+// (see the type comment). Misses read through the buffer pool; when the pool
+// is exhausted the page is read unbuffered instead — by the time a sealed
+// page is absent from the pool it has been written back, so the disk copy is
+// current.
+func (h *heapFile) load(ref pageRef) (value.Tuple, error) {
+	tp := h.tail.Load()
+	if ref.page == tp.no {
+		return decodeRefRecord(tp.buf, ref)
+	}
+	fi, err := h.pool.fetch(h, ref.page)
+	if err == ErrPoolExhausted {
+		buf := make([]byte, PageSize)
+		if rerr := h.readPage(ref.page, buf); rerr != nil {
+			return nil, rerr
+		}
+		return decodeRefRecord(buf, ref)
+	}
+	if err != nil {
+		return nil, err
+	}
+	tup, derr := decodeRefRecord(h.pool.frames[fi].buf, ref)
+	h.pool.unpin(fi)
+	return tup, derr
+}
+
+func decodeRefRecord(page []byte, ref pageRef) (value.Tuple, error) {
+	if int(ref.off)+int(ref.n) > len(page) {
+		return nil, fmt.Errorf("storage: heap ref out of page bounds (off %d, n %d)", ref.off, ref.n)
+	}
+	_, tup, err := decodeHeapRecord(page[ref.off : int(ref.off)+int(ref.n)])
+	return tup, err
+}
+
+// heapMustLoad resolves a ref or panics: heap files are engine-managed
+// scratch on a local disk, so a failed load means lost internal state — the
+// same invariant class as a corrupted in-memory chain, not a user error the
+// read API could meaningfully return.
+func heapMustLoad(h *heapFile, ref pageRef) value.Tuple {
+	if h == nil {
+		panic("storage: spilled version without a heap (table detached mid-read?)")
+	}
+	tup, err := h.load(ref)
+	if err != nil {
+		panic(fmt.Sprintf("storage: heap load for table %s failed: %v", h.name, err))
+	}
+	return tup
+}
+
+// spillState is a catalog's paging policy and machinery: the shared buffer
+// pool, the pages directory, the set of relations pinned fully in memory,
+// and the open heap files.
+type spillState struct {
+	dir  string
+	pool *Pool
+
+	mu     sync.Mutex
+	pinned map[string]bool
+	heaps  map[string]*heapFile
+	// closed heaps are unlinked immediately but their descriptors stay open
+	// until CloseSpill, so a reader that captured a ref just before a drop or
+	// pin-resident detach still resolves it (POSIX unlink semantics).
+	graveyard []*heapFile
+}
+
+func (sp *spillState) isPinned(key string) bool {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return sp.pinned[key]
+}
+
+func (sp *spillState) open(key string) (*heapFile, error) {
+	h, err := openHeapFile(sp.dir, key, sp.pool)
+	if err != nil {
+		return nil, err
+	}
+	sp.mu.Lock()
+	sp.heaps[key] = h
+	sp.mu.Unlock()
+	return h, nil
+}
+
+// retire unlinks a heap (table dropped or pinned resident) while keeping its
+// descriptor readable until CloseSpill.
+func (sp *spillState) retire(key string) {
+	sp.mu.Lock()
+	h := sp.heaps[key]
+	if h != nil {
+		delete(sp.heaps, key)
+		sp.graveyard = append(sp.graveyard, h)
+	}
+	sp.mu.Unlock()
+	if h != nil {
+		sp.pool.invalidate(h)
+		os.Remove(h.path) //nolint:errcheck // scratch; best effort
+	}
+}
+
+// EnableSpill turns on disk-backed paged storage for the catalog: tables
+// created from now on spill their committed tuples to heap files under dir
+// through a buffer pool of poolPages frames — except relations named in
+// pinned (and any later marked via PinResident), which stay fully resident.
+// Must be called on an empty catalog, before recovery replays any table.
+func (c *Catalog) EnableSpill(dir string, poolPages int, pinned []string) error {
+	if c.spill != nil {
+		return fmt.Errorf("storage: spill already enabled (dir %s)", c.spill.dir)
+	}
+	c.mu.RLock()
+	populated := len(c.tables) > 0
+	c.mu.RUnlock()
+	if populated {
+		return fmt.Errorf("storage: EnableSpill requires an empty catalog")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("storage: create pages directory: %w", err)
+	}
+	sp := &spillState{
+		dir:    dir,
+		pool:   NewPool(poolPages),
+		pinned: make(map[string]bool, len(pinned)),
+		heaps:  make(map[string]*heapFile),
+	}
+	for _, name := range pinned {
+		sp.pinned[canonical(name)] = true
+	}
+	c.spill = sp
+	return nil
+}
+
+// PinResident marks a relation as fully in-memory — the policy knob that
+// keeps hot coordination relations (answer relations pin themselves through
+// this) out of the page path. If the table already exists with spilled
+// versions, they are materialized back into memory and its heap is retired.
+func (c *Catalog) PinResident(name string) {
+	sp := c.spill
+	if sp == nil {
+		return
+	}
+	key := canonical(name)
+	sp.mu.Lock()
+	sp.pinned[key] = true
+	sp.mu.Unlock()
+	c.mu.RLock()
+	t := c.tables[key]
+	c.mu.RUnlock()
+	if t != nil && t.detachHeap() {
+		sp.retire(key)
+	}
+}
+
+// detachHeap materializes every spilled version and drops the table's heap
+// reference; returns whether there was one. After it returns, no reader can
+// capture a new ref into the heap (writes and captures both require t.mu).
+func (t *Table) detachHeap() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.heap == nil {
+		return false
+	}
+	for _, h := range t.rows {
+		for v := h; v != nil; v = v.prev {
+			if v.tup == nil {
+				v.tup = heapMustLoad(t.heap, v.ref)
+			}
+		}
+	}
+	t.heap = nil
+	return true
+}
+
+// FlushPool writes every dirty buffered page back to disk — the checkpoint
+// hook the WAL compaction path drives. No-op without spill enabled.
+func (c *Catalog) FlushPool() error {
+	if c.spill == nil {
+		return nil
+	}
+	return c.spill.pool.FlushDirty()
+}
+
+// PoolStats reports the buffer pool and heap footprint, or false when spill
+// is not enabled.
+func (c *Catalog) PoolStats() (PoolStats, bool) {
+	sp := c.spill
+	if sp == nil {
+		return PoolStats{}, false
+	}
+	stats := sp.pool.Stats()
+	sp.mu.Lock()
+	stats.SpilledTables = len(sp.heaps)
+	stats.PinnedTables = len(sp.pinned)
+	for name, h := range sp.heaps {
+		pages := h.pages()
+		stats.HeapPages += pages
+		stats.Tables = append(stats.Tables, PoolTableInfo{Name: name, Pages: pages})
+	}
+	sp.mu.Unlock()
+	sort.Slice(stats.Tables, func(i, j int) bool { return stats.Tables[i].Name < stats.Tables[j].Name })
+	return stats, true
+}
+
+// CloseSpill closes every heap file (live and retired). The owning system
+// calls it on shutdown; the catalog must not be used for spillable reads
+// afterwards.
+func (c *Catalog) CloseSpill() {
+	sp := c.spill
+	if sp == nil {
+		return
+	}
+	sp.mu.Lock()
+	heaps := make([]*heapFile, 0, len(sp.heaps)+len(sp.graveyard))
+	for _, h := range sp.heaps {
+		heaps = append(heaps, h)
+	}
+	heaps = append(heaps, sp.graveyard...)
+	sp.graveyard = nil
+	sp.mu.Unlock()
+	for _, h := range heaps {
+		h.f.Close() //nolint:errcheck // scratch files; nothing to preserve
+	}
+}

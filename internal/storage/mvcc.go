@@ -44,7 +44,16 @@ const latestTS = liveTS - 1
 // under the owning table's mutex, so readers holding it (even shared) see
 // consistent values.
 type version struct {
-	tup   value.Tuple
+	// tup is the tuple, or nil when the version is spilled to the table's
+	// heap file and ref locates its bytes instead. Spillable tables page out
+	// the version at creation; a write that needs the old tuple materializes
+	// it back (update/delete — "the chain is reconstructed on write"). tup
+	// only ever transitions nil→non-nil, under the table's exclusive latch.
+	tup value.Tuple
+	// ref locates the spilled record (page.go). Written once at version
+	// creation and never mutated — heaps are append-only — so readers may
+	// copy it under the shared latch and resolve it after releasing.
+	ref   pageRef
 	begin uint64   // commit ts of the creating txn
 	end   uint64   // commit ts of the deleting/superseding txn; liveTS while current
 	bw    *Writer  // in-flight creator, nil once finalized

@@ -106,7 +106,7 @@ func (ix *orderedIndex) scanAt(t *Table, s Snapshot, lo, hi Bound) []RowID {
 				break
 			}
 		}
-		if v := visibleVersion(t.rows[e.id], s); v != nil && v.tup[ix.col].Compare(e.v) == 0 {
+		if v := visibleVersion(t.rows[e.id], s); v != nil && t.tupleOf(v)[ix.col].Compare(e.v) == 0 {
 			out = append(out, e.id)
 		}
 	}
@@ -131,7 +131,7 @@ func (t *Table) CreateOrderedIndex(col string) error {
 	t.ordered[o] = ix
 	for id, h := range t.rows {
 		for v := h; v != nil; v = v.prev {
-			ix.add(id, v.tup) // cover every version so old snapshots probe correctly
+			ix.add(id, t.tupleOf(v)) // cover every version so old snapshots probe correctly
 		}
 	}
 	t.log.emit(LogRecord{Op: OpCreateOrderedIndex, Table: t.name, Cols: []string{col}})

@@ -1,0 +1,97 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/value"
+)
+
+// Paged tuple storage: the on-disk page format behind spillable tables.
+//
+// A heap file (heap.go) is a sequence of fixed-size 8 KiB pages. Each page
+// is an 8-byte header followed by records appended in arrival order:
+//
+//	header:  used (uint16 LE) | count (uint16 LE) | 4 reserved bytes
+//	record:  row id (uvarint) | payload length (uvarint) | tuple payload
+//
+// `used` is the byte offset one past the last record (headerLen on an empty
+// page) and `count` the number of records — both are bookkeeping for
+// debugging and offline inspection; readers navigate by pageRef, which
+// carries the record's exact offset and length, so a record is decoded
+// without touching the header or its neighbours. The tuple payload is the
+// shared codec of codec.go — the same bytes the WAL writes for the row.
+//
+// Records never span pages and pages are immutable once sealed (full), which
+// is what lets buffer-pool readers decode a pinned page without any
+// page-level lock: the only mutable page of a heap is its in-memory tail,
+// and appends there only ever touch bytes past every previously handed-out
+// reference.
+
+const (
+	// PageSize is the fixed size of a heap page and of every buffer-pool
+	// frame.
+	PageSize = 8 << 10
+
+	pageHeaderLen = 8
+
+	// maxRecordLen is the largest record a page can hold. Tuples that encode
+	// larger than this stay fully in memory (newVersion falls back), so the
+	// page format never needs overflow chains.
+	maxRecordLen = PageSize - pageHeaderLen
+)
+
+// ErrTupleTooLarge reports a tuple whose encoded record exceeds a page's
+// capacity; spillable tables keep such tuples resident instead.
+var ErrTupleTooLarge = errors.New("storage: tuple exceeds page capacity")
+
+// pageRef locates one record inside a table's heap file: the page number,
+// the record's byte offset within the page, and its total length. The zero
+// ref (n == 0) means "not spilled". Refs are written once when the version
+// is created and never change — heaps are append-only — so readers may copy
+// a ref under the table's shared latch and resolve it after releasing it.
+type pageRef struct {
+	page uint32
+	off  uint16
+	n    uint16
+}
+
+func (r pageRef) isSet() bool { return r.n != 0 }
+
+func pageUsed(buf []byte) int       { return int(binary.LittleEndian.Uint16(buf)) }
+func setPageUsed(buf []byte, n int) { binary.LittleEndian.PutUint16(buf, uint16(n)) }
+
+func pageCount(buf []byte) int       { return int(binary.LittleEndian.Uint16(buf[2:])) }
+func setPageCount(buf []byte, n int) { binary.LittleEndian.PutUint16(buf[2:], uint16(n)) }
+
+// appendHeapRecord encodes one record (row id, length prefix, tuple payload)
+// onto dst. payload is a scratch buffer holding the already-encoded tuple
+// (AppendTuple), so the length prefix is known before the record is laid out.
+func appendHeapRecord(dst []byte, id RowID, payload []byte) []byte {
+	dst = AppendUvarint(dst, uint64(id))
+	dst = AppendUvarint(dst, uint64(len(payload)))
+	return append(dst, payload...)
+}
+
+// decodeHeapRecord decodes a record written by appendHeapRecord.
+func decodeHeapRecord(b []byte) (RowID, value.Tuple, error) {
+	id, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("storage: bad row id in heap record")
+	}
+	off := n
+	payload, n := binary.Uvarint(b[off:])
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("storage: bad payload length in heap record")
+	}
+	off += n
+	if payload > uint64(len(b)-off) {
+		return 0, nil, fmt.Errorf("storage: heap record payload %d exceeds record bounds", payload)
+	}
+	tup, _, err := DecodeTuple(b[off : off+int(payload)])
+	if err != nil {
+		return 0, nil, err
+	}
+	return RowID(id), tup, nil
+}

@@ -1,0 +1,258 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Pool is the fixed-capacity buffer pool shared by every spillable table of
+// a catalog. It caches heap pages in a fixed set of PageSize frames with
+// pin/unpin reference counts and CLOCK second-chance eviction.
+//
+// Locking: p.mu guards the frame table (the page→frame map, pin counts,
+// reference bits, dirty flags) and every disk transfer. Page BYTES need no
+// lock of their own: a frame's contents are written only while the frame is
+// unreferenced (adopt/fetch fill it before it is mapped, eviction requires
+// pins == 0), and once mapped a page is a sealed — immutable — heap page, so
+// any number of pinned readers may decode it concurrently while p.mu is
+// free. Doing disk I/O under p.mu serializes concurrent misses; that is the
+// deliberate v1 trade (one mutex, no frame latches) and is called out in
+// ARCHITECTURE.md.
+//
+// ErrPoolExhausted is the typed no-deadlock guarantee: when every frame is
+// pinned, fetch fails immediately instead of waiting for an unpin that the
+// caller itself might owe.
+
+// ErrPoolExhausted is returned by a page fetch that found every frame
+// pinned. Callers either surface it or fall back to an unbuffered read
+// (heapFile.load does the latter, so table reads degrade instead of failing).
+var ErrPoolExhausted = errors.New("storage: buffer pool exhausted (all frames pinned)")
+
+// pageTag identifies a cached page: which heap, which page number.
+type pageTag struct {
+	h  *heapFile
+	no uint32
+}
+
+type frame struct {
+	tag    pageTag
+	buf    []byte
+	pins   int  // readers currently holding the frame; >0 blocks eviction
+	refbit bool // CLOCK second-chance bit, set on unpin
+	dirty  bool // contents newer than disk; written back on evict/flush
+	inUse  bool
+}
+
+// Pool implements the buffer pool. The zero value is not usable; NewPool.
+type Pool struct {
+	mu     sync.Mutex
+	frames []frame
+	idx    map[pageTag]int
+	hand   int // CLOCK hand
+
+	hits, misses, evictions, writebacks uint64
+}
+
+// NewPool returns a pool of the given number of PageSize frames (minimum 1).
+func NewPool(pages int) *Pool {
+	if pages < 1 {
+		pages = 1
+	}
+	p := &Pool{
+		frames: make([]frame, pages),
+		idx:    make(map[pageTag]int, pages),
+	}
+	for i := range p.frames {
+		p.frames[i].buf = make([]byte, PageSize)
+	}
+	return p
+}
+
+// victimLocked runs the CLOCK sweep: skip pinned frames, give referenced
+// frames a second chance, take the first unreferenced one (free frames win
+// immediately). Two full sweeps without a victim means every frame is
+// pinned. A dirty victim is written back before reuse. Caller holds p.mu.
+func (p *Pool) victimLocked() (int, error) {
+	for spins := 0; spins < 2*len(p.frames); spins++ {
+		i := p.hand
+		p.hand = (p.hand + 1) % len(p.frames)
+		f := &p.frames[i]
+		if !f.inUse {
+			return i, nil
+		}
+		if f.pins > 0 {
+			continue
+		}
+		if f.refbit {
+			f.refbit = false
+			continue
+		}
+		if f.dirty {
+			if err := f.tag.h.writePage(f.tag.no, f.buf); err != nil {
+				return 0, fmt.Errorf("storage: buffer pool writeback of %s page %d: %w", f.tag.h.name, f.tag.no, err)
+			}
+			p.writebacks++
+		}
+		delete(p.idx, f.tag)
+		f.inUse = false
+		f.dirty = false
+		p.evictions++
+		return i, nil
+	}
+	return 0, ErrPoolExhausted
+}
+
+// fetch returns the index of a pinned frame holding the page, reading it
+// from disk on a miss. The caller must unpin it when done decoding.
+func (p *Pool) fetch(h *heapFile, no uint32) (int, error) {
+	tag := pageTag{h: h, no: no}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if i, ok := p.idx[tag]; ok {
+		p.hits++
+		p.frames[i].pins++
+		return i, nil
+	}
+	p.misses++
+	i, err := p.victimLocked()
+	if err != nil {
+		return 0, err
+	}
+	f := &p.frames[i]
+	if err := h.readPage(no, f.buf); err != nil {
+		return 0, fmt.Errorf("storage: buffer pool read of %s page %d: %w", h.name, no, err)
+	}
+	f.tag = tag
+	f.inUse = true
+	f.pins = 1
+	f.refbit = false
+	f.dirty = false
+	p.idx[tag] = i
+	return i, nil
+}
+
+// unpin releases one pin taken by fetch and marks the frame recently used.
+func (p *Pool) unpin(i int) {
+	p.mu.Lock()
+	f := &p.frames[i]
+	f.pins--
+	f.refbit = true
+	p.mu.Unlock()
+}
+
+// adopt installs a just-sealed tail page into the pool as a resident dirty
+// frame, deferring its disk write to eviction or the next checkpoint flush.
+// On ErrPoolExhausted the caller writes the page to disk directly instead.
+func (p *Pool) adopt(h *heapFile, no uint32, data []byte) error {
+	tag := pageTag{h: h, no: no}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.idx[tag]; ok {
+		// A sealed page is adopted exactly once; a duplicate means heap
+		// bookkeeping broke.
+		return fmt.Errorf("storage: page %d of %s already resident", no, h.name)
+	}
+	i, err := p.victimLocked()
+	if err != nil {
+		return err
+	}
+	f := &p.frames[i]
+	copy(f.buf, data)
+	f.tag = tag
+	f.inUse = true
+	f.pins = 0
+	f.refbit = true
+	f.dirty = true
+	p.idx[tag] = i
+	return nil
+}
+
+// FlushDirty writes every dirty frame back to its heap file — the
+// checkpoint hook: after a flush, eviction is pure frame recycling until new
+// writes dirty pages again. Pinned frames are flushed too (their bytes are
+// immutable sealed pages; pins only protect residency).
+func (p *Pool) FlushDirty() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.frames {
+		f := &p.frames[i]
+		if !f.inUse || !f.dirty {
+			continue
+		}
+		if err := f.tag.h.writePage(f.tag.no, f.buf); err != nil {
+			return fmt.Errorf("storage: checkpoint writeback of %s page %d: %w", f.tag.h.name, f.tag.no, err)
+		}
+		f.dirty = false
+		p.writebacks++
+	}
+	return nil
+}
+
+// invalidate drops every resident page of h without writeback (the heap is
+// being dropped with its table).
+func (p *Pool) invalidate(h *heapFile) {
+	p.mu.Lock()
+	for i := range p.frames {
+		f := &p.frames[i]
+		if f.inUse && f.tag.h == h && f.pins == 0 {
+			delete(p.idx, f.tag)
+			f.inUse = false
+			f.dirty = false
+		}
+	}
+	p.mu.Unlock()
+}
+
+// Stats returns the pool's cumulative counters and current occupancy.
+func (p *Pool) Stats() (stats PoolStats) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	stats.Capacity = len(p.frames)
+	for i := range p.frames {
+		if p.frames[i].inUse {
+			stats.Resident++
+			if p.frames[i].dirty {
+				stats.Dirty++
+			}
+		}
+	}
+	stats.Hits, stats.Misses = p.hits, p.misses
+	stats.Evictions, stats.Writebacks = p.evictions, p.writebacks
+	return stats
+}
+
+// PoolStats is the buffer-pool snapshot surfaced on the admin interface and
+// consumed by the larger-than-RAM benchmark.
+type PoolStats struct {
+	Capacity int // frames configured
+	Resident int // frames currently holding a page
+	Dirty    int // resident frames awaiting writeback
+
+	Hits       uint64 // fetches served from a resident frame
+	Misses     uint64 // fetches that read from disk
+	Evictions  uint64 // frames recycled by CLOCK
+	Writebacks uint64 // dirty pages written back (eviction + checkpoints)
+
+	SpilledTables int // tables paging through this pool
+	PinnedTables  int // tables kept fully resident by policy
+	HeapPages     int // pages allocated across all heap files (incl. tails)
+
+	// Tables lists each spillable table's heap footprint, sorted by name.
+	Tables []PoolTableInfo
+}
+
+// PoolTableInfo is one spillable table's entry in PoolStats.
+type PoolTableInfo struct {
+	Name  string
+	Pages int // heap pages allocated (sealed plus the in-memory tail)
+}
+
+// HitRatio returns hits/(hits+misses), or 1 when the pool is untouched.
+func (s PoolStats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 1
+	}
+	return float64(s.Hits) / float64(total)
+}

@@ -47,6 +47,13 @@ type Table struct {
 	clock     *atomic.Uint64
 	conflicts *atomic.Uint64
 
+	// heap, when non-nil, makes the table spillable: committed tuples page
+	// out to this heap file through the catalog's buffer pool and versions
+	// hold a pageRef instead of the tuple (see mvcc.go). Standalone and
+	// policy-pinned tables keep it nil. Written under mu (Create before
+	// publication, detachHeap); read under mu.
+	heap *heapFile
+
 	mu      sync.RWMutex
 	rows    map[RowID]*version // head (newest) of each row's version chain
 	nextID  RowID
@@ -208,7 +215,7 @@ func (t *Table) CreateIndex(cols ...string) error {
 	ix := newHashIndex(offs)
 	for id, h := range t.rows {
 		for v := h; v != nil; v = v.prev {
-			ix.add(id, v.tup) // cover every version so old snapshots probe correctly
+			ix.add(id, t.tupleOf(v)) // cover every version so old snapshots probe correctly
 		}
 	}
 	t.indexes[name] = ix
@@ -271,6 +278,41 @@ func appendIndexName(b []byte, offs []int) []byte {
 	return b
 }
 
+// tupleOf resolves a version's tuple: the resident one, or a transient
+// decode of its spilled record. Caller holds t.mu (shared suffices — the
+// heap and pool synchronize internally and the result is not cached).
+func (t *Table) tupleOf(v *version) value.Tuple {
+	if v.tup != nil {
+		return v.tup
+	}
+	return heapMustLoad(t.heap, v.ref)
+}
+
+// materialize loads a spilled version's tuple back into memory — the
+// write-path half of the spill contract: a version about to be superseded
+// (update/delete need its old tuple) rejoins the in-memory chain. Caller
+// holds t.mu exclusively.
+func (t *Table) materialize(v *version) {
+	if v.tup == nil {
+		v.tup = heapMustLoad(t.heap, v.ref)
+	}
+}
+
+// newVersion builds the version holding a validated tuple: spillable tables
+// page the tuple out and keep only the ref; pinned tables (and oversized
+// tuples, or a heap hitting an I/O error) keep a resident clone. Caller
+// holds t.mu exclusively.
+func (t *Table) newVersion(id RowID, tup value.Tuple) *version {
+	if t.heap != nil {
+		if ref, err := t.heap.place(id, tup); err == nil {
+			return &version{ref: ref, end: liveTS}
+		}
+		// ErrTupleTooLarge or an I/O failure: degrade to resident storage
+		// rather than failing the write — the WAL still records it.
+	}
+	return &version{tup: tup.Clone(), end: liveTS}
+}
+
 // headLive reports whether the chain head currently occupies its primary-key
 // slot from w's point of view: not deleted by a committed transaction, not
 // deleted by w itself. Caller holds t.mu.
@@ -292,7 +334,7 @@ func (t *Table) pkOccupied(k string, w *Writer, skip RowID) bool {
 			continue
 		}
 		h := t.rows[id]
-		if h == nil || !t.pk.keyMatches(h.tup, k) {
+		if h == nil || !t.pk.keyMatches(t.tupleOf(h), k) {
 			continue // an older version carried k; the current head does not
 		}
 		if headLive(h, w) {
@@ -367,7 +409,7 @@ func (t *Table) insert(w *Writer, tup value.Tuple) (RowID, error) {
 	}
 	id := t.nextID
 	t.nextID++
-	v := &version{tup: tup.Clone(), end: liveTS}
+	v := t.newVersion(id, tup)
 	if w == nil {
 		v.begin = t.clock.Add(1)
 	} else {
@@ -375,7 +417,7 @@ func (t *Table) insert(w *Writer, tup value.Tuple) (RowID, error) {
 		w.touch(t, v)
 	}
 	t.rows[id] = v
-	t.addKeys(id, v.tup)
+	t.addKeys(id, tup)
 	t.version++
 	t.log.emit(LogRecord{Op: OpInsert, Table: t.name, RowID: id, Row: tup, Txn: txnID(w)})
 	return id, nil
@@ -420,11 +462,23 @@ func (t *Table) GetRef(id RowID) (value.Tuple, bool) { return t.GetRefAt(Latest(
 func (t *Table) GetRefAt(s Snapshot, id RowID) (value.Tuple, bool) {
 	t.mu.RLock()
 	v := visibleVersion(t.rows[id], s)
+	var tup value.Tuple
+	var ref pageRef
+	var h *heapFile
+	if v != nil {
+		// Capture under the latch: tup only ever transitions nil→non-nil
+		// (materialize) and ref/heap pointers captured together with a nil
+		// tup are guaranteed still-loadable (retired heaps stay readable).
+		tup, ref, h = v.tup, v.ref, t.heap
+	}
 	t.mu.RUnlock()
 	if v == nil {
 		return nil, false
 	}
-	return v.tup, true
+	if tup == nil {
+		tup = heapMustLoad(h, ref) // spilled: decode outside the latch
+	}
+	return tup, true
 }
 
 // Delete removes the row with the given id (auto-commit) and returns the
@@ -441,6 +495,7 @@ func (t *Table) delete(w *Writer, id RowID) (value.Tuple, error) {
 	if err != nil {
 		return nil, err
 	}
+	t.materialize(h) // the deleted tuple rejoins the chain (undo, return value)
 	if w == nil {
 		h.end = t.clock.Add(1)
 	} else {
@@ -471,6 +526,7 @@ func (t *Table) update(w *Writer, id RowID, tup value.Tuple) (value.Tuple, error
 	if err != nil {
 		return nil, err
 	}
+	t.materialize(h) // superseded version rejoins the in-memory chain
 	if t.pk != nil {
 		var ob, nb [64]byte
 		oldK := string(t.pk.appendKey(ob[:0], h.tup))
@@ -479,7 +535,8 @@ func (t *Table) update(w *Writer, id RowID, tup value.Tuple) (value.Tuple, error
 			return nil, fmt.Errorf("%w: %s in %s", ErrDuplicateKey, tup.Project(t.pkCols), t.name)
 		}
 	}
-	v := &version{tup: tup.Clone(), end: liveTS, prev: h}
+	v := t.newVersion(id, tup)
+	v.prev = h
 	if w == nil {
 		ts := t.clock.Add(1)
 		v.begin = ts
@@ -491,7 +548,7 @@ func (t *Table) update(w *Writer, id RowID, tup value.Tuple) (value.Tuple, error
 		w.touch(t, h)
 	}
 	t.rows[id] = v
-	t.addKeys(id, v.tup) // old version keys stay until GC prunes the version
+	t.addKeys(id, tup) // old version keys stay until GC prunes the version
 	t.version++
 	t.log.emit(LogRecord{Op: OpUpdate, Table: t.name, RowID: id, Row: tup, Txn: txnID(w)})
 	return h.tup, nil
@@ -519,7 +576,8 @@ func (t *Table) restoreAt(w *Writer, id RowID, tup value.Tuple) error {
 	if h != nil && (headLive(h, w) || (w != nil && h.bw == w && h.ew != w)) {
 		return fmt.Errorf("storage: RestoreAt: row %d already live in %s", id, t.name)
 	}
-	v := &version{tup: tup.Clone(), end: liveTS, prev: h}
+	v := t.newVersion(id, tup)
+	v.prev = h
 	if w == nil {
 		v.begin = t.clock.Add(1)
 	} else {
@@ -527,7 +585,7 @@ func (t *Table) restoreAt(w *Writer, id RowID, tup value.Tuple) error {
 		w.touch(t, v)
 	}
 	t.rows[id] = v
-	t.addKeys(id, v.tup)
+	t.addKeys(id, tup)
 	if id >= t.nextID {
 		t.nextID = id + 1
 	}
@@ -543,7 +601,10 @@ func (t *Table) Scan(fn func(RowID, value.Tuple) bool) { t.ScanAt(Latest(), fn) 
 // ScanAt is Scan against a snapshot. The visible rows are collected under
 // the table's shared latch FIRST and the callback runs entirely outside it,
 // so a slow consumer never blocks writers (or other readers) and the
-// iteration still observes exactly the snapshot's consistent state.
+// iteration still observes exactly the snapshot's consistent state. For
+// spillable tables only the page refs are captured under the latch; the
+// tuples themselves are decoded through the buffer pool after it is
+// released, so a cold scan's page I/O never blocks writers either.
 func (t *Table) ScanAt(s Snapshot, fn func(RowID, value.Tuple) bool) {
 	t.mu.RLock()
 	ids := make([]RowID, 0, len(t.rows))
@@ -554,11 +615,23 @@ func (t *Table) ScanAt(s Snapshot, fn func(RowID, value.Tuple) bool) {
 	}
 	slices.Sort(ids)
 	snap := make([]value.Tuple, len(ids))
+	var refs []pageRef
+	heap := t.heap
 	for i, id := range ids {
-		snap[i] = visibleVersion(t.rows[id], s).tup
+		v := visibleVersion(t.rows[id], s)
+		snap[i] = v.tup
+		if v.tup == nil {
+			if refs == nil {
+				refs = make([]pageRef, len(ids))
+			}
+			refs[i] = v.ref
+		}
 	}
 	t.mu.RUnlock()
 	for i, id := range ids {
+		if snap[i] == nil {
+			snap[i] = heapMustLoad(heap, refs[i])
+		}
 		if !fn(id, snap[i]) {
 			return
 		}
@@ -598,7 +671,7 @@ func (t *Table) LookupEqAppendAt(s Snapshot, dst []RowID, cols []int, key value.
 		k := string(key.AppendKey(kb[:0]))
 		start := len(dst)
 		for id := range ix.m[k] {
-			if v := visibleVersion(t.rows[id], s); v != nil && ix.keyMatches(v.tup, k) {
+			if v := visibleVersion(t.rows[id], s); v != nil && ix.keyMatches(t.tupleOf(v), k) {
 				dst = append(dst, id)
 			}
 		}
@@ -635,8 +708,15 @@ func (t *Table) LookupPKAt(s Snapshot, key value.Tuple) (RowID, value.Tuple, boo
 	var kb [64]byte
 	k := string(key.AppendKey(kb[:0]))
 	for id := range t.pk.m[k] {
-		if v := visibleVersion(t.rows[id], s); v != nil && t.pk.keyMatches(v.tup, k) {
-			return id, v.tup.Clone(), true
+		if v := visibleVersion(t.rows[id], s); v != nil {
+			tup := t.tupleOf(v)
+			if !t.pk.keyMatches(tup, k) {
+				continue
+			}
+			if v.tup != nil {
+				tup = tup.Clone() // spilled decodes are already private copies
+			}
+			return id, tup, true
 		}
 	}
 	return 0, nil, false
@@ -697,11 +777,12 @@ func (t *Table) gc(wm uint64) (reclaimed int) {
 // version of the chain (rooted at head, nil when the chain is gone) still
 // carries the same key. Caller holds t.mu.
 func (t *Table) dropKeys(id RowID, dead *version, head *version) {
+	deadTup := t.tupleOf(dead)
 	drop := func(ix *hashIndex) {
 		var kb [64]byte
-		k := string(ix.appendKey(kb[:0], dead.tup))
+		k := string(ix.appendKey(kb[:0], deadTup))
 		for v := head; v != nil; v = v.prev {
-			if v != dead && ix.keyMatches(v.tup, k) {
+			if v != dead && ix.keyMatches(t.tupleOf(v), k) {
 				return
 			}
 		}
@@ -714,16 +795,16 @@ func (t *Table) dropKeys(id RowID, dead *version, head *version) {
 		drop(ix)
 	}
 	for _, ox := range t.ordered {
-		val := dead.tup[ox.col]
+		val := deadTup[ox.col]
 		shared := false
 		for v := head; v != nil; v = v.prev {
-			if v != dead && v.tup[ox.col].Compare(val) == 0 {
+			if v != dead && t.tupleOf(v)[ox.col].Compare(val) == 0 {
 				shared = true
 				break
 			}
 		}
 		if !shared {
-			ox.remove(id, dead.tup)
+			ox.remove(id, deadTup)
 		}
 	}
 }

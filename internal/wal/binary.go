@@ -4,7 +4,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
-	"math"
 
 	"repro/internal/storage"
 	"repro/internal/value"
@@ -127,33 +126,12 @@ func parseSegHeader(b []byte) (flags byte, err error) {
 
 func appendUvarint(dst []byte, v uint64) []byte { return binary.AppendUvarint(dst, v) }
 
-func appendString(dst []byte, s string) []byte {
-	dst = appendUvarint(dst, uint64(len(s)))
-	return append(dst, s...)
-}
+func appendString(dst []byte, s string) []byte { return storage.AppendString(dst, s) }
 
-func appendValue(dst []byte, v value.Value) []byte {
-	switch v.Type() {
-	case value.TypeInt:
-		dst = append(dst, 1)
-		dst = binary.AppendVarint(dst, v.Int())
-	case value.TypeFloat:
-		dst = append(dst, 2)
-		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.Float()))
-	case value.TypeString:
-		dst = append(dst, 3)
-		dst = appendString(dst, v.Str())
-	case value.TypeBool:
-		b := byte(0)
-		if v.Bool() {
-			b = 1
-		}
-		dst = append(dst, 4, b)
-	default: // NULL
-		dst = append(dst, 0)
-	}
-	return dst
-}
+// appendValue delegates to the storage codec (storage/codec.go), the single
+// implementation shared with the buffer pool's heap pages — a tuple's WAL
+// bytes and its on-page bytes are the same encoding.
+func appendValue(dst []byte, v value.Value) []byte { return storage.AppendValue(dst, v) }
 
 // appendRecordPayload encodes r (without framing) onto dst.
 func appendRecordPayload(dst []byte, r storage.LogRecord) ([]byte, error) {
@@ -246,15 +224,6 @@ func (r *byteReader) uvarint() (uint64, error) {
 	return v, nil
 }
 
-func (r *byteReader) varint() (int64, error) {
-	v, n := binary.Varint(r.b[r.off:])
-	if n <= 0 {
-		return 0, fmt.Errorf("wal: bad varint in record payload")
-	}
-	r.off += n
-	return v, nil
-}
-
 func (r *byteReader) bytes(n int) ([]byte, error) {
 	if n < 0 || n > r.remaining() {
 		return nil, fmt.Errorf("wal: record payload truncated (want %d bytes, have %d)", n, r.remaining())
@@ -293,41 +262,16 @@ func (r *byteReader) count() (int, error) {
 	return int(n), nil
 }
 
+// value decodes one typed value via the shared storage codec, advancing the
+// cursor. Errors are wrapped with the WAL's corruption framing so the
+// decoder's never-panic contract and messages stay recognizable.
 func (r *byteReader) value() (value.Value, error) {
-	tag, err := r.u8()
+	v, n, err := storage.DecodeValue(r.b[r.off:])
 	if err != nil {
-		return value.Null, err
+		return value.Null, fmt.Errorf("wal: %w", err)
 	}
-	switch tag {
-	case 0:
-		return value.Null, nil
-	case 1:
-		i, err := r.varint()
-		if err != nil {
-			return value.Null, err
-		}
-		return value.NewInt(i), nil
-	case 2:
-		b, err := r.bytes(8)
-		if err != nil {
-			return value.Null, err
-		}
-		return value.NewFloat(math.Float64frombits(binary.LittleEndian.Uint64(b))), nil
-	case 3:
-		s, err := r.str()
-		if err != nil {
-			return value.Null, err
-		}
-		return value.NewString(s), nil
-	case 4:
-		b, err := r.u8()
-		if err != nil {
-			return value.Null, err
-		}
-		return value.NewBool(b != 0), nil
-	default:
-		return value.Null, fmt.Errorf("wal: unknown value tag %d", tag)
-	}
+	r.off += n
+	return v, nil
 }
 
 // decodeRecordPayload decodes one framed payload back into a LogRecord. The
