@@ -23,6 +23,7 @@
 //	youtopia-admin -connect ADDR -repl     # replication lag and health
 //	youtopia-admin -connect ADDR -health   # role + readiness, one line
 //	youtopia-admin -connect ADDR -promote  # promote a follower to primary
+//	youtopia-admin -connect ADDR -explain 'SELECT ...'  # access plan, no execution
 package main
 
 import (
@@ -48,11 +49,14 @@ func main() {
 	replOnly := flag.Bool("repl", false, "with -connect: show replication status (role, epoch, follower lag)")
 	health := flag.Bool("health", false, "with -connect: one-line role + readiness; exit 1 when not ready")
 	promote := flag.Bool("promote", false, "with -connect: promote the follower to primary")
+	explain := flag.String("explain", "", "with -connect: show the server's access plan for this statement without executing it")
 	flag.Parse()
 
 	if *connect != "" {
 		var err error
 		switch {
+		case *explain != "":
+			err = explainStmt(*connect, *explain, *asJSON)
 		case *promote:
 			err = promoteServer(*connect, *asJSON)
 		case *health:
@@ -235,11 +239,37 @@ func inspectPool(addr string, asJSON bool) error {
 	}
 	fmt.Printf("pool: frames=%d resident=%d dirty=%d hit-ratio=%.1f%% (hits=%d misses=%d) evictions=%d writebacks=%d\n",
 		st.Capacity, st.Resident, st.Dirty, 100*st.HitRatio(), st.Hits, st.Misses, st.Evictions, st.Writebacks)
-	fmt.Printf("heap: spilled-tables=%d pinned-relations=%d pages=%d\n",
-		st.SpilledTables, st.PinnedTables, st.HeapPages)
+	fmt.Printf("heap: spilled-tables=%d pinned-relations=%d pages=%d dead-slots=%d\n",
+		st.SpilledTables, st.PinnedTables, st.HeapPages, st.DeadSlots)
 	for _, t := range st.Tables {
-		fmt.Printf("  %-24s %d page(s)\n", t.Name, t.Pages)
+		fmt.Printf("  %-24s %d page(s)", t.Name, t.Pages)
+		if t.DeadSlots > 0 {
+			fmt.Printf("  dead-slots=%d", t.DeadSlots)
+		}
+		fmt.Println()
 	}
+	return nil
+}
+
+// explainStmt asks the server for the typed plan description of one
+// statement — the wire form of the CLI's \explain — and renders it (or, with
+// -json, emits the structured description).
+func explainStmt(addr, sqlText string, asJSON bool) error {
+	c, err := server.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	d, err := c.Explain(sqlText)
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(d)
+	}
+	fmt.Print(d.String())
 	return nil
 }
 

@@ -78,7 +78,7 @@ func main() {
 		os.Exit(1)
 	}
 	defer sys.Close()
-	cli := &session{sess: core.NewSession(sys), owner: *owner}
+	cli := &session{sys: sys, sess: core.NewSession(sys), owner: *owner}
 	defer cli.sess.Close()
 	if *seed {
 		if err := travel.Seed(sys, travel.SeedConfig{Seed: 1}); err != nil {
@@ -130,6 +130,7 @@ func main() {
 // session tracks entangled queries awaiting answers so their outcomes print
 // deterministically (no goroutine races with process exit).
 type session struct {
+	sys         *core.System
 	sess        *core.Session
 	owner       string
 	outstanding []*coord.Handle
@@ -186,6 +187,13 @@ func meta(cli *session, sys *core.System, cmd string) bool {
 	switch strings.Fields(cmd)[0] {
 	case `\quit`, `\q`:
 		return false
+	case `\explain`:
+		rest := strings.TrimSpace(strings.TrimPrefix(cmd, `\explain`))
+		if rest == "" {
+			fmt.Println("usage: \\explain <sql>")
+			break
+		}
+		cli.explain(strings.TrimSuffix(rest, ";"))
 	case `\prepare`:
 		cli.metaPrepare(cmd)
 	case `\exec`:
@@ -257,10 +265,14 @@ func meta(cli *session, sys *core.System, cmd string) bool {
 		}
 		fmt.Printf("pool: frames=%d resident=%d dirty=%d hit-ratio=%.1f%% (hits=%d misses=%d) evictions=%d writebacks=%d\n",
 			st.Capacity, st.Resident, st.Dirty, 100*st.HitRatio(), st.Hits, st.Misses, st.Evictions, st.Writebacks)
-		fmt.Printf("heap: spilled-tables=%d pinned-relations=%d pages=%d\n",
-			st.SpilledTables, st.PinnedTables, st.HeapPages)
+		fmt.Printf("heap: spilled-tables=%d pinned-relations=%d pages=%d dead-slots=%d\n",
+			st.SpilledTables, st.PinnedTables, st.HeapPages, st.DeadSlots)
 		for _, t := range st.Tables {
-			fmt.Printf("  %-24s %d page(s)\n", t.Name, t.Pages)
+			fmt.Printf("  %-24s %d page(s)", t.Name, t.Pages)
+			if t.DeadSlots > 0 {
+				fmt.Printf("  dead-slots=%d", t.DeadSlots)
+			}
+			fmt.Println()
 		}
 	case `\dot`:
 		fmt.Print(sys.Coordinator().DOT())
@@ -294,7 +306,7 @@ func meta(cli *session, sys *core.System, cmd string) bool {
 			fmt.Printf("q%d [%s] waiting %s: %s\n", p.ID, p.Owner, p.Waiting.Round(1e6), p.Logic)
 		}
 	case `\help`:
-		fmt.Println(`\seed \fig1 \state \stats \shards \wal \txn \repl \pool \pending \why <id> \dot \prepare <name> <sql> \exec <name> [args...] \quit — SQL statements end with ';'. Prefix EXPLAIN to see an entangled query's compiled form. -json renders \stats/\shards/\pending/\wal/\txn/\repl/\pool machine-readably.
+		fmt.Println(`\seed \fig1 \state \stats \shards \wal \txn \repl \pool \pending \why <id> \dot \explain <sql> \prepare <name> <sql> \exec <name> [args...] \quit — SQL statements end with ';'. Prefix EXPLAIN (or use \explain) to see a statement's access plan; entangled queries also show their compiled form. -json renders \stats/\shards/\pending/\wal/\txn/\repl/\pool machine-readably.
 \prepare compiles a statement with ? / $n placeholders once; \exec binds arguments (numbers, 'strings', NULL) and runs it — parse-once/bind-many from the shell.`)
 	default:
 		fmt.Println("unknown meta command; \\help for help")
@@ -465,24 +477,29 @@ func stripExplain(stmt string) (string, bool) {
 	return "", false
 }
 
-// explain prints the compiler's analysis without executing.
+// explain prints the access plan without executing. Plain statements show
+// the cost-based planner's choices (access paths, join order, estimates);
+// entangled queries additionally show the compiler's coordination analysis.
 func (c *session) explain(src string) {
 	stmt, err := sql.Parse(src)
 	if err != nil {
 		fmt.Println("error:", err)
 		return
 	}
-	es, ok := stmt.(*sql.EntangledSelect)
-	if !ok {
-		fmt.Printf("plain statement; would execute directly:\n  %s\n", stmt)
-		return
+	if es, ok := stmt.(*sql.EntangledSelect); ok {
+		q, err := eq.Compile(es)
+		if err != nil {
+			fmt.Println("compile error:", err)
+			return
+		}
+		fmt.Print(eq.Explain(q))
 	}
-	q, err := eq.Compile(es)
+	d, err := c.sys.Explain(src, nil)
 	if err != nil {
-		fmt.Println("compile error:", err)
+		fmt.Println("error:", err)
 		return
 	}
-	fmt.Print(eq.Explain(q))
+	fmt.Print(d.String())
 }
 
 func printOutcome(out coord.Outcome) {

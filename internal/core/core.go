@@ -19,9 +19,11 @@ import (
 	"repro/internal/coord"
 	"repro/internal/engine"
 	"repro/internal/eq"
+	"repro/internal/plan"
 	"repro/internal/sql"
 	"repro/internal/storage"
 	"repro/internal/txn"
+	"repro/internal/value"
 	"repro/internal/wal"
 )
 
@@ -505,6 +507,57 @@ func isDML(stmt sql.Statement) bool {
 	default:
 		return false
 	}
+}
+
+// Explain builds the typed plan description for one statement without
+// executing it. A leading EXPLAIN keyword in src is accepted and stripped, so
+// both `EXPLAIN SELECT ...` and the bare statement explain identically.
+// Optional params refine the estimates the way bind-time values would.
+// Entangled queries describe their generators' access paths — each generator
+// subquery is costed by the same planner that grounds it.
+func (s *System) Explain(src string, params value.Tuple) (*plan.Desc, error) {
+	ps, err := s.prepareCached(src)
+	if err != nil {
+		return nil, err
+	}
+	stmt := ps.stmt
+	if ex, ok := stmt.(*sql.Explain); ok {
+		stmt = ex.Stmt
+	}
+	if es, ok := stmt.(*sql.EntangledSelect); ok {
+		return s.explainEntangled(es, params)
+	}
+	return s.eng.ExplainStmt(stmt, params)
+}
+
+// explainEntangled describes an entangled query's grounding plan: one step
+// per generator, costed through the execution engine's planner (generators
+// ground through the same text path, so these are the access paths the
+// coordinator will actually use at this catalog version).
+func (s *System) explainEntangled(es *sql.EntangledSelect, params value.Tuple) (*plan.Desc, error) {
+	q, err := eq.CompileParsed(es, es.String())
+	if err != nil {
+		return nil, err
+	}
+	d := &plan.Desc{SQL: es.String(), Kind: "entangled select"}
+	for _, g := range q.Generators {
+		if g.Sub == nil {
+			d.Steps = append(d.Steps, plan.Step{
+				Table: "(inline)", Path: "inline tuples",
+				EstRows: float64(len(g.Tuples)), Rows: len(g.Tuples),
+			})
+			continue
+		}
+		gd, err := s.eng.ExplainStmt(g.Sub, params)
+		if err != nil {
+			return nil, err
+		}
+		d.Steps = append(d.Steps, gd.Steps...)
+	}
+	if len(d.Steps) == 0 {
+		d.Note = "ground query — no generator table access; coordination only"
+	}
+	return d, nil
 }
 
 // Query runs plain SQL and returns rows; it errors on entangled statements.

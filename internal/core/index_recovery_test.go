@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/value"
+)
+
+// TestCreateIndexCrashRecovery: kill -9 between CREATE INDEX and the next
+// checkpoint. The index DDL lives only in the WAL tail, so recovery must
+// rebuild the ordered index from the replayed records — including writes
+// that landed after the CREATE INDEX — and the recovered catalog must serve
+// it to the planner with DDL-version stamping intact.
+func TestCreateIndexCrashRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "y.wal")
+	s1 := walSystem(t, path)
+	if err := s1.Exec("CREATE TABLE Fares (id INT, price INT, hops INT, PRIMARY KEY (id))"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		if err := s1.Exec(fmt.Sprintf("INSERT INTO Fares VALUES (%d, %d, %d)", i, i%10, i%4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Checkpoint: the table snapshot is sealed without the index.
+	if err := s1.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Exec("CREATE INDEX fares_price ON Fares (price)"); err != nil {
+		t.Fatal(err)
+	}
+	// Post-index writes: replay must maintain the rebuilt index through them.
+	if err := s1.Exec(`
+		INSERT INTO Fares VALUES (100, 3, 0);
+		UPDATE Fares SET price = 3 WHERE id = 4;
+		DELETE FROM Fares WHERE id = 13;
+	`); err != nil {
+		t.Fatal(err)
+	}
+	// kill -9: abandon s1 without Close and replay the directory.
+
+	s2 := walSystem(t, path)
+	defer s2.Close()
+	d, err := s2.Explain("SELECT id FROM Fares WHERE price = 3", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(d.String(), "eq probe (ordered) via fares_price") {
+		t.Fatalf("recovered plan does not use the rebuilt index:\n%s", d.String())
+	}
+	res, err := s2.Query("SELECT id FROM Fares WHERE price = 3 ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// price = 3 ⇒ ids 3, 23, 33, 43, 53 (13 deleted), plus post-index 4 and 100.
+	want := []int64{3, 4, 23, 33, 43, 53, 100}
+	if len(res.Rows) != len(want) {
+		t.Fatalf("rows through rebuilt index = %v, want ids %v", res.Rows, want)
+	}
+	for i, id := range want {
+		if got := res.Rows[i][0].Int(); got != id {
+			t.Fatalf("row %d = %d, want %d (all: %v)", i, got, id, res.Rows)
+		}
+	}
+
+	// DDL-stamped replan on the recovered system: a handle prepared while
+	// hops has no index transparently switches to one created afterwards.
+	ps, err := s2.Prepare("SELECT id FROM Fares WHERE hops = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := ps.Exec("", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, err = s2.Explain("SELECT id FROM Fares WHERE hops = ?", nil); err != nil {
+		t.Fatal(err)
+	} else if !strings.Contains(d.Steps[0].Path, "scan") {
+		t.Fatalf("expected scan before the index exists, got:\n%s", d.String())
+	}
+	if err := s2.Exec("CREATE INDEX fares_hops ON Fares (hops)"); err != nil {
+		t.Fatal(err)
+	}
+	after, err := ps.Exec("", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Result.Rows) != len(before.Result.Rows) {
+		t.Fatalf("replanned handle changed the answer: %d vs %d rows",
+			len(after.Result.Rows), len(before.Result.Rows))
+	}
+	if d, err = s2.Explain("SELECT id FROM Fares WHERE hops = ?", nil); err != nil {
+		t.Fatal(err)
+	} else if !strings.Contains(d.Steps[0].Path, "eq probe (ordered)") {
+		t.Fatalf("expected ordered probe after CREATE INDEX, got:\n%s", d.String())
+	}
+
+	// Second crash, this time after a checkpoint: both indexes must survive
+	// through the snapshot's index metadata rather than tail replay.
+	if err := s2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	s3 := walSystem(t, path)
+	defer s3.Close()
+	for _, q := range []string{
+		"SELECT id FROM Fares WHERE price = ?",
+		"SELECT id FROM Fares WHERE hops = ?",
+	} {
+		d, err := s3.Explain(q, value.NewTuple(int64(3)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(d.Steps[0].Path, "eq probe (ordered)") {
+			t.Errorf("index lost across checkpointed restart for %s:\n%s", q, d.String())
+		}
+	}
+}

@@ -186,7 +186,11 @@ func (s *System) gate(stmt sql.Statement) error {
 	if !follower {
 		return nil
 	}
-	if _, ok := stmt.(*sql.Select); !ok {
+	switch stmt.(type) {
+	case *sql.Select, *sql.Explain:
+		// Read-only: EXPLAIN describes a plan without executing, so a
+		// follower may serve it even for write statements.
+	default:
 		return &NotPrimaryError{Primary: primary}
 	}
 	if !ready {

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/plan"
 	"repro/internal/sql"
 	"repro/internal/storage"
 	"repro/internal/txn"
@@ -92,16 +93,33 @@ func (e *Engine) executeIn(tx *txn.Txn, stmt sql.Statement, params value.Tuple) 
 		if err != nil {
 			return nil, err
 		}
-		if s.Ordered {
-			if err := tbl.CreateOrderedIndex(s.Cols[0]); err != nil {
+		switch {
+		case s.Ordered:
+			if err := tbl.CreateOrderedIndexNamed(s.Name, s.Cols[0]); err != nil {
 				return nil, err
 			}
-		} else if err := tbl.CreateIndex(s.Cols...); err != nil {
-			return nil, err
+		case s.Name != "" && len(s.Cols) == 1:
+			// The named single-column form creates an ordered secondary index:
+			// it serves both eq probes (as a degenerate range) and range scans,
+			// so it is the strictly more capable default for one column.
+			if err := tbl.CreateOrderedIndexNamed(s.Name, s.Cols[0]); err != nil {
+				return nil, err
+			}
+		default:
+			if err := tbl.CreateIndexNamed(s.Name, s.Cols...); err != nil {
+				return nil, err
+			}
 		}
 		// Index presence feeds plan selection; cached plans must notice.
 		e.Catalog().BumpDDL()
 		return &Result{}, nil
+
+	case *sql.Explain:
+		d, err := e.ExplainStmt(s.Stmt, params)
+		if err != nil {
+			return nil, err
+		}
+		return ExplainResult(d), nil
 
 	case *sql.DropTable:
 		if err := e.Catalog().Drop(s.Name); err != nil {
@@ -606,26 +624,27 @@ func projectionCols(s *sql.Select, froms []*fromTable) []string {
 	return cols
 }
 
-// orderFroms returns an iteration order for the nested-loop join that puts
-// tables with pushed-down equality or range accesses ahead of full-scan
-// tables, shrinking the outer loops. Only iteration order changes: the join
-// is a cross product, and projection always follows the original FROM list.
+// orderFroms returns a cost-ranked iteration order for the nested-loop join:
+// each table's candidate cardinality is estimated from the storage statistics
+// (row counts, index distinct counts, ordered-index min/max) and tables are
+// visited in ascending estimated order — the optimal order for this
+// executor's work shape (see package plan). Only iteration order changes: the
+// join is a cross product, and projection always follows the original FROM
+// list. The estimate is re-costed per execution on this text path, so
+// entangled templates grounding generators through EvalSelect pick up bound
+// parameter values and fresh statistics every arrival.
 func orderFroms(froms []*fromTable) []*fromTable {
-	rank := func(f *fromTable) int {
-		switch {
-		case len(f.eqCols) > 0:
-			return 0 // indexed/equality access first
-		case f.rangeCol >= 0:
-			return 1
-		default:
-			return 2
-		}
-	}
-	if len(froms) == 1 {
+	if len(froms) == 1 || planNaiveOrder {
 		return froms // nothing to order — the common generator shape
 	}
-	out := append([]*fromTable(nil), froms...)
-	sort.SliceStable(out, func(i, j int) bool { return rank(out[i]) < rank(out[j]) })
+	ests := make([]float64, len(froms))
+	for i, f := range froms {
+		ests[i] = estimateFrom(f).Rows
+	}
+	out := make([]*fromTable, len(froms))
+	for i, idx := range plan.Order(ests) {
+		out[i] = froms[idx]
+	}
 	return out
 }
 
@@ -797,10 +816,34 @@ func pushDownPredicates(where sql.Expr, froms []*fromTable, single bool, params 
 			}
 		}
 	}
-	// Equality lookups win over range lookups when both were pushed; the
-	// discarded range conjuncts go back to being evaluated.
+	// Post-pass per table. An index-backed equality probe wins over a range
+	// scan (the discarded range conjuncts go back to being evaluated). An
+	// equality WITHOUT a backing hash/PK index on a single ordered-indexed
+	// column instead becomes a degenerate [v, v] range over the ordered index
+	// — semantically exact for every probe value, coercion included: the scan
+	// admits exactly {Compare == 0}, which agrees with SQL equality for
+	// non-NULL probes across numeric types (an INT probe finds FLOAT-keyed
+	// rows), and NULL probes match nothing because the index skips NULL
+	// entries. The eq conjunct therefore stays masked.
 	for _, f := range froms {
-		if len(f.eqCols) > 0 && f.rangeCol >= 0 {
+		if len(f.eqCols) == 0 {
+			continue
+		}
+		if len(f.eqCols) == 1 && !f.tbl.HasEqIndex(f.eqCols) {
+			if o := f.eqCols[0]; f.tbl.HasOrderedIndex(o) && (f.rangeCol < 0 || f.rangeCol == o) {
+				b := storage.BoundAt(f.eqVals[0], true)
+				f.rangeCol = o
+				if !f.lo.Set || tighterLo(b, f.lo) {
+					f.lo = b
+				}
+				if !f.hi.Set || tighterHi(b, f.hi) {
+					f.hi = b
+				}
+				f.eqCols, f.eqVals = nil, f.eqVals[:0]
+				continue
+			}
+		}
+		if f.rangeCol >= 0 {
 			f.rangeCol = -1
 			for _, ci := range f.rconj[:f.nrconj] {
 				skip &^= 1 << uint(ci)

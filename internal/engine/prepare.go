@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/plan"
 	"repro/internal/sql"
 	"repro/internal/storage"
 	"repro/internal/txn"
@@ -183,32 +184,48 @@ func (p *Prepared) buildPlan() (*stmtPlan, error) {
 	sp.skip = planPushDowns(s.Where, sp.froms, len(s.From) == 1)
 	sp.cols = projectionColsPlanned(s, sp.froms)
 
-	// Join iteration order: indexed/equality access first, ranges next, full
-	// scans last — the orderFroms ranking, decided once at plan time.
-	sp.iter = make([]int, len(sp.froms))
-	for i := range sp.iter {
-		sp.iter[i] = i
-	}
-	rank := func(f *fromPlan) int {
-		switch {
-		case len(f.eqCols) > 0:
-			return 0
-		case f.rangeCol >= 0:
-			return 1
-		default:
-			return 2
-		}
-	}
-	if len(sp.iter) > 1 {
-		// Stable insertion sort by rank (the lists are tiny).
-		for i := 1; i < len(sp.iter); i++ {
-			for j := i; j > 0 && rank(&sp.froms[sp.iter[j-1]]) > rank(&sp.froms[sp.iter[j]]); j-- {
-				sp.iter[j-1], sp.iter[j] = sp.iter[j], sp.iter[j-1]
+	// Join iteration order: cost-ranked by estimated candidate cardinality
+	// from the storage statistics, decided once at plan time and rebuilt
+	// whenever the DDL version moves (a new index re-ranks transparently).
+	// Literal pushdown values refine the estimates; parameter slots cost with
+	// default selectivities.
+	if n := len(sp.froms); n == 1 || planNaiveOrder {
+		// Nothing to rank — keep statement order without costing. The
+		// single-table case is the hot text-path shape; skipping estimation
+		// keeps per-statement planning allocation-flat.
+		if n <= len(identityOrder) {
+			sp.iter = identityOrder[:n:n]
+		} else {
+			sp.iter = make([]int, n)
+			for i := range sp.iter {
+				sp.iter[i] = i
 			}
 		}
+	} else {
+		ests := make([]float64, len(sp.froms))
+		for i := range sp.froms {
+			fp := &sp.froms[i]
+			ests[i] = estimateFromPlan(fp, fp.tbl.Stats(), nil).Rows
+		}
+		sp.iter = plan.Order(ests)
 	}
 	return &stmtPlan{version: version, sel: sp}, nil
 }
+
+// identityOrder serves as the shared statement-order iteration slice for
+// plans that skip ranking (read-only; capped reslices hand out prefixes).
+var identityOrder = func() []int {
+	ids := make([]int, 64)
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}()
+
+// planNaiveOrder, when set, disables cost-ranked join ordering so tables are
+// visited in statement order. Test-only: the plan-equivalence suite compares
+// ranked plans against this naive baseline.
+var planNaiveOrder bool
 
 // planPushDowns is pushDownPredicates with symbolic value sources: the same
 // conjunct shapes are recognized, but parameter operands stay unresolved
@@ -324,11 +341,31 @@ func planPushDowns(where sql.Expr, froms []fromPlan, single bool) (skip uint64) 
 			}
 		}
 	}
-	// Equality lookups win over range lookups when both were pushed; the
-	// discarded range conjuncts go back to being evaluated.
+	// Post-pass per table, mirroring pushDownPredicates: an index-backed
+	// equality probe wins over a range scan (the discarded range conjuncts go
+	// back to being evaluated), and an equality without a backing hash/PK
+	// index on a single ordered-indexed column becomes a degenerate [v, v]
+	// range over the ordered index — exact for every probe value (coercion
+	// and NULL included, see pushDownPredicates), so its conjunct stays
+	// masked. The bound value may be a parameter: both range conds share the
+	// eq source and resolve at bind time.
 	for i := range froms {
 		f := &froms[i]
-		if len(f.eqCols) > 0 && f.rangeCol >= 0 {
+		if len(f.eqCols) == 0 {
+			continue
+		}
+		if len(f.eqCols) == 1 && !f.tbl.HasEqIndex(f.eqCols) {
+			if o := f.eqCols[0]; f.tbl.HasOrderedIndex(o) && (f.rangeCol < 0 || f.rangeCol == o) {
+				src := f.eqSrcs[0]
+				f.rangeCol = o
+				f.rangeConds = append(f.rangeConds,
+					rangeCond{lo: true, incl: true, src: src},
+					rangeCond{incl: true, src: src})
+				f.eqCols, f.eqSrcs = nil, nil
+				continue
+			}
+		}
+		if f.rangeCol >= 0 {
 			f.rangeCol = -1
 			f.rangeConds = nil
 			for _, ci := range f.rconj[:f.nrconj] {

@@ -1,0 +1,351 @@
+// Package plan is the cost-based query planner sitting between internal/sql
+// and execution. The execution engine describes each FROM entry's candidate
+// access path (the eq/range pushdown slots it already computes); this package
+// estimates the candidate cardinality of every entry from the incremental
+// statistics storage maintains (live row counts, per-index distinct counts,
+// ordered-index min/max), ranks the join order by those estimates, and
+// renders the typed plan description EXPLAIN surfaces end to end.
+//
+// The cost objective matches the executor's shape: the nested-loop join
+// enumerates the cross product of per-table candidate sets and evaluates the
+// residual WHERE conjuncts at the leaf, so total work is
+//
+//	Σ_i Π_{j≤i} |cand_j|
+//
+// which is minimized by visiting tables in ascending estimated-candidate
+// order. A greedy stable sort on the estimates is therefore the optimal
+// ordering for this executor, not merely a heuristic.
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// Path enumerates the candidate access paths the engine can execute.
+type Path int
+
+const (
+	// FullScan enumerates every visible row.
+	FullScan Path = iota
+	// PKProbe is an equality probe on exactly the primary key.
+	PKProbe
+	// HashEq is an equality probe through a secondary hash index.
+	HashEq
+	// ScanEq is an equality predicate pushed down without an index: the scan
+	// still filters to the eq-matching rows, it just reads everything to find
+	// them.
+	ScanEq
+	// OrderedEq is an equality probe executed as a degenerate [v, v] range
+	// over an ordered secondary index.
+	OrderedEq
+	// OrderedRange is a range scan over an ordered secondary index.
+	OrderedRange
+)
+
+func (p Path) String() string {
+	switch p {
+	case PKProbe:
+		return "pk probe"
+	case HashEq:
+		return "eq probe (hash)"
+	case ScanEq:
+		return "scan + eq filter"
+	case OrderedEq:
+		return "eq probe (ordered)"
+	case OrderedRange:
+		return "range scan (ordered)"
+	default:
+		return "full scan"
+	}
+}
+
+// Default selectivities when a probe value is an unbound parameter or the
+// relevant statistic is empty. Deliberately coarse: they only need to rank a
+// probe below a scan and an eq below a range.
+const (
+	defaultEqFraction    = 0.1
+	defaultRangeFraction = 1.0 / 3
+)
+
+// Input describes one FROM entry's chosen pushdowns for estimation. Bounds
+// whose values are still unbound parameters are passed with Set == false
+// alongside LoParam/HiParam — the estimator then falls back to default
+// selectivities instead of interpolating.
+type Input struct {
+	Stats  storage.TableStats
+	EqCols []int // equality pushdown columns, in slot order
+	// EqVals carries the eq probe values, with EqKnown flagging which are
+	// resolved (unbound parameters are unknown). Only used to refine
+	// NULL-probe estimates; unknown values cost the same as known ones.
+	EqVals   []value.Value
+	EqKnown  []bool
+	RangeCol int // -1 when no range pushdown
+	Lo, Hi   storage.Bound
+	// LoParam/HiParam flag bounds that exist in the statement but whose
+	// values are unbound parameters at plan time.
+	LoParam, HiParam bool
+	// EqRange marks a range pushdown that is a converted equality probe
+	// ([v, v] over an ordered index) whose probe value is still an unbound
+	// parameter — structurally degenerate even though the bounds are unknown.
+	EqRange bool
+}
+
+// Access is one access path's costed outcome.
+type Access struct {
+	Path  Path
+	Index string  // user-assigned index name, "" when unnamed/absent
+	Cols  []int   // columns driving the probe (eq cols or the range col)
+	Rows  float64 // estimated candidate rows the path yields
+}
+
+// indexOn returns the stat entry matching the given columns, preferring a
+// hash index for multi-column sets and the ordered index for single columns
+// when wantOrdered is set.
+func indexOn(st storage.TableStats, cols []int, wantOrdered bool) (storage.IndexStat, bool) {
+	for _, ix := range st.Indexes {
+		if ix.Ordered == wantOrdered && equalInts(ix.Cols, cols) {
+			return ix, true
+		}
+	}
+	return storage.IndexStat{}, false
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Estimate costs one FROM entry's pushdowns and picks the access path the
+// executor will take for them.
+func Estimate(in Input) Access {
+	rows := float64(in.Stats.Rows)
+	if rows < 1 {
+		rows = 1
+	}
+	if len(in.EqCols) > 0 {
+		return estimateEq(in, rows)
+	}
+	if in.RangeCol >= 0 {
+		return estimateRange(in, rows)
+	}
+	return Access{Path: FullScan, Rows: rows}
+}
+
+func estimateEq(in Input, rows float64) Access {
+	est := Access{Cols: in.EqCols}
+	// A NULL probe value yields zero rows under SQL equality regardless of
+	// the access path; the executor's exact-guard falls back to rechecking,
+	// so estimate near-zero rather than exactly zero.
+	for i, v := range in.EqVals {
+		if i < len(in.EqKnown) && in.EqKnown[i] && v.IsNull() {
+			est.Rows = 0.1
+		}
+	}
+	switch {
+	case len(in.Stats.PKCols) > 0 && equalInts(in.EqCols, in.Stats.PKCols):
+		est.Path = PKProbe
+		if est.Rows == 0 {
+			est.Rows = 1
+		}
+	default:
+		ix, ok := indexOn(in.Stats, in.EqCols, false)
+		if !ok {
+			ix, ok = indexOn(in.Stats, in.EqCols, true)
+		}
+		if ok {
+			if ix.Ordered {
+				est.Path = OrderedEq
+			} else {
+				est.Path = HashEq
+			}
+			est.Index = ix.Name
+			if est.Rows == 0 {
+				est.Rows = groupSize(rows, ix.Distinct)
+			}
+		} else {
+			// No index: the pushdown still filters, but through a scan.
+			est.Path = ScanEq
+			if est.Rows == 0 {
+				est.Rows = rows * defaultEqFraction
+			}
+		}
+	}
+	return est
+}
+
+func estimateRange(in Input, rows float64) Access {
+	est := Access{Cols: []int{in.RangeCol}, Path: OrderedRange, Rows: rows * defaultRangeFraction}
+	ix, ok := indexOn(in.Stats, []int{in.RangeCol}, true)
+	if !ok {
+		// Range pushdown without an ordered index degrades to a filtering
+		// scan at execution; candidates still shrink by the default fraction.
+		est.Path = FullScan
+		return est
+	}
+	est.Index = ix.Name
+	if in.EqRange || (in.Lo.Set && in.Hi.Set && in.Lo.Value.Compare(in.Hi.Value) == 0) {
+		// Degenerate [v, v] range: the ordered-eq probe.
+		est.Path = OrderedEq
+		est.Rows = groupSize(rows, ix.Distinct)
+		if in.Lo.Set && in.Lo.Value.IsNull() {
+			// SQL `=` never matches NULL; near-zero, same as the eq path.
+			est.Rows = 0.1
+		}
+		return est
+	}
+	if frac, ok := rangeFraction(in, ix); ok {
+		est.Rows = float64(ix.NonNull) * frac
+		// The index covers every stored version; scale back to live rows.
+		if est.Rows > rows {
+			est.Rows = rows
+		}
+	}
+	if est.Rows < 1 {
+		est.Rows = 1
+	}
+	return est
+}
+
+// groupSize estimates rows per distinct key.
+func groupSize(rows float64, distinct int) float64 {
+	if distinct <= 0 {
+		return rows * defaultEqFraction
+	}
+	g := rows / float64(distinct)
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// rangeFraction interpolates the fraction of the index's key domain a
+// resolved numeric range covers. Non-numeric keys, unbound parameters, and
+// empty stats report false, keeping the default fraction.
+func rangeFraction(in Input, ix storage.IndexStat) (float64, bool) {
+	min, ok1 := numeric(ix.Min)
+	max, ok2 := numeric(ix.Max)
+	if !ok1 || !ok2 || in.LoParam || in.HiParam {
+		return 0, false
+	}
+	span := max - min
+	if span <= 0 {
+		return 1, true // single-key domain: any overlapping range takes it all
+	}
+	lo, hi := min, max
+	if in.Lo.Set {
+		v, ok := numeric(in.Lo.Value)
+		if !ok {
+			return 0, false
+		}
+		lo = v
+	}
+	if in.Hi.Set {
+		v, ok := numeric(in.Hi.Value)
+		if !ok {
+			return 0, false
+		}
+		hi = v
+	}
+	if lo < min {
+		lo = min
+	}
+	if hi > max {
+		hi = max
+	}
+	if hi < lo {
+		return 0, true
+	}
+	return (hi - lo) / span, true
+}
+
+func numeric(v value.Value) (float64, bool) {
+	switch v.Type() {
+	case value.TypeInt:
+		return float64(v.Int()), true
+	case value.TypeFloat:
+		return v.Float(), true
+	}
+	return 0, false
+}
+
+// Order returns the visit order for the given per-entry estimates: ascending
+// estimated candidate rows, stable so equal estimates keep statement order
+// (determinism, and FROM order as the tiebreak the user can reason about).
+func Order(rows []float64) []int {
+	order := make([]int, len(rows))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return rows[order[a]] < rows[order[b]] })
+	return order
+}
+
+// Desc is the typed plan description EXPLAIN returns: one step per FROM
+// entry in execution order. It crosses wire protocol v2 as a typed frame and
+// renders identically on every surface through String.
+type Desc struct {
+	SQL  string // the statement being explained
+	Kind string // "select", "insert", ... (lowercased statement kind)
+	Note string // non-planned statements: a one-line description
+	// Steps lists the FROM entries in the order the executor visits them.
+	Steps []Step
+}
+
+// Step is one FROM entry's access-path choice.
+type Step struct {
+	Table   string
+	Binding string // alias, "" when none
+	Path    string // Path.String() of the chosen access path
+	Index   string // index name when one backs the path
+	Columns string // columns driving the probe/scan, comma-joined
+	EstRows float64
+	Rows    int // table's row-count statistic at plan time
+	// Residual counts the WHERE conjuncts still evaluated at the leaf for
+	// this statement; Eliminated counts those proven redundant by pushdown
+	// (the skip bitmask). Both are per-statement, reported on the first step.
+	Residual   int
+	Eliminated int
+}
+
+// String renders the description as the fixed multi-line text every CLI
+// surface prints.
+func (d *Desc) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "EXPLAIN %s\n", d.SQL)
+	if d.Note != "" {
+		fmt.Fprintf(&b, "  %s: %s\n", d.Kind, d.Note)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "  %s, cost-ranked join order (%d table(s))\n", d.Kind, len(d.Steps))
+	for i, s := range d.Steps {
+		name := s.Table
+		if s.Binding != "" && s.Binding != s.Table {
+			name += " " + s.Binding
+		}
+		fmt.Fprintf(&b, "  %d. %-20s %s", i+1, name, s.Path)
+		if s.Index != "" {
+			fmt.Fprintf(&b, " via %s", s.Index)
+		}
+		if s.Columns != "" {
+			fmt.Fprintf(&b, " on (%s)", s.Columns)
+		}
+		fmt.Fprintf(&b, " · est %.4g of %d row(s)\n", s.EstRows, s.Rows)
+	}
+	if len(d.Steps) > 0 {
+		s := d.Steps[0]
+		fmt.Fprintf(&b, "  residual conjuncts: %d (%d eliminated by pushdown)\n", s.Residual, s.Eliminated)
+	}
+	return b.String()
+}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/coord"
 	"repro/internal/core"
+	"repro/internal/plan"
 	"repro/internal/storage"
 	"repro/internal/txn"
 	"repro/internal/value"
@@ -334,6 +335,29 @@ func (c *Client) QueryContext(ctx context.Context, sql string) (*QueryResult, er
 // Query is QueryContext with context.Background().
 func (c *Client) Query(sql string) (*QueryResult, error) {
 	return c.QueryContext(context.Background(), sql)
+}
+
+// ExplainContext asks the server for the typed plan description of one
+// statement without executing it. A leading EXPLAIN keyword is optional.
+// Optional args bind parameter slots so the estimates reflect the actual
+// values (see value.NewTuple for the accepted kinds).
+func (c *Client) ExplainContext(ctx context.Context, sql string, args ...any) (*plan.Desc, error) {
+	params := value.NewTuple(args...)
+	r, err := c.roundTrip(ctx, func(f *frameBuf, id uint64) error {
+		return f.appendExplain(id, sql, params)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if r.rp.kind != kindPlan || r.rp.plan == nil {
+		return nil, fmt.Errorf("server: unexpected reply kind 0x%02x", r.rp.kind)
+	}
+	return r.rp.plan, nil
+}
+
+// Explain is ExplainContext with context.Background().
+func (c *Client) Explain(sql string, args ...any) (*plan.Desc, error) {
+	return c.ExplainContext(context.Background(), sql, args...)
 }
 
 // SubmitContext registers an entangled query remotely; the returned channel

@@ -1,0 +1,135 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/plan"
+	"repro/internal/storage"
+)
+
+// TestExplainWire: EXPLAIN over protocol v2 — the typed plan description
+// round-trips, estimates refine with bound parameters, errors propagate, and
+// explaining a write statement must not execute it.
+func TestExplainWire(t *testing.T) {
+	_, addr := newPreparedServer(t)
+	c := dialT(t, addr)
+
+	d, err := c.Explain("SELECT fno FROM Flights WHERE dest = ?", "Paris")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Kind != "select" || len(d.Steps) != 1 {
+		t.Fatalf("plan shape: %+v", d)
+	}
+	if s := d.Steps[0]; s.Table != "Flights" || s.Path != "eq probe (hash)" || s.Rows != 3 {
+		t.Fatalf("step: %+v", s)
+	}
+	if !strings.Contains(d.String(), "eq probe (hash)") {
+		t.Fatalf("rendering:\n%s", d.String())
+	}
+
+	// A leading EXPLAIN keyword is accepted and idempotent.
+	d, err = c.Explain("EXPLAIN SELECT fno FROM Flights WHERE fno = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Steps[0].Path != "pk probe" {
+		t.Fatalf("pk plan: %+v", d.Steps[0])
+	}
+
+	// Unknown tables surface as normal statement errors.
+	if _, err := c.Explain("SELECT * FROM Missing"); err == nil {
+		t.Fatal("explain of unknown table succeeded")
+	}
+
+	// Explaining a write describes it without running it.
+	d, err = c.Explain("INSERT INTO Flights VALUES (9, 'Oslo', 50.0)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Kind != "insert" || d.Note == "" {
+		t.Fatalf("insert plan: %+v", d)
+	}
+	res, err := c.Query("SELECT COUNT(*) FROM Flights")
+	if err != nil || res.Rows[0][0].Int() != 3 {
+		t.Fatalf("EXPLAIN executed the insert: %v %v", res, err)
+	}
+}
+
+// TestFramePlanRoundTrip pins the kindPlan codec against hostile float and
+// counter values, and the adminPool codec's dead-slot fields.
+func TestFramePlanRoundTrip(t *testing.T) {
+	d := &plan.Desc{
+		SQL: "SELECT 1", Kind: "select",
+		Steps: []plan.Step{
+			{Table: "t", Binding: "a", Path: "full scan", Index: "ix", Columns: "x, y",
+				EstRows: math.Inf(1), Rows: 1 << 30, Residual: 3, Eliminated: 2},
+			{Table: "u", EstRows: 0.000123, Rows: 0},
+		},
+	}
+	var f frameBuf
+	if err := f.appendPlan(7, d); err != nil {
+		t.Fatal(err)
+	}
+	rp := mustDecodeOne(t, f.b)
+	if rp.kind != kindPlan || !reflect.DeepEqual(rp.plan, d) {
+		t.Errorf("plan = %+v", rp.plan)
+	}
+
+	note := &plan.Desc{SQL: "BEGIN", Kind: "transaction control", Note: "no data access"}
+	f.reset()
+	if err := f.appendPlan(8, note); err != nil {
+		t.Fatal(err)
+	}
+	if rp := mustDecodeOne(t, f.b); !reflect.DeepEqual(rp.plan, note) {
+		t.Errorf("note plan = %+v", rp.plan)
+	}
+
+	st := storage.PoolStats{
+		Capacity: 8, Resident: 4, HeapPages: 100, DeadSlots: 77,
+		SpilledTables: 2, PinnedTables: 1,
+		Tables: []storage.PoolTableInfo{
+			{Name: "history", Pages: 90, DeadSlots: 77},
+			{Name: "hot", Pages: 10},
+		},
+	}
+	f.reset()
+	if err := f.appendAdminPool(9, st, true); err != nil {
+		t.Fatal(err)
+	}
+	rp = mustDecodeOne(t, f.b)
+	if !rp.poolOn || !reflect.DeepEqual(rp.pool, st) {
+		t.Errorf("pool stats = %+v (enabled=%v)", rp.pool, rp.poolOn)
+	}
+}
+
+// TestFramePlanDecodeGuards: corrupt step counts are rejected before
+// allocation.
+func TestFramePlanDecodeGuards(t *testing.T) {
+	d := &plan.Desc{SQL: "SELECT 1", Kind: "select"}
+	var f frameBuf
+	if err := f.appendPlan(1, d); err != nil {
+		t.Fatal(err)
+	}
+	// Locate the trailing step-count varint (0) and replace it with a huge
+	// value; decode must fail cleanly.
+	raw := append([]byte(nil), f.b...)
+	raw[len(raw)-1] = 0xff
+	raw = append(raw, 0xff, 0xff, 0xff, 0x7f)
+	// Patch the length prefix to cover the grown payload.
+	patch := uint32(len(raw) - 4)
+	raw[0], raw[1], raw[2], raw[3] = byte(patch), byte(patch>>8), byte(patch>>16), byte(patch>>24)
+	br := bufio.NewReader(bytes.NewReader(raw))
+	payload, err := readFrame(br, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decodeReply(payload); err == nil {
+		t.Fatal("hostile step count decoded")
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/coord"
 	"repro/internal/core"
+	"repro/internal/plan"
 	"repro/internal/storage"
 	"repro/internal/txn"
 	"repro/internal/value"
@@ -62,6 +63,7 @@ const (
 	kindPrepare       = 0x04 // sql — parse/compile, reply kindPrepared
 	kindExecPrepared  = 0x05 // stmt id, owner, ttl, parameter tuple
 	kindClosePrepared = 0x06 // stmt id — drop from the connection's table
+	kindExplain       = 0x07 // sql + optional params — describe the plan, reply kindPlan
 )
 
 // Server → client:
@@ -75,6 +77,7 @@ const (
 	kindAdminResp = 0x16 // typed admin response (admin* code + payload)
 	kindError     = 0x17 // error reply, correlated by id
 	kindPrepared  = 0x18 // prepare ack: stmt id, parameter count, entangled flag
+	kindPlan      = 0x19 // typed plan description (EXPLAIN reply)
 )
 
 // Admin codes shared by kindAdmin and kindAdminResp.
@@ -261,6 +264,36 @@ func (f *frameBuf) appendExecPrepared(id, stmt uint64, owner string, ttl time.Du
 	return f.end()
 }
 
+// appendExplain encodes a kindExplain request: the SQL text plus an optional
+// parameter vector that refines the estimates the way bind-time values would.
+func (f *frameBuf) appendExplain(id uint64, sql string, params value.Tuple) error {
+	f.begin(kindExplain, id)
+	f.string(sql)
+	f.tuple(params)
+	return f.end()
+}
+
+// appendPlan encodes the typed plan description EXPLAIN returns.
+func (f *frameBuf) appendPlan(id uint64, d *plan.Desc) error {
+	f.begin(kindPlan, id)
+	f.string(d.SQL)
+	f.string(d.Kind)
+	f.string(d.Note)
+	f.uvarint(uint64(len(d.Steps)))
+	for _, s := range d.Steps {
+		f.string(s.Table)
+		f.string(s.Binding)
+		f.string(s.Path)
+		f.string(s.Index)
+		f.string(s.Columns)
+		f.b = binary.LittleEndian.AppendUint64(f.b, math.Float64bits(s.EstRows))
+		f.varint(int64(s.Rows))
+		f.varint(int64(s.Residual))
+		f.varint(int64(s.Eliminated))
+	}
+	return f.end()
+}
+
 func (f *frameBuf) appendClosePrepared(id, stmt uint64) error {
 	f.begin(kindClosePrepared, id)
 	f.uvarint(stmt)
@@ -427,10 +460,12 @@ func (f *frameBuf) appendAdminPool(id uint64, st storage.PoolStats, enabled bool
 		for _, v := range [...]int{st.SpilledTables, st.PinnedTables, st.HeapPages} {
 			f.varint(int64(v))
 		}
+		f.uvarint(st.DeadSlots)
 		f.uvarint(uint64(len(st.Tables)))
 		for _, t := range st.Tables {
 			f.string(t.Name)
 			f.varint(int64(t.Pages))
+			f.uvarint(t.DeadSlots)
 		}
 	}
 	return f.end()
@@ -754,6 +789,14 @@ func decodeRequest(payload []byte) (request, error) {
 		if req.stmt, err = r.uvarint(); err != nil {
 			return req, err
 		}
+	case kindExplain:
+		if req.sql, err = r.string(); err != nil {
+			return req, err
+		}
+		r.internRemaining()
+		if req.params, err = r.tuple(); err != nil {
+			return req, err
+		}
 	default:
 		return req, fmt.Errorf("server: unknown request kind 0x%02x", kind)
 	}
@@ -787,6 +830,7 @@ type reply struct {
 	repl     core.ReplStatus
 	pool     storage.PoolStats
 	poolOn   bool
+	plan     *plan.Desc // kindPlan
 }
 
 // decodeReply decodes a server frame (the client side of the codec; also the
@@ -917,6 +961,47 @@ func decodeReply(payload []byte) (reply, error) {
 		if err := decodeAdminBody(&rp, &r); err != nil {
 			return rp, err
 		}
+	case kindPlan:
+		d := &plan.Desc{}
+		r.internRemaining()
+		if d.SQL, err = r.string(); err != nil {
+			return rp, err
+		}
+		if d.Kind, err = r.string(); err != nil {
+			return rp, err
+		}
+		if d.Note, err = r.string(); err != nil {
+			return rp, err
+		}
+		n, err := r.count()
+		if err != nil {
+			return rp, err
+		}
+		for i := 0; i < n; i++ {
+			var s plan.Step
+			for _, dst := range [...]*string{&s.Table, &s.Binding, &s.Path, &s.Index, &s.Columns} {
+				if *dst, err = r.string(); err != nil {
+					return rp, err
+				}
+			}
+			b, err := r.bytes(8)
+			if err != nil {
+				return rp, err
+			}
+			s.EstRows = math.Float64frombits(binary.LittleEndian.Uint64(b))
+			for _, dst := range [...]*int{&s.Rows, &s.Residual, &s.Eliminated} {
+				v, err := r.varint()
+				if err != nil {
+					return rp, err
+				}
+				if v < 0 || v > math.MaxInt32 {
+					return rp, fmt.Errorf("server: plan step count out of range")
+				}
+				*dst = int(v)
+			}
+			d.Steps = append(d.Steps, s)
+		}
+		rp.plan = d
 	default:
 		return rp, fmt.Errorf("server: unknown reply kind 0x%02x", kind)
 	}
@@ -1106,6 +1191,9 @@ func decodeAdminPool(rp *reply, r *frameReader) (err error) {
 		}
 		*dst = int(v)
 	}
+	if st.DeadSlots, err = r.uvarint(); err != nil {
+		return err
+	}
 	n, err := r.count()
 	if err != nil {
 		return err
@@ -1123,6 +1211,9 @@ func decodeAdminPool(rp *reply, r *frameReader) (err error) {
 			return fmt.Errorf("server: pool page count out of range")
 		}
 		t.Pages = int(pages)
+		if t.DeadSlots, err = r.uvarint(); err != nil {
+			return err
+		}
 		st.Tables = append(st.Tables, t)
 	}
 	return nil

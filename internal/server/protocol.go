@@ -192,10 +192,14 @@ func renderPool(st storage.PoolStats, enabled bool) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "pool: frames=%d resident=%d dirty=%d hit-ratio=%.1f%% (hits=%d misses=%d) evictions=%d writebacks=%d\n",
 		st.Capacity, st.Resident, st.Dirty, 100*st.HitRatio(), st.Hits, st.Misses, st.Evictions, st.Writebacks)
-	fmt.Fprintf(&b, "heap: spilled-tables=%d pinned-relations=%d pages=%d (%d KiB)\n",
-		st.SpilledTables, st.PinnedTables, st.HeapPages, st.HeapPages*storage.PageSize/1024)
+	fmt.Fprintf(&b, "heap: spilled-tables=%d pinned-relations=%d pages=%d (%d KiB) dead-slots=%d\n",
+		st.SpilledTables, st.PinnedTables, st.HeapPages, st.HeapPages*storage.PageSize/1024, st.DeadSlots)
 	for _, t := range st.Tables {
-		fmt.Fprintf(&b, "  %-24s %d page(s)\n", t.Name, t.Pages)
+		fmt.Fprintf(&b, "  %-24s %d page(s)", t.Name, t.Pages)
+		if t.DeadSlots > 0 {
+			fmt.Fprintf(&b, "  dead-slots=%d", t.DeadSlots)
+		}
+		b.WriteByte('\n')
 	}
 	return b.String()
 }

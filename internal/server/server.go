@@ -374,6 +374,8 @@ func (cn *conn) dispatchV2(enc *frameBuf, req request) {
 		cn.adminV2(enc, req)
 	case kindExec:
 		cn.execV2(enc, req)
+	case kindExplain:
+		cn.explainV2(enc, req)
 	case kindPrepare:
 		cn.prepareV2(enc, req)
 	case kindExecPrepared:
@@ -445,6 +447,24 @@ func (cn *conn) execV2(enc *frameBuf, req request) {
 	}
 	resp, err := cn.sess.ExecuteContext(ctx, req.sql, req.owner)
 	cn.reply(enc, req, resp, err, cancel)
+}
+
+// explainV2 answers a kindExplain request with the typed plan description.
+// Nothing executes; the optional parameter vector refines the estimates.
+func (cn *conn) explainV2(enc *frameBuf, req request) {
+	if req.sql == "" {
+		enc.appendError(req.id, errGeneric, "empty explain request") //nolint:errcheck
+		return
+	}
+	d, err := cn.srv.sys.Explain(req.sql, req.params)
+	if err != nil {
+		enc.appendError(req.id, replErrCode(err), err.Error()) //nolint:errcheck
+		return
+	}
+	if err := enc.appendPlan(req.id, d); err != nil {
+		enc.reset()
+		enc.appendError(req.id, errGeneric, err.Error()) //nolint:errcheck
+	}
 }
 
 // reply encodes one execution outcome — shared by the text and prepared

@@ -48,10 +48,13 @@ func (s *CreateTable) String() string {
 	return "CREATE TABLE " + s.Name + " (" + strings.Join(parts, ", ") + ")"
 }
 
-// CreateIndex is CREATE [ORDERED] INDEX ON table (cols). Ordered indexes
-// support range lookups and take exactly one column.
+// CreateIndex is CREATE [ORDERED] INDEX [name] ON table (cols). Ordered
+// indexes support range lookups and take exactly one column. A named
+// single-column index without ORDERED also builds ordered (the more capable
+// kind); the unnamed multi/single-column form stays the legacy hash index.
 type CreateIndex struct {
 	Table   string
+	Name    string // user-assigned index name, "" for the anonymous form
 	Cols    []string
 	Ordered bool
 }
@@ -59,12 +62,28 @@ type CreateIndex struct {
 func (*CreateIndex) stmt() {}
 
 func (s *CreateIndex) String() string {
-	kind := "CREATE INDEX ON "
+	var b strings.Builder
+	b.WriteString("CREATE ")
 	if s.Ordered {
-		kind = "CREATE ORDERED INDEX ON "
+		b.WriteString("ORDERED ")
 	}
-	return kind + s.Table + " (" + strings.Join(s.Cols, ", ") + ")"
+	b.WriteString("INDEX ")
+	if s.Name != "" {
+		b.WriteString(s.Name)
+		b.WriteByte(' ')
+	}
+	b.WriteString("ON " + s.Table + " (" + strings.Join(s.Cols, ", ") + ")")
+	return b.String()
 }
+
+// Explain is EXPLAIN <statement>: describe the access plan without executing.
+type Explain struct {
+	Stmt Statement
+}
+
+func (*Explain) stmt() {}
+
+func (s *Explain) String() string { return "EXPLAIN " + s.Stmt.String() }
 
 // TxnStmt is BEGIN, COMMIT or ROLLBACK.
 type TxnStmt struct {
@@ -696,6 +715,8 @@ func VisitExprs(stmt Statement, fn func(Expr)) {
 		walkDeep(s.Where, fn)
 	case *Delete:
 		walkDeep(s.Where, fn)
+	case *Explain:
+		VisitExprs(s.Stmt, fn)
 	}
 }
 

@@ -216,6 +216,16 @@ func (p *Parser) statement() (Statement, error) {
 	case "ROLLBACK":
 		p.advance()
 		return &TxnStmt{Kind: TxnRollback}, nil
+	case "EXPLAIN":
+		p.advance()
+		if p.cur().Kind == TokKeyword && p.cur().Text == "EXPLAIN" {
+			return nil, p.errf("EXPLAIN cannot be nested")
+		}
+		inner, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		return &Explain{Stmt: inner}, nil
 	default:
 		return nil, p.errf("unexpected keyword %s at statement start", t.Text)
 	}
@@ -232,6 +242,12 @@ func (p *Parser) createStmt() (Statement, error) {
 		}
 	}
 	if p.acceptKeyword("INDEX") {
+		// Optional index name: an identifier between INDEX and ON.
+		var name string
+		if p.cur().Kind == TokIdent {
+			name = p.cur().Text
+			p.advance()
+		}
 		if err := p.expectKeyword("ON"); err != nil {
 			return nil, err
 		}
@@ -259,7 +275,7 @@ func (p *Parser) createStmt() (Statement, error) {
 		if ordered && len(cols) != 1 {
 			return nil, p.errf("ORDERED INDEX takes exactly one column")
 		}
-		return &CreateIndex{Table: table, Cols: cols, Ordered: ordered}, nil
+		return &CreateIndex{Table: table, Name: name, Cols: cols, Ordered: ordered}, nil
 	}
 	if ordered {
 		return nil, p.errf("ORDERED is only valid before INDEX")

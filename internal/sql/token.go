@@ -85,7 +85,7 @@ var keywordList = []string{
 	"ORDER", "BY", "ASC", "DESC", "LIMIT",
 	"GROUP", "HAVING",
 	"BEGIN", "COMMIT", "ROLLBACK",
-	"LIKE", "IS", "EXISTS",
+	"LIKE", "IS", "EXISTS", "EXPLAIN",
 }
 
 // keywordCanonical interns each keyword's canonical upper-case spelling, so

@@ -45,6 +45,12 @@ type heapFile struct {
 
 	payload []byte // AppendTuple scratch; guarded by the table's latch
 	rec     []byte // record scratch; guarded by the table's latch
+
+	// placed counts records ever placed into the heap. Sealed pages are
+	// immutable and slots are never reclaimed, so placed minus the table's
+	// still-referenced spilled versions is the heap's dead-slot count — the
+	// "heap files only grow" ceiling made observable.
+	placed atomic.Uint64
 }
 
 type tailPage struct {
@@ -105,6 +111,7 @@ func (h *heapFile) place(id RowID, tup value.Tuple) (pageRef, error) {
 	copy(tp.buf[used:], h.rec)
 	setPageUsed(tp.buf, used+len(h.rec))
 	setPageCount(tp.buf, pageCount(tp.buf)+1)
+	h.placed.Add(1)
 	return pageRef{page: tp.no, off: uint16(used), n: uint16(len(h.rec))}, nil
 }
 
@@ -316,9 +323,23 @@ func (c *Catalog) PoolStats() (PoolStats, bool) {
 	for name, h := range sp.heaps {
 		pages := h.pages()
 		stats.HeapPages += pages
-		stats.Tables = append(stats.Tables, PoolTableInfo{Name: name, Pages: pages})
+		stats.Tables = append(stats.Tables, PoolTableInfo{Name: name, Pages: pages, placed: h.placed.Load()})
 	}
 	sp.mu.Unlock()
+	// Dead slots are computed outside sp.mu: spilledSlots takes each table's
+	// latch, and placed was captured first, so a racing insert can only make
+	// the subtraction conservative (clamped at zero).
+	for i := range stats.Tables {
+		ti := &stats.Tables[i]
+		t, err := c.Get(ti.Name)
+		if err != nil {
+			continue
+		}
+		if live := t.spilledSlots(); ti.placed > live {
+			ti.DeadSlots = ti.placed - live
+		}
+		stats.DeadSlots += ti.DeadSlots
+	}
 	sort.Slice(stats.Tables, func(i, j int) bool { return stats.Tables[i].Name < stats.Tables[j].Name })
 	return stats, true
 }

@@ -36,7 +36,8 @@ type LogRecord struct {
 	Table  string
 	Schema *value.Schema // OpCreateTable
 	PK     []string      // OpCreateTable
-	Cols   []string      // OpCreateIndex
+	Cols   []string      // OpCreateIndex/OpCreateOrderedIndex
+	Index  string        // OpCreateIndex/OpCreateOrderedIndex: user-assigned name, "" when unnamed
 	RowID  RowID         // row ops
 	Row    value.Tuple   // OpInsert/OpUpdate/OpRestore
 	TS     uint64        // OpCommit: the transaction's commit timestamp

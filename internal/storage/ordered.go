@@ -20,7 +20,12 @@ import (
 // under the owning table's mutex.
 type orderedIndex struct {
 	col     int
+	name    string         // user-assigned index name, "" when unnamed
 	entries []orderedEntry // sorted by (value, id), unique
+	// distinct counts the groups of equal values currently in entries
+	// (NULLs form one group). Maintained incrementally by add/remove with a
+	// neighbor check, so the planner snapshots it in O(1).
+	distinct int
 }
 
 type orderedEntry struct {
@@ -50,9 +55,14 @@ func (ix *orderedIndex) add(id RowID, row value.Tuple) {
 	if pos < len(ix.entries) && ix.entries[pos].id == e.id && ix.entries[pos].v.Compare(e.v) == 0 {
 		return
 	}
+	dup := (pos > 0 && ix.entries[pos-1].v.Compare(e.v) == 0) ||
+		(pos < len(ix.entries) && ix.entries[pos].v.Compare(e.v) == 0)
 	ix.entries = append(ix.entries, orderedEntry{})
 	copy(ix.entries[pos+1:], ix.entries[pos:])
 	ix.entries[pos] = e
+	if !dup {
+		ix.distinct++
+	}
 }
 
 // remove drops (value, id); GC calls it once no version of the row carries
@@ -61,7 +71,12 @@ func (ix *orderedIndex) remove(id RowID, row value.Tuple) {
 	e := orderedEntry{v: row[ix.col], id: id}
 	pos := ix.locate(e)
 	if pos < len(ix.entries) && ix.entries[pos].id == id && ix.entries[pos].v.Compare(e.v) == 0 {
+		dup := (pos > 0 && ix.entries[pos-1].v.Compare(e.v) == 0) ||
+			(pos+1 < len(ix.entries) && ix.entries[pos+1].v.Compare(e.v) == 0)
 		ix.entries = append(ix.entries[:pos], ix.entries[pos+1:]...)
+		if !dup {
+			ix.distinct--
+		}
 	}
 }
 
@@ -113,18 +128,31 @@ func (ix *orderedIndex) scanAt(t *Table, s Snapshot, lo, hi Bound) []RowID {
 	return out
 }
 
-// CreateOrderedIndex builds (or reuses) an ordered index on one column.
+// CreateOrderedIndex builds (or reuses) an unnamed ordered index on one
+// column.
 func (t *Table) CreateOrderedIndex(col string) error {
+	return t.CreateOrderedIndexNamed("", col)
+}
+
+// CreateOrderedIndexNamed builds (or reuses) an ordered index on one column
+// under a user-assigned name. An existing index on the column is reused;
+// a previously unnamed one adopts the name so WAL replay converges on the
+// final name.
+func (t *Table) CreateOrderedIndexNamed(name, col string) error {
 	o := t.schema.Ordinal(col)
 	if o < 0 {
 		return fmt.Errorf("storage: table %s: unknown index column %q", t.name, col)
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if _, ok := t.ordered[o]; ok {
+	if ix, ok := t.ordered[o]; ok {
+		if name != "" && ix.name == "" {
+			ix.name = name
+			t.log.emit(LogRecord{Op: OpCreateOrderedIndex, Table: t.name, Cols: []string{col}, Index: name})
+		}
 		return nil
 	}
-	ix := &orderedIndex{col: o}
+	ix := &orderedIndex{col: o, name: name}
 	if t.ordered == nil {
 		t.ordered = make(map[int]*orderedIndex)
 	}
@@ -134,7 +162,7 @@ func (t *Table) CreateOrderedIndex(col string) error {
 			ix.add(id, t.tupleOf(v)) // cover every version so old snapshots probe correctly
 		}
 	}
-	t.log.emit(LogRecord{Op: OpCreateOrderedIndex, Table: t.name, Cols: []string{col}})
+	t.log.emit(LogRecord{Op: OpCreateOrderedIndex, Table: t.name, Cols: []string{col}, Index: name})
 	return nil
 }
 

@@ -237,6 +237,10 @@ type PoolStats struct {
 	SpilledTables int // tables paging through this pool
 	PinnedTables  int // tables kept fully resident by policy
 	HeapPages     int // pages allocated across all heap files (incl. tails)
+	// DeadSlots totals the heap records no version chain references anymore —
+	// superseded/deleted tuples still occupying sealed pages (heaps only grow
+	// until a restart rebuilds them).
+	DeadSlots uint64
 
 	// Tables lists each spillable table's heap footprint, sorted by name.
 	Tables []PoolTableInfo
@@ -244,8 +248,11 @@ type PoolStats struct {
 
 // PoolTableInfo is one spillable table's entry in PoolStats.
 type PoolTableInfo struct {
-	Name  string
-	Pages int // heap pages allocated (sealed plus the in-memory tail)
+	Name      string
+	Pages     int    // heap pages allocated (sealed plus the in-memory tail)
+	DeadSlots uint64 // heap records whose version was superseded, deleted, or GCed
+
+	placed uint64 // records ever placed (internal: DeadSlots input)
 }
 
 // HitRatio returns hits/(hits+misses), or 1 when the pool is untouched.

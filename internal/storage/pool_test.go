@@ -433,3 +433,87 @@ func TestSpillDropRetiresHeap(t *testing.T) {
 		t.Error("reads through recycled frames failed")
 	}
 }
+
+// TestSpillDeadSlots: the per-table dead-slot gauge tracks heap slots that no
+// longer back a spilled version — superseding or deleting a row materializes
+// the old version for index fix-up, orphaning its slot (sealed pages are
+// immutable, slots are never reclaimed). The gauge makes the "heap files only
+// grow" ceiling observable per table.
+func TestSpillDeadSlots(t *testing.T) {
+	c := spillCatalog(t, 2)
+	tbl, err := c.Create("history", coldSchema(), "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 400
+	ids := make([]RowID, n)
+	for i := 0; i < n; i++ {
+		id, err := tbl.Insert(value.NewTuple(i, coldBody(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	stats, ok := c.PoolStats()
+	if !ok {
+		t.Fatal("PoolStats reported spill disabled")
+	}
+	if stats.DeadSlots != 0 {
+		t.Fatalf("dead slots with every version live: %d", stats.DeadSlots)
+	}
+	// Supersede and delete versions: index fix-up pages the old versions in,
+	// orphaning their heap slots — 200 updates + 100 deletes = 300 dead slots.
+	for i := 0; i < n; i += 2 {
+		if _, err := tbl.Update(ids[i], value.NewTuple(i, coldBody(i+1000000))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < n; i += 4 {
+		if _, err := tbl.Delete(ids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats, _ = c.PoolStats()
+	if stats.DeadSlots != 300 {
+		t.Fatalf("dead slots after 200 updates + 100 deletes = %d, want 300", stats.DeadSlots)
+	}
+	// GC prunes the superseded chains; the orphaned slots stay dead (sealed
+	// pages are never rewritten), so the gauge must not shrink.
+	if c.GC() == 0 {
+		t.Fatal("GC reclaimed nothing")
+	}
+	stats, _ = c.PoolStats()
+	if stats.DeadSlots < 300 {
+		t.Fatalf("dead slots shrank after GC: %d", stats.DeadSlots)
+	}
+	var perTable uint64
+	for _, ti := range stats.Tables {
+		if ti.Name == "history" && ti.DeadSlots == 0 {
+			t.Errorf("per-table gauge empty: %+v", ti)
+		}
+		perTable += ti.DeadSlots
+	}
+	if perTable != stats.DeadSlots {
+		t.Errorf("per-table dead slots sum %d != total %d", perTable, stats.DeadSlots)
+	}
+	// Surviving rows are intact — dead slots are accounting, not reuse.
+	for i := 0; i < n; i += 97 {
+		tup, err := tbl.Get(ids[i])
+		if i%4 == 1 {
+			if err == nil {
+				t.Fatalf("row %d visible after delete", i)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := coldBody(i)
+		if i%2 == 0 {
+			want = coldBody(i + 1000000)
+		}
+		if tup[1].Str() != want {
+			t.Fatalf("row %d: got %q", i, tup[1].Str())
+		}
+	}
+}

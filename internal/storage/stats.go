@@ -1,0 +1,171 @@
+package storage
+
+import (
+	"sort"
+
+	"repro/internal/value"
+)
+
+// IndexStat describes one secondary index for the planner: which columns it
+// covers and the cardinality statistics storage maintains incrementally.
+// Nothing here is computed by scanning — distinct counts are kept up to date
+// by index maintenance and min/max fall out of the ordered representation —
+// so a Stats snapshot is cheap enough for every planning pass.
+type IndexStat struct {
+	Name    string // user-assigned index name, "" when unnamed
+	Cols    []int  // indexed column offsets (ordered indexes have exactly one)
+	Ordered bool
+	// Distinct counts distinct keys currently indexed. Index entries cover
+	// every stored version of a row, so this slightly overcounts the live
+	// state while old versions await GC — exactly the fidelity a cost
+	// estimate needs.
+	Distinct int
+	// Ordered indexes only: how many entries carry a non-NULL key, and the
+	// smallest/largest non-NULL key (value.Null when there is none). Range
+	// selectivity interpolates between Min and Max.
+	NonNull  int
+	Min, Max value.Value
+}
+
+// TableStats is the planner's per-table statistics snapshot.
+type TableStats struct {
+	Rows    int   // incrementally maintained live-row estimate
+	PKCols  []int // primary key column offsets, nil if none
+	Indexes []IndexStat
+}
+
+// Stats snapshots the table's statistics under the shared latch: the row
+// estimate, the primary key, and one IndexStat per hash and ordered index.
+// No table data is touched.
+func (t *Table) Stats() TableStats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	st := TableStats{Rows: t.live, PKCols: t.pkCols}
+	keys := make([]string, 0, len(t.indexes))
+	for k := range t.indexes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		ix := t.indexes[k]
+		st.Indexes = append(st.Indexes, IndexStat{
+			Name:     ix.name,
+			Cols:     append([]int(nil), ix.cols...),
+			Distinct: len(ix.m),
+		})
+	}
+	var offs []int
+	for o := range t.ordered {
+		offs = append(offs, o)
+	}
+	sort.Ints(offs)
+	for _, o := range offs {
+		ox := t.ordered[o]
+		s := IndexStat{
+			Name:     ox.name,
+			Cols:     []int{o},
+			Ordered:  true,
+			Distinct: ox.distinct,
+			Min:      value.Null,
+			Max:      value.Null,
+		}
+		// NULLs sort first, so the non-NULL entries are a suffix.
+		nn := sort.Search(len(ox.entries), func(i int) bool {
+			return !ox.entries[i].v.IsNull()
+		})
+		s.NonNull = len(ox.entries) - nn
+		if nn > 0 {
+			s.Distinct-- // drop the NULL group from the key count
+		}
+		if nn < len(ox.entries) {
+			s.Min = ox.entries[nn].v
+			s.Max = ox.entries[len(ox.entries)-1].v
+		}
+		st.Indexes = append(st.Indexes, s)
+	}
+	return st
+}
+
+// HasEqIndex reports whether an equality probe on exactly the given column
+// offsets is index-backed: the primary key or a hash index over those
+// columns.
+func (t *Table) HasEqIndex(cols []int) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.pk != nil && equalOffsets(cols, t.pkCols) {
+		return true
+	}
+	var nb [32]byte
+	_, ok := t.indexes[string(appendIndexName(nb[:0], cols))]
+	return ok
+}
+
+func equalOffsets(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IndexInfo names one secondary index: the WAL snapshot writer re-emits
+// these, and EXPLAIN prints them.
+type IndexInfo struct {
+	Name    string // "" when unnamed
+	Cols    []string
+	Ordered bool
+}
+
+// IndexMeta returns every secondary index (hash then ordered), in
+// deterministic order.
+func (t *Table) IndexMeta() []IndexInfo {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	keys := make([]string, 0, len(t.indexes))
+	for k := range t.indexes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]IndexInfo, 0, len(keys)+len(t.ordered))
+	for _, k := range keys {
+		ix := t.indexes[k]
+		names := make([]string, len(ix.cols))
+		for i, o := range ix.cols {
+			names[i] = t.schema.Columns[o].Name
+		}
+		out = append(out, IndexInfo{Name: ix.name, Cols: names})
+	}
+	var offs []int
+	for o := range t.ordered {
+		offs = append(offs, o)
+	}
+	sort.Ints(offs)
+	for _, o := range offs {
+		out = append(out, IndexInfo{
+			Name:    t.ordered[o].name,
+			Cols:    []string{t.schema.Columns[o].Name},
+			Ordered: true,
+		})
+	}
+	return out
+}
+
+// spilledSlots counts the versions currently living only in the table's heap
+// file (tup == nil). The pool admin surface subtracts this from the heap's
+// placed counter to report dead slots.
+func (t *Table) spilledSlots() (n uint64) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, h := range t.rows {
+		for v := h; v != nil; v = v.prev {
+			if v.tup == nil {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -62,6 +62,12 @@ type Table struct {
 	indexes map[string]*hashIndex
 	ordered map[int]*orderedIndex // column offset → ordered index
 	version uint64                // bumped on every mutation; used for cheap change detection
+	// live estimates the number of rows occupying the table: +1 on
+	// insert/restore, -1 on delete, unchanged by update. In-flight writers are
+	// included (their undo flows back through the same mutation paths), so the
+	// counter tracks Len() without the O(rows) walk — the planner's row-count
+	// statistic.
+	live int
 }
 
 // hashIndex maps the key of a column projection to the rows holding it in
@@ -71,6 +77,7 @@ type Table struct {
 // verify the visible version still matches the key.
 type hashIndex struct {
 	cols []int
+	name string // user-assigned index name, "" when unnamed
 	m    map[string]map[RowID]struct{}
 }
 
@@ -196,8 +203,16 @@ func (t *Table) VersionStats() (chains, versions int) {
 	return
 }
 
-// CreateIndex builds (or reuses) a hash index on the given columns.
+// CreateIndex builds (or reuses) an unnamed hash index on the given columns.
 func (t *Table) CreateIndex(cols ...string) error {
+	return t.CreateIndexNamed("", cols...)
+}
+
+// CreateIndexNamed builds (or reuses) a hash index on the given columns under
+// a user-assigned name. An existing index on the same columns is reused; a
+// previously unnamed one adopts the name so WAL replay converges on the final
+// name.
+func (t *Table) CreateIndexNamed(name string, cols ...string) error {
 	offs := make([]int, len(cols))
 	for i, c := range cols {
 		o := t.schema.Ordinal(c)
@@ -206,20 +221,25 @@ func (t *Table) CreateIndex(cols ...string) error {
 		}
 		offs[i] = o
 	}
-	name := indexName(offs)
+	key := indexName(offs)
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if _, ok := t.indexes[name]; ok {
+	if ix, ok := t.indexes[key]; ok {
+		if name != "" && ix.name == "" {
+			ix.name = name
+			t.log.emit(LogRecord{Op: OpCreateIndex, Table: t.name, Cols: cols, Index: name})
+		}
 		return nil
 	}
 	ix := newHashIndex(offs)
+	ix.name = name
 	for id, h := range t.rows {
 		for v := h; v != nil; v = v.prev {
 			ix.add(id, t.tupleOf(v)) // cover every version so old snapshots probe correctly
 		}
 	}
-	t.indexes[name] = ix
-	t.log.emit(LogRecord{Op: OpCreateIndex, Table: t.name, Cols: cols})
+	t.indexes[key] = ix
+	t.log.emit(LogRecord{Op: OpCreateIndex, Table: t.name, Cols: cols, Index: name})
 	return nil
 }
 
@@ -419,6 +439,7 @@ func (t *Table) insert(w *Writer, tup value.Tuple) (RowID, error) {
 	t.rows[id] = v
 	t.addKeys(id, tup)
 	t.version++
+	t.live++
 	t.log.emit(LogRecord{Op: OpInsert, Table: t.name, RowID: id, Row: tup, Txn: txnID(w)})
 	return id, nil
 }
@@ -503,6 +524,7 @@ func (t *Table) delete(w *Writer, id RowID) (value.Tuple, error) {
 		w.touch(t, h)
 	}
 	t.version++
+	t.live--
 	t.log.emit(LogRecord{Op: OpDelete, Table: t.name, RowID: id, Txn: txnID(w)})
 	return h.tup, nil
 }
@@ -590,6 +612,7 @@ func (t *Table) restoreAt(w *Writer, id RowID, tup value.Tuple) error {
 		t.nextID = id + 1
 	}
 	t.version++
+	t.live++
 	t.log.emit(LogRecord{Op: OpRestore, Table: t.name, RowID: id, Row: tup, Txn: txnID(w)})
 	return nil
 }

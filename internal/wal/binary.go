@@ -162,6 +162,13 @@ func appendRecordPayload(dst []byte, r storage.LogRecord) ([]byte, error) {
 		for _, c := range r.Cols {
 			dst = appendString(dst, c)
 		}
+		// The index name was added after format v2 shipped; it is appended
+		// only when set, and the decoder treats it as optional-trailing (the
+		// same evolution scheme as the transaction tag below), so old and new
+		// records interoperate both ways.
+		if r.Index != "" {
+			dst = appendString(dst, r.Index)
+		}
 	case storage.OpCommit:
 		dst = appendUvarint(dst, r.TS)
 		dst = appendUvarint(dst, r.Txn)
@@ -337,6 +344,13 @@ func decodeRecordPayload(b []byte) (storage.LogRecord, error) {
 				return rec, err
 			}
 			rec.Cols = append(rec.Cols, c)
+		}
+		// Optional user-assigned index name (absent in records written before
+		// named indexes existed).
+		if r.remaining() > 0 {
+			if rec.Index, err = r.str(); err != nil {
+				return rec, err
+			}
 		}
 	case storage.OpCommit:
 		if rec.TS, err = r.uvarint(); err != nil {

@@ -51,11 +51,15 @@ func StateDigest(cat *storage.Catalog) [32]byte {
 			putStr(p)
 		}
 		var ixs []string
-		for _, ix := range tbl.Indexes() {
-			ixs = append(ixs, strings.Join(ix, ","))
-		}
-		for _, col := range tbl.OrderedIndexes() {
-			ixs = append(ixs, "ord:"+col)
+		for _, ix := range tbl.IndexMeta() {
+			s := strings.Join(ix.Cols, ",")
+			if ix.Ordered {
+				s = "ord:" + s
+			}
+			if ix.Name != "" {
+				s += "=" + ix.Name
+			}
+			ixs = append(ixs, s)
 		}
 		sort.Strings(ixs)
 		putU64(uint64(len(ixs)))

@@ -233,13 +233,12 @@ func snapshotRecords(cat *storage.Catalog, emit func(storage.LogRecord) error) e
 		}); err != nil {
 			return err
 		}
-		for _, ix := range tbl.Indexes() {
-			if err := emit(storage.LogRecord{Op: storage.OpCreateIndex, Table: tbl.Name(), Cols: ix}); err != nil {
-				return err
+		for _, ix := range tbl.IndexMeta() {
+			op := storage.OpCreateIndex
+			if ix.Ordered {
+				op = storage.OpCreateOrderedIndex
 			}
-		}
-		for _, col := range tbl.OrderedIndexes() {
-			if err := emit(storage.LogRecord{Op: storage.OpCreateOrderedIndex, Table: tbl.Name(), Cols: []string{col}}); err != nil {
+			if err := emit(storage.LogRecord{Op: op, Table: tbl.Name(), Cols: ix.Cols, Index: ix.Name}); err != nil {
 				return err
 			}
 		}

@@ -81,6 +81,7 @@ type jsonRecord struct {
 	Cols  []colDef    `json:"schema,omitempty"` // create
 	PK    []string    `json:"pk,omitempty"`
 	IxCol []string    `json:"cols,omitempty"` // index
+	Index string      `json:"ix,omitempty"`   // index: user-assigned name
 	RowID uint64      `json:"rid,omitempty"`
 	Row   []jsonValue `json:"row,omitempty"`
 	TS    uint64      `json:"ts,omitempty"`  // commit
@@ -93,7 +94,7 @@ type colDef struct {
 }
 
 func encodeRecord(r storage.LogRecord) jsonRecord {
-	j := jsonRecord{Op: string(r.Op), Table: r.Table, PK: r.PK, IxCol: r.Cols, RowID: uint64(r.RowID), TS: r.TS, Txn: r.Txn}
+	j := jsonRecord{Op: string(r.Op), Table: r.Table, PK: r.PK, IxCol: r.Cols, Index: r.Index, RowID: uint64(r.RowID), TS: r.TS, Txn: r.Txn}
 	if r.Schema != nil {
 		for _, c := range r.Schema.Columns {
 			j.Cols = append(j.Cols, colDef{Name: c.Name, Type: c.Type.String()})
@@ -239,7 +240,7 @@ func isLastLine(sc *bufio.Scanner) bool { return !sc.Scan() }
 func decodeJSONRecord(j jsonRecord) (storage.LogRecord, error) {
 	rec := storage.LogRecord{
 		Op: storage.LogOp(j.Op), Table: j.Table,
-		PK: j.PK, Cols: j.IxCol, RowID: storage.RowID(j.RowID), TS: j.TS, Txn: j.Txn,
+		PK: j.PK, Cols: j.IxCol, Index: j.Index, RowID: storage.RowID(j.RowID), TS: j.TS, Txn: j.Txn,
 	}
 	switch rec.Op {
 	case storage.OpCreateTable, storage.OpDropTable, storage.OpCreateIndex,
@@ -285,7 +286,7 @@ func applyRecord(cat *storage.Catalog, r storage.LogRecord) error {
 		if err != nil {
 			return err
 		}
-		return tbl.CreateIndex(r.Cols...)
+		return tbl.CreateIndexNamed(r.Index, r.Cols...)
 
 	case storage.OpCreateOrderedIndex:
 		tbl, err := cat.Get(r.Table)
@@ -295,7 +296,7 @@ func applyRecord(cat *storage.Catalog, r storage.LogRecord) error {
 		if len(r.Cols) != 1 {
 			return fmt.Errorf("ordered index wants exactly one column, got %v", r.Cols)
 		}
-		return tbl.CreateOrderedIndex(r.Cols[0])
+		return tbl.CreateOrderedIndexNamed(r.Index, r.Cols[0])
 
 	case storage.OpInsert, storage.OpRestore:
 		tbl, err := cat.Get(r.Table)
