@@ -174,10 +174,11 @@ func inspect(addr string, asJSON bool) error {
 	fmt.Printf("\n=== Transactions ===\n  committed=%d aborted=%d timeouts=%d writeConflicts=%d gcReclaimed=%d\n",
 		txnStats.Committed, txnStats.Aborted, txnStats.Timeouts, txnStats.WriteConflicts, txnStats.GCReclaimed)
 	if poolOn {
-		fmt.Printf("\n=== Buffer pool ===\n  frames=%d resident=%d dirty=%d hit-ratio=%.1f%% evictions=%d writebacks=%d\n  spilled-tables=%d pinned-relations=%d heap-pages=%d\n",
-			poolStats.Capacity, poolStats.Resident, poolStats.Dirty, 100*poolStats.HitRatio(),
-			poolStats.Evictions, poolStats.Writebacks,
-			poolStats.SpilledTables, poolStats.PinnedTables, poolStats.HeapPages)
+		fmt.Printf("\n=== Buffer pool ===\n  frames=%d shards=%d resident=%d dirty=%d hit-ratio=%.1f%% load-waits=%d evictions=%d writebacks=%d\n  spilled-tables=%d pinned-relations=%d heap-pages=%d free-pages=%d reclaimed=%d\n",
+			poolStats.Capacity, len(poolStats.Shards), poolStats.Resident, poolStats.Dirty, 100*poolStats.HitRatio(),
+			poolStats.LoadWaits, poolStats.Evictions, poolStats.Writebacks,
+			poolStats.SpilledTables, poolStats.PinnedTables, poolStats.HeapPages,
+			poolStats.FreePages, poolStats.ReclaimedPages)
 	}
 	fmt.Printf("\n=== Durability ===\n")
 	if durable {
@@ -237,12 +238,22 @@ func inspectPool(addr string, asJSON bool) error {
 		fmt.Println("no buffer pool (server runs fully in memory)")
 		return nil
 	}
-	fmt.Printf("pool: frames=%d resident=%d dirty=%d hit-ratio=%.1f%% (hits=%d misses=%d) evictions=%d writebacks=%d\n",
-		st.Capacity, st.Resident, st.Dirty, 100*st.HitRatio(), st.Hits, st.Misses, st.Evictions, st.Writebacks)
-	fmt.Printf("heap: spilled-tables=%d pinned-relations=%d pages=%d dead-slots=%d\n",
-		st.SpilledTables, st.PinnedTables, st.HeapPages, st.DeadSlots)
+	fmt.Printf("pool: frames=%d resident=%d dirty=%d hit-ratio=%.1f%% (hits=%d misses=%d) load-waits=%d evictions=%d writebacks=%d\n",
+		st.Capacity, st.Resident, st.Dirty, 100*st.HitRatio(), st.Hits, st.Misses, st.LoadWaits, st.Evictions, st.Writebacks)
+	if len(st.Shards) > 1 {
+		fmt.Printf("shards: %d\n", len(st.Shards))
+		for i, sh := range st.Shards {
+			fmt.Printf("  shard %-3d frames=%-4d resident=%-4d hits=%d misses=%d evictions=%d\n",
+				i, sh.Capacity, sh.Resident, sh.Hits, sh.Misses, sh.Evictions)
+		}
+	}
+	fmt.Printf("heap: spilled-tables=%d pinned-relations=%d pages=%d free-pages=%d reclaimed=%d dead-slots=%d\n",
+		st.SpilledTables, st.PinnedTables, st.HeapPages, st.FreePages, st.ReclaimedPages, st.DeadSlots)
 	for _, t := range st.Tables {
 		fmt.Printf("  %-24s %d page(s)", t.Name, t.Pages)
+		if t.FreePages > 0 {
+			fmt.Printf("  free-pages=%d", t.FreePages)
+		}
 		if t.DeadSlots > 0 {
 			fmt.Printf("  dead-slots=%d", t.DeadSlots)
 		}

@@ -59,12 +59,13 @@ func main() {
 	walPath := flag.String("wal", "", "write-ahead log directory (enables durability)")
 	walSync := flag.Bool("walsync", false, "fsync each statement's records (group-committed)")
 	poolPages := flag.Int("pool-pages", 0, "buffer-pool frames of 8 KiB; >0 pages cold tables to disk")
+	poolShards := flag.Int("pool-shards", 0, "buffer-pool shards; 0 auto-sizes")
 	pin := flag.String("pin", "", "comma-separated relations kept fully in memory with -pool-pages")
 	jsonOut := flag.Bool("json", false, "render \\stats/\\shards/\\pending/\\wal/\\txn as JSON")
 	flag.Parse()
 	metaJSON = *jsonOut
 
-	cfg := core.Config{WALPath: *walPath, WALSync: *walSync, BufferPoolPages: *poolPages}
+	cfg := core.Config{WALPath: *walPath, WALSync: *walSync, BufferPoolPages: *poolPages, BufferPoolShards: *poolShards}
 	if *pin != "" {
 		for _, name := range strings.Split(*pin, ",") {
 			if name = strings.TrimSpace(name); name != "" {
@@ -263,12 +264,22 @@ func meta(cli *session, sys *core.System, cmd string) bool {
 			printJSON(st)
 			break
 		}
-		fmt.Printf("pool: frames=%d resident=%d dirty=%d hit-ratio=%.1f%% (hits=%d misses=%d) evictions=%d writebacks=%d\n",
-			st.Capacity, st.Resident, st.Dirty, 100*st.HitRatio(), st.Hits, st.Misses, st.Evictions, st.Writebacks)
-		fmt.Printf("heap: spilled-tables=%d pinned-relations=%d pages=%d dead-slots=%d\n",
-			st.SpilledTables, st.PinnedTables, st.HeapPages, st.DeadSlots)
+		fmt.Printf("pool: frames=%d resident=%d dirty=%d hit-ratio=%.1f%% (hits=%d misses=%d) load-waits=%d evictions=%d writebacks=%d\n",
+			st.Capacity, st.Resident, st.Dirty, 100*st.HitRatio(), st.Hits, st.Misses, st.LoadWaits, st.Evictions, st.Writebacks)
+		if len(st.Shards) > 1 {
+			fmt.Printf("shards: %d\n", len(st.Shards))
+			for i, sh := range st.Shards {
+				fmt.Printf("  shard %-3d frames=%-4d resident=%-4d hits=%d misses=%d evictions=%d\n",
+					i, sh.Capacity, sh.Resident, sh.Hits, sh.Misses, sh.Evictions)
+			}
+		}
+		fmt.Printf("heap: spilled-tables=%d pinned-relations=%d pages=%d free-pages=%d reclaimed=%d dead-slots=%d\n",
+			st.SpilledTables, st.PinnedTables, st.HeapPages, st.FreePages, st.ReclaimedPages, st.DeadSlots)
 		for _, t := range st.Tables {
 			fmt.Printf("  %-24s %d page(s)", t.Name, t.Pages)
+			if t.FreePages > 0 {
+				fmt.Printf("  free-pages=%d", t.FreePages)
+			}
 			if t.DeadSlots > 0 {
 				fmt.Printf("  dead-slots=%d", t.DeadSlots)
 			}

@@ -11,7 +11,7 @@
 // Usage:
 //
 //	youtopia-server [-addr 127.0.0.1:7717] [-seed] [-wal dir] [-walsync]
-//	                [-pool-pages N] [-pin rel1,rel2]
+//	                [-pool-pages N] [-pool-shards N] [-pin rel1,rel2]
 //	                [-repl-listen ADDR] [-follow ADDR -primary-addr SQLADDR]
 //
 // With -pool-pages the storage engine pages cold tables to disk through a
@@ -52,6 +52,7 @@ func main() {
 	walSync := flag.Bool("walsync", false, "fsync each statement's records (group-committed)")
 	shards := flag.Int("shards", 0, "coordination lanes (0 = GOMAXPROCS, 1 = unsharded)")
 	poolPages := flag.Int("pool-pages", 0, "buffer-pool frames of 8 KiB; >0 pages cold tables to disk (datasets beyond RAM)")
+	poolShards := flag.Int("pool-shards", 0, "buffer-pool shards (independent latches); 0 auto-sizes to min(GOMAXPROCS, pages/8)")
 	pin := flag.String("pin", "", "comma-separated relations kept fully in memory with -pool-pages (answer relations always are)")
 	replListen := flag.String("repl-listen", "", "serve the replication stream to followers at this address (requires -wal)")
 	follow := flag.String("follow", "", "run as a follower of the primary's -repl-listen address (requires -wal)")
@@ -64,8 +65,9 @@ func main() {
 
 	cfg := core.Config{
 		WALPath: *walPath, WALSync: *walSync, CoordShards: *shards,
-		WALFollower:     *follow != "",
-		BufferPoolPages: *poolPages,
+		WALFollower:      *follow != "",
+		BufferPoolPages:  *poolPages,
+		BufferPoolShards: *poolShards,
 	}
 	if *pin != "" {
 		for _, name := range strings.Split(*pin, ",") {

@@ -87,6 +87,11 @@ type Config struct {
 	// the WAL remains the only recovery source, and startup rebuilds them by
 	// replay. Zero keeps the pre-PR-8 all-in-memory layout.
 	BufferPoolPages int
+	// BufferPoolShards splits the buffer pool into independently latched
+	// shards so concurrent fetches on different pages never contend on one
+	// mutex. Zero auto-sizes to min(GOMAXPROCS, BufferPoolPages/8), at
+	// least 1. Ignored when BufferPoolPages is zero.
+	BufferPoolShards int
 	// PinnedRelations names tables kept fully in memory despite
 	// BufferPoolPages — the hot coordination relations of the workload.
 	// Answer relations are always pinned; matching is case-insensitive.
@@ -187,7 +192,13 @@ func NewSystem(cfg Config) *System {
 			dir = tmp
 			s.pagesDir = tmp
 		}
-		if err := cat.EnableSpill(dir, cfg.BufferPoolPages, cfg.PinnedRelations); err != nil {
+		err := cat.EnableSpillOpts(storage.SpillOptions{
+			Dir:        dir,
+			PoolPages:  cfg.BufferPoolPages,
+			PoolShards: cfg.BufferPoolShards,
+			Pinned:     cfg.PinnedRelations,
+		})
+		if err != nil {
 			s.err = fmt.Errorf("core: enable buffer pool: %w", err)
 			return s
 		}
@@ -197,6 +208,10 @@ func NewSystem(cfg Config) *System {
 			SegmentBytes: cfg.WALSegmentBytes,
 			CompactAfter: cfg.WALCompactAfter,
 			FS:           cfg.WALFS,
+			// Bound checkpoint memory the same way the live catalog is
+			// bounded: the compaction scratch replay spills through its own
+			// pool of the same size.
+			CompactPoolPages: cfg.BufferPoolPages,
 		}
 		if opts.CompactAfter == 0 {
 			opts.CompactAfter = 8

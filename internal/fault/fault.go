@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/storage"
 	"repro/internal/wal"
 )
 
@@ -26,11 +27,13 @@ type FS struct {
 	inner wal.FS
 
 	mu         sync.Mutex
-	dead       bool  // every operation fails (disk gone / process killed)
-	failWrites int   // fail this many upcoming writes, then disarm
-	shortNext  int   // next write persists only this many bytes, then fails
-	err        error // error injected faults return
+	dead       bool          // every operation fails (disk gone / process killed)
+	failWrites int           // fail this many upcoming writes, then disarm
+	shortNext  int           // next write persists only this many bytes, then fails
+	err        error         // error injected faults return
+	delayReads time.Duration // sleep applied to every file ReadAt
 	writes     uint64
+	reads      uint64
 	syncs      uint64
 }
 
@@ -61,12 +64,42 @@ func (f *FS) Kill() {
 	f.mu.Unlock()
 }
 
+// DelayReads arms a fixed delay on every subsequent file ReadAt, modelling
+// a slow or contended disk. The sleep happens outside the FS mutex, so only
+// the reading goroutine stalls — which is exactly what the buffer pool's
+// latched-miss protocol is meant to tolerate. Zero disarms.
+func (f *FS) DelayReads(d time.Duration) {
+	f.mu.Lock()
+	f.delayReads = d
+	f.mu.Unlock()
+}
+
+// Reads returns the number of file ReadAt calls observed.
+func (f *FS) Reads() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.reads
+}
+
 // Writes returns the number of file write calls observed.
 func (f *FS) Writes() uint64 {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.writes
 }
+
+// HeapFS adapts the faultable filesystem to the storage layer's heap-file
+// seam, so buffer-pool tests can script slow and dead disks under spilled
+// tables with the same FS that faults the WAL.
+func (f *FS) HeapFS() storage.HeapFS { return heapFS{f} }
+
+type heapFS struct{ fs *FS }
+
+func (h heapFS) OpenFile(name string, flag int, perm os.FileMode) (storage.HeapFile, error) {
+	return h.fs.OpenFile(name, flag, perm)
+}
+func (h heapFS) Remove(name string) error                     { return h.fs.Remove(name) }
+func (h heapFS) MkdirAll(path string, perm os.FileMode) error { return h.fs.MkdirAll(path, perm) }
 
 // checkOp gates a non-write operation.
 func (f *FS) checkOp() error {
@@ -186,8 +219,16 @@ func (f *faultFile) WriteAt(p []byte, off int64) (int, error) {
 }
 
 func (f *faultFile) ReadAt(p []byte, off int64) (int, error) {
-	if err := f.fs.checkOp(); err != nil {
-		return 0, err
+	f.fs.mu.Lock()
+	f.fs.reads++
+	dead := f.fs.dead
+	delay := f.fs.delayReads
+	f.fs.mu.Unlock()
+	if dead {
+		return 0, f.fs.err
+	}
+	if delay > 0 {
+		time.Sleep(delay)
 	}
 	return f.inner.ReadAt(p, off)
 }

@@ -93,8 +93,13 @@ func TestFramePlanRoundTrip(t *testing.T) {
 	st := storage.PoolStats{
 		Capacity: 8, Resident: 4, HeapPages: 100, DeadSlots: 77,
 		SpilledTables: 2, PinnedTables: 1,
+		LoadWaits: 5, FreePages: 6, ReclaimedPages: 9,
+		Shards: []storage.PoolShardStats{
+			{Capacity: 4, Resident: 3, Hits: 11, Misses: 2, Evictions: 1},
+			{Capacity: 4, Resident: 1, Hits: 7, Misses: 4},
+		},
 		Tables: []storage.PoolTableInfo{
-			{Name: "history", Pages: 90, DeadSlots: 77},
+			{Name: "history", Pages: 90, FreePages: 6, DeadSlots: 77},
 			{Name: "hot", Pages: 10},
 		},
 	}

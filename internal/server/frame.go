@@ -454,17 +454,27 @@ func (f *frameBuf) appendAdminPool(id uint64, st storage.PoolStats, enabled bool
 		for _, v := range [...]int{st.Capacity, st.Resident, st.Dirty} {
 			f.varint(int64(v))
 		}
-		for _, v := range [...]uint64{st.Hits, st.Misses, st.Evictions, st.Writebacks} {
+		for _, v := range [...]uint64{st.Hits, st.Misses, st.Evictions, st.Writebacks, st.LoadWaits} {
 			f.uvarint(v)
 		}
-		for _, v := range [...]int{st.SpilledTables, st.PinnedTables, st.HeapPages} {
+		for _, v := range [...]int{st.SpilledTables, st.PinnedTables, st.HeapPages, st.FreePages} {
 			f.varint(int64(v))
 		}
 		f.uvarint(st.DeadSlots)
+		f.uvarint(st.ReclaimedPages)
+		f.uvarint(uint64(len(st.Shards)))
+		for _, sh := range st.Shards {
+			f.varint(int64(sh.Capacity))
+			f.varint(int64(sh.Resident))
+			f.uvarint(sh.Hits)
+			f.uvarint(sh.Misses)
+			f.uvarint(sh.Evictions)
+		}
 		f.uvarint(uint64(len(st.Tables)))
 		for _, t := range st.Tables {
 			f.string(t.Name)
 			f.varint(int64(t.Pages))
+			f.varint(int64(t.FreePages))
 			f.uvarint(t.DeadSlots)
 		}
 	}
@@ -1176,12 +1186,12 @@ func decodeAdminPool(rp *reply, r *frameReader) (err error) {
 		}
 		*dst = int(v)
 	}
-	for _, dst := range [...]*uint64{&st.Hits, &st.Misses, &st.Evictions, &st.Writebacks} {
+	for _, dst := range [...]*uint64{&st.Hits, &st.Misses, &st.Evictions, &st.Writebacks, &st.LoadWaits} {
 		if *dst, err = r.uvarint(); err != nil {
 			return err
 		}
 	}
-	for _, dst := range [...]*int{&st.SpilledTables, &st.PinnedTables, &st.HeapPages} {
+	for _, dst := range [...]*int{&st.SpilledTables, &st.PinnedTables, &st.HeapPages, &st.FreePages} {
 		v, err := r.varint()
 		if err != nil {
 			return err
@@ -1193,6 +1203,32 @@ func decodeAdminPool(rp *reply, r *frameReader) (err error) {
 	}
 	if st.DeadSlots, err = r.uvarint(); err != nil {
 		return err
+	}
+	if st.ReclaimedPages, err = r.uvarint(); err != nil {
+		return err
+	}
+	nshards, err := r.count()
+	if err != nil {
+		return err
+	}
+	for i := 0; i < nshards; i++ {
+		var sh storage.PoolShardStats
+		for _, dst := range [...]*int{&sh.Capacity, &sh.Resident} {
+			v, err := r.varint()
+			if err != nil {
+				return err
+			}
+			if v < 0 || v > math.MaxInt32 {
+				return fmt.Errorf("server: pool shard frame count out of range")
+			}
+			*dst = int(v)
+		}
+		for _, dst := range [...]*uint64{&sh.Hits, &sh.Misses, &sh.Evictions} {
+			if *dst, err = r.uvarint(); err != nil {
+				return err
+			}
+		}
+		st.Shards = append(st.Shards, sh)
 	}
 	n, err := r.count()
 	if err != nil {
@@ -1211,6 +1247,14 @@ func decodeAdminPool(rp *reply, r *frameReader) (err error) {
 			return fmt.Errorf("server: pool page count out of range")
 		}
 		t.Pages = int(pages)
+		free, err := r.varint()
+		if err != nil {
+			return err
+		}
+		if free < 0 || free > math.MaxInt32 {
+			return fmt.Errorf("server: pool page count out of range")
+		}
+		t.FreePages = int(free)
 		if t.DeadSlots, err = r.uvarint(); err != nil {
 			return err
 		}

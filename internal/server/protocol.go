@@ -190,12 +190,23 @@ func renderPool(st storage.PoolStats, enabled bool) string {
 		return "no buffer pool (fully in-memory storage)\n"
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "pool: frames=%d resident=%d dirty=%d hit-ratio=%.1f%% (hits=%d misses=%d) evictions=%d writebacks=%d\n",
-		st.Capacity, st.Resident, st.Dirty, 100*st.HitRatio(), st.Hits, st.Misses, st.Evictions, st.Writebacks)
-	fmt.Fprintf(&b, "heap: spilled-tables=%d pinned-relations=%d pages=%d (%d KiB) dead-slots=%d\n",
-		st.SpilledTables, st.PinnedTables, st.HeapPages, st.HeapPages*storage.PageSize/1024, st.DeadSlots)
+	fmt.Fprintf(&b, "pool: frames=%d resident=%d dirty=%d hit-ratio=%.1f%% (hits=%d misses=%d) load-waits=%d evictions=%d writebacks=%d\n",
+		st.Capacity, st.Resident, st.Dirty, 100*st.HitRatio(), st.Hits, st.Misses, st.LoadWaits, st.Evictions, st.Writebacks)
+	if len(st.Shards) > 1 {
+		fmt.Fprintf(&b, "shards: %d\n", len(st.Shards))
+		for i, sh := range st.Shards {
+			fmt.Fprintf(&b, "  shard %-3d frames=%-4d resident=%-4d hits=%d misses=%d evictions=%d\n",
+				i, sh.Capacity, sh.Resident, sh.Hits, sh.Misses, sh.Evictions)
+		}
+	}
+	fmt.Fprintf(&b, "heap: spilled-tables=%d pinned-relations=%d pages=%d (%d KiB) free-pages=%d reclaimed=%d dead-slots=%d\n",
+		st.SpilledTables, st.PinnedTables, st.HeapPages, st.HeapPages*storage.PageSize/1024,
+		st.FreePages, st.ReclaimedPages, st.DeadSlots)
 	for _, t := range st.Tables {
 		fmt.Fprintf(&b, "  %-24s %d page(s)", t.Name, t.Pages)
+		if t.FreePages > 0 {
+			fmt.Fprintf(&b, "  free-pages=%d", t.FreePages)
+		}
 		if t.DeadSlots > 0 {
 			fmt.Fprintf(&b, "  dead-slots=%d", t.DeadSlots)
 		}

@@ -151,7 +151,9 @@ func (c *Catalog) ActiveSnapshots() int {
 
 // GC prunes version chains in every table against the current watermark and
 // returns the number of versions reclaimed (also accumulated in
-// GCReclaimed). The txn manager runs this from a background ticker.
+// GCReclaimed). The txn manager runs this from a background ticker. Each
+// table's heap compactor runs right after its sweep, so the dead slots the
+// prune just created immediately feed page reclamation (heap.go).
 func (c *Catalog) GC() int {
 	wm := c.Watermark()
 	c.mu.RLock()
@@ -163,6 +165,7 @@ func (c *Catalog) GC() int {
 	total := 0
 	for _, t := range tables {
 		total += t.gc(wm)
+		t.compactHeap()
 	}
 	if total > 0 {
 		c.gcReclaimed.Add(uint64(total))

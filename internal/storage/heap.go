@@ -2,6 +2,7 @@ package storage
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -11,12 +12,14 @@ import (
 	"repro/internal/value"
 )
 
-// A heapFile is the paged backing store of one spillable table: an
-// append-only sequence of PageSize pages under the catalog's pages
-// directory. Records are placed into an in-memory tail page; when the next
-// record does not fit, the tail is sealed — handed to the buffer pool as a
-// dirty frame (or written straight to disk when every frame is pinned) — and
-// a fresh tail begins. Sealed pages are immutable forever.
+// A heapFile is the paged backing store of one spillable table: a sequence
+// of PageSize pages under the catalog's pages directory. Records are placed
+// into an in-memory tail page; when the next record does not fit, the tail
+// is sealed — handed to the buffer pool as a dirty frame (or written
+// straight to disk when every frame is pinned) — and a fresh tail begins.
+// A sealed page's bytes are immutable for as long as any reference into it
+// can exist; once every slot on it is dead the page is reclaimed onto the
+// free list and eventually reused by the tail allocator (see below).
 //
 // The heap is SCRATCH, not a recovery source: the WAL remains the single
 // durable truth, and startup truncates and rebuilds every heap by replaying
@@ -27,16 +30,31 @@ import (
 //
 // Concurrency: place is called only under the owning table's exclusive
 // latch, so the tail mutates single-threadedly. Readers resolve a pageRef
-// with load, possibly holding no table latch at all (ScanAt materializes
-// after unlatching): that is safe because refs are written once, sealed
-// pages are immutable, and the current tail is published through an atomic
-// pointer whose buffer is never recycled — an in-flight reader keeps
-// decoding a superseded tail buffer while the writer fills a fresh one.
+// with load, possibly holding no table latch at all (ScanAt and GetRefAt
+// decode after unlatching): that is safe because refs are captured under a
+// shared latch, sealed pages stay immutable while referenced, and the
+// current tail is published through an atomic pointer whose buffer is never
+// mutated after sealing — an in-flight reader keeps decoding a superseded
+// tail buffer while the writer fills a fresh one.
+//
+// Space reclamation: every page tracks how many records were placed on it
+// and how many are still referenced by some version chain (live). Slots die
+// when a spilled version is materialized back, pruned by GC, or rewritten
+// by the page compactor; when a sealed page's live count hits zero it moves
+// to the free list and the tail allocator reuses it instead of growing the
+// file. Reuse is gated on the readers counter: a latchless reader
+// increments it (under the shared latch, BEFORE capturing refs) and
+// decrements it after decoding, so a page is never rewritten while a stale
+// ref into it might still be resolved — when readers are present the
+// allocator simply grows the file as before.
 type heapFile struct {
 	name string // canonical table name (diagnostics, stats)
 	path string
-	f    *os.File
+	f    HeapFile
 	pool *Pool
+	// id feeds the pool's shard hash, so two heaps' pages with equal numbers
+	// land on different shards.
+	id uint64
 
 	// tail is the page currently accepting records. Swapped (never mutated
 	// in place: the buffer of a sealed tail is left behind for late readers)
@@ -46,12 +64,31 @@ type heapFile struct {
 	payload []byte // AppendTuple scratch; guarded by the table's latch
 	rec     []byte // record scratch; guarded by the table's latch
 
-	// placed counts records ever placed into the heap. Sealed pages are
-	// immutable and slots are never reclaimed, so placed minus the table's
-	// still-referenced spilled versions is the heap's dead-slot count — the
-	// "heap files only grow" ceiling made observable.
-	placed atomic.Uint64
+	// readers counts latchless readers currently holding captured refs (see
+	// the type comment). Incremented under the table's shared latch, checked
+	// by the tail allocator under the exclusive latch.
+	readers atomic.Int64
+
+	// statsMu guards the reclamation bookkeeping below. All mutation happens
+	// under the owning table's exclusive latch; the mutex exists so PoolStats
+	// can read a consistent snapshot from other goroutines.
+	statsMu   sync.Mutex
+	pageStats []pageStat // indexed by page number
+	free      []uint32   // fully-dead sealed pages awaiting reuse
+	maxPage   uint32     // highest page number ever allocated
+	deadSlots uint64     // dead records still occupying allocated pages
+	reclaimed uint64     // pages ever moved to the free list, cumulative
 }
+
+// pageStat is one page's slot accounting: how many records were placed on
+// it, and how many are still referenced by a version chain.
+type pageStat struct {
+	placed int32
+	live   int32
+}
+
+// heapIDs hands each heapFile a distinct shard-hash identity.
+var heapIDs atomic.Uint64
 
 type tailPage struct {
 	no  uint32
@@ -64,15 +101,40 @@ func newTailPage(no uint32) *tailPage {
 	return tp
 }
 
-func openHeapFile(dir, name string, pool *Pool) (*heapFile, error) {
+// HeapFile is the I/O surface a heap needs from its backing file.
+type HeapFile interface {
+	io.ReaderAt
+	io.WriterAt
+	io.Closer
+}
+
+// HeapFS abstracts the filesystem heap files live on — the seam
+// fault-injection tests and the WAL compaction scratch use to instrument or
+// bound heap I/O. The zero default is the real OS filesystem.
+type HeapFS interface {
+	OpenFile(name string, flag int, perm os.FileMode) (HeapFile, error)
+	Remove(name string) error
+	MkdirAll(path string, perm os.FileMode) error
+}
+
+type osHeapFS struct{}
+
+func (osHeapFS) OpenFile(name string, flag int, perm os.FileMode) (HeapFile, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (osHeapFS) Remove(name string) error                   { return os.Remove(name) }
+func (osHeapFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+func openHeapFile(fs HeapFS, dir, name string, pool *Pool) (*heapFile, error) {
 	path := filepath.Join(dir, name+".heap")
 	// O_TRUNC: heaps never carry state across process lifetimes (see above).
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := fs.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("storage: open heap for table %s: %w", name, err)
 	}
-	h := &heapFile{name: name, path: path, f: f, pool: pool}
+	h := &heapFile{name: name, path: path, f: f, pool: pool, id: heapIDs.Add(1)}
 	h.tail.Store(newTailPage(0))
+	h.pageStats = make([]pageStat, 1)
 	return h, nil
 }
 
@@ -86,8 +148,110 @@ func (h *heapFile) readPage(no uint32, buf []byte) error {
 	return err
 }
 
-// pages returns the number of pages the heap has begun (sealed + tail).
-func (h *heapFile) pages() int { return int(h.tail.Load().no) + 1 }
+// usedPages returns the number of pages currently holding data (sealed pages
+// with live or not-yet-reclaimed records, plus the tail); freePages returns
+// the reclaimed pages awaiting reuse.
+func (h *heapFile) usedPages() (used, free int) {
+	h.statsMu.Lock()
+	defer h.statsMu.Unlock()
+	return int(h.maxPage) + 1 - len(h.free), len(h.free)
+}
+
+// reclaimStats returns the heap's dead-slot and reclaimed-page counters.
+func (h *heapFile) reclaimStats() (dead, reclaimed uint64) {
+	h.statsMu.Lock()
+	defer h.statsMu.Unlock()
+	return h.deadSlots, h.reclaimed
+}
+
+// nextTailNo allocates the page number for a fresh tail: a reclaimed page
+// from the free list when no latchless reader could still resolve a stale
+// ref into it (the readers gate), else a brand-new page. Called under the
+// owning table's exclusive latch. A reused page is discarded from the pool
+// first so no stale frame survives.
+func (h *heapFile) nextTailNo() uint32 {
+	h.statsMu.Lock()
+	if len(h.free) > 0 && h.readers.Load() == 0 {
+		no := h.free[len(h.free)-1]
+		h.free = h.free[:len(h.free)-1]
+		h.pageStats[no] = pageStat{}
+		h.statsMu.Unlock()
+		h.pool.discardPage(h, no)
+		return no
+	}
+	h.maxPage++
+	no := h.maxPage
+	for uint32(len(h.pageStats)) <= no {
+		h.pageStats = append(h.pageStats, pageStat{})
+	}
+	h.statsMu.Unlock()
+	return no
+}
+
+// slotPlaced records a new live record on the page. Called under the owning
+// table's exclusive latch (from place).
+func (h *heapFile) slotPlaced(no uint32) {
+	h.statsMu.Lock()
+	h.pageStats[no].placed++
+	h.pageStats[no].live++
+	h.statsMu.Unlock()
+}
+
+// slotDied records that a spilled record on the page is no longer referenced
+// by any version chain — it was materialized back into memory, pruned by
+// GC, or rewritten by the compactor. When the last live record of a sealed
+// page dies, the page moves to the free list (its dead slots stop counting:
+// the space is reusable). Called under the owning table's exclusive latch.
+func (h *heapFile) slotDied(no uint32) {
+	h.statsMu.Lock()
+	ps := &h.pageStats[no]
+	ps.live--
+	h.deadSlots++
+	if ps.live <= 0 && no != h.tail.Load().no {
+		h.deadSlots -= uint64(ps.placed)
+		*ps = pageStat{}
+		h.free = append(h.free, no)
+		h.reclaimed++
+	}
+	h.statsMu.Unlock()
+}
+
+// maybeFreeSealed frees a just-sealed page whose every slot already died
+// while it was still the tail (slotDied skips the active tail, and the
+// compactor skips fully-dead pages because they free themselves — this is
+// the one window both would miss). Called under the owning table's exclusive
+// latch, after the new tail is published.
+func (h *heapFile) maybeFreeSealed(no uint32) {
+	h.statsMu.Lock()
+	ps := &h.pageStats[no]
+	if ps.placed > 0 && ps.live <= 0 && no != h.tail.Load().no {
+		h.deadSlots -= uint64(ps.placed)
+		*ps = pageStat{}
+		h.free = append(h.free, no)
+		h.reclaimed++
+	}
+	h.statsMu.Unlock()
+}
+
+// compactionVictims returns the sealed pages worth rewriting: at least half
+// their records are dead but some are still live (fully-dead pages free
+// themselves in slotDied). Called under the owning table's exclusive latch.
+func (h *heapFile) compactionVictims() map[uint32]bool {
+	tailNo := h.tail.Load().no
+	h.statsMu.Lock()
+	defer h.statsMu.Unlock()
+	var victims map[uint32]bool
+	for no, ps := range h.pageStats {
+		if uint32(no) == tailNo || ps.placed == 0 || ps.live <= 0 || ps.live*2 > ps.placed {
+			continue
+		}
+		if victims == nil {
+			victims = make(map[uint32]bool)
+		}
+		victims[uint32(no)] = true
+	}
+	return victims
+}
 
 // place appends the tuple's record to the heap and returns its ref. Called
 // only under the owning table's exclusive latch. ErrTupleTooLarge means the
@@ -104,14 +268,16 @@ func (h *heapFile) place(id RowID, tup value.Tuple) (pageRef, error) {
 		if err := h.seal(tp); err != nil {
 			return pageRef{}, err
 		}
-		tp = newTailPage(tp.no + 1)
+		sealed := tp.no
+		tp = newTailPage(h.nextTailNo())
 		used = pageHeaderLen
 		h.tail.Store(tp)
+		h.maybeFreeSealed(sealed)
 	}
 	copy(tp.buf[used:], h.rec)
 	setPageUsed(tp.buf, used+len(h.rec))
 	setPageCount(tp.buf, pageCount(tp.buf)+1)
-	h.placed.Add(1)
+	h.slotPlaced(tp.no)
 	return pageRef{page: tp.no, off: uint16(used), n: uint16(len(h.rec))}, nil
 }
 
@@ -130,17 +296,17 @@ func (h *heapFile) seal(tp *tailPage) error {
 	return err
 }
 
-// load resolves a ref to its decoded tuple. Safe without the table latch
-// (see the type comment). Misses read through the buffer pool; when the pool
-// is exhausted the page is read unbuffered instead — by the time a sealed
-// page is absent from the pool it has been written back, so the disk copy is
-// current.
+// load resolves a ref to its decoded tuple. Safe without the table latch for
+// refs covered by the readers gate (see the type comment). Misses read
+// through the buffer pool; when the pool is exhausted the page is read
+// unbuffered instead — by the time a sealed page is absent from the pool it
+// has been written back, so the disk copy is current.
 func (h *heapFile) load(ref pageRef) (value.Tuple, error) {
 	tp := h.tail.Load()
 	if ref.page == tp.no {
 		return decodeRefRecord(tp.buf, ref)
 	}
-	fi, err := h.pool.fetch(h, ref.page)
+	f, err := h.pool.fetch(h, ref.page)
 	if err == ErrPoolExhausted {
 		buf := make([]byte, PageSize)
 		if rerr := h.readPage(ref.page, buf); rerr != nil {
@@ -151,8 +317,8 @@ func (h *heapFile) load(ref pageRef) (value.Tuple, error) {
 	if err != nil {
 		return nil, err
 	}
-	tup, derr := decodeRefRecord(h.pool.frames[fi].buf, ref)
-	h.pool.unpin(fi)
+	tup, derr := decodeRefRecord(f.buf, ref)
+	h.pool.unpin(f)
 	return tup, derr
 }
 
@@ -185,6 +351,7 @@ func heapMustLoad(h *heapFile, ref pageRef) value.Tuple {
 type spillState struct {
 	dir  string
 	pool *Pool
+	fs   HeapFS
 
 	mu     sync.Mutex
 	pinned map[string]bool
@@ -202,7 +369,7 @@ func (sp *spillState) isPinned(key string) bool {
 }
 
 func (sp *spillState) open(key string) (*heapFile, error) {
-	h, err := openHeapFile(sp.dir, key, sp.pool)
+	h, err := openHeapFile(sp.fs, sp.dir, key, sp.pool)
 	if err != nil {
 		return nil, err
 	}
@@ -224,8 +391,17 @@ func (sp *spillState) retire(key string) {
 	sp.mu.Unlock()
 	if h != nil {
 		sp.pool.invalidate(h)
-		os.Remove(h.path) //nolint:errcheck // scratch; best effort
+		sp.fs.Remove(h.path) //nolint:errcheck // scratch; best effort
 	}
+}
+
+// SpillOptions configures disk-backed paged storage for a catalog.
+type SpillOptions struct {
+	Dir        string   // pages directory (created if absent)
+	PoolPages  int      // buffer pool frames (minimum 1)
+	PoolShards int      // pool shards; 0 picks min(GOMAXPROCS, pages/8), at least 1
+	Pinned     []string // relations kept fully resident by policy
+	FS         HeapFS   // heap filesystem; nil uses the OS
 }
 
 // EnableSpill turns on disk-backed paged storage for the catalog: tables
@@ -234,6 +410,12 @@ func (sp *spillState) retire(key string) {
 // pinned (and any later marked via PinResident), which stay fully resident.
 // Must be called on an empty catalog, before recovery replays any table.
 func (c *Catalog) EnableSpill(dir string, poolPages int, pinned []string) error {
+	return c.EnableSpillOpts(SpillOptions{Dir: dir, PoolPages: poolPages, Pinned: pinned})
+}
+
+// EnableSpillOpts is EnableSpill with the full option set (shard count,
+// filesystem seam).
+func (c *Catalog) EnableSpillOpts(o SpillOptions) error {
 	if c.spill != nil {
 		return fmt.Errorf("storage: spill already enabled (dir %s)", c.spill.dir)
 	}
@@ -243,16 +425,21 @@ func (c *Catalog) EnableSpill(dir string, poolPages int, pinned []string) error 
 	if populated {
 		return fmt.Errorf("storage: EnableSpill requires an empty catalog")
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fs := o.FS
+	if fs == nil {
+		fs = osHeapFS{}
+	}
+	if err := fs.MkdirAll(o.Dir, 0o755); err != nil {
 		return fmt.Errorf("storage: create pages directory: %w", err)
 	}
 	sp := &spillState{
-		dir:    dir,
-		pool:   NewPool(poolPages),
-		pinned: make(map[string]bool, len(pinned)),
+		dir:    o.Dir,
+		pool:   NewPoolShards(o.PoolPages, o.PoolShards),
+		fs:     fs,
+		pinned: make(map[string]bool, len(o.Pinned)),
 		heaps:  make(map[string]*heapFile),
 	}
-	for _, name := range pinned {
+	for _, name := range o.Pinned {
 		sp.pinned[canonical(name)] = true
 	}
 	c.spill = sp
@@ -283,6 +470,7 @@ func (c *Catalog) PinResident(name string) {
 // detachHeap materializes every spilled version and drops the table's heap
 // reference; returns whether there was one. After it returns, no reader can
 // capture a new ref into the heap (writes and captures both require t.mu).
+// Slot accounting is skipped: the whole heap is being retired.
 func (t *Table) detachHeap() bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -321,25 +509,17 @@ func (c *Catalog) PoolStats() (PoolStats, bool) {
 	stats.SpilledTables = len(sp.heaps)
 	stats.PinnedTables = len(sp.pinned)
 	for name, h := range sp.heaps {
-		pages := h.pages()
-		stats.HeapPages += pages
-		stats.Tables = append(stats.Tables, PoolTableInfo{Name: name, Pages: pages, placed: h.placed.Load()})
+		used, free := h.usedPages()
+		dead, reclaimed := h.reclaimStats()
+		stats.HeapPages += used
+		stats.FreePages += free
+		stats.DeadSlots += dead
+		stats.ReclaimedPages += reclaimed
+		stats.Tables = append(stats.Tables, PoolTableInfo{
+			Name: name, Pages: used, FreePages: free, DeadSlots: dead,
+		})
 	}
 	sp.mu.Unlock()
-	// Dead slots are computed outside sp.mu: spilledSlots takes each table's
-	// latch, and placed was captured first, so a racing insert can only make
-	// the subtraction conservative (clamped at zero).
-	for i := range stats.Tables {
-		ti := &stats.Tables[i]
-		t, err := c.Get(ti.Name)
-		if err != nil {
-			continue
-		}
-		if live := t.spilledSlots(); ti.placed > live {
-			ti.DeadSlots = ti.placed - live
-		}
-		stats.DeadSlots += ti.DeadSlots
-	}
 	sort.Slice(stats.Tables, func(i, j int) bool { return stats.Tables[i].Name < stats.Tables[j].Name })
 	return stats, true
 }

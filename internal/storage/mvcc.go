@@ -50,9 +50,12 @@ type version struct {
 	// it back (update/delete — "the chain is reconstructed on write"). tup
 	// only ever transitions nil→non-nil, under the table's exclusive latch.
 	tup value.Tuple
-	// ref locates the spilled record (page.go). Written once at version
-	// creation and never mutated — heaps are append-only — so readers may
-	// copy it under the shared latch and resolve it after releasing.
+	// ref locates the spilled record (page.go). Written at version creation
+	// and rewritten only by the page compactor, both under the table's
+	// exclusive latch. Readers copy it under the shared latch and may resolve
+	// it after releasing, provided they entered the heap's readers gate first
+	// — the gate keeps a captured ref's page from being reclaimed and reused
+	// until the decode finishes (see heap.go).
 	ref   pageRef
 	begin uint64   // commit ts of the creating txn
 	end   uint64   // commit ts of the deleting/superseding txn; liveTS while current

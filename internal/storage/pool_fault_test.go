@@ -1,0 +1,82 @@
+package storage_test
+
+// External-package pool tests: drive the buffer pool's latched-miss protocol
+// through the fault package's scriptable filesystem (fault imports wal which
+// imports storage, so these cannot live in package storage). The in-package
+// latch tests (pool_latch_test.go) pin the deterministic orderings; this
+// file pins the user-visible consequence — a slow disk under one page never
+// serializes the rest of the pool.
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/storage"
+	"repro/internal/value"
+	"repro/internal/wal"
+)
+
+// TestDelayedReadDoesNotSerializeLookups: two cold point lookups on
+// different tables, each behind a fault-injected 250ms disk read, must
+// overlap — the miss path reads outside every pool lock, so a stalled read
+// parks only its own fetcher, not the shard set.
+func TestDelayedReadDoesNotSerializeLookups(t *testing.T) {
+	ffs := fault.NewFS(wal.OSFS())
+	cat := storage.NewCatalog()
+	err := cat.EnableSpillOpts(storage.SpillOptions{
+		Dir: t.TempDir(), PoolPages: 8, PoolShards: 2, FS: ffs.HeapFS(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cat.CloseSpill()
+
+	schema := value.NewSchema(value.Col("id", value.TypeInt), value.Col("body", value.TypeString))
+	payload := strings.Repeat("p", 200)
+	tables := make([]*storage.Table, 2)
+	for i, name := range []string{"a", "b"} {
+		tbl, err := cat.Create(name, schema, "id")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// ~12 heap pages per table against an 8-frame pool: the early pages
+		// of both tables are guaranteed evicted by the later inserts.
+		for r := 0; r < 450; r++ {
+			if _, err := tbl.Insert(value.NewTuple(r, payload)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		tables[i] = tbl
+	}
+	if err := cat.FlushPool(); err != nil {
+		t.Fatal(err)
+	}
+
+	const delay = 250 * time.Millisecond
+	readsBefore := ffs.Reads()
+	ffs.DelayReads(delay)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, tbl := range tables {
+		wg.Add(1)
+		go func(tbl *storage.Table) {
+			defer wg.Done()
+			if _, row, ok := tbl.LookupPK(value.NewTuple(0)); !ok || row[1].Str() != payload {
+				t.Errorf("%s: cold lookup failed", tbl.Name())
+			}
+		}(tbl)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	ffs.DelayReads(0)
+
+	if got := ffs.Reads() - readsBefore; got != 2 {
+		t.Fatalf("disk reads during lookups = %d, want 2 (both lookups must be cold, one page each)", got)
+	}
+	if elapsed >= 2*delay {
+		t.Fatalf("lookups serialized: %v elapsed for two overlapping %v reads", elapsed, delay)
+	}
+}

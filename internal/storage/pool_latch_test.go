@@ -1,0 +1,389 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/value"
+)
+
+// gateFS is a HeapFS that counts page I/O per heap file and can park chosen
+// page reads on a channel — a deterministic stand-in for a slow disk, used
+// to pin down the pool's latch protocol (singleflight, non-blocking shards,
+// eviction vs. loading frames).
+type gateFS struct {
+	mu     sync.Mutex
+	reads  map[string]map[uint32]int
+	writes map[string]int
+	gates  map[string]map[uint32]chan struct{}
+}
+
+func newGateFS() *gateFS {
+	return &gateFS{
+		reads:  make(map[string]map[uint32]int),
+		writes: make(map[string]int),
+		gates:  make(map[string]map[uint32]chan struct{}),
+	}
+}
+
+func (fs *gateFS) OpenFile(name string, flag int, perm os.FileMode) (HeapFile, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &gateFile{fs: fs, name: filepath.Base(name), f: f}, nil
+}
+func (fs *gateFS) Remove(name string) error                     { return os.Remove(name) }
+func (fs *gateFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+// blockReads parks every read of the heap's page until the returned release
+// function runs.
+func (fs *gateFS) blockReads(heap string, page uint32) (release func()) {
+	ch := make(chan struct{})
+	fs.mu.Lock()
+	if fs.gates[heap] == nil {
+		fs.gates[heap] = make(map[uint32]chan struct{})
+	}
+	fs.gates[heap][page] = ch
+	fs.mu.Unlock()
+	return func() {
+		fs.mu.Lock()
+		delete(fs.gates[heap], page)
+		fs.mu.Unlock()
+		close(ch)
+	}
+}
+
+func (fs *gateFS) readCount(heap string, page uint32) int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.reads[heap][page]
+}
+
+func (fs *gateFS) writeCount(heap string) int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.writes[heap]
+}
+
+type gateFile struct {
+	fs   *gateFS
+	name string
+	f    *os.File
+}
+
+func (g *gateFile) ReadAt(p []byte, off int64) (int, error) {
+	page := uint32(off / PageSize)
+	g.fs.mu.Lock()
+	if g.fs.reads[g.name] == nil {
+		g.fs.reads[g.name] = make(map[uint32]int)
+	}
+	g.fs.reads[g.name][page]++
+	gate := g.fs.gates[g.name][page]
+	g.fs.mu.Unlock()
+	if gate != nil {
+		<-gate
+	}
+	return g.f.ReadAt(p, off)
+}
+
+func (g *gateFile) WriteAt(p []byte, off int64) (int, error) {
+	g.fs.mu.Lock()
+	g.fs.writes[g.name]++
+	g.fs.mu.Unlock()
+	return g.f.WriteAt(p, off)
+}
+
+func (g *gateFile) Close() error { return g.f.Close() }
+
+func gateSpillCatalog(t *testing.T, fs *gateFS, pages, shards int) *Catalog {
+	t.Helper()
+	c := NewCatalog()
+	err := c.EnableSpillOpts(SpillOptions{Dir: t.TempDir(), PoolPages: pages, PoolShards: shards, FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.CloseSpill)
+	return c
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// fillCold creates a spilled table, inserts n rows, flushes the pool, and
+// evicts page 0 so the next fetch of it must read disk.
+func fillCold(t *testing.T, c *Catalog, name string, n int) *Table {
+	t.Helper()
+	tbl, err := c.Create(name, coldSchema(), "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := tbl.Insert(value.NewTuple(i, coldBody(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.FlushPool(); err != nil {
+		t.Fatal(err)
+	}
+	c.spill.pool.discardPage(tbl.heap, 0)
+	return tbl
+}
+
+// TestPoolLoadSingleflight: two fetchers racing for the same cold page
+// perform exactly one disk read — the second parks on the frame's load latch
+// (LoadWaits) instead of claiming a second frame (Misses).
+func TestPoolLoadSingleflight(t *testing.T) {
+	fs := newGateFS()
+	c := gateSpillCatalog(t, fs, 8, 1)
+	tbl := fillCold(t, c, "history", 1500)
+	h, pool := tbl.heap, c.spill.pool
+	base := pool.Stats()
+
+	release := release2{fn: fs.blockReads("history.heap", 0)}
+	defer release.once()
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f, err := pool.fetch(h, 0)
+			errs[i] = err
+			if err != nil {
+				return
+			}
+			if pageCount(f.buf) == 0 {
+				t.Errorf("fetcher %d decoded an empty page", i)
+			}
+			pool.unpin(f)
+		}(i)
+	}
+	// One fetcher must be parked in the (blocked) disk read, the other on the
+	// frame latch, before we open the gate — otherwise the race isn't real.
+	waitFor(t, "loader to start reading", func() bool { return fs.readCount("history.heap", 0) == 1 })
+	waitFor(t, "second fetcher to park on the latch", func() bool {
+		return pool.Stats().LoadWaits == base.LoadWaits+1
+	})
+	release.once()
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("fetcher %d: %v", i, err)
+		}
+	}
+	if got := fs.readCount("history.heap", 0); got != 1 {
+		t.Errorf("page 0 read %d times, want exactly 1", got)
+	}
+	stats := pool.Stats()
+	if stats.Misses != base.Misses+1 {
+		t.Errorf("misses: %d -> %d, want exactly one install", base.Misses, stats.Misses)
+	}
+	if stats.LoadWaits != base.LoadWaits+1 {
+		t.Errorf("load waits: %d -> %d, want exactly one", base.LoadWaits, stats.LoadWaits)
+	}
+}
+
+// release2 makes a blockReads release function idempotent so tests can both
+// defer it (cleanup on failure) and call it at the scripted moment.
+type release2 struct {
+	o  sync.Once
+	fn func()
+}
+
+func (r *release2) once() { r.o.Do(r.fn) }
+
+// TestBlockedLoadDoesNotBlockOtherPages: while one page's disk read is
+// parked, hits and misses on every other page — same shard or not — keep
+// flowing, because the shard mutex is released for the duration of the read.
+// (Under the old single-mutex pool this test deadlocks until the gate
+// opens.) Per-shard counters must show the misses spread across shards.
+func TestBlockedLoadDoesNotBlockOtherPages(t *testing.T) {
+	fs := newGateFS()
+	c := gateSpillCatalog(t, fs, 32, 4)
+	blocked := fillCold(t, c, "t0", 1200)
+	others := make([]*Table, 3)
+	for i := range others {
+		others[i] = fillCold(t, c, "t"+string(rune('1'+i)), 1200)
+	}
+
+	release := release2{fn: fs.blockReads("t0.heap", 0)}
+	defer release.once()
+
+	done := make(chan value.Tuple, 1)
+	go func() {
+		// Row 1 was the first insert: it lives on page 0, which is cold and
+		// gated — this read parks inside ReadAt holding no lock.
+		tup, ok := blocked.GetRef(RowID(1))
+		if !ok {
+			t.Error("blocked read lost its row")
+		}
+		done <- tup
+	}()
+	waitFor(t, "gated read to start", func() bool { return fs.readCount("t0.heap", 0) == 1 })
+
+	// With t0's read still parked: full point-read passes over three other
+	// tables (mixes pool hits and cold misses) must all complete.
+	for _, tbl := range others {
+		for i := 0; i < 1200; i += 7 {
+			if _, _, ok := tbl.LookupPK(value.NewTuple(i)); !ok {
+				t.Fatalf("read of %s row %d failed behind a blocked load", tbl.Name(), i)
+			}
+		}
+	}
+	select {
+	case <-done:
+		t.Fatal("gated read completed before release — the gate never engaged")
+	default:
+	}
+	release.once()
+	tup := <-done
+	if tup[1].Str() != coldBody(0) {
+		t.Errorf("blocked read decoded %q", tup[1].Str())
+	}
+
+	stats, _ := c.PoolStats()
+	if len(stats.Shards) != 4 {
+		t.Fatalf("shard count: %d, want 4", len(stats.Shards))
+	}
+	withMisses := 0
+	for _, sh := range stats.Shards {
+		if sh.Misses > 0 {
+			withMisses++
+		}
+	}
+	if withMisses < 2 {
+		t.Errorf("misses concentrated on %d shard(s); want them spread: %+v", withMisses, stats.Shards)
+	}
+}
+
+// TestEvictionRacesLoadingFrame: CLOCK sweeps over a frame whose disk read
+// is in flight must skip it (the loader's pin protects it) while the rest of
+// the shard keeps evicting and recycling normally.
+func TestEvictionRacesLoadingFrame(t *testing.T) {
+	fs := newGateFS()
+	c := gateSpillCatalog(t, fs, 2, 1)
+	tbl := fillCold(t, c, "history", 600)
+	h, pool := tbl.heap, c.spill.pool
+
+	release := release2{fn: fs.blockReads("history.heap", 0)}
+	defer release.once()
+
+	type result struct {
+		f   *frame
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		f, err := pool.fetch(h, 0)
+		done <- result{f, err}
+	}()
+	waitFor(t, "gated load to start", func() bool { return fs.readCount("history.heap", 0) == 1 })
+
+	// Churn every other page through the one remaining frame: dozens of CLOCK
+	// sweeps pass the loading frame and must neither evict it nor hang.
+	for round := 0; round < 25; round++ {
+		for pg := uint32(1); pg <= 5; pg++ {
+			f, err := pool.fetch(h, pg)
+			if err != nil {
+				t.Fatalf("fetch page %d during in-flight load: %v", pg, err)
+			}
+			if pageCount(f.buf) == 0 {
+				t.Fatalf("page %d decoded empty during in-flight load", pg)
+			}
+			pool.unpin(f)
+		}
+	}
+	release.once()
+	res := <-done
+	if res.err != nil {
+		t.Fatalf("gated load failed: %v", res.err)
+	}
+	if pageCount(res.f.buf) == 0 {
+		t.Error("gated load published an empty page")
+	}
+	pool.unpin(res.f)
+	if got := fs.readCount("history.heap", 0); got != 1 {
+		t.Errorf("page 0 read %d times, want 1", got)
+	}
+}
+
+// TestDropWhileScanPinned: dropping a table while a reader still pins one of
+// its pages must mark the frame discard-on-unpin — the bytes stay decodable
+// for the pinned reader, the frame is freed on the last unpin, and the pool
+// NEVER writes the (dirty) frame back into the retired heap file. This is
+// the regression test for invalidate skipping pinned frames.
+func TestDropWhileScanPinned(t *testing.T) {
+	fs := newGateFS()
+	c := gateSpillCatalog(t, fs, 4, 1)
+	tbl, err := c.Create("history", coldSchema(), "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~5 pages; the first four seal into the 4-frame pool as dirty frames.
+	for i := 0; i < 300; i++ {
+		if _, err := tbl.Insert(value.NewTuple(i, coldBody(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h, pool := tbl.heap, c.spill.pool
+	f, err := pool.fetch(h, 2) // pin a dirty resident frame, like a scan mid-decode
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Drop("history"); err != nil {
+		t.Fatal(err)
+	}
+	s := f.shard
+	s.mu.Lock()
+	dead, pins := f.dead, f.pins
+	s.mu.Unlock()
+	if !dead || pins != 1 {
+		t.Fatalf("pinned frame after drop: dead=%v pins=%d, want dead with 1 pin", dead, pins)
+	}
+	if pageCount(f.buf) == 0 {
+		t.Error("pinned frame's bytes unreadable after drop")
+	}
+
+	// Churn another table through every frame: under the old invalidate the
+	// stale dirty frame would be evicted and written back into the dropped
+	// heap file.
+	wBefore := fs.writeCount("history.heap")
+	other, err := c.Create("other", coldSchema(), "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 600; i++ {
+		if _, err := other.Insert(value.NewTuple(i, coldBody(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 600; i += 11 {
+		if _, _, ok := other.LookupPK(value.NewTuple(i)); !ok {
+			t.Fatalf("read of other row %d failed", i)
+		}
+	}
+	if got := fs.writeCount("history.heap"); got != wBefore {
+		t.Errorf("dropped heap written to %d time(s) after drop", got-wBefore)
+	}
+
+	pool.unpin(f)
+	s.mu.Lock()
+	freed := !f.inUse
+	s.mu.Unlock()
+	if !freed {
+		t.Error("dead frame not freed on last unpin")
+	}
+}

@@ -153,19 +153,3 @@ func (t *Table) IndexMeta() []IndexInfo {
 	}
 	return out
 }
-
-// spilledSlots counts the versions currently living only in the table's heap
-// file (tup == nil). The pool admin surface subtracts this from the heap's
-// placed counter to report dead slots.
-func (t *Table) spilledSlots() (n uint64) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	for _, h := range t.rows {
-		for v := h; v != nil; v = v.prev {
-			if v.tup == nil {
-				n++
-			}
-		}
-	}
-	return n
-}

@@ -310,11 +310,14 @@ func (t *Table) tupleOf(v *version) value.Tuple {
 
 // materialize loads a spilled version's tuple back into memory — the
 // write-path half of the spill contract: a version about to be superseded
-// (update/delete need its old tuple) rejoins the in-memory chain. Caller
-// holds t.mu exclusively.
+// (update/delete need its old tuple) rejoins the in-memory chain. The heap
+// slot it occupied is dead from that point on (tup only transitions
+// nil→non-nil), so the heap's reclamation accounting hears about it here.
+// Caller holds t.mu exclusively.
 func (t *Table) materialize(v *version) {
 	if v.tup == nil {
 		v.tup = heapMustLoad(t.heap, v.ref)
+		t.heap.slotDied(v.ref.page)
 	}
 }
 
@@ -490,7 +493,13 @@ func (t *Table) GetRefAt(s Snapshot, id RowID) (value.Tuple, bool) {
 		// Capture under the latch: tup only ever transitions nil→non-nil
 		// (materialize) and ref/heap pointers captured together with a nil
 		// tup are guaranteed still-loadable (retired heaps stay readable).
-		tup, ref, h = v.tup, v.ref, t.heap
+		// Entering the readers gate BEFORE releasing the latch keeps the
+		// ref's page from being reclaimed and reused while we decode.
+		tup, ref = v.tup, v.ref
+		if tup == nil {
+			h = t.heap
+			h.readers.Add(1)
+		}
 	}
 	t.mu.RUnlock()
 	if v == nil {
@@ -498,6 +507,7 @@ func (t *Table) GetRefAt(s Snapshot, id RowID) (value.Tuple, bool) {
 	}
 	if tup == nil {
 		tup = heapMustLoad(h, ref) // spilled: decode outside the latch
+		h.readers.Add(-1)
 	}
 	return tup, true
 }
@@ -645,17 +655,70 @@ func (t *Table) ScanAt(s Snapshot, fn func(RowID, value.Tuple) bool) {
 		snap[i] = v.tup
 		if v.tup == nil {
 			if refs == nil {
+				// Spilled refs captured: enter the heap's readers gate while
+				// still under the latch, so no captured page is reclaimed
+				// and reused before the decode loop below resolves it.
 				refs = make([]pageRef, len(ids))
+				heap.readers.Add(1)
 			}
 			refs[i] = v.ref
 		}
 	}
 	t.mu.RUnlock()
+	if refs != nil {
+		defer heap.readers.Add(-1)
+	}
 	for i, id := range ids {
 		if snap[i] == nil {
 			snap[i] = heapMustLoad(heap, refs[i])
 		}
 		if !fn(id, snap[i]) {
+			return
+		}
+	}
+}
+
+// StreamAt invokes fn for every row visible at s in ascending RowID order
+// while retaining O(1) tuples at a time: each row is re-resolved under a
+// fresh shared latch and spilled tuples are decoded one by one through the
+// buffer pool. Unlike ScanAt — which captures the whole visible set under
+// one latch and therefore holds every decoded tuple of the snapshot at once
+// — StreamAt's cut is only consistent on a quiescent table: a row mutated
+// between the per-row latches may be observed newer than s. The WAL
+// compaction scratch (quiescent by construction) uses it to write snapshot
+// segments of larger-than-RAM tables in O(pool) memory.
+func (t *Table) StreamAt(s Snapshot, fn func(RowID, value.Tuple) bool) {
+	t.mu.RLock()
+	ids := make([]RowID, 0, len(t.rows))
+	for id, h := range t.rows {
+		if visibleVersion(h, s) != nil {
+			ids = append(ids, id)
+		}
+	}
+	t.mu.RUnlock()
+	slices.Sort(ids)
+	for _, id := range ids {
+		t.mu.RLock()
+		v := visibleVersion(t.rows[id], s)
+		var tup value.Tuple
+		var ref pageRef
+		var h *heapFile
+		if v != nil {
+			tup, ref = v.tup, v.ref
+			if tup == nil {
+				h = t.heap
+				h.readers.Add(1)
+			}
+		}
+		t.mu.RUnlock()
+		if v == nil {
+			continue // pruned since the id pass; only possible non-quiescent
+		}
+		if tup == nil {
+			tup = heapMustLoad(h, ref)
+			h.readers.Add(-1)
+		}
+		if !fn(id, tup) {
 			return
 		}
 	}
@@ -771,7 +834,10 @@ func (t *Table) gc(wm uint64) (reclaimed int) {
 			// Whole chain dead to every current and future snapshot.
 			delete(t.rows, id)
 			for v := h; v != nil; v = v.prev {
-				t.dropKeys(id, v, nil)
+				t.dropKeys(id, v, nil) // decodes the slot; must precede slotDied
+				if v.tup == nil {
+					t.heap.slotDied(v.ref.page)
+				}
 				reclaimed++
 			}
 			continue
@@ -784,6 +850,9 @@ func (t *Table) gc(wm uint64) (reclaimed int) {
 			if (anchored && committed) || dead {
 				prev.prev = v.prev
 				t.dropKeys(id, v, h)
+				if v.tup == nil {
+					t.heap.slotDied(v.ref.page)
+				}
 				reclaimed++
 				continue
 			}
@@ -828,6 +897,45 @@ func (t *Table) dropKeys(id RowID, dead *version, head *version) {
 		}
 		if !shared {
 			ox.remove(id, deadTup)
+		}
+	}
+}
+
+// compactHeap rewrites mostly-dead sealed heap pages: every still-live
+// spilled version on a victim page (at least half its records dead) is
+// re-placed at the current tail, draining the victim to zero live records so
+// slotDied moves it to the free list for the tail allocator to reuse.
+// Catalog.GC runs it right after chain pruning, so the sweep that killed the
+// slots immediately feeds the compactor. Runs under the exclusive latch;
+// latchless readers holding refs into a victim are protected by the readers
+// gate exactly as for any reclaimed page.
+func (t *Table) compactHeap() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	h := t.heap
+	if h == nil {
+		return
+	}
+	victims := h.compactionVictims()
+	if len(victims) == 0 {
+		return
+	}
+	for id, head := range t.rows {
+		for v := head; v != nil; v = v.prev {
+			if v.tup != nil || !victims[v.ref.page] {
+				continue
+			}
+			tup, err := h.load(v.ref)
+			if err != nil {
+				continue // unreadable: leave the slot where it is
+			}
+			old := v.ref.page
+			if ref, perr := h.place(id, tup); perr == nil {
+				v.ref = ref
+			} else {
+				v.tup = tup // cannot re-place (oversized/IO): keep it resident
+			}
+			h.slotDied(old)
 		}
 	}
 }

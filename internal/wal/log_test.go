@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -509,7 +510,10 @@ func TestMigrationTornJSONTail(t *testing.T) {
 // start at the snapshot and ignore — then delete — the stale prefix.
 func TestInterruptedCompactionRecovers(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "wal")
-	l, cat := openLog(t, dir, Options{SegmentBytes: 256})
+	// CompactPoolPages keeps the crash/recovery coverage on the pooled
+	// scratch path; the scratch is non-durable, so the recovery story must
+	// be identical either way.
+	l, cat := openLog(t, dir, Options{SegmentBytes: 256, CompactPoolPages: 4})
 	attach(cat, l)
 	tbl, _ := cat.Create("T", flightsSchema())
 	for i := 0; i < 60; i++ {
@@ -643,5 +647,63 @@ func TestCompactRotationDrainsParkedAppends(t *testing.T) {
 	}
 	if got := l.Stats().Records; got != writers*each {
 		t.Fatalf("records = %d, want %d", got, writers*each)
+	}
+}
+
+// TestCompactPoolBoundsScratchMemory: compacting a log whose live set is
+// several times larger than the scratch pool must hold O(pool frames)
+// tuples in memory, not O(rows) — the scratch catalog pages everything
+// else out to a throwaway temp directory.
+func TestCompactPoolBoundsScratchMemory(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	const poolFrames = 8
+	l, cat := openLog(t, dir, Options{SegmentBytes: 128 << 10, CompactPoolPages: poolFrames})
+	attach(cat, l)
+	tbl, err := cat.Create("T", flightsSchema(), "fno")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := strings.Repeat("x", 200)
+	const rows = 4000
+	for i := 0; i < rows; i++ {
+		if _, err := tbl.Insert(value.NewTuple(i, payload)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	info := l.CompactScratch()
+	if !info.Pooled {
+		t.Fatal("compaction scratch did not run pooled")
+	}
+	if info.Frames != poolFrames {
+		t.Fatalf("scratch frames = %d, want %d", info.Frames, poolFrames)
+	}
+	if info.Resident > info.Frames {
+		t.Fatalf("resident %d exceeds pool of %d frames", info.Resident, info.Frames)
+	}
+	// The dataset must genuinely dwarf the pool, or the bound is vacuous.
+	if info.HeapPages < 4*poolFrames {
+		t.Fatalf("scratch spilled only %d heap pages for %d frames; dataset too small to prove the bound", info.HeapPages, poolFrames)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The bounded scratch must still produce a faithful snapshot.
+	l2, cat2 := openLog(t, dir, Options{})
+	defer l2.Close()
+	tbl2, err := cat2.Get("T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl2.Len() != rows {
+		t.Fatalf("rows after recovery = %d, want %d", tbl2.Len(), rows)
+	}
+	for _, probe := range []int{0, rows / 2, rows - 1} {
+		if _, row, ok := tbl2.LookupPK(value.NewTuple(probe)); !ok || len(row) != 2 {
+			t.Fatalf("pk %d lost after pooled compaction", probe)
+		}
 	}
 }

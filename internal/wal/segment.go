@@ -242,8 +242,12 @@ func snapshotRecords(cat *storage.Catalog, emit func(storage.LogRecord) error) e
 				return err
 			}
 		}
+		// StreamAt keeps O(1) tuples materialized while walking a spilled
+		// table — essential when the scratch catalog runs with a bounded
+		// pool — and the scratch is quiescent, its only consistency
+		// requirement.
 		var scanErr error
-		tbl.Scan(func(id storage.RowID, row value.Tuple) bool {
+		tbl.StreamAt(storage.Latest(), func(id storage.RowID, row value.Tuple) bool {
 			scanErr = emit(storage.LogRecord{Op: storage.OpInsert, Table: tbl.Name(), RowID: id, Row: row})
 			return scanErr == nil
 		})

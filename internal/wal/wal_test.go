@@ -248,3 +248,19 @@ func TestRecoverUnknownOp(t *testing.T) {
 		t.Errorf("err = %v", err)
 	}
 }
+
+func TestTableIndexAccessors(t *testing.T) {
+	tbl, err := storage.NewTable("T", flightsSchema(), "fno")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.CreateIndex("dest")        //nolint:errcheck
+	tbl.CreateIndex("fno", "dest") //nolint:errcheck
+	ixs := tbl.Indexes()
+	if len(ixs) != 2 {
+		t.Fatalf("indexes = %v", ixs)
+	}
+	if tbl2, _ := storage.NewTable("U", flightsSchema()); tbl2.PrimaryKey() != nil {
+		t.Error("PK of keyless table should be nil")
+	}
+}
